@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Ablation: what the pieces of Hierarchical Modeling buy.
+ *
+ * Compares, on every program: a single regression tree (tc=5), plain
+ * first-order boosting without bootstrap randomness, the full HM
+ * (first order + higher-order combination), and HM without the dsize
+ * feature (the RFHOC-style blindness). Quantifies the design choices
+ * DESIGN.md calls out.
+ */
+
+#include "bench/common.h"
+#include "dac/collector.h"
+#include "dac/modeler.h"
+#include "ml/log_target.h"
+#include "sparksim/simulator.h"
+#include "support/statistics.h"
+
+namespace {
+
+using namespace dac;
+
+double
+validate(std::unique_ptr<ml::Model> model,
+         const std::vector<core::PerfVector> &vectors, bool with_dsize)
+{
+    const auto all = core::toDataSet(vectors, with_dsize);
+    Rng rng(combineSeed(5, 0x5EED));
+    auto parts = all.split(0.25, rng);
+    ml::LogTargetModel wrapped(std::move(model));
+    wrapped.train(parts.first);
+    return wrapped.errorOn(parts.second);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    using namespace dac;
+    const auto scale = bench::parseScale(argc, argv);
+    bench::announce("Ablation: HM components", scale);
+
+    sparksim::SparkSimulator sim(cluster::ClusterSpec::paperTestbed());
+    const auto opt = bench::tunerOptions(scale);
+
+    TextTable table({"program", "single tree", "boost (no HM)",
+                     "HM full", "HM w/o dsize"});
+    std::vector<double> tree_e;
+    std::vector<double> boost_e;
+    std::vector<double> hm_e;
+    std::vector<double> blind_e;
+
+    for (const auto &w : bench::allPrograms()) {
+        core::Collector collector(sim, *w);
+        const auto data = collector.collect(opt.collect);
+
+        ml::TreeParams tp;
+        tp.treeComplexity = 5;
+        const double e_tree = validate(
+            std::make_unique<ml::RegressionTree>(tp), data.vectors, true);
+
+        ml::BoostParams bp = opt.hm.firstOrder;
+        bp.targetIsLog = true;
+        bp.seed = 5;
+        const double e_boost = validate(
+            std::make_unique<ml::GradientBoost>(bp), data.vectors, true);
+
+        ml::HmParams hp = opt.hm;
+        hp.targetIsLog = true;
+        hp.seed = 5;
+        const double e_hm = validate(
+            std::make_unique<ml::HierarchicalModel>(hp), data.vectors,
+            true);
+        const double e_blind = validate(
+            std::make_unique<ml::HierarchicalModel>(hp), data.vectors,
+            false);
+
+        tree_e.push_back(e_tree);
+        boost_e.push_back(e_boost);
+        hm_e.push_back(e_hm);
+        blind_e.push_back(e_blind);
+        table.addRow({w->abbrev(), formatDouble(e_tree, 1),
+                      formatDouble(e_boost, 1), formatDouble(e_hm, 1),
+                      formatDouble(e_blind, 1)});
+    }
+    table.addRow({"AVG", formatDouble(mean(tree_e), 1),
+                  formatDouble(mean(boost_e), 1),
+                  formatDouble(mean(hm_e), 1),
+                  formatDouble(mean(blind_e), 1)});
+    table.print(std::cout);
+
+    std::cout << "\nexpected: single tree >> boosting ~>= HM, and "
+              << "dropping dsize hurts badly (the paper's entire "
+              << "premise) -> "
+              << (mean(hm_e) < mean(tree_e) &&
+                  mean(blind_e) > mean(hm_e) ? "OK" : "MISMATCH")
+              << "\n";
+    return 0;
+}

@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Ablation: configuration sampling scheme for the collecting
+ * component. The paper's CG draws parameters independently at random;
+ * Latin hypercube sampling stratifies each parameter's range. This
+ * bench measures the HM model error under both schemes across
+ * training-set sizes — quantifying how much better coverage buys when
+ * collection (the dominant cost, Table 3) is the budget.
+ */
+
+#include "bench/common.h"
+#include "dac/collector.h"
+#include "dac/modeler.h"
+#include "sparksim/simulator.h"
+#include "support/statistics.h"
+
+int
+main(int argc, char **argv)
+{
+    using namespace dac;
+    const auto scale = bench::parseScale(argc, argv);
+    bench::announce("Ablation: random vs Latin-hypercube collection",
+                    scale);
+
+    sparksim::SparkSimulator sim(cluster::ClusterSpec::paperTestbed());
+    const auto opt = bench::tunerOptions(scale);
+
+    const std::vector<size_t> ks = scale.full
+        ? std::vector<size_t>{20, 50, 100, 200}
+        : std::vector<size_t>{20, 40, 80};
+    const std::vector<std::string> programs{"PR", "KM", "TS"};
+
+    TextTable table({"ntrain", "random err %", "LHS err %", "LHS gain"});
+    for (size_t k : ks) {
+        std::vector<double> err_random;
+        std::vector<double> err_lhs;
+        for (const auto &abbrev : programs) {
+            const auto &w =
+                workloads::Registry::instance().byAbbrev(abbrev);
+            core::Collector collector(sim, w);
+            const auto sizes = w.trainingSizes(10);
+            for (auto sampling : {core::Sampling::Random,
+                                  core::Sampling::LatinHypercube}) {
+                const auto data =
+                    collector.collectAtSizes(sizes, k, 11, sampling);
+                const auto report = core::buildAndValidate(
+                    core::ModelKind::HM, data.vectors, opt.hm, true, 5);
+                (sampling == core::Sampling::Random ? err_random
+                                                    : err_lhs)
+                    .push_back(report.testErrorPct);
+            }
+        }
+        const double r = mean(err_random);
+        const double l = mean(err_lhs);
+        table.addRow({std::to_string(10 * k), formatDouble(r, 1),
+                      formatDouble(l, 1),
+                      formatDouble((r - l) / r * 100.0, 1) + "%"});
+    }
+    table.print(std::cout);
+    std::cout << "\n(model error averaged over PR, KM, TS; positive "
+              << "gain = LHS better)\n";
+    return 0;
+}

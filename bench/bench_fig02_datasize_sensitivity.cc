@@ -1,0 +1,110 @@
+/**
+ * @file
+ * Figure 2: execution-time variation (Tvar, Eq. 1) of Spark vs Hadoop
+ * implementations of KMeans and PageRank under 200 random
+ * configurations, for two input sizes each.
+ *
+ * Paper result: Spark's Tvar grows 2.6x (KM) and 4.3x (PR) when the
+ * input doubles; Hadoop's grows 0.97x and 1.76x. The motivation for
+ * datasize-aware modeling.
+ */
+
+#include "bench/common.h"
+#include "conf/generator.h"
+#include "hadoopsim/hadoopsim.h"
+#include "sparksim/simulator.h"
+#include "support/statistics.h"
+#include "support/units.h"
+
+namespace {
+
+using namespace dac;
+
+/** Tvar of a Spark program-input pair over n random configurations. */
+double
+sparkTvar(const workloads::Workload &w, double native, size_t n)
+{
+    sparksim::SparkSimulator sim(cluster::ClusterSpec::paperTestbed());
+    conf::ConfigGenerator gen(conf::ConfigSpace::spark(), Rng(21));
+    const auto dag = w.buildDag(native);
+    std::vector<double> times;
+    times.reserve(n);
+    for (size_t i = 0; i < n; ++i)
+        times.push_back(sim.run(dag, gen.random(), 1000 + i).timeSec);
+    return timeVariation(times);
+}
+
+/** Tvar of a Hadoop job over n random configurations. */
+double
+hadoopTvar(const hadoopsim::MapReduceJob &job, size_t n)
+{
+    hadoopsim::HadoopSimulator sim(cluster::ClusterSpec::paperTestbed());
+    conf::ConfigGenerator gen(conf::ConfigSpace::hadoop(), Rng(22));
+    std::vector<double> times;
+    times.reserve(n);
+    for (size_t i = 0; i < n; ++i)
+        times.push_back(sim.run(job, gen.random(), 1000 + i).timeSec);
+    return timeVariation(times);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    using namespace dac;
+    const auto scale = bench::parseScale(argc, argv);
+    // The paper uses 200 random configurations per pair.
+    const size_t n = scale.full ? 200 : 120;
+
+    bench::announce("Figure 2: execution time variation, Spark vs "
+                    "Hadoop (" + std::to_string(n) + " random configs)",
+                    scale);
+
+    const auto &reg = workloads::Registry::instance();
+
+    // Motivation-section sizes: KM 40M/80M records, PR 0.5M/1M pages.
+    const auto &km = reg.byAbbrev("KM");
+    const auto &pr = reg.byAbbrev("PR");
+    const double km1 = 40;
+    const double km2 = 80;
+    const double pr1 = 0.5;
+    const double pr2 = 1.0;
+
+    const double s_km1 = sparkTvar(km, km1, n);
+    const double s_km2 = sparkTvar(km, km2, n);
+    const double s_pr1 = sparkTvar(pr, pr1, n);
+    const double s_pr2 = sparkTvar(pr, pr2, n);
+
+    const double h_km1 = hadoopTvar(
+        hadoopsim::hadoopKMeans(km.bytesForSize(km1)), n);
+    const double h_km2 = hadoopTvar(
+        hadoopsim::hadoopKMeans(km.bytesForSize(km2)), n);
+    const double h_pr1 = hadoopTvar(
+        hadoopsim::hadoopPageRank(pr.bytesForSize(pr1)), n);
+    const double h_pr2 = hadoopTvar(
+        hadoopsim::hadoopPageRank(pr.bytesForSize(pr2)), n);
+
+    TextTable table({"program", "Tvar input-1 (s)", "Tvar input-2 (s)",
+                     "ratio (2/1)", "paper ratio"});
+    table.addRow({"Spark-KM", formatDouble(s_km1, 1),
+                  formatDouble(s_km2, 1), formatDouble(s_km2 / s_km1, 2),
+                  "2.6"});
+    table.addRow({"Hadoop-KM", formatDouble(h_km1, 1),
+                  formatDouble(h_km2, 1), formatDouble(h_km2 / h_km1, 2),
+                  "0.97"});
+    table.addRow({"Spark-PR", formatDouble(s_pr1, 1),
+                  formatDouble(s_pr2, 1), formatDouble(s_pr2 / s_pr1, 2),
+                  "4.3"});
+    table.addRow({"Hadoop-PR", formatDouble(h_pr1, 1),
+                  formatDouble(h_pr2, 1), formatDouble(h_pr2 / h_pr1, 2),
+                  "1.76"});
+    table.print(std::cout);
+
+    std::cout << "\nshape check: Spark's variation must grow faster "
+              << "with datasize than Hadoop's -> "
+              << (s_km2 / s_km1 > h_km2 / h_km1 &&
+                  s_pr2 / s_pr1 > h_pr2 / h_pr1 ? "OK" : "MISMATCH")
+              << "\n";
+    return 0;
+}

@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Figure 3: prediction errors of models built with the existing ODC
+ * modeling techniques — response surface (RS), artificial neural
+ * network (ANN), support vector machine (SVM), random forest (RF) —
+ * when the input dataset size and all 41 parameters are features.
+ *
+ * Paper result: average errors RS 23%, ANN 27%, SVM 14%, RF 18% —
+ * all too high to drive configuration search.
+ */
+
+#include "bench/common.h"
+#include "dac/collector.h"
+#include "dac/modeler.h"
+#include "sparksim/simulator.h"
+#include "support/statistics.h"
+
+int
+main(int argc, char **argv)
+{
+    using namespace dac;
+    const auto scale = bench::parseScale(argc, argv);
+    bench::announce("Figure 3: prediction error of ODC modeling "
+                    "techniques on Spark programs", scale);
+
+    sparksim::SparkSimulator sim(cluster::ClusterSpec::paperTestbed());
+    const auto opt = bench::tunerOptions(scale);
+
+    const std::vector<core::ModelKind> kinds{
+        core::ModelKind::RS, core::ModelKind::ANN, core::ModelKind::SVM,
+        core::ModelKind::RF};
+
+    TextTable table({"program", "RS", "ANN", "SVM", "RF"});
+    std::map<core::ModelKind, std::vector<double>> errors;
+
+    for (const auto &w : bench::allPrograms()) {
+        core::Collector collector(sim, *w);
+        const auto data = collector.collect(opt.collect);
+        std::vector<std::string> row{w->abbrev()};
+        for (auto kind : kinds) {
+            const auto report = core::buildAndValidate(
+                kind, data.vectors, opt.hm, true, 5);
+            errors[kind].push_back(report.testErrorPct);
+            row.push_back(formatDouble(report.testErrorPct, 1));
+        }
+        table.addRow(row);
+    }
+
+    table.addRow({"AVG", formatDouble(mean(errors[kinds[0]]), 1),
+                  formatDouble(mean(errors[kinds[1]]), 1),
+                  formatDouble(mean(errors[kinds[2]]), 1),
+                  formatDouble(mean(errors[kinds[3]]), 1)});
+    table.print(std::cout);
+    std::cout << "\npaper averages: RS 23%, ANN 27%, SVM 14%, RF 18% "
+              << "(error in % , Eq. 2; lower is better)\n";
+    return 0;
+}

@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Figure 9: prediction errors of RS, ANN, SVM, RF and the proposed HM
+ * on all six programs (41 parameters + dsize as features).
+ *
+ * Paper result: HM averages 7.6% (only TS slightly above 10%), vs
+ * RS 22%, ANN 30%, SVM 15%, RF 19%.
+ */
+
+#include "bench/common.h"
+#include "dac/collector.h"
+#include "dac/modeler.h"
+#include "sparksim/simulator.h"
+#include "support/statistics.h"
+
+int
+main(int argc, char **argv)
+{
+    using namespace dac;
+    const auto scale = bench::parseScale(argc, argv);
+    bench::announce("Figure 9: model accuracy comparison incl. HM",
+                    scale);
+
+    sparksim::SparkSimulator sim(cluster::ClusterSpec::paperTestbed());
+    const auto opt = bench::tunerOptions(scale);
+
+    TextTable table({"program", "RS", "ANN", "SVM", "RF", "HM"});
+    std::map<core::ModelKind, std::vector<double>> errors;
+
+    for (const auto &w : bench::allPrograms()) {
+        core::Collector collector(sim, *w);
+        const auto data = collector.collect(opt.collect);
+        std::vector<std::string> row{w->abbrev()};
+        for (auto kind : core::allModelKinds()) {
+            const auto report = core::buildAndValidate(
+                kind, data.vectors, opt.hm, true, 5);
+            errors[kind].push_back(report.testErrorPct);
+            row.push_back(formatDouble(report.testErrorPct, 1));
+        }
+        table.addRow(row);
+    }
+
+    std::vector<std::string> avg{"AVG"};
+    for (auto kind : core::allModelKinds())
+        avg.push_back(formatDouble(mean(errors[kind]), 1));
+    table.addRow(avg);
+    table.print(std::cout);
+
+    const double hm_avg = mean(errors[core::ModelKind::HM]);
+    double best_baseline = 1e18;
+    for (auto kind : {core::ModelKind::RS, core::ModelKind::ANN,
+                      core::ModelKind::SVM, core::ModelKind::RF}) {
+        best_baseline = std::min(best_baseline, mean(errors[kind]));
+    }
+    std::cout << "\npaper averages: RS 22%, ANN 30%, SVM 15%, RF 19%, "
+              << "HM 7.6%\nshape check: HM beats every baseline -> "
+              << (hm_avg < best_baseline ? "OK" : "MISMATCH") << "\n";
+    return 0;
+}

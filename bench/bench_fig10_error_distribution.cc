@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Figure 10: predicted-vs-measured scatter for PageRank and TeraSort
+ * over 200 randomly selected configurations. Prints distribution
+ * statistics, an ASCII sample of the scatter, and writes the full
+ * point set to CSV for plotting.
+ *
+ * Paper result: points hug the bisector across the whole range; few
+ * outliers.
+ */
+
+#include <fstream>
+
+#include "bench/common.h"
+#include "conf/generator.h"
+#include "dac/collector.h"
+#include "dac/modeler.h"
+#include "sparksim/simulator.h"
+#include "support/statistics.h"
+
+int
+main(int argc, char **argv)
+{
+    using namespace dac;
+    const auto scale = bench::parseScale(argc, argv);
+    bench::announce("Figure 10: error distribution (prediction vs "
+                    "measurement)", scale);
+
+    sparksim::SparkSimulator sim(cluster::ClusterSpec::paperTestbed());
+    const auto opt = bench::tunerOptions(scale);
+    const size_t points = scale.full ? 200 : 120;
+
+    for (const char *abbrev : {"PR", "TS"}) {
+        const auto &w = workloads::Registry::instance().byAbbrev(abbrev);
+        core::Collector collector(sim, w);
+        const auto train = collector.collect(opt.collect);
+        const auto report = core::buildAndValidate(
+            core::ModelKind::HM, train.vectors, opt.hm, true, 5);
+
+        // Fresh random configurations at the paper's evaluation sizes.
+        conf::ConfigGenerator gen(conf::ConfigSpace::spark(), Rng(77));
+        std::vector<double> measured;
+        std::vector<double> predicted;
+        const auto sizes = w.paperSizes();
+        for (size_t i = 0; i < points; ++i) {
+            const double native = sizes[i % sizes.size()];
+            const auto cfg = gen.random();
+            const double real =
+                sim.run(w.buildDag(native), cfg, 9000 + i).timeSec;
+            const double pred = report.model->predict(core::toFeatures(
+                cfg, w.bytesForSize(native), true));
+            measured.push_back(real);
+            predicted.push_back(pred);
+        }
+
+        printBanner(std::cout, std::string("program ") + abbrev);
+        std::vector<double> errs;
+        for (size_t i = 0; i < points; ++i) {
+            errs.push_back(std::abs(predicted[i] - measured[i]) /
+                           measured[i] * 100.0);
+        }
+        TextTable stats({"metric", "value"});
+        stats.addRow({"points", std::to_string(points)});
+        stats.addRow({"mean err %", formatDouble(mean(errs), 1)});
+        stats.addRow({"median err %", formatDouble(median(errs), 1)});
+        stats.addRow({"p90 err %", formatDouble(percentile(errs, 90), 1)});
+        stats.addRow({"max err %", formatDouble(
+            *std::max_element(errs.begin(), errs.end()), 1)});
+        stats.print(std::cout);
+
+        // Sample of the scatter (measured, predicted).
+        TextTable sample({"measured (s)", "predicted (s)", "err %"});
+        for (size_t i = 0; i < points; i += points / 12)
+            sample.addRow({formatDouble(measured[i], 1),
+                           formatDouble(predicted[i], 1),
+                           formatDouble(errs[i], 1)});
+        sample.print(std::cout);
+
+        const std::string csv = std::string("fig10_") + abbrev + ".csv";
+        std::ofstream out(csv);
+        out << "measured,predicted\n";
+        for (size_t i = 0; i < points; ++i)
+            out << measured[i] << "," << predicted[i] << "\n";
+        std::cout << "full scatter written to " << csv << "\n";
+    }
+
+    std::cout << "\npaper shape: predictions lie near the bisector "
+              << "across the full range (PR 40-250 s, TS 50-250 s).\n";
+    return 0;
+}

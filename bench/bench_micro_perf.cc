@@ -1,0 +1,120 @@
+/**
+ * @file
+ * Micro-benchmarks (google-benchmark): throughput of the substrate
+ * pieces that bound the tuning pipeline — simulator runs, tree
+ * training, model prediction, and GA generations. The paper's Table 3
+ * cost argument rests on model queries being ~milliseconds.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "conf/generator.h"
+#include "dac/collector.h"
+#include "dac/modeler.h"
+#include "ga/ga.h"
+#include "ml/boosting.h"
+#include "sparksim/simulator.h"
+#include "workloads/registry.h"
+
+namespace {
+
+using namespace dac;
+
+const sparksim::SparkSimulator &
+simulator()
+{
+    static const sparksim::SparkSimulator sim(
+        cluster::ClusterSpec::paperTestbed());
+    return sim;
+}
+
+void
+BM_SimulatorRun(benchmark::State &state)
+{
+    const auto &w = workloads::Registry::instance().byAbbrev(
+        state.range(0) == 0 ? "WC" : "PR");
+    const auto dag = w.buildDag(w.paperSizes().back());
+    conf::ConfigGenerator gen(conf::ConfigSpace::spark(), Rng(1));
+    const auto cfg = gen.random();
+    uint64_t seed = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            simulator().run(dag, cfg, ++seed).timeSec);
+    }
+}
+BENCHMARK(BM_SimulatorRun)->Arg(0)->Arg(1);
+
+void
+BM_CollectHundredRuns(benchmark::State &state)
+{
+    const auto &w = workloads::Registry::instance().byAbbrev("TS");
+    core::Collector collector(simulator(), w);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            collector.collectAtSizes({30.0}, 100, 7).vectors.size());
+    }
+}
+BENCHMARK(BM_CollectHundredRuns);
+
+void
+BM_TreeTrain2000x42(benchmark::State &state)
+{
+    ml::DataSet data(42);
+    Rng rng(3);
+    for (int i = 0; i < 2000; ++i) {
+        std::vector<double> x(42);
+        for (double &v : x)
+            v = rng.uniform();
+        data.addRow(x, x[0] * 10.0 + x[1]);
+    }
+    ml::TreeParams tp;
+    tp.treeComplexity = static_cast<int>(state.range(0));
+    for (auto _ : state) {
+        ml::RegressionTree tree(tp);
+        tree.train(data);
+        benchmark::DoNotOptimize(tree.splitCount());
+    }
+}
+BENCHMARK(BM_TreeTrain2000x42)->Arg(1)->Arg(5);
+
+void
+BM_ModelPredict(benchmark::State &state)
+{
+    // The paper's point: a model query is ~ms vs minutes per real run.
+    const auto &w = workloads::Registry::instance().byAbbrev("TS");
+    core::Collector collector(simulator(), w);
+    const auto data = collector.collectAtSizes({20.0, 35.0, 50.0}, 60, 7);
+    ml::HmParams hm;
+    hm.firstOrder.maxTrees = 300;
+    const auto report = core::buildAndValidate(core::ModelKind::HM,
+                                               data.vectors, hm, true, 5);
+    const auto features = core::toFeatures(
+        conf::Configuration(conf::ConfigSpace::spark()),
+        w.bytesForSize(50.0), true);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(report.model->predict(features));
+}
+BENCHMARK(BM_ModelPredict);
+
+void
+BM_GaGeneration(benchmark::State &state)
+{
+    auto objective = [](const std::vector<double> &x) {
+        double s = 0.0;
+        for (double v : x)
+            s += (v - 0.5) * (v - 0.5);
+        return s;
+    };
+    for (auto _ : state) {
+        ga::GaParams p;
+        p.maxGenerations = 10;
+        p.convergencePatience = 0;
+        ga::GeneticAlgorithm ga(p);
+        benchmark::DoNotOptimize(ga.minimize(objective, 41).bestFitness);
+    }
+}
+BENCHMARK(BM_GaGeneration);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Analysis: which of the 41 parameters (+ dsize) actually drive
+ * performance, per program — permutation importance of the trained HM
+ * model. The paper asserts the 41 are "performance-critical"; this
+ * quantifies the claim on our substrate and surfaces the per-program
+ * differences Section 5.8 narrates (e.g. memory knobs for TeraSort,
+ * serializer/caching for the iterative programs).
+ */
+
+#include "bench/common.h"
+#include "dac/collector.h"
+#include "dac/modeler.h"
+#include "ml/importance.h"
+#include "sparksim/simulator.h"
+
+int
+main(int argc, char **argv)
+{
+    using namespace dac;
+    const auto scale = bench::parseScale(argc, argv);
+    bench::announce("Analysis: permutation importance of the tuning "
+                    "parameters (top 10 per program)", scale);
+
+    sparksim::SparkSimulator sim(cluster::ClusterSpec::paperTestbed());
+    const auto opt = bench::tunerOptions(scale);
+    const auto &space = conf::ConfigSpace::spark();
+
+    auto feature_name = [&](size_t idx) -> std::string {
+        if (idx < space.size())
+            return space.param(idx).name();
+        return "input dataset size (dsize)";
+    };
+
+    for (const char *abbrev : {"PR", "KM", "TS"}) {
+        const auto &w = workloads::Registry::instance().byAbbrev(abbrev);
+        core::Collector collector(sim, w);
+        const auto data = collector.collect(opt.collect);
+        const auto report = core::buildAndValidate(
+            core::ModelKind::HM, data.vectors, opt.hm, true, 5);
+
+        // Importance measured on a fresh holdout.
+        const auto all = core::toDataSet(data.vectors, true);
+        Rng rng(3);
+        const auto parts = all.split(0.2, rng);
+        const auto ranking = ml::permutationImportance(
+            *report.model, parts.second, 2, 17);
+
+        printBanner(std::cout, w.name());
+        TextTable table({"rank", "feature", "error increase (pp)"});
+        for (size_t r = 0; r < 10 && r < ranking.size(); ++r) {
+            table.addRow({std::to_string(r + 1),
+                          feature_name(ranking[r].featureIndex),
+                          formatDouble(ranking[r].errorIncreasePct, 1)});
+        }
+        table.print(std::cout);
+    }
+
+    std::cout << "\nexpectation: dsize ranks at or near the top for "
+              << "every program (the datasize-aware premise), with "
+              << "memory/parallelism knobs next.\n";
+    return 0;
+}

@@ -1,0 +1,41 @@
+/**
+ * @file
+ * Table 1: the experimented applications and their five input dataset
+ * sizes, plus the derived byte sizes and DAG shapes our substrate
+ * assigns them.
+ */
+
+#include "bench/common.h"
+
+int
+main()
+{
+    using namespace dac;
+
+    printBanner(std::cout, "Table 1: experimented applications");
+    TextTable table({"Application", "Abbr.", "input data sizes", "unit",
+                     "bytes (smallest)", "bytes (largest)", "stages"});
+    for (const auto &w : bench::allPrograms()) {
+        std::string sizes;
+        for (double s : w->paperSizes()) {
+            if (!sizes.empty())
+                sizes += ", ";
+            sizes += formatDouble(s, 1);
+        }
+        const auto dag = w->buildDag(w->paperSizes().front());
+        table.addRow({w->name(), w->abbrev(), sizes, w->sizeUnit(),
+                      formatBytes(w->bytesForSize(w->paperSizes().front())),
+                      formatBytes(w->bytesForSize(w->paperSizes().back())),
+                      std::to_string(dag.stages.size())});
+    }
+    table.print(std::cout);
+
+    std::cout << "\nTraining sizes (m=10 per program, Eq. 4 separated):\n";
+    for (const auto &w : bench::allPrograms()) {
+        std::cout << "  " << w->abbrev() << ":";
+        for (double s : w->trainingSizes(10))
+            std::cout << " " << formatDouble(s, 1);
+        std::cout << "\n";
+    }
+    return 0;
+}

@@ -1,0 +1,137 @@
+/**
+ * @file
+ * Example: tuning a program the library has never seen.
+ *
+ * DAC is program-agnostic: anything implementing the Workload
+ * interface can be collected, modeled and tuned. Here we define a
+ * "SessionAnalytics" job — a sessionization pipeline (parse logs,
+ * sessionize by user via a big shuffle, score sessions against a
+ * broadcast model, write aggregates) — and run the full pipeline on
+ * it, printing what DAC changed relative to the defaults.
+ */
+
+#include <iostream>
+
+#include "conf/diff.h"
+#include "dac/evaluation.h"
+#include "dac/tuner.h"
+#include "support/string_utils.h"
+#include "support/table.h"
+#include "support/units.h"
+
+namespace {
+
+using namespace dac;
+
+/**
+ * A clickstream sessionization job, sized in GB of raw logs.
+ */
+class SessionAnalytics : public workloads::Workload
+{
+  public:
+    std::string name() const override { return "SessionAnalytics"; }
+    std::string abbrev() const override { return "SA"; }
+    std::string sizeUnit() const override { return "GB"; }
+
+    std::vector<double>
+    paperSizes() const override
+    {
+        return {20, 40, 60, 80, 100};
+    }
+
+    double
+    bytesForSize(double gb) const override
+    {
+        return gb * GiB;
+    }
+
+    sparksim::JobDag
+    buildDag(double gb) const override
+    {
+        using namespace sparksim;
+        const double bytes = bytesForSize(gb);
+
+        JobDag job;
+        job.program = name();
+        job.inputBytes = bytes;
+        job.javaExpansion = 2.7; // log lines become object-heavy events
+
+        StageSpec parse;
+        parse.name = "parse-logs";
+        parse.group = "parse";
+        parse.kind = StageKind::Input;
+        parse.inputBytes = bytes;
+        parse.computePerByte = 1.5;      // regex-heavy parsing
+        parse.shuffleWriteRatio = 0.45;  // keyed events to sessionize
+        parse.mapSideAggregation = false;
+        parse.workingSetRatio = 0.6;
+        parse.gcChurn = 2.0;
+        job.stages.push_back(parse);
+
+        StageSpec sessionize;
+        sessionize.name = "sessionize";
+        sessionize.group = "sessionize";
+        sessionize.kind = StageKind::Shuffle;
+        sessionize.inputBytes = 0.45 * bytes;
+        sessionize.computePerByte = 1.0;
+        sessionize.workingSetRatio = 2.4; // per-user event groups
+        sessionize.gcChurn = 1.9;
+        sessionize.shuffleWriteRatio = 0.3;
+        job.stages.push_back(sessionize);
+
+        StageSpec score;
+        score.name = "score-sessions";
+        score.group = "score";
+        score.kind = StageKind::Shuffle;
+        score.inputBytes = 0.135 * bytes;
+        score.computePerByte = 2.2;       // model evaluation
+        score.broadcastBytes = 64.0 * MiB; // the scoring model
+        score.workingSetRatio = 1.2;
+        score.gcChurn = 1.4;
+        score.outputBytes = 0.05 * bytes;
+        score.outputToDriverBytes = 8.0 * MiB;
+        job.stages.push_back(score);
+        return job;
+    }
+};
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    using namespace dac;
+    const SessionAnalytics job;
+    const double size = argc > 1 ? std::atof(argv[1])
+                                 : job.paperSizes().back();
+
+    const auto &cluster = cluster::ClusterSpec::paperTestbed();
+    sparksim::SparkSimulator sim(cluster);
+
+    std::cout << "Tuning a user-defined workload: " << job.name()
+              << " at " << formatDouble(size, 0) << " "
+              << job.sizeUnit() << "\n";
+
+    core::DacTuner tuner(sim);
+    const auto tuned = tuner.configFor(job, size);
+
+    const conf::Configuration defaults(conf::ConfigSpace::spark());
+    const double t_def =
+        core::measureTime(sim, job, size, defaults, 3, 1);
+    const double t_dac = core::measureTime(sim, job, size, tuned, 3, 1);
+
+    printBanner(std::cout, "result");
+    TextTable table({"config", "time (s)", "speedup"});
+    table.addRow({"default", formatDouble(t_def, 1), "1.0"});
+    table.addRow({"DAC", formatDouble(t_dac, 1),
+                  formatDouble(t_def / t_dac, 2)});
+    table.print(std::cout);
+
+    printBanner(std::cout, "what DAC changed (largest moves first)");
+    std::cout << conf::formatDiff(
+        conf::diffConfigurations(defaults, tuned), 12);
+
+    std::cout << "\nmodel error for the new workload: "
+              << formatDouble(tuner.modelError("SA"), 1) << " %\n";
+    return 0;
+}

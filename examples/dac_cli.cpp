@@ -1,0 +1,172 @@
+/**
+ * @file
+ * Example: a command-line front end over the public API, mirroring
+ * the paper's R workflow (collect to CSV, train from CSV, search,
+ * emit a spark-dac.conf).
+ *
+ * Usage:
+ *   dac_cli collect <WL> <out.csv> [m] [k]     # training campaign
+ *   dac_cli validate <WL> <in.csv>             # model accuracy (HM)
+ *   dac_cli tune <WL> <size> [in.csv]          # print tuned config
+ *   dac_cli evaluate <WL> <size>               # compare all tuners
+ *
+ * <WL> is a Table 1 abbreviation: PR KM BA NW WC TS.
+ */
+
+#include <iostream>
+
+#include "dac/collector.h"
+#include "dac/evaluation.h"
+#include "dac/modeler.h"
+#include "dac/searcher.h"
+#include "dac/tuner.h"
+#include "support/string_utils.h"
+#include "support/table.h"
+#include "workloads/registry.h"
+
+namespace {
+
+using namespace dac;
+
+int
+usage()
+{
+    std::cerr << "usage:\n"
+              << "  dac_cli collect <WL> <out.csv> [m] [k]\n"
+              << "  dac_cli validate <WL> <in.csv>\n"
+              << "  dac_cli tune <WL> <size> [in.csv]\n"
+              << "  dac_cli evaluate <WL> <size>\n";
+    return 2;
+}
+
+int
+cmdCollect(const workloads::Workload &w, const std::string &path,
+           size_t m, size_t k)
+{
+    sparksim::SparkSimulator sim(cluster::ClusterSpec::paperTestbed());
+    core::Collector collector(sim, w);
+    core::CollectOptions opt;
+    opt.datasetCount = m;
+    opt.runsPerDataset = k;
+    const auto result = collector.collect(opt);
+    core::savePerfVectors(result.vectors, conf::ConfigSpace::spark(),
+                          path);
+    std::cout << "collected " << result.vectors.size()
+              << " performance vectors ("
+              << formatDouble(result.simulatedClusterSec / 3600.0, 1)
+              << " simulated cluster hours) -> " << path << "\n";
+    return 0;
+}
+
+int
+cmdValidate(const workloads::Workload &w, const std::string &path)
+{
+    const auto vectors =
+        core::loadPerfVectors(conf::ConfigSpace::spark(), path);
+    std::cout << "validating models on " << vectors.size()
+              << " vectors of " << w.name() << "\n";
+    ml::HmParams hm;
+    TextTable table({"model", "test error %", "train (s)"});
+    for (auto kind : core::allModelKinds()) {
+        const auto report =
+            core::buildAndValidate(kind, vectors, hm, true, 5);
+        table.addRow({core::modelKindName(kind),
+                      formatDouble(report.testErrorPct, 1),
+                      formatDouble(report.trainWallSec, 1)});
+    }
+    table.print(std::cout);
+    return 0;
+}
+
+int
+cmdTune(const workloads::Workload &w, double size,
+        const std::string &csv)
+{
+    sparksim::SparkSimulator sim(cluster::ClusterSpec::paperTestbed());
+    conf::Configuration best(conf::ConfigSpace::spark());
+    if (csv.empty()) {
+        core::DacTuner tuner(sim);
+        best = tuner.configFor(w, size);
+    } else {
+        // Reuse a persisted campaign: train + search only.
+        const auto vectors =
+            core::loadPerfVectors(conf::ConfigSpace::spark(), csv);
+        ml::HmParams hm;
+        const auto report = core::buildAndValidate(
+            core::ModelKind::HM, vectors, hm, true, 5);
+        core::Searcher searcher(*report.model,
+                                conf::ConfigSpace::spark(), true);
+        ga::GaParams params;
+        const auto result =
+            searcher.search(w.bytesForSize(size), params);
+        best = result.best;
+        std::cout << "# model error " << formatDouble(report.testErrorPct, 1)
+                  << "%, predicted time "
+                  << formatDouble(result.predictedTimeSec, 1) << " s\n";
+    }
+    std::cout << "# spark-dac.conf for " << w.name() << " at "
+              << formatDouble(size, 1) << " " << w.sizeUnit() << "\n"
+              << best.toString();
+    return 0;
+}
+
+int
+cmdEvaluate(const workloads::Workload &w, double size)
+{
+    const auto &cluster = cluster::ClusterSpec::paperTestbed();
+    sparksim::SparkSimulator sim(cluster);
+    core::DacTuner dac_tuner(sim);
+    core::RfhocTuner rfhoc_tuner(sim);
+    core::DefaultTuner default_tuner;
+    core::ExpertTuner expert_tuner(cluster);
+
+    TextTable table({"tuner", "time (s)", "speedup vs default"});
+    const double t_def = core::measureTime(
+        sim, w, size, default_tuner.configFor(w, size), 3, 1);
+    std::vector<std::pair<std::string, double>> rows{
+        {"default", t_def},
+        {"expert", core::measureTime(
+            sim, w, size, expert_tuner.configFor(w, size), 3, 1)},
+        {"RFHOC", core::measureTime(
+            sim, w, size, rfhoc_tuner.configFor(w, size), 3, 1)},
+        {"DAC", core::measureTime(
+            sim, w, size, dac_tuner.configFor(w, size), 3, 1)}};
+    for (const auto &[name, t] : rows) {
+        table.addRow({name, formatDouble(t, 1),
+                      formatDouble(t_def / t, 2) + "x"});
+    }
+    table.print(std::cout);
+    return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    using namespace dac;
+    if (argc < 3)
+        return usage();
+    const std::string cmd = argv[1];
+
+    try {
+        const auto &w =
+            workloads::Registry::instance().byAbbrev(argv[2]);
+        if (cmd == "collect" && argc >= 4) {
+            const size_t m = argc > 4 ? std::stoul(argv[4]) : 10;
+            const size_t k = argc > 5 ? std::stoul(argv[5]) : 80;
+            return cmdCollect(w, argv[3], m, k);
+        }
+        if (cmd == "validate" && argc >= 4)
+            return cmdValidate(w, argv[3]);
+        if (cmd == "tune" && argc >= 4)
+            return cmdTune(w, std::atof(argv[3]),
+                           argc > 4 ? argv[4] : "");
+        if (cmd == "evaluate" && argc >= 4)
+            return cmdEvaluate(w, std::atof(argv[3]));
+    } catch (const std::exception &e) {
+        std::cerr << e.what() << "\n";
+        return 1;
+    }
+    return usage();
+}

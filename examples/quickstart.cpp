@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Quickstart: auto-tune one Spark program with DAC.
+ *
+ * Collects training data on the simulator, builds the hierarchical
+ * performance model, GA-searches the 41-dimensional configuration
+ * space for the requested dataset size, and compares the resulting
+ * configuration against the Spark defaults and the expert rules.
+ *
+ * Usage: quickstart [workload-abbrev] [native-size]
+ *        e.g. quickstart TS 50
+ */
+
+#include <cstdlib>
+#include <iostream>
+
+#include "conf/diff.h"
+#include "dac/evaluation.h"
+#include "dac/tuner.h"
+#include "support/string_utils.h"
+#include "support/table.h"
+#include "workloads/registry.h"
+
+int
+main(int argc, char **argv)
+{
+    using namespace dac;
+
+    const std::string abbrev = argc > 1 ? argv[1] : "TS";
+    const auto &workload = workloads::Registry::instance().byAbbrev(abbrev);
+    const double size = argc > 2 ? std::atof(argv[2])
+                                 : workload.paperSizes().back();
+
+    const auto &cluster = cluster::ClusterSpec::paperTestbed();
+    sparksim::SparkSimulator sim(cluster);
+
+    std::cout << "Tuning " << workload.name() << " at " << size << " "
+              << workload.sizeUnit() << " on " << cluster.name() << "\n";
+
+    core::DacTuner dac_tuner(sim);
+    const auto tuned = dac_tuner.configFor(workload, size);
+
+    core::DefaultTuner default_tuner;
+    core::ExpertTuner expert_tuner(cluster);
+
+    printBanner(std::cout, "Execution time (mean of 3 runs)");
+    TextTable table({"config", "time (s)", "speedup vs default"});
+    const double t_default = core::measureTime(
+        sim, workload, size, default_tuner.configFor(workload, size), 3, 1);
+    const double t_expert = core::measureTime(
+        sim, workload, size, expert_tuner.configFor(workload, size), 3, 1);
+    const double t_dac = core::measureTime(sim, workload, size, tuned, 3, 1);
+    table.addRow({"default", formatDouble(t_default, 1), "1.0"});
+    table.addRow({"expert", formatDouble(t_expert, 1),
+                  formatDouble(t_default / t_expert, 2)});
+    table.addRow({"DAC", formatDouble(t_dac, 1),
+                  formatDouble(t_default / t_dac, 2)});
+    table.print(std::cout);
+
+    const auto &cost = dac_tuner.overhead(abbrev);
+    printBanner(std::cout, "Tuning cost");
+    std::cout << "collecting: " << formatDouble(cost.collectingHours, 1)
+              << " simulated cluster hours (" << cost.trainingRuns
+              << " runs)\nmodeling:   "
+              << formatDouble(cost.modelingSec, 1)
+              << " s\nsearching:  " << formatDouble(cost.searchingSec, 2)
+              << " s\nmodel error: "
+              << formatDouble(dac_tuner.modelError(abbrev), 1) << " %\n";
+
+    printBanner(std::cout,
+                "What DAC changed vs the defaults (largest moves)");
+    const conf::Configuration defaults(conf::ConfigSpace::spark());
+    std::cout << conf::formatDiff(
+        conf::diffConfigurations(defaults, tuned), 12);
+    return 0;
+}

@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Example: explore the Spark simulator substrate directly.
+ *
+ * Runs every paper workload at its largest and smallest evaluation
+ * sizes under the default, expert, and a handful of random
+ * configurations, printing execution time, GC time, spills and
+ * failures. Useful to understand the response surface DAC tunes over.
+ *
+ * Usage: sim_explore [num_random_configs]
+ */
+
+#include <cstdlib>
+#include <iostream>
+
+#include "conf/expert.h"
+#include "conf/generator.h"
+#include "sparksim/simulator.h"
+#include "support/string_utils.h"
+#include "support/table.h"
+#include "workloads/registry.h"
+
+int
+main(int argc, char **argv)
+{
+    using namespace dac;
+
+    const int num_random = argc > 1 ? std::atoi(argv[1]) : 3;
+
+    const auto &cluster = cluster::ClusterSpec::paperTestbed();
+    sparksim::SparkSimulator sim(cluster);
+    const auto &space = conf::ConfigSpace::spark();
+    const conf::Configuration defaults(space);
+    const auto expert = conf::expertSparkConfig(cluster);
+
+    printBanner(std::cout, "Simulator exploration (time in seconds)");
+    TextTable table({"program", "size", "config", "time", "gc", "spilled",
+                     "fails", "restarts", "slots"});
+
+    for (const auto &w : workloads::Registry::instance().all()) {
+        const auto sizes = w->paperSizes();
+        for (double size : {sizes.front(), sizes.back()}) {
+            const auto dag = w->buildDag(size);
+            auto report = [&](const std::string &label,
+                              const conf::Configuration &c, uint64_t seed) {
+                const auto r = sim.run(dag, c, seed);
+                table.addRow({w->abbrev(), formatDouble(size, 1), label,
+                              formatDouble(r.timeSec, 1),
+                              formatDouble(r.gcTimeSec, 1),
+                              formatBytes(r.spilledBytes),
+                              std::to_string(r.taskFailures),
+                              std::to_string(r.jobRestarts),
+                              std::to_string(r.totalSlots)});
+            };
+            report("default", defaults, 1);
+            report("expert", expert, 1);
+            conf::ConfigGenerator gen(space, Rng(42));
+            for (int i = 0; i < num_random; ++i)
+                report("random-" + std::to_string(i), gen.random(), 1);
+        }
+    }
+    table.print(std::cout);
+    return 0;
+}

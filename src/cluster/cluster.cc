@@ -1,0 +1,22 @@
+#include "cluster/cluster.h"
+
+#include "support/logging.h"
+
+namespace dac::cluster {
+
+ClusterSpec::ClusterSpec(std::string name, int worker_count, NodeSpec node)
+    : _name(std::move(name)), _workers(worker_count), _node(node)
+{
+    DAC_ASSERT(_workers > 0, "cluster needs at least one worker");
+    DAC_ASSERT(_node.cores > 0, "node needs at least one core");
+    DAC_ASSERT(_node.memoryBytes > 0, "node needs memory");
+}
+
+const ClusterSpec &
+ClusterSpec::paperTestbed()
+{
+    static const ClusterSpec spec("paper-testbed", 5, NodeSpec{});
+    return spec;
+}
+
+} // namespace dac::cluster

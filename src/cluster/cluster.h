@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Hardware model of the cluster the tuner targets. The default mirrors
+ * the paper's testbed: six DELL servers (one master, five slaves), each
+ * with 12 Xeon E5-2609 cores at 1.9 GHz and 64 GB of memory.
+ */
+
+#ifndef DAC_CLUSTER_CLUSTER_H
+#define DAC_CLUSTER_CLUSTER_H
+
+#include <cstddef>
+#include <string>
+
+namespace dac::cluster {
+
+/**
+ * Capabilities of one worker node.
+ *
+ * Throughputs are calibrated to commodity 2012-era servers with SATA
+ * disks and gigabit Ethernet, matching the paper's testbed generation.
+ */
+struct NodeSpec
+{
+    /** Physical cores available to executors. */
+    int cores = 12;
+    /** Physical memory in bytes. */
+    double memoryBytes = 64.0 * 1024 * 1024 * 1024;
+    /** Per-core processing throughput for deserialized data, bytes/s. */
+    double cpuBytesPerSec = 180.0e6;
+    /** Sequential disk bandwidth per node, bytes/s (shared across
+     *  that node's concurrently running tasks). */
+    double diskBytesPerSec = 140.0e6;
+    /** Network bandwidth, bytes/s (full-duplex NIC). */
+    double netBytesPerSec = 110.0e6;
+};
+
+/**
+ * The cluster: one master (driver) node plus identical worker nodes.
+ */
+class ClusterSpec
+{
+  public:
+    ClusterSpec(std::string name, int worker_count, NodeSpec node);
+
+    /** The paper's 6-server testbed (5 workers + 1 master). */
+    static const ClusterSpec &paperTestbed();
+
+    const std::string &name() const { return _name; }
+    int workerCount() const { return _workers; }
+    const NodeSpec &node() const { return _node; }
+
+    /** Total worker cores. */
+    int totalCores() const { return _workers * _node.cores; }
+    /** Total worker memory in bytes. */
+    double totalMemoryBytes() const { return _workers * _node.memoryBytes; }
+
+  private:
+    std::string _name;
+    int _workers;
+    NodeSpec _node;
+};
+
+} // namespace dac::cluster
+
+#endif // DAC_CLUSTER_CLUSTER_H

@@ -1,0 +1,119 @@
+#include "conf/config.h"
+
+#include <cmath>
+#include <sstream>
+
+#include "support/logging.h"
+
+namespace dac::conf {
+
+Configuration::Configuration(const ConfigSpace &space)
+    : _space(&space)
+{
+    _values.reserve(space.size());
+    for (const auto &p : space.params())
+        _values.push_back(p.defaultValue());
+}
+
+Configuration::Configuration(const ConfigSpace &space,
+                             std::vector<double> values)
+    : _space(&space), _values(std::move(values))
+{
+    DAC_ASSERT(_values.size() == space.size(),
+               "configuration width does not match space");
+}
+
+double
+Configuration::get(size_t i) const
+{
+    DAC_ASSERT(i < _values.size(), "config index out of range");
+    return _values[i];
+}
+
+double
+Configuration::get(const std::string &name) const
+{
+    return _values[_space->indexOf(name)];
+}
+
+int64_t
+Configuration::getInt(size_t i) const
+{
+    return static_cast<int64_t>(std::llround(get(i)));
+}
+
+bool
+Configuration::getBool(size_t i) const
+{
+    return get(i) >= 0.5;
+}
+
+size_t
+Configuration::getCategory(size_t i) const
+{
+    const double v = _space->param(i).snap(get(i));
+    return static_cast<size_t>(v);
+}
+
+void
+Configuration::set(size_t i, double value)
+{
+    DAC_ASSERT(i < _values.size(), "config index out of range");
+    _values[i] = _space->param(i).snap(value);
+}
+
+void
+Configuration::set(const std::string &name, double value)
+{
+    set(_space->indexOf(name), value);
+}
+
+void
+Configuration::setRaw(size_t i, double value)
+{
+    DAC_ASSERT(i < _values.size(), "config index out of range");
+    _values[i] = value;
+}
+
+void
+Configuration::snapAll()
+{
+    for (size_t i = 0; i < _values.size(); ++i)
+        _values[i] = _space->param(i).snap(_values[i]);
+}
+
+std::vector<double>
+Configuration::toNormalized() const
+{
+    std::vector<double> unit;
+    unit.reserve(_values.size());
+    for (size_t i = 0; i < _values.size(); ++i)
+        unit.push_back(_space->param(i).normalize(_values[i]));
+    return unit;
+}
+
+Configuration
+Configuration::fromNormalized(const ConfigSpace &space,
+                              const std::vector<double> &unit)
+{
+    DAC_ASSERT(unit.size() == space.size(),
+               "normalized vector width does not match space");
+    std::vector<double> values;
+    values.reserve(unit.size());
+    for (size_t i = 0; i < unit.size(); ++i)
+        values.push_back(space.param(i).denormalize(unit[i]));
+    return Configuration(space, std::move(values));
+}
+
+std::string
+Configuration::toString() const
+{
+    std::ostringstream oss;
+    for (size_t i = 0; i < _values.size(); ++i) {
+        const auto &p = _space->param(i);
+        oss << p.name() << " = " << p.valueToString(_values[i]) << '\n';
+    }
+    return oss.str();
+}
+
+} // namespace dac::conf

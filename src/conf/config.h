@@ -1,0 +1,78 @@
+/**
+ * @file
+ * A concrete assignment of values to every parameter of a ConfigSpace
+ * (one "configuration vector" conf_i = {c_i1 ... c_in}, Eq. 3).
+ */
+
+#ifndef DAC_CONF_CONFIG_H
+#define DAC_CONF_CONFIG_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "conf/space.h"
+
+namespace dac::conf {
+
+/**
+ * A configuration: one value per parameter of its space.
+ *
+ * Holds a pointer to its (static, immutable) ConfigSpace; copying is
+ * cheap. Values are stored raw; use set()/snapAll() to keep them legal.
+ */
+class Configuration
+{
+  public:
+    /** All-defaults configuration for a space. */
+    explicit Configuration(const ConfigSpace &space);
+
+    /** Configuration from explicit raw values (must match space size). */
+    Configuration(const ConfigSpace &space, std::vector<double> values);
+
+    const ConfigSpace &space() const { return *_space; }
+    size_t size() const { return _values.size(); }
+
+    /** Raw value at an index. */
+    double get(size_t i) const;
+    /** Raw value by parameter name. */
+    double get(const std::string &name) const;
+
+    /** Value as integer (rounded). */
+    int64_t getInt(size_t i) const;
+    /** Value as boolean. */
+    bool getBool(size_t i) const;
+    /** Value as a category index. */
+    size_t getCategory(size_t i) const;
+
+    /** Set a value; it is snapped to the parameter's legal range. */
+    void set(size_t i, double value);
+    /** Set by name. */
+    void set(const std::string &name, double value);
+    /** Set a raw value without snapping (for out-of-range defaults). */
+    void setRaw(size_t i, double value);
+
+    /** Snap every value into its legal range. */
+    void snapAll();
+
+    /** All raw values, in space order. */
+    const std::vector<double> &values() const { return _values; }
+
+    /** Encode as a [0,1]^n vector (GA genome / ML features). */
+    std::vector<double> toNormalized() const;
+
+    /** Decode a [0,1]^n vector into a legal configuration. */
+    static Configuration fromNormalized(const ConfigSpace &space,
+                                        const std::vector<double> &unit);
+
+    /** Multi-line "name = value" rendering (spark-dac.conf style). */
+    std::string toString() const;
+
+  private:
+    const ConfigSpace *_space;
+    std::vector<double> _values;
+};
+
+} // namespace dac::conf
+
+#endif // DAC_CONF_CONFIG_H

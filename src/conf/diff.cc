@@ -1,0 +1,61 @@
+#include "conf/diff.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "support/logging.h"
+
+namespace dac::conf {
+
+std::vector<ConfigDelta>
+diffConfigurations(const Configuration &base, const Configuration &other)
+{
+    DAC_ASSERT(&base.space() == &other.space(),
+               "cannot diff configurations from different spaces");
+
+    std::vector<ConfigDelta> deltas;
+    for (size_t i = 0; i < base.size(); ++i) {
+        const auto &p = base.space().param(i);
+        const double a = p.snap(base.get(i));
+        const double b = p.snap(other.get(i));
+        if (a == b)
+            continue;
+        ConfigDelta d;
+        d.index = i;
+        d.name = p.name();
+        d.baseValue = p.valueToString(a);
+        d.otherValue = p.valueToString(b);
+        d.normalizedShift = std::abs(p.normalize(b) - p.normalize(a));
+        deltas.push_back(std::move(d));
+    }
+    std::sort(deltas.begin(), deltas.end(),
+              [](const ConfigDelta &x, const ConfigDelta &y) {
+                  return x.normalizedShift > y.normalizedShift;
+              });
+    return deltas;
+}
+
+std::string
+formatDiff(const std::vector<ConfigDelta> &deltas, size_t max_rows)
+{
+    size_t width = 0;
+    for (const auto &d : deltas)
+        width = std::max(width, d.name.size());
+
+    std::ostringstream oss;
+    const size_t rows = max_rows == 0
+        ? deltas.size() : std::min(max_rows, deltas.size());
+    for (size_t i = 0; i < rows; ++i) {
+        const auto &d = deltas[i];
+        oss << d.name;
+        for (size_t p = d.name.size(); p < width; ++p)
+            oss << ' ';
+        oss << " : " << d.baseValue << " -> " << d.otherValue << '\n';
+    }
+    if (rows < deltas.size())
+        oss << "(" << deltas.size() - rows << " smaller changes)\n";
+    return oss.str();
+}
+
+} // namespace dac::conf

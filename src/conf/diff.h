@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Human-readable comparison of two configurations: what a tuner
+ * changed relative to the defaults (or any baseline), ignoring
+ * parameters whose values coincide.
+ */
+
+#ifndef DAC_CONF_DIFF_H
+#define DAC_CONF_DIFF_H
+
+#include <string>
+#include <vector>
+
+#include "conf/config.h"
+
+namespace dac::conf {
+
+/** One differing parameter. */
+struct ConfigDelta
+{
+    size_t index = 0;
+    std::string name;
+    std::string baseValue;
+    std::string otherValue;
+    /** |normalized difference| in [0,1]; 1 = opposite range ends. */
+    double normalizedShift = 0.0;
+};
+
+/**
+ * Parameters whose values differ between `base` and `other`, sorted
+ * by decreasing normalized shift (the biggest moves first).
+ *
+ * Both configurations must come from the same space.
+ */
+std::vector<ConfigDelta> diffConfigurations(const Configuration &base,
+                                            const Configuration &other);
+
+/** Render a diff as an aligned text block ("name: base -> other"). */
+std::string formatDiff(const std::vector<ConfigDelta> &deltas,
+                       size_t max_rows = 0);
+
+} // namespace dac::conf
+
+#endif // DAC_CONF_DIFF_H

@@ -1,0 +1,60 @@
+#include "conf/expert.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "support/units.h"
+
+namespace dac::conf {
+
+Configuration
+expertSparkConfig(const cluster::ClusterSpec &cluster)
+{
+    const ConfigSpace &space = ConfigSpace::spark();
+    Configuration c(space);
+
+    const auto &node = cluster.node();
+
+    // "Five cores per executor gives the best HDFS throughput."
+    const int exec_cores = std::min(5, node.cores);
+    c.set(ExecutorCores, exec_cores);
+
+    // Executors per node implied by the core split.
+    const int execs_per_node = std::max(1, node.cores / exec_cores);
+
+    // Split node memory minus 1 GB OS headroom across executors; keep
+    // ~10% for the JVM overhead the guide warns about.
+    const double usable = node.memoryBytes - 1.0 * GiB;
+    const double per_exec_mb =
+        bytesToMb(usable / execs_per_node) * 0.9;
+    c.set(ExecutorMemory, per_exec_mb); // snapped to the 12288 MB cap
+
+    // 2-3 tasks per core across the cluster (we use 2.5, rounded).
+    const double parallelism = 2.5 * cluster.totalCores();
+    c.set(DefaultParallelism, parallelism); // snapped to the range cap
+
+    // Kryo is "the first thing you should tune".
+    c.set(SerializerClass, 1); // kryo
+    c.set(KryoReferenceTracking, 1);
+    c.set(KryoserializerBufferMax, 64);
+
+    // Driver sizing for collect-heavy ML jobs.
+    c.set(DriverMemory, 4096);
+    c.set(DriverCores, 2);
+
+    // Guide-recommended shuffle settings.
+    c.set(ShuffleCompress, 1);
+    c.set(ShuffleFileBuffer, 64);
+    c.set(ReducerMaxSizeInFlight, 96);
+    c.set(ShuffleConsolidateFiles, 1);
+
+    // Memory manager left at recommended defaults (the guide only says
+    // to lower spark.memory.fraction "if old-gen is close to full",
+    // without saying how much -- the qualitative gap the paper notes).
+    c.set(MemoryFraction, 0.75);
+    c.set(MemoryStorageFraction, 0.5);
+
+    return c;
+}
+
+} // namespace dac::conf

@@ -1,0 +1,33 @@
+/**
+ * @file
+ * Expert rule-of-thumb Spark tuning, encoding the Spark team's and
+ * Cloudera's public tuning guides (the paper's "expert approach",
+ * Section 5.6). The rules are program-agnostic and datasize-agnostic,
+ * which is exactly the limitation the paper demonstrates.
+ */
+
+#ifndef DAC_CONF_EXPERT_H
+#define DAC_CONF_EXPERT_H
+
+#include "cluster/cluster.h"
+#include "conf/config.h"
+
+namespace dac::conf {
+
+/**
+ * Produce the expert-tuned configuration for a cluster.
+ *
+ * Rules applied (from the Spark/Cloudera tuning guides):
+ *  - 5 cores per executor ("HDFS client throughput" rule);
+ *  - divide node memory across executors, keeping ~10% headroom and
+ *    1 GB for the OS, capped at the tuning range;
+ *  - 2-3 tasks per core for default parallelism (capped at range);
+ *  - Kryo serialization with reference tracking;
+ *  - generous driver memory, 2 driver cores;
+ *  - leave the memory fractions at their recommended defaults.
+ */
+Configuration expertSparkConfig(const cluster::ClusterSpec &cluster);
+
+} // namespace dac::conf
+
+#endif // DAC_CONF_EXPERT_H

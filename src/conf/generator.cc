@@ -1,0 +1,58 @@
+#include "conf/generator.h"
+
+#include "support/logging.h"
+
+namespace dac::conf {
+
+ConfigGenerator::ConfigGenerator(const ConfigSpace &space, Rng rng)
+    : space(&space), rng(rng)
+{
+}
+
+Configuration
+ConfigGenerator::random()
+{
+    std::vector<double> unit(space->size());
+    for (double &u : unit)
+        u = rng.uniform();
+    return Configuration::fromNormalized(*space, unit);
+}
+
+std::vector<Configuration>
+ConfigGenerator::batch(size_t count)
+{
+    std::vector<Configuration> configs;
+    configs.reserve(count);
+    for (size_t i = 0; i < count; ++i)
+        configs.push_back(random());
+    return configs;
+}
+
+std::vector<Configuration>
+ConfigGenerator::latinHypercube(size_t count)
+{
+    DAC_ASSERT(count > 0, "latinHypercube needs count > 0");
+    const size_t dims = space->size();
+    // One permuted stratum index per (dimension, sample).
+    std::vector<std::vector<size_t>> strata(dims);
+    for (size_t d = 0; d < dims; ++d) {
+        strata[d].resize(count);
+        for (size_t i = 0; i < count; ++i)
+            strata[d][i] = i;
+        rng.shuffle(strata[d]);
+    }
+
+    std::vector<Configuration> configs;
+    configs.reserve(count);
+    for (size_t i = 0; i < count; ++i) {
+        std::vector<double> unit(dims);
+        for (size_t d = 0; d < dims; ++d) {
+            const double stratum = static_cast<double>(strata[d][i]);
+            unit[d] = (stratum + rng.uniform()) / static_cast<double>(count);
+        }
+        configs.push_back(Configuration::fromNormalized(*space, unit));
+    }
+    return configs;
+}
+
+} // namespace dac::conf

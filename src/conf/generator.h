@@ -1,0 +1,46 @@
+/**
+ * @file
+ * The paper's configuration generator (CG): draws random configurations
+ * uniformly within each parameter's value range (Section 3.1, step 1).
+ */
+
+#ifndef DAC_CONF_GENERATOR_H
+#define DAC_CONF_GENERATOR_H
+
+#include <vector>
+
+#include "conf/config.h"
+#include "support/random.h"
+
+namespace dac::conf {
+
+/**
+ * Generates random configurations from a ConfigSpace.
+ */
+class ConfigGenerator
+{
+  public:
+    /** Bind the generator to a space and a deterministic RNG. */
+    ConfigGenerator(const ConfigSpace &space, Rng rng);
+
+    /** One uniformly random configuration. */
+    Configuration random();
+
+    /** A batch of independent random configurations. */
+    std::vector<Configuration> batch(size_t count);
+
+    /**
+     * A Latin hypercube sample: each parameter's range is split into
+     * `count` strata and each stratum used exactly once, giving better
+     * coverage than independent draws for small training sets.
+     */
+    std::vector<Configuration> latinHypercube(size_t count);
+
+  private:
+    const ConfigSpace *space;
+    Rng rng;
+};
+
+} // namespace dac::conf
+
+#endif // DAC_CONF_GENERATOR_H

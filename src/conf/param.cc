@@ -1,0 +1,118 @@
+#include "conf/param.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "support/logging.h"
+#include "support/string_utils.h"
+
+namespace dac::conf {
+
+ParamSpec
+ParamSpec::makeInt(std::string name, std::string description, double lo,
+                   double hi, double default_value)
+{
+    DAC_ASSERT(lo <= hi, "int param with inverted range: " + name);
+    ParamSpec p;
+    p._name = std::move(name);
+    p._description = std::move(description);
+    p._type = ParamType::Integer;
+    p._lo = lo;
+    p._hi = hi;
+    p._default = default_value;
+    return p;
+}
+
+ParamSpec
+ParamSpec::makeReal(std::string name, std::string description, double lo,
+                    double hi, double default_value)
+{
+    DAC_ASSERT(lo <= hi, "real param with inverted range: " + name);
+    ParamSpec p;
+    p._name = std::move(name);
+    p._description = std::move(description);
+    p._type = ParamType::Real;
+    p._lo = lo;
+    p._hi = hi;
+    p._default = default_value;
+    return p;
+}
+
+ParamSpec
+ParamSpec::makeBool(std::string name, std::string description,
+                    bool default_value)
+{
+    ParamSpec p;
+    p._name = std::move(name);
+    p._description = std::move(description);
+    p._type = ParamType::Boolean;
+    p._lo = 0.0;
+    p._hi = 1.0;
+    p._default = default_value ? 1.0 : 0.0;
+    return p;
+}
+
+ParamSpec
+ParamSpec::makeCategorical(std::string name, std::string description,
+                           std::vector<std::string> categories,
+                           size_t default_index)
+{
+    DAC_ASSERT(!categories.empty(), "categorical param without categories");
+    DAC_ASSERT(default_index < categories.size(),
+               "categorical default out of range: " + name);
+    ParamSpec p;
+    p._name = std::move(name);
+    p._description = std::move(description);
+    p._type = ParamType::Categorical;
+    p._lo = 0.0;
+    p._hi = static_cast<double>(categories.size() - 1);
+    p._default = static_cast<double>(default_index);
+    p._categories = std::move(categories);
+    return p;
+}
+
+double
+ParamSpec::snap(double value) const
+{
+    value = std::clamp(value, _lo, _hi);
+    if (_type != ParamType::Real)
+        value = std::round(value);
+    return value;
+}
+
+double
+ParamSpec::normalize(double value) const
+{
+    if (_hi == _lo)
+        return 0.0;
+    return (std::clamp(value, _lo, _hi) - _lo) / (_hi - _lo);
+}
+
+double
+ParamSpec::denormalize(double unit) const
+{
+    unit = std::clamp(unit, 0.0, 1.0);
+    return snap(_lo + unit * (_hi - _lo));
+}
+
+std::string
+ParamSpec::valueToString(double value) const
+{
+    switch (_type) {
+      case ParamType::Boolean:
+        return value != 0.0 ? "true" : "false";
+      case ParamType::Categorical: {
+        const size_t idx = static_cast<size_t>(snap(value));
+        return _categories[idx];
+      }
+      case ParamType::Integer:
+        // Render without clamping: Table 2 has defaults outside the
+        // tuning range (e.g. spark.memory.offHeap.size = 0).
+        return std::to_string(static_cast<long long>(std::llround(value)));
+      case ParamType::Real:
+        return formatDouble(value, 4);
+    }
+    return "?";
+}
+
+} // namespace dac::conf

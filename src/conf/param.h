@@ -1,0 +1,85 @@
+/**
+ * @file
+ * A single tunable configuration parameter (one row of the paper's
+ * Table 2): name, type, value range, and default.
+ *
+ * All parameter values are stored as doubles: integers are rounded,
+ * booleans are 0/1, and categorical values are category indices. This
+ * uniform representation is what the ML models and the GA operate on.
+ */
+
+#ifndef DAC_CONF_PARAM_H
+#define DAC_CONF_PARAM_H
+
+#include <string>
+#include <vector>
+
+namespace dac::conf {
+
+/** Kind of value a parameter takes. */
+enum class ParamType { Integer, Real, Boolean, Categorical };
+
+/**
+ * Specification of one configuration parameter.
+ */
+class ParamSpec
+{
+  public:
+    /** Integer parameter in [lo, hi]. */
+    static ParamSpec makeInt(std::string name, std::string description,
+                             double lo, double hi, double default_value);
+
+    /** Real parameter in [lo, hi]. */
+    static ParamSpec makeReal(std::string name, std::string description,
+                              double lo, double hi, double default_value);
+
+    /** Boolean parameter. */
+    static ParamSpec makeBool(std::string name, std::string description,
+                              bool default_value);
+
+    /** Categorical parameter with named categories. */
+    static ParamSpec makeCategorical(std::string name,
+                                     std::string description,
+                                     std::vector<std::string> categories,
+                                     size_t default_index);
+
+    const std::string &name() const { return _name; }
+    const std::string &description() const { return _description; }
+    ParamType type() const { return _type; }
+    /** Lower bound (0 for bool/categorical). */
+    double lo() const { return _lo; }
+    /** Upper bound (1 for bool, #categories-1 for categorical). */
+    double hi() const { return _hi; }
+    double defaultValue() const { return _default; }
+    /** Category labels (empty unless categorical). */
+    const std::vector<std::string> &categories() const { return _categories; }
+
+    /**
+     * Clamp (and for discrete types round) a raw value to a legal one.
+     */
+    double snap(double value) const;
+
+    /** Map a legal value to [0, 1]. */
+    double normalize(double value) const;
+
+    /** Map a [0, 1] coordinate to a legal value (inverse of normalize). */
+    double denormalize(double unit) const;
+
+    /** Render a value as text (category name, true/false, or number). */
+    std::string valueToString(double value) const;
+
+  private:
+    ParamSpec() = default;
+
+    std::string _name;
+    std::string _description;
+    ParamType _type = ParamType::Real;
+    double _lo = 0.0;
+    double _hi = 1.0;
+    double _default = 0.0;
+    std::vector<std::string> _categories;
+};
+
+} // namespace dac::conf
+
+#endif // DAC_CONF_PARAM_H

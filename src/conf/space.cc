@@ -1,0 +1,222 @@
+#include "conf/space.h"
+
+#include "support/logging.h"
+
+namespace dac::conf {
+
+ConfigSpace::ConfigSpace(std::string name, std::vector<ParamSpec> params)
+    : _name(std::move(name)), _params(std::move(params))
+{
+    DAC_ASSERT(!_params.empty(), "empty config space");
+    for (size_t i = 0; i < _params.size(); ++i) {
+        const bool inserted = byName.emplace(_params[i].name(), i).second;
+        DAC_ASSERT(inserted, "duplicate parameter: " + _params[i].name());
+    }
+}
+
+const ParamSpec &
+ConfigSpace::param(size_t i) const
+{
+    DAC_ASSERT(i < _params.size(), "parameter index out of range");
+    return _params[i];
+}
+
+const ParamSpec &
+ConfigSpace::param(const std::string &name) const
+{
+    return _params[indexOf(name)];
+}
+
+size_t
+ConfigSpace::indexOf(const std::string &name) const
+{
+    auto it = byName.find(name);
+    if (it == byName.end())
+        fatalError("unknown parameter: " + name);
+    return it->second;
+}
+
+namespace {
+
+/**
+ * The 41 Spark parameters of Table 2, in table order. Ranges and
+ * defaults are copied from the paper verbatim; a few defaults (e.g.
+ * storage.memoryMapThreshold = 2 MB) fall outside the tuning range,
+ * exactly as in the paper.
+ */
+std::vector<ParamSpec>
+sparkParams()
+{
+    using PS = ParamSpec;
+    std::vector<ParamSpec> p;
+    p.reserve(kSparkParamCount);
+    p.push_back(PS::makeInt("spark.reducer.maxSizeInFlight",
+        "Maximum size of map outputs to fetch simultaneously from each "
+        "reduce task, in MB", 2, 128, 48));
+    p.push_back(PS::makeInt("spark.shuffle.file.buffer",
+        "Size of the in-memory buffer for each shuffle file output "
+        "stream, in KB", 2, 128, 32));
+    p.push_back(PS::makeInt("spark.shuffle.sort.bypassMergeThreshold",
+        "Avoid merge-sorting data if there is no map-side aggregation",
+        100, 1000, 200));
+    p.push_back(PS::makeInt("spark.speculation.interval",
+        "How often Spark checks for tasks to speculate, in ms",
+        10, 1000, 100));
+    p.push_back(PS::makeReal("spark.speculation.multiplier",
+        "How many times slower a task is than the median to be "
+        "considered for speculation", 1, 5, 1.5));
+    p.push_back(PS::makeReal("spark.speculation.quantile",
+        "Fraction of tasks which must be complete before speculation "
+        "is enabled", 0, 1, 0.75));
+    p.push_back(PS::makeInt("spark.broadcast.blockSize",
+        "Size of each piece of a block for TorrentBroadcastFactory, "
+        "in MB", 2, 128, 4));
+    p.push_back(PS::makeCategorical("spark.io.compression.codec",
+        "Codec used to compress internal data such as RDD partitions",
+        {"snappy", "lzf", "lz4"}, 0));
+    p.push_back(PS::makeInt("spark.io.compression.lz4.blockSize",
+        "Block size used in LZ4 compression, in KB", 2, 128, 32));
+    p.push_back(PS::makeInt("spark.io.compression.snappy.blockSize",
+        "Block size used in snappy compression, in KB", 2, 128, 32));
+    p.push_back(PS::makeBool("spark.kryo.referenceTracking",
+        "Whether to track references to the same object when "
+        "serializing with Kryo", true));
+    p.push_back(PS::makeInt("spark.kryoserializer.buffer.max",
+        "Maximum allowable size of Kryo serialization buffer, in MB",
+        8, 128, 64));
+    p.push_back(PS::makeInt("spark.kryoserializer.buffer",
+        "Initial size of Kryo's serialization buffer, in KB",
+        2, 128, 64));
+    p.push_back(PS::makeInt("spark.driver.cores",
+        "Number of cores to use for the driver process", 1, 12, 1));
+    p.push_back(PS::makeInt("spark.executor.cores",
+        "Number of cores to use on each executor", 1, 12, 12));
+    p.push_back(PS::makeInt("spark.driver.memory",
+        "Amount of memory to use for the driver process, in MB",
+        1024, 12288, 1024));
+    p.push_back(PS::makeInt("spark.executor.memory",
+        "Amount of memory to use per executor process, in MB",
+        1024, 12288, 1024));
+    p.push_back(PS::makeInt("spark.storage.memoryMapThreshold",
+        "Size of a block above which Spark memory-maps when reading "
+        "from disk, in MB", 50, 500, 2));
+    p.push_back(PS::makeInt("spark.akka.failure.detector.threshold",
+        "Set to a larger value to disable the failure detector in Akka",
+        100, 500, 300));
+    p.push_back(PS::makeInt("spark.akka.heartbeat.pauses",
+        "Heart beat pause for Akka, in s", 1000, 10000, 6000));
+    p.push_back(PS::makeInt("spark.akka.heartbeat.interval",
+        "Heart beat interval for Akka, in s", 200, 5000, 1000));
+    p.push_back(PS::makeInt("spark.akka.threads",
+        "Number of actor threads to use for communication", 1, 8, 4));
+    p.push_back(PS::makeInt("spark.network.timeout",
+        "Default timeout for all network interactions, in s",
+        20, 500, 120));
+    p.push_back(PS::makeInt("spark.locality.wait",
+        "How long to wait to launch a data-local task before giving "
+        "up, in s", 1, 10, 3));
+    p.push_back(PS::makeInt("spark.scheduler.revive.interval",
+        "Interval for the scheduler to revive worker resource offers, "
+        "in s", 2, 50, 1));
+    p.push_back(PS::makeInt("spark.task.maxFailures",
+        "Number of task failures before giving up on the job", 1, 8, 4));
+    p.push_back(PS::makeBool("spark.shuffle.compress",
+        "Whether to compress map output files", true));
+    p.push_back(PS::makeBool("spark.shuffle.consolidateFiles",
+        "Consolidate intermediate files created during a shuffle",
+        false));
+    p.push_back(PS::makeReal("spark.memory.fraction",
+        "Fraction of (heap space - 300 MB) used for execution and "
+        "storage", 0.5, 1, 0.75));
+    p.push_back(PS::makeBool("spark.shuffle.spill",
+        "Enables/disables spilling during shuffles", true));
+    p.push_back(PS::makeBool("spark.shuffle.spill.compress",
+        "Whether to compress data spilled during shuffles", true));
+    p.push_back(PS::makeBool("spark.speculation",
+        "Performs speculative execution of tasks", false));
+    p.push_back(PS::makeBool("spark.broadcast.compress",
+        "Whether to compress broadcast variables before sending them",
+        true));
+    p.push_back(PS::makeBool("spark.rdd.compress",
+        "Whether to compress serialized RDD partitions", false));
+    p.push_back(PS::makeCategorical("spark.serializer",
+        "Class used for serializing objects sent over the network or "
+        "cached in serialized form", {"java", "kryo"}, 0));
+    p.push_back(PS::makeReal("spark.memory.storageFraction",
+        "Amount of storage memory immune to eviction, as a fraction of "
+        "the region set aside by spark.memory.fraction", 0.5, 1, 0.5));
+    p.push_back(PS::makeBool("spark.localExecution.enabled",
+        "Enables Spark to run certain jobs on the driver without "
+        "sending tasks to the cluster", false));
+    p.push_back(PS::makeInt("spark.default.parallelism",
+        "Largest number of partitions in a parent RDD for distributed "
+        "shuffle operations", 8, 50, 8));
+    p.push_back(PS::makeBool("spark.memory.offHeap.enabled",
+        "Attempt to use off-heap memory for certain operations",
+        false));
+    p.push_back(PS::makeCategorical("spark.shuffle.manager",
+        "Implementation to use for shuffling data", {"sort", "hash"},
+        0));
+    p.push_back(PS::makeInt("spark.memory.offHeap.size",
+        "Absolute amount of memory usable for off-heap allocation, "
+        "in MB", 10, 1000, 0));
+    return p;
+}
+
+/** The simplified Hadoop/ODC space used by the Figure 2 experiment. */
+std::vector<ParamSpec>
+hadoopParams()
+{
+    using PS = ParamSpec;
+    std::vector<ParamSpec> p;
+    p.reserve(kHadoopParamCount);
+    p.push_back(PS::makeInt("mapreduce.task.io.sort.mb",
+        "Map-side sort buffer size, in MB", 50, 800, 100));
+    p.push_back(PS::makeInt("mapreduce.task.io.sort.factor",
+        "Number of streams merged at once while sorting files",
+        10, 100, 10));
+    p.push_back(PS::makeReal("mapreduce.map.sort.spill.percent",
+        "Soft limit in the sort buffer that triggers a spill",
+        0.5, 0.9, 0.8));
+    p.push_back(PS::makeInt("mapreduce.job.reduces",
+        "Number of reduce tasks", 8, 60, 8));
+    p.push_back(PS::makeInt("mapreduce.map.memory.mb",
+        "Memory for each map task container, in MB", 512, 4096, 1024));
+    p.push_back(PS::makeInt("mapreduce.reduce.memory.mb",
+        "Memory for each reduce task container, in MB",
+        1024, 8192, 1024));
+    p.push_back(PS::makeInt("mapreduce.reduce.shuffle.parallelcopies",
+        "Parallel transfers run by reduce during the copy phase",
+        5, 50, 5));
+    p.push_back(PS::makeBool("mapreduce.map.output.compress",
+        "Whether map outputs are compressed before transfer", false));
+    p.push_back(PS::makeInt("mapreduce.job.jvm.numtasks",
+        "Tasks run per JVM before it is replaced (JVM reuse)",
+        1, 20, 1));
+    p.push_back(PS::makeReal("mapreduce.reduce.slowstart.completedmaps",
+        "Fraction of maps that must finish before reduces start",
+        0.05, 0.95, 0.05));
+    return p;
+}
+
+} // namespace
+
+const ConfigSpace &
+ConfigSpace::spark()
+{
+    static const ConfigSpace space("spark", sparkParams());
+    DAC_ASSERT(space.size() == kSparkParamCount,
+               "Spark space must have 41 parameters");
+    return space;
+}
+
+const ConfigSpace &
+ConfigSpace::hadoop()
+{
+    static const ConfigSpace space("hadoop", hadoopParams());
+    DAC_ASSERT(space.size() == kHadoopParamCount,
+               "Hadoop space must have 10 parameters");
+    return space;
+}
+
+} // namespace dac::conf

@@ -1,0 +1,125 @@
+/**
+ * @file
+ * Configuration spaces: the 41 Spark parameters of the paper's Table 2,
+ * plus a ~10 parameter Hadoop (ODC) space used by the Figure 2
+ * motivation experiment.
+ */
+
+#ifndef DAC_CONF_SPACE_H
+#define DAC_CONF_SPACE_H
+
+#include <cstddef>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "conf/param.h"
+
+namespace dac::conf {
+
+/**
+ * Indices of the 41 Spark parameters, in Table 2 order. The Spark
+ * ConfigSpace is built so that these enumerators equal vector indices,
+ * giving the simulator O(1) typed access.
+ */
+enum SparkParam : size_t {
+    ReducerMaxSizeInFlight = 0,  ///< MB, map output fetched at once
+    ShuffleFileBuffer,           ///< KB, shuffle output stream buffer
+    ShuffleSortBypassMergeThreshold,
+    SpeculationInterval,         ///< ms
+    SpeculationMultiplier,
+    SpeculationQuantile,
+    BroadcastBlockSize,          ///< MB
+    IoCompressionCodec,          ///< snappy | lzf | lz4
+    IoCompressionLz4BlockSize,   ///< KB
+    IoCompressionSnappyBlockSize,///< KB
+    KryoReferenceTracking,
+    KryoserializerBufferMax,     ///< MB
+    KryoserializerBuffer,        ///< KB
+    DriverCores,
+    ExecutorCores,
+    DriverMemory,                ///< MB
+    ExecutorMemory,              ///< MB
+    StorageMemoryMapThreshold,   ///< MB
+    AkkaFailureDetectorThreshold,
+    AkkaHeartbeatPauses,         ///< s
+    AkkaHeartbeatInterval,       ///< s
+    AkkaThreads,
+    NetworkTimeout,              ///< s
+    LocalityWait,                ///< s
+    SchedulerReviveInterval,     ///< s
+    TaskMaxFailures,
+    ShuffleCompress,
+    ShuffleConsolidateFiles,
+    MemoryFraction,
+    ShuffleSpill,
+    ShuffleSpillCompress,
+    Speculation,
+    BroadcastCompress,
+    RddCompress,
+    SerializerClass,             ///< java | kryo
+    MemoryStorageFraction,
+    LocalExecutionEnabled,
+    DefaultParallelism,
+    MemoryOffHeapEnabled,
+    ShuffleManager,              ///< sort | hash
+    MemoryOffHeapSize,           ///< MB
+    kSparkParamCount
+};
+
+/** Indices of the Hadoop (ODC) parameters used for Figure 2. */
+enum HadoopParam : size_t {
+    IoSortMb = 0,          ///< MB, map-side sort buffer
+    IoSortFactor,          ///< streams merged at once
+    IoSortSpillPercent,
+    NumReduces,
+    MapMemoryMb,
+    ReduceMemoryMb,
+    ShuffleParallelCopies,
+    MapOutputCompress,
+    JvmReuseTasks,
+    SlowstartCompletedMaps,
+    kHadoopParamCount
+};
+
+/**
+ * An ordered collection of ParamSpecs defining a tunable space.
+ */
+class ConfigSpace
+{
+  public:
+    /** Build a space from explicit specs. */
+    explicit ConfigSpace(std::string name, std::vector<ParamSpec> params);
+
+    /** The 41-parameter Spark space of Table 2 (SparkParam order). */
+    static const ConfigSpace &spark();
+
+    /** The 10-parameter Hadoop space (HadoopParam order). */
+    static const ConfigSpace &hadoop();
+
+    const std::string &name() const { return _name; }
+
+    /** Number of parameters (the dimensionality of the space). */
+    size_t size() const { return _params.size(); }
+
+    /** Spec at an index. */
+    const ParamSpec &param(size_t i) const;
+
+    /** Spec by name; fatalError if absent. */
+    const ParamSpec &param(const std::string &name) const;
+
+    /** Index of a named parameter; fatalError if absent. */
+    size_t indexOf(const std::string &name) const;
+
+    /** All specs in order. */
+    const std::vector<ParamSpec> &params() const { return _params; }
+
+  private:
+    std::string _name;
+    std::vector<ParamSpec> _params;
+    std::unordered_map<std::string, size_t> byName;
+};
+
+} // namespace dac::conf
+
+#endif // DAC_CONF_SPACE_H

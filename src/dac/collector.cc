@@ -1,0 +1,82 @@
+#include "dac/collector.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "conf/generator.h"
+#include "support/logging.h"
+
+namespace dac::core {
+
+Collector::Collector(const sparksim::SparkSimulator &sim,
+                     const workloads::Workload &workload)
+    : sim(&sim), workload(&workload)
+{
+}
+
+CollectResult
+Collector::collect(const CollectOptions &options) const
+{
+    const auto sizes = workload->trainingSizes(options.datasetCount);
+    DAC_ASSERT(sizesWellSeparated(sizes),
+               "training sizes violate the 10% separation rule");
+    return collectAtSizes(sizes, options.runsPerDataset, options.seed,
+                          options.sampling);
+}
+
+CollectResult
+Collector::collectAtSizes(const std::vector<double> &native_sizes,
+                          size_t runs_per_size, uint64_t seed,
+                          Sampling sampling) const
+{
+    DAC_ASSERT(!native_sizes.empty(), "no dataset sizes");
+    DAC_ASSERT(runs_per_size > 0, "need at least one run per size");
+
+    CollectResult out;
+    out.vectors.reserve(native_sizes.size() * runs_per_size);
+
+    conf::ConfigGenerator gen(conf::ConfigSpace::spark(), Rng(seed));
+    Rng run_seeds(combineSeed(seed, 0xC0FFEE));
+
+    for (size_t s = 0; s < native_sizes.size(); ++s) {
+        const double native = native_sizes[s];
+        const auto dag = workload->buildDag(native);
+        const double dsize = workload->bytesForSize(native);
+        // Latin hypercube stratifies per dataset size, so each size's
+        // k runs jointly cover every parameter's range.
+        const auto lhs_batch = sampling == Sampling::LatinHypercube
+            ? gen.latinHypercube(runs_per_size)
+            : std::vector<conf::Configuration>{};
+        for (size_t r = 0; r < runs_per_size; ++r) {
+            const auto config = sampling == Sampling::LatinHypercube
+                ? lhs_batch[r]
+                : gen.random();
+            // A fresh seed per run stands in for the different "data
+            // content" of each production run of a periodic job.
+            const auto result = sim->run(dag, config, run_seeds.raw());
+            PerfVector pv;
+            pv.timeSec = result.timeSec;
+            pv.config = config.values();
+            pv.dsizeBytes = dsize;
+            out.vectors.push_back(std::move(pv));
+            out.simulatedClusterSec += result.timeSec;
+        }
+    }
+    return out;
+}
+
+bool
+Collector::sizesWellSeparated(const std::vector<double> &sizes)
+{
+    for (size_t i = 0; i < sizes.size(); ++i) {
+        for (size_t j = i + 1; j < sizes.size(); ++j) {
+            const double smaller = std::min(sizes[i], sizes[j]);
+            const double diff = std::abs(sizes[i] - sizes[j]);
+            if (smaller <= 0.0 || diff / smaller < 0.10 - 1e-12)
+                return false;
+        }
+    }
+    return true;
+}
+
+} // namespace dac::core

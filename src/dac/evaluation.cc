@@ -1,0 +1,28 @@
+#include "dac/evaluation.h"
+
+#include "support/logging.h"
+
+namespace dac::core {
+
+double
+measureTime(const sparksim::SparkSimulator &sim,
+            const workloads::Workload &workload, double native_size,
+            const conf::Configuration &config, int runs, uint64_t seed)
+{
+    DAC_ASSERT(runs >= 1, "need at least one run");
+    const auto dag = workload.buildDag(native_size);
+    double total = 0.0;
+    for (int r = 0; r < runs; ++r)
+        total += sim.run(dag, config, combineSeed(seed, r)).timeSec;
+    return total / runs;
+}
+
+sparksim::RunResult
+measureDetailed(const sparksim::SparkSimulator &sim,
+                const workloads::Workload &workload, double native_size,
+                const conf::Configuration &config, uint64_t seed)
+{
+    return sim.run(workload.buildDag(native_size), config, seed);
+}
+
+} // namespace dac::core

@@ -1,0 +1,33 @@
+/**
+ * @file
+ * Evaluation helpers shared by the benches: measure a tuner's
+ * configuration on the simulator and compute speedups.
+ */
+
+#ifndef DAC_DAC_EVALUATION_H
+#define DAC_DAC_EVALUATION_H
+
+#include "dac/tuner.h"
+#include "sparksim/runresult.h"
+
+namespace dac::core {
+
+/**
+ * Mean execution time of (workload, size, config) over `runs`
+ * independently seeded simulator runs.
+ */
+double measureTime(const sparksim::SparkSimulator &sim,
+                   const workloads::Workload &workload, double native_size,
+                   const conf::Configuration &config, int runs,
+                   uint64_t seed);
+
+/** One detailed run (for per-stage figures). */
+sparksim::RunResult measureDetailed(const sparksim::SparkSimulator &sim,
+                                    const workloads::Workload &workload,
+                                    double native_size,
+                                    const conf::Configuration &config,
+                                    uint64_t seed);
+
+} // namespace dac::core
+
+#endif // DAC_DAC_EVALUATION_H

@@ -1,0 +1,61 @@
+/**
+ * @file
+ * The modeling component (Section 3.2): builds the performance model
+ * t = f(c1..c41, dsize) from collected performance vectors. Provides a
+ * factory over all five techniques the paper compares (RS, ANN, SVM,
+ * RF, HM) plus the cross-validation protocol (holdout = ntrain / 4).
+ */
+
+#ifndef DAC_DAC_MODELER_H
+#define DAC_DAC_MODELER_H
+
+#include <memory>
+
+#include "dac/perfvector.h"
+#include "ml/hm.h"
+#include "ml/model.h"
+
+namespace dac::core {
+
+/** The modeling techniques of Figures 3 and 9. */
+enum class ModelKind { RS, ANN, SVM, RF, HM };
+
+/** Human-readable name ("RS", "ANN", ...). */
+std::string modelKindName(ModelKind kind);
+
+/** All five kinds, in figure order. */
+const std::vector<ModelKind> &allModelKinds();
+
+/**
+ * Instantiate an untrained model of the given kind with the
+ * hyperparameters used throughout the evaluation (HM: tc=5, lr=0.05,
+ * nt as configured in hm).
+ */
+std::unique_ptr<ml::Model> makeModel(ModelKind kind,
+                                     const ml::HmParams &hm,
+                                     uint64_t seed);
+
+/** Result of training + cross-validating one model. */
+struct ModelReport
+{
+    std::unique_ptr<ml::Model> model;
+    /** MAPE (Eq. 2) on the held-out quarter, percent. */
+    double testErrorPct = 0.0;
+    /** Wall-clock seconds spent in training (Table 3 "modeling"). */
+    double trainWallSec = 0.0;
+};
+
+/**
+ * Train a model on the vectors and cross-validate it on a held-out
+ * quarter (the paper sets num = ntrain / 4).
+ *
+ * @param include_dsize Use dsize as a feature (DAC yes, RFHOC no).
+ */
+ModelReport buildAndValidate(ModelKind kind,
+                             const std::vector<PerfVector> &vectors,
+                             const ml::HmParams &hm, bool include_dsize,
+                             uint64_t seed);
+
+} // namespace dac::core
+
+#endif // DAC_DAC_MODELER_H

@@ -1,0 +1,79 @@
+#include "dac/perfvector.h"
+
+#include "support/csv.h"
+#include "support/logging.h"
+
+namespace dac::core {
+
+ml::DataSet
+toDataSet(const std::vector<PerfVector> &vectors, bool include_dsize)
+{
+    DAC_ASSERT(!vectors.empty(), "no performance vectors");
+    const size_t n_conf = vectors.front().config.size();
+    ml::DataSet data(n_conf + (include_dsize ? 1 : 0));
+    for (const auto &pv : vectors) {
+        DAC_ASSERT(pv.config.size() == n_conf,
+                   "inconsistent configuration widths");
+        std::vector<double> row = pv.config;
+        if (include_dsize)
+            row.push_back(pv.dsizeBytes);
+        data.addRow(row, pv.timeSec);
+    }
+    return data;
+}
+
+std::vector<double>
+toFeatures(const conf::Configuration &config, double dsize_bytes,
+           bool include_dsize)
+{
+    std::vector<double> row = config.values();
+    if (include_dsize)
+        row.push_back(dsize_bytes);
+    return row;
+}
+
+void
+savePerfVectors(const std::vector<PerfVector> &vectors,
+                const conf::ConfigSpace &space, const std::string &path)
+{
+    std::vector<std::string> header;
+    header.push_back("t");
+    for (const auto &p : space.params())
+        header.push_back(p.name());
+    header.push_back("dsize");
+
+    CsvTable table(std::move(header));
+    for (const auto &pv : vectors) {
+        DAC_ASSERT(pv.config.size() == space.size(),
+                   "vector width does not match space");
+        std::vector<double> row;
+        row.reserve(space.size() + 2);
+        row.push_back(pv.timeSec);
+        row.insert(row.end(), pv.config.begin(), pv.config.end());
+        row.push_back(pv.dsizeBytes);
+        table.addRow(std::move(row));
+    }
+    table.save(path);
+}
+
+std::vector<PerfVector>
+loadPerfVectors(const conf::ConfigSpace &space, const std::string &path)
+{
+    const CsvTable table = CsvTable::load(path);
+    if (table.header().size() != space.size() + 2)
+        fatalError("CSV width does not match configuration space");
+
+    std::vector<PerfVector> vectors;
+    vectors.reserve(table.rowCount());
+    for (size_t i = 0; i < table.rowCount(); ++i) {
+        const auto &row = table.row(i);
+        PerfVector pv;
+        pv.timeSec = row.front();
+        pv.config.assign(row.begin() + 1, row.end() - 1);
+        pv.dsizeBytes = row.back();
+        vectors.push_back(std::move(pv));
+    }
+    return vectors;
+}
+
+} // namespace dac::core

@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Performance vectors (Eq. 5): the execution time of one run together
+ * with its 41 configuration values and the input dataset size, plus
+ * conversion to ML datasets (the training matrix S of Eq. 6) and CSV
+ * persistence (mirroring the paper's R pipeline).
+ */
+
+#ifndef DAC_DAC_PERFVECTOR_H
+#define DAC_DAC_PERFVECTOR_H
+
+#include <string>
+#include <vector>
+
+#include "conf/config.h"
+#include "ml/dataset.h"
+
+namespace dac::core {
+
+/**
+ * One observation: Pv = {t, c1..cn, dsize}.
+ */
+struct PerfVector
+{
+    /** Execution time in seconds (the target t). */
+    double timeSec = 0.0;
+    /** Raw configuration values, in space order. */
+    std::vector<double> config;
+    /** Input dataset size in bytes. */
+    double dsizeBytes = 0.0;
+};
+
+/**
+ * Assemble the training matrix S from performance vectors.
+ *
+ * @param vectors       Collected observations.
+ * @param include_dsize Append dsize as the last feature column (DAC
+ *                      does; RFHOC, being datasize-unaware, does not).
+ */
+ml::DataSet toDataSet(const std::vector<PerfVector> &vectors,
+                      bool include_dsize);
+
+/** Feature vector for a single (config, dsize) query, matching
+ *  toDataSet's column layout. */
+std::vector<double> toFeatures(const conf::Configuration &config,
+                               double dsize_bytes, bool include_dsize);
+
+/** Persist vectors as CSV (t, c1..cn, dsize). */
+void savePerfVectors(const std::vector<PerfVector> &vectors,
+                     const conf::ConfigSpace &space,
+                     const std::string &path);
+
+/** Load vectors saved by savePerfVectors. */
+std::vector<PerfVector> loadPerfVectors(const conf::ConfigSpace &space,
+                                        const std::string &path);
+
+} // namespace dac::core
+
+#endif // DAC_DAC_PERFVECTOR_H

@@ -1,0 +1,47 @@
+#include "dac/searcher.h"
+
+#include <chrono>
+
+#include "support/logging.h"
+
+namespace dac::core {
+
+Searcher::Searcher(const ml::Model &model, const conf::ConfigSpace &space,
+                   bool include_dsize)
+    : model(&model), space(&space), includeDsize(include_dsize)
+{
+}
+
+SearchResult
+Searcher::search(double dsize_bytes, const ga::GaParams &params,
+                 const std::vector<conf::Configuration> &seeds) const
+{
+    const auto t0 = std::chrono::steady_clock::now();
+
+    auto objective = [&](const std::vector<double> &genome) {
+        const auto config = conf::Configuration::fromNormalized(*space,
+                                                                genome);
+        const auto features = toFeatures(config, dsize_bytes,
+                                         includeDsize);
+        return model->predict(features);
+    };
+
+    std::vector<std::vector<double>> seed_genomes;
+    seed_genomes.reserve(seeds.size());
+    for (const auto &c : seeds) {
+        DAC_ASSERT(&c.space() == space, "seed from a different space");
+        seed_genomes.push_back(c.toNormalized());
+    }
+
+    ga::GeneticAlgorithm algorithm(params);
+    SearchResult out{conf::Configuration(*space), 0.0, {}, 0.0};
+    out.ga = algorithm.minimize(objective, space->size(), seed_genomes);
+    out.best = conf::Configuration::fromNormalized(*space, out.ga.best);
+    out.predictedTimeSec = out.ga.bestFitness;
+
+    const auto t1 = std::chrono::steady_clock::now();
+    out.wallSec = std::chrono::duration<double>(t1 - t0).count();
+    return out;
+}
+
+} // namespace dac::core

@@ -1,0 +1,65 @@
+/**
+ * @file
+ * The searching component (Section 3.3, Figure 6): a GA walks the
+ * configuration space against the trained performance model, with the
+ * dataset size pinned at the target size.
+ */
+
+#ifndef DAC_DAC_SEARCHER_H
+#define DAC_DAC_SEARCHER_H
+
+#include "conf/config.h"
+#include "dac/perfvector.h"
+#include "ga/ga.h"
+#include "ml/model.h"
+
+namespace dac::core {
+
+/** Outcome of one configuration search. */
+struct SearchResult
+{
+    conf::Configuration best;
+    /** Model-predicted execution time of `best`, seconds. */
+    double predictedTimeSec = 0.0;
+    /** GA trace (Figure 11 plots history). */
+    ga::GaResult ga;
+    /** Wall-clock seconds of the search (Table 3 "searching"). */
+    double wallSec = 0.0;
+};
+
+/**
+ * Searches a configuration space against a performance model.
+ */
+class Searcher
+{
+  public:
+    /**
+     * @param model        Trained performance model.
+     * @param space        Configuration space to search.
+     * @param includeDsize Model was trained with a dsize feature.
+     */
+    Searcher(const ml::Model &model, const conf::ConfigSpace &space,
+             bool include_dsize);
+
+    /**
+     * Find the configuration minimizing predicted time at `dsize`.
+     *
+     * @param dsize_bytes Target dataset size (ignored when the model
+     *                    is datasize-unaware).
+     * @param params      GA settings.
+     * @param seeds       Configurations to seed the population with
+     *                    (the paper samples popSize vectors from S).
+     */
+    SearchResult search(double dsize_bytes, const ga::GaParams &params,
+                        const std::vector<conf::Configuration> &seeds =
+                            {}) const;
+
+  private:
+    const ml::Model *model;
+    const conf::ConfigSpace *space;
+    bool includeDsize;
+};
+
+} // namespace dac::core
+
+#endif // DAC_DAC_SEARCHER_H

@@ -1,0 +1,50 @@
+#include "dac/session.h"
+
+#include <cmath>
+
+#include "support/logging.h"
+
+namespace dac::core {
+
+PeriodicTuningSession::PeriodicTuningSession(
+    const sparksim::SparkSimulator &sim,
+    const workloads::Workload &workload, Options options)
+    : options(options), workload(&workload),
+      dacTuner(sim, options.tuning)
+{
+    DAC_ASSERT(options.retuneDriftFraction > 0.0,
+               "drift threshold must be positive");
+}
+
+PeriodicTuningSession::PeriodicTuningSession(
+    const sparksim::SparkSimulator &sim,
+    const workloads::Workload &workload)
+    : PeriodicTuningSession(sim, workload, Options())
+{
+}
+
+const conf::Configuration &
+PeriodicTuningSession::configForRun(double native_size)
+{
+    DAC_ASSERT(native_size > 0.0, "dataset size must be positive");
+    const bool first = !current.has_value();
+    const double drift = first ? 0.0
+        : std::abs(native_size - _tunedSize) / _tunedSize;
+
+    _lastRunRetuned = first || drift >= options.retuneDriftFraction;
+    if (_lastRunRetuned) {
+        current = dacTuner.configFor(*workload, native_size);
+        _tunedSize = native_size;
+        ++_retuneCount;
+    }
+    return *current;
+}
+
+double
+PeriodicTuningSession::tunedSize() const
+{
+    DAC_ASSERT(current.has_value(), "session has not tuned yet");
+    return _tunedSize;
+}
+
+} // namespace dac::core

@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Drift-aware tuning session for periodic long jobs.
+ *
+ * The paper's usage scenario (Section 1) is a program that runs
+ * nightly with similar — but slowly drifting — dataset sizes. A
+ * PeriodicTuningSession wraps a DacTuner and re-searches the
+ * configuration only when the size has drifted beyond a threshold
+ * (default 10%, Eq. 4's notion of a "different" size); in between it
+ * serves the cached configuration. Because the model is reused,
+ * retuning costs only a GA search (milliseconds), not a collection
+ * campaign.
+ */
+
+#ifndef DAC_DAC_SESSION_H
+#define DAC_DAC_SESSION_H
+
+#include <optional>
+
+#include "dac/tuner.h"
+
+namespace dac::core {
+
+/**
+ * Serves per-run configurations for one periodic job.
+ */
+class PeriodicTuningSession
+{
+  public:
+    /** Session policy. */
+    struct Options
+    {
+        /** Relative size drift (vs the last tuned size) that triggers
+         *  a re-search. */
+        double retuneDriftFraction = 0.10;
+        /** Tuning options forwarded to the underlying DacTuner. */
+        AutoTuneOptions tuning;
+    };
+
+    /**
+     * @param sim      The execution substrate.
+     * @param workload The periodic job's program.
+     */
+    PeriodicTuningSession(const sparksim::SparkSimulator &sim,
+                          const workloads::Workload &workload,
+                          Options options);
+
+    /** Default-policy session (10% drift threshold, default tuning). */
+    PeriodicTuningSession(const sparksim::SparkSimulator &sim,
+                          const workloads::Workload &workload);
+
+    /**
+     * Configuration for tonight's run at `native_size`. Retunes (GA
+     * re-search on the cached model) when the size has drifted at
+     * least retuneDriftFraction from the last tuned size, in either
+     * direction; otherwise returns the cached configuration.
+     */
+    const conf::Configuration &configForRun(double native_size);
+
+    /** True if the last configForRun() call re-searched. */
+    bool lastRunRetuned() const { return _lastRunRetuned; }
+
+    /** Times the session has (re)tuned, including the first run. */
+    int retuneCount() const { return _retuneCount; }
+
+    /** Size the current configuration was tuned for. */
+    double tunedSize() const;
+
+    /** Access the underlying tuner (overhead reports, model error). */
+    const DacTuner &tuner() const { return dacTuner; }
+
+  private:
+    Options options;
+    const workloads::Workload *workload;
+    DacTuner dacTuner;
+    std::optional<conf::Configuration> current;
+    double _tunedSize = 0.0;
+    bool _lastRunRetuned = false;
+    int _retuneCount = 0;
+};
+
+} // namespace dac::core
+
+#endif // DAC_DAC_SESSION_H

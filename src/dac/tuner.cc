@@ -1,0 +1,141 @@
+#include "dac/tuner.h"
+
+#include <chrono>
+
+#include "support/logging.h"
+
+namespace dac::core {
+
+conf::Configuration
+DefaultTuner::configFor(const workloads::Workload &, double)
+{
+    return conf::Configuration(conf::ConfigSpace::spark());
+}
+
+ExpertTuner::ExpertTuner(const cluster::ClusterSpec &cluster)
+    : config(conf::expertSparkConfig(cluster))
+{
+}
+
+conf::Configuration
+ExpertTuner::configFor(const workloads::Workload &, double)
+{
+    return config;
+}
+
+AutoTuneOptions::AutoTuneOptions()
+{
+    // Reduced-scale defaults for the 1-core container; the benches
+    // raise these toward paper scale (m=10, k=200, nt=3600) via
+    // --full. See EXPERIMENTS.md.
+    collect.datasetCount = 10;
+    collect.runsPerDataset = 80;
+    hm.firstOrder.maxTrees = 400;
+    hm.firstOrder.learningRate = 0.05;
+    hm.firstOrder.treeComplexity = 5;
+    ga.populationSize = 50;
+    ga.maxGenerations = 100;
+    ga.mutationRate = 0.01;
+}
+
+ModelBasedTuner::ModelBasedTuner(const sparksim::SparkSimulator &sim,
+                                 AutoTuneOptions options, ModelKind kind,
+                                 bool datasize_aware)
+    : sim(&sim), options(std::move(options)), kind(kind),
+      datasizeAware(datasize_aware)
+{
+}
+
+ModelBasedTuner::WorkloadState &
+ModelBasedTuner::ensureTrained(const workloads::Workload &workload)
+{
+    auto it = states.find(workload.abbrev());
+    if (it != states.end())
+        return it->second;
+
+    WorkloadState state;
+
+    // Collecting (the dominant cost in Table 3).
+    Collector collector(*sim, workload);
+    CollectOptions copt = options.collect;
+    copt.seed = combineSeed(options.seed, workload.abbrev().size() +
+                            workload.abbrev().front());
+    const auto collected = collector.collect(copt);
+    state.vectors = collected.vectors;
+    state.overheadReport.collectingHours =
+        collected.simulatedClusterSec / 3600.0;
+    state.overheadReport.trainingRuns = collected.vectors.size();
+
+    // Modeling.
+    auto report = buildAndValidate(kind, state.vectors, options.hm,
+                                   datasizeAware, options.seed);
+    state.model = std::move(report.model);
+    state.overheadReport.modelingSec = report.trainWallSec;
+    state.modelErrorPct = report.testErrorPct;
+
+    auto [pos, inserted] = states.emplace(workload.abbrev(),
+                                          std::move(state));
+    DAC_ASSERT(inserted, "workload state inserted twice");
+    return pos->second;
+}
+
+conf::Configuration
+ModelBasedTuner::configFor(const workloads::Workload &workload,
+                           double native_size)
+{
+    WorkloadState &state = ensureTrained(workload);
+
+    // Seed the GA population with configurations from S (Figure 6).
+    const auto &space = conf::ConfigSpace::spark();
+    std::vector<conf::Configuration> seeds;
+    Rng rng(combineSeed(options.seed, static_cast<uint64_t>(native_size)));
+    const size_t want = std::min<size_t>(options.ga.populationSize / 2,
+                                         state.vectors.size());
+    for (size_t i = 0; i < want; ++i) {
+        const auto &pv = state.vectors[rng.index(state.vectors.size())];
+        seeds.emplace_back(space, pv.config);
+    }
+
+    Searcher searcher(*state.model, space, datasizeAware);
+    ga::GaParams params = options.ga;
+    params.seed = combineSeed(options.seed,
+                              static_cast<uint64_t>(native_size * 1000));
+    const double dsize = workload.bytesForSize(native_size);
+    auto result = searcher.search(dsize, params, seeds);
+
+    state.overheadReport.searchingSec += result.wallSec;
+    lastGa = std::move(result.ga);
+    return result.best;
+}
+
+const TunerOverhead &
+ModelBasedTuner::overhead(const std::string &abbrev) const
+{
+    auto it = states.find(abbrev);
+    if (it == states.end())
+        fatalError("workload has not been tuned: " + abbrev);
+    return it->second.overheadReport;
+}
+
+double
+ModelBasedTuner::modelError(const std::string &abbrev) const
+{
+    auto it = states.find(abbrev);
+    if (it == states.end())
+        fatalError("workload has not been tuned: " + abbrev);
+    return it->second.modelErrorPct;
+}
+
+DacTuner::DacTuner(const sparksim::SparkSimulator &sim,
+                   AutoTuneOptions options)
+    : ModelBasedTuner(sim, std::move(options), ModelKind::HM, true)
+{
+}
+
+RfhocTuner::RfhocTuner(const sparksim::SparkSimulator &sim,
+                       AutoTuneOptions options)
+    : ModelBasedTuner(sim, std::move(options), ModelKind::RF, false)
+{
+}
+
+} // namespace dac::core

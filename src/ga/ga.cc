@@ -1,0 +1,138 @@
+#include "ga/ga.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "support/logging.h"
+#include "support/random.h"
+
+namespace dac::ga {
+
+namespace {
+
+/** One individual: genome plus cached objective value. */
+struct Individual
+{
+    std::vector<double> genome;
+    double fitness = 0.0;
+};
+
+} // namespace
+
+GeneticAlgorithm::GeneticAlgorithm(GaParams params)
+    : params(params)
+{
+    DAC_ASSERT(params.populationSize >= 2, "population too small");
+    DAC_ASSERT(params.tournamentSize >= 1, "tournament too small");
+    DAC_ASSERT(params.eliteCount >= 0 &&
+               static_cast<size_t>(params.eliteCount) <
+                   params.populationSize,
+               "bad elite count");
+}
+
+GaResult
+GeneticAlgorithm::minimize(const Objective &objective, size_t dimensions,
+                           const std::vector<std::vector<double>>
+                               &seed_population) const
+{
+    DAC_ASSERT(dimensions > 0, "zero-dimensional search space");
+    Rng rng(params.seed);
+
+    auto random_genome = [&]() {
+        std::vector<double> g(dimensions);
+        for (double &v : g)
+            v = rng.uniform();
+        return g;
+    };
+
+    // Initial population: seeds first, random fill after.
+    std::vector<Individual> pop;
+    pop.reserve(params.populationSize);
+    for (const auto &g : seed_population) {
+        if (pop.size() >= params.populationSize)
+            break;
+        DAC_ASSERT(g.size() == dimensions, "seed genome width mismatch");
+        pop.push_back(Individual{g, 0.0});
+    }
+    while (pop.size() < params.populationSize)
+        pop.push_back(Individual{random_genome(), 0.0});
+    for (auto &ind : pop)
+        ind.fitness = objective(ind.genome);
+
+    auto by_fitness = [](const Individual &a, const Individual &b) {
+        return a.fitness < b.fitness;
+    };
+    std::sort(pop.begin(), pop.end(), by_fitness);
+
+    auto tournament = [&]() -> const Individual & {
+        size_t best = rng.index(pop.size());
+        for (int t = 1; t < params.tournamentSize; ++t) {
+            const size_t challenger = rng.index(pop.size());
+            if (pop[challenger].fitness < pop[best].fitness)
+                best = challenger;
+        }
+        return pop[best];
+    };
+
+    GaResult result;
+    result.best = pop.front().genome;
+    result.bestFitness = pop.front().fitness;
+    result.history.push_back(result.bestFitness);
+
+    int since_improvement = 0;
+    for (int gen = 1; gen <= params.maxGenerations; ++gen) {
+        std::vector<Individual> next;
+        next.reserve(params.populationSize);
+        for (int e = 0; e < params.eliteCount; ++e)
+            next.push_back(pop[static_cast<size_t>(e)]);
+
+        while (next.size() < params.populationSize) {
+            std::vector<double> child;
+            if (rng.bernoulli(params.crossoverRate)) {
+                const auto &a = tournament().genome;
+                const auto &b = tournament().genome;
+                child.resize(dimensions);
+                for (size_t d = 0; d < dimensions; ++d)
+                    child[d] = rng.bernoulli(0.5) ? a[d] : b[d];
+            } else {
+                child = tournament().genome;
+            }
+            for (size_t d = 0; d < dimensions; ++d) {
+                if (rng.bernoulli(params.mutationRate)) {
+                    // Half resets, half local Gaussian perturbations.
+                    if (rng.bernoulli(0.5)) {
+                        child[d] = rng.uniform();
+                    } else {
+                        child[d] = std::clamp(
+                            child[d] + rng.normal(0.0, 0.1), 0.0, 1.0);
+                    }
+                }
+            }
+            Individual ind{std::move(child), 0.0};
+            ind.fitness = objective(ind.genome);
+            next.push_back(std::move(ind));
+        }
+
+        pop = std::move(next);
+        std::sort(pop.begin(), pop.end(), by_fitness);
+
+        result.generations = gen;
+        if (pop.front().fitness < result.bestFitness - 1e-12) {
+            result.bestFitness = pop.front().fitness;
+            result.best = pop.front().genome;
+            result.convergedAt = gen;
+            since_improvement = 0;
+        } else {
+            ++since_improvement;
+        }
+        result.history.push_back(result.bestFitness);
+
+        if (params.convergencePatience > 0 &&
+            since_improvement >= params.convergencePatience) {
+            break;
+        }
+    }
+    return result;
+}
+
+} // namespace dac::ga

@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Real-coded genetic algorithm over [0,1]^n genomes — the paper's
+ * searching component (Section 3.3, Figure 6). Robust to the many
+ * local optima of the 41-dimensional configuration space.
+ */
+
+#ifndef DAC_GA_GA_H
+#define DAC_GA_GA_H
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+namespace dac::ga {
+
+/** GA hyperparameters (mutation rate 0.01 per the paper). */
+struct GaParams
+{
+    /** Individuals per generation (the paper's popSize). */
+    size_t populationSize = 50;
+    int maxGenerations = 100;
+    /** Per-gene mutation probability. */
+    double mutationRate = 0.01;
+    /** Probability a child is produced by crossover (else cloned). */
+    double crossoverRate = 0.9;
+    /** Elites copied unchanged into the next generation. */
+    int eliteCount = 2;
+    /** Tournament size for parent selection. */
+    int tournamentSize = 3;
+    /** Generations without improvement before stopping (0 = never). */
+    int convergencePatience = 15;
+    uint64_t seed = 1;
+};
+
+/** Outcome of one GA run. */
+struct GaResult
+{
+    /** Best genome found ([0,1]^n). */
+    std::vector<double> best;
+    /** Objective value of the best genome (minimized). */
+    double bestFitness = 0.0;
+    /** Best objective value after each generation (Figure 11). */
+    std::vector<double> history;
+    /** Generations actually executed. */
+    int generations = 0;
+    /** Generation index of the last improvement (convergence point). */
+    int convergedAt = 0;
+};
+
+/**
+ * Generational GA with tournament selection, uniform crossover,
+ * per-gene mutation, and elitism. Minimizes the objective.
+ */
+class GeneticAlgorithm
+{
+  public:
+    /** Objective to minimize over genomes in [0,1]^n. */
+    using Objective = std::function<double(const std::vector<double> &)>;
+
+    explicit GeneticAlgorithm(GaParams params);
+
+    /**
+     * Run the search.
+     *
+     * @param objective  Function to minimize.
+     * @param dimensions Genome length.
+     * @param seed_population Optional initial genomes (the paper seeds
+     *        with configurations drawn from the training set); padded
+     *        with random genomes up to populationSize.
+     */
+    GaResult minimize(const Objective &objective, size_t dimensions,
+                      const std::vector<std::vector<double>>
+                          &seed_population = {}) const;
+
+  private:
+    GaParams params;
+};
+
+} // namespace dac::ga
+
+#endif // DAC_GA_GA_H

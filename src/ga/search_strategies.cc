@@ -1,0 +1,209 @@
+#include "ga/search_strategies.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "support/logging.h"
+#include "support/random.h"
+
+namespace dac::ga {
+
+namespace {
+
+/** Track the incumbent and its trace. */
+struct Incumbent
+{
+    std::vector<double> best;
+    double bestFitness = 1e300;
+    std::vector<double> history;
+
+    void
+    offer(const std::vector<double> &genome, double fitness)
+    {
+        if (fitness < bestFitness) {
+            bestFitness = fitness;
+            best = genome;
+        }
+        history.push_back(bestFitness);
+    }
+
+    GaResult
+    toResult() const
+    {
+        GaResult r;
+        r.best = best;
+        r.bestFitness = bestFitness;
+        r.history = history;
+        r.generations = static_cast<int>(history.size());
+        return r;
+    }
+};
+
+std::vector<double>
+randomGenome(Rng &rng, size_t dims)
+{
+    std::vector<double> g(dims);
+    for (double &v : g)
+        v = rng.uniform();
+    return g;
+}
+
+std::vector<double>
+randomInBox(Rng &rng, const std::vector<double> &center, double half_width)
+{
+    std::vector<double> g(center.size());
+    for (size_t d = 0; d < g.size(); ++d) {
+        g[d] = std::clamp(
+            center[d] + rng.uniformReal(-half_width, half_width), 0.0,
+            1.0);
+    }
+    return g;
+}
+
+} // namespace
+
+GaResult
+RandomSearch::minimize(const GeneticAlgorithm::Objective &objective,
+                       size_t dimensions, size_t budget) const
+{
+    DAC_ASSERT(dimensions > 0, "zero-dimensional search space");
+    DAC_ASSERT(budget > 0, "zero budget");
+    Rng rng(seed);
+    Incumbent inc;
+    for (size_t i = 0; i < budget; ++i) {
+        const auto g = randomGenome(rng, dimensions);
+        inc.offer(g, objective(g));
+    }
+    return inc.toResult();
+}
+
+GaResult
+RecursiveRandomSearch::minimize(
+    const GeneticAlgorithm::Objective &objective, size_t dimensions,
+    size_t budget) const
+{
+    DAC_ASSERT(dimensions > 0, "zero-dimensional search space");
+    DAC_ASSERT(budget > 0, "zero budget");
+    Rng rng(params.seed);
+    Incumbent inc;
+    size_t used = 0;
+
+    while (used < budget) {
+        // Exploration: uniform sampling to seed a region.
+        std::vector<double> center;
+        double center_fitness = 1e300;
+        for (size_t i = 0; i < params.explorationSamples && used < budget;
+             ++i, ++used) {
+            const auto g = randomGenome(rng, dimensions);
+            const double f = objective(g);
+            inc.offer(g, f);
+            if (f < center_fitness) {
+                center_fitness = f;
+                center = g;
+            }
+        }
+        if (center.empty())
+            break;
+
+        // Exploitation: re-sample in a shrinking box around the
+        // local incumbent.
+        double half = 0.25;
+        while (half >= params.minHalfWidth && used < budget) {
+            bool improved = false;
+            for (size_t i = 0;
+                 i < params.exploitationSamples && used < budget;
+                 ++i, ++used) {
+                const auto g = randomInBox(rng, center, half);
+                const double f = objective(g);
+                inc.offer(g, f);
+                if (f < center_fitness) {
+                    center_fitness = f;
+                    center = g;
+                    improved = true;
+                }
+            }
+            if (!improved)
+                half *= params.shrink; // align the region, then shrink
+        }
+    }
+    return inc.toResult();
+}
+
+GaResult
+PatternSearch::minimize(const GeneticAlgorithm::Objective &objective,
+                        size_t dimensions, size_t budget) const
+{
+    DAC_ASSERT(dimensions > 0, "zero-dimensional search space");
+    DAC_ASSERT(budget > 0, "zero budget");
+    Rng rng(params.seed);
+    Incumbent inc;
+
+    auto center = randomGenome(rng, dimensions);
+    double center_fitness = objective(center);
+    size_t used = 1;
+    inc.offer(center, center_fitness);
+
+    double step = params.initialStep;
+    std::vector<double> prev = center;
+
+    while (used < budget && step >= params.minStep) {
+        // Coordinate poll around the incumbent.
+        std::vector<double> candidate = center;
+        double candidate_fitness = center_fitness;
+        bool improved = false;
+        for (size_t d = 0; d < dimensions && used < budget; ++d) {
+            for (double dir : {+1.0, -1.0}) {
+                if (used >= budget)
+                    break;
+                auto g = candidate;
+                g[d] = std::clamp(g[d] + dir * step, 0.0, 1.0);
+                const double f = objective(g);
+                ++used;
+                inc.offer(g, f);
+                if (f < candidate_fitness) {
+                    candidate_fitness = f;
+                    candidate = g;
+                    improved = true;
+                    break; // take the first improving direction
+                }
+            }
+        }
+
+        if (improved) {
+            // Pattern move: extrapolate along the improvement vector.
+            std::vector<double> pattern(dimensions);
+            for (size_t d = 0; d < dimensions; ++d) {
+                pattern[d] = std::clamp(
+                    candidate[d] + (candidate[d] - center[d]), 0.0, 1.0);
+            }
+            prev = center;
+            center = candidate;
+            center_fitness = candidate_fitness;
+            if (used < budget) {
+                const double f = objective(pattern);
+                ++used;
+                inc.offer(pattern, f);
+                if (f < center_fitness) {
+                    center = pattern;
+                    center_fitness = f;
+                }
+            }
+        } else {
+            step *= params.stepShrink;
+        }
+    }
+    return inc.toResult();
+}
+
+GaResult
+GaSearch::minimize(const GeneticAlgorithm::Objective &objective,
+                   size_t dimensions, size_t budget) const
+{
+    GaParams p = params;
+    p.maxGenerations = std::max<int>(
+        1, static_cast<int>(budget / p.populationSize) - 1);
+    GeneticAlgorithm ga(p);
+    return ga.minimize(objective, dimensions);
+}
+
+} // namespace dac::ga

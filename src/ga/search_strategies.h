@@ -1,0 +1,129 @@
+/**
+ * @file
+ * Alternative global-search strategies over [0,1]^n genomes.
+ *
+ * Section 3.3 of the paper justifies the GA against exactly these
+ * algorithms: plain random search, recursive random search (Ye &
+ * Kalyanaraman; "sensitive to getting stuck in local optima"), and
+ * pattern search (Torczon & Trosset; "slow local convergence"). This
+ * module implements all three behind one interface so the choice can
+ * be ablated (bench_ablation_search).
+ */
+
+#ifndef DAC_GA_SEARCH_STRATEGIES_H
+#define DAC_GA_SEARCH_STRATEGIES_H
+
+#include <memory>
+#include <string>
+
+#include "ga/ga.h"
+
+namespace dac::ga {
+
+/**
+ * A budgeted minimizer over [0,1]^n.
+ */
+class SearchStrategy
+{
+  public:
+    virtual ~SearchStrategy() = default;
+
+    /** Strategy name for reports. */
+    virtual std::string name() const = 0;
+
+    /**
+     * Minimize the objective using at most `budget` evaluations.
+     *
+     * @return A GaResult: best genome, its value, and the
+     *         best-so-far trace (one entry per evaluation batch).
+     */
+    virtual GaResult minimize(
+        const GeneticAlgorithm::Objective &objective, size_t dimensions,
+        size_t budget) const = 0;
+};
+
+/** Uniform random sampling of the box. */
+class RandomSearch : public SearchStrategy
+{
+  public:
+    explicit RandomSearch(uint64_t seed) : seed(seed) {}
+    std::string name() const override { return "random"; }
+    GaResult minimize(const GeneticAlgorithm::Objective &objective,
+                      size_t dimensions, size_t budget) const override;
+
+  private:
+    uint64_t seed;
+};
+
+/**
+ * Recursive random search: random exploration to find a promising
+ * point, then recursive re-sampling in a shrinking box around the
+ * incumbent; restarts exploration when a region is exhausted.
+ */
+class RecursiveRandomSearch : public SearchStrategy
+{
+  public:
+    struct Params
+    {
+        /** Samples per exploration phase. */
+        size_t explorationSamples = 40;
+        /** Samples per exploitation (shrunken-box) phase. */
+        size_t exploitationSamples = 12;
+        /** Box half-width shrink factor per exploitation round. */
+        double shrink = 0.5;
+        /** Stop exploiting below this half-width and restart. */
+        double minHalfWidth = 0.01;
+        uint64_t seed = 1;
+    };
+
+    explicit RecursiveRandomSearch(Params params) : params(params) {}
+    std::string name() const override { return "rrs"; }
+    GaResult minimize(const GeneticAlgorithm::Objective &objective,
+                      size_t dimensions, size_t budget) const override;
+
+  private:
+    Params params;
+};
+
+/**
+ * Hooke-Jeeves pattern search: coordinate polls around the incumbent
+ * with step halving, plus pattern (extrapolation) moves. Converges
+ * fast locally but is easily trapped — the paper's stated reason to
+ * prefer the GA.
+ */
+class PatternSearch : public SearchStrategy
+{
+  public:
+    struct Params
+    {
+        double initialStep = 0.25;
+        double stepShrink = 0.5;
+        double minStep = 1e-3;
+        uint64_t seed = 1;
+    };
+
+    explicit PatternSearch(Params params) : params(params) {}
+    std::string name() const override { return "pattern"; }
+    GaResult minimize(const GeneticAlgorithm::Objective &objective,
+                      size_t dimensions, size_t budget) const override;
+
+  private:
+    Params params;
+};
+
+/** Adapter presenting the GA behind the same budgeted interface. */
+class GaSearch : public SearchStrategy
+{
+  public:
+    explicit GaSearch(GaParams params) : params(params) {}
+    std::string name() const override { return "ga"; }
+    GaResult minimize(const GeneticAlgorithm::Objective &objective,
+                      size_t dimensions, size_t budget) const override;
+
+  private:
+    GaParams params;
+};
+
+} // namespace dac::ga
+
+#endif // DAC_GA_SEARCH_STRATEGIES_H

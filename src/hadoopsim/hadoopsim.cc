@@ -1,0 +1,168 @@
+#include "hadoopsim/hadoopsim.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "support/logging.h"
+#include "support/random.h"
+#include "support/units.h"
+
+namespace dac::hadoopsim {
+
+namespace {
+
+/** HDFS block / input split size for MapReduce. */
+constexpr double kBlockBytes = 64.0 * MiB;
+/** Output replication factor. */
+constexpr double kReplication = 3.0;
+/** Cold JVM start per container, seconds. */
+constexpr double kJvmStartSec = 1.8;
+
+} // namespace
+
+MapReduceJob
+hadoopKMeans(double input_bytes)
+{
+    MapReduceJob job;
+    job.name = "Hadoop-KMeans";
+    job.inputBytes = input_bytes;
+    job.mapCpuPerByte = 2.2;       // distance computations
+    job.mapOutputRatio = 0.002;    // partial centroid sums
+    job.reduceCpuPerByte = 1.0;
+    job.outputRatio = 0.0005;
+    job.rounds = 10;
+    return job;
+}
+
+MapReduceJob
+hadoopPageRank(double input_bytes)
+{
+    MapReduceJob job;
+    job.name = "Hadoop-PageRank";
+    job.inputBytes = input_bytes;
+    job.mapCpuPerByte = 1.2;
+    job.mapOutputRatio = 0.8;      // rank contributions
+    job.reduceCpuPerByte = 0.9;
+    job.outputRatio = 0.6;         // next-iteration rank table
+    job.rounds = 5;
+    return job;
+}
+
+HadoopSimulator::HadoopSimulator(const cluster::ClusterSpec &cluster)
+    : cluster(&cluster)
+{
+}
+
+HadoopRunResult
+HadoopSimulator::run(const MapReduceJob &job,
+                     const conf::Configuration &config,
+                     uint64_t seed) const
+{
+    using namespace conf;
+    DAC_ASSERT(&config.space() == &ConfigSpace::hadoop(),
+               "HadoopSimulator requires a Hadoop-space configuration");
+
+    const auto &node = cluster->node();
+    const int workers = cluster->workerCount();
+
+    const double sort_mb = config.get(IoSortMb);
+    const double sort_factor = std::max(2.0, config.get(IoSortFactor));
+    const double spill_pct = config.get(IoSortSpillPercent);
+    const int reduces = std::max<int64_t>(1, config.getInt(NumReduces));
+    const double map_mem = mbToBytes(config.get(MapMemoryMb));
+    const double red_mem = mbToBytes(config.get(ReduceMemoryMb));
+    const int copies = std::max<int64_t>(1,
+        config.getInt(ShuffleParallelCopies));
+    const bool compress = config.getBool(MapOutputCompress);
+    const double jvm_reuse = std::max<int64_t>(1,
+        config.getInt(JvmReuseTasks));
+    const double slowstart = config.get(SlowstartCompletedMaps);
+
+    Rng rng(combineSeed(seed, 0x0DCULL));
+    HadoopRunResult out;
+
+    // Container slots per node, bounded by cores and by memory.
+    const auto slots_for = [&](double container_mem) {
+        const int by_mem = static_cast<int>(
+            std::floor(node.memoryBytes * 0.8 / container_mem));
+        return std::max(1, std::min(node.cores, by_mem));
+    };
+    const int map_slots = slots_for(map_mem) * workers;
+    const int red_slots = slots_for(red_mem) * workers;
+
+    for (int round = 0; round < job.rounds; ++round) {
+        // Iterations re-read the previous round's output from HDFS:
+        // ODC always goes through disk (the key IMC/ODC difference).
+        const double round_input = round == 0
+            ? job.inputBytes
+            : std::max(job.inputBytes * job.outputRatio, 256.0 * MiB);
+        const int maps = std::max(1, static_cast<int>(
+            std::ceil(round_input / kBlockBytes)));
+        const double per_map_in = round_input / maps;
+        const double map_out = per_map_in * job.mapOutputRatio *
+            (compress ? 0.5 : 1.0);
+
+        // --- Map phase ---
+        const int conc_m = std::max(1, std::min(map_slots / workers,
+            static_cast<int>(std::ceil(double(maps) / workers))));
+        const double disk_share = node.diskBytesPerSec / conc_m;
+        const double cpu_rate =
+            node.cpuBytesPerSec / (1.0 + 0.03 * (conc_m - 1));
+
+        double map_task = kJvmStartSec / jvm_reuse;
+        map_task += per_map_in / disk_share;                  // read
+        map_task += per_map_in * job.mapCpuPerByte / cpu_rate; // compute
+        // Sort buffer spills: number of spill files this map makes.
+        const double spills = std::max(1.0,
+            std::ceil(map_out / (mbToBytes(sort_mb) * spill_pct)));
+        const double merge_passes = std::max(1.0,
+            std::ceil(std::log(spills) / std::log(sort_factor)));
+        map_task += map_out * (1.0 + merge_passes) / disk_share;
+        out.spilledBytes += (spills > 1.0 ? map_out : 0.0) * maps;
+        if (compress)
+            map_task += per_map_in * job.mapOutputRatio * 0.1 / cpu_rate;
+
+        const double map_waves = std::ceil(double(maps) / map_slots);
+        const double map_time = map_waves * map_task *
+            rng.lognormalFactor(0.08);
+
+        // --- Shuffle + reduce phase ---
+        const double total_map_out = map_out * maps;
+        const double per_reduce = total_map_out / reduces;
+        const int conc_r = std::max(1, std::min(red_slots / workers,
+            static_cast<int>(std::ceil(double(reduces) / workers))));
+        const double r_disk = node.diskBytesPerSec / conc_r;
+        const double r_net = node.netBytesPerSec / conc_r;
+        const double r_cpu =
+            node.cpuBytesPerSec / (1.0 + 0.03 * (conc_r - 1));
+
+        double red_task = kJvmStartSec / jvm_reuse;
+        // Fetch: limited parallelism adds round-trip latency.
+        const double fetch_waves =
+            std::ceil(double(maps) / copies);
+        red_task += per_reduce / r_net + fetch_waves * 0.01;
+        // On-disk merge if the fetch exceeds reduce memory.
+        const double merge_ratio = per_reduce / (red_mem * 0.66);
+        if (merge_ratio > 1.0) {
+            red_task += 2.0 * per_reduce / r_disk;
+            out.spilledBytes += per_reduce * reduces;
+        }
+        red_task += per_reduce * job.reduceCpuPerByte / r_cpu;
+        if (compress)
+            red_task += per_reduce * 0.05 / r_cpu;
+        // Replicated output write.
+        const double output = round_input * job.outputRatio;
+        red_task += output / reduces * kReplication / r_disk;
+
+        const double red_waves = std::ceil(double(reduces) / red_slots);
+        double red_time = red_waves * red_task * rng.lognormalFactor(0.08);
+        // Early shuffle start overlaps copy with maps.
+        red_time -= std::min(red_time * 0.3,
+                             (1.0 - slowstart) * 0.3 * map_time);
+
+        out.timeSec += map_time + red_time + 2.0; // job setup/cleanup
+    }
+    return out;
+}
+
+} // namespace dac::hadoopsim

@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Simplified on-disk cluster computing (Hadoop MapReduce) simulator.
+ *
+ * Used by the Figure 2 motivation experiment to contrast ODC's
+ * configuration sensitivity with IMC's. Every map task processes a
+ * fixed-size block from disk and every stage round-trips through disk,
+ * so configuration effects are largely per-task-constant and the
+ * execution-time variation grows far more slowly with dataset size
+ * than Spark's (the paper's observation).
+ */
+
+#ifndef DAC_HADOOPSIM_HADOOPSIM_H
+#define DAC_HADOOPSIM_HADOOPSIM_H
+
+#include <cstdint>
+#include <string>
+
+#include "cluster/cluster.h"
+#include "conf/config.h"
+
+namespace dac::hadoopsim {
+
+/**
+ * A MapReduce job description. Iterative programs (KMeans, PageRank)
+ * run `rounds` chained MR jobs.
+ */
+struct MapReduceJob
+{
+    std::string name;
+    double inputBytes = 0.0;
+    /** Relative CPU per input byte in the map phase. */
+    double mapCpuPerByte = 1.0;
+    /** Map output bytes / input bytes. */
+    double mapOutputRatio = 0.5;
+    /** Relative CPU per shuffled byte in the reduce phase. */
+    double reduceCpuPerByte = 0.8;
+    /** Job output bytes / input bytes (written with replication). */
+    double outputRatio = 0.1;
+    /** Chained MR rounds (iterations). */
+    int rounds = 1;
+};
+
+/** Hadoop versions of the Figure 2 programs. */
+MapReduceJob hadoopKMeans(double input_bytes);
+MapReduceJob hadoopPageRank(double input_bytes);
+
+/** Result of one simulated Hadoop job. */
+struct HadoopRunResult
+{
+    double timeSec = 0.0;
+    double spilledBytes = 0.0;
+};
+
+/**
+ * The ODC simulator; consumes the 10-parameter Hadoop config space.
+ */
+class HadoopSimulator
+{
+  public:
+    explicit HadoopSimulator(const cluster::ClusterSpec &cluster);
+
+    /** Execute one job deterministically for (job, config, seed). */
+    HadoopRunResult run(const MapReduceJob &job,
+                        const conf::Configuration &config,
+                        uint64_t seed) const;
+
+  private:
+    const cluster::ClusterSpec *cluster;
+};
+
+} // namespace dac::hadoopsim
+
+#endif // DAC_HADOOPSIM_HADOOPSIM_H

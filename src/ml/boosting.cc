@@ -1,0 +1,118 @@
+#include "ml/boosting.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "support/logging.h"
+#include "support/statistics.h"
+
+namespace dac::ml {
+
+GradientBoost::GradientBoost(BoostParams params)
+    : params(params)
+{
+    DAC_ASSERT(params.maxTrees >= 1, "need at least one tree");
+    DAC_ASSERT(params.learningRate > 0.0 && params.learningRate <= 1.0,
+               "learning rate out of range");
+}
+
+void
+GradientBoost::train(const DataSet &data)
+{
+    DAC_ASSERT(data.size() >= 4, "too little data to boost");
+    trees.clear();
+    _metTarget = false;
+    _validationHistory.clear();
+
+    Rng rng(params.seed);
+    DataSet fit = data;
+    DataSet val;
+    const bool use_val = params.validationFraction > 0.0 &&
+        data.size() >= 20;
+    if (use_val) {
+        auto parts = data.split(params.validationFraction, rng);
+        fit = std::move(parts.first);
+        val = std::move(parts.second);
+    }
+
+    baseline = mean(fit.allTargets());
+
+    // Current ensemble predictions, updated incrementally.
+    std::vector<double> fit_pred(fit.size(), baseline);
+    std::vector<double> val_pred(val.size(), baseline);
+
+    // Cache validation feature rows once.
+    std::vector<std::vector<double>> val_rows;
+    val_rows.reserve(val.size());
+    for (size_t i = 0; i < val.size(); ++i)
+        val_rows.push_back(val.rowVector(i));
+
+    double best_val_err = use_val
+        ? scaledMape(val_pred, val.allTargets(), params.targetIsLog)
+        : 1e18;
+    int rounds_since_best = 0;
+
+    for (int t = 0; t < params.maxTrees; ++t) {
+        // Residual dataset on a bootstrap sample (the paper's
+        // "Bootstrap sample from S" with injected randomness).
+        std::vector<size_t> sample(fit.size());
+        for (size_t &idx : sample)
+            idx = rng.index(fit.size());
+
+        DataSet residuals(fit.featureCount());
+        for (size_t idx : sample) {
+            residuals.addRow(fit.rowVector(idx),
+                             fit.target(idx) - fit_pred[idx]);
+        }
+
+        TreeParams tp;
+        tp.treeComplexity = params.treeComplexity;
+        tp.seed = rng.raw();
+        RegressionTree tree(tp);
+        tree.train(residuals);
+
+        for (size_t i = 0; i < fit.size(); ++i) {
+            fit_pred[i] +=
+                params.learningRate * tree.predict(fit.rowVector(i));
+        }
+        for (size_t i = 0; i < val.size(); ++i)
+            val_pred[i] += params.learningRate * tree.predict(val_rows[i]);
+        trees.push_back(std::move(tree));
+
+        if (use_val) {
+            const double val_err = scaledMape(val_pred, val.allTargets(),
+                                              params.targetIsLog);
+            _validationHistory.push_back(val_err);
+            if (val_err < best_val_err - 1e-9) {
+                best_val_err = val_err;
+                rounds_since_best = 0;
+            } else {
+                ++rounds_since_best;
+            }
+            if (val_err <= params.targetErrorPct) {
+                _metTarget = true;
+                break;
+            }
+            if (params.convergencePatience > 0 &&
+                rounds_since_best >= params.convergencePatience) {
+                break; // converged
+            }
+        }
+    }
+
+    _validationError = use_val
+        ? scaledMape(val_pred, val.allTargets(), params.targetIsLog)
+        : scaledMape(fit_pred, fit.allTargets(), params.targetIsLog);
+}
+
+double
+GradientBoost::predict(const std::vector<double> &x) const
+{
+    DAC_ASSERT(!trees.empty(), "predict before train");
+    double out = baseline;
+    for (const auto &tree : trees)
+        out += params.learningRate * tree.predict(x);
+    return out;
+}
+
+} // namespace dac::ml

@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Stochastic gradient boosting of regression trees — the paper's
+ * FirstOrderProcedure (Algorithm 1): nt trees of complexity tc, each
+ * fit to the current residuals on a bootstrap sample, added with
+ * learning rate lr, stopping early at the target accuracy or on
+ * convergence.
+ */
+
+#ifndef DAC_ML_BOOSTING_H
+#define DAC_ML_BOOSTING_H
+
+#include <memory>
+
+#include "ml/regression_tree.h"
+
+namespace dac::ml {
+
+/** Hyperparameters of the first-order (boosted) model. */
+struct BoostParams
+{
+    /** Maximum number of trees (the paper's nt). */
+    int maxTrees = 3600;
+    /** Learning rate (the paper's lr). */
+    double learningRate = 0.05;
+    /** Tree complexity (the paper's tc = split nodes per tree). */
+    int treeComplexity = 5;
+    /** Target error in percent; stop once validation MAPE is below. */
+    double targetErrorPct = 10.0;
+    /** Rounds without validation improvement before declaring
+     *  convergence (0 disables early stopping). */
+    int convergencePatience = 200;
+    /** Fraction of the data held out internally for early stopping. */
+    double validationFraction = 0.15;
+    /** Seed for bootstrap sampling and the internal split. */
+    uint64_t seed = 1;
+    /**
+     * Targets are log-transformed (LogTargetModel): compute the
+     * early-stopping error in the original scale so targetErrorPct
+     * keeps its Eq. 2 meaning.
+     */
+    bool targetIsLog = false;
+};
+
+/**
+ * Gradient-boosted regression trees.
+ */
+class GradientBoost : public Model
+{
+  public:
+    explicit GradientBoost(BoostParams params);
+
+    void train(const DataSet &data) override;
+    double predict(const std::vector<double> &x) const override;
+    std::string name() const override { return "GradientBoost"; }
+
+    /** Trees actually grown (early stopping may use fewer than nt). */
+    int treeCount() const { return static_cast<int>(trees.size()); }
+
+    /** Validation MAPE at the end of training (percent). */
+    double validationError() const { return _validationError; }
+
+    /**
+     * Validation MAPE after each boosting round (percent), in the
+     * original target scale. Lets the Figure 8 sweep plot error as a
+     * function of nt from a single training run.
+     */
+    const std::vector<double> &validationHistory() const
+    {
+        return _validationHistory;
+    }
+
+    /** True if training stopped because the target accuracy was met. */
+    bool metTarget() const { return _metTarget; }
+
+  private:
+    BoostParams params;
+    double baseline = 0.0;
+    std::vector<RegressionTree> trees;
+    double _validationError = 0.0;
+    bool _metTarget = false;
+    std::vector<double> _validationHistory;
+};
+
+} // namespace dac::ml
+
+#endif // DAC_ML_BOOSTING_H

@@ -1,0 +1,113 @@
+#include "ml/dataset.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "support/logging.h"
+
+namespace dac::ml {
+
+DataSet::DataSet(size_t feature_count)
+    : _featureCount(feature_count)
+{
+    DAC_ASSERT(feature_count > 0, "dataset needs at least one feature");
+}
+
+void
+DataSet::addRow(const std::vector<double> &row_features, double target)
+{
+    DAC_ASSERT(_featureCount > 0, "dataset not initialized");
+    DAC_ASSERT(row_features.size() == _featureCount,
+               "row width does not match dataset");
+    features.insert(features.end(), row_features.begin(),
+                    row_features.end());
+    targets.push_back(target);
+}
+
+const double *
+DataSet::row(size_t i) const
+{
+    DAC_ASSERT(i < size(), "row index out of range");
+    return features.data() + i * _featureCount;
+}
+
+std::vector<double>
+DataSet::rowVector(size_t i) const
+{
+    const double *r = row(i);
+    return std::vector<double>(r, r + _featureCount);
+}
+
+double
+DataSet::target(size_t i) const
+{
+    DAC_ASSERT(i < size(), "row index out of range");
+    return targets[i];
+}
+
+double
+DataSet::at(size_t i, size_t j) const
+{
+    DAC_ASSERT(j < _featureCount, "feature index out of range");
+    return row(i)[j];
+}
+
+DataSet
+DataSet::subset(const std::vector<size_t> &indices) const
+{
+    DataSet out(_featureCount);
+    out.features.reserve(indices.size() * _featureCount);
+    out.targets.reserve(indices.size());
+    for (size_t idx : indices) {
+        const double *r = row(idx);
+        out.features.insert(out.features.end(), r, r + _featureCount);
+        out.targets.push_back(targets[idx]);
+    }
+    return out;
+}
+
+DataSet
+DataSet::bootstrap(Rng &rng) const
+{
+    DAC_ASSERT(!empty(), "bootstrap of empty dataset");
+    std::vector<size_t> indices(size());
+    for (size_t &idx : indices)
+        idx = rng.index(size());
+    return subset(indices);
+}
+
+std::pair<DataSet, DataSet>
+DataSet::split(double holdout_fraction, Rng &rng) const
+{
+    DAC_ASSERT(holdout_fraction >= 0.0 && holdout_fraction < 1.0,
+               "holdout fraction out of range");
+    std::vector<size_t> indices(size());
+    for (size_t i = 0; i < size(); ++i)
+        indices[i] = i;
+    rng.shuffle(indices);
+
+    const size_t holdout =
+        static_cast<size_t>(holdout_fraction * static_cast<double>(size()));
+    const std::vector<size_t> hold(indices.begin(),
+                                   indices.begin() + holdout);
+    const std::vector<size_t> train(indices.begin() + holdout,
+                                    indices.end());
+    return {subset(train), subset(hold)};
+}
+
+void
+DataSet::featureRange(size_t j, double *min_out, double *max_out) const
+{
+    DAC_ASSERT(!empty(), "featureRange of empty dataset");
+    double lo = std::numeric_limits<double>::infinity();
+    double hi = -lo;
+    for (size_t i = 0; i < size(); ++i) {
+        const double v = at(i, j);
+        lo = std::min(lo, v);
+        hi = std::max(hi, v);
+    }
+    *min_out = lo;
+    *max_out = hi;
+}
+
+} // namespace dac::ml

@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Dense regression dataset: feature matrix plus target vector. This is
+ * the in-memory form of the paper's training set S (Eq. 6): one row
+ * per performance vector, features = {c1..c41, dsize}, target = t.
+ */
+
+#ifndef DAC_ML_DATASET_H
+#define DAC_ML_DATASET_H
+
+#include <cstddef>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "support/random.h"
+
+namespace dac::ml {
+
+/**
+ * Row-major dense dataset for regression.
+ */
+class DataSet
+{
+  public:
+    DataSet() = default;
+
+    /** Create an empty dataset with a fixed feature count. */
+    explicit DataSet(size_t feature_count);
+
+    /** Number of rows. */
+    size_t size() const { return targets.size(); }
+    /** Number of features per row. */
+    size_t featureCount() const { return _featureCount; }
+    bool empty() const { return targets.empty(); }
+
+    /** Append one example. */
+    void addRow(const std::vector<double> &features, double target);
+
+    /** Pointer to row i's features (featureCount() doubles). */
+    const double *row(size_t i) const;
+
+    /** Row i's features as a vector copy. */
+    std::vector<double> rowVector(size_t i) const;
+
+    /** Target of row i. */
+    double target(size_t i) const;
+
+    /** All targets. */
+    const std::vector<double> &allTargets() const { return targets; }
+
+    /** Feature j of row i. */
+    double at(size_t i, size_t j) const;
+
+    /** Dataset restricted to the given row indices (copies). */
+    DataSet subset(const std::vector<size_t> &indices) const;
+
+    /** Bootstrap resample of the same size. */
+    DataSet bootstrap(Rng &rng) const;
+
+    /**
+     * Shuffled train/holdout split.
+     *
+     * @param holdout_fraction Fraction of rows in the second part.
+     */
+    std::pair<DataSet, DataSet> split(double holdout_fraction,
+                                      Rng &rng) const;
+
+    /** Column-wise min/max over all rows, for histogram binning. */
+    void featureRange(size_t j, double *min_out, double *max_out) const;
+
+  private:
+    size_t _featureCount = 0;
+    std::vector<double> features; // row-major
+    std::vector<double> targets;
+};
+
+} // namespace dac::ml
+
+#endif // DAC_ML_DATASET_H

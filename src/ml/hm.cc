@@ -1,0 +1,116 @@
+#include "ml/hm.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "support/logging.h"
+#include "support/statistics.h"
+
+namespace dac::ml {
+
+HierarchicalModel::HierarchicalModel(HmParams params)
+    : params(params)
+{
+    DAC_ASSERT(params.maxOrder >= 1, "maxOrder must be >= 1");
+}
+
+std::unique_ptr<GradientBoost>
+HierarchicalModel::buildFirstOrder(const DataSet &fit, Rng &rng) const
+{
+    BoostParams bp = params.firstOrder;
+    bp.seed = rng.raw();
+    bp.targetIsLog = params.targetIsLog;
+    auto model = std::make_unique<GradientBoost>(bp);
+    // Randomness: each sub-model sees a bootstrap resample.
+    DataSet sample = fit.bootstrap(rng);
+    model->train(sample);
+    return model;
+}
+
+void
+HierarchicalModel::train(const DataSet &data)
+{
+    DAC_ASSERT(data.size() >= 20, "too little data for HM");
+    members.clear();
+
+    Rng rng(params.seed);
+    auto parts = data.split(params.validationFraction, rng);
+    const DataSet &fit = parts.first;
+    const DataSet &val = parts.second;
+
+    std::vector<std::vector<double>> val_rows;
+    val_rows.reserve(val.size());
+    for (size_t i = 0; i < val.size(); ++i)
+        val_rows.push_back(val.rowVector(i));
+
+    // First-order model trains on the un-resampled fit set.
+    {
+        BoostParams bp = params.firstOrder;
+        bp.seed = rng.raw();
+        bp.targetIsLog = params.targetIsLog;
+        auto first = std::make_unique<GradientBoost>(bp);
+        first->train(fit);
+        members.push_back(Member{1.0, std::move(first)});
+    }
+    _order = 1;
+
+    // Ensemble predictions on the validation set.
+    std::vector<double> ensemble(val.size());
+    for (size_t i = 0; i < val.size(); ++i)
+        ensemble[i] = members[0].model->predict(val_rows[i]);
+    double err = val.empty() ? 0.0
+        : scaledMape(ensemble, val.allTargets(), params.targetIsLog);
+
+    while (err > params.targetErrorPct && _order < params.maxOrder) {
+        // Higher-order step: build another (randomized) model...
+        auto extra = buildFirstOrder(fit, rng);
+        std::vector<double> extra_pred(val.size());
+        for (size_t i = 0; i < val.size(); ++i)
+            extra_pred[i] = extra->predict(val_rows[i]);
+
+        // ...and pick the convex combination weight that minimizes the
+        // validation error of (1-w) * ensemble + w * extra.
+        double best_w = 0.0;
+        double best_err = err;
+        for (double w = 0.05; w <= 0.95; w += 0.05) {
+            std::vector<double> mixed(val.size());
+            for (size_t i = 0; i < val.size(); ++i)
+                mixed[i] = (1.0 - w) * ensemble[i] + w * extra_pred[i];
+            const double e = scaledMape(mixed, val.allTargets(),
+                                        params.targetIsLog);
+            if (e < best_err) {
+                best_err = e;
+                best_w = w;
+            }
+        }
+
+        ++_order;
+        if (best_w == 0.0) {
+            // The new level did not help; the model has converged at
+            // this accuracy.
+            break;
+        }
+        for (auto &m : members)
+            m.weight *= 1.0 - best_w;
+        for (size_t i = 0; i < val.size(); ++i) {
+            ensemble[i] = (1.0 - best_w) * ensemble[i] +
+                best_w * extra_pred[i];
+        }
+        members.push_back(Member{best_w, std::move(extra)});
+        err = best_err;
+    }
+
+    _validationError = err;
+}
+
+double
+HierarchicalModel::predict(const std::vector<double> &x) const
+{
+    DAC_ASSERT(!members.empty(), "predict before train");
+    double out = 0.0;
+    for (const auto &m : members)
+        out += m.weight * m.model->predict(x);
+    return out;
+}
+
+} // namespace dac::ml

@@ -1,0 +1,59 @@
+#include "ml/importance.h"
+
+#include <algorithm>
+
+#include "support/logging.h"
+#include "support/statistics.h"
+
+namespace dac::ml {
+
+std::vector<FeatureImportance>
+permutationImportance(const Model &model, const DataSet &data,
+                      int repetitions, uint64_t seed)
+{
+    DAC_ASSERT(!data.empty(), "importance on empty dataset");
+    DAC_ASSERT(repetitions >= 1, "need at least one repetition");
+
+    const double base_error = model.errorOn(data);
+    Rng rng(seed);
+
+    std::vector<FeatureImportance> out;
+    out.reserve(data.featureCount());
+
+    // Rows are materialized once; each permutation swaps one column.
+    std::vector<std::vector<double>> rows;
+    rows.reserve(data.size());
+    for (size_t i = 0; i < data.size(); ++i)
+        rows.push_back(data.rowVector(i));
+
+    for (size_t f = 0; f < data.featureCount(); ++f) {
+        double total = 0.0;
+        for (int rep = 0; rep < repetitions; ++rep) {
+            std::vector<size_t> perm(data.size());
+            for (size_t i = 0; i < perm.size(); ++i)
+                perm[i] = i;
+            rng.shuffle(perm);
+
+            std::vector<double> predictions;
+            predictions.reserve(data.size());
+            for (size_t i = 0; i < data.size(); ++i) {
+                std::vector<double> x = rows[i];
+                x[f] = rows[perm[i]][f];
+                predictions.push_back(model.predict(x));
+            }
+            total += mape(predictions, data.allTargets());
+        }
+        FeatureImportance fi;
+        fi.featureIndex = f;
+        fi.errorIncreasePct = total / repetitions - base_error;
+        out.push_back(fi);
+    }
+
+    std::sort(out.begin(), out.end(),
+              [](const FeatureImportance &a, const FeatureImportance &b) {
+                  return a.errorIncreasePct > b.errorIncreasePct;
+              });
+    return out;
+}
+
+} // namespace dac::ml

@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Model-agnostic permutation feature importance.
+ *
+ * The paper selects the 41 parameters as "performance-critical" by
+ * hand; permutation importance recovers, from a trained performance
+ * model, how much each feature actually drives predictions: shuffle a
+ * feature's column and measure how much the model's error grows.
+ */
+
+#ifndef DAC_ML_IMPORTANCE_H
+#define DAC_ML_IMPORTANCE_H
+
+#include <string>
+#include <vector>
+
+#include "ml/model.h"
+
+namespace dac::ml {
+
+/** Importance of one feature. */
+struct FeatureImportance
+{
+    size_t featureIndex = 0;
+    /** Increase in MAPE (percentage points) when the feature's values
+     *  are permuted; larger = more important, ~0 = irrelevant. */
+    double errorIncreasePct = 0.0;
+};
+
+/**
+ * Permutation importance of every feature of a trained model.
+ *
+ * @param model      Trained model.
+ * @param data       Held-out evaluation data.
+ * @param repetitions Permutations averaged per feature.
+ * @param seed       Shuffle seed.
+ * @return One entry per feature, sorted by decreasing importance.
+ */
+std::vector<FeatureImportance> permutationImportance(
+    const Model &model, const DataSet &data, int repetitions,
+    uint64_t seed);
+
+} // namespace dac::ml
+
+#endif // DAC_ML_IMPORTANCE_H

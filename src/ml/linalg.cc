@@ -1,0 +1,50 @@
+#include "ml/linalg.h"
+
+#include <cmath>
+
+#include "support/logging.h"
+
+namespace dac::ml {
+
+std::vector<double>
+choleskySolve(std::vector<double> a, std::vector<double> b, size_t n)
+{
+    DAC_ASSERT(a.size() == n * n, "matrix size mismatch");
+    DAC_ASSERT(b.size() == n, "rhs size mismatch");
+
+    // In-place Cholesky: A = L L^T, L stored in the lower triangle.
+    for (size_t j = 0; j < n; ++j) {
+        double diag = a[j * n + j];
+        for (size_t k = 0; k < j; ++k)
+            diag -= a[j * n + k] * a[j * n + k];
+        if (diag <= 0.0)
+            fatalError("choleskySolve: matrix is not positive definite");
+        const double ljj = std::sqrt(diag);
+        a[j * n + j] = ljj;
+        for (size_t i = j + 1; i < n; ++i) {
+            double v = a[i * n + j];
+            for (size_t k = 0; k < j; ++k)
+                v -= a[i * n + k] * a[j * n + k];
+            a[i * n + j] = v / ljj;
+        }
+    }
+
+    // Forward substitution: L y = b.
+    for (size_t i = 0; i < n; ++i) {
+        double v = b[i];
+        for (size_t k = 0; k < i; ++k)
+            v -= a[i * n + k] * b[k];
+        b[i] = v / a[i * n + i];
+    }
+    // Back substitution: L^T x = y.
+    for (size_t ii = n; ii > 0; --ii) {
+        const size_t i = ii - 1;
+        double v = b[i];
+        for (size_t k = i + 1; k < n; ++k)
+            v -= a[k * n + i] * b[k];
+        b[i] = v / a[i * n + i];
+    }
+    return b;
+}
+
+} // namespace dac::ml

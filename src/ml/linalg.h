@@ -1,0 +1,28 @@
+/**
+ * @file
+ * Minimal dense linear algebra: symmetric positive-definite solves for
+ * the response-surface (polynomial regression) baseline.
+ */
+
+#ifndef DAC_ML_LINALG_H
+#define DAC_ML_LINALG_H
+
+#include <cstddef>
+#include <vector>
+
+namespace dac::ml {
+
+/**
+ * Solve A x = b for symmetric positive-definite A via Cholesky.
+ *
+ * @param a Row-major n x n matrix (modified in place).
+ * @param b Right-hand side of length n.
+ * @param n Dimension.
+ * @return The solution vector; fatalError if A is not SPD.
+ */
+std::vector<double> choleskySolve(std::vector<double> a,
+                                  std::vector<double> b, size_t n);
+
+} // namespace dac::ml
+
+#endif // DAC_ML_LINALG_H

@@ -1,0 +1,34 @@
+#include "ml/log_target.h"
+
+#include <cmath>
+
+#include "support/logging.h"
+
+namespace dac::ml {
+
+LogTargetModel::LogTargetModel(std::unique_ptr<Model> inner)
+    : inner(std::move(inner))
+{
+    DAC_ASSERT(this->inner != nullptr, "null inner model");
+}
+
+void
+LogTargetModel::train(const DataSet &data)
+{
+    DAC_ASSERT(!data.empty(), "training on empty dataset");
+    DataSet logged(data.featureCount());
+    for (size_t i = 0; i < data.size(); ++i) {
+        const double t = data.target(i);
+        DAC_ASSERT(t > 0.0, "log-target model requires positive targets");
+        logged.addRow(data.rowVector(i), std::log(t));
+    }
+    inner->train(logged);
+}
+
+double
+LogTargetModel::predict(const std::vector<double> &x) const
+{
+    return std::exp(inner->predict(x));
+}
+
+} // namespace dac::ml

@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Log-target decorator: trains the wrapped model on log(t) and
+ * exponentiates predictions.
+ *
+ * Simulated execution times span three orders of magnitude (a default
+ * configuration at 160 GB crawls; a tuned one flies), so squared-error
+ * learners fit raw t poorly in the relative (Eq. 2) sense. Fitting
+ * log t aligns the training loss with relative error. Applied
+ * uniformly to every technique compared in Figures 3/7/8/9 so the
+ * comparison stays fair. See DESIGN.md.
+ */
+
+#ifndef DAC_ML_LOG_TARGET_H
+#define DAC_ML_LOG_TARGET_H
+
+#include <memory>
+
+#include "ml/model.h"
+
+namespace dac::ml {
+
+/**
+ * Wraps a model to regress on the log of the (positive) target.
+ */
+class LogTargetModel : public Model
+{
+  public:
+    /** Take ownership of the inner model. */
+    explicit LogTargetModel(std::unique_ptr<Model> inner);
+
+    void train(const DataSet &data) override;
+    double predict(const std::vector<double> &x) const override;
+    std::string name() const override { return inner->name(); }
+
+    /** Access the wrapped model (e.g. for HM introspection). */
+    const Model &innerModel() const { return *inner; }
+
+  private:
+    std::unique_ptr<Model> inner;
+};
+
+} // namespace dac::ml
+
+#endif // DAC_ML_LOG_TARGET_H

@@ -1,0 +1,166 @@
+#include "ml/mlp.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "support/logging.h"
+
+namespace dac::ml {
+
+Mlp::Mlp(MlpParams params)
+    : params(params)
+{
+    DAC_ASSERT(!params.hidden.empty(), "MLP needs at least one hidden layer");
+}
+
+std::vector<double>
+Mlp::forward(const std::vector<double> &z,
+             std::vector<std::vector<double>> *activations) const
+{
+    std::vector<double> cur = z;
+    if (activations)
+        activations->push_back(cur);
+    for (size_t l = 0; l < layers.size(); ++l) {
+        const Layer &layer = layers[l];
+        std::vector<double> next(static_cast<size_t>(layer.out));
+        for (int o = 0; o < layer.out; ++o) {
+            double v = layer.b[static_cast<size_t>(o)];
+            const double *wrow = &layer.w[static_cast<size_t>(o * layer.in)];
+            for (int i = 0; i < layer.in; ++i)
+                v += wrow[i] * cur[static_cast<size_t>(i)];
+            // tanh on hidden layers, linear output.
+            next[static_cast<size_t>(o)] =
+                l + 1 < layers.size() ? std::tanh(v) : v;
+        }
+        cur = std::move(next);
+        if (activations)
+            activations->push_back(cur);
+    }
+    return cur;
+}
+
+void
+Mlp::train(const DataSet &data)
+{
+    DAC_ASSERT(!data.empty(), "training on empty dataset");
+    scaler.fit(data);
+    targetScaler.fit(data.allTargets());
+
+    Rng rng(params.seed);
+
+    // Build layers: input -> hidden... -> 1.
+    layers.clear();
+    std::vector<int> widths;
+    widths.push_back(static_cast<int>(data.featureCount()));
+    for (int h : params.hidden)
+        widths.push_back(h);
+    widths.push_back(1);
+    for (size_t l = 0; l + 1 < widths.size(); ++l) {
+        Layer layer;
+        layer.in = widths[l];
+        layer.out = widths[l + 1];
+        const double scale = std::sqrt(2.0 / (layer.in + layer.out));
+        layer.w.resize(static_cast<size_t>(layer.in * layer.out));
+        for (double &w : layer.w)
+            w = rng.normal(0.0, scale);
+        layer.b.assign(static_cast<size_t>(layer.out), 0.0);
+        layer.vw.assign(layer.w.size(), 0.0);
+        layer.vb.assign(layer.b.size(), 0.0);
+        layers.push_back(std::move(layer));
+    }
+
+    // Standardize once.
+    std::vector<std::vector<double>> x(data.size());
+    std::vector<double> y(data.size());
+    for (size_t i = 0; i < data.size(); ++i) {
+        x[i] = scaler.transform(data.rowVector(i));
+        y[i] = targetScaler.transform(data.target(i));
+    }
+
+    std::vector<size_t> order(data.size());
+    for (size_t i = 0; i < order.size(); ++i)
+        order[i] = i;
+
+    for (int epoch = 0; epoch < params.epochs; ++epoch) {
+        rng.shuffle(order);
+        for (size_t start = 0; start < order.size();
+             start += static_cast<size_t>(params.batchSize)) {
+            const size_t end = std::min(
+                order.size(), start + static_cast<size_t>(params.batchSize));
+            const double inv_batch = 1.0 / static_cast<double>(end - start);
+
+            // Accumulated gradients per layer.
+            std::vector<std::vector<double>> gw(layers.size());
+            std::vector<std::vector<double>> gb(layers.size());
+            for (size_t l = 0; l < layers.size(); ++l) {
+                gw[l].assign(layers[l].w.size(), 0.0);
+                gb[l].assign(layers[l].b.size(), 0.0);
+            }
+
+            for (size_t bi = start; bi < end; ++bi) {
+                const size_t i = order[bi];
+                std::vector<std::vector<double>> acts;
+                const auto out = forward(x[i], &acts);
+                // Squared loss gradient at the (linear) output.
+                std::vector<double> delta{out[0] - y[i]};
+
+                for (size_t li = layers.size(); li > 0; --li) {
+                    const size_t l = li - 1;
+                    const Layer &layer = layers[l];
+                    const auto &input = acts[l];
+                    for (int o = 0; o < layer.out; ++o) {
+                        const double d = delta[static_cast<size_t>(o)];
+                        gb[l][static_cast<size_t>(o)] += d;
+                        for (int in = 0; in < layer.in; ++in) {
+                            gw[l][static_cast<size_t>(o * layer.in + in)] +=
+                                d * input[static_cast<size_t>(in)];
+                        }
+                    }
+                    if (l == 0)
+                        break;
+                    // Propagate through weights and tanh derivative.
+                    std::vector<double> prev(
+                        static_cast<size_t>(layer.in), 0.0);
+                    for (int in = 0; in < layer.in; ++in) {
+                        double v = 0.0;
+                        for (int o = 0; o < layer.out; ++o) {
+                            v += layer.w[static_cast<size_t>(
+                                     o * layer.in + in)] *
+                                delta[static_cast<size_t>(o)];
+                        }
+                        const double a = acts[l][static_cast<size_t>(in)];
+                        prev[static_cast<size_t>(in)] = v * (1.0 - a * a);
+                    }
+                    delta = std::move(prev);
+                }
+            }
+
+            for (size_t l = 0; l < layers.size(); ++l) {
+                Layer &layer = layers[l];
+                for (size_t k = 0; k < layer.w.size(); ++k) {
+                    const double g = gw[l][k] * inv_batch +
+                        params.weightDecay * layer.w[k];
+                    layer.vw[k] = params.momentum * layer.vw[k] -
+                        params.learningRate * g;
+                    layer.w[k] += layer.vw[k];
+                }
+                for (size_t k = 0; k < layer.b.size(); ++k) {
+                    const double g = gb[l][k] * inv_batch;
+                    layer.vb[k] = params.momentum * layer.vb[k] -
+                        params.learningRate * g;
+                    layer.b[k] += layer.vb[k];
+                }
+            }
+        }
+    }
+}
+
+double
+Mlp::predict(const std::vector<double> &x) const
+{
+    DAC_ASSERT(!layers.empty(), "predict before train");
+    const auto out = forward(scaler.transform(x), nullptr);
+    return targetScaler.inverse(out[0]);
+}
+
+} // namespace dac::ml

@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Multi-layer perceptron — the paper's ANN baseline (Lee & Brooks,
+ * TACO'10). Two tanh hidden layers, linear output, trained by
+ * mini-batch SGD with momentum on standardized features/targets.
+ */
+
+#ifndef DAC_ML_MLP_H
+#define DAC_ML_MLP_H
+
+#include <cstdint>
+
+#include "ml/model.h"
+#include "ml/scaler.h"
+
+namespace dac::ml {
+
+/** MLP hyperparameters. */
+struct MlpParams
+{
+    /** Hidden layer widths. */
+    std::vector<int> hidden{32, 16};
+    double learningRate = 0.01;
+    double momentum = 0.9;
+    int epochs = 200;
+    int batchSize = 32;
+    /** L2 weight decay. */
+    double weightDecay = 1e-4;
+    uint64_t seed = 1;
+};
+
+/**
+ * Feed-forward neural network regressor.
+ */
+class Mlp : public Model
+{
+  public:
+    explicit Mlp(MlpParams params = {});
+
+    void train(const DataSet &data) override;
+    double predict(const std::vector<double> &x) const override;
+    std::string name() const override { return "ANN"; }
+
+  private:
+    /** One dense layer's parameters and SGD state. */
+    struct Layer
+    {
+        int in = 0;
+        int out = 0;
+        std::vector<double> w;  // out x in, row-major
+        std::vector<double> b;  // out
+        std::vector<double> vw; // momentum buffers
+        std::vector<double> vb;
+    };
+
+    /** Forward pass; fills per-layer activations. */
+    std::vector<double> forward(const std::vector<double> &z,
+                                std::vector<std::vector<double>>
+                                    *activations) const;
+
+    MlpParams params;
+    Scaler scaler;
+    TargetScaler targetScaler;
+    std::vector<Layer> layers;
+};
+
+} // namespace dac::ml
+
+#endif // DAC_ML_MLP_H

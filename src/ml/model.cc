@@ -1,0 +1,40 @@
+#include "ml/model.h"
+
+#include "support/logging.h"
+#include "support/statistics.h"
+
+namespace dac::ml {
+
+std::vector<double>
+Model::predictAll(const DataSet &data) const
+{
+    std::vector<double> out;
+    out.reserve(data.size());
+    for (size_t i = 0; i < data.size(); ++i)
+        out.push_back(predict(data.rowVector(i)));
+    return out;
+}
+
+double
+Model::errorOn(const DataSet &data) const
+{
+    DAC_ASSERT(!data.empty(), "errorOn empty dataset");
+    return mape(predictAll(data), data.allTargets());
+}
+
+double
+scaledMape(const std::vector<double> &predicted,
+           const std::vector<double> &actual, bool exp_space)
+{
+    if (!exp_space)
+        return mape(predicted, actual);
+    std::vector<double> p(predicted.size());
+    std::vector<double> a(actual.size());
+    for (size_t i = 0; i < predicted.size(); ++i) {
+        p[i] = std::exp(predicted[i]);
+        a[i] = std::exp(actual[i]);
+    }
+    return mape(p, a);
+}
+
+} // namespace dac::ml

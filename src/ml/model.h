@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Common interface for all performance-model learners (the paper's
+ * RS, ANN, SVM, RF and the proposed HM), plus evaluation helpers.
+ */
+
+#ifndef DAC_ML_MODEL_H
+#define DAC_ML_MODEL_H
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "ml/dataset.h"
+
+namespace dac::ml {
+
+/**
+ * A trainable regression model t = f(c1..cn, dsize).
+ */
+class Model
+{
+  public:
+    virtual ~Model() = default;
+
+    /** Fit the model on a training set. */
+    virtual void train(const DataSet &data) = 0;
+
+    /** Predict the target for one feature vector. */
+    virtual double predict(const std::vector<double> &x) const = 0;
+
+    /** Short technique name, e.g. "HM", "RF". */
+    virtual std::string name() const = 0;
+
+    /** Predict every row of a dataset. */
+    std::vector<double> predictAll(const DataSet &data) const;
+
+    /**
+     * Prediction error on a dataset: the paper's Eq. 2, averaged
+     * (mean absolute percentage error), in percent.
+     */
+    double errorOn(const DataSet &data) const;
+};
+
+/**
+ * MAPE between predictions and actuals, optionally mapping both
+ * through exp() first (used when a learner trains on log targets but
+ * accuracy must be judged in the original scale).
+ */
+double scaledMape(const std::vector<double> &predicted,
+                  const std::vector<double> &actual, bool exp_space);
+
+} // namespace dac::ml
+
+#endif // DAC_ML_MODEL_H

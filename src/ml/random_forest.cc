@@ -1,0 +1,50 @@
+#include "ml/random_forest.h"
+
+#include <algorithm>
+
+#include "support/logging.h"
+
+namespace dac::ml {
+
+RandomForest::RandomForest(ForestParams params)
+    : params(params)
+{
+    DAC_ASSERT(params.treeCount >= 1, "need at least one tree");
+}
+
+void
+RandomForest::train(const DataSet &data)
+{
+    DAC_ASSERT(!data.empty(), "training on empty dataset");
+    trees.clear();
+    trees.reserve(static_cast<size_t>(params.treeCount));
+
+    Rng rng(params.seed);
+    const int mtry = params.featureSubset > 0
+        ? params.featureSubset
+        : std::max(1, static_cast<int>(data.featureCount()) / 3);
+
+    for (int t = 0; t < params.treeCount; ++t) {
+        DataSet sample = data.bootstrap(rng);
+        TreeParams tp;
+        tp.treeComplexity = params.treeComplexity;
+        tp.featureSubset = mtry;
+        tp.minSamplesLeaf = params.minSamplesLeaf;
+        tp.seed = rng.raw();
+        RegressionTree tree(tp);
+        tree.train(sample);
+        trees.push_back(std::move(tree));
+    }
+}
+
+double
+RandomForest::predict(const std::vector<double> &x) const
+{
+    DAC_ASSERT(!trees.empty(), "predict before train");
+    double sum = 0.0;
+    for (const auto &tree : trees)
+        sum += tree.predict(x);
+    return sum / static_cast<double>(trees.size());
+}
+
+} // namespace dac::ml

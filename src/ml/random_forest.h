@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Random forest regression — the technique RFHOC (Bei et al., TPDS'16)
+ * uses for Hadoop auto-tuning, reimplemented here as both a Figure 3/9
+ * model-accuracy baseline and the model inside our RFHOC tuner.
+ */
+
+#ifndef DAC_ML_RANDOM_FOREST_H
+#define DAC_ML_RANDOM_FOREST_H
+
+#include "ml/regression_tree.h"
+
+namespace dac::ml {
+
+/** Random forest hyperparameters. */
+struct ForestParams
+{
+    /** Number of bagged trees. */
+    int treeCount = 100;
+    /** Split nodes per tree (deep trees, unlike boosting's stumps). */
+    int treeComplexity = 64;
+    /** Features per split; 0 = featureCount / 3 (regression rule). */
+    int featureSubset = 0;
+    int minSamplesLeaf = 3;
+    uint64_t seed = 1;
+};
+
+/**
+ * Bagged ensemble of randomized regression trees.
+ */
+class RandomForest : public Model
+{
+  public:
+    explicit RandomForest(ForestParams params);
+
+    void train(const DataSet &data) override;
+    double predict(const std::vector<double> &x) const override;
+    std::string name() const override { return "RF"; }
+
+    int treeCount() const { return static_cast<int>(trees.size()); }
+
+  private:
+    ForestParams params;
+    std::vector<RegressionTree> trees;
+};
+
+} // namespace dac::ml
+
+#endif // DAC_ML_RANDOM_FOREST_H

@@ -1,0 +1,239 @@
+#include "ml/regression_tree.h"
+
+#include <algorithm>
+#include <cmath>
+#include <queue>
+
+#include "support/logging.h"
+
+namespace dac::ml {
+
+namespace {
+
+/** A candidate split of one leaf's rows. */
+struct Candidate
+{
+    double gain = -1.0;
+    int nodeIndex = -1;
+    int feature = -1;
+    double threshold = 0.0;
+    std::vector<size_t> rows;
+
+    bool
+    operator<(const Candidate &other) const
+    {
+        return gain < other.gain; // max-heap by gain
+    }
+};
+
+} // namespace
+
+/**
+ * Internal helper that grows a RegressionTree best-first.
+ */
+class TreeBuilder
+{
+  public:
+    TreeBuilder(RegressionTree &tree, const DataSet &data,
+                const TreeParams &params)
+        : tree(tree), data(data), params(params), rng(params.seed)
+    {
+    }
+
+    void
+    build()
+    {
+        tree.nodes.clear();
+        std::vector<size_t> all(data.size());
+        for (size_t i = 0; i < all.size(); ++i)
+            all[i] = i;
+
+        tree.nodes.push_back(makeLeaf(all));
+
+        std::priority_queue<Candidate> frontier;
+        pushCandidate(frontier, 0, std::move(all));
+
+        int splits = 0;
+        while (splits < params.treeComplexity && !frontier.empty()) {
+            Candidate cand = frontier.top();
+            frontier.pop();
+            if (cand.gain <= 1e-12)
+                break;
+
+            std::vector<size_t> left_rows;
+            std::vector<size_t> right_rows;
+            for (size_t r : cand.rows) {
+                if (data.at(r, cand.feature) <= cand.threshold)
+                    left_rows.push_back(r);
+                else
+                    right_rows.push_back(r);
+            }
+            if (left_rows.empty() || right_rows.empty())
+                continue; // degenerate under duplicate feature values
+
+            // Note: take indices, not references -- the push_backs
+            // below may reallocate the node vector.
+            const int left_index = static_cast<int>(tree.nodes.size());
+            tree.nodes.push_back(makeLeaf(left_rows));
+            const int right_index = static_cast<int>(tree.nodes.size());
+            tree.nodes.push_back(makeLeaf(right_rows));
+            auto &node = tree.nodes[static_cast<size_t>(cand.nodeIndex)];
+            node.feature = cand.feature;
+            node.threshold = cand.threshold;
+            node.left = left_index;
+            node.right = right_index;
+            ++splits;
+
+            pushCandidate(frontier, left_index, std::move(left_rows));
+            pushCandidate(frontier, right_index, std::move(right_rows));
+        }
+    }
+
+  private:
+    RegressionTree::Node
+    makeLeaf(const std::vector<size_t> &rows) const
+    {
+        RegressionTree::Node leaf;
+        double sum = 0.0;
+        for (size_t r : rows)
+            sum += data.target(r);
+        leaf.value = rows.empty() ? 0.0
+            : sum / static_cast<double>(rows.size());
+        return leaf;
+    }
+
+    /** Find the best histogram split of `rows` and queue it. */
+    void
+    pushCandidate(std::priority_queue<Candidate> &frontier, int node_index,
+                  std::vector<size_t> rows)
+    {
+        if (rows.size() < 2 * static_cast<size_t>(params.minSamplesLeaf))
+            return;
+
+        const size_t feature_count = data.featureCount();
+        std::vector<size_t> features;
+        if (params.featureSubset > 0 &&
+            static_cast<size_t>(params.featureSubset) < feature_count) {
+            features = rng.sampleIndices(
+                feature_count, static_cast<size_t>(params.featureSubset));
+        } else {
+            features.resize(feature_count);
+            for (size_t f = 0; f < feature_count; ++f)
+                features[f] = f;
+        }
+
+        double total_sum = 0.0;
+        for (size_t r : rows)
+            total_sum += data.target(r);
+        const double n = static_cast<double>(rows.size());
+        const double base_score = total_sum * total_sum / n;
+
+        Candidate best;
+        best.nodeIndex = node_index;
+
+        const int bins = params.histogramBins;
+        std::vector<double> bin_sum(static_cast<size_t>(bins));
+        std::vector<double> bin_count(static_cast<size_t>(bins));
+
+        for (size_t f : features) {
+            double lo = data.at(rows[0], f);
+            double hi = lo;
+            for (size_t r : rows) {
+                const double v = data.at(r, f);
+                lo = std::min(lo, v);
+                hi = std::max(hi, v);
+            }
+            if (hi <= lo)
+                continue;
+
+            std::fill(bin_sum.begin(), bin_sum.end(), 0.0);
+            std::fill(bin_count.begin(), bin_count.end(), 0.0);
+            const double scale = bins / (hi - lo);
+            for (size_t r : rows) {
+                int b = static_cast<int>((data.at(r, f) - lo) * scale);
+                b = std::clamp(b, 0, bins - 1);
+                bin_sum[static_cast<size_t>(b)] += data.target(r);
+                bin_count[static_cast<size_t>(b)] += 1.0;
+            }
+
+            double left_sum = 0.0;
+            double left_n = 0.0;
+            for (int b = 0; b < bins - 1; ++b) {
+                left_sum += bin_sum[static_cast<size_t>(b)];
+                left_n += bin_count[static_cast<size_t>(b)];
+                const double right_n = n - left_n;
+                if (left_n < params.minSamplesLeaf ||
+                    right_n < params.minSamplesLeaf) {
+                    continue;
+                }
+                const double right_sum = total_sum - left_sum;
+                const double gain = left_sum * left_sum / left_n +
+                    right_sum * right_sum / right_n - base_score;
+                if (gain > best.gain) {
+                    best.gain = gain;
+                    best.feature = static_cast<int>(f);
+                    best.threshold = lo + (b + 1) / scale;
+                }
+            }
+        }
+
+        if (best.feature >= 0) {
+            best.rows = std::move(rows);
+            frontier.push(std::move(best));
+        }
+    }
+
+    RegressionTree &tree;
+    const DataSet &data;
+    const TreeParams &params;
+    Rng rng;
+};
+
+RegressionTree::RegressionTree(TreeParams params)
+    : params(params)
+{
+    DAC_ASSERT(params.treeComplexity >= 1, "tree complexity must be >= 1");
+    DAC_ASSERT(params.histogramBins >= 2, "need at least two bins");
+}
+
+void
+RegressionTree::train(const DataSet &data)
+{
+    DAC_ASSERT(!data.empty(), "training on empty dataset");
+    TreeBuilder builder(*this, data, params);
+    builder.build();
+}
+
+double
+RegressionTree::predict(const std::vector<double> &x) const
+{
+    DAC_ASSERT(!nodes.empty(), "predict before train");
+    int idx = 0;
+    while (nodes[static_cast<size_t>(idx)].feature >= 0) {
+        const Node &node = nodes[static_cast<size_t>(idx)];
+        DAC_ASSERT(static_cast<size_t>(node.feature) < x.size(),
+                   "feature vector too short");
+        idx = x[static_cast<size_t>(node.feature)] <= node.threshold
+            ? node.left : node.right;
+    }
+    return nodes[static_cast<size_t>(idx)].value;
+}
+
+int
+RegressionTree::splitCount() const
+{
+    int count = 0;
+    for (const auto &node : nodes) {
+        if (node.feature >= 0)
+            ++count;
+    }
+    return count;
+}
+
+int
+RegressionTree::leafCount() const
+{
+    return static_cast<int>(nodes.size()) - splitCount();
+}
+
+} // namespace dac::ml

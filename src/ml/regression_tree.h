@@ -1,0 +1,71 @@
+/**
+ * @file
+ * CART regression tree with best-first growth and histogram-based
+ * split finding. The paper's "tree complexity" (tc) is the number of
+ * split nodes: tc = 1 is a stump, tc = 5 a six-leaf tree (Section 5.2,
+ * Figure 8).
+ */
+
+#ifndef DAC_ML_REGRESSION_TREE_H
+#define DAC_ML_REGRESSION_TREE_H
+
+#include <cstdint>
+
+#include "ml/model.h"
+
+namespace dac::ml {
+
+/** Tuning parameters of a regression tree. */
+struct TreeParams
+{
+    /** Number of split nodes (the paper's tree complexity tc). */
+    int treeComplexity = 5;
+    /** Minimum examples per leaf. */
+    int minSamplesLeaf = 3;
+    /** Histogram bins per feature when scanning for splits. */
+    int histogramBins = 32;
+    /**
+     * Features considered per split: 0 = all; otherwise a random
+     * subset of this size (random forests use featureCount/3).
+     */
+    int featureSubset = 0;
+    /** Seed for feature subsampling. */
+    uint64_t seed = 1;
+};
+
+/**
+ * A single regression tree.
+ */
+class RegressionTree : public Model
+{
+  public:
+    explicit RegressionTree(TreeParams params);
+
+    void train(const DataSet &data) override;
+    double predict(const std::vector<double> &x) const override;
+    std::string name() const override { return "RegressionTree"; }
+
+    /** Number of split nodes actually grown. */
+    int splitCount() const;
+    /** Number of leaves. */
+    int leafCount() const;
+
+  private:
+    struct Node
+    {
+        int feature = -1;       // -1 for leaves
+        double threshold = 0.0;
+        double value = 0.0;     // leaf prediction
+        int left = -1;
+        int right = -1;
+    };
+
+    TreeParams params;
+    std::vector<Node> nodes;
+
+    friend class TreeBuilder;
+};
+
+} // namespace dac::ml
+
+#endif // DAC_ML_REGRESSION_TREE_H

@@ -1,0 +1,77 @@
+#include "ml/response_surface.h"
+
+#include "ml/linalg.h"
+#include "support/logging.h"
+
+namespace dac::ml {
+
+ResponseSurface::ResponseSurface(RsParams params)
+    : params(params)
+{
+}
+
+std::vector<double>
+ResponseSurface::expand(const std::vector<double> &z) const
+{
+    const size_t p = z.size();
+    std::vector<double> terms;
+    terms.reserve(1 + 2 * p + (params.interactions ? p * (p - 1) / 2 : 0));
+    terms.push_back(1.0);
+    for (double v : z)
+        terms.push_back(v);
+    for (double v : z)
+        terms.push_back(v * v);
+    if (params.interactions) {
+        for (size_t i = 0; i < p; ++i) {
+            for (size_t j = i + 1; j < p; ++j)
+                terms.push_back(z[i] * z[j]);
+        }
+    }
+    return terms;
+}
+
+void
+ResponseSurface::train(const DataSet &data)
+{
+    DAC_ASSERT(!data.empty(), "training on empty dataset");
+    scaler.fit(data);
+    targetScaler.fit(data.allTargets());
+
+    const size_t t = expand(scaler.transform(data.rowVector(0))).size();
+
+    // Accumulate the normal equations X'X and X'y.
+    std::vector<double> xtx(t * t, 0.0);
+    std::vector<double> xty(t, 0.0);
+    for (size_t i = 0; i < data.size(); ++i) {
+        const auto row = expand(scaler.transform(data.rowVector(i)));
+        const double y = targetScaler.transform(data.target(i));
+        for (size_t a = 0; a < t; ++a) {
+            xty[a] += row[a] * y;
+            const double ra = row[a];
+            // Fill the upper triangle; mirror afterwards.
+            for (size_t b = a; b < t; ++b)
+                xtx[a * t + b] += ra * row[b];
+        }
+    }
+    for (size_t a = 0; a < t; ++a) {
+        for (size_t b = 0; b < a; ++b)
+            xtx[a * t + b] = xtx[b * t + a];
+        xtx[a * t + a] += params.ridge * static_cast<double>(data.size());
+    }
+
+    coeffs = choleskySolve(std::move(xtx), std::move(xty), t);
+}
+
+double
+ResponseSurface::predict(const std::vector<double> &x) const
+{
+    DAC_ASSERT(!coeffs.empty(), "predict before train");
+    const auto row = expand(scaler.transform(x));
+    DAC_ASSERT(row.size() == coeffs.size(), "term count mismatch");
+    double z = 0.0;
+    for (size_t i = 0; i < row.size(); ++i)
+        z += coeffs[i] * row[i];
+    return targetScaler.inverse(z);
+}
+
+} // namespace dac::ml

@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Response-surface model: full second-order polynomial regression
+ * (linear + quadratic + pairwise interaction terms) fit by ridge-
+ * regularized least squares. This is the statistical-reasoning
+ * baseline the paper evaluates (Gencer et al., Middleware'15).
+ */
+
+#ifndef DAC_ML_RESPONSE_SURFACE_H
+#define DAC_ML_RESPONSE_SURFACE_H
+
+#include "ml/model.h"
+#include "ml/scaler.h"
+
+namespace dac::ml {
+
+/** Response-surface hyperparameters. */
+struct RsParams
+{
+    /** Ridge regularization strength. */
+    double ridge = 1e-3;
+    /** Include pairwise interaction terms (quadratic RSM). */
+    bool interactions = true;
+};
+
+/**
+ * Second-order polynomial regression on standardized features.
+ */
+class ResponseSurface : public Model
+{
+  public:
+    explicit ResponseSurface(RsParams params = {});
+
+    void train(const DataSet &data) override;
+    double predict(const std::vector<double> &x) const override;
+    std::string name() const override { return "RS"; }
+
+    /** Number of polynomial terms (including the intercept). */
+    size_t termCount() const { return coeffs.size(); }
+
+  private:
+    /** Expand a standardized feature vector into polynomial terms. */
+    std::vector<double> expand(const std::vector<double> &z) const;
+
+    RsParams params;
+    Scaler scaler;
+    TargetScaler targetScaler;
+    std::vector<double> coeffs;
+};
+
+} // namespace dac::ml
+
+#endif // DAC_ML_RESPONSE_SURFACE_H

@@ -1,0 +1,57 @@
+#include "ml/scaler.h"
+
+#include <cmath>
+
+#include "support/logging.h"
+#include "support/statistics.h"
+
+namespace dac::ml {
+
+void
+Scaler::fit(const DataSet &data)
+{
+    DAC_ASSERT(!data.empty(), "scaler fit on empty dataset");
+    const size_t p = data.featureCount();
+    means.assign(p, 0.0);
+    stds.assign(p, 1.0);
+    for (size_t j = 0; j < p; ++j) {
+        Summary s;
+        for (size_t i = 0; i < data.size(); ++i)
+            s.add(data.at(i, j));
+        means[j] = s.mean();
+        stds[j] = s.stddev() > 1e-12 ? s.stddev() : 1.0;
+    }
+}
+
+std::vector<double>
+Scaler::transform(const std::vector<double> &x) const
+{
+    DAC_ASSERT(x.size() == means.size(), "scaler width mismatch");
+    std::vector<double> z(x.size());
+    for (size_t j = 0; j < x.size(); ++j)
+        z[j] = (x[j] - means[j]) / stds[j];
+    return z;
+}
+
+void
+TargetScaler::fit(const std::vector<double> &y)
+{
+    DAC_ASSERT(!y.empty(), "target scaler fit on empty vector");
+    mean = dac::mean(y);
+    const double s = dac::stddev(y);
+    std = s > 1e-12 ? s : 1.0;
+}
+
+double
+TargetScaler::transform(double y) const
+{
+    return (y - mean) / std;
+}
+
+double
+TargetScaler::inverse(double z) const
+{
+    return z * std + mean;
+}
+
+} // namespace dac::ml

@@ -1,0 +1,125 @@
+#include "ml/svr.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "support/logging.h"
+
+namespace dac::ml {
+
+namespace {
+
+/** Soft-threshold operator for the L1 (epsilon) term. */
+double
+softThreshold(double v, double t)
+{
+    if (v > t)
+        return v - t;
+    if (v < -t)
+        return v + t;
+    return 0.0;
+}
+
+} // namespace
+
+Svr::Svr(SvrParams params)
+    : params(params)
+{
+    DAC_ASSERT(params.c > 0.0, "C must be positive");
+    DAC_ASSERT(params.epsilon >= 0.0, "epsilon must be non-negative");
+}
+
+double
+Svr::kernel(const std::vector<double> &a, const std::vector<double> &b) const
+{
+    DAC_ASSERT(a.size() == b.size(), "kernel dimension mismatch");
+    double d2 = 0.0;
+    for (size_t i = 0; i < a.size(); ++i) {
+        const double d = a[i] - b[i];
+        d2 += d * d;
+    }
+    // +1 offset absorbs the bias term.
+    return std::exp(-gammaUsed * d2) + 1.0;
+}
+
+void
+Svr::train(const DataSet &data)
+{
+    DAC_ASSERT(data.size() >= 2, "too little data for SVR");
+    const size_t n = data.size();
+    scaler.fit(data);
+    targetScaler.fit(data.allTargets());
+    gammaUsed = params.gamma > 0.0
+        ? params.gamma
+        : 1.0 / static_cast<double>(data.featureCount());
+
+    std::vector<std::vector<double>> x(n);
+    std::vector<double> y(n);
+    for (size_t i = 0; i < n; ++i) {
+        x[i] = scaler.transform(data.rowVector(i));
+        y[i] = targetScaler.transform(data.target(i));
+    }
+
+    // Precompute the (offset) kernel matrix.
+    std::vector<double> kmat(n * n);
+    for (size_t i = 0; i < n; ++i) {
+        for (size_t j = i; j < n; ++j) {
+            const double kij = kernel(x[i], x[j]);
+            kmat[i * n + j] = kij;
+            kmat[j * n + i] = kij;
+        }
+    }
+
+    std::vector<double> beta(n, 0.0);
+    std::vector<double> kbeta(n, 0.0); // K * beta, kept incremental
+
+    for (int epoch = 0; epoch < params.epochs; ++epoch) {
+        double max_delta = 0.0;
+        for (size_t i = 0; i < n; ++i) {
+            const double kii = kmat[i * n + i];
+            // Exact single-coordinate minimizer of
+            //   1/2 b'Kb - b'y + eps*|b|_1  w.r.t. beta_i.
+            const double residual_i = kbeta[i] - kii * beta[i] - y[i];
+            double next = softThreshold(-residual_i, params.epsilon) / kii;
+            next = std::clamp(next, -params.c, params.c);
+            const double delta = next - beta[i];
+            if (delta == 0.0)
+                continue;
+            beta[i] = next;
+            const double *krow = &kmat[i * n];
+            for (size_t j = 0; j < n; ++j)
+                kbeta[j] += delta * krow[j];
+            max_delta = std::max(max_delta, std::abs(delta));
+        }
+        if (max_delta < params.tol)
+            break;
+    }
+
+    supportVectors.clear();
+    supportBeta.clear();
+    for (size_t i = 0; i < n; ++i) {
+        if (beta[i] != 0.0) {
+            supportVectors.push_back(std::move(x[i]));
+            supportBeta.push_back(beta[i]);
+        }
+    }
+    if (supportBeta.empty()) {
+        // Degenerate (all targets inside the tube): predict the mean.
+        supportVectors.push_back(std::vector<double>(
+            data.featureCount(), 0.0));
+        supportBeta.push_back(0.0);
+    }
+}
+
+double
+Svr::predict(const std::vector<double> &x_raw) const
+{
+    DAC_ASSERT(!supportBeta.empty(), "predict before train");
+    const auto z = scaler.transform(x_raw);
+    double f = 0.0;
+    for (size_t s = 0; s < supportBeta.size(); ++s)
+        f += supportBeta[s] * kernel(supportVectors[s], z);
+    return targetScaler.inverse(f);
+}
+
+} // namespace dac::ml

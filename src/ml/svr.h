@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Epsilon-insensitive support vector regression with an RBF kernel —
+ * the paper's SVM baseline (Lama & Zhou, ICAC'12).
+ *
+ * Solved by cyclic coordinate descent on the L1-regularized kernel
+ * dual (the bias is absorbed by a +1 kernel offset, removing the
+ * equality constraint so single-coordinate SMO-style updates are
+ * exact). The epsilon term produces the usual support-vector sparsity.
+ */
+
+#ifndef DAC_ML_SVR_H
+#define DAC_ML_SVR_H
+
+#include "ml/model.h"
+#include "ml/scaler.h"
+
+namespace dac::ml {
+
+/** SVR hyperparameters (on standardized features/targets). */
+struct SvrParams
+{
+    /** Box constraint on dual coefficients. */
+    double c = 10.0;
+    /** Epsilon tube half-width (standardized target units). */
+    double epsilon = 0.08;
+    /** RBF gamma; 0 = 1/featureCount. */
+    double gamma = 0.0;
+    /** Full coordinate sweeps. */
+    int epochs = 40;
+    /** Stop when the largest coefficient change in a sweep is below. */
+    double tol = 1e-4;
+};
+
+/**
+ * RBF-kernel support vector regression.
+ */
+class Svr : public Model
+{
+  public:
+    explicit Svr(SvrParams params = {});
+
+    void train(const DataSet &data) override;
+    double predict(const std::vector<double> &x) const override;
+    std::string name() const override { return "SVM"; }
+
+    /** Number of support vectors (nonzero dual coefficients). */
+    size_t supportVectorCount() const { return supportBeta.size(); }
+
+  private:
+    double kernel(const std::vector<double> &a,
+                  const std::vector<double> &b) const;
+
+    SvrParams params;
+    double gammaUsed = 1.0;
+    Scaler scaler;
+    TargetScaler targetScaler;
+    std::vector<std::vector<double>> supportVectors; // standardized
+    std::vector<double> supportBeta;
+};
+
+} // namespace dac::ml
+
+#endif // DAC_ML_SVR_H

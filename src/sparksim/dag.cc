@@ -1,0 +1,14 @@
+#include "sparksim/dag.h"
+
+namespace dac::sparksim {
+
+double
+JobDag::totalBytesProcessed() const
+{
+    double total = 0.0;
+    for (const auto &s : stages)
+        total += s.inputBytes * s.iterations;
+    return total;
+}
+
+} // namespace dac::sparksim

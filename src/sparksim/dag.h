@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Job descriptions consumed by the Spark simulator: a job is a DAG of
+ * stages (Figure 1 of the paper); our six workloads have linear stage
+ * chains, some of whose stages iterate.
+ */
+
+#ifndef DAC_SPARKSIM_DAG_H
+#define DAC_SPARKSIM_DAG_H
+
+#include <string>
+#include <vector>
+
+namespace dac::sparksim {
+
+/** Where a stage's input comes from. */
+enum class StageKind {
+    Input,   ///< reads the job input from distributed storage
+    Shuffle, ///< reads the previous stage's shuffle output
+    Result,  ///< narrow stage producing results for the driver
+};
+
+/**
+ * Static description of one stage of a Spark job.
+ *
+ * Sizes are bytes of *serialized on-disk* data; the simulator applies
+ * serializer/compression expansion factors itself.
+ */
+struct StageSpec
+{
+    /** Stage name, e.g. "stageC-aggregate". */
+    std::string name;
+    /** Reporting group used by the per-stage figures (13, 14). */
+    std::string group;
+    StageKind kind = StageKind::Input;
+    /** Bytes consumed by the stage (per iteration). */
+    double inputBytes = 0.0;
+    /** Relative CPU intensity per input byte (1 = plain scan). */
+    double computePerByte = 1.0;
+    /** Shuffle output bytes / input bytes. */
+    double shuffleWriteRatio = 0.0;
+    /** Bytes collected to the driver at the end of the stage. */
+    double outputToDriverBytes = 0.0;
+    /** Bytes broadcast to every executor before the stage runs. */
+    double broadcastBytes = 0.0;
+    /** Whether the stage performs map-side aggregation (affects the
+     *  sort-bypass path). */
+    bool mapSideAggregation = false;
+    /** Stage reads an RDD the program asked Spark to cache. */
+    bool cachedInput = false;
+    /** On-disk bytes of the cacheable RDD this stage re-reads. */
+    double cacheableBytes = 0.0;
+    /** Cached RDD additionally joined in by a shuffle stage (bytes);
+     *  read cheaply on cache hits, recomputed from disk on misses. */
+    double cachedSideInputBytes = 0.0;
+    /** Bytes the stage persists to distributed storage at the end. */
+    double outputBytes = 0.0;
+    /** Times the stage body repeats (iterative stages). */
+    int iterations = 1;
+    /** Average record size in bytes (Kryo buffer interactions). */
+    double recordSizeBytes = 200.0;
+    /** Relative allocation churn per byte processed (GC pressure). */
+    double gcChurn = 1.0;
+    /** Per-task working set bytes / per-task input bytes. */
+    double workingSetRatio = 1.0;
+};
+
+/**
+ * A complete job: program metadata plus its stage chain.
+ */
+struct JobDag
+{
+    /** Program name, e.g. "KMeans". */
+    std::string program;
+    /** Total job input in bytes (the paper's dsize). */
+    double inputBytes = 0.0;
+    /** Java deserialized-object expansion factor for this data type. */
+    double javaExpansion = 2.2;
+    /** Object graphs contain shared/cyclic references (GraphX); Kryo
+     *  without reference tracking mis-serializes them. */
+    bool cyclicReferences = false;
+    std::vector<StageSpec> stages;
+
+    /** Sum of per-stage input bytes over all iterations. */
+    double totalBytesProcessed() const;
+};
+
+} // namespace dac::sparksim
+
+#endif // DAC_SPARKSIM_DAG_H

@@ -1,0 +1,24 @@
+#include "sparksim/gc.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace dac::sparksim {
+
+double
+gcOverheadFraction(double occupancy, double churn, double pressure)
+{
+    occupancy = std::max(0.0, occupancy);
+    churn = std::max(0.0, churn);
+    pressure = std::max(0.0, pressure);
+    // Live-set pressure: cheap below ~70% occupancy, convex above,
+    // thrashing in back-to-back full collections past the heap size.
+    const double live_cost = 0.01 + 0.30 * occupancy * occupancy +
+        12.0 * std::pow(std::max(0.0, occupancy - 1.0), 2.0);
+    // Allocation pressure: every "heap turnover" a task causes is a
+    // round of young collections plus promotion traffic.
+    const double churn_cost = 0.055 * std::pow(pressure, 1.35);
+    return (live_cost + churn_cost) * (0.4 + 0.6 * churn);
+}
+
+} // namespace dac::sparksim

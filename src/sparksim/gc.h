@@ -1,0 +1,31 @@
+/**
+ * @file
+ * JVM garbage collection model. GC cost grows convexly with heap
+ * occupancy and with the workload's allocation churn; off-heap memory
+ * relieves it. This is the mechanism behind the paper's Figure 13(d/e)
+ * and Figure 14 GC-time results.
+ */
+
+#ifndef DAC_SPARKSIM_GC_H
+#define DAC_SPARKSIM_GC_H
+
+namespace dac::sparksim {
+
+/**
+ * Fraction of task CPU time spent in GC.
+ *
+ * @param occupancy Live bytes over heap bytes (see MemoryModel).
+ * @param churn     Workload allocation-churn factor (~0.5 numeric
+ *                  kernels, ~2.5 text/object-heavy kernels).
+ * @param pressure  Allocation pressure: bytes allocated by the
+ *                  executor's concurrent tasks divided by the heap
+ *                  ("heap turnovers per task"). Small heaps streaming
+ *                  large partitions turn the heap over many times and
+ *                  collect continuously.
+ * @return GC-time fraction; ~0.01 when idle, >1 when thrashing.
+ */
+double gcOverheadFraction(double occupancy, double churn, double pressure);
+
+} // namespace dac::sparksim
+
+#endif // DAC_SPARKSIM_GC_H

@@ -1,0 +1,76 @@
+#include "sparksim/knobs.h"
+
+#include <algorithm>
+
+#include "support/logging.h"
+#include "support/units.h"
+
+namespace dac::sparksim {
+
+SparkKnobs
+SparkKnobs::decode(const conf::Configuration &config)
+{
+    using namespace conf;
+    DAC_ASSERT(&config.space() == &ConfigSpace::spark(),
+               "SparkKnobs requires a Spark-space configuration");
+
+    SparkKnobs k;
+    k.reducerMaxSizeInFlightBytes =
+        mbToBytes(config.get(ReducerMaxSizeInFlight));
+    k.shuffleFileBufferBytes = config.get(ShuffleFileBuffer) * KiB;
+    k.shuffleSortBypassMergeThreshold =
+        static_cast<int>(config.getInt(ShuffleSortBypassMergeThreshold));
+    k.shuffleCompress = config.getBool(ShuffleCompress);
+    k.shuffleConsolidateFiles = config.getBool(ShuffleConsolidateFiles);
+    k.shuffleSpill = config.getBool(ShuffleSpill);
+    k.shuffleSpillCompress = config.getBool(ShuffleSpillCompress);
+    k.shuffleManager =
+        static_cast<ShuffleManagerKind>(config.getCategory(ShuffleManager));
+
+    k.speculation = config.getBool(Speculation);
+    k.speculationIntervalSec = msToSec(config.get(SpeculationInterval));
+    k.speculationMultiplier = config.get(SpeculationMultiplier);
+    k.speculationQuantile = config.get(SpeculationQuantile);
+
+    k.serializer =
+        static_cast<Serializer>(config.getCategory(SerializerClass));
+    k.kryoReferenceTracking = config.getBool(KryoReferenceTracking);
+    k.kryoBufferMaxBytes = mbToBytes(config.get(KryoserializerBufferMax));
+    k.kryoBufferInitBytes = config.get(KryoserializerBuffer) * KiB;
+    k.codec = static_cast<Codec>(config.getCategory(IoCompressionCodec));
+    k.lz4BlockBytes = config.get(IoCompressionLz4BlockSize) * KiB;
+    k.snappyBlockBytes = config.get(IoCompressionSnappyBlockSize) * KiB;
+    k.rddCompress = config.getBool(RddCompress);
+    k.broadcastCompress = config.getBool(BroadcastCompress);
+    k.broadcastBlockBytes = mbToBytes(config.get(BroadcastBlockSize));
+
+    k.driverCores = static_cast<int>(config.getInt(DriverCores));
+    k.executorCores = static_cast<int>(config.getInt(ExecutorCores));
+    k.driverMemoryBytes = mbToBytes(config.get(DriverMemory));
+    k.executorMemoryBytes = mbToBytes(config.get(ExecutorMemory));
+
+    k.memoryFraction = config.get(MemoryFraction);
+    k.memoryStorageFraction = config.get(MemoryStorageFraction);
+    k.offHeapEnabled = config.getBool(MemoryOffHeapEnabled);
+    k.offHeapBytes = mbToBytes(config.get(MemoryOffHeapSize));
+    k.memoryMapThresholdBytes =
+        mbToBytes(config.get(StorageMemoryMapThreshold));
+
+    k.akkaFailureDetectorThreshold =
+        config.get(AkkaFailureDetectorThreshold);
+    k.akkaHeartbeatPausesSec = config.get(AkkaHeartbeatPauses);
+    k.akkaHeartbeatIntervalSec = config.get(AkkaHeartbeatInterval);
+    k.akkaThreads = static_cast<int>(config.getInt(AkkaThreads));
+    k.networkTimeoutSec = config.get(NetworkTimeout);
+
+    k.localityWaitSec = config.get(LocalityWait);
+    k.schedulerReviveIntervalSec = config.get(SchedulerReviveInterval);
+    k.taskMaxFailures =
+        std::max<int>(1, static_cast<int>(config.getInt(TaskMaxFailures)));
+    k.localExecutionEnabled = config.getBool(LocalExecutionEnabled);
+    k.defaultParallelism =
+        std::max<int>(1, static_cast<int>(config.getInt(DefaultParallelism)));
+    return k;
+}
+
+} // namespace dac::sparksim

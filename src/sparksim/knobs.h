@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Typed, unit-converted view of a Spark Configuration. This is the only
+ * place in the simulator that touches raw parameter vectors; every cost
+ * model below reads SparkKnobs fields in SI units (bytes, seconds).
+ */
+
+#ifndef DAC_SPARKSIM_KNOBS_H
+#define DAC_SPARKSIM_KNOBS_H
+
+#include "conf/config.h"
+
+namespace dac::sparksim {
+
+/** Compression codec choices (order matches the config space). */
+enum class Codec { Snappy = 0, Lzf = 1, Lz4 = 2 };
+
+/** Serializer choices. */
+enum class Serializer { Java = 0, Kryo = 1 };
+
+/** Shuffle manager choices. */
+enum class ShuffleManagerKind { Sort = 0, Hash = 1 };
+
+/**
+ * All 41 parameters of Table 2 decoded into typed fields.
+ */
+struct SparkKnobs
+{
+    /** Decode a Spark-space Configuration. */
+    static SparkKnobs decode(const conf::Configuration &config);
+
+    // Shuffle behaviour.
+    double reducerMaxSizeInFlightBytes;
+    double shuffleFileBufferBytes;
+    int shuffleSortBypassMergeThreshold;
+    bool shuffleCompress;
+    bool shuffleConsolidateFiles;
+    bool shuffleSpill;
+    bool shuffleSpillCompress;
+    ShuffleManagerKind shuffleManager;
+
+    // Speculation.
+    bool speculation;
+    double speculationIntervalSec;
+    double speculationMultiplier;
+    double speculationQuantile;
+
+    // Serialization / compression.
+    Serializer serializer;
+    bool kryoReferenceTracking;
+    double kryoBufferMaxBytes;
+    double kryoBufferInitBytes;
+    Codec codec;
+    double lz4BlockBytes;
+    double snappyBlockBytes;
+    bool rddCompress;
+    bool broadcastCompress;
+    double broadcastBlockBytes;
+
+    // Executor / driver sizing.
+    int driverCores;
+    int executorCores;
+    double driverMemoryBytes;
+    double executorMemoryBytes;
+
+    // Memory management.
+    double memoryFraction;
+    double memoryStorageFraction;
+    bool offHeapEnabled;
+    double offHeapBytes;
+    double memoryMapThresholdBytes;
+
+    // Networking / RPC.
+    double akkaFailureDetectorThreshold;
+    double akkaHeartbeatPausesSec;
+    double akkaHeartbeatIntervalSec;
+    int akkaThreads;
+    double networkTimeoutSec;
+
+    // Scheduling.
+    double localityWaitSec;
+    double schedulerReviveIntervalSec;
+    int taskMaxFailures;
+    bool localExecutionEnabled;
+    int defaultParallelism;
+};
+
+} // namespace dac::sparksim
+
+#endif // DAC_SPARKSIM_KNOBS_H

@@ -1,0 +1,91 @@
+#include "sparksim/memory.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "support/logging.h"
+#include "support/units.h"
+
+namespace dac::sparksim {
+
+ExecutorLayout
+ExecutorLayout::derive(const SparkKnobs &knobs,
+                       const cluster::ClusterSpec &cluster)
+{
+    const auto &node = cluster.node();
+
+    ExecutorLayout layout;
+    layout.coresPerExecutor = std::min(knobs.executorCores, node.cores);
+
+    // JVM overhead beyond the configured heap (YARN's
+    // max(384 MB, 10%) rule, which standalone effectively shares).
+    const double overhead =
+        std::max(384.0 * MiB, 0.10 * knobs.executorMemoryBytes);
+    const double per_executor_mem = knobs.executorMemoryBytes + overhead +
+        (knobs.offHeapEnabled ? knobs.offHeapBytes : 0.0);
+
+    const int by_cores = node.cores / layout.coresPerExecutor;
+    const int by_mem =
+        static_cast<int>(std::floor(node.memoryBytes / per_executor_mem));
+    layout.executorsPerNode = std::max(1, std::min(by_cores, by_mem));
+    layout.totalExecutors = layout.executorsPerNode * cluster.workerCount();
+    layout.slotsPerNode = layout.executorsPerNode * layout.coresPerExecutor;
+    layout.totalSlots = layout.slotsPerNode * cluster.workerCount();
+    layout.idleCoresPerNode = node.cores - layout.slotsPerNode;
+    return layout;
+}
+
+MemoryModel
+MemoryModel::derive(const SparkKnobs &knobs)
+{
+    MemoryModel m;
+    m.heapBytes = knobs.executorMemoryBytes;
+    m.usableBytes = std::max(0.0, m.heapBytes - 300.0 * MiB);
+    m.sparkBytes = m.usableBytes * knobs.memoryFraction;
+    m.storageBytes = m.sparkBytes * knobs.memoryStorageFraction;
+    m.executionBytes = m.sparkBytes - m.storageBytes;
+    m.userBytes = m.usableBytes - m.sparkBytes;
+    m.offHeapBytes = knobs.offHeapEnabled ? knobs.offHeapBytes : 0.0;
+    return m;
+}
+
+double
+MemoryModel::executionPerTask(double cached_bytes_per_executor,
+                              int concurrent_tasks) const
+{
+    DAC_ASSERT(concurrent_tasks > 0, "need at least one task slot");
+    const double free_storage =
+        std::max(0.0, storageBytes - cached_bytes_per_executor);
+    // Execution may borrow free storage memory; keep a safety margin
+    // because blocks unlock lazily.
+    const double pool = executionBytes + 0.8 * free_storage + offHeapBytes;
+    return pool / concurrent_tasks;
+}
+
+double
+MemoryModel::storageCapacity() const
+{
+    return storageBytes;
+}
+
+double
+MemoryModel::userPerTask(int concurrent_tasks) const
+{
+    DAC_ASSERT(concurrent_tasks > 0, "need at least one task slot");
+    return userBytes / concurrent_tasks;
+}
+
+double
+MemoryModel::occupancy(double cached_bytes_per_executor,
+                       double live_task_bytes_per_executor) const
+{
+    if (heapBytes <= 0.0)
+        return 1.6;
+    const double live = cached_bytes_per_executor +
+        live_task_bytes_per_executor + 300.0 * MiB;
+    // Demand beyond ~1.6x the heap cannot materialize: promotion
+    // failures and task OOMs cap how far the JVM can be overdriven.
+    return std::min(1.6, live / heapBytes);
+}
+
+} // namespace dac::sparksim

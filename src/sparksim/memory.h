@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Executor sizing and the Spark 1.6 unified memory manager model
+ * (Figure 1 right-hand side of the paper: reserved / spark / user
+ * memory, with spark memory split into storage and execution).
+ */
+
+#ifndef DAC_SPARKSIM_MEMORY_H
+#define DAC_SPARKSIM_MEMORY_H
+
+#include "cluster/cluster.h"
+#include "sparksim/knobs.h"
+
+namespace dac::sparksim {
+
+/**
+ * How executors map onto the cluster for a given configuration.
+ */
+struct ExecutorLayout
+{
+    int coresPerExecutor = 1;
+    int executorsPerNode = 1;
+    int totalExecutors = 1;
+    /** Concurrent task slots per worker node. */
+    int slotsPerNode = 1;
+    /** Concurrent task slots across the cluster. */
+    int totalSlots = 1;
+    /** Worker cores left idle by the core split. */
+    int idleCoresPerNode = 0;
+
+    /** Derive the layout (standalone-mode packing rules). */
+    static ExecutorLayout derive(const SparkKnobs &knobs,
+                                 const cluster::ClusterSpec &cluster);
+};
+
+/**
+ * Per-executor memory regions under the unified memory manager.
+ */
+struct MemoryModel
+{
+    /** Executor JVM heap in bytes. */
+    double heapBytes = 0.0;
+    /** Heap minus the 300 MB reserved region. */
+    double usableBytes = 0.0;
+    /** usable * spark.memory.fraction. */
+    double sparkBytes = 0.0;
+    /** spark * storageFraction: storage region (eviction-immune). */
+    double storageBytes = 0.0;
+    /** spark - storage: execution region. */
+    double executionBytes = 0.0;
+    /** usable * (1 - fraction): user memory. */
+    double userBytes = 0.0;
+    /** Off-heap execution memory (no GC pressure). */
+    double offHeapBytes = 0.0;
+
+    static MemoryModel derive(const SparkKnobs &knobs);
+
+    /**
+     * Execution memory available to one task, given how much of the
+     * storage region is actually occupied by cached blocks. Execution
+     * borrows free storage memory (unified manager semantics).
+     *
+     * @param cached_bytes_per_executor On-heap cached bytes.
+     * @param concurrent_tasks Tasks sharing the executor (its cores).
+     */
+    double executionPerTask(double cached_bytes_per_executor,
+                            int concurrent_tasks) const;
+
+    /** Storage capacity available for caching, per executor. */
+    double storageCapacity() const;
+
+    /** User memory available to one task. */
+    double userPerTask(int concurrent_tasks) const;
+
+    /**
+     * Heap occupancy in [0, ~2): live bytes over heap. Input to the GC
+     * model; above ~1 the executor is thrashing.
+     */
+    double occupancy(double cached_bytes_per_executor,
+                     double live_task_bytes_per_executor) const;
+};
+
+} // namespace dac::sparksim
+
+#endif // DAC_SPARKSIM_MEMORY_H

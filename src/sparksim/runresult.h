@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Results of one simulated Spark job execution.
+ */
+
+#ifndef DAC_SPARKSIM_RUNRESULT_H
+#define DAC_SPARKSIM_RUNRESULT_H
+
+#include <string>
+#include <vector>
+
+namespace dac::sparksim {
+
+/** Per-stage outcome (aggregated over the stage's iterations). */
+struct StageResult
+{
+    std::string name;
+    std::string group;
+    /** Wall-clock seconds spent in the stage. */
+    double timeSec = 0.0;
+    /** Seconds of that attributable to JVM garbage collection. */
+    double gcTimeSec = 0.0;
+    /** Bytes spilled to disk by the stage's tasks. */
+    double spilledBytes = 0.0;
+    /** Task attempts that failed (OOM, fetch failure, ...). */
+    int taskFailures = 0;
+};
+
+/** Outcome of one job execution. */
+struct RunResult
+{
+    /** Total wall-clock seconds (the paper's t in Eq. 5). */
+    double timeSec = 0.0;
+    /** Total GC seconds across all stages. */
+    double gcTimeSec = 0.0;
+    /** Total spilled bytes. */
+    double spilledBytes = 0.0;
+    /** Total failed task attempts. */
+    int taskFailures = 0;
+    /** Whole-job restarts after a task exhausted its retry budget. */
+    int jobRestarts = 0;
+    /** Executors launched per worker node. */
+    int executorsPerNode = 0;
+    /** Total concurrent task slots in the cluster. */
+    int totalSlots = 0;
+    std::vector<StageResult> stages;
+};
+
+} // namespace dac::sparksim
+
+#endif // DAC_SPARKSIM_RUNRESULT_H

@@ -1,0 +1,130 @@
+#include "sparksim/scheduler.h"
+
+#include <algorithm>
+#include <cmath>
+#include <queue>
+#include <vector>
+
+#include "support/logging.h"
+
+namespace dac::sparksim {
+
+namespace {
+
+/**
+ * Expected duration inflation from failures and retries.
+ *
+ * Each failed attempt wastes about half its duration before dying; a
+ * task that exhausts spark.task.maxFailures takes down its executor
+ * and is re-run after a relaunch stall. Modeled in expectation so the
+ * response surface stays smooth (the real cluster's retry noise is
+ * what the model's residual error represents).
+ */
+double
+retryFactor(double failure_prob, int max_failures, double base_sec,
+            double *expected_failures_per_task)
+{
+    const double p = std::clamp(failure_prob, 0.0, 0.75);
+    // Expected wasted half-attempts: p + p^2 + ... = p / (1 - p).
+    const double wasted = 0.5 * p / (1.0 - p);
+    // Probability the retry budget is exhausted entirely.
+    const double exhaust = std::pow(p, std::max(1, max_failures));
+    const double relaunch_sec = 15.0;
+    const double exhaust_cost =
+        exhaust * (1.0 + relaunch_sec / std::max(0.5, base_sec));
+    if (expected_failures_per_task)
+        *expected_failures_per_task = p / (1.0 - p);
+    return 1.0 + wasted + exhaust_cost;
+}
+
+/** Draw one task's duration from the profile. */
+double
+drawDuration(const TaskProfile &profile, const SparkKnobs &knobs, Rng &rng,
+             bool &straggler)
+{
+    double d = profile.baseSec * rng.lognormalFactor(profile.noiseSigma);
+    straggler = rng.bernoulli(profile.stragglerProb);
+    if (straggler) {
+        // Stragglers add a fraction of the nominal duration (slow
+        // disk, contended node) rather than multiplying it: frequent
+        // mild stragglers average out, keeping the response surface
+        // learnable while still giving speculation something to cut.
+        const double extra = profile.baseSec *
+            rng.uniformReal(0.3, std::max(0.3, profile.stragglerMaxFactor));
+        double effective = extra;
+        if (knobs.speculation && knobs.speculationQuantile <= 0.95) {
+            // A speculative copy caps the extra time at the detection
+            // latency plus a fresh task's head start.
+            const double detect = profile.baseSec *
+                std::max(0.0, knobs.speculationMultiplier - 1.0) +
+                knobs.speculationIntervalSec;
+            effective = std::min(extra, detect + 0.25 * profile.baseSec);
+        }
+        d += effective;
+    }
+    if (rng.bernoulli(profile.remoteProb))
+        d += profile.remotePenaltySec;
+    return d;
+}
+
+} // namespace
+
+StageSchedule
+scheduleStage(int num_tasks, int slots, const TaskProfile &profile,
+              const SparkKnobs &knobs, Rng &rng)
+{
+    DAC_ASSERT(num_tasks >= 0, "negative task count");
+    DAC_ASSERT(slots >= 1, "need at least one slot");
+
+    StageSchedule out;
+    if (num_tasks == 0)
+        return out;
+
+    double expected_failures_per_task = 0.0;
+    const double retry = retryFactor(profile.failureProb,
+                                     knobs.taskMaxFailures,
+                                     profile.baseSec,
+                                     &expected_failures_per_task);
+    out.failures = static_cast<int>(
+        std::round(expected_failures_per_task * num_tasks));
+
+    // Min-heap of slot free times.
+    std::priority_queue<double, std::vector<double>, std::greater<>> free_at;
+    for (int s = 0; s < slots; ++s)
+        free_at.push(0.0);
+
+    // Driver dispatch is serialized; model it as a per-launch delay.
+    double driver_busy_until = 0.0;
+
+    for (int t = 0; t < num_tasks; ++t) {
+        const double slot_free = free_at.top();
+        free_at.pop();
+
+        const double start = std::max(slot_free, driver_busy_until) +
+            profile.startDelaySec;
+        driver_busy_until = start + profile.dispatchSec;
+
+        bool straggler = false;
+        const double duration =
+            drawDuration(profile, knobs, rng, straggler) * retry;
+
+        out.totalTaskSec += duration;
+        if (knobs.speculation && straggler &&
+            knobs.speculationQuantile <= 0.95) {
+            // Charge the speculative copy's slot time.
+            out.totalTaskSec += 0.5 * profile.baseSec;
+        }
+        free_at.push(start + duration);
+    }
+
+    // Elapsed = latest finishing slot.
+    double elapsed = 0.0;
+    while (!free_at.empty()) {
+        elapsed = std::max(elapsed, free_at.top());
+        free_at.pop();
+    }
+    out.elapsedSec = elapsed;
+    return out;
+}
+
+} // namespace dac::sparksim

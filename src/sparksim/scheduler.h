@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Wave-level task scheduler: packs a stage's tasks onto the cluster's
+ * slots, applying dispatch overheads, locality waits, straggler noise,
+ * speculative re-execution, and failure/retry semantics.
+ */
+
+#ifndef DAC_SPARKSIM_SCHEDULER_H
+#define DAC_SPARKSIM_SCHEDULER_H
+
+#include "sparksim/knobs.h"
+#include "support/random.h"
+
+namespace dac::sparksim {
+
+/** Statistical profile of one stage's tasks. */
+struct TaskProfile
+{
+    /** Nominal task duration, seconds. */
+    double baseSec = 1.0;
+    /** Lognormal sigma of per-task duration noise. */
+    double noiseSigma = 0.10;
+    /** Probability a task is a straggler (heavy tail). */
+    double stragglerProb = 0.04;
+    /** Straggler slowdown is uniform in [2, this]. */
+    double stragglerMaxFactor = 6.0;
+    /** Probability one attempt fails (OOM, fetch failure, serde). */
+    double failureProb = 0.0;
+    /** Driver-side dispatch cost per task launch, seconds. */
+    double dispatchSec = 0.002;
+    /** Expected scheduling delay per task start (locality, revive). */
+    double startDelaySec = 0.0;
+    /** Extra duration when a task runs non-locally. */
+    double remotePenaltySec = 0.0;
+    /** Probability a task runs non-locally. */
+    double remoteProb = 0.0;
+};
+
+/** Outcome of scheduling one stage. */
+struct StageSchedule
+{
+    /** Wall-clock seconds from stage submit to last task end. */
+    double elapsedSec = 0.0;
+    /** Sum of all task-attempt durations (resource seconds). */
+    double totalTaskSec = 0.0;
+    /** Expected failed attempts (retries are costed in expectation so
+     *  the response surface stays smooth; see scheduler.cc). */
+    int failures = 0;
+};
+
+/**
+ * Schedule `num_tasks` tasks of the given profile onto `slots` slots.
+ *
+ * Speculation (when enabled in the knobs) re-launches tasks whose
+ * duration exceeds multiplier x median once the quantile threshold of
+ * tasks has completed; the effective duration becomes the earlier of
+ * the original and the copy.
+ */
+StageSchedule scheduleStage(int num_tasks, int slots,
+                            const TaskProfile &profile,
+                            const SparkKnobs &knobs, Rng &rng);
+
+} // namespace dac::sparksim
+
+#endif // DAC_SPARKSIM_SCHEDULER_H

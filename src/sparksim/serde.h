@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Serialization and compression cost model.
+ *
+ * Converts the serializer/codec knobs into per-byte CPU costs, size
+ * ratios, and failure probabilities. Kryo is smaller and faster than
+ * Java serialization but needs a large enough buffer and, for object
+ * graphs with shared references (GraphX), reference tracking.
+ */
+
+#ifndef DAC_SPARKSIM_SERDE_H
+#define DAC_SPARKSIM_SERDE_H
+
+#include "sparksim/dag.h"
+#include "sparksim/knobs.h"
+
+namespace dac::sparksim {
+
+/**
+ * Derived serialization/compression characteristics for one job run.
+ *
+ * CPU costs are expressed as multiples of the baseline per-byte scan
+ * cost (NodeSpec::cpuBytesPerSec processes 1.0-cost bytes).
+ */
+struct SerdeModel
+{
+    /** CPU cost factor to serialize one byte. */
+    double serializeCpuPerByte;
+    /** CPU cost factor to deserialize one byte. */
+    double deserializeCpuPerByte;
+    /** Serialized size / raw serialized-java baseline size. */
+    double serializedSizeRatio;
+    /** Compressed size / uncompressed size for shuffle/RDD blocks. */
+    double compressRatio;
+    /** CPU cost factor to compress one byte. */
+    double compressCpuPerByte;
+    /** CPU cost factor to decompress one byte. */
+    double decompressCpuPerByte;
+    /** Probability that a task attempt fails in serialization (buffer
+     *  overflow, unsupported reference graph). */
+    double taskFailureProb;
+    /** In-memory footprint factor of a cached deserialized partition
+     *  relative to its on-disk bytes. */
+    double cachedExpansion;
+    /** In-memory footprint factor for a *serialized* cached partition
+     *  (storage level MEMORY_ONLY_SER as approximated by rdd.compress
+     *  handling in the model). */
+    double cachedSerializedFactor;
+
+    /** Build the model from knobs and the job's data characteristics. */
+    static SerdeModel derive(const SparkKnobs &knobs, const JobDag &job);
+};
+
+} // namespace dac::sparksim
+
+#endif // DAC_SPARKSIM_SERDE_H

@@ -1,0 +1,160 @@
+#include "sparksim/shuffle.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "support/logging.h"
+#include "support/units.h"
+
+namespace dac::sparksim {
+
+namespace {
+
+/** Extra disk overhead from small write buffers (more flushes). */
+double
+bufferFlushFactor(double buffer_bytes)
+{
+    return 1.0 + 0.25 * std::exp(-buffer_bytes / (16.0 * KiB));
+}
+
+} // namespace
+
+ShuffleWriteCost
+shuffleWriteCost(const SparkKnobs &knobs, const SerdeModel &serde,
+                 double map_out_bytes, int reduce_partitions,
+                 double exec_mem_per_task, bool map_side_aggregation)
+{
+    DAC_ASSERT(map_out_bytes >= 0.0, "negative shuffle output");
+    DAC_ASSERT(reduce_partitions >= 1, "need at least one reducer");
+    DAC_ASSERT(exec_mem_per_task > 0.0, "task has no execution memory");
+
+    ShuffleWriteCost cost;
+    if (map_out_bytes <= 0.0)
+        return cost;
+
+    // Serialize the records once, whatever the manager.
+    cost.cpuCostBytes += map_out_bytes * serde.serializeCpuPerByte;
+
+    const double compress_ratio =
+        knobs.shuffleCompress ? serde.compressRatio : 1.0;
+    if (knobs.shuffleCompress)
+        cost.cpuCostBytes += map_out_bytes * serde.compressCpuPerByte;
+    const double on_disk = map_out_bytes * compress_ratio;
+
+    const bool bypass = knobs.shuffleManager == ShuffleManagerKind::Sort &&
+        !map_side_aggregation &&
+        reduce_partitions <= knobs.shuffleSortBypassMergeThreshold;
+    const bool hash_like =
+        knobs.shuffleManager == ShuffleManagerKind::Hash || bypass;
+
+    const double flush = bufferFlushFactor(knobs.shuffleFileBufferBytes);
+
+    if (hash_like) {
+        // One file (and one buffer) per reduce partition. Consolidation
+        // shares files across the executor's tasks.
+        const double files = knobs.shuffleConsolidateFiles
+            ? std::max(1.0, reduce_partitions / 4.0)
+            : static_cast<double>(reduce_partitions);
+        cost.fixedSec += files * 0.0008;       // open/close/commit
+        if (bypass)
+            cost.fixedSec += reduce_partitions * 0.0002; // concat pass
+        cost.bufferBytes = files * knobs.shuffleFileBufferBytes;
+        cost.diskBytes += on_disk * flush;
+
+        // Buffer pressure: too many per-reducer buffers for the
+        // available execution memory thrashes or fails the task.
+        if (cost.bufferBytes > 0.5 * exec_mem_per_task) {
+            cost.fixedSec += 0.01 * files;
+            cost.failureProb += std::min(
+                0.25, 0.05 * cost.bufferBytes / exec_mem_per_task);
+        }
+        // Hash shuffle cannot combine map-side; pay for the bigger
+        // downstream data instead of a sort.
+        if (knobs.shuffleManager == ShuffleManagerKind::Hash &&
+            map_side_aggregation) {
+            cost.cpuCostBytes += 0.15 * map_out_bytes;
+        }
+    } else {
+        // Sort path: in-memory sort, spilling when the buffer fills.
+        cost.cpuCostBytes += map_out_bytes * 0.045 *
+            std::log2(std::max(2.0, static_cast<double>(reduce_partitions)));
+        cost.bufferBytes = std::min(map_out_bytes, exec_mem_per_task);
+        cost.diskBytes += on_disk * flush;
+
+        const double spill_files =
+            std::ceil(map_out_bytes / exec_mem_per_task);
+        if (spill_files > 1.0) {
+            if (!knobs.shuffleSpill) {
+                // Cannot spill: aggregation buffers overflow the
+                // heap, and retries hit the same deterministic OOM.
+                cost.failureProb +=
+                    std::min(0.65, 0.35 * (spill_files - 1.0));
+            } else {
+                const double spill_ratio = knobs.shuffleSpillCompress
+                    ? serde.compressRatio : 1.0;
+                const double spill_raw =
+                    std::max(0.0, map_out_bytes - exec_mem_per_task);
+                // Spills are written once and re-read during the merge.
+                const double spill_disk = 2.0 * spill_raw * spill_ratio;
+                cost.diskBytes += spill_disk * flush;
+                cost.spilledBytes += spill_raw * spill_ratio;
+                if (knobs.shuffleSpillCompress) {
+                    cost.cpuCostBytes += spill_raw *
+                        (serde.compressCpuPerByte +
+                         serde.decompressCpuPerByte);
+                }
+                // Multi-pass merges once spills exceed the fan-in.
+                const double passes =
+                    std::max(0.0, std::ceil(std::log2(spill_files) / 4.0) - 1.0);
+                cost.diskBytes += passes * 2.0 * on_disk;
+            }
+        }
+    }
+    return cost;
+}
+
+ShuffleReadCost
+shuffleReadCost(const SparkKnobs &knobs, const SerdeModel &serde,
+                double fetch_bytes, int worker_nodes)
+{
+    DAC_ASSERT(fetch_bytes >= 0.0, "negative shuffle fetch");
+    DAC_ASSERT(worker_nodes >= 1, "need at least one worker");
+
+    ShuffleReadCost cost;
+    if (fetch_bytes <= 0.0)
+        return cost;
+
+    const double compress_ratio =
+        knobs.shuffleCompress ? serde.compressRatio : 1.0;
+    const double wire = fetch_bytes * compress_ratio;
+
+    // All-to-all fetch: only 1/worker_nodes of the data is local.
+    const double remote_fraction =
+        (worker_nodes - 1) / static_cast<double>(worker_nodes);
+    cost.netBytes = wire * remote_fraction;
+
+    // Serving side reads the shuffle files; memory-mapping large
+    // blocks (low mmap threshold) is slightly cheaper.
+    const double mmap_factor = 1.0 + 0.03 * std::clamp(
+        (knobs.memoryMapThresholdBytes - 50.0 * MiB) / (450.0 * MiB),
+        0.0, 1.0);
+    cost.diskBytes = wire * mmap_factor;
+
+    // One round trip per in-flight window.
+    const double waves =
+        std::ceil(wire / std::max(1.0, knobs.reducerMaxSizeInFlightBytes));
+    cost.fixedSec = waves * 0.03;
+
+    if (knobs.shuffleCompress)
+        cost.cpuCostBytes += fetch_bytes * serde.decompressCpuPerByte;
+    cost.cpuCostBytes += fetch_bytes * serde.deserializeCpuPerByte;
+
+    // Very short network timeouts make heavily loaded fetches flaky.
+    if (knobs.networkTimeoutSec < 60.0 && waves > 8.0) {
+        cost.failureProb += 0.02 *
+            (60.0 - knobs.networkTimeoutSec) / 60.0;
+    }
+    return cost;
+}
+
+} // namespace dac::sparksim

@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Shuffle write/read cost model: sort vs hash managers, the
+ * bypass-merge path, spill behaviour, file buffers, compression, and
+ * fetch waves bounded by reducer.maxSizeInFlight.
+ */
+
+#ifndef DAC_SPARKSIM_SHUFFLE_H
+#define DAC_SPARKSIM_SHUFFLE_H
+
+#include "sparksim/knobs.h"
+#include "sparksim/serde.h"
+
+namespace dac::sparksim {
+
+/** Cost of writing one map task's shuffle output. */
+struct ShuffleWriteCost
+{
+    /** Cost-weighted CPU bytes (divide by node CPU rate for seconds). */
+    double cpuCostBytes = 0.0;
+    /** Local disk traffic in bytes (writes plus merge re-reads). */
+    double diskBytes = 0.0;
+    /** Portion of diskBytes that was spill traffic. */
+    double spilledBytes = 0.0;
+    /** Extra memory the write path pins (buffers), bytes. */
+    double bufferBytes = 0.0;
+    /** Fixed seconds (file open/close, bypass concatenation). */
+    double fixedSec = 0.0;
+    /** Probability this task attempt fails (OOM with spill off, ...). */
+    double failureProb = 0.0;
+};
+
+/** Cost of one reduce task's shuffle fetch. */
+struct ShuffleReadCost
+{
+    double cpuCostBytes = 0.0;
+    /** Bytes crossing the network (remote portions only). */
+    double netBytes = 0.0;
+    /** Remote/local disk bytes read to serve the fetch. */
+    double diskBytes = 0.0;
+    /** Fixed seconds: one round-trip per fetch wave. */
+    double fixedSec = 0.0;
+    double failureProb = 0.0;
+};
+
+/**
+ * Cost of writing `map_out_bytes` (serialized, uncompressed) shuffle
+ * output split into `reduce_partitions` buckets.
+ *
+ * @param exec_mem_per_task Execution memory available to the task.
+ * @param map_side_aggregation Stage performs map-side combining.
+ */
+ShuffleWriteCost shuffleWriteCost(const SparkKnobs &knobs,
+                                  const SerdeModel &serde,
+                                  double map_out_bytes,
+                                  int reduce_partitions,
+                                  double exec_mem_per_task,
+                                  bool map_side_aggregation);
+
+/**
+ * Cost of fetching `fetch_bytes` (serialized, uncompressed) of shuffle
+ * input for one reduce task from `worker_nodes` nodes.
+ */
+ShuffleReadCost shuffleReadCost(const SparkKnobs &knobs,
+                                const SerdeModel &serde,
+                                double fetch_bytes,
+                                int worker_nodes);
+
+} // namespace dac::sparksim
+
+#endif // DAC_SPARKSIM_SHUFFLE_H

@@ -1,0 +1,54 @@
+/**
+ * @file
+ * The Spark simulator facade: runs a JobDag under a Configuration on a
+ * ClusterSpec and returns timing, GC, spill and failure results.
+ *
+ * This is the substitute substrate for the paper's 6-node Spark 1.6
+ * cluster (see DESIGN.md): a task-level cost simulator whose response
+ * surface is driven by all 41 parameters of Table 2 plus the input
+ * dataset size.
+ */
+
+#ifndef DAC_SPARKSIM_SIMULATOR_H
+#define DAC_SPARKSIM_SIMULATOR_H
+
+#include <cstdint>
+
+#include "cluster/cluster.h"
+#include "conf/config.h"
+#include "sparksim/dag.h"
+#include "sparksim/runresult.h"
+
+namespace dac::sparksim {
+
+/**
+ * Simulates Spark job executions on a fixed cluster.
+ *
+ * Stateless apart from the cluster reference: run() is const, thread-
+ * compatible, and deterministic for a given (job, config, seed).
+ */
+class SparkSimulator
+{
+  public:
+    /** Bind the simulator to a cluster (must outlive the simulator). */
+    explicit SparkSimulator(const cluster::ClusterSpec &cluster);
+
+    /**
+     * Execute one job.
+     *
+     * @param job    The program's stage DAG at a concrete input size.
+     * @param config A Spark-space configuration (41 parameters).
+     * @param seed   Run seed; stands in for "data content" variation.
+     */
+    RunResult run(const JobDag &job, const conf::Configuration &config,
+                  uint64_t seed) const;
+
+    const cluster::ClusterSpec &clusterSpec() const { return *cluster; }
+
+  private:
+    const cluster::ClusterSpec *cluster;
+};
+
+} // namespace dac::sparksim
+
+#endif // DAC_SPARKSIM_SIMULATOR_H

@@ -1,0 +1,112 @@
+#include "support/csv.h"
+
+#include <sstream>
+
+#include "support/logging.h"
+#include "support/string_utils.h"
+
+namespace dac {
+
+CsvTable::CsvTable(std::vector<std::string> header)
+    : columns(std::move(header))
+{
+    DAC_ASSERT(!columns.empty(), "CSV header must be non-empty");
+}
+
+void
+CsvTable::addRow(std::vector<double> row)
+{
+    if (row.size() != columns.size())
+        fatalError("CSV row width does not match header");
+    rows.push_back(std::move(row));
+}
+
+const std::vector<double> &
+CsvTable::row(size_t i) const
+{
+    DAC_ASSERT(i < rows.size(), "CSV row index out of range");
+    return rows[i];
+}
+
+size_t
+CsvTable::columnIndex(const std::string &name) const
+{
+    for (size_t i = 0; i < columns.size(); ++i) {
+        if (columns[i] == name)
+            return i;
+    }
+    fatalError("CSV column not found: " + name);
+}
+
+std::vector<double>
+CsvTable::column(const std::string &name) const
+{
+    const size_t idx = columnIndex(name);
+    std::vector<double> values;
+    values.reserve(rows.size());
+    for (const auto &r : rows)
+        values.push_back(r[idx]);
+    return values;
+}
+
+void
+CsvTable::save(const std::string &path) const
+{
+    std::ofstream out(path);
+    if (!out)
+        fatalError("cannot open CSV for writing: " + path);
+    for (size_t i = 0; i < columns.size(); ++i) {
+        if (i)
+            out << ',';
+        out << columns[i];
+    }
+    out << '\n';
+    out.precision(17);
+    for (const auto &r : rows) {
+        for (size_t i = 0; i < r.size(); ++i) {
+            if (i)
+                out << ',';
+            out << r[i];
+        }
+        out << '\n';
+    }
+    if (!out)
+        fatalError("failed while writing CSV: " + path);
+}
+
+CsvTable
+CsvTable::load(const std::string &path)
+{
+    std::ifstream in(path);
+    if (!in)
+        fatalError("cannot open CSV for reading: " + path);
+    std::string line;
+    if (!std::getline(in, line))
+        fatalError("empty CSV file: " + path);
+
+    std::vector<std::string> header;
+    for (auto &field : split(trim(line), ','))
+        header.push_back(trim(field));
+    CsvTable table(std::move(header));
+
+    size_t line_no = 1;
+    while (std::getline(in, line)) {
+        ++line_no;
+        const std::string trimmed = trim(line);
+        if (trimmed.empty())
+            continue;
+        std::vector<double> row;
+        for (auto &field : split(trimmed, ',')) {
+            try {
+                row.push_back(std::stod(trim(field)));
+            } catch (const std::exception &) {
+                fatalError("bad numeric field in " + path + " line " +
+                           std::to_string(line_no));
+            }
+        }
+        table.addRow(std::move(row));
+    }
+    return table;
+}
+
+} // namespace dac

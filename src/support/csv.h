@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Minimal CSV reading/writing, used to persist training sets
+ * (performance vectors) exactly as the paper's R pipeline does.
+ */
+
+#ifndef DAC_SUPPORT_CSV_H
+#define DAC_SUPPORT_CSV_H
+
+#include <fstream>
+#include <string>
+#include <vector>
+
+namespace dac {
+
+/**
+ * An in-memory CSV table: one header row plus numeric data rows.
+ */
+class CsvTable
+{
+  public:
+    CsvTable() = default;
+
+    /** Construct with the given column names. */
+    explicit CsvTable(std::vector<std::string> header);
+
+    /** Column names. */
+    const std::vector<std::string> &header() const { return columns; }
+
+    /** Append a row; must match the header width. */
+    void addRow(std::vector<double> row);
+
+    /** Number of data rows. */
+    size_t rowCount() const { return rows.size(); }
+
+    /** Access a data row. */
+    const std::vector<double> &row(size_t i) const;
+
+    /** Index of a column by name; fatalError if absent. */
+    size_t columnIndex(const std::string &name) const;
+
+    /** All values of one column. */
+    std::vector<double> column(const std::string &name) const;
+
+    /** Serialize to a file; fatalError on I/O failure. */
+    void save(const std::string &path) const;
+
+    /** Parse from a file; fatalError on I/O or format failure. */
+    static CsvTable load(const std::string &path);
+
+  private:
+    std::vector<std::string> columns;
+    std::vector<std::vector<double>> rows;
+};
+
+} // namespace dac
+
+#endif // DAC_SUPPORT_CSV_H

@@ -1,0 +1,57 @@
+#include "support/logging.h"
+
+#include <iostream>
+#include <stdexcept>
+
+namespace dac {
+
+namespace {
+LogLevel global_level = LogLevel::Info;
+} // namespace
+
+void
+setLogLevel(LogLevel level)
+{
+    global_level = level;
+}
+
+LogLevel
+logLevel()
+{
+    return global_level;
+}
+
+void
+inform(const std::string &msg)
+{
+    if (global_level >= LogLevel::Info)
+        std::cerr << "info: " << msg << "\n";
+}
+
+void
+warn(const std::string &msg)
+{
+    if (global_level >= LogLevel::Warn)
+        std::cerr << "warn: " << msg << "\n";
+}
+
+void
+debug(const std::string &msg)
+{
+    if (global_level >= LogLevel::Debug)
+        std::cerr << "debug: " << msg << "\n";
+}
+
+void
+fatalError(const std::string &msg)
+{
+    throw std::runtime_error("fatal: " + msg);
+}
+
+void
+panic(const std::string &msg)
+{
+    throw std::logic_error("panic: " + msg);
+}
+
+} // namespace dac

@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Minimal logging and invariant-checking facilities.
+ *
+ * Follows the gem5 convention: fatalError() is for user/environment errors
+ * that prevent continuing; DAC_ASSERT/panic() flags internal library bugs.
+ */
+
+#ifndef DAC_SUPPORT_LOGGING_H
+#define DAC_SUPPORT_LOGGING_H
+
+#include <sstream>
+#include <string>
+
+namespace dac {
+
+/** Verbosity levels, lowest is most severe. */
+enum class LogLevel { Error = 0, Warn = 1, Info = 2, Debug = 3 };
+
+/** Set the global verbosity threshold (default: Info). */
+void setLogLevel(LogLevel level);
+
+/** Current verbosity threshold. */
+LogLevel logLevel();
+
+/** Informational status message (suppressed below Info). */
+void inform(const std::string &msg);
+
+/** Warning about suspicious but non-fatal conditions. */
+void warn(const std::string &msg);
+
+/** Debug chatter (suppressed below Debug). */
+void debug(const std::string &msg);
+
+/**
+ * Abort due to an unrecoverable user-visible error (bad arguments,
+ * unreadable file). Throws std::runtime_error so callers/tests can catch.
+ */
+[[noreturn]] void fatalError(const std::string &msg);
+
+/**
+ * Abort due to an internal invariant violation (a library bug).
+ * Throws std::logic_error.
+ */
+[[noreturn]] void panic(const std::string &msg);
+
+/** Check an internal invariant; panics with location info on failure. */
+#define DAC_ASSERT(cond, msg)                                               \
+    do {                                                                    \
+        if (!(cond)) {                                                      \
+            std::ostringstream dac_assert_oss;                              \
+            dac_assert_oss << __FILE__ << ":" << __LINE__ << ": " << (msg); \
+            ::dac::panic(dac_assert_oss.str());                             \
+        }                                                                   \
+    } while (0)
+
+} // namespace dac
+
+#endif // DAC_SUPPORT_LOGGING_H

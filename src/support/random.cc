@@ -1,0 +1,91 @@
+#include "support/random.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_set>
+
+#include "support/logging.h"
+
+namespace dac {
+
+double
+Rng::uniformReal(double lo, double hi)
+{
+    DAC_ASSERT(lo <= hi, "uniformReal: lo > hi");
+    return lo + (hi - lo) * uniform();
+}
+
+int64_t
+Rng::uniformInt(int64_t lo, int64_t hi)
+{
+    DAC_ASSERT(lo <= hi, "uniformInt: lo > hi");
+    std::uniform_int_distribution<int64_t> dist(lo, hi);
+    return dist(engine);
+}
+
+double
+Rng::normal(double mean, double stddev)
+{
+    std::normal_distribution<double> dist(mean, stddev);
+    return dist(engine);
+}
+
+double
+Rng::lognormalFactor(double sigma)
+{
+    return std::exp(normal(0.0, sigma));
+}
+
+bool
+Rng::bernoulli(double p)
+{
+    p = std::clamp(p, 0.0, 1.0);
+    return uniform() < p;
+}
+
+size_t
+Rng::index(size_t n)
+{
+    DAC_ASSERT(n > 0, "index: empty range");
+    return static_cast<size_t>(uniformInt(0, static_cast<int64_t>(n) - 1));
+}
+
+Rng
+Rng::fork(uint64_t stream_id)
+{
+    const uint64_t material = engine();
+    return Rng(combineSeed(material, stream_id));
+}
+
+std::vector<size_t>
+Rng::sampleIndices(size_t n, size_t k)
+{
+    k = std::min(k, n);
+    std::vector<size_t> all(n);
+    for (size_t i = 0; i < n; ++i)
+        all[i] = i;
+    // Partial Fisher-Yates: the first k entries form the sample.
+    for (size_t i = 0; i < k; ++i) {
+        const size_t j = i + index(n - i);
+        std::swap(all[i], all[j]);
+    }
+    all.resize(k);
+    return all;
+}
+
+uint64_t
+splitmix64(uint64_t x)
+{
+    x += 0x9e3779b97f4a7c15ULL;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+    return x ^ (x >> 31);
+}
+
+uint64_t
+combineSeed(uint64_t a, uint64_t b)
+{
+    return splitmix64(splitmix64(a) ^ (splitmix64(b) + 0x9e3779b97f4a7c15ULL));
+}
+
+} // namespace dac

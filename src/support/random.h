@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Deterministic random number generation for the DAC library.
+ *
+ * Every stochastic component in the library draws from an explicitly
+ * seeded Rng; there is no global generator and no wall-clock seeding, so
+ * simulations, model training, and searches are reproducible bit-for-bit.
+ */
+
+#ifndef DAC_SUPPORT_RANDOM_H
+#define DAC_SUPPORT_RANDOM_H
+
+#include <cstdint>
+#include <random>
+#include <vector>
+
+namespace dac {
+
+/**
+ * A seeded pseudo-random number generator.
+ *
+ * Thin wrapper around std::mt19937_64 with the distribution helpers the
+ * library needs. Copyable; copies continue the same stream independently.
+ */
+class Rng
+{
+  public:
+    /** Construct with an explicit seed. */
+    explicit Rng(uint64_t seed) : engine(seed) {}
+
+    /** Uniform real in [0, 1). */
+    double uniform() { return unit(engine); }
+
+    /** Uniform real in [lo, hi). Requires lo <= hi. */
+    double uniformReal(double lo, double hi);
+
+    /** Uniform integer in the closed interval [lo, hi]. */
+    int64_t uniformInt(int64_t lo, int64_t hi);
+
+    /** Gaussian with the given mean and standard deviation. */
+    double normal(double mean, double stddev);
+
+    /**
+     * Log-normal noise factor with median 1.
+     *
+     * @param sigma Shape parameter of the underlying normal.
+     * @return A positive multiplicative noise factor.
+     */
+    double lognormalFactor(double sigma);
+
+    /** Bernoulli trial with success probability p (clamped to [0,1]). */
+    bool bernoulli(double p);
+
+    /** Uniform index in [0, n). Requires n > 0. */
+    size_t index(size_t n);
+
+    /**
+     * Derive an independent child generator.
+     *
+     * Mixes the stream id into fresh seed material so sub-streams do not
+     * overlap even for adjacent ids.
+     */
+    Rng fork(uint64_t stream_id);
+
+    /** Fisher-Yates shuffle of a vector. */
+    template <typename T>
+    void
+    shuffle(std::vector<T> &items)
+    {
+        for (size_t i = items.size(); i > 1; --i) {
+            std::swap(items[i - 1], items[index(i)]);
+        }
+    }
+
+    /** Sample of k distinct indices from [0, n) (k clamped to n). */
+    std::vector<size_t> sampleIndices(size_t n, size_t k);
+
+    /** Raw 64-bit draw, exposed for hashing/forking use. */
+    uint64_t raw() { return engine(); }
+
+  private:
+    std::mt19937_64 engine;
+    std::uniform_real_distribution<double> unit{0.0, 1.0};
+};
+
+/** SplitMix64 hash step; used for stable seed derivation. */
+uint64_t splitmix64(uint64_t x);
+
+/** Combine seed material into a single stable 64-bit seed. */
+uint64_t combineSeed(uint64_t a, uint64_t b);
+
+} // namespace dac
+
+#endif // DAC_SUPPORT_RANDOM_H

@@ -1,0 +1,126 @@
+#include "support/statistics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "support/logging.h"
+
+namespace dac {
+
+void
+Summary::add(double x)
+{
+    if (n == 0) {
+        lo = x;
+        hi = x;
+    } else {
+        lo = std::min(lo, x);
+        hi = std::max(hi, x);
+    }
+    ++n;
+    const double delta = x - mu;
+    mu += delta / static_cast<double>(n);
+    m2 += delta * (x - mu);
+}
+
+double
+Summary::variance() const
+{
+    if (n < 2)
+        return 0.0;
+    return m2 / static_cast<double>(n - 1);
+}
+
+double
+Summary::stddev() const
+{
+    return std::sqrt(variance());
+}
+
+double
+Summary::range() const
+{
+    if (n == 0)
+        return 0.0;
+    return hi - lo;
+}
+
+double
+mean(const std::vector<double> &xs)
+{
+    if (xs.empty())
+        return 0.0;
+    double sum = 0.0;
+    for (double x : xs)
+        sum += x;
+    return sum / static_cast<double>(xs.size());
+}
+
+double
+geomean(const std::vector<double> &xs)
+{
+    DAC_ASSERT(!xs.empty(), "geomean of empty vector");
+    double log_sum = 0.0;
+    for (double x : xs) {
+        DAC_ASSERT(x > 0.0, "geomean requires positive entries");
+        log_sum += std::log(x);
+    }
+    return std::exp(log_sum / static_cast<double>(xs.size()));
+}
+
+double
+stddev(const std::vector<double> &xs)
+{
+    Summary s;
+    for (double x : xs)
+        s.add(x);
+    return s.stddev();
+}
+
+double
+median(std::vector<double> xs)
+{
+    return percentile(std::move(xs), 50.0);
+}
+
+double
+percentile(std::vector<double> xs, double p)
+{
+    if (xs.empty())
+        return 0.0;
+    DAC_ASSERT(p >= 0.0 && p <= 100.0, "percentile out of range");
+    std::sort(xs.begin(), xs.end());
+    const double rank = p / 100.0 * static_cast<double>(xs.size() - 1);
+    const size_t lo_idx = static_cast<size_t>(std::floor(rank));
+    const size_t hi_idx = static_cast<size_t>(std::ceil(rank));
+    const double frac = rank - static_cast<double>(lo_idx);
+    return xs[lo_idx] * (1.0 - frac) + xs[hi_idx] * frac;
+}
+
+double
+mape(const std::vector<double> &predicted, const std::vector<double> &measured)
+{
+    DAC_ASSERT(predicted.size() == measured.size(), "mape size mismatch");
+    DAC_ASSERT(!predicted.empty(), "mape of empty vectors");
+    double sum = 0.0;
+    for (size_t i = 0; i < predicted.size(); ++i) {
+        DAC_ASSERT(measured[i] != 0.0, "mape with zero measurement");
+        sum += std::abs(predicted[i] - measured[i]) / std::abs(measured[i]);
+    }
+    return sum / static_cast<double>(predicted.size()) * 100.0;
+}
+
+double
+timeVariation(const std::vector<double> &times)
+{
+    if (times.empty())
+        return 0.0;
+    const double tmax = *std::max_element(times.begin(), times.end());
+    double sum = 0.0;
+    for (double t : times)
+        sum += tmax - t;
+    return sum / static_cast<double>(times.size());
+}
+
+} // namespace dac

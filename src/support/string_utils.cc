@@ -1,0 +1,100 @@
+#include "support/string_utils.h"
+
+#include <cctype>
+#include <cmath>
+#include <sstream>
+
+namespace dac {
+
+std::vector<std::string>
+split(const std::string &text, char delim)
+{
+    std::vector<std::string> parts;
+    std::string current;
+    for (char c : text) {
+        if (c == delim) {
+            parts.push_back(current);
+            current.clear();
+        } else {
+            current.push_back(c);
+        }
+    }
+    parts.push_back(current);
+    return parts;
+}
+
+std::string
+trim(const std::string &text)
+{
+    size_t begin = 0;
+    size_t end = text.size();
+    while (begin < end && std::isspace(static_cast<unsigned char>(text[begin])))
+        ++begin;
+    while (end > begin && std::isspace(static_cast<unsigned char>(text[end - 1])))
+        --end;
+    return text.substr(begin, end - begin);
+}
+
+std::string
+toLower(std::string text)
+{
+    for (char &c : text)
+        c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+    return text;
+}
+
+std::string
+formatDouble(double value, int precision)
+{
+    std::ostringstream oss;
+    oss.setf(std::ios::fixed);
+    oss.precision(precision);
+    oss << value;
+    std::string s = oss.str();
+    if (s.find('.') != std::string::npos) {
+        while (!s.empty() && s.back() == '0')
+            s.pop_back();
+        if (!s.empty() && s.back() == '.')
+            s.pop_back();
+    }
+    return s;
+}
+
+std::string
+formatBytes(double bytes)
+{
+    const double kib = 1024.0;
+    const double mib = kib * 1024.0;
+    const double gib = mib * 1024.0;
+    const double tib = gib * 1024.0;
+    if (bytes >= tib)
+        return formatDouble(bytes / tib, 2) + " TB";
+    if (bytes >= gib)
+        return formatDouble(bytes / gib, 2) + " GB";
+    if (bytes >= mib)
+        return formatDouble(bytes / mib, 2) + " MB";
+    if (bytes >= kib)
+        return formatDouble(bytes / kib, 2) + " KB";
+    return formatDouble(bytes, 0) + " B";
+}
+
+std::string
+formatSeconds(double seconds)
+{
+    if (seconds >= 3600.0)
+        return formatDouble(seconds / 3600.0, 2) + " h";
+    if (seconds >= 60.0)
+        return formatDouble(seconds / 60.0, 2) + " min";
+    if (seconds >= 1.0)
+        return formatDouble(seconds, 2) + " s";
+    return formatDouble(seconds * 1000.0, 1) + " ms";
+}
+
+bool
+startsWith(const std::string &text, const std::string &prefix)
+{
+    return text.size() >= prefix.size() &&
+           text.compare(0, prefix.size(), prefix) == 0;
+}
+
+} // namespace dac

@@ -1,0 +1,37 @@
+/**
+ * @file
+ * Small string formatting/parsing helpers shared by CSV, tables, benches.
+ */
+
+#ifndef DAC_SUPPORT_STRING_UTILS_H
+#define DAC_SUPPORT_STRING_UTILS_H
+
+#include <string>
+#include <vector>
+
+namespace dac {
+
+/** Split on a delimiter; keeps empty fields. */
+std::vector<std::string> split(const std::string &text, char delim);
+
+/** Strip leading/trailing ASCII whitespace. */
+std::string trim(const std::string &text);
+
+/** Lower-case an ASCII string. */
+std::string toLower(std::string text);
+
+/** Format a double with fixed precision, trimming trailing zeros. */
+std::string formatDouble(double value, int precision = 3);
+
+/** Human-readable byte count, e.g. "1.5 GB". */
+std::string formatBytes(double bytes);
+
+/** Human-readable duration from seconds, e.g. "2.1 h" / "340 ms". */
+std::string formatSeconds(double seconds);
+
+/** True if text starts with the given prefix. */
+bool startsWith(const std::string &text, const std::string &prefix);
+
+} // namespace dac
+
+#endif // DAC_SUPPORT_STRING_UTILS_H

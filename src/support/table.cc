@@ -1,0 +1,87 @@
+#include "support/table.h"
+
+#include <algorithm>
+#include <ostream>
+#include <sstream>
+
+#include "support/logging.h"
+#include "support/string_utils.h"
+
+namespace dac {
+
+TextTable::TextTable(std::vector<std::string> header)
+    : columns(std::move(header))
+{
+    DAC_ASSERT(!columns.empty(), "table header must be non-empty");
+}
+
+void
+TextTable::addRow(std::vector<std::string> cells)
+{
+    DAC_ASSERT(cells.size() == columns.size(),
+               "table row width does not match header");
+    rows.push_back(std::move(cells));
+}
+
+void
+TextTable::addRow(const std::string &label, const std::vector<double> &values,
+                  int precision)
+{
+    std::vector<std::string> cells;
+    cells.reserve(values.size() + 1);
+    cells.push_back(label);
+    for (double v : values)
+        cells.push_back(formatDouble(v, precision));
+    addRow(std::move(cells));
+}
+
+std::string
+TextTable::toString() const
+{
+    std::vector<size_t> widths(columns.size());
+    for (size_t i = 0; i < columns.size(); ++i)
+        widths[i] = columns[i].size();
+    for (const auto &row : rows) {
+        for (size_t i = 0; i < row.size(); ++i)
+            widths[i] = std::max(widths[i], row[i].size());
+    }
+
+    std::ostringstream oss;
+    auto emit_row = [&](const std::vector<std::string> &cells) {
+        for (size_t i = 0; i < cells.size(); ++i) {
+            if (i)
+                oss << "  ";
+            oss << cells[i];
+            // Right-pad all but the last column.
+            if (i + 1 < cells.size()) {
+                for (size_t p = cells[i].size(); p < widths[i]; ++p)
+                    oss << ' ';
+            }
+        }
+        oss << '\n';
+    };
+
+    emit_row(columns);
+    size_t total = 0;
+    for (size_t w : widths)
+        total += w;
+    total += 2 * (columns.size() - 1);
+    oss << std::string(total, '-') << '\n';
+    for (const auto &row : rows)
+        emit_row(row);
+    return oss.str();
+}
+
+void
+TextTable::print(std::ostream &out) const
+{
+    out << toString();
+}
+
+void
+printBanner(std::ostream &out, const std::string &title)
+{
+    out << "\n== " << title << " ==\n\n";
+}
+
+} // namespace dac

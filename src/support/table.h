@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Aligned ASCII table printing for the benchmark harness, so each bench
+ * binary reproduces the rows/series of one paper table or figure.
+ */
+
+#ifndef DAC_SUPPORT_TABLE_H
+#define DAC_SUPPORT_TABLE_H
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace dac {
+
+/**
+ * Formats rows of heterogeneous cells into an aligned text table.
+ */
+class TextTable
+{
+  public:
+    /** Construct with column headers. */
+    explicit TextTable(std::vector<std::string> header);
+
+    /** Append a preformatted row; must match the header width. */
+    void addRow(std::vector<std::string> cells);
+
+    /** Convenience: format numeric cells with the given precision. */
+    void addRow(const std::string &label, const std::vector<double> &values,
+                int precision = 2);
+
+    /** Number of data rows. */
+    size_t rowCount() const { return rows.size(); }
+
+    /** Render with padding and a header underline. */
+    std::string toString() const;
+
+    /** Render to a stream. */
+    void print(std::ostream &out) const;
+
+  private:
+    std::vector<std::string> columns;
+    std::vector<std::vector<std::string>> rows;
+};
+
+/** Print a section banner for bench output, e.g. "== Figure 9 ==". */
+void printBanner(std::ostream &out, const std::string &title);
+
+} // namespace dac
+
+#endif // DAC_SUPPORT_TABLE_H

@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Byte and time unit helpers. All simulator sizes are plain doubles in
+ * bytes; all simulated times are seconds.
+ */
+
+#ifndef DAC_SUPPORT_UNITS_H
+#define DAC_SUPPORT_UNITS_H
+
+#include <cstdint>
+
+namespace dac {
+
+constexpr double KiB = 1024.0;
+constexpr double MiB = 1024.0 * KiB;
+constexpr double GiB = 1024.0 * MiB;
+
+/** Megabytes to bytes, for config parameters expressed in MB. */
+constexpr double
+mbToBytes(double mb)
+{
+    return mb * MiB;
+}
+
+/** Bytes to megabytes. */
+constexpr double
+bytesToMb(double bytes)
+{
+    return bytes / MiB;
+}
+
+/** Bytes to gigabytes. */
+constexpr double
+bytesToGb(double bytes)
+{
+    return bytes / GiB;
+}
+
+/** Milliseconds to seconds, for config parameters expressed in ms. */
+constexpr double
+msToSec(double ms)
+{
+    return ms / 1000.0;
+}
+
+} // namespace dac
+
+#endif // DAC_SUPPORT_UNITS_H

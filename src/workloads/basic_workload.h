@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Shared base for the concrete paper workloads: stores the Table 1
+ * metadata and a linear native-size -> bytes scale.
+ */
+
+#ifndef DAC_WORKLOADS_BASIC_WORKLOAD_H
+#define DAC_WORKLOADS_BASIC_WORKLOAD_H
+
+#include <utility>
+
+#include "workloads/workload.h"
+
+namespace dac::workloads {
+
+/**
+ * Workload whose byte size is linear in the native size.
+ */
+class BasicWorkload : public Workload
+{
+  public:
+    BasicWorkload(std::string name, std::string abbrev,
+                  std::string size_unit, std::vector<double> paper_sizes,
+                  double bytes_per_unit)
+        : _name(std::move(name)), _abbrev(std::move(abbrev)),
+          _sizeUnit(std::move(size_unit)),
+          _paperSizes(std::move(paper_sizes)),
+          bytesPerUnit(bytes_per_unit)
+    {
+    }
+
+    std::string name() const override { return _name; }
+    std::string abbrev() const override { return _abbrev; }
+    std::string sizeUnit() const override { return _sizeUnit; }
+    std::vector<double> paperSizes() const override { return _paperSizes; }
+
+    double
+    bytesForSize(double native_size) const override
+    {
+        return native_size * bytesPerUnit;
+    }
+
+  private:
+    std::string _name;
+    std::string _abbrev;
+    std::string _sizeUnit;
+    std::vector<double> _paperSizes;
+    double bytesPerUnit;
+};
+
+} // namespace dac::workloads
+
+#endif // DAC_WORKLOADS_BASIC_WORKLOAD_H

@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Naive Bayes (BA): text classification training with poor instruction
+ * locality but good data locality (Section 4.1). Tokenizes documents,
+ * shuffles term frequencies twice, and collects the model to the
+ * driver, stressing driver memory and GC (string churn).
+ */
+
+#include "support/units.h"
+#include "workloads/basic_workload.h"
+
+namespace dac::workloads {
+
+namespace {
+
+/** Serialized bytes per document page. */
+constexpr double kBytesPerPage = 25.0 * KiB;
+
+class Bayes : public BasicWorkload
+{
+  public:
+    Bayes()
+        : BasicWorkload("Bayes", "BA", "million pages",
+                        {1.2, 1.4, 1.6, 1.8, 2.0}, 1.0e6 * kBytesPerPage)
+    {
+    }
+
+    sparksim::JobDag
+    buildDag(double native_size) const override
+    {
+        using namespace sparksim;
+        const double bytes = bytesForSize(native_size);
+
+        JobDag job;
+        job.program = "Bayes";
+        job.inputBytes = bytes;
+        job.javaExpansion = 2.8; // token strings expand heavily
+
+        StageSpec tokenize;
+        tokenize.name = "tokenize";
+        tokenize.group = "stage1";
+        tokenize.kind = StageKind::Input;
+        tokenize.inputBytes = bytes;
+        tokenize.computePerByte = 1.3;
+        tokenize.shuffleWriteRatio = 0.5;
+        tokenize.mapSideAggregation = true;
+        tokenize.workingSetRatio = 1.1;
+        tokenize.gcChurn = 2.2;
+        tokenize.recordSizeBytes = 4096;
+        job.stages.push_back(tokenize);
+
+        StageSpec termFreq;
+        termFreq.name = "term-frequencies";
+        termFreq.group = "stage2";
+        termFreq.kind = StageKind::Shuffle;
+        termFreq.inputBytes = 0.5 * bytes;
+        termFreq.computePerByte = 0.9;
+        termFreq.shuffleWriteRatio = 0.3;
+        termFreq.mapSideAggregation = true;
+        termFreq.workingSetRatio = 1.6;
+        termFreq.gcChurn = 2.0;
+        job.stages.push_back(termFreq);
+
+        StageSpec model;
+        model.name = "build-model";
+        model.group = "stage3";
+        model.kind = StageKind::Shuffle;
+        model.inputBytes = 0.15 * bytes;
+        model.computePerByte = 0.8;
+        model.outputToDriverBytes = 0.02 * bytes; // model to driver
+        model.workingSetRatio = 1.4;
+        model.gcChurn = 1.6;
+        job.stages.push_back(model);
+        return job;
+    }
+};
+
+} // namespace
+
+std::unique_ptr<Workload>
+makeBayes()
+{
+    return std::make_unique<Bayes>();
+}
+
+} // namespace dac::workloads

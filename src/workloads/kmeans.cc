@@ -1,0 +1,112 @@
+/**
+ * @file
+ * KMeans (KM): iterative clustering with good instruction locality and
+ * poor data locality (Section 4.1). Caches the point set, then runs
+ * broadcast-aggregate-collect iterations (the paper's stageC, the
+ * dominant stage in Figure 13).
+ */
+
+#include "support/units.h"
+#include "workloads/basic_workload.h"
+
+namespace dac::workloads {
+
+namespace {
+
+/** Serialized bytes per sample point (~20 double features + text). */
+constexpr double kBytesPerPoint = 120.0;
+constexpr int kIterations = 10;
+constexpr double kCentroidBytes = 5.0 * MiB;
+
+class KMeans : public BasicWorkload
+{
+  public:
+    KMeans()
+        : BasicWorkload("KMeans", "KM", "million points",
+                        {160, 192, 224, 256, 288}, 1.0e6 * kBytesPerPoint)
+    {
+    }
+
+    sparksim::JobDag
+    buildDag(double native_size) const override
+    {
+        using namespace sparksim;
+        const double bytes = bytesForSize(native_size);
+
+        JobDag job;
+        job.program = "KMeans";
+        job.inputBytes = bytes;
+        job.javaExpansion = 2.0; // numeric vectors expand modestly
+
+        StageSpec read;
+        read.name = "read-points";
+        read.group = "stageA";
+        read.kind = StageKind::Input;
+        read.inputBytes = bytes;
+        read.computePerByte = 0.9;
+        read.cacheableBytes = bytes;
+        read.workingSetRatio = 0.8;
+        read.gcChurn = 0.9;
+        job.stages.push_back(read);
+
+        StageSpec sample;
+        sample.name = "take-samples";
+        sample.group = "stageB";
+        sample.kind = StageKind::Input;
+        sample.cachedInput = true;
+        sample.inputBytes = bytes;
+        sample.computePerByte = 0.3;
+        sample.outputToDriverBytes = kCentroidBytes;
+        sample.workingSetRatio = 0.4;
+        sample.gcChurn = 0.8;
+        job.stages.push_back(sample);
+
+        StageSpec aggregate;
+        aggregate.name = "aggregate-collect";
+        aggregate.group = "stageC";
+        aggregate.kind = StageKind::Input;
+        aggregate.cachedInput = true;
+        aggregate.inputBytes = bytes;
+        aggregate.computePerByte = 1.4; // distance computations
+        aggregate.shuffleWriteRatio = 0.002; // partial centroid sums
+        aggregate.mapSideAggregation = true;
+        aggregate.broadcastBytes = kCentroidBytes;
+        aggregate.outputToDriverBytes = kCentroidBytes;
+        aggregate.iterations = kIterations;
+        aggregate.workingSetRatio = 0.9;
+        aggregate.gcChurn = 0.8;
+        job.stages.push_back(aggregate);
+
+        StageSpec collect;
+        collect.name = "collect-results";
+        collect.group = "stageD";
+        collect.kind = StageKind::Input;
+        collect.cachedInput = true;
+        collect.inputBytes = 0.2 * bytes;
+        collect.computePerByte = 0.5;
+        collect.outputToDriverBytes = 24.0 * MiB;
+        collect.workingSetRatio = 0.5;
+        collect.gcChurn = 0.9;
+        job.stages.push_back(collect);
+
+        StageSpec summarize;
+        summarize.name = "summarize";
+        summarize.group = "stageE";
+        summarize.kind = StageKind::Result;
+        summarize.inputBytes = 32.0 * MiB;
+        summarize.computePerByte = 0.4;
+        summarize.gcChurn = 0.8;
+        job.stages.push_back(summarize);
+        return job;
+    }
+};
+
+} // namespace
+
+std::unique_ptr<Workload>
+makeKMeans()
+{
+    return std::make_unique<KMeans>();
+}
+
+} // namespace dac::workloads

@@ -1,0 +1,90 @@
+/**
+ * @file
+ * NWeight (NW): an iterative GraphX algorithm computing associations
+ * between vertices n hops apart (Section 4.1). The raw edge list is
+ * small, but the in-memory graph is huge (high expansion factor), the
+ * object graph has shared references (Kryo reference tracking!), and
+ * each hop explodes message traffic.
+ */
+
+#include "support/units.h"
+#include "workloads/basic_workload.h"
+
+namespace dac::workloads {
+
+namespace {
+
+/** Serialized bytes per edge. */
+constexpr double kBytesPerEdge = 60.0;
+constexpr int kHops = 3;
+
+class NWeight : public BasicWorkload
+{
+  public:
+    NWeight()
+        : BasicWorkload("NWeight", "NW", "million edges",
+                        {10.5, 11.5, 12.5, 13.5, 14.5},
+                        1.0e6 * kBytesPerEdge)
+    {
+    }
+
+    sparksim::JobDag
+    buildDag(double native_size) const override
+    {
+        using namespace sparksim;
+        const double bytes = bytesForSize(native_size);
+
+        JobDag job;
+        job.program = "NWeight";
+        job.inputBytes = bytes;
+        job.javaExpansion = 14.0; // vertex/edge objects dwarf the input
+        job.cyclicReferences = true;
+
+        StageSpec build;
+        build.name = "build-graph";
+        build.group = "build";
+        build.kind = StageKind::Input;
+        build.inputBytes = bytes;
+        build.computePerByte = 2.0;
+        build.shuffleWriteRatio = 1.5; // graph partitioning
+        build.cacheableBytes = bytes;  // the whole graph stays resident
+        build.workingSetRatio = 3.0;
+        build.gcChurn = 2.0;
+        job.stages.push_back(build);
+
+        StageSpec hop;
+        hop.name = "hop-iteration";
+        hop.group = "iterate";
+        hop.kind = StageKind::Shuffle;
+        hop.inputBytes = 4.0 * bytes; // message explosion per hop
+        hop.cachedSideInputBytes = bytes;
+        hop.computePerByte = 3.0;
+        hop.shuffleWriteRatio = 1.0;
+        hop.mapSideAggregation = true;
+        hop.workingSetRatio = 2.5;
+        hop.gcChurn = 2.2;
+        hop.iterations = kHops;
+        job.stages.push_back(hop);
+
+        StageSpec save;
+        save.name = "save-weights";
+        save.group = "save";
+        save.kind = StageKind::Result;
+        save.inputBytes = 2.0 * bytes;
+        save.computePerByte = 0.5;
+        save.outputBytes = 1.5 * bytes;
+        save.gcChurn = 1.2;
+        job.stages.push_back(save);
+        return job;
+    }
+};
+
+} // namespace
+
+std::unique_ptr<Workload>
+makeNWeight()
+{
+    return std::make_unique<NWeight>();
+}
+
+} // namespace dac::workloads

@@ -1,0 +1,98 @@
+/**
+ * @file
+ * PageRank (PR): iterative graph ranking with high iteration
+ * selectivity (Section 4.1). Loads and caches the link table, then
+ * repeatedly joins ranks against it and aggregates contributions.
+ */
+
+#include "support/units.h"
+#include "workloads/basic_workload.h"
+
+namespace dac::workloads {
+
+namespace {
+
+/** Serialized bytes per web page (links + metadata). */
+constexpr double kBytesPerPage = 20.0 * KiB;
+/** Ranks/contribution traffic relative to the link table. */
+constexpr double kMessageRatio = 0.5;
+constexpr int kIterations = 5;
+
+class PageRank : public BasicWorkload
+{
+  public:
+    PageRank()
+        : BasicWorkload("PageRank", "PR", "million pages",
+                        {1.2, 1.4, 1.6, 1.8, 2.0}, 1.0e6 * kBytesPerPage)
+    {
+    }
+
+    sparksim::JobDag
+    buildDag(double native_size) const override
+    {
+        using namespace sparksim;
+        const double bytes = bytesForSize(native_size);
+
+        JobDag job;
+        job.program = "PageRank";
+        job.inputBytes = bytes;
+        job.javaExpansion = 2.6; // string-keyed adjacency objects
+
+        StageSpec load;
+        load.name = "load-links";
+        load.group = "stage1";
+        load.kind = StageKind::Input;
+        load.inputBytes = bytes;
+        load.computePerByte = 0.8;
+        load.shuffleWriteRatio = 0.9; // groupByKey to build link table
+        load.workingSetRatio = 1.2;
+        load.gcChurn = 1.6;
+        job.stages.push_back(load);
+
+        StageSpec build;
+        build.name = "build-link-table";
+        build.group = "stage2";
+        build.kind = StageKind::Shuffle;
+        build.inputBytes = 0.9 * bytes;
+        build.computePerByte = 0.6;
+        build.workingSetRatio = 2.0; // grouped values materialize
+        build.gcChurn = 1.8;
+        build.cacheableBytes = bytes; // links RDD is cached here
+        job.stages.push_back(build);
+
+        StageSpec iterate;
+        iterate.name = "rank-iteration";
+        iterate.group = "iterate";
+        iterate.kind = StageKind::Shuffle;
+        iterate.inputBytes = kMessageRatio * bytes;
+        iterate.cachedSideInputBytes = bytes; // join against links
+        iterate.computePerByte = 1.2;
+        iterate.shuffleWriteRatio = 0.8;
+        iterate.mapSideAggregation = true; // reduceByKey on contribs
+        iterate.workingSetRatio = 2.2;
+        iterate.gcChurn = 1.8;
+        iterate.iterations = kIterations;
+        job.stages.push_back(iterate);
+
+        StageSpec save;
+        save.name = "save-ranks";
+        save.group = "save";
+        save.kind = StageKind::Result;
+        save.inputBytes = 0.05 * bytes;
+        save.computePerByte = 0.5;
+        save.outputBytes = 0.04 * bytes;
+        save.gcChurn = 1.0;
+        job.stages.push_back(save);
+        return job;
+    }
+};
+
+} // namespace
+
+std::unique_ptr<Workload>
+makePageRank()
+{
+    return std::make_unique<PageRank>();
+}
+
+} // namespace dac::workloads

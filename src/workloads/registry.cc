@@ -1,0 +1,40 @@
+#include "workloads/registry.h"
+
+#include "support/logging.h"
+
+namespace dac::workloads {
+
+Registry::Registry()
+{
+    workloads.push_back(makePageRank());
+    workloads.push_back(makeKMeans());
+    workloads.push_back(makeBayes());
+    workloads.push_back(makeNWeight());
+    workloads.push_back(makeWordCount());
+    workloads.push_back(makeTeraSort());
+}
+
+const std::vector<std::unique_ptr<Workload>> &
+Registry::all() const
+{
+    return workloads;
+}
+
+const Workload &
+Registry::byAbbrev(const std::string &abbrev) const
+{
+    for (const auto &w : workloads) {
+        if (w->abbrev() == abbrev)
+            return *w;
+    }
+    fatalError("unknown workload: " + abbrev);
+}
+
+const Registry &
+Registry::instance()
+{
+    static const Registry registry;
+    return registry;
+}
+
+} // namespace dac::workloads

@@ -1,0 +1,42 @@
+/**
+ * @file
+ * Lookup of the six paper workloads by abbreviation, and the canonical
+ * "all programs" list used by tests and benches.
+ */
+
+#ifndef DAC_WORKLOADS_REGISTRY_H
+#define DAC_WORKLOADS_REGISTRY_H
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "workloads/workload.h"
+
+namespace dac::workloads {
+
+/**
+ * Owns one instance of each paper workload, in Table 1 order:
+ * PR, KM, BA, NW, WC, TS.
+ */
+class Registry
+{
+  public:
+    Registry();
+
+    /** All workloads in Table 1 order. */
+    const std::vector<std::unique_ptr<Workload>> &all() const;
+
+    /** Lookup by abbreviation ("PR", "KM", ...); fatalError if absent. */
+    const Workload &byAbbrev(const std::string &abbrev) const;
+
+    /** The process-wide shared registry. */
+    static const Registry &instance();
+
+  private:
+    std::vector<std::unique_ptr<Workload>> workloads;
+};
+
+} // namespace dac::workloads
+
+#endif // DAC_WORKLOADS_REGISTRY_H

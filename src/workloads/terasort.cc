@@ -1,0 +1,68 @@
+/**
+ * @file
+ * TeraSort (TS): CPU- and memory-intensive distributed sort
+ * (Section 4.1). Two stages; Stage2 (the all-to-all sort) takes ~90%
+ * of the time, matching the paper's Figure 14.
+ */
+
+#include "support/units.h"
+#include "workloads/basic_workload.h"
+
+namespace dac::workloads {
+
+namespace {
+
+class TeraSort : public BasicWorkload
+{
+  public:
+    TeraSort()
+        : BasicWorkload("TeraSort", "TS", "GB", {10, 20, 30, 40, 50}, GiB)
+    {
+    }
+
+    sparksim::JobDag
+    buildDag(double native_size) const override
+    {
+        using namespace sparksim;
+        const double bytes = bytesForSize(native_size);
+
+        JobDag job;
+        job.program = "TeraSort";
+        job.inputBytes = bytes;
+        job.javaExpansion = 2.0; // fixed-width binary records
+
+        StageSpec partition;
+        partition.name = "range-partition";
+        partition.group = "stage1";
+        partition.kind = StageKind::Input;
+        partition.inputBytes = bytes;
+        partition.computePerByte = 0.5;
+        partition.shuffleWriteRatio = 1.0; // the whole dataset moves
+        partition.workingSetRatio = 1.0;
+        partition.gcChurn = 1.2;
+        partition.recordSizeBytes = 100;
+        job.stages.push_back(partition);
+
+        StageSpec sort;
+        sort.name = "sort-write";
+        sort.group = "stage2";
+        sort.kind = StageKind::Shuffle;
+        sort.inputBytes = bytes;
+        sort.computePerByte = 1.2; // the sort itself
+        sort.outputBytes = bytes;  // sorted output back to storage
+        sort.workingSetRatio = 2.8; // full partitions held in memory
+        sort.gcChurn = 1.4;
+        job.stages.push_back(sort);
+        return job;
+    }
+};
+
+} // namespace
+
+std::unique_ptr<Workload>
+makeTeraSort()
+{
+    return std::make_unique<TeraSort>();
+}
+
+} // namespace dac::workloads

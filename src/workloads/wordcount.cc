@@ -1,0 +1,69 @@
+/**
+ * @file
+ * WordCount (WC): CPU-intensive scan-and-combine (Section 4.1). The
+ * map side tokenizes and combines locally, so the shuffle is small;
+ * most time goes to scanning the (large) input.
+ */
+
+#include "support/units.h"
+#include "workloads/basic_workload.h"
+
+namespace dac::workloads {
+
+namespace {
+
+class WordCount : public BasicWorkload
+{
+  public:
+    WordCount()
+        : BasicWorkload("WordCount", "WC", "GB",
+                        {80, 100, 120, 140, 160}, GiB)
+    {
+    }
+
+    sparksim::JobDag
+    buildDag(double native_size) const override
+    {
+        using namespace sparksim;
+        const double bytes = bytesForSize(native_size);
+
+        JobDag job;
+        job.program = "WordCount";
+        job.inputBytes = bytes;
+        job.javaExpansion = 2.4;
+
+        StageSpec map;
+        map.name = "tokenize-combine";
+        map.group = "map";
+        map.kind = StageKind::Input;
+        map.inputBytes = bytes;
+        map.computePerByte = 1.8; // CPU-bound tokenization
+        map.shuffleWriteRatio = 0.04; // map-side combine shrinks output
+        map.mapSideAggregation = true;
+        map.workingSetRatio = 0.35;
+        map.gcChurn = 1.8;
+        job.stages.push_back(map);
+
+        StageSpec reduce;
+        reduce.name = "reduce-counts";
+        reduce.group = "reduce";
+        reduce.kind = StageKind::Shuffle;
+        reduce.inputBytes = 0.04 * bytes;
+        reduce.computePerByte = 0.8;
+        reduce.outputBytes = 0.03 * bytes;
+        reduce.workingSetRatio = 1.5;
+        reduce.gcChurn = 1.3;
+        job.stages.push_back(reduce);
+        return job;
+    }
+};
+
+} // namespace
+
+std::unique_ptr<Workload>
+makeWordCount()
+{
+    return std::make_unique<WordCount>();
+}
+
+} // namespace dac::workloads

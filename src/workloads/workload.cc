@@ -1,0 +1,32 @@
+#include "workloads/workload.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "support/logging.h"
+
+namespace dac::workloads {
+
+std::vector<double>
+Workload::trainingSizes(size_t m) const
+{
+    DAC_ASSERT(m >= 2, "need at least two training sizes");
+    const auto paper = paperSizes();
+    DAC_ASSERT(!paper.empty(), "workload has no paper sizes");
+    const double lo = 0.7 * *std::min_element(paper.begin(), paper.end());
+    const double hi = 1.3 * *std::max_element(paper.begin(), paper.end());
+    DAC_ASSERT(hi > lo && lo > 0.0, "bad training size range");
+
+    const double ratio =
+        std::pow(hi / lo, 1.0 / static_cast<double>(m - 1));
+    std::vector<double> sizes;
+    sizes.reserve(m);
+    double s = lo;
+    for (size_t i = 0; i < m; ++i) {
+        sizes.push_back(s);
+        s *= ratio;
+    }
+    return sizes;
+}
+
+} // namespace dac::workloads

@@ -1,0 +1,59 @@
+/**
+ * @file
+ * The six HiBench-style programs of the paper's Table 1. Each workload
+ * maps a native dataset size (million pages, million points, GB, ...)
+ * to bytes and builds the Spark stage DAG the simulator executes.
+ */
+
+#ifndef DAC_WORKLOADS_WORKLOAD_H
+#define DAC_WORKLOADS_WORKLOAD_H
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "sparksim/dag.h"
+
+namespace dac::workloads {
+
+/**
+ * One benchmark program with a parameterized dataset generator.
+ */
+class Workload
+{
+  public:
+    virtual ~Workload() = default;
+
+    /** Full name, e.g. "PageRank". */
+    virtual std::string name() const = 0;
+    /** Table 1 abbreviation, e.g. "PR". */
+    virtual std::string abbrev() const = 0;
+    /** Unit of the native size, e.g. "million pages". */
+    virtual std::string sizeUnit() const = 0;
+    /** The five evaluation sizes of Table 1 (native units). */
+    virtual std::vector<double> paperSizes() const = 0;
+    /** Native size to serialized input bytes (the paper's dsize). */
+    virtual double bytesForSize(double native_size) const = 0;
+    /** Build the job DAG for one native size. */
+    virtual sparksim::JobDag buildDag(double native_size) const = 0;
+
+    /**
+     * The m training sizes used by the collecting component
+     * (Section 3.1 step 2). Geometrically spaced so every pair differs
+     * by at least the 10% Eq. 4 requires, spanning past both ends of
+     * the evaluation range.
+     */
+    std::vector<double> trainingSizes(size_t m = 10) const;
+};
+
+/** Factories for the six programs. */
+std::unique_ptr<Workload> makePageRank();
+std::unique_ptr<Workload> makeKMeans();
+std::unique_ptr<Workload> makeBayes();
+std::unique_ptr<Workload> makeNWeight();
+std::unique_ptr<Workload> makeWordCount();
+std::unique_ptr<Workload> makeTeraSort();
+
+} // namespace dac::workloads
+
+#endif // DAC_WORKLOADS_WORKLOAD_H

@@ -1,0 +1,39 @@
+/** @file Tests for the cluster hardware model. */
+
+#include <gtest/gtest.h>
+
+#include "cluster/cluster.h"
+
+namespace dac::cluster {
+namespace {
+
+TEST(Cluster, PaperTestbedShape)
+{
+    const auto &c = ClusterSpec::paperTestbed();
+    EXPECT_EQ(c.workerCount(), 5);
+    EXPECT_EQ(c.node().cores, 12);
+    EXPECT_EQ(c.totalCores(), 60);
+    EXPECT_DOUBLE_EQ(c.totalMemoryBytes(),
+                     5.0 * 64.0 * 1024 * 1024 * 1024);
+}
+
+TEST(Cluster, CustomCluster)
+{
+    NodeSpec node;
+    node.cores = 8;
+    node.memoryBytes = 32.0 * 1024 * 1024 * 1024;
+    const ClusterSpec c("mini", 3, node);
+    EXPECT_EQ(c.totalCores(), 24);
+    EXPECT_EQ(c.name(), "mini");
+}
+
+TEST(Cluster, InvalidSpecsPanic)
+{
+    NodeSpec node;
+    EXPECT_THROW(ClusterSpec("bad", 0, node), std::logic_error);
+    node.cores = 0;
+    EXPECT_THROW(ClusterSpec("bad", 1, node), std::logic_error);
+}
+
+} // namespace
+} // namespace dac::cluster

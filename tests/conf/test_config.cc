@@ -1,0 +1,105 @@
+/** @file Tests for Configuration value access and encoding. */
+
+#include <gtest/gtest.h>
+
+#include "conf/config.h"
+
+namespace dac::conf {
+namespace {
+
+TEST(Config, DefaultsMatchTable2)
+{
+    const Configuration c(ConfigSpace::spark());
+    EXPECT_DOUBLE_EQ(c.get("spark.executor.memory"), 1024);
+    EXPECT_DOUBLE_EQ(c.get("spark.memory.fraction"), 0.75);
+    EXPECT_EQ(c.getCategory(SerializerClass), 0u); // java
+    EXPECT_FALSE(c.getBool(Speculation));
+    EXPECT_TRUE(c.getBool(ShuffleCompress));
+}
+
+TEST(Config, SetSnapsToRange)
+{
+    Configuration c(ConfigSpace::spark());
+    c.set(ExecutorMemory, 99999.0);
+    EXPECT_DOUBLE_EQ(c.get(ExecutorMemory), 12288);
+    c.set(ExecutorMemory, 0.0);
+    EXPECT_DOUBLE_EQ(c.get(ExecutorMemory), 1024);
+    c.set(MemoryFraction, 0.6123);
+    EXPECT_DOUBLE_EQ(c.get(MemoryFraction), 0.6123);
+}
+
+TEST(Config, SetByName)
+{
+    Configuration c(ConfigSpace::spark());
+    c.set("spark.default.parallelism", 30);
+    EXPECT_EQ(c.getInt(DefaultParallelism), 30);
+}
+
+TEST(Config, TypedAccessors)
+{
+    Configuration c(ConfigSpace::spark());
+    c.set(ExecutorCores, 7.4);
+    EXPECT_EQ(c.getInt(ExecutorCores), 7);
+    c.set(SerializerClass, 1);
+    EXPECT_EQ(c.getCategory(SerializerClass), 1u);
+    c.set(RddCompress, 1);
+    EXPECT_TRUE(c.getBool(RddCompress));
+}
+
+TEST(Config, NormalizedRoundTrip)
+{
+    Configuration c(ConfigSpace::spark());
+    c.set(ExecutorMemory, 6144);
+    c.set(ExecutorCores, 5);
+    c.set(SerializerClass, 1);
+    c.snapAll();
+    const auto unit = c.toNormalized();
+    ASSERT_EQ(unit.size(), 41u);
+    for (double u : unit) {
+        EXPECT_GE(u, 0.0);
+        EXPECT_LE(u, 1.0);
+    }
+    const auto back = Configuration::fromNormalized(ConfigSpace::spark(),
+                                                    unit);
+    EXPECT_DOUBLE_EQ(back.get(ExecutorMemory), 6144);
+    EXPECT_DOUBLE_EQ(back.get(ExecutorCores), 5);
+    EXPECT_EQ(back.getCategory(SerializerClass), 1u);
+}
+
+TEST(Config, FromNormalizedProducesLegalValues)
+{
+    std::vector<double> unit(41, 0.5);
+    const auto c = Configuration::fromNormalized(ConfigSpace::spark(),
+                                                 unit);
+    for (size_t i = 0; i < c.size(); ++i) {
+        const auto &p = c.space().param(i);
+        EXPECT_GE(c.get(i), p.lo());
+        EXPECT_LE(c.get(i), p.hi());
+    }
+}
+
+TEST(Config, ExplicitValuesWidthChecked)
+{
+    EXPECT_THROW(Configuration(ConfigSpace::spark(), {1.0, 2.0}),
+                 std::logic_error);
+}
+
+TEST(Config, ToStringContainsAssignments)
+{
+    const Configuration c(ConfigSpace::spark());
+    const auto s = c.toString();
+    EXPECT_NE(s.find("spark.executor.memory = 1024"), std::string::npos);
+    EXPECT_NE(s.find("spark.serializer = java"), std::string::npos);
+}
+
+TEST(Config, SetRawBypassesSnapping)
+{
+    Configuration c(ConfigSpace::spark());
+    c.setRaw(ExecutorMemory, 99999.0);
+    EXPECT_DOUBLE_EQ(c.get(ExecutorMemory), 99999.0);
+    c.snapAll();
+    EXPECT_DOUBLE_EQ(c.get(ExecutorMemory), 12288.0);
+}
+
+} // namespace
+} // namespace dac::conf

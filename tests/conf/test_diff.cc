@@ -1,0 +1,76 @@
+/** @file Tests for configuration diffing. */
+
+#include <gtest/gtest.h>
+
+#include "conf/diff.h"
+
+namespace dac::conf {
+namespace {
+
+TEST(Diff, IdenticalConfigsAreEmpty)
+{
+    const Configuration a(ConfigSpace::spark());
+    const Configuration b(ConfigSpace::spark());
+    EXPECT_TRUE(diffConfigurations(a, b).empty());
+}
+
+TEST(Diff, ReportsChangedParamsSortedByShift)
+{
+    const Configuration base(ConfigSpace::spark());
+    Configuration tuned(ConfigSpace::spark());
+    tuned.set(ExecutorMemory, 12288);       // full-range move
+    tuned.set(DefaultParallelism, 12);      // small move (8 -> 12)
+    tuned.set(SerializerClass, 1);
+
+    const auto deltas = diffConfigurations(base, tuned);
+    ASSERT_EQ(deltas.size(), 3u);
+    EXPECT_EQ(deltas.front().name, "spark.executor.memory");
+    EXPECT_EQ(deltas.front().baseValue, "1024");
+    EXPECT_EQ(deltas.front().otherValue, "12288");
+    EXPECT_NEAR(deltas.front().normalizedShift, 1.0, 1e-9);
+    EXPECT_EQ(deltas.back().name, "spark.default.parallelism");
+}
+
+TEST(Diff, CategoricalRenderedByName)
+{
+    const Configuration base(ConfigSpace::spark());
+    Configuration tuned(ConfigSpace::spark());
+    tuned.set(SerializerClass, 1);
+    const auto deltas = diffConfigurations(base, tuned);
+    ASSERT_EQ(deltas.size(), 1u);
+    EXPECT_EQ(deltas[0].baseValue, "java");
+    EXPECT_EQ(deltas[0].otherValue, "kryo");
+}
+
+TEST(Diff, FormatAlignsAndTruncates)
+{
+    const Configuration base(ConfigSpace::spark());
+    Configuration tuned(ConfigSpace::spark());
+    tuned.set(ExecutorMemory, 8192);
+    tuned.set(ExecutorCores, 4);
+    tuned.set(SerializerClass, 1);
+    const auto deltas = diffConfigurations(base, tuned);
+
+    const auto full = formatDiff(deltas);
+    EXPECT_NE(full.find("->"), std::string::npos);
+    const auto truncated = formatDiff(deltas, 1);
+    EXPECT_NE(truncated.find("2 smaller changes"), std::string::npos);
+}
+
+TEST(Diff, DifferentSpacesPanic)
+{
+    const Configuration spark(ConfigSpace::spark());
+    const Configuration hadoop(ConfigSpace::hadoop());
+    EXPECT_THROW(diffConfigurations(spark, hadoop), std::logic_error);
+}
+
+TEST(Diff, SnapsBeforeComparing)
+{
+    Configuration a(ConfigSpace::spark());
+    Configuration b(ConfigSpace::spark());
+    b.setRaw(ExecutorCores, 12.4); // snaps to 12 = default
+    EXPECT_TRUE(diffConfigurations(a, b).empty());
+}
+
+} // namespace
+} // namespace dac::conf

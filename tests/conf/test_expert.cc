@@ -1,0 +1,50 @@
+/** @file Tests for the expert tuning rules. */
+
+#include <gtest/gtest.h>
+
+#include "conf/expert.h"
+
+namespace dac::conf {
+namespace {
+
+TEST(Expert, AppliesGuideRules)
+{
+    const auto c = expertSparkConfig(cluster::ClusterSpec::paperTestbed());
+    EXPECT_EQ(c.getInt(ExecutorCores), 5);
+    EXPECT_EQ(c.getCategory(SerializerClass), 1u); // kryo
+    EXPECT_TRUE(c.getBool(ShuffleCompress));
+    // Memory capped at the Table 2 range limit.
+    EXPECT_DOUBLE_EQ(c.get(ExecutorMemory), 12288);
+    // 2-3 tasks per core saturates at the range cap (50).
+    EXPECT_EQ(c.getInt(DefaultParallelism), 50);
+    EXPECT_GE(c.get(DriverMemory), 4096);
+}
+
+TEST(Expert, AllValuesLegal)
+{
+    const auto c = expertSparkConfig(cluster::ClusterSpec::paperTestbed());
+    for (size_t i = 0; i < c.size(); ++i) {
+        const auto &p = c.space().param(i);
+        // Untouched defaults may sit outside the tuning range (Table 2
+        // quirk); everything the expert sets must be legal.
+        if (p.defaultValue() >= p.lo() && p.defaultValue() <= p.hi()) {
+            EXPECT_GE(c.get(i), p.lo()) << p.name();
+            EXPECT_LE(c.get(i), p.hi()) << p.name();
+        }
+    }
+}
+
+TEST(Expert, ScalesWithSmallCluster)
+{
+    cluster::NodeSpec node;
+    node.cores = 4;
+    node.memoryBytes = 8.0 * 1024 * 1024 * 1024;
+    const cluster::ClusterSpec small("small", 2, node);
+    const auto c = expertSparkConfig(small);
+    EXPECT_EQ(c.getInt(ExecutorCores), 4);
+    EXPECT_LT(c.get(ExecutorMemory), 12288);
+    EXPECT_EQ(c.getInt(DefaultParallelism), 20); // 2.5 * 8 cores
+}
+
+} // namespace
+} // namespace dac::conf

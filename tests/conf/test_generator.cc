@@ -1,0 +1,77 @@
+/** @file Tests for the configuration generator (the paper's CG). */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "conf/generator.h"
+
+namespace dac::conf {
+namespace {
+
+TEST(Generator, ValuesWithinRanges)
+{
+    ConfigGenerator gen(ConfigSpace::spark(), Rng(1));
+    for (int i = 0; i < 50; ++i) {
+        const auto c = gen.random();
+        for (size_t j = 0; j < c.size(); ++j) {
+            const auto &p = c.space().param(j);
+            EXPECT_GE(c.get(j), p.lo()) << p.name();
+            EXPECT_LE(c.get(j), p.hi()) << p.name();
+        }
+    }
+}
+
+TEST(Generator, Deterministic)
+{
+    ConfigGenerator a(ConfigSpace::spark(), Rng(9));
+    ConfigGenerator b(ConfigSpace::spark(), Rng(9));
+    for (int i = 0; i < 10; ++i)
+        EXPECT_EQ(a.random().values(), b.random().values());
+}
+
+TEST(Generator, ProducesDiverseConfigs)
+{
+    ConfigGenerator gen(ConfigSpace::spark(), Rng(2));
+    std::set<long long> memories;
+    for (int i = 0; i < 100; ++i) {
+        memories.insert(static_cast<long long>(
+            gen.random().get(ExecutorMemory)));
+    }
+    EXPECT_GT(memories.size(), 50u);
+}
+
+TEST(Generator, BatchCount)
+{
+    ConfigGenerator gen(ConfigSpace::spark(), Rng(3));
+    EXPECT_EQ(gen.batch(17).size(), 17u);
+}
+
+TEST(Generator, LatinHypercubeStratifies)
+{
+    ConfigGenerator gen(ConfigSpace::spark(), Rng(4));
+    const size_t n = 10;
+    const auto configs = gen.latinHypercube(n);
+    ASSERT_EQ(configs.size(), n);
+
+    // For a real-valued parameter, each of the n strata must be used
+    // exactly once.
+    const size_t frac = ConfigSpace::spark().indexOf(
+        "spark.memory.fraction");
+    std::set<int> strata;
+    for (const auto &c : configs) {
+        const double u = c.space().param(frac).normalize(c.get(frac));
+        strata.insert(static_cast<int>(u * n * 0.9999));
+    }
+    EXPECT_EQ(strata.size(), n);
+}
+
+TEST(Generator, HadoopSpaceSupported)
+{
+    ConfigGenerator gen(ConfigSpace::hadoop(), Rng(5));
+    const auto c = gen.random();
+    EXPECT_EQ(c.size(), 10u);
+}
+
+} // namespace
+} // namespace dac::conf

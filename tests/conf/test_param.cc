@@ -1,0 +1,85 @@
+/** @file Tests for ParamSpec value handling. */
+
+#include <gtest/gtest.h>
+
+#include "conf/param.h"
+
+namespace dac::conf {
+namespace {
+
+TEST(Param, IntSnapRoundsAndClamps)
+{
+    const auto p = ParamSpec::makeInt("p", "", 2, 128, 48);
+    EXPECT_DOUBLE_EQ(p.snap(3.4), 3.0);
+    EXPECT_DOUBLE_EQ(p.snap(3.6), 4.0);
+    EXPECT_DOUBLE_EQ(p.snap(-5.0), 2.0);
+    EXPECT_DOUBLE_EQ(p.snap(1000.0), 128.0);
+}
+
+TEST(Param, RealSnapClampsOnly)
+{
+    const auto p = ParamSpec::makeReal("p", "", 0.5, 1.0, 0.75);
+    EXPECT_DOUBLE_EQ(p.snap(0.6321), 0.6321);
+    EXPECT_DOUBLE_EQ(p.snap(0.2), 0.5);
+    EXPECT_DOUBLE_EQ(p.snap(1.2), 1.0);
+}
+
+TEST(Param, BoolSnap)
+{
+    const auto p = ParamSpec::makeBool("p", "", true);
+    EXPECT_DOUBLE_EQ(p.snap(0.4), 0.0);
+    EXPECT_DOUBLE_EQ(p.snap(0.6), 1.0);
+    EXPECT_DOUBLE_EQ(p.defaultValue(), 1.0);
+}
+
+TEST(Param, CategoricalSnapAndNames)
+{
+    const auto p =
+        ParamSpec::makeCategorical("p", "", {"snappy", "lzf", "lz4"}, 0);
+    EXPECT_DOUBLE_EQ(p.snap(1.4), 1.0);
+    EXPECT_DOUBLE_EQ(p.snap(9.0), 2.0);
+    EXPECT_EQ(p.valueToString(2.0), "lz4");
+    EXPECT_EQ(p.categories().size(), 3u);
+}
+
+TEST(Param, NormalizeDenormalizeRoundTrip)
+{
+    const auto p = ParamSpec::makeInt("p", "", 8, 50, 8);
+    for (double v : {8.0, 20.0, 35.0, 50.0}) {
+        const double u = p.normalize(v);
+        EXPECT_GE(u, 0.0);
+        EXPECT_LE(u, 1.0);
+        EXPECT_DOUBLE_EQ(p.denormalize(u), v);
+    }
+}
+
+TEST(Param, DenormalizeEndpoints)
+{
+    const auto p = ParamSpec::makeReal("p", "", 1.0, 5.0, 1.5);
+    EXPECT_DOUBLE_EQ(p.denormalize(0.0), 1.0);
+    EXPECT_DOUBLE_EQ(p.denormalize(1.0), 5.0);
+    EXPECT_DOUBLE_EQ(p.denormalize(-0.3), 1.0);
+    EXPECT_DOUBLE_EQ(p.denormalize(1.7), 5.0);
+}
+
+TEST(Param, ValueToStringByType)
+{
+    EXPECT_EQ(ParamSpec::makeInt("i", "", 0, 10, 4).valueToString(4.0),
+              "4");
+    EXPECT_EQ(ParamSpec::makeBool("b", "", false).valueToString(1.0),
+              "true");
+    EXPECT_EQ(ParamSpec::makeReal("r", "", 0, 1, 0.5).valueToString(0.75),
+              "0.75");
+}
+
+TEST(Param, InvalidConstructionPanics)
+{
+    EXPECT_THROW(ParamSpec::makeInt("p", "", 10, 2, 5), std::logic_error);
+    EXPECT_THROW(ParamSpec::makeCategorical("p", "", {}, 0),
+                 std::logic_error);
+    EXPECT_THROW(ParamSpec::makeCategorical("p", "", {"a"}, 5),
+                 std::logic_error);
+}
+
+} // namespace
+} // namespace dac::conf

@@ -1,0 +1,102 @@
+/** @file Tests for the Spark (Table 2) and Hadoop config spaces. */
+
+#include <gtest/gtest.h>
+
+#include "conf/space.h"
+
+namespace dac::conf {
+namespace {
+
+TEST(SparkSpace, HasExactly41Parameters)
+{
+    EXPECT_EQ(ConfigSpace::spark().size(), 41u);
+    EXPECT_EQ(ConfigSpace::spark().size(),
+              static_cast<size_t>(kSparkParamCount));
+}
+
+TEST(SparkSpace, EnumOrderMatchesIndices)
+{
+    const auto &s = ConfigSpace::spark();
+    EXPECT_EQ(s.param(ExecutorCores).name(), "spark.executor.cores");
+    EXPECT_EQ(s.param(ExecutorMemory).name(), "spark.executor.memory");
+    EXPECT_EQ(s.param(DefaultParallelism).name(),
+              "spark.default.parallelism");
+    EXPECT_EQ(s.param(SerializerClass).name(), "spark.serializer");
+    EXPECT_EQ(s.param(MemoryOffHeapSize).name(),
+              "spark.memory.offHeap.size");
+}
+
+TEST(SparkSpace, Table2RangesAndDefaults)
+{
+    const auto &s = ConfigSpace::spark();
+    const auto &mem = s.param("spark.executor.memory");
+    EXPECT_DOUBLE_EQ(mem.lo(), 1024);
+    EXPECT_DOUBLE_EQ(mem.hi(), 12288);
+    EXPECT_DOUBLE_EQ(mem.defaultValue(), 1024);
+
+    const auto &frac = s.param("spark.memory.fraction");
+    EXPECT_EQ(frac.type(), ParamType::Real);
+    EXPECT_DOUBLE_EQ(frac.lo(), 0.5);
+    EXPECT_DOUBLE_EQ(frac.hi(), 1.0);
+    EXPECT_DOUBLE_EQ(frac.defaultValue(), 0.75);
+
+    const auto &par = s.param("spark.default.parallelism");
+    EXPECT_DOUBLE_EQ(par.lo(), 8);
+    EXPECT_DOUBLE_EQ(par.hi(), 50);
+
+    // Faithful odd defaults from Table 2 (outside the tuning range).
+    EXPECT_DOUBLE_EQ(s.param("spark.storage.memoryMapThreshold")
+                         .defaultValue(), 2);
+    EXPECT_DOUBLE_EQ(s.param("spark.memory.offHeap.size").defaultValue(),
+                     0);
+}
+
+TEST(SparkSpace, CategoricalParams)
+{
+    const auto &s = ConfigSpace::spark();
+    EXPECT_EQ(s.param("spark.io.compression.codec").categories(),
+              (std::vector<std::string>{"snappy", "lzf", "lz4"}));
+    EXPECT_EQ(s.param("spark.serializer").categories(),
+              (std::vector<std::string>{"java", "kryo"}));
+    EXPECT_EQ(s.param("spark.shuffle.manager").categories(),
+              (std::vector<std::string>{"sort", "hash"}));
+}
+
+TEST(SparkSpace, AllNamesUniqueAndSparkPrefixed)
+{
+    const auto &s = ConfigSpace::spark();
+    for (size_t i = 0; i < s.size(); ++i) {
+        EXPECT_EQ(s.indexOf(s.param(i).name()), i);
+        EXPECT_EQ(s.param(i).name().rfind("spark.", 0), 0u);
+        EXPECT_FALSE(s.param(i).description().empty());
+    }
+}
+
+TEST(HadoopSpace, HasTenParameters)
+{
+    EXPECT_EQ(ConfigSpace::hadoop().size(), 10u);
+    EXPECT_EQ(ConfigSpace::hadoop().size(),
+              static_cast<size_t>(kHadoopParamCount));
+}
+
+TEST(HadoopSpace, LookupByEnum)
+{
+    const auto &h = ConfigSpace::hadoop();
+    EXPECT_EQ(h.param(IoSortMb).name(), "mapreduce.task.io.sort.mb");
+    EXPECT_EQ(h.param(SlowstartCompletedMaps).name(),
+              "mapreduce.reduce.slowstart.completedmaps");
+}
+
+TEST(Space, UnknownNameIsFatal)
+{
+    EXPECT_THROW(ConfigSpace::spark().indexOf("spark.nope"),
+                 std::runtime_error);
+}
+
+TEST(Space, IndexOutOfRangePanics)
+{
+    EXPECT_THROW(ConfigSpace::spark().param(41), std::logic_error);
+}
+
+} // namespace
+} // namespace dac::conf

@@ -1,0 +1,125 @@
+/** @file Tests for the collecting component (Section 3.1). */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "dac/collector.h"
+#include "workloads/registry.h"
+
+namespace dac::core {
+namespace {
+
+const workloads::Workload &
+ts()
+{
+    return workloads::Registry::instance().byAbbrev("TS");
+}
+
+TEST(Collector, SizesWellSeparatedEq4)
+{
+    EXPECT_TRUE(Collector::sizesWellSeparated({10, 11.5, 13.5}));
+    EXPECT_FALSE(Collector::sizesWellSeparated({10, 10.5}));
+    EXPECT_FALSE(Collector::sizesWellSeparated({10, 12, 12.5}));
+    EXPECT_TRUE(Collector::sizesWellSeparated({5}));
+}
+
+TEST(Collector, CollectsMTimesK)
+{
+    sparksim::SparkSimulator sim(cluster::ClusterSpec::paperTestbed());
+    Collector collector(sim, ts());
+    CollectOptions opt;
+    opt.datasetCount = 4;
+    opt.runsPerDataset = 6;
+    const auto result = collector.collect(opt);
+    EXPECT_EQ(result.vectors.size(), 24u);
+    EXPECT_GT(result.simulatedClusterSec, 0.0);
+
+    // Every vector carries 41 config values and one of 4 sizes.
+    std::set<double> sizes;
+    for (const auto &pv : result.vectors) {
+        EXPECT_EQ(pv.config.size(), 41u);
+        EXPECT_GT(pv.timeSec, 0.0);
+        sizes.insert(pv.dsizeBytes);
+    }
+    EXPECT_EQ(sizes.size(), 4u);
+}
+
+TEST(Collector, SimulatedCostIsSumOfRunTimes)
+{
+    sparksim::SparkSimulator sim(cluster::ClusterSpec::paperTestbed());
+    Collector collector(sim, ts());
+    const auto result = collector.collectAtSizes({10.0}, 5, 3);
+    double sum = 0.0;
+    for (const auto &pv : result.vectors)
+        sum += pv.timeSec;
+    EXPECT_NEAR(result.simulatedClusterSec, sum, 1e-9);
+}
+
+TEST(Collector, DeterministicForSeed)
+{
+    sparksim::SparkSimulator sim(cluster::ClusterSpec::paperTestbed());
+    Collector collector(sim, ts());
+    const auto a = collector.collectAtSizes({20.0}, 4, 9);
+    const auto b = collector.collectAtSizes({20.0}, 4, 9);
+    ASSERT_EQ(a.vectors.size(), b.vectors.size());
+    for (size_t i = 0; i < a.vectors.size(); ++i) {
+        EXPECT_DOUBLE_EQ(a.vectors[i].timeSec, b.vectors[i].timeSec);
+        EXPECT_EQ(a.vectors[i].config, b.vectors[i].config);
+    }
+}
+
+TEST(Collector, DifferentSeedsDifferentConfigs)
+{
+    sparksim::SparkSimulator sim(cluster::ClusterSpec::paperTestbed());
+    Collector collector(sim, ts());
+    const auto a = collector.collectAtSizes({20.0}, 2, 1);
+    const auto b = collector.collectAtSizes({20.0}, 2, 2);
+    EXPECT_NE(a.vectors[0].config, b.vectors[0].config);
+}
+
+TEST(Collector, LatinHypercubeSamplingCoversRanges)
+{
+    sparksim::SparkSimulator sim(cluster::ClusterSpec::paperTestbed());
+    Collector collector(sim, ts());
+    const auto result =
+        collector.collectAtSizes({30.0}, 20, 5, Sampling::LatinHypercube);
+    ASSERT_EQ(result.vectors.size(), 20u);
+
+    // With 20 LHS samples, executor.memory must hit both the bottom
+    // and top fifth of its range; 20 independent draws often miss one.
+    const size_t mem = conf::ExecutorMemory;
+    const auto &p = conf::ConfigSpace::spark().param(mem);
+    bool low = false;
+    bool high = false;
+    for (const auto &pv : result.vectors) {
+        const double u = p.normalize(pv.config[mem]);
+        low |= u < 0.2;
+        high |= u > 0.8;
+    }
+    EXPECT_TRUE(low);
+    EXPECT_TRUE(high);
+}
+
+TEST(Collector, SamplingSchemesDiffer)
+{
+    sparksim::SparkSimulator sim(cluster::ClusterSpec::paperTestbed());
+    Collector collector(sim, ts());
+    const auto lhs =
+        collector.collectAtSizes({30.0}, 5, 5, Sampling::LatinHypercube);
+    const auto rnd =
+        collector.collectAtSizes({30.0}, 5, 5, Sampling::Random);
+    EXPECT_NE(lhs.vectors[0].config, rnd.vectors[0].config);
+}
+
+TEST(Collector, InvalidOptionsPanic)
+{
+    sparksim::SparkSimulator sim(cluster::ClusterSpec::paperTestbed());
+    Collector collector(sim, ts());
+    EXPECT_THROW(collector.collectAtSizes({}, 5, 1), std::logic_error);
+    EXPECT_THROW(collector.collectAtSizes({10.0}, 0, 1),
+                 std::logic_error);
+}
+
+} // namespace
+} // namespace dac::core

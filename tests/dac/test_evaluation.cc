@@ -1,0 +1,67 @@
+/** @file Tests for the evaluation helpers. */
+
+#include <gtest/gtest.h>
+
+#include "dac/evaluation.h"
+#include "support/statistics.h"
+#include "workloads/registry.h"
+
+namespace dac::core {
+namespace {
+
+const workloads::Workload &
+ts()
+{
+    return workloads::Registry::instance().byAbbrev("TS");
+}
+
+TEST(Evaluation, MeanOverRunsIsDeterministic)
+{
+    sparksim::SparkSimulator sim(cluster::ClusterSpec::paperTestbed());
+    const conf::Configuration c(conf::ConfigSpace::spark());
+    const double a = measureTime(sim, ts(), 20, c, 3, 42);
+    const double b = measureTime(sim, ts(), 20, c, 3, 42);
+    EXPECT_DOUBLE_EQ(a, b);
+    EXPECT_GT(a, 0.0);
+}
+
+TEST(Evaluation, DifferentSeedsDiffer)
+{
+    sparksim::SparkSimulator sim(cluster::ClusterSpec::paperTestbed());
+    const conf::Configuration c(conf::ConfigSpace::spark());
+    EXPECT_NE(measureTime(sim, ts(), 20, c, 2, 1),
+              measureTime(sim, ts(), 20, c, 2, 2));
+}
+
+TEST(Evaluation, AveragingReducesSpread)
+{
+    // The mean of 8 runs varies less across seeds than single runs.
+    sparksim::SparkSimulator sim(cluster::ClusterSpec::paperTestbed());
+    const conf::Configuration c(conf::ConfigSpace::spark());
+    Summary singles;
+    Summary averaged;
+    for (uint64_t s = 0; s < 8; ++s) {
+        singles.add(measureTime(sim, ts(), 20, c, 1, 100 + s));
+        averaged.add(measureTime(sim, ts(), 20, c, 8, 200 + 10 * s));
+    }
+    EXPECT_LT(averaged.stddev(), singles.stddev() + 1e-9);
+}
+
+TEST(Evaluation, DetailedRunExposesStages)
+{
+    sparksim::SparkSimulator sim(cluster::ClusterSpec::paperTestbed());
+    const conf::Configuration c(conf::ConfigSpace::spark());
+    const auto r = measureDetailed(sim, ts(), 20, c, 7);
+    EXPECT_EQ(r.stages.size(), 2u);
+    EXPECT_GT(r.timeSec, 0.0);
+}
+
+TEST(Evaluation, ZeroRunsPanics)
+{
+    sparksim::SparkSimulator sim(cluster::ClusterSpec::paperTestbed());
+    const conf::Configuration c(conf::ConfigSpace::spark());
+    EXPECT_THROW(measureTime(sim, ts(), 20, c, 0, 1), std::logic_error);
+}
+
+} // namespace
+} // namespace dac::core

@@ -1,0 +1,99 @@
+/** @file Tests for the modeling component factory and validation. */
+
+#include <gtest/gtest.h>
+
+#include "dac/collector.h"
+#include "dac/modeler.h"
+#include "workloads/registry.h"
+
+namespace dac::core {
+namespace {
+
+std::vector<PerfVector>
+collectSome(size_t runs_per_size = 40)
+{
+    sparksim::SparkSimulator sim(cluster::ClusterSpec::paperTestbed());
+    const auto &w = workloads::Registry::instance().byAbbrev("TS");
+    Collector collector(sim, w);
+    CollectOptions opt;
+    opt.datasetCount = 5;
+    opt.runsPerDataset = runs_per_size;
+    return collector.collect(opt).vectors;
+}
+
+ml::HmParams
+fastHm()
+{
+    ml::HmParams hm;
+    hm.firstOrder.maxTrees = 80;
+    hm.firstOrder.convergencePatience = 30;
+    return hm;
+}
+
+TEST(Modeler, KindNames)
+{
+    EXPECT_EQ(modelKindName(ModelKind::RS), "RS");
+    EXPECT_EQ(modelKindName(ModelKind::ANN), "ANN");
+    EXPECT_EQ(modelKindName(ModelKind::SVM), "SVM");
+    EXPECT_EQ(modelKindName(ModelKind::RF), "RF");
+    EXPECT_EQ(modelKindName(ModelKind::HM), "HM");
+    EXPECT_EQ(allModelKinds().size(), 5u);
+}
+
+TEST(Modeler, FactoryBuildsEveryKind)
+{
+    for (auto kind : allModelKinds()) {
+        const auto model = makeModel(kind, fastHm(), 1);
+        ASSERT_NE(model, nullptr);
+        EXPECT_EQ(model->name(), modelKindName(kind));
+    }
+}
+
+TEST(Modeler, BuildAndValidateProducesTrainedModel)
+{
+    const auto vectors = collectSome();
+    const auto report = buildAndValidate(ModelKind::HM, vectors,
+                                         fastHm(), true, 1);
+    ASSERT_NE(report.model, nullptr);
+    EXPECT_GT(report.trainWallSec, 0.0);
+    EXPECT_GT(report.testErrorPct, 0.0);
+    EXPECT_LT(report.testErrorPct, 60.0);
+
+    // The trained model predicts positive times.
+    const auto features = toFeatures(
+        conf::Configuration(conf::ConfigSpace::spark()),
+        vectors.front().dsizeBytes, true);
+    EXPECT_GT(report.model->predict(features), 0.0);
+}
+
+TEST(Modeler, HmBeatsWeakBaselinesOnSimData)
+{
+    // The paper's Figure 9 ordering, at reduced scale: HM beats RS.
+    const auto vectors = collectSome(60);
+    const auto hm = buildAndValidate(ModelKind::HM, vectors, fastHm(),
+                                     true, 1);
+    const auto rs = buildAndValidate(ModelKind::RS, vectors, fastHm(),
+                                     true, 1);
+    EXPECT_LT(hm.testErrorPct, rs.testErrorPct);
+}
+
+TEST(Modeler, DatasizeUnawareLayoutSupported)
+{
+    const auto vectors = collectSome();
+    const auto report = buildAndValidate(ModelKind::RF, vectors,
+                                         fastHm(), false, 1);
+    // A 41-feature query must be accepted.
+    const auto features = toFeatures(
+        conf::Configuration(conf::ConfigSpace::spark()), 0.0, false);
+    EXPECT_GT(report.model->predict(features), 0.0);
+}
+
+TEST(Modeler, TooFewVectorsPanic)
+{
+    std::vector<PerfVector> tiny(3);
+    EXPECT_THROW(buildAndValidate(ModelKind::HM, tiny, fastHm(), true, 1),
+                 std::logic_error);
+}
+
+} // namespace
+} // namespace dac::core

@@ -1,0 +1,75 @@
+/** @file Tests for performance vectors (Eq. 5/6) and persistence. */
+
+#include <gtest/gtest.h>
+
+#include "dac/perfvector.h"
+
+namespace dac::core {
+namespace {
+
+std::vector<PerfVector>
+sampleVectors()
+{
+    const auto &space = conf::ConfigSpace::spark();
+    std::vector<PerfVector> out;
+    for (int i = 0; i < 3; ++i) {
+        PerfVector pv;
+        pv.timeSec = 100.0 + i;
+        pv.config = conf::Configuration(space).values();
+        pv.config[0] = 10.0 + i;
+        pv.dsizeBytes = 1e9 * (i + 1);
+        out.push_back(pv);
+    }
+    return out;
+}
+
+TEST(PerfVector, ToDataSetWithDsize)
+{
+    const auto ds = toDataSet(sampleVectors(), true);
+    EXPECT_EQ(ds.size(), 3u);
+    EXPECT_EQ(ds.featureCount(), 42u); // 41 + dsize
+    EXPECT_DOUBLE_EQ(ds.target(1), 101.0);
+    EXPECT_DOUBLE_EQ(ds.at(2, 41), 3e9);
+}
+
+TEST(PerfVector, ToDataSetWithoutDsize)
+{
+    // The datasize-unaware (RFHOC) layout.
+    const auto ds = toDataSet(sampleVectors(), false);
+    EXPECT_EQ(ds.featureCount(), 41u);
+}
+
+TEST(PerfVector, FeatureLayoutMatches)
+{
+    const auto &space = conf::ConfigSpace::spark();
+    conf::Configuration c(space);
+    c.set(conf::ExecutorMemory, 4096);
+    const auto f = toFeatures(c, 5e9, true);
+    ASSERT_EQ(f.size(), 42u);
+    EXPECT_DOUBLE_EQ(f[conf::ExecutorMemory], 4096);
+    EXPECT_DOUBLE_EQ(f.back(), 5e9);
+    EXPECT_EQ(toFeatures(c, 5e9, false).size(), 41u);
+}
+
+TEST(PerfVector, CsvRoundTrip)
+{
+    const auto &space = conf::ConfigSpace::spark();
+    const auto path = testing::TempDir() + "/pv.csv";
+    const auto vectors = sampleVectors();
+    savePerfVectors(vectors, space, path);
+    const auto loaded = loadPerfVectors(space, path);
+    ASSERT_EQ(loaded.size(), vectors.size());
+    for (size_t i = 0; i < loaded.size(); ++i) {
+        EXPECT_DOUBLE_EQ(loaded[i].timeSec, vectors[i].timeSec);
+        EXPECT_EQ(loaded[i].config, vectors[i].config);
+        EXPECT_DOUBLE_EQ(loaded[i].dsizeBytes, vectors[i].dsizeBytes);
+    }
+}
+
+TEST(PerfVector, EmptyVectorsPanic)
+{
+    EXPECT_THROW(toDataSet({}, true), std::logic_error);
+}
+
+} // namespace
+} // namespace dac::core

@@ -1,0 +1,99 @@
+/** @file Tests for the searching component (Section 3.3). */
+
+#include <gtest/gtest.h>
+
+#include "dac/searcher.h"
+
+namespace dac::core {
+namespace {
+
+/**
+ * A transparent stand-in model: time = executor.memory's distance
+ * from 8 GB plus parallelism's distance from 40, plus a dsize term.
+ * The searcher must drive both parameters to the optimum.
+ */
+class ToyModel : public ml::Model
+{
+  public:
+    void train(const ml::DataSet &) override {}
+
+    double
+    predict(const std::vector<double> &x) const override
+    {
+        const double mem = x[conf::ExecutorMemory];
+        const double par = x[conf::DefaultParallelism];
+        const double dsize = x.size() > 41 ? x[41] : 0.0;
+        return 10.0 + std::abs(mem - 8192.0) / 1024.0 +
+            std::abs(par - 40.0) + dsize / 1e12;
+    }
+
+    std::string name() const override { return "toy"; }
+};
+
+TEST(Searcher, FindsTheToyOptimum)
+{
+    ToyModel model;
+    Searcher searcher(model, conf::ConfigSpace::spark(), true);
+    ga::GaParams params;
+    params.seed = 3;
+    params.maxGenerations = 120;
+    params.convergencePatience = 0;
+    const auto result = searcher.search(1e9, params);
+    EXPECT_NEAR(result.best.get(conf::ExecutorMemory), 8192.0, 700.0);
+    EXPECT_NEAR(result.best.get(conf::DefaultParallelism), 40.0, 4.0);
+    EXPECT_LT(result.predictedTimeSec, 12.0);
+    EXPECT_GT(result.wallSec, 0.0);
+}
+
+TEST(Searcher, GaHistoryExposedForFigure11)
+{
+    ToyModel model;
+    Searcher searcher(model, conf::ConfigSpace::spark(), true);
+    ga::GaParams params;
+    params.maxGenerations = 30;
+    const auto result = searcher.search(1e9, params);
+    EXPECT_GT(result.ga.history.size(), 1u);
+    EXPECT_DOUBLE_EQ(result.ga.history.back(),
+                     result.predictedTimeSec);
+}
+
+TEST(Searcher, SeedsAcceptedAndHelp)
+{
+    ToyModel model;
+    Searcher searcher(model, conf::ConfigSpace::spark(), true);
+
+    conf::Configuration optimum(conf::ConfigSpace::spark());
+    optimum.set(conf::ExecutorMemory, 8192);
+    optimum.set(conf::DefaultParallelism, 40);
+
+    ga::GaParams params;
+    params.maxGenerations = 1;
+    const auto seeded = searcher.search(0.0, params, {optimum});
+    EXPECT_NEAR(seeded.predictedTimeSec, 10.0, 1e-6);
+}
+
+TEST(Searcher, DatasizeChangesThePredictedTime)
+{
+    ToyModel model;
+    Searcher searcher(model, conf::ConfigSpace::spark(), true);
+    ga::GaParams params;
+    params.seed = 4;
+    params.maxGenerations = 40;
+    const auto small = searcher.search(1e9, params);
+    const auto large = searcher.search(5e12, params);
+    EXPECT_GT(large.predictedTimeSec, small.predictedTimeSec);
+}
+
+TEST(Searcher, DatasizeUnawareModeUses41Features)
+{
+    ToyModel model;
+    Searcher searcher(model, conf::ConfigSpace::spark(), false);
+    ga::GaParams params;
+    params.maxGenerations = 20;
+    const auto result = searcher.search(9e99, params);
+    // dsize ignored: the toy model sees a 41-wide vector.
+    EXPECT_LT(result.predictedTimeSec, 40.0);
+}
+
+} // namespace
+} // namespace dac::core

@@ -1,0 +1,126 @@
+/** @file Tests for the periodic (drift-aware) tuning session. */
+
+#include <gtest/gtest.h>
+
+#include "dac/session.h"
+#include "workloads/registry.h"
+
+namespace dac::core {
+namespace {
+
+PeriodicTuningSession::Options
+fastOptions()
+{
+    PeriodicTuningSession::Options opt;
+    opt.tuning.collect.datasetCount = 6;
+    opt.tuning.collect.runsPerDataset = 25;
+    opt.tuning.hm.firstOrder.maxTrees = 60;
+    opt.tuning.hm.firstOrder.convergencePatience = 25;
+    opt.tuning.ga.maxGenerations = 25;
+    return opt;
+}
+
+const workloads::Workload &
+ts()
+{
+    return workloads::Registry::instance().byAbbrev("TS");
+}
+
+TEST(Session, FirstRunAlwaysTunes)
+{
+    sparksim::SparkSimulator sim(cluster::ClusterSpec::paperTestbed());
+    PeriodicTuningSession session(sim, ts(), fastOptions());
+    session.configForRun(20.0);
+    EXPECT_TRUE(session.lastRunRetuned());
+    EXPECT_EQ(session.retuneCount(), 1);
+    EXPECT_DOUBLE_EQ(session.tunedSize(), 20.0);
+}
+
+TEST(Session, SmallDriftReusesConfig)
+{
+    sparksim::SparkSimulator sim(cluster::ClusterSpec::paperTestbed());
+    PeriodicTuningSession session(sim, ts(), fastOptions());
+    const auto first = session.configForRun(20.0).values();
+    // +5% and -9%: both inside the 10% threshold.
+    EXPECT_EQ(session.configForRun(21.0).values(), first);
+    EXPECT_FALSE(session.lastRunRetuned());
+    EXPECT_EQ(session.configForRun(18.2).values(), first);
+    EXPECT_FALSE(session.lastRunRetuned());
+    EXPECT_EQ(session.retuneCount(), 1);
+    EXPECT_DOUBLE_EQ(session.tunedSize(), 20.0);
+}
+
+TEST(Session, LargeDriftRetunes)
+{
+    sparksim::SparkSimulator sim(cluster::ClusterSpec::paperTestbed());
+    PeriodicTuningSession session(sim, ts(), fastOptions());
+    session.configForRun(20.0);
+    session.configForRun(23.0); // +15%
+    EXPECT_TRUE(session.lastRunRetuned());
+    EXPECT_EQ(session.retuneCount(), 2);
+    EXPECT_DOUBLE_EQ(session.tunedSize(), 23.0);
+}
+
+TEST(Session, ShrinkingDataAlsoRetunes)
+{
+    sparksim::SparkSimulator sim(cluster::ClusterSpec::paperTestbed());
+    PeriodicTuningSession session(sim, ts(), fastOptions());
+    session.configForRun(20.0);
+    session.configForRun(16.0); // -20%
+    EXPECT_TRUE(session.lastRunRetuned());
+    EXPECT_EQ(session.retuneCount(), 2);
+}
+
+TEST(Session, DriftAccumulatesAcrossQuietRuns)
+{
+    // 6% steps: no single step crosses 10%, but the cumulative drift
+    // from the tuned size eventually does.
+    sparksim::SparkSimulator sim(cluster::ClusterSpec::paperTestbed());
+    PeriodicTuningSession session(sim, ts(), fastOptions());
+    session.configForRun(20.0);
+    session.configForRun(21.2); // +6% -> reuse
+    EXPECT_FALSE(session.lastRunRetuned());
+    session.configForRun(22.5); // +12.5% cumulative -> retune
+    EXPECT_TRUE(session.lastRunRetuned());
+}
+
+TEST(Session, CollectionHappensOnce)
+{
+    sparksim::SparkSimulator sim(cluster::ClusterSpec::paperTestbed());
+    PeriodicTuningSession session(sim, ts(), fastOptions());
+    session.configForRun(10.0);
+    session.configForRun(30.0);
+    session.configForRun(50.0);
+    EXPECT_EQ(session.retuneCount(), 3);
+    // One campaign, re-used by every re-search.
+    EXPECT_EQ(session.tuner().overhead("TS").trainingRuns, 6u * 25u);
+}
+
+TEST(Session, CustomDriftThreshold)
+{
+    sparksim::SparkSimulator sim(cluster::ClusterSpec::paperTestbed());
+    auto opt = fastOptions();
+    opt.retuneDriftFraction = 0.5;
+    PeriodicTuningSession session(sim, ts(), opt);
+    session.configForRun(20.0);
+    session.configForRun(28.0); // +40% < 50%
+    EXPECT_FALSE(session.lastRunRetuned());
+    session.configForRun(31.0); // +55%
+    EXPECT_TRUE(session.lastRunRetuned());
+}
+
+TEST(Session, InvalidUsePanics)
+{
+    sparksim::SparkSimulator sim(cluster::ClusterSpec::paperTestbed());
+    auto opt = fastOptions();
+    opt.retuneDriftFraction = 0.0;
+    EXPECT_THROW(PeriodicTuningSession(sim, ts(), opt),
+                 std::logic_error);
+
+    PeriodicTuningSession session(sim, ts(), fastOptions());
+    EXPECT_THROW(session.tunedSize(), std::logic_error);
+    EXPECT_THROW(session.configForRun(-1.0), std::logic_error);
+}
+
+} // namespace
+} // namespace dac::core

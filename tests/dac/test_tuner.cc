@@ -1,0 +1,134 @@
+/** @file Tests for the four tuners. */
+
+#include <gtest/gtest.h>
+
+#include "dac/evaluation.h"
+#include "dac/tuner.h"
+#include "workloads/registry.h"
+
+namespace dac::core {
+namespace {
+
+const workloads::Workload &
+workload(const std::string &abbrev)
+{
+    return workloads::Registry::instance().byAbbrev(abbrev);
+}
+
+AutoTuneOptions
+fastOptions()
+{
+    AutoTuneOptions opt;
+    opt.collect.datasetCount = 6;
+    opt.collect.runsPerDataset = 30;
+    opt.hm.firstOrder.maxTrees = 100;
+    opt.hm.firstOrder.convergencePatience = 40;
+    opt.ga.maxGenerations = 40;
+    return opt;
+}
+
+TEST(Tuner, DefaultReturnsTable2Defaults)
+{
+    DefaultTuner t;
+    const auto c = t.configFor(workload("TS"), 10);
+    EXPECT_DOUBLE_EQ(c.get(conf::ExecutorMemory), 1024);
+    EXPECT_EQ(t.name(), "default");
+}
+
+TEST(Tuner, ExpertIsProgramAgnostic)
+{
+    ExpertTuner t(cluster::ClusterSpec::paperTestbed());
+    const auto a = t.configFor(workload("TS"), 10);
+    const auto b = t.configFor(workload("KM"), 288);
+    EXPECT_EQ(a.values(), b.values());
+    EXPECT_EQ(t.name(), "expert");
+}
+
+TEST(Tuner, DacBeatsDefaultsClearly)
+{
+    sparksim::SparkSimulator sim(cluster::ClusterSpec::paperTestbed());
+    DacTuner dac_tuner(sim, fastOptions());
+    DefaultTuner default_tuner;
+
+    const auto &w = workload("TS");
+    const double size = 40;
+    const auto tuned = dac_tuner.configFor(w, size);
+    const double t_dac = measureTime(sim, w, size, tuned, 3, 1);
+    const double t_def = measureTime(
+        sim, w, size, default_tuner.configFor(w, size), 3, 1);
+    EXPECT_GT(t_def, 2.0 * t_dac);
+}
+
+TEST(Tuner, DacReportsOverheadBreakdown)
+{
+    sparksim::SparkSimulator sim(cluster::ClusterSpec::paperTestbed());
+    DacTuner tuner(sim, fastOptions());
+    tuner.configFor(workload("WC"), 100);
+    const auto &cost = tuner.overhead("WC");
+    EXPECT_GT(cost.collectingHours, 0.0);
+    EXPECT_GT(cost.modelingSec, 0.0);
+    EXPECT_GT(cost.searchingSec, 0.0);
+    EXPECT_EQ(cost.trainingRuns, 6u * 30u);
+    // Collecting dominates, as in Table 3.
+    EXPECT_GT(cost.collectingHours * 3600.0, cost.modelingSec);
+}
+
+TEST(Tuner, OverheadForUntunedWorkloadIsFatal)
+{
+    sparksim::SparkSimulator sim(cluster::ClusterSpec::paperTestbed());
+    DacTuner tuner(sim, fastOptions());
+    EXPECT_THROW(tuner.overhead("KM"), std::runtime_error);
+    EXPECT_THROW(tuner.modelError("KM"), std::runtime_error);
+}
+
+TEST(Tuner, TrainingIsCachedAcrossSizes)
+{
+    sparksim::SparkSimulator sim(cluster::ClusterSpec::paperTestbed());
+    DacTuner tuner(sim, fastOptions());
+    tuner.configFor(workload("TS"), 10);
+    const auto runs_once = tuner.overhead("TS").trainingRuns;
+    tuner.configFor(workload("TS"), 50);
+    EXPECT_EQ(tuner.overhead("TS").trainingRuns, runs_once);
+    // ...but the search cost accumulates.
+    EXPECT_GT(tuner.overhead("TS").searchingSec, 0.0);
+}
+
+TEST(Tuner, DacAdaptsToDatasize)
+{
+    sparksim::SparkSimulator sim(cluster::ClusterSpec::paperTestbed());
+    DacTuner tuner(sim, fastOptions());
+    const auto small = tuner.configFor(workload("TS"), 10);
+    const auto large = tuner.configFor(workload("TS"), 50);
+    EXPECT_NE(small.values(), large.values());
+}
+
+TEST(Tuner, RfhocIsDatasizeUnawareInItsModel)
+{
+    sparksim::SparkSimulator sim(cluster::ClusterSpec::paperTestbed());
+    RfhocTuner tuner(sim, fastOptions());
+    EXPECT_EQ(tuner.name(), "RFHOC");
+    const auto c = tuner.configFor(workload("TS"), 30);
+    EXPECT_EQ(c.size(), 41u);
+    EXPECT_GT(tuner.overhead("TS").trainingRuns, 0u);
+}
+
+TEST(Tuner, LastGaResultExposed)
+{
+    sparksim::SparkSimulator sim(cluster::ClusterSpec::paperTestbed());
+    DacTuner tuner(sim, fastOptions());
+    tuner.configFor(workload("NW"), 12.5);
+    EXPECT_GT(tuner.lastGaResult().history.size(), 1u);
+}
+
+TEST(Tuner, ModelErrorReported)
+{
+    sparksim::SparkSimulator sim(cluster::ClusterSpec::paperTestbed());
+    DacTuner tuner(sim, fastOptions());
+    tuner.configFor(workload("KM"), 224);
+    const double err = tuner.modelError("KM");
+    EXPECT_GT(err, 0.0);
+    EXPECT_LT(err, 80.0);
+}
+
+} // namespace
+} // namespace dac::core

@@ -1,0 +1,160 @@
+/** @file Tests for the alternative search strategies. */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "ga/search_strategies.h"
+
+namespace dac::ga {
+namespace {
+
+double
+sphere(const std::vector<double> &x)
+{
+    double s = 0.0;
+    for (double v : x)
+        s += (v - 0.5) * (v - 0.5);
+    return s;
+}
+
+double
+multimodal(const std::vector<double> &x)
+{
+    double s = 0.0;
+    for (double v : x) {
+        const double z = (v - 0.7) * 6.0;
+        s += z * z - 4.0 * std::cos(3.0 * M_PI * z) + 4.0;
+    }
+    return s;
+}
+
+class StrategyTest : public testing::TestWithParam<int>
+{
+  protected:
+    std::unique_ptr<SearchStrategy>
+    make(uint64_t seed) const
+    {
+        switch (GetParam()) {
+          case 0:
+            return std::make_unique<RandomSearch>(seed);
+          case 1: {
+            RecursiveRandomSearch::Params p;
+            p.seed = seed;
+            return std::make_unique<RecursiveRandomSearch>(p);
+          }
+          case 2: {
+            PatternSearch::Params p;
+            p.seed = seed;
+            return std::make_unique<PatternSearch>(p);
+          }
+          default: {
+            GaParams p;
+            p.seed = seed;
+            return std::make_unique<GaSearch>(p);
+          }
+        }
+    }
+};
+
+TEST_P(StrategyTest, ImprovesOnSphere)
+{
+    const auto strategy = make(3);
+    const auto r = strategy->minimize(sphere, 5, 800);
+    EXPECT_LT(r.bestFitness, 0.15);
+    for (double v : r.best) {
+        EXPECT_GE(v, 0.0);
+        EXPECT_LE(v, 1.0);
+    }
+}
+
+TEST_P(StrategyTest, HistoryMonotoneNonIncreasing)
+{
+    const auto strategy = make(5);
+    const auto r = strategy->minimize(multimodal, 4, 400);
+    ASSERT_FALSE(r.history.empty());
+    for (size_t i = 1; i < r.history.size(); ++i)
+        EXPECT_LE(r.history[i], r.history[i - 1]);
+    EXPECT_DOUBLE_EQ(r.history.back(), r.bestFitness);
+}
+
+TEST_P(StrategyTest, Deterministic)
+{
+    const auto a = make(11)->minimize(sphere, 3, 200);
+    const auto b = make(11)->minimize(sphere, 3, 200);
+    EXPECT_EQ(a.best, b.best);
+    EXPECT_DOUBLE_EQ(a.bestFitness, b.bestFitness);
+}
+
+TEST_P(StrategyTest, RespectsBudgetRoughly)
+{
+    // Strategies may not exceed the evaluation budget (the history
+    // records one entry per evaluation for the non-GA strategies).
+    if (GetParam() == 3)
+        return; // the GA adapter counts generations, not evaluations
+    size_t evals = 0;
+    auto counting = [&](const std::vector<double> &x) {
+        ++evals;
+        return sphere(x);
+    };
+    make(7)->minimize(counting, 4, 300);
+    EXPECT_LE(evals, 300u);
+    // Pattern search may legitimately stop early once its step
+    // shrinks below the minimum; the samplers use the whole budget.
+    if (GetParam() != 2) {
+        EXPECT_GE(evals, 250u);
+    }
+}
+
+std::string
+strategyLabel(const testing::TestParamInfo<int> &info)
+{
+    switch (info.param) {
+      case 0: return "random";
+      case 1: return "rrs";
+      case 2: return "pattern";
+      default: return "ga";
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllStrategies, StrategyTest,
+                         testing::Values(0, 1, 2, 3), strategyLabel);
+
+TEST(StrategyNames, AreStable)
+{
+    EXPECT_EQ(RandomSearch(1).name(), "random");
+    EXPECT_EQ(RecursiveRandomSearch({}).name(), "rrs");
+    EXPECT_EQ(PatternSearch({}).name(), "pattern");
+    EXPECT_EQ(GaSearch({}).name(), "ga");
+}
+
+TEST(PatternSearchBehaviour, ConvergesFastOnSmoothUnimodal)
+{
+    // The paper credits pattern search with fast local convergence;
+    // on a smooth unimodal function, few evaluations suffice.
+    PatternSearch::Params p;
+    p.seed = 2;
+    const auto r = PatternSearch(p).minimize(sphere, 4, 250);
+    EXPECT_LT(r.bestFitness, 0.01);
+}
+
+TEST(RrsBehaviour, BeatsPlainRandomOnMultimodal)
+{
+    // Averaged over seeds, the shrinking-box refinement should beat
+    // uniform sampling with the same budget.
+    double rrs_total = 0.0;
+    double rnd_total = 0.0;
+    for (uint64_t seed = 1; seed <= 5; ++seed) {
+        RecursiveRandomSearch::Params p;
+        p.seed = seed;
+        rrs_total +=
+            RecursiveRandomSearch(p).minimize(multimodal, 5, 600)
+                .bestFitness;
+        rnd_total +=
+            RandomSearch(seed).minimize(multimodal, 5, 600).bestFitness;
+    }
+    EXPECT_LT(rrs_total, rnd_total);
+}
+
+} // namespace
+} // namespace dac::ga

@@ -1,0 +1,152 @@
+/** @file Tests for the ODC (Hadoop) simulator. */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "conf/generator.h"
+#include "hadoopsim/hadoopsim.h"
+#include "support/statistics.h"
+#include "support/units.h"
+
+namespace dac::hadoopsim {
+namespace {
+
+const cluster::ClusterSpec &
+testbed()
+{
+    return cluster::ClusterSpec::paperTestbed();
+}
+
+TEST(Hadoop, Deterministic)
+{
+    HadoopSimulator sim(testbed());
+    const auto job = hadoopKMeans(18.0 * GiB);
+    const conf::Configuration c(conf::ConfigSpace::hadoop());
+    EXPECT_DOUBLE_EQ(sim.run(job, c, 3).timeSec,
+                     sim.run(job, c, 3).timeSec);
+}
+
+TEST(Hadoop, MoreDataTakesLonger)
+{
+    HadoopSimulator sim(testbed());
+    const conf::Configuration c(conf::ConfigSpace::hadoop());
+    EXPECT_GT(sim.run(hadoopPageRank(100.0 * GiB), c, 1).timeSec,
+              sim.run(hadoopPageRank(50.0 * GiB), c, 1).timeSec);
+}
+
+TEST(Hadoop, RejectsSparkConfig)
+{
+    HadoopSimulator sim(testbed());
+    const conf::Configuration spark_conf(conf::ConfigSpace::spark());
+    EXPECT_THROW(sim.run(hadoopKMeans(GiB), spark_conf, 1),
+                 std::logic_error);
+}
+
+TEST(Hadoop, CompressionTradesCpuForDisk)
+{
+    HadoopSimulator sim(testbed());
+    const auto job = hadoopPageRank(50.0 * GiB);
+    conf::Configuration on(conf::ConfigSpace::hadoop());
+    on.set(conf::MapOutputCompress, 1);
+    conf::Configuration off(conf::ConfigSpace::hadoop());
+    const double t_on = sim.run(job, on, 1).timeSec;
+    const double t_off = sim.run(job, off, 1).timeSec;
+    // PageRank shuffles a lot; compression should pay off.
+    EXPECT_LT(t_on, t_off);
+}
+
+TEST(Hadoop, MoreReducersHelpShuffleHeavyJobs)
+{
+    HadoopSimulator sim(testbed());
+    const auto job = hadoopPageRank(50.0 * GiB);
+    conf::Configuration few(conf::ConfigSpace::hadoop());
+    few.set(conf::NumReduces, 8);
+    conf::Configuration many(conf::ConfigSpace::hadoop());
+    many.set(conf::NumReduces, 60);
+    EXPECT_GT(sim.run(job, few, 1).timeSec,
+              sim.run(job, many, 1).timeSec);
+}
+
+TEST(Hadoop, JvmReuseSavesStartup)
+{
+    HadoopSimulator sim(testbed());
+    const auto job = hadoopKMeans(18.0 * GiB);
+    conf::Configuration reuse(conf::ConfigSpace::hadoop());
+    reuse.set(conf::JvmReuseTasks, 20);
+    const conf::Configuration cold(conf::ConfigSpace::hadoop());
+    EXPECT_LT(sim.run(job, reuse, 1).timeSec,
+              sim.run(job, cold, 1).timeSec);
+}
+
+TEST(Hadoop, SmallSortBufferSpills)
+{
+    HadoopSimulator sim(testbed());
+    const auto job = hadoopPageRank(50.0 * GiB);
+    conf::Configuration small(conf::ConfigSpace::hadoop());
+    small.set(conf::IoSortMb, 50);
+    conf::Configuration large(conf::ConfigSpace::hadoop());
+    large.set(conf::IoSortMb, 800);
+    EXPECT_GE(sim.run(job, small, 1).spilledBytes,
+              sim.run(job, large, 1).spilledBytes);
+}
+
+TEST(Hadoop, ConfigVarianceGrowsSlowerThanSparks)
+{
+    // The Figure 2 mechanism: Hadoop per-task work is fixed by the
+    // block size, so doubling the input must not double the
+    // config-induced execution time variation ratio the way Spark's
+    // cache cliff does. Here we just check the Tvar ratio stays
+    // below 2 for Hadoop-KMeans (the paper measured 0.97).
+    HadoopSimulator sim(testbed());
+    conf::ConfigGenerator gen(conf::ConfigSpace::hadoop(), Rng(3));
+    auto tvar = [&](double bytes) {
+        std::vector<double> times;
+        conf::ConfigGenerator g(conf::ConfigSpace::hadoop(), Rng(3));
+        for (int i = 0; i < 60; ++i)
+            times.push_back(sim.run(hadoopKMeans(bytes), g.random(),
+                                    i).timeSec);
+        return timeVariation(times);
+    };
+    const double small = tvar(9.0 * GiB);
+    const double large = tvar(18.0 * GiB);
+    EXPECT_LT(large / small, 2.0);
+}
+
+/** Every Hadoop knob value must keep the simulator finite. */
+class HadoopKnobSweep : public testing::TestWithParam<size_t>
+{
+};
+
+TEST_P(HadoopKnobSweep, EveryValueKeepsSimulatorFinite)
+{
+    const auto &space = conf::ConfigSpace::hadoop();
+    const auto &param = space.param(GetParam());
+    HadoopSimulator sim(testbed());
+    const auto job = hadoopPageRank(30.0 * GiB);
+
+    conf::Configuration cfg(space);
+    for (double u : {0.0, 0.5, 1.0}) {
+        cfg.set(GetParam(), param.denormalize(u));
+        const auto r = sim.run(job, cfg, 3);
+        EXPECT_TRUE(std::isfinite(r.timeSec)) << param.name();
+        EXPECT_GT(r.timeSec, 0.0) << param.name();
+        EXPECT_GE(r.spilledBytes, 0.0) << param.name();
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllParams, HadoopKnobSweep,
+    testing::Range<size_t>(0, conf::kHadoopParamCount),
+    [](const testing::TestParamInfo<size_t> &info) {
+        std::string name =
+            conf::ConfigSpace::hadoop().param(info.param).name();
+        for (char &c : name) {
+            if (c == '.')
+                c = '_';
+        }
+        return name;
+    });
+
+} // namespace
+} // namespace dac::hadoopsim

@@ -1,0 +1,92 @@
+/** @file End-to-end integration tests across the whole DAC pipeline. */
+
+#include <gtest/gtest.h>
+
+#include "dac/evaluation.h"
+#include "dac/tuner.h"
+#include "support/statistics.h"
+#include "workloads/registry.h"
+
+namespace dac::core {
+namespace {
+
+AutoTuneOptions
+fastOptions()
+{
+    AutoTuneOptions opt;
+    opt.collect.datasetCount = 6;
+    opt.collect.runsPerDataset = 40;
+    opt.hm.firstOrder.maxTrees = 150;
+    opt.hm.firstOrder.convergencePatience = 50;
+    opt.ga.maxGenerations = 50;
+    return opt;
+}
+
+TEST(EndToEnd, FullPipelinePerWorkload)
+{
+    // Collect -> model -> search -> evaluate, for every paper program
+    // at its middle dataset size: DAC must beat the defaults
+    // everywhere.
+    sparksim::SparkSimulator sim(cluster::ClusterSpec::paperTestbed());
+    DacTuner dac_tuner(sim, fastOptions());
+    DefaultTuner default_tuner;
+
+    for (const auto &w : workloads::Registry::instance().all()) {
+        const double size = w->paperSizes()[2];
+        const auto tuned = dac_tuner.configFor(*w, size);
+        const double t_dac = measureTime(sim, *w, size, tuned, 3, 5);
+        const double t_def = measureTime(
+            sim, *w, size, default_tuner.configFor(*w, size), 3, 5);
+        EXPECT_GT(t_def / t_dac, 1.2) << w->name();
+    }
+}
+
+TEST(EndToEnd, DacConfigurationsAreLegal)
+{
+    sparksim::SparkSimulator sim(cluster::ClusterSpec::paperTestbed());
+    DacTuner tuner(sim, fastOptions());
+    const auto &w = workloads::Registry::instance().byAbbrev("BA");
+    const auto c = tuner.configFor(w, 1.6);
+    for (size_t i = 0; i < c.size(); ++i) {
+        const auto &p = c.space().param(i);
+        EXPECT_GE(c.get(i), p.lo()) << p.name();
+        EXPECT_LE(c.get(i), p.hi()) << p.name();
+    }
+}
+
+TEST(EndToEnd, TuningIsReproducible)
+{
+    sparksim::SparkSimulator sim(cluster::ClusterSpec::paperTestbed());
+    const auto &w = workloads::Registry::instance().byAbbrev("NW");
+    DacTuner a(sim, fastOptions());
+    DacTuner b(sim, fastOptions());
+    EXPECT_EQ(a.configFor(w, 12.5).values(),
+              b.configFor(w, 12.5).values());
+}
+
+TEST(EndToEnd, DacTracksDatasizeBetterThanRfhoc)
+{
+    // The core paper claim, as a statistical integration test: across
+    // the evaluation sizes of TeraSort, DAC's geomean time must not
+    // be worse than RFHOC's (it should win by finding size-dependent
+    // configurations).
+    sparksim::SparkSimulator sim(cluster::ClusterSpec::paperTestbed());
+    AutoTuneOptions opt = fastOptions();
+    opt.collect.runsPerDataset = 60;
+    DacTuner dac_tuner(sim, opt);
+    RfhocTuner rfhoc_tuner(sim, opt);
+    const auto &w = workloads::Registry::instance().byAbbrev("TS");
+
+    std::vector<double> dac_times;
+    std::vector<double> rfhoc_times;
+    for (double size : w.paperSizes()) {
+        dac_times.push_back(measureTime(
+            sim, w, size, dac_tuner.configFor(w, size), 3, 11));
+        rfhoc_times.push_back(measureTime(
+            sim, w, size, rfhoc_tuner.configFor(w, size), 3, 11));
+    }
+    EXPECT_LE(geomean(dac_times), geomean(rfhoc_times) * 1.05);
+}
+
+} // namespace
+} // namespace dac::core

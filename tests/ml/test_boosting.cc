@@ -1,0 +1,140 @@
+/** @file Tests for gradient boosting (FirstOrderProcedure). */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "ml/boosting.h"
+
+namespace dac::ml {
+namespace {
+
+/** Smooth nonlinear target over 3 features. */
+DataSet
+syntheticData(int n, uint64_t seed)
+{
+    DataSet d(3);
+    Rng rng(seed);
+    for (int i = 0; i < n; ++i) {
+        const double a = rng.uniform();
+        const double b = rng.uniform();
+        const double c = rng.uniform();
+        const double y =
+            10.0 + 5.0 * a + 3.0 * std::sin(6.0 * b) + 2.0 * a * c;
+        d.addRow({a, b, c}, y);
+    }
+    return d;
+}
+
+TEST(Boosting, BeatsSingleTree)
+{
+    const auto train = syntheticData(600, 1);
+    const auto test = syntheticData(200, 2);
+
+    BoostParams bp;
+    bp.maxTrees = 300;
+    bp.validationFraction = 0.0; // use all data, no early stop
+    GradientBoost boost(bp);
+    boost.train(train);
+
+    RegressionTree tree(TreeParams{.treeComplexity = 5});
+    tree.train(train);
+
+    EXPECT_LT(boost.errorOn(test), tree.errorOn(test));
+    EXPECT_LT(boost.errorOn(test), 6.0);
+}
+
+TEST(Boosting, EarlyStopsAtTargetAccuracy)
+{
+    BoostParams bp;
+    bp.maxTrees = 2000;
+    bp.targetErrorPct = 20.0; // easy target
+    GradientBoost boost(bp);
+    boost.train(syntheticData(400, 3));
+    EXPECT_TRUE(boost.metTarget());
+    EXPECT_LT(boost.treeCount(), 2000);
+    EXPECT_LE(boost.validationError(), 20.0);
+}
+
+TEST(Boosting, ConvergenceStopsUnimprovingRuns)
+{
+    BoostParams bp;
+    bp.maxTrees = 3000;
+    bp.targetErrorPct = 0.0001; // unreachable
+    bp.convergencePatience = 30;
+    GradientBoost boost(bp);
+    boost.train(syntheticData(150, 4));
+    EXPECT_FALSE(boost.metTarget());
+    EXPECT_LT(boost.treeCount(), 3000);
+}
+
+TEST(Boosting, LowerLearningRateNeedsMoreTrees)
+{
+    const auto data = syntheticData(400, 5);
+    auto trees_for = [&](double lr) {
+        BoostParams bp;
+        bp.maxTrees = 4000;
+        bp.learningRate = lr;
+        bp.targetErrorPct = 8.0;
+        bp.seed = 9;
+        GradientBoost b(bp);
+        b.train(data);
+        return b.treeCount();
+    };
+    EXPECT_GT(trees_for(0.005), trees_for(0.05));
+}
+
+TEST(Boosting, DeterministicForSeed)
+{
+    const auto data = syntheticData(200, 6);
+    BoostParams bp;
+    bp.maxTrees = 50;
+    bp.seed = 123;
+    GradientBoost a(bp);
+    GradientBoost b(bp);
+    a.train(data);
+    b.train(data);
+    EXPECT_DOUBLE_EQ(a.predict({0.5, 0.5, 0.5}),
+                     b.predict({0.5, 0.5, 0.5}));
+}
+
+TEST(Boosting, LogTargetMetricInOriginalScale)
+{
+    // Targets spanning decades, trained in log space.
+    DataSet d(1);
+    Rng rng(7);
+    for (int i = 0; i < 300; ++i) {
+        const double x = rng.uniform();
+        d.addRow({x}, std::exp(3.0 + 4.0 * x)); // 20 .. 1100
+    }
+    DataSet logged(1);
+    for (size_t i = 0; i < d.size(); ++i)
+        logged.addRow(d.rowVector(i), std::log(d.target(i)));
+
+    BoostParams bp;
+    bp.maxTrees = 400;
+    bp.targetErrorPct = 5.0;
+    bp.targetIsLog = true;
+    GradientBoost b(bp);
+    b.train(logged);
+    // validationError is reported in the original (exp) scale.
+    EXPECT_LE(b.validationError(), 10.0);
+}
+
+TEST(Boosting, PredictBeforeTrainPanics)
+{
+    GradientBoost b(BoostParams{});
+    EXPECT_THROW(b.predict({0.0, 0.0, 0.0}), std::logic_error);
+}
+
+TEST(Boosting, RejectsBadParams)
+{
+    EXPECT_THROW(GradientBoost(BoostParams{.maxTrees = 0}),
+                 std::logic_error);
+    BoostParams bp;
+    bp.learningRate = 0.0;
+    EXPECT_THROW(GradientBoost{bp}, std::logic_error);
+}
+
+} // namespace
+} // namespace dac::ml

@@ -1,0 +1,100 @@
+/** @file Tests for the DataSet container. */
+
+#include <gtest/gtest.h>
+
+#include "ml/dataset.h"
+
+namespace dac::ml {
+namespace {
+
+DataSet
+smallSet()
+{
+    DataSet d(2);
+    d.addRow({1.0, 10.0}, 100.0);
+    d.addRow({2.0, 20.0}, 200.0);
+    d.addRow({3.0, 30.0}, 300.0);
+    d.addRow({4.0, 40.0}, 400.0);
+    return d;
+}
+
+TEST(DataSet, BasicAccess)
+{
+    const auto d = smallSet();
+    EXPECT_EQ(d.size(), 4u);
+    EXPECT_EQ(d.featureCount(), 2u);
+    EXPECT_DOUBLE_EQ(d.at(1, 1), 20.0);
+    EXPECT_DOUBLE_EQ(d.target(2), 300.0);
+    EXPECT_EQ(d.rowVector(0), (std::vector<double>{1.0, 10.0}));
+}
+
+TEST(DataSet, RowWidthEnforced)
+{
+    DataSet d(2);
+    EXPECT_THROW(d.addRow({1.0}, 5.0), std::logic_error);
+}
+
+TEST(DataSet, Subset)
+{
+    const auto d = smallSet();
+    const auto s = d.subset({3, 0});
+    ASSERT_EQ(s.size(), 2u);
+    EXPECT_DOUBLE_EQ(s.target(0), 400.0);
+    EXPECT_DOUBLE_EQ(s.target(1), 100.0);
+}
+
+TEST(DataSet, BootstrapPreservesSizeAndDomain)
+{
+    const auto d = smallSet();
+    Rng rng(1);
+    const auto b = d.bootstrap(rng);
+    EXPECT_EQ(b.size(), d.size());
+    for (size_t i = 0; i < b.size(); ++i) {
+        const double t = b.target(i);
+        EXPECT_TRUE(t == 100.0 || t == 200.0 || t == 300.0 ||
+                    t == 400.0);
+    }
+}
+
+TEST(DataSet, SplitPartitions)
+{
+    DataSet d(1);
+    for (int i = 0; i < 100; ++i)
+        d.addRow({static_cast<double>(i)}, i);
+    Rng rng(2);
+    const auto [train, hold] = d.split(0.25, rng);
+    EXPECT_EQ(hold.size(), 25u);
+    EXPECT_EQ(train.size(), 75u);
+
+    // Every original target appears exactly once across both parts.
+    std::vector<int> seen(100, 0);
+    for (size_t i = 0; i < train.size(); ++i)
+        ++seen[static_cast<size_t>(train.target(i))];
+    for (size_t i = 0; i < hold.size(); ++i)
+        ++seen[static_cast<size_t>(hold.target(i))];
+    for (int count : seen)
+        EXPECT_EQ(count, 1);
+}
+
+TEST(DataSet, FeatureRange)
+{
+    const auto d = smallSet();
+    double lo = 0.0;
+    double hi = 0.0;
+    d.featureRange(1, &lo, &hi);
+    EXPECT_DOUBLE_EQ(lo, 10.0);
+    EXPECT_DOUBLE_EQ(hi, 40.0);
+}
+
+TEST(DataSet, SplitDeterministic)
+{
+    const auto d = smallSet();
+    Rng r1(7);
+    Rng r2(7);
+    const auto a = d.split(0.5, r1);
+    const auto b = d.split(0.5, r2);
+    EXPECT_EQ(a.first.allTargets(), b.first.allTargets());
+}
+
+} // namespace
+} // namespace dac::ml

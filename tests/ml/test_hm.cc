@@ -1,0 +1,138 @@
+/** @file Tests for Hierarchical Modeling (Algorithm 1). */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "ml/hm.h"
+
+namespace dac::ml {
+namespace {
+
+DataSet
+hardData(int n, uint64_t seed)
+{
+    // Rough, interaction-heavy target: hard enough that a small
+    // first-order model misses a 10% target.
+    DataSet d(4);
+    Rng rng(seed);
+    for (int i = 0; i < n; ++i) {
+        const double a = rng.uniform();
+        const double b = rng.uniform();
+        const double c = rng.uniform();
+        const double e = rng.uniform();
+        double y = 20.0 + 10.0 * std::sin(9.0 * a) * std::cos(7.0 * b);
+        y += (c > 0.5 ? 15.0 * e : 2.0 * e);
+        y += rng.normal(0.0, 0.5);
+        d.addRow({a, b, c, e}, y);
+    }
+    return d;
+}
+
+HmParams
+smallParams()
+{
+    HmParams p;
+    p.firstOrder.maxTrees = 120;
+    p.firstOrder.convergencePatience = 40;
+    p.targetErrorPct = 10.0;
+    p.maxOrder = 3;
+    return p;
+}
+
+TEST(Hm, TrainsAndPredicts)
+{
+    HierarchicalModel hm(smallParams());
+    hm.train(hardData(500, 1));
+    EXPECT_GE(hm.order(), 1);
+    EXPECT_GE(hm.subModelCount(), 1);
+    const double pred = hm.predict({0.5, 0.5, 0.5, 0.5});
+    EXPECT_TRUE(std::isfinite(pred));
+    EXPECT_GT(pred, 0.0);
+}
+
+TEST(Hm, StopsAtFirstOrderWhenTargetMet)
+{
+    HmParams p = smallParams();
+    p.targetErrorPct = 60.0; // trivially satisfied
+    HierarchicalModel hm(p);
+    hm.train(hardData(400, 2));
+    EXPECT_EQ(hm.order(), 1);
+    EXPECT_EQ(hm.subModelCount(), 1);
+    EXPECT_LE(hm.validationError(), 60.0);
+}
+
+TEST(Hm, EscalatesOrderWhenTargetMissed)
+{
+    HmParams p = smallParams();
+    p.firstOrder.maxTrees = 25; // deliberately weak first order
+    p.firstOrder.convergencePatience = 10;
+    p.targetErrorPct = 1.0;     // unreachable
+    HierarchicalModel hm(p);
+    hm.train(hardData(500, 3));
+    EXPECT_GT(hm.order(), 1);
+}
+
+TEST(Hm, HigherOrderDoesNotHurt)
+{
+    const auto train = hardData(600, 4);
+    const auto test = hardData(300, 5);
+
+    HmParams weak = smallParams();
+    weak.firstOrder.maxTrees = 30;
+    weak.firstOrder.convergencePatience = 15;
+    weak.maxOrder = 1;
+    weak.targetErrorPct = 1.0;
+    HierarchicalModel first_only(weak);
+    first_only.train(train);
+
+    HmParams deep = weak;
+    deep.maxOrder = 4;
+    HierarchicalModel hierarchical(deep);
+    hierarchical.train(train);
+
+    // The combination is chosen on validation data, so it should not
+    // be meaningfully worse out of sample.
+    EXPECT_LE(hierarchical.errorOn(test),
+              first_only.errorOn(test) * 1.10);
+}
+
+TEST(Hm, DeterministicForSeed)
+{
+    HmParams p = smallParams();
+    p.seed = 99;
+    HierarchicalModel a(p);
+    HierarchicalModel b(p);
+    const auto data = hardData(300, 6);
+    a.train(data);
+    b.train(data);
+    EXPECT_DOUBLE_EQ(a.predict({0.3, 0.7, 0.2, 0.9}),
+                     b.predict({0.3, 0.7, 0.2, 0.9}));
+}
+
+TEST(Hm, MaxOrderBoundsSubModels)
+{
+    HmParams p = smallParams();
+    p.firstOrder.maxTrees = 10;
+    p.targetErrorPct = 0.5;
+    p.maxOrder = 2;
+    HierarchicalModel hm(p);
+    hm.train(hardData(400, 7));
+    EXPECT_LE(hm.order(), 2);
+    EXPECT_LE(hm.subModelCount(), 2);
+}
+
+TEST(Hm, PredictBeforeTrainPanics)
+{
+    HierarchicalModel hm(smallParams());
+    EXPECT_THROW(hm.predict({0, 0, 0, 0}), std::logic_error);
+}
+
+TEST(Hm, NameIsHM)
+{
+    HierarchicalModel hm(smallParams());
+    EXPECT_EQ(hm.name(), "HM");
+}
+
+} // namespace
+} // namespace dac::ml

@@ -1,0 +1,88 @@
+/** @file Tests for permutation feature importance. */
+
+#include <gtest/gtest.h>
+
+#include "ml/importance.h"
+#include "ml/random_forest.h"
+
+namespace dac::ml {
+namespace {
+
+/** y depends strongly on x0, weakly on x1, not at all on x2. */
+DataSet
+gradedData(int n, uint64_t seed)
+{
+    DataSet d(3);
+    Rng rng(seed);
+    for (int i = 0; i < n; ++i) {
+        const double a = rng.uniform();
+        const double b = rng.uniform();
+        const double c = rng.uniform();
+        d.addRow({a, b, c}, 100.0 + 80.0 * a + 8.0 * b + 0.0 * c);
+    }
+    return d;
+}
+
+TEST(Importance, RanksFeaturesCorrectly)
+{
+    ForestParams p;
+    p.treeCount = 60;
+    p.featureSubset = 2;
+    RandomForest rf(p);
+    rf.train(gradedData(600, 1));
+
+    const auto ranking =
+        permutationImportance(rf, gradedData(300, 2), 3, 7);
+    ASSERT_EQ(ranking.size(), 3u);
+    EXPECT_EQ(ranking[0].featureIndex, 0u);
+    EXPECT_EQ(ranking[1].featureIndex, 1u);
+    EXPECT_EQ(ranking[2].featureIndex, 2u);
+    EXPECT_GT(ranking[0].errorIncreasePct,
+              5.0 * std::max(0.1, ranking[1].errorIncreasePct));
+}
+
+TEST(Importance, IrrelevantFeatureNearZero)
+{
+    ForestParams p;
+    p.treeCount = 40;
+    RandomForest rf(p);
+    rf.train(gradedData(400, 3));
+    const auto ranking =
+        permutationImportance(rf, gradedData(200, 4), 3, 9);
+    for (const auto &fi : ranking) {
+        if (fi.featureIndex == 2) {
+            EXPECT_LT(std::abs(fi.errorIncreasePct), 2.0);
+        }
+    }
+}
+
+TEST(Importance, DeterministicForSeed)
+{
+    ForestParams p;
+    p.treeCount = 20;
+    RandomForest rf(p);
+    rf.train(gradedData(200, 5));
+    const auto test = gradedData(100, 6);
+    const auto a = permutationImportance(rf, test, 2, 11);
+    const auto b = permutationImportance(rf, test, 2, 11);
+    ASSERT_EQ(a.size(), b.size());
+    for (size_t i = 0; i < a.size(); ++i) {
+        EXPECT_EQ(a[i].featureIndex, b[i].featureIndex);
+        EXPECT_DOUBLE_EQ(a[i].errorIncreasePct, b[i].errorIncreasePct);
+    }
+}
+
+TEST(Importance, InvalidArgsPanic)
+{
+    ForestParams p;
+    p.treeCount = 5;
+    RandomForest rf(p);
+    rf.train(gradedData(50, 7));
+    EXPECT_THROW(permutationImportance(rf, DataSet(3), 1, 1),
+                 std::logic_error);
+    EXPECT_THROW(permutationImportance(rf, gradedData(50, 8), 0, 1),
+                 std::logic_error);
+}
+
+} // namespace
+} // namespace dac::ml

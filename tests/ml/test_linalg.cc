@@ -1,0 +1,55 @@
+/** @file Tests for the Cholesky solver. */
+
+#include <gtest/gtest.h>
+
+#include "ml/linalg.h"
+
+namespace dac::ml {
+namespace {
+
+TEST(Linalg, SolvesIdentity)
+{
+    const auto x = choleskySolve({1, 0, 0, 1}, {3, 4}, 2);
+    EXPECT_DOUBLE_EQ(x[0], 3.0);
+    EXPECT_DOUBLE_EQ(x[1], 4.0);
+}
+
+TEST(Linalg, SolvesSpdSystem)
+{
+    // A = [[4,2],[2,3]], b = [10, 9] -> x = [1.5, 2].
+    const auto x = choleskySolve({4, 2, 2, 3}, {10, 9}, 2);
+    EXPECT_NEAR(x[0], 1.5, 1e-12);
+    EXPECT_NEAR(x[1], 2.0, 1e-12);
+}
+
+TEST(Linalg, Solves3x3)
+{
+    // A = L L^T with L = [[2,0,0],[1,2,0],[0,1,2]].
+    const std::vector<double> a{4, 2, 0, 2, 5, 2, 0, 2, 5};
+    const std::vector<double> want{1.0, -2.0, 3.0};
+    std::vector<double> b(3, 0.0);
+    for (size_t i = 0; i < 3; ++i) {
+        for (size_t j = 0; j < 3; ++j)
+            b[i] += a[i * 3 + j] * want[j];
+    }
+    const auto x = choleskySolve(a, b, 3);
+    for (size_t i = 0; i < 3; ++i)
+        EXPECT_NEAR(x[i], want[i], 1e-10);
+}
+
+TEST(Linalg, RejectsNonSpd)
+{
+    EXPECT_THROW(choleskySolve({1, 2, 2, 1}, {1, 1}, 2),
+                 std::runtime_error);
+    EXPECT_THROW(choleskySolve({0, 0, 0, 0}, {1, 1}, 2),
+                 std::runtime_error);
+}
+
+TEST(Linalg, SizeMismatchPanics)
+{
+    EXPECT_THROW(choleskySolve({1, 0, 0, 1}, {1}, 2), std::logic_error);
+    EXPECT_THROW(choleskySolve({1, 0, 0}, {1, 1}, 2), std::logic_error);
+}
+
+} // namespace
+} // namespace dac::ml

@@ -1,0 +1,77 @@
+/** @file Tests for the log-target decorator. */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "ml/log_target.h"
+#include "ml/regression_tree.h"
+
+namespace dac::ml {
+namespace {
+
+TEST(LogTarget, ImprovesRelativeErrorOnWideRangeTargets)
+{
+    // Targets spanning 3 decades: raw squared loss ignores the small
+    // ones; the log transform treats them relatively.
+    DataSet d(1);
+    Rng rng(1);
+    for (int i = 0; i < 600; ++i) {
+        const double x = rng.uniform();
+        d.addRow({x}, std::exp(1.0 + 6.0 * x));
+    }
+    TreeParams tp;
+    tp.treeComplexity = 12;
+
+    RegressionTree raw(tp);
+    raw.train(d);
+
+    LogTargetModel logged(std::make_unique<RegressionTree>(tp));
+    logged.train(d);
+
+    EXPECT_LT(logged.errorOn(d), raw.errorOn(d));
+}
+
+TEST(LogTarget, PredictionsArePositive)
+{
+    DataSet d(1);
+    Rng rng(2);
+    for (int i = 0; i < 100; ++i)
+        d.addRow({rng.uniform()}, 0.01 + rng.uniform());
+    LogTargetModel m(std::make_unique<RegressionTree>(TreeParams{}));
+    m.train(d);
+    for (double x : {0.0, 0.5, 1.0})
+        EXPECT_GT(m.predict({x}), 0.0);
+}
+
+TEST(LogTarget, KeepsInnerName)
+{
+    LogTargetModel m(std::make_unique<RegressionTree>(TreeParams{}));
+    EXPECT_EQ(m.name(), "RegressionTree");
+}
+
+TEST(LogTarget, RejectsNonPositiveTargets)
+{
+    DataSet d(1);
+    d.addRow({0.1}, 0.0);
+    for (int i = 0; i < 30; ++i)
+        d.addRow({0.1 * i}, 1.0);
+    LogTargetModel m(std::make_unique<RegressionTree>(TreeParams{}));
+    EXPECT_THROW(m.train(d), std::logic_error);
+}
+
+TEST(LogTarget, RejectsNullInner)
+{
+    EXPECT_THROW(LogTargetModel(nullptr), std::logic_error);
+}
+
+TEST(LogTarget, ScaledMapeHelper)
+{
+    // In exp space, log-predictions {0, log 2} vs actual {0, log 4}.
+    const double e = scaledMape({0.0, std::log(2.0)},
+                                {0.0, std::log(4.0)}, true);
+    EXPECT_NEAR(e, 25.0, 1e-9); // |2-4|/4 = 50% averaged with 0%...
+}
+
+} // namespace
+} // namespace dac::ml

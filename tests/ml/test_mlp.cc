@@ -1,0 +1,89 @@
+/** @file Tests for the MLP (ANN baseline). */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "ml/mlp.h"
+
+namespace dac::ml {
+namespace {
+
+DataSet
+linearData(int n, uint64_t seed)
+{
+    DataSet d(3);
+    Rng rng(seed);
+    for (int i = 0; i < n; ++i) {
+        const double a = rng.uniform();
+        const double b = rng.uniform();
+        const double c = rng.uniform();
+        d.addRow({a, b, c}, 100.0 + 40.0 * a - 25.0 * b + 10.0 * c);
+    }
+    return d;
+}
+
+TEST(Mlp, LearnsLinearMap)
+{
+    MlpParams p;
+    p.epochs = 150;
+    Mlp mlp(p);
+    mlp.train(linearData(500, 1));
+    EXPECT_LT(mlp.errorOn(linearData(200, 2)), 4.0);
+}
+
+TEST(Mlp, LearnsMildNonlinearity)
+{
+    DataSet d(2);
+    Rng rng(3);
+    for (int i = 0; i < 600; ++i) {
+        const double a = rng.uniform();
+        const double b = rng.uniform();
+        d.addRow({a, b}, 30.0 + 10.0 * std::sin(3.0 * a) + 8.0 * a * b);
+    }
+    MlpParams p;
+    p.epochs = 250;
+    Mlp mlp(p);
+    mlp.train(d);
+    EXPECT_LT(mlp.errorOn(d), 5.0);
+}
+
+TEST(Mlp, DeterministicForSeed)
+{
+    const auto data = linearData(200, 4);
+    MlpParams p;
+    p.epochs = 30;
+    p.seed = 7;
+    Mlp a(p);
+    Mlp b(p);
+    a.train(data);
+    b.train(data);
+    EXPECT_DOUBLE_EQ(a.predict({0.5, 0.5, 0.5}),
+                     b.predict({0.5, 0.5, 0.5}));
+}
+
+TEST(Mlp, SingleHiddenLayerWorks)
+{
+    MlpParams p;
+    p.hidden = {16};
+    p.epochs = 100;
+    Mlp mlp(p);
+    mlp.train(linearData(300, 5));
+    EXPECT_LT(mlp.errorOn(linearData(100, 6)), 6.0);
+}
+
+TEST(Mlp, RequiresHiddenLayer)
+{
+    MlpParams p;
+    p.hidden = {};
+    EXPECT_THROW(Mlp{p}, std::logic_error);
+}
+
+TEST(Mlp, PredictBeforeTrainPanics)
+{
+    Mlp mlp;
+    EXPECT_THROW(mlp.predict({1.0, 2.0, 3.0}), std::logic_error);
+}
+
+} // namespace
+} // namespace dac::ml

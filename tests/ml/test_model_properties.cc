@@ -1,0 +1,134 @@
+/** @file Cross-model property tests over all five techniques. */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "dac/modeler.h"
+#include "support/statistics.h"
+
+namespace dac::core {
+namespace {
+
+/** Synthetic positive-target regression data (time-like). */
+ml::DataSet
+syntheticTimes(int n, uint64_t seed)
+{
+    ml::DataSet d(6);
+    Rng rng(seed);
+    for (int i = 0; i < n; ++i) {
+        std::vector<double> x(6);
+        for (double &v : x)
+            v = rng.uniform();
+        const double t = 30.0 + 80.0 * x[0] + 40.0 * x[1] * x[2] +
+            25.0 * std::sin(4.0 * x[3]) + rng.normal(0.0, 2.0);
+        d.addRow(x, std::max(1.0, t));
+    }
+    return d;
+}
+
+ml::HmParams
+fastHm()
+{
+    ml::HmParams hm;
+    hm.firstOrder.maxTrees = 120;
+    hm.firstOrder.convergencePatience = 40;
+    return hm;
+}
+
+class ModelKindTest : public testing::TestWithParam<ModelKind>
+{
+};
+
+TEST_P(ModelKindTest, PredictsPositiveFiniteTimes)
+{
+    auto model = makeModel(GetParam(), fastHm(), 3);
+    model->train(syntheticTimes(250, 1));
+    Rng rng(9);
+    for (int i = 0; i < 50; ++i) {
+        std::vector<double> x(6);
+        for (double &v : x)
+            v = rng.uniform();
+        const double p = model->predict(x);
+        EXPECT_TRUE(std::isfinite(p));
+        EXPECT_GT(p, 0.0);
+    }
+}
+
+TEST_P(ModelKindTest, BeatsPredictingTheMean)
+{
+    const auto train = syntheticTimes(400, 2);
+    const auto test = syntheticTimes(200, 3);
+    auto model = makeModel(GetParam(), fastHm(), 3);
+    model->train(train);
+
+    // Baseline: always predict the training-mean.
+    double mean_t = 0.0;
+    for (size_t i = 0; i < train.size(); ++i)
+        mean_t += train.target(i);
+    mean_t /= static_cast<double>(train.size());
+    std::vector<double> constant(test.size(), mean_t);
+
+    EXPECT_LT(model->errorOn(test),
+              mape(constant, test.allTargets()));
+}
+
+TEST_P(ModelKindTest, DeterministicForSeed)
+{
+    const auto data = syntheticTimes(200, 4);
+    auto a = makeModel(GetParam(), fastHm(), 7);
+    auto b = makeModel(GetParam(), fastHm(), 7);
+    a->train(data);
+    b->train(data);
+    const std::vector<double> x{0.3, 0.5, 0.7, 0.2, 0.9, 0.1};
+    EXPECT_DOUBLE_EQ(a->predict(x), b->predict(x));
+}
+
+TEST_P(ModelKindTest, NameMatchesKind)
+{
+    EXPECT_EQ(makeModel(GetParam(), fastHm(), 1)->name(),
+              modelKindName(GetParam()));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllKinds, ModelKindTest,
+    testing::Values(ModelKind::RS, ModelKind::ANN, ModelKind::SVM,
+                    ModelKind::RF, ModelKind::HM),
+    [](const testing::TestParamInfo<ModelKind> &info) {
+        return modelKindName(info.param);
+    });
+
+/** HM hyperparameter sweep: every (tc, lr) cell must train. */
+class HmHyperTest
+    : public testing::TestWithParam<std::tuple<int, double>>
+{
+};
+
+TEST_P(HmHyperTest, TrainsAcrossHyperparameters)
+{
+    ml::HmParams hm;
+    hm.firstOrder.treeComplexity = std::get<0>(GetParam());
+    hm.firstOrder.learningRate = std::get<1>(GetParam());
+    hm.firstOrder.maxTrees = 150;
+    hm.firstOrder.convergencePatience = 50;
+    ml::HierarchicalModel model(hm);
+    model.train(syntheticTimes(300, 5));
+    EXPECT_TRUE(std::isfinite(model.predict(
+        {0.5, 0.5, 0.5, 0.5, 0.5, 0.5})));
+    EXPECT_LT(model.validationError(), 60.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    TcLrGrid, HmHyperTest,
+    testing::Combine(testing::Values(1, 5, 8),
+                     testing::Values(0.005, 0.05, 0.2)),
+    [](const testing::TestParamInfo<std::tuple<int, double>> &info) {
+        const int tc = std::get<0>(info.param);
+        const int lr_mille =
+            static_cast<int>(std::get<1>(info.param) * 1000.0);
+        return "tc" + std::to_string(tc) + "_lr" +
+            std::to_string(lr_mille);
+    });
+
+} // namespace
+} // namespace dac::core

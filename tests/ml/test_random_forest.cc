@@ -1,0 +1,97 @@
+/** @file Tests for the random-forest baseline. */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "ml/random_forest.h"
+
+namespace dac::ml {
+namespace {
+
+DataSet
+friedmanData(int n, uint64_t seed)
+{
+    // Friedman's benchmark regression surface.
+    DataSet d(5);
+    Rng rng(seed);
+    for (int i = 0; i < n; ++i) {
+        std::vector<double> x(5);
+        for (double &v : x)
+            v = rng.uniform();
+        const double y = 10.0 * std::sin(M_PI * x[0] * x[1]) +
+            20.0 * (x[2] - 0.5) * (x[2] - 0.5) + 10.0 * x[3] +
+            5.0 * x[4];
+        d.addRow(x, y);
+    }
+    return d;
+}
+
+TEST(Forest, LearnsFriedman)
+{
+    ForestParams p;
+    p.treeCount = 100;
+    p.featureSubset = 3;
+    RandomForest rf(p);
+    rf.train(friedmanData(800, 1));
+    EXPECT_LT(rf.errorOn(friedmanData(300, 2)), 13.0);
+}
+
+TEST(Forest, MoreTreesHelp)
+{
+    const auto train = friedmanData(500, 3);
+    const auto test = friedmanData(300, 4);
+    ForestParams small;
+    small.treeCount = 3;
+    ForestParams big;
+    big.treeCount = 80;
+    RandomForest a(small);
+    RandomForest b(big);
+    a.train(train);
+    b.train(train);
+    EXPECT_LT(b.errorOn(test), a.errorOn(test));
+}
+
+TEST(Forest, PredictionIsEnsembleMean)
+{
+    ForestParams p;
+    p.treeCount = 10;
+    RandomForest rf(p);
+    DataSet d(1);
+    for (int i = 0; i < 50; ++i)
+        d.addRow({static_cast<double>(i)}, 42.0);
+    rf.train(d);
+    EXPECT_DOUBLE_EQ(rf.predict({25.0}), 42.0);
+}
+
+TEST(Forest, Deterministic)
+{
+    const auto data = friedmanData(200, 5);
+    ForestParams p;
+    p.treeCount = 15;
+    p.seed = 11;
+    RandomForest a(p);
+    RandomForest b(p);
+    a.train(data);
+    b.train(data);
+    EXPECT_DOUBLE_EQ(a.predict({0.1, 0.2, 0.3, 0.4, 0.5}),
+                     b.predict({0.1, 0.2, 0.3, 0.4, 0.5}));
+}
+
+TEST(Forest, TreeCountReported)
+{
+    ForestParams p;
+    p.treeCount = 7;
+    RandomForest rf(p);
+    rf.train(friedmanData(100, 6));
+    EXPECT_EQ(rf.treeCount(), 7);
+}
+
+TEST(Forest, InvalidParamsPanic)
+{
+    EXPECT_THROW(RandomForest(ForestParams{.treeCount = 0}),
+                 std::logic_error);
+}
+
+} // namespace
+} // namespace dac::ml

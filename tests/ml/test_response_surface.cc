@@ -1,0 +1,94 @@
+/** @file Tests for the response-surface (quadratic RSM) baseline. */
+
+#include <gtest/gtest.h>
+
+#include "ml/response_surface.h"
+
+namespace dac::ml {
+namespace {
+
+TEST(Rs, FitsQuadraticExactly)
+{
+    DataSet d(2);
+    Rng rng(1);
+    for (int i = 0; i < 200; ++i) {
+        const double a = rng.uniformReal(-1, 1);
+        const double b = rng.uniformReal(-1, 1);
+        d.addRow({a, b},
+                 50.0 + 3.0 * a - 2.0 * b + 4.0 * a * a + 1.5 * a * b);
+    }
+    RsParams p;
+    p.ridge = 1e-8;
+    ResponseSurface rs(p);
+    rs.train(d);
+    EXPECT_LT(rs.errorOn(d), 0.1);
+}
+
+TEST(Rs, TermCountIsQuadraticInFeatures)
+{
+    DataSet d(4);
+    Rng rng(2);
+    for (int i = 0; i < 60; ++i) {
+        d.addRow({rng.uniform(), rng.uniform(), rng.uniform(),
+                  rng.uniform()},
+                 rng.uniform() + 1.0);
+    }
+    ResponseSurface rs;
+    rs.train(d);
+    // 1 + p + p + p(p-1)/2 = 1 + 4 + 4 + 6 = 15.
+    EXPECT_EQ(rs.termCount(), 15u);
+}
+
+TEST(Rs, NoInteractionsVariant)
+{
+    DataSet d(4);
+    Rng rng(3);
+    for (int i = 0; i < 60; ++i) {
+        d.addRow({rng.uniform(), rng.uniform(), rng.uniform(),
+                  rng.uniform()},
+                 rng.uniform() + 1.0);
+    }
+    RsParams p;
+    p.interactions = false;
+    ResponseSurface rs(p);
+    rs.train(d);
+    EXPECT_EQ(rs.termCount(), 9u); // 1 + 4 + 4
+}
+
+TEST(Rs, UnderfitsCubicSurface)
+{
+    // A second-order model cannot capture a strong cubic: this is the
+    // paper's point about RS on high-dimensional Spark surfaces.
+    DataSet d(1);
+    Rng rng(4);
+    for (int i = 0; i < 300; ++i) {
+        const double x = rng.uniformReal(-2, 2);
+        d.addRow({x}, 30.0 + 10.0 * x * x * x);
+    }
+    ResponseSurface rs;
+    rs.train(d);
+    EXPECT_GT(rs.errorOn(d), 5.0);
+}
+
+TEST(Rs, RidgeKeepsIllConditionedSolvable)
+{
+    // Duplicate (perfectly collinear) features.
+    DataSet d(2);
+    Rng rng(5);
+    for (int i = 0; i < 100; ++i) {
+        const double x = rng.uniform();
+        d.addRow({x, x}, 10.0 + 5.0 * x);
+    }
+    ResponseSurface rs; // default ridge
+    rs.train(d);
+    EXPECT_LT(rs.errorOn(d), 2.0);
+}
+
+TEST(Rs, PredictBeforeTrainPanics)
+{
+    ResponseSurface rs;
+    EXPECT_THROW(rs.predict({1.0}), std::logic_error);
+}
+
+} // namespace
+} // namespace dac::ml

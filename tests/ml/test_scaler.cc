@@ -1,0 +1,61 @@
+/** @file Tests for feature/target standardization. */
+
+#include <gtest/gtest.h>
+
+#include "ml/scaler.h"
+
+namespace dac::ml {
+namespace {
+
+TEST(Scaler, StandardizesFeatures)
+{
+    DataSet d(2);
+    d.addRow({0.0, 100.0}, 1.0);
+    d.addRow({10.0, 300.0}, 2.0);
+    d.addRow({20.0, 500.0}, 3.0);
+    Scaler s;
+    s.fit(d);
+    const auto z = s.transform({10.0, 300.0});
+    EXPECT_NEAR(z[0], 0.0, 1e-12);
+    EXPECT_NEAR(z[1], 0.0, 1e-12);
+    const auto z2 = s.transform({20.0, 500.0});
+    EXPECT_GT(z2[0], 0.9);
+}
+
+TEST(Scaler, ConstantFeatureSafe)
+{
+    DataSet d(1);
+    d.addRow({5.0}, 1.0);
+    d.addRow({5.0}, 2.0);
+    Scaler s;
+    s.fit(d);
+    EXPECT_DOUBLE_EQ(s.transform({5.0})[0], 0.0);
+    EXPECT_DOUBLE_EQ(s.transform({6.0})[0], 1.0); // std fallback 1
+}
+
+TEST(Scaler, WidthMismatchPanics)
+{
+    DataSet d(2);
+    d.addRow({1.0, 2.0}, 1.0);
+    Scaler s;
+    s.fit(d);
+    EXPECT_THROW(s.transform({1.0}), std::logic_error);
+}
+
+TEST(TargetScaler, RoundTrip)
+{
+    TargetScaler t;
+    t.fit({10.0, 20.0, 30.0});
+    EXPECT_NEAR(t.transform(20.0), 0.0, 1e-12);
+    EXPECT_NEAR(t.inverse(t.transform(27.5)), 27.5, 1e-12);
+}
+
+TEST(TargetScaler, ConstantTargetSafe)
+{
+    TargetScaler t;
+    t.fit({4.0, 4.0, 4.0});
+    EXPECT_DOUBLE_EQ(t.inverse(t.transform(4.0)), 4.0);
+}
+
+} // namespace
+} // namespace dac::ml

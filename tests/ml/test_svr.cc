@@ -1,0 +1,90 @@
+/** @file Tests for support vector regression. */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "ml/svr.h"
+
+namespace dac::ml {
+namespace {
+
+DataSet
+smoothData(int n, uint64_t seed)
+{
+    DataSet d(2);
+    Rng rng(seed);
+    for (int i = 0; i < n; ++i) {
+        const double a = rng.uniform();
+        const double b = rng.uniform();
+        d.addRow({a, b}, 50.0 + 20.0 * std::sin(3.0 * a) + 10.0 * b);
+    }
+    return d;
+}
+
+TEST(Svr, LearnsSmoothSurface)
+{
+    Svr svr;
+    svr.train(smoothData(400, 1));
+    EXPECT_LT(svr.errorOn(smoothData(200, 2)), 8.0);
+}
+
+TEST(Svr, ProducesSparseSupport)
+{
+    SvrParams p;
+    p.epsilon = 0.3; // wide tube -> few support vectors
+    Svr svr(p);
+    svr.train(smoothData(300, 3));
+    EXPECT_LT(svr.supportVectorCount(), 300u);
+    EXPECT_GT(svr.supportVectorCount(), 0u);
+}
+
+TEST(Svr, WiderTubeFewerSupportVectors)
+{
+    const auto data = smoothData(300, 4);
+    SvrParams narrow;
+    narrow.epsilon = 0.01;
+    SvrParams wide;
+    wide.epsilon = 0.5;
+    Svr a(narrow);
+    Svr b(wide);
+    a.train(data);
+    b.train(data);
+    EXPECT_GT(a.supportVectorCount(), b.supportVectorCount());
+}
+
+TEST(Svr, ConstantTargetDegeneratesGracefully)
+{
+    DataSet d(1);
+    for (int i = 0; i < 50; ++i)
+        d.addRow({static_cast<double>(i)}, 10.0);
+    Svr svr;
+    svr.train(d);
+    EXPECT_NEAR(svr.predict({25.0}), 10.0, 1.0);
+}
+
+TEST(Svr, Deterministic)
+{
+    const auto data = smoothData(150, 5);
+    Svr a;
+    Svr b;
+    a.train(data);
+    b.train(data);
+    EXPECT_DOUBLE_EQ(a.predict({0.4, 0.6}), b.predict({0.4, 0.6}));
+}
+
+TEST(Svr, InvalidParamsPanic)
+{
+    SvrParams p;
+    p.c = 0.0;
+    EXPECT_THROW(Svr{p}, std::logic_error);
+}
+
+TEST(Svr, PredictBeforeTrainPanics)
+{
+    Svr svr;
+    EXPECT_THROW(svr.predict({1.0}), std::logic_error);
+}
+
+} // namespace
+} // namespace dac::ml

@@ -1,0 +1,144 @@
+/** @file Tests for the CART regression tree. */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "ml/regression_tree.h"
+
+namespace dac::ml {
+namespace {
+
+/** y = step function of x0. */
+DataSet
+stepData(int n = 200)
+{
+    DataSet d(2);
+    Rng rng(1);
+    for (int i = 0; i < n; ++i) {
+        const double x0 = rng.uniform();
+        const double x1 = rng.uniform();
+        d.addRow({x0, x1}, x0 < 0.5 ? 1.0 : 5.0);
+    }
+    return d;
+}
+
+TEST(Tree, FitsConstantData)
+{
+    DataSet d(1);
+    for (int i = 0; i < 20; ++i)
+        d.addRow({static_cast<double>(i)}, 7.0);
+    RegressionTree tree(TreeParams{});
+    tree.train(d);
+    EXPECT_DOUBLE_EQ(tree.predict({3.0}), 7.0);
+    EXPECT_EQ(tree.splitCount(), 0);
+}
+
+TEST(Tree, LearnsStepFunction)
+{
+    RegressionTree tree(TreeParams{});
+    tree.train(stepData());
+    EXPECT_NEAR(tree.predict({0.2, 0.5}), 1.0, 0.2);
+    EXPECT_NEAR(tree.predict({0.9, 0.5}), 5.0, 0.2);
+}
+
+TEST(Tree, StumpHasOneSplit)
+{
+    TreeParams p;
+    p.treeComplexity = 1;
+    RegressionTree tree(p);
+    tree.train(stepData());
+    EXPECT_EQ(tree.splitCount(), 1);
+    EXPECT_EQ(tree.leafCount(), 2);
+}
+
+TEST(Tree, ComplexityBoundsSplits)
+{
+    DataSet d(1);
+    Rng rng(3);
+    for (int i = 0; i < 500; ++i) {
+        const double x = rng.uniform();
+        d.addRow({x}, std::sin(10.0 * x));
+    }
+    TreeParams p;
+    p.treeComplexity = 5;
+    RegressionTree tree(p);
+    tree.train(d);
+    EXPECT_LE(tree.splitCount(), 5);
+    EXPECT_GE(tree.splitCount(), 1);
+    EXPECT_EQ(tree.leafCount(), tree.splitCount() + 1);
+}
+
+TEST(Tree, DeeperTreesFitBetter)
+{
+    DataSet d(1);
+    Rng rng(4);
+    for (int i = 0; i < 800; ++i) {
+        const double x = rng.uniform();
+        d.addRow({x}, std::sin(8.0 * x));
+    }
+    auto sse = [&](int tc) {
+        TreeParams p;
+        p.treeComplexity = tc;
+        RegressionTree t(p);
+        t.train(d);
+        double sum = 0.0;
+        for (size_t i = 0; i < d.size(); ++i) {
+            const double e = t.predict(d.rowVector(i)) - d.target(i);
+            sum += e * e;
+        }
+        return sum;
+    };
+    EXPECT_LT(sse(16), sse(2));
+}
+
+TEST(Tree, IgnoresUninformativeFeature)
+{
+    // x1 is pure noise; the step is in x0.
+    RegressionTree tree(TreeParams{.treeComplexity = 1});
+    tree.train(stepData(400));
+    // Prediction must not depend on x1.
+    EXPECT_DOUBLE_EQ(tree.predict({0.2, 0.0}),
+                     tree.predict({0.2, 1.0}));
+}
+
+TEST(Tree, MinSamplesLeafRespected)
+{
+    DataSet d(1);
+    for (int i = 0; i < 8; ++i)
+        d.addRow({static_cast<double>(i)}, i < 4 ? 0.0 : 1.0);
+    TreeParams p;
+    p.minSamplesLeaf = 5;
+    RegressionTree tree(p);
+    tree.train(d);
+    // 8 points cannot be split into two leaves of >= 5.
+    EXPECT_EQ(tree.splitCount(), 0);
+}
+
+TEST(Tree, FeatureSubsettingStillLearns)
+{
+    TreeParams p;
+    p.featureSubset = 1;
+    p.treeComplexity = 10;
+    p.seed = 1;
+    RegressionTree tree(p);
+    tree.train(stepData(400));
+    // Over 10 single-feature draws the step in x0 is all but certain
+    // to be found (P(only x1 drawn) ~ 0.1%).
+    EXPECT_GT(tree.predict({0.9, 0.5}), tree.predict({0.1, 0.5}));
+}
+
+TEST(Tree, PredictBeforeTrainPanics)
+{
+    RegressionTree tree(TreeParams{});
+    EXPECT_THROW(tree.predict({1.0}), std::logic_error);
+}
+
+TEST(Tree, InvalidParamsPanic)
+{
+    EXPECT_THROW(RegressionTree(TreeParams{.treeComplexity = 0}),
+                 std::logic_error);
+}
+
+} // namespace
+} // namespace dac::ml

@@ -1,0 +1,64 @@
+/** @file Tests for the GC overhead model. */
+
+#include <gtest/gtest.h>
+
+#include "sparksim/gc.h"
+
+namespace dac::sparksim {
+namespace {
+
+TEST(Gc, IdleFloorIsSmall)
+{
+    EXPECT_LT(gcOverheadFraction(0.1, 1.0, 0.0), 0.05);
+    EXPECT_GT(gcOverheadFraction(0.1, 1.0, 0.0), 0.0);
+}
+
+TEST(Gc, MonotoneInOccupancy)
+{
+    double prev = -1.0;
+    for (double occ : {0.0, 0.3, 0.6, 0.9, 1.0, 1.2, 1.5}) {
+        const double f = gcOverheadFraction(occ, 1.0, 0.5);
+        EXPECT_GT(f, prev) << "occ=" << occ;
+        prev = f;
+    }
+}
+
+TEST(Gc, MonotoneInChurn)
+{
+    EXPECT_LT(gcOverheadFraction(0.8, 0.5, 1.0),
+              gcOverheadFraction(0.8, 1.5, 1.0));
+    EXPECT_LT(gcOverheadFraction(0.8, 1.5, 1.0),
+              gcOverheadFraction(0.8, 2.5, 1.0));
+}
+
+TEST(Gc, MonotoneInAllocationPressure)
+{
+    EXPECT_LT(gcOverheadFraction(0.5, 1.0, 0.0),
+              gcOverheadFraction(0.5, 1.0, 2.0));
+    EXPECT_LT(gcOverheadFraction(0.5, 1.0, 2.0),
+              gcOverheadFraction(0.5, 1.0, 8.0));
+}
+
+TEST(Gc, ThrashingBeyondHeapIsSevere)
+{
+    // An overdriven heap must cost more than the task itself.
+    EXPECT_GT(gcOverheadFraction(1.5, 1.5, 4.0), 1.0);
+}
+
+TEST(Gc, ConvexInOccupancy)
+{
+    // Marginal cost grows: f(1.2) - f(0.9) > f(0.6) - f(0.3).
+    const double low = gcOverheadFraction(0.6, 1.0, 0.0) -
+        gcOverheadFraction(0.3, 1.0, 0.0);
+    const double high = gcOverheadFraction(1.2, 1.0, 0.0) -
+        gcOverheadFraction(0.9, 1.0, 0.0);
+    EXPECT_GT(high, low);
+}
+
+TEST(Gc, NegativeInputsClamped)
+{
+    EXPECT_GE(gcOverheadFraction(-1.0, -1.0, -1.0), 0.0);
+}
+
+} // namespace
+} // namespace dac::sparksim

@@ -1,0 +1,131 @@
+/**
+ * @file
+ * Parameterized knob-direction tests: for configurations under
+ * pressure, moving a single knob the "right" way must not make the
+ * simulated job meaningfully slower. These encode the tuning economics
+ * the paper's Section 5 narrates (memory vs GC, parallelism vs spill,
+ * serializer vs cache fit, compression vs disk, ...).
+ */
+
+#include <gtest/gtest.h>
+
+#include <functional>
+
+#include "sparksim/simulator.h"
+#include "workloads/registry.h"
+
+namespace dac::sparksim {
+namespace {
+
+using Edit = std::function<void(conf::Configuration &)>;
+
+/** One knob-direction expectation. */
+struct KnobCase
+{
+    const char *name;
+    const char *workload;
+    int sizeIndex;  // into paperSizes()
+    Edit baseline;  // shared pressure scenario
+    Edit worse;     // knob at the bad end
+    Edit better;    // knob at the good end
+};
+
+std::vector<KnobCase>
+knobCases()
+{
+    // A mid-pressure scenario: enough memory stress for the knobs to
+    // matter, not so much that everything saturates.
+    const Edit mid = [](conf::Configuration &c) {
+        c.set(conf::ExecutorMemory, 4096);
+        c.set(conf::ExecutorCores, 6);
+        c.set(conf::DefaultParallelism, 24);
+    };
+    return {
+        {"executor_memory", "TS", 4, mid,
+         [](auto &c) { c.set(conf::ExecutorMemory, 1024); },
+         [](auto &c) { c.set(conf::ExecutorMemory, 12288); }},
+        {"parallelism", "TS", 4, mid,
+         [](auto &c) { c.set(conf::DefaultParallelism, 8); },
+         [](auto &c) { c.set(conf::DefaultParallelism, 50); }},
+        {"kryo_for_cache", "PR", 4, mid,
+         [](auto &c) { c.set(conf::SerializerClass, 0); },
+         [](auto &c) {
+             c.set(conf::SerializerClass, 1);
+             c.set(conf::RddCompress, 1);
+         }},
+        {"shuffle_compress", "TS", 4, mid,
+         [](auto &c) { c.set(conf::ShuffleCompress, 0); },
+         [](auto &c) { c.set(conf::ShuffleCompress, 1); }},
+        {"spill_enabled", "TS", 3, mid,
+         [](auto &c) { c.set(conf::ShuffleSpill, 0); },
+         [](auto &c) { c.set(conf::ShuffleSpill, 1); }},
+        {"retry_budget", "TS", 4,
+         [](auto &c) {
+             // High-pressure scenario where tasks do fail.
+             c.set(conf::ExecutorMemory, 1024);
+             c.set(conf::DefaultParallelism, 10);
+         },
+         [](auto &c) { c.set(conf::TaskMaxFailures, 1); },
+         [](auto &c) { c.set(conf::TaskMaxFailures, 8); }},
+        {"driver_memory_for_collect", "BA", 4, mid,
+         [](auto &c) { c.set(conf::DriverMemory, 1024); },
+         [](auto &c) { c.set(conf::DriverMemory, 12288); }},
+        {"network_timeout_under_gc", "TS", 4,
+         [](auto &c) {
+             c.set(conf::ExecutorMemory, 1024);
+             c.set(conf::DefaultParallelism, 12);
+         },
+         [](auto &c) { c.set(conf::NetworkTimeout, 20); },
+         [](auto &c) { c.set(conf::NetworkTimeout, 500); }},
+        {"locality_wait", "WC", 4, mid,
+         [](auto &c) { c.set(conf::LocalityWait, 1); },
+         [](auto &c) { c.set(conf::LocalityWait, 6); }},
+        {"kryo_reference_tracking_graphs", "NW", 4,
+         [mid](auto &c) {
+             mid(c);
+             c.set(conf::SerializerClass, 1);
+         },
+         [](auto &c) { c.set(conf::KryoReferenceTracking, 0); },
+         [](auto &c) { c.set(conf::KryoReferenceTracking, 1); }},
+    };
+}
+
+class KnobDirection : public testing::TestWithParam<size_t>
+{
+};
+
+TEST_P(KnobDirection, RightDirectionIsNotSlower)
+{
+    // Copy: knobCases() returns a temporary vector.
+    const KnobCase kc = knobCases()[GetParam()];
+    const auto &w = workloads::Registry::instance().byAbbrev(kc.workload);
+    const auto dag = w.buildDag(
+        w.paperSizes()[static_cast<size_t>(kc.sizeIndex)]);
+    SparkSimulator sim(cluster::ClusterSpec::paperTestbed());
+
+    auto measure = [&](const Edit &knob) {
+        conf::Configuration c(conf::ConfigSpace::spark());
+        kc.baseline(c);
+        knob(c);
+        double total = 0.0;
+        for (uint64_t seed = 1; seed <= 6; ++seed)
+            total += sim.run(dag, c, seed).timeSec;
+        return total / 6.0;
+    };
+
+    const double t_worse = measure(kc.worse);
+    const double t_better = measure(kc.better);
+    // "Not meaningfully slower": allow 3% noise slack.
+    EXPECT_LE(t_better, t_worse * 1.03)
+        << kc.name << ": better=" << t_better << " worse=" << t_worse;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllKnobs, KnobDirection,
+    testing::Range<size_t>(0, knobCases().size()),
+    [](const testing::TestParamInfo<size_t> &info) {
+        return knobCases()[info.param].name;
+    });
+
+} // namespace
+} // namespace dac::sparksim

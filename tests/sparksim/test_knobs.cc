@@ -1,0 +1,74 @@
+/** @file Tests for SparkKnobs decoding (units, categories). */
+
+#include <gtest/gtest.h>
+
+#include "sparksim/knobs.h"
+#include "support/units.h"
+
+namespace dac::sparksim {
+namespace {
+
+TEST(Knobs, DecodesDefaults)
+{
+    const conf::Configuration c(conf::ConfigSpace::spark());
+    const auto k = SparkKnobs::decode(c);
+    EXPECT_DOUBLE_EQ(k.executorMemoryBytes, 1024 * MiB);
+    EXPECT_EQ(k.executorCores, 12);
+    EXPECT_DOUBLE_EQ(k.reducerMaxSizeInFlightBytes, 48 * MiB);
+    EXPECT_DOUBLE_EQ(k.shuffleFileBufferBytes, 32 * KiB);
+    EXPECT_EQ(k.serializer, Serializer::Java);
+    EXPECT_EQ(k.codec, Codec::Snappy);
+    EXPECT_EQ(k.shuffleManager, ShuffleManagerKind::Sort);
+    EXPECT_TRUE(k.shuffleCompress);
+    EXPECT_FALSE(k.speculation);
+    EXPECT_EQ(k.defaultParallelism, 8);
+    EXPECT_DOUBLE_EQ(k.memoryFraction, 0.75);
+    EXPECT_DOUBLE_EQ(k.speculationIntervalSec, 0.1); // 100 ms
+}
+
+TEST(Knobs, DecodesCategoricalChoices)
+{
+    conf::Configuration c(conf::ConfigSpace::spark());
+    c.set(conf::SerializerClass, 1);
+    c.set(conf::IoCompressionCodec, 2);
+    c.set(conf::ShuffleManager, 1);
+    const auto k = SparkKnobs::decode(c);
+    EXPECT_EQ(k.serializer, Serializer::Kryo);
+    EXPECT_EQ(k.codec, Codec::Lz4);
+    EXPECT_EQ(k.shuffleManager, ShuffleManagerKind::Hash);
+}
+
+TEST(Knobs, UnitConversions)
+{
+    conf::Configuration c(conf::ConfigSpace::spark());
+    c.set(conf::ExecutorMemory, 6144);
+    c.set(conf::KryoserializerBuffer, 64);       // KB
+    c.set(conf::KryoserializerBufferMax, 32);    // MB
+    c.set(conf::MemoryOffHeapEnabled, 1);
+    c.set(conf::MemoryOffHeapSize, 500);         // MB
+    const auto k = SparkKnobs::decode(c);
+    EXPECT_DOUBLE_EQ(k.executorMemoryBytes, 6144 * MiB);
+    EXPECT_DOUBLE_EQ(k.kryoBufferInitBytes, 64 * KiB);
+    EXPECT_DOUBLE_EQ(k.kryoBufferMaxBytes, 32 * MiB);
+    EXPECT_TRUE(k.offHeapEnabled);
+    EXPECT_DOUBLE_EQ(k.offHeapBytes, 500 * MiB);
+}
+
+TEST(Knobs, GuardsMinimumValues)
+{
+    conf::Configuration c(conf::ConfigSpace::spark());
+    c.setRaw(conf::TaskMaxFailures, 0.0);
+    c.setRaw(conf::DefaultParallelism, 0.0);
+    const auto k = SparkKnobs::decode(c);
+    EXPECT_GE(k.taskMaxFailures, 1);
+    EXPECT_GE(k.defaultParallelism, 1);
+}
+
+TEST(Knobs, RejectsWrongSpace)
+{
+    const conf::Configuration h(conf::ConfigSpace::hadoop());
+    EXPECT_THROW(SparkKnobs::decode(h), std::logic_error);
+}
+
+} // namespace
+} // namespace dac::sparksim

@@ -1,0 +1,122 @@
+/** @file Tests for executor layout and the unified memory manager. */
+
+#include <gtest/gtest.h>
+
+#include "sparksim/memory.h"
+#include "support/units.h"
+
+namespace dac::sparksim {
+namespace {
+
+SparkKnobs
+knobsWith(double exec_mem_mb, int exec_cores)
+{
+    conf::Configuration c(conf::ConfigSpace::spark());
+    c.set(conf::ExecutorMemory, exec_mem_mb);
+    c.set(conf::ExecutorCores, exec_cores);
+    return SparkKnobs::decode(c);
+}
+
+TEST(ExecutorLayout, DefaultPacksOneFatExecutorPerNode)
+{
+    const auto layout = ExecutorLayout::derive(
+        knobsWith(1024, 12), cluster::ClusterSpec::paperTestbed());
+    EXPECT_EQ(layout.coresPerExecutor, 12);
+    EXPECT_EQ(layout.executorsPerNode, 1);
+    EXPECT_EQ(layout.totalSlots, 60);
+    EXPECT_EQ(layout.idleCoresPerNode, 0);
+}
+
+TEST(ExecutorLayout, CoreSplitLimits)
+{
+    const auto layout = ExecutorLayout::derive(
+        knobsWith(2048, 5), cluster::ClusterSpec::paperTestbed());
+    EXPECT_EQ(layout.executorsPerNode, 2); // floor(12 / 5)
+    EXPECT_EQ(layout.slotsPerNode, 10);
+    EXPECT_EQ(layout.idleCoresPerNode, 2);
+}
+
+TEST(ExecutorLayout, MemoryLimits)
+{
+    // 12 GB heap + overhead ~= 13.2 GB; 64 GB node fits 4.
+    const auto layout = ExecutorLayout::derive(
+        knobsWith(12288, 1), cluster::ClusterSpec::paperTestbed());
+    EXPECT_EQ(layout.executorsPerNode, 4);
+    EXPECT_EQ(layout.slotsPerNode, 4);
+}
+
+TEST(ExecutorLayout, AtLeastOneExecutor)
+{
+    cluster::NodeSpec node;
+    node.cores = 2;
+    node.memoryBytes = 2.0 * GiB;
+    const cluster::ClusterSpec tiny("tiny", 1, node);
+    const auto layout = ExecutorLayout::derive(knobsWith(12288, 2), tiny);
+    EXPECT_EQ(layout.executorsPerNode, 1);
+}
+
+TEST(MemoryModel, UnifiedRegions)
+{
+    const auto m = MemoryModel::derive(knobsWith(4096, 4));
+    EXPECT_DOUBLE_EQ(m.heapBytes, 4096 * MiB);
+    EXPECT_DOUBLE_EQ(m.usableBytes, (4096 - 300) * MiB);
+    EXPECT_DOUBLE_EQ(m.sparkBytes, m.usableBytes * 0.75);
+    EXPECT_DOUBLE_EQ(m.storageBytes, m.sparkBytes * 0.5);
+    EXPECT_DOUBLE_EQ(m.executionBytes, m.sparkBytes - m.storageBytes);
+    EXPECT_DOUBLE_EQ(m.userBytes, m.usableBytes - m.sparkBytes);
+    EXPECT_DOUBLE_EQ(m.offHeapBytes, 0.0);
+}
+
+TEST(MemoryModel, ExecutionBorrowsFreeStorage)
+{
+    const auto m = MemoryModel::derive(knobsWith(4096, 4));
+    const double no_cache = m.executionPerTask(0.0, 4);
+    const double full_cache = m.executionPerTask(m.storageBytes, 4);
+    EXPECT_GT(no_cache, full_cache);
+    EXPECT_DOUBLE_EQ(full_cache, m.executionBytes / 4.0);
+    EXPECT_DOUBLE_EQ(no_cache,
+                     (m.executionBytes + 0.8 * m.storageBytes) / 4.0);
+}
+
+TEST(MemoryModel, MoreConcurrencyMeansLessPerTask)
+{
+    const auto m = MemoryModel::derive(knobsWith(8192, 8));
+    EXPECT_GT(m.executionPerTask(0.0, 1), m.executionPerTask(0.0, 8));
+    EXPECT_GT(m.userPerTask(1), m.userPerTask(8));
+}
+
+TEST(MemoryModel, MemoryFractionShiftsRegions)
+{
+    conf::Configuration c(conf::ConfigSpace::spark());
+    c.set(conf::ExecutorMemory, 4096);
+    c.set(conf::MemoryFraction, 0.95);
+    const auto high = MemoryModel::derive(SparkKnobs::decode(c));
+    c.set(conf::MemoryFraction, 0.5);
+    const auto low = MemoryModel::derive(SparkKnobs::decode(c));
+    EXPECT_GT(high.sparkBytes, low.sparkBytes);
+    EXPECT_LT(high.userBytes, low.userBytes);
+}
+
+TEST(MemoryModel, OffHeapAddsExecutionHeadroom)
+{
+    conf::Configuration c(conf::ConfigSpace::spark());
+    c.set(conf::ExecutorMemory, 4096);
+    const auto base = MemoryModel::derive(SparkKnobs::decode(c));
+    c.set(conf::MemoryOffHeapEnabled, 1);
+    c.set(conf::MemoryOffHeapSize, 1000);
+    const auto off = MemoryModel::derive(SparkKnobs::decode(c));
+    EXPECT_GT(off.executionPerTask(0.0, 4), base.executionPerTask(0.0, 4));
+}
+
+TEST(MemoryModel, OccupancyCappedAndMonotone)
+{
+    const auto m = MemoryModel::derive(knobsWith(2048, 4));
+    const double low = m.occupancy(0.0, 100 * MiB);
+    const double high = m.occupancy(0.0, 4000 * MiB);
+    EXPECT_LT(low, high);
+    EXPECT_LE(high, 1.6);
+    EXPECT_LE(m.occupancy(1e12, 1e12), 1.6);
+}
+
+} // namespace
+} // namespace dac::sparksim

@@ -1,0 +1,160 @@
+/** @file Tests for the wave scheduler. */
+
+#include <gtest/gtest.h>
+
+#include <functional>
+
+#include "sparksim/scheduler.h"
+
+namespace dac::sparksim {
+namespace {
+
+SparkKnobs
+knobs(std::function<void(conf::Configuration &)> edit = {})
+{
+    conf::Configuration c(conf::ConfigSpace::spark());
+    if (edit)
+        edit(c);
+    return SparkKnobs::decode(c);
+}
+
+TaskProfile
+quietProfile(double base)
+{
+    TaskProfile p;
+    p.baseSec = base;
+    p.noiseSigma = 0.0;
+    p.stragglerProb = 0.0;
+    p.dispatchSec = 0.0;
+    p.startDelaySec = 0.0;
+    return p;
+}
+
+TEST(Scheduler, EmptyStage)
+{
+    Rng rng(1);
+    const auto s = scheduleStage(0, 10, quietProfile(1.0), knobs(), rng);
+    EXPECT_DOUBLE_EQ(s.elapsedSec, 0.0);
+    EXPECT_DOUBLE_EQ(s.totalTaskSec, 0.0);
+}
+
+TEST(Scheduler, WaveMath)
+{
+    Rng rng(1);
+    // 25 deterministic 2s tasks on 10 slots: 3 waves -> 6 s.
+    const auto s = scheduleStage(25, 10, quietProfile(2.0), knobs(), rng);
+    EXPECT_NEAR(s.elapsedSec, 6.0, 1e-9);
+    EXPECT_NEAR(s.totalTaskSec, 50.0, 1e-9);
+}
+
+TEST(Scheduler, SingleWave)
+{
+    Rng rng(1);
+    const auto s = scheduleStage(10, 60, quietProfile(3.0), knobs(), rng);
+    EXPECT_NEAR(s.elapsedSec, 3.0, 1e-9);
+}
+
+TEST(Scheduler, DispatchSerializesLaunches)
+{
+    Rng rng(1);
+    auto p = quietProfile(1.0);
+    p.dispatchSec = 0.1;
+    // 10 tasks, 10 slots: the 10th task starts ~0.9 s late.
+    const auto s = scheduleStage(10, 10, p, knobs(), rng);
+    EXPECT_NEAR(s.elapsedSec, 1.9, 1e-6);
+}
+
+TEST(Scheduler, StartDelayAddsUp)
+{
+    Rng rng(1);
+    auto p = quietProfile(1.0);
+    p.startDelaySec = 0.5;
+    const auto s = scheduleStage(1, 4, p, knobs(), rng);
+    EXPECT_NEAR(s.elapsedSec, 1.5, 1e-9);
+}
+
+TEST(Scheduler, FailureProbInflatesDuration)
+{
+    Rng rng(1);
+    auto safe = quietProfile(10.0);
+    auto risky = quietProfile(10.0);
+    risky.failureProb = 0.4;
+    Rng rng2(1);
+    const auto a = scheduleStage(20, 10, safe, knobs(), rng);
+    const auto b = scheduleStage(20, 10, risky, knobs(), rng2);
+    EXPECT_GT(b.elapsedSec, a.elapsedSec * 1.15);
+    EXPECT_GT(b.failures, 0);
+    EXPECT_EQ(a.failures, 0);
+}
+
+TEST(Scheduler, MoreRetryBudgetSoftensExhaustion)
+{
+    auto p = quietProfile(10.0);
+    p.failureProb = 0.6;
+    Rng r1(1);
+    Rng r2(1);
+    const auto tight = scheduleStage(20, 10, p, knobs([](auto &c) {
+        c.set(conf::TaskMaxFailures, 1);
+    }), r1);
+    const auto generous = scheduleStage(20, 10, p, knobs([](auto &c) {
+        c.set(conf::TaskMaxFailures, 8);
+    }), r2);
+    EXPECT_GT(tight.elapsedSec, generous.elapsedSec);
+}
+
+TEST(Scheduler, SpeculationTrimsStragglers)
+{
+    auto p = quietProfile(10.0);
+    p.stragglerProb = 0.3;
+    p.stragglerMaxFactor = 1.0;
+    Rng r1(5);
+    Rng r2(5);
+    const auto plain = scheduleStage(40, 40, p, knobs(), r1);
+    const auto spec = scheduleStage(40, 40, p, knobs([](auto &c) {
+        c.set(conf::Speculation, 1);
+        c.set(conf::SpeculationMultiplier, 1.2);
+        c.set(conf::SpeculationQuantile, 0.5);
+        c.set(conf::SpeculationInterval, 100);
+    }), r2);
+    EXPECT_LT(spec.elapsedSec, plain.elapsedSec);
+    // ...but the copies cost extra slot seconds.
+    EXPECT_GT(spec.totalTaskSec, 0.9 * plain.totalTaskSec);
+}
+
+TEST(Scheduler, HighQuantileDisablesSpeculation)
+{
+    auto p = quietProfile(10.0);
+    p.stragglerProb = 0.3;
+    Rng r1(5);
+    Rng r2(5);
+    const auto plain = scheduleStage(40, 40, p, knobs(), r1);
+    const auto spec = scheduleStage(40, 40, p, knobs([](auto &c) {
+        c.set(conf::Speculation, 1);
+        c.set(conf::SpeculationQuantile, 1.0);
+    }), r2);
+    EXPECT_NEAR(spec.elapsedSec, plain.elapsedSec, 1e-9);
+}
+
+TEST(Scheduler, Deterministic)
+{
+    TaskProfile p;
+    p.baseSec = 2.0;
+    Rng r1(77);
+    Rng r2(77);
+    const auto a = scheduleStage(100, 16, p, knobs(), r1);
+    const auto b = scheduleStage(100, 16, p, knobs(), r2);
+    EXPECT_DOUBLE_EQ(a.elapsedSec, b.elapsedSec);
+    EXPECT_DOUBLE_EQ(a.totalTaskSec, b.totalTaskSec);
+}
+
+TEST(Scheduler, InvalidArgsPanic)
+{
+    Rng rng(1);
+    EXPECT_THROW(scheduleStage(-1, 10, quietProfile(1.0), knobs(), rng),
+                 std::logic_error);
+    EXPECT_THROW(scheduleStage(10, 0, quietProfile(1.0), knobs(), rng),
+                 std::logic_error);
+}
+
+} // namespace
+} // namespace dac::sparksim

@@ -1,0 +1,147 @@
+/** @file Tests for the serialization/compression cost model. */
+
+#include <gtest/gtest.h>
+
+#include <functional>
+
+#include "sparksim/serde.h"
+#include "support/units.h"
+
+namespace dac::sparksim {
+namespace {
+
+JobDag
+simpleJob(bool cyclic = false)
+{
+    JobDag job;
+    job.program = "test";
+    job.inputBytes = GiB;
+    job.javaExpansion = 2.5;
+    job.cyclicReferences = cyclic;
+    StageSpec s;
+    s.name = "s";
+    s.inputBytes = GiB;
+    job.stages.push_back(s);
+    return job;
+}
+
+SparkKnobs
+knobs(std::function<void(conf::Configuration &)> edit = {})
+{
+    conf::Configuration c(conf::ConfigSpace::spark());
+    if (edit)
+        edit(c);
+    return SparkKnobs::decode(c);
+}
+
+TEST(Serde, KryoSmallerAndFasterThanJava)
+{
+    const auto java = SerdeModel::derive(knobs(), simpleJob());
+    const auto kryo = SerdeModel::derive(
+        knobs([](auto &c) { c.set(conf::SerializerClass, 1); }),
+        simpleJob());
+    EXPECT_LT(kryo.serializedSizeRatio, java.serializedSizeRatio);
+    EXPECT_LT(kryo.serializeCpuPerByte, java.serializeCpuPerByte);
+    EXPECT_LT(kryo.deserializeCpuPerByte, java.deserializeCpuPerByte);
+}
+
+TEST(Serde, ReferenceTrackingCostsCpu)
+{
+    const auto on = SerdeModel::derive(
+        knobs([](auto &c) { c.set(conf::SerializerClass, 1); }),
+        simpleJob());
+    const auto off = SerdeModel::derive(
+        knobs([](auto &c) {
+            c.set(conf::SerializerClass, 1);
+            c.set(conf::KryoReferenceTracking, 0);
+        }),
+        simpleJob());
+    EXPECT_GT(on.serializeCpuPerByte, off.serializeCpuPerByte);
+}
+
+TEST(Serde, CyclicGraphsWithoutTrackingAreRisky)
+{
+    const auto unsafe = SerdeModel::derive(
+        knobs([](auto &c) {
+            c.set(conf::SerializerClass, 1);
+            c.set(conf::KryoReferenceTracking, 0);
+        }),
+        simpleJob(/*cyclic=*/true));
+    EXPECT_GT(unsafe.taskFailureProb, 0.0);
+    EXPECT_GT(unsafe.serializedSizeRatio, 0.62); // blow-up
+
+    const auto safe = SerdeModel::derive(
+        knobs([](auto &c) { c.set(conf::SerializerClass, 1); }),
+        simpleJob(/*cyclic=*/true));
+    EXPECT_DOUBLE_EQ(safe.taskFailureProb, 0.0);
+}
+
+TEST(Serde, TinyKryoBufferFailsBigRecords)
+{
+    auto job = simpleJob();
+    job.stages.front().recordSizeBytes = 4.0 * MiB;
+    const auto m = SerdeModel::derive(
+        knobs([](auto &c) {
+            c.set(conf::SerializerClass, 1);
+            c.set(conf::KryoserializerBufferMax, 8); // 8 MB max
+        }),
+        job);
+    EXPECT_GT(m.taskFailureProb, 0.0);
+}
+
+TEST(Serde, JavaSerializerIgnoresKryoBuffer)
+{
+    auto job = simpleJob();
+    job.stages.front().recordSizeBytes = 4.0 * MiB;
+    const auto m = SerdeModel::derive(
+        knobs([](auto &c) { c.set(conf::KryoserializerBufferMax, 8); }),
+        job);
+    EXPECT_DOUBLE_EQ(m.taskFailureProb, 0.0);
+}
+
+TEST(Serde, CodecsCompress)
+{
+    for (int codec = 0; codec < 3; ++codec) {
+        const auto m = SerdeModel::derive(
+            knobs([codec](auto &c) {
+                c.set(conf::IoCompressionCodec, codec);
+            }),
+            simpleJob());
+        EXPECT_GT(m.compressRatio, 0.3);
+        EXPECT_LT(m.compressRatio, 0.6);
+        EXPECT_GT(m.compressCpuPerByte, 0.0);
+        EXPECT_LT(m.decompressCpuPerByte, m.compressCpuPerByte);
+    }
+}
+
+TEST(Serde, LargerCodecBlocksCompressBetter)
+{
+    const auto small = SerdeModel::derive(
+        knobs([](auto &c) {
+            c.set(conf::IoCompressionSnappyBlockSize, 2);
+        }),
+        simpleJob());
+    const auto large = SerdeModel::derive(
+        knobs([](auto &c) {
+            c.set(conf::IoCompressionSnappyBlockSize, 128);
+        }),
+        simpleJob());
+    EXPECT_LT(large.compressRatio, small.compressRatio);
+}
+
+TEST(Serde, CachedFootprints)
+{
+    const auto plain = SerdeModel::derive(knobs(), simpleJob());
+    EXPECT_DOUBLE_EQ(plain.cachedExpansion, 2.5);
+    EXPECT_DOUBLE_EQ(plain.cachedSerializedFactor, 1.0); // java, no rdd
+    const auto compact = SerdeModel::derive(
+        knobs([](auto &c) {
+            c.set(conf::SerializerClass, 1);
+            c.set(conf::RddCompress, 1);
+        }),
+        simpleJob());
+    EXPECT_LT(compact.cachedSerializedFactor, 0.5);
+}
+
+} // namespace
+} // namespace dac::sparksim

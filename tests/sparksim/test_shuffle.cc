@@ -1,0 +1,186 @@
+/** @file Tests for the shuffle write/read cost model. */
+
+#include <gtest/gtest.h>
+
+#include <functional>
+
+#include "sparksim/shuffle.h"
+#include "support/units.h"
+
+namespace dac::sparksim {
+namespace {
+
+SparkKnobs
+knobs(std::function<void(conf::Configuration &)> edit = {})
+{
+    conf::Configuration c(conf::ConfigSpace::spark());
+    if (edit)
+        edit(c);
+    return SparkKnobs::decode(c);
+}
+
+SerdeModel
+serde(const SparkKnobs &k)
+{
+    JobDag job;
+    job.inputBytes = GiB;
+    StageSpec s;
+    job.stages.push_back(s);
+    return SerdeModel::derive(k, job);
+}
+
+TEST(ShuffleWrite, ZeroBytesIsFree)
+{
+    const auto k = knobs();
+    const auto cost = shuffleWriteCost(k, serde(k), 0.0, 10, 512 * MiB,
+                                       false);
+    EXPECT_DOUBLE_EQ(cost.cpuCostBytes, 0.0);
+    EXPECT_DOUBLE_EQ(cost.diskBytes, 0.0);
+    EXPECT_DOUBLE_EQ(cost.failureProb, 0.0);
+}
+
+TEST(ShuffleWrite, CompressionShrinksDiskAddsCpu)
+{
+    const auto on = knobs();
+    const auto off = knobs([](auto &c) {
+        c.set(conf::ShuffleCompress, 0);
+    });
+    const auto with_c = shuffleWriteCost(on, serde(on), 256 * MiB, 300,
+                                         512 * MiB, true);
+    const auto without = shuffleWriteCost(off, serde(off), 256 * MiB, 300,
+                                          512 * MiB, true);
+    EXPECT_LT(with_c.diskBytes, without.diskBytes);
+    EXPECT_GT(with_c.cpuCostBytes, without.cpuCostBytes);
+}
+
+TEST(ShuffleWrite, BypassSkipsSortCpu)
+{
+    // Few reducers + no map-side aggregation -> bypass path.
+    const auto k = knobs();
+    const auto bypass = shuffleWriteCost(k, serde(k), 256 * MiB, 8,
+                                         512 * MiB, false);
+    const auto sorted = shuffleWriteCost(k, serde(k), 256 * MiB, 8,
+                                         512 * MiB, true);
+    EXPECT_LT(bypass.cpuCostBytes, sorted.cpuCostBytes);
+}
+
+TEST(ShuffleWrite, BypassThresholdRespected)
+{
+    const auto k = knobs([](auto &c) {
+        c.set(conf::ShuffleSortBypassMergeThreshold, 100);
+    });
+    // 101 reducers: above the threshold, must sort.
+    const auto above = shuffleWriteCost(k, serde(k), 256 * MiB, 101,
+                                        512 * MiB, false);
+    const auto below = shuffleWriteCost(k, serde(k), 256 * MiB, 100,
+                                        512 * MiB, false);
+    EXPECT_GT(above.cpuCostBytes, below.cpuCostBytes);
+}
+
+TEST(ShuffleWrite, SpillsWhenMemoryTight)
+{
+    const auto k = knobs();
+    const auto fits = shuffleWriteCost(k, serde(k), 64 * MiB, 500,
+                                       512 * MiB, true);
+    const auto spills = shuffleWriteCost(k, serde(k), 512 * MiB, 500,
+                                         32 * MiB, true);
+    EXPECT_DOUBLE_EQ(fits.spilledBytes, 0.0);
+    EXPECT_GT(spills.spilledBytes, 0.0);
+    EXPECT_GT(spills.diskBytes, fits.diskBytes);
+}
+
+TEST(ShuffleWrite, SpillDisabledRisksOom)
+{
+    const auto k = knobs([](auto &c) { c.set(conf::ShuffleSpill, 0); });
+    const auto cost = shuffleWriteCost(k, serde(k), 512 * MiB, 500,
+                                       32 * MiB, true);
+    EXPECT_GT(cost.failureProb, 0.0);
+    EXPECT_DOUBLE_EQ(cost.spilledBytes, 0.0);
+}
+
+TEST(ShuffleWrite, HashManagerBufferPressure)
+{
+    const auto k = knobs([](auto &c) {
+        c.set(conf::ShuffleManager, 1);          // hash
+        c.set(conf::ShuffleFileBuffer, 128);     // KB per reducer file
+    });
+    // 1000 reducers x 128 KB = 125 MB of buffers vs 64 MB of memory.
+    const auto cost = shuffleWriteCost(k, serde(k), 256 * MiB, 1000,
+                                       64 * MiB, false);
+    EXPECT_GT(cost.failureProb, 0.0);
+    EXPECT_GT(cost.bufferBytes, 64 * MiB);
+}
+
+TEST(ShuffleWrite, ConsolidationReducesFileOverhead)
+{
+    const auto plain = knobs([](auto &c) {
+        c.set(conf::ShuffleManager, 1);
+    });
+    const auto consolidated = knobs([](auto &c) {
+        c.set(conf::ShuffleManager, 1);
+        c.set(conf::ShuffleConsolidateFiles, 1);
+    });
+    const auto a = shuffleWriteCost(plain, serde(plain), 256 * MiB, 800,
+                                    512 * MiB, false);
+    const auto b = shuffleWriteCost(consolidated, serde(consolidated),
+                                    256 * MiB, 800, 512 * MiB, false);
+    EXPECT_GT(a.fixedSec, b.fixedSec);
+}
+
+TEST(ShuffleWrite, TinyFileBufferCostsDisk)
+{
+    const auto small = knobs([](auto &c) {
+        c.set(conf::ShuffleFileBuffer, 2);
+    });
+    const auto large = knobs([](auto &c) {
+        c.set(conf::ShuffleFileBuffer, 128);
+    });
+    const auto a = shuffleWriteCost(small, serde(small), 256 * MiB, 300,
+                                    512 * MiB, true);
+    const auto b = shuffleWriteCost(large, serde(large), 256 * MiB, 300,
+                                    512 * MiB, true);
+    EXPECT_GT(a.diskBytes, b.diskBytes);
+}
+
+TEST(ShuffleRead, WavesBoundedByMaxSizeInFlight)
+{
+    const auto narrow = knobs([](auto &c) {
+        c.set(conf::ReducerMaxSizeInFlight, 2);
+    });
+    const auto wide = knobs([](auto &c) {
+        c.set(conf::ReducerMaxSizeInFlight, 128);
+    });
+    const auto a = shuffleReadCost(narrow, serde(narrow), GiB, 5);
+    const auto b = shuffleReadCost(wide, serde(wide), GiB, 5);
+    EXPECT_GT(a.fixedSec, b.fixedSec);
+}
+
+TEST(ShuffleRead, MostTrafficIsRemote)
+{
+    const auto k = knobs();
+    const auto cost = shuffleReadCost(k, serde(k), GiB, 5);
+    EXPECT_GT(cost.netBytes, 0.0);
+    // 4/5 of an all-to-all fetch crosses the network.
+    EXPECT_NEAR(cost.netBytes / cost.diskBytes, 0.8, 0.1);
+}
+
+TEST(ShuffleRead, ShortTimeoutsRiskFetchFailures)
+{
+    const auto k = knobs([](auto &c) {
+        c.set(conf::NetworkTimeout, 20);
+        c.set(conf::ReducerMaxSizeInFlight, 2);
+    });
+    const auto cost = shuffleReadCost(k, serde(k), GiB, 5);
+    EXPECT_GT(cost.failureProb, 0.0);
+}
+
+TEST(ShuffleRead, ZeroFetchIsFree)
+{
+    const auto k = knobs();
+    const auto cost = shuffleReadCost(k, serde(k), 0.0, 5);
+    EXPECT_DOUBLE_EQ(cost.netBytes, 0.0);
+    EXPECT_DOUBLE_EQ(cost.fixedSec, 0.0);
+}
+
+} // namespace
+} // namespace dac::sparksim

@@ -1,0 +1,141 @@
+/** @file Parameterized property sweeps over the simulator. */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <tuple>
+
+#include "conf/generator.h"
+#include "sparksim/simulator.h"
+#include "support/statistics.h"
+#include "workloads/registry.h"
+
+namespace dac::sparksim {
+namespace {
+
+/** (workload abbrev, paper-size index). */
+using Case = std::tuple<std::string, int>;
+
+class SimulatorProperty : public testing::TestWithParam<Case>
+{
+  protected:
+    const workloads::Workload &
+    workload() const
+    {
+        return workloads::Registry::instance().byAbbrev(
+            std::get<0>(GetParam()));
+    }
+
+    double
+    nativeSize() const
+    {
+        return workload().paperSizes()[static_cast<size_t>(
+            std::get<1>(GetParam()))];
+    }
+};
+
+TEST_P(SimulatorProperty, RandomConfigsProduceSaneResults)
+{
+    SparkSimulator sim(cluster::ClusterSpec::paperTestbed());
+    const auto dag = workload().buildDag(nativeSize());
+    conf::ConfigGenerator gen(conf::ConfigSpace::spark(), Rng(99));
+    for (int i = 0; i < 25; ++i) {
+        const auto r = sim.run(dag, gen.random(), 1234 + i);
+        EXPECT_TRUE(std::isfinite(r.timeSec));
+        EXPECT_GT(r.timeSec, 0.0);
+        EXPECT_GE(r.gcTimeSec, 0.0);
+        EXPECT_LT(r.gcTimeSec, r.timeSec);
+        EXPECT_GE(r.spilledBytes, 0.0);
+        EXPECT_GE(r.taskFailures, 0);
+        EXPECT_GE(r.jobRestarts, 0);
+        EXPECT_LE(r.jobRestarts, 2);
+        EXPECT_GE(r.totalSlots, 1);
+        EXPECT_FALSE(r.stages.empty());
+    }
+}
+
+TEST_P(SimulatorProperty, RunToRunNoiseIsBounded)
+{
+    // The periodic-job premise: similar input sizes, different data
+    // content, broadly similar execution times.
+    SparkSimulator sim(cluster::ClusterSpec::paperTestbed());
+    const auto dag = workload().buildDag(nativeSize());
+    conf::ConfigGenerator gen(conf::ConfigSpace::spark(), Rng(5));
+    for (int c = 0; c < 5; ++c) {
+        const auto cfg = gen.random();
+        Summary s;
+        for (int r = 0; r < 8; ++r)
+            s.add(sim.run(dag, cfg, 100 + r).timeSec);
+        EXPECT_LT(s.stddev() / s.mean(), 0.35);
+    }
+}
+
+TEST_P(SimulatorProperty, DatasizeMonotoneUnderFixedConfig)
+{
+    SparkSimulator sim(cluster::ClusterSpec::paperTestbed());
+    conf::Configuration cfg(conf::ConfigSpace::spark());
+    cfg.set(conf::ExecutorMemory, 8192);
+    cfg.set(conf::ExecutorCores, 4);
+    cfg.set(conf::DefaultParallelism, 40);
+    double prev = 0.0;
+    for (double size : workload().paperSizes()) {
+        // Average a few seeds so noise cannot break monotonicity.
+        double t = 0.0;
+        for (int r = 0; r < 3; ++r)
+            t += sim.run(workload().buildDag(size), cfg, 50 + r).timeSec;
+        EXPECT_GT(t, prev) << "size " << size;
+        prev = t;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllWorkloads, SimulatorProperty,
+    testing::Combine(testing::Values("PR", "KM", "BA", "NW", "WC", "TS"),
+                     testing::Values(0, 4)),
+    [](const testing::TestParamInfo<Case> &info) {
+        return std::get<0>(info.param) + "_D" +
+            std::to_string(std::get<1>(info.param) + 1);
+    });
+
+/** Knob-direction properties: each row asserts that moving one knob
+ *  in a given direction does not catastrophically change results. */
+class KnobSweep : public testing::TestWithParam<size_t>
+{
+};
+
+TEST_P(KnobSweep, EveryKnobValueKeepsSimulatorFinite)
+{
+    const auto &space = conf::ConfigSpace::spark();
+    const size_t idx = GetParam();
+    const auto &param = space.param(idx);
+
+    SparkSimulator sim(cluster::ClusterSpec::paperTestbed());
+    const auto &w = workloads::Registry::instance().byAbbrev("TS");
+    const auto dag = w.buildDag(30);
+
+    conf::Configuration cfg(space);
+    cfg.set(conf::ExecutorMemory, 6144);
+    cfg.set(conf::ExecutorCores, 6);
+    for (double u : {0.0, 0.25, 0.5, 0.75, 1.0}) {
+        cfg.set(idx, param.denormalize(u));
+        const auto r = sim.run(dag, cfg, 11);
+        EXPECT_TRUE(std::isfinite(r.timeSec)) << param.name();
+        EXPECT_GT(r.timeSec, 0.0) << param.name();
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllParams, KnobSweep,
+    testing::Range<size_t>(0, conf::kSparkParamCount),
+    [](const testing::TestParamInfo<size_t> &info) {
+        std::string name =
+            conf::ConfigSpace::spark().param(info.param).name();
+        for (char &c : name) {
+            if (c == '.')
+                c = '_';
+        }
+        return name;
+    });
+
+} // namespace
+} // namespace dac::sparksim

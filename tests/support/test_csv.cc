@@ -1,0 +1,85 @@
+/** @file Tests for CSV persistence. */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+
+#include "support/csv.h"
+
+namespace dac {
+namespace {
+
+std::string
+tempPath(const std::string &name)
+{
+    return testing::TempDir() + "/" + name;
+}
+
+TEST(Csv, RoundTrip)
+{
+    CsvTable t({"a", "b", "c"});
+    t.addRow({1.0, 2.5, -3.0});
+    t.addRow({4.0, 0.0, 1e-9});
+    const auto path = tempPath("roundtrip.csv");
+    t.save(path);
+
+    const auto loaded = CsvTable::load(path);
+    ASSERT_EQ(loaded.rowCount(), 2u);
+    EXPECT_EQ(loaded.header(), t.header());
+    EXPECT_DOUBLE_EQ(loaded.row(0)[1], 2.5);
+    EXPECT_DOUBLE_EQ(loaded.row(1)[2], 1e-9);
+}
+
+TEST(Csv, ColumnExtraction)
+{
+    CsvTable t({"x", "y"});
+    t.addRow({1.0, 10.0});
+    t.addRow({2.0, 20.0});
+    EXPECT_EQ(t.columnIndex("y"), 1u);
+    EXPECT_EQ(t.column("y"), (std::vector<double>{10.0, 20.0}));
+}
+
+TEST(Csv, UnknownColumnIsFatal)
+{
+    CsvTable t({"x"});
+    EXPECT_THROW(t.columnIndex("nope"), std::runtime_error);
+}
+
+TEST(Csv, RowWidthMismatchIsFatal)
+{
+    CsvTable t({"x", "y"});
+    EXPECT_THROW(t.addRow({1.0}), std::runtime_error);
+}
+
+TEST(Csv, MissingFileIsFatal)
+{
+    EXPECT_THROW(CsvTable::load("/nonexistent/nowhere.csv"),
+                 std::runtime_error);
+}
+
+TEST(Csv, BadNumericFieldIsFatal)
+{
+    const auto path = tempPath("bad.csv");
+    std::ofstream(path) << "a,b\n1,oops\n";
+    EXPECT_THROW(CsvTable::load(path), std::runtime_error);
+}
+
+TEST(Csv, SkipsBlankLines)
+{
+    const auto path = tempPath("blank.csv");
+    std::ofstream(path) << "a\n1\n\n2\n";
+    const auto t = CsvTable::load(path);
+    EXPECT_EQ(t.rowCount(), 2u);
+}
+
+TEST(Csv, RowIndexOutOfRangePanics)
+{
+    CsvTable t({"a"});
+    t.addRow({1.0});
+    EXPECT_THROW(t.row(1), std::logic_error);
+}
+
+} // namespace
+} // namespace dac

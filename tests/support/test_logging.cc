@@ -1,0 +1,62 @@
+/** @file Tests for logging and invariant checking. */
+
+#include <gtest/gtest.h>
+
+#include "support/logging.h"
+
+namespace dac {
+namespace {
+
+TEST(Logging, LevelRoundTrip)
+{
+    const LogLevel before = logLevel();
+    setLogLevel(LogLevel::Debug);
+    EXPECT_EQ(logLevel(), LogLevel::Debug);
+    setLogLevel(LogLevel::Error);
+    EXPECT_EQ(logLevel(), LogLevel::Error);
+    setLogLevel(before);
+}
+
+TEST(Logging, FatalErrorThrowsRuntimeError)
+{
+    EXPECT_THROW(fatalError("bad input"), std::runtime_error);
+    try {
+        fatalError("bad input");
+    } catch (const std::runtime_error &e) {
+        EXPECT_NE(std::string(e.what()).find("bad input"),
+                  std::string::npos);
+    }
+}
+
+TEST(Logging, PanicThrowsLogicError)
+{
+    EXPECT_THROW(panic("internal bug"), std::logic_error);
+}
+
+TEST(Logging, AssertMacro)
+{
+    EXPECT_NO_THROW(DAC_ASSERT(1 + 1 == 2, "fine"));
+    EXPECT_THROW(DAC_ASSERT(false, "broken"), std::logic_error);
+    try {
+        DAC_ASSERT(false, "broken invariant");
+    } catch (const std::logic_error &e) {
+        const std::string what = e.what();
+        // Location info and the message are both present.
+        EXPECT_NE(what.find("test_logging.cc"), std::string::npos);
+        EXPECT_NE(what.find("broken invariant"), std::string::npos);
+    }
+}
+
+TEST(Logging, InfoSuppressedBelowThreshold)
+{
+    const LogLevel before = logLevel();
+    setLogLevel(LogLevel::Error);
+    // Must not crash; output routing is not observable here.
+    inform("quiet");
+    warn("quiet");
+    debug("quiet");
+    setLogLevel(before);
+}
+
+} // namespace
+} // namespace dac

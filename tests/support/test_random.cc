@@ -1,0 +1,177 @@
+/** @file Tests for the deterministic RNG. */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "support/random.h"
+
+namespace dac {
+namespace {
+
+TEST(Rng, SameSeedSameStream)
+{
+    Rng a(42);
+    Rng b(42);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_DOUBLE_EQ(a.uniform(), b.uniform());
+}
+
+TEST(Rng, DifferentSeedsDiverge)
+{
+    Rng a(1);
+    Rng b(2);
+    int same = 0;
+    for (int i = 0; i < 100; ++i) {
+        if (a.uniform() == b.uniform())
+            ++same;
+    }
+    EXPECT_LT(same, 3);
+}
+
+TEST(Rng, UniformInUnitInterval)
+{
+    Rng rng(7);
+    for (int i = 0; i < 1000; ++i) {
+        const double u = rng.uniform();
+        EXPECT_GE(u, 0.0);
+        EXPECT_LT(u, 1.0);
+    }
+}
+
+TEST(Rng, UniformRealRespectsBounds)
+{
+    Rng rng(7);
+    for (int i = 0; i < 1000; ++i) {
+        const double v = rng.uniformReal(-3.0, 5.0);
+        EXPECT_GE(v, -3.0);
+        EXPECT_LT(v, 5.0);
+    }
+}
+
+TEST(Rng, UniformIntCoversRangeInclusive)
+{
+    Rng rng(3);
+    std::set<int64_t> seen;
+    for (int i = 0; i < 2000; ++i)
+        seen.insert(rng.uniformInt(0, 5));
+    EXPECT_EQ(seen.size(), 6u);
+    EXPECT_EQ(*seen.begin(), 0);
+    EXPECT_EQ(*seen.rbegin(), 5);
+}
+
+TEST(Rng, NormalHasRequestedMoments)
+{
+    Rng rng(11);
+    double sum = 0.0;
+    double sq = 0.0;
+    const int n = 20000;
+    for (int i = 0; i < n; ++i) {
+        const double x = rng.normal(2.0, 3.0);
+        sum += x;
+        sq += x * x;
+    }
+    const double mean = sum / n;
+    const double var = sq / n - mean * mean;
+    EXPECT_NEAR(mean, 2.0, 0.1);
+    EXPECT_NEAR(var, 9.0, 0.5);
+}
+
+TEST(Rng, LognormalFactorIsPositiveWithMedianOne)
+{
+    Rng rng(13);
+    std::vector<double> xs;
+    for (int i = 0; i < 5001; ++i) {
+        const double f = rng.lognormalFactor(0.3);
+        EXPECT_GT(f, 0.0);
+        xs.push_back(f);
+    }
+    std::nth_element(xs.begin(), xs.begin() + 2500, xs.end());
+    EXPECT_NEAR(xs[2500], 1.0, 0.05);
+}
+
+TEST(Rng, BernoulliExtremes)
+{
+    Rng rng(17);
+    for (int i = 0; i < 100; ++i) {
+        EXPECT_FALSE(rng.bernoulli(0.0));
+        EXPECT_TRUE(rng.bernoulli(1.0));
+    }
+}
+
+TEST(Rng, BernoulliRate)
+{
+    Rng rng(19);
+    int hits = 0;
+    for (int i = 0; i < 10000; ++i)
+        hits += rng.bernoulli(0.3);
+    EXPECT_NEAR(hits / 10000.0, 0.3, 0.02);
+}
+
+TEST(Rng, IndexStaysInRange)
+{
+    Rng rng(23);
+    for (int i = 0; i < 1000; ++i)
+        EXPECT_LT(rng.index(7), 7u);
+}
+
+TEST(Rng, ForkProducesIndependentStreams)
+{
+    Rng parent(5);
+    Rng c1 = parent.fork(1);
+    Rng c2 = parent.fork(2);
+    int same = 0;
+    for (int i = 0; i < 100; ++i) {
+        if (c1.uniform() == c2.uniform())
+            ++same;
+    }
+    EXPECT_LT(same, 3);
+}
+
+TEST(Rng, ForkIsDeterministic)
+{
+    Rng a(5);
+    Rng b(5);
+    Rng ca = a.fork(9);
+    Rng cb = b.fork(9);
+    for (int i = 0; i < 50; ++i)
+        EXPECT_DOUBLE_EQ(ca.uniform(), cb.uniform());
+}
+
+TEST(Rng, ShuffleIsPermutation)
+{
+    Rng rng(29);
+    std::vector<int> v{1, 2, 3, 4, 5, 6, 7, 8};
+    auto copy = v;
+    rng.shuffle(copy);
+    std::sort(copy.begin(), copy.end());
+    EXPECT_EQ(copy, v);
+}
+
+TEST(Rng, SampleIndicesDistinctAndBounded)
+{
+    Rng rng(31);
+    const auto s = rng.sampleIndices(20, 8);
+    EXPECT_EQ(s.size(), 8u);
+    std::set<size_t> uniq(s.begin(), s.end());
+    EXPECT_EQ(uniq.size(), 8u);
+    for (size_t idx : s)
+        EXPECT_LT(idx, 20u);
+}
+
+TEST(Rng, SampleIndicesClampsToPopulation)
+{
+    Rng rng(37);
+    EXPECT_EQ(rng.sampleIndices(3, 10).size(), 3u);
+}
+
+TEST(SplitMix, IsDeterministicAndSpreads)
+{
+    EXPECT_EQ(splitmix64(1), splitmix64(1));
+    EXPECT_NE(splitmix64(1), splitmix64(2));
+    EXPECT_NE(combineSeed(1, 2), combineSeed(2, 1));
+}
+
+} // namespace
+} // namespace dac

@@ -1,0 +1,95 @@
+/** @file Tests for descriptive statistics (incl. Eq. 1 / Eq. 2). */
+
+#include <gtest/gtest.h>
+
+#include "support/statistics.h"
+
+namespace dac {
+namespace {
+
+TEST(Summary, EmptyIsNeutral)
+{
+    Summary s;
+    EXPECT_EQ(s.count(), 0u);
+    EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+    EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+    EXPECT_DOUBLE_EQ(s.range(), 0.0);
+}
+
+TEST(Summary, TracksMoments)
+{
+    Summary s;
+    for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0})
+        s.add(x);
+    EXPECT_EQ(s.count(), 8u);
+    EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+    EXPECT_NEAR(s.stddev(), 2.138, 1e-3);
+    EXPECT_DOUBLE_EQ(s.min(), 2.0);
+    EXPECT_DOUBLE_EQ(s.max(), 9.0);
+    EXPECT_DOUBLE_EQ(s.range(), 7.0);
+}
+
+TEST(Summary, SingleValue)
+{
+    Summary s;
+    s.add(3.5);
+    EXPECT_DOUBLE_EQ(s.mean(), 3.5);
+    EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+}
+
+TEST(Stats, Mean)
+{
+    EXPECT_DOUBLE_EQ(mean({}), 0.0);
+    EXPECT_DOUBLE_EQ(mean({1.0, 2.0, 3.0}), 2.0);
+}
+
+TEST(Stats, Geomean)
+{
+    EXPECT_NEAR(geomean({1.0, 8.0}), 2.828, 1e-3);
+    EXPECT_DOUBLE_EQ(geomean({5.0}), 5.0);
+}
+
+TEST(Stats, GeomeanRejectsNonPositive)
+{
+    EXPECT_THROW(geomean({1.0, 0.0}), std::logic_error);
+    EXPECT_THROW(geomean({}), std::logic_error);
+}
+
+TEST(Stats, MedianAndPercentile)
+{
+    EXPECT_DOUBLE_EQ(median({3.0, 1.0, 2.0}), 2.0);
+    EXPECT_DOUBLE_EQ(median({4.0, 1.0, 2.0, 3.0}), 2.5);
+    EXPECT_DOUBLE_EQ(percentile({1, 2, 3, 4, 5}, 0.0), 1.0);
+    EXPECT_DOUBLE_EQ(percentile({1, 2, 3, 4, 5}, 100.0), 5.0);
+    EXPECT_DOUBLE_EQ(percentile({1, 2, 3, 4, 5}, 50.0), 3.0);
+}
+
+TEST(Stats, MapeMatchesEq2)
+{
+    // err = |pre - mea| / mea * 100, averaged.
+    EXPECT_NEAR(mape({110.0, 90.0}, {100.0, 100.0}), 10.0, 1e-12);
+    EXPECT_NEAR(mape({100.0}, {100.0}), 0.0, 1e-12);
+}
+
+TEST(Stats, MapeSizeMismatchPanics)
+{
+    EXPECT_THROW(mape({1.0}, {1.0, 2.0}), std::logic_error);
+}
+
+TEST(Stats, TimeVariationMatchesEq1)
+{
+    // Tvar = mean over runs of (Tmax - Ti).
+    // Tmax = 10; diffs = {0, 5, 2} -> mean 7/3.
+    EXPECT_NEAR(timeVariation({10.0, 5.0, 8.0}), 7.0 / 3.0, 1e-12);
+    EXPECT_DOUBLE_EQ(timeVariation({}), 0.0);
+    EXPECT_DOUBLE_EQ(timeVariation({4.0, 4.0}), 0.0);
+}
+
+TEST(Stats, Stddev)
+{
+    EXPECT_DOUBLE_EQ(stddev({1.0}), 0.0);
+    EXPECT_NEAR(stddev({2.0, 4.0}), 1.414, 1e-3);
+}
+
+} // namespace
+} // namespace dac

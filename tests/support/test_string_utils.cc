@@ -1,0 +1,65 @@
+/** @file Tests for string helpers. */
+
+#include <gtest/gtest.h>
+
+#include "support/string_utils.h"
+
+namespace dac {
+namespace {
+
+TEST(Strings, Split)
+{
+    EXPECT_EQ(split("a,b,c", ','),
+              (std::vector<std::string>{"a", "b", "c"}));
+    EXPECT_EQ(split("a,,c", ','),
+              (std::vector<std::string>{"a", "", "c"}));
+    EXPECT_EQ(split("", ','), (std::vector<std::string>{""}));
+    EXPECT_EQ(split("abc", ','), (std::vector<std::string>{"abc"}));
+}
+
+TEST(Strings, Trim)
+{
+    EXPECT_EQ(trim("  hi  "), "hi");
+    EXPECT_EQ(trim("\t\nx"), "x");
+    EXPECT_EQ(trim("   "), "");
+    EXPECT_EQ(trim("no-ws"), "no-ws");
+}
+
+TEST(Strings, ToLower)
+{
+    EXPECT_EQ(toLower("SpArK"), "spark");
+}
+
+TEST(Strings, FormatDoubleTrimsZeros)
+{
+    EXPECT_EQ(formatDouble(1.5, 3), "1.5");
+    EXPECT_EQ(formatDouble(2.0, 3), "2");
+    EXPECT_EQ(formatDouble(0.135, 2), "0.14");
+    EXPECT_EQ(formatDouble(-3.25, 2), "-3.25");
+}
+
+TEST(Strings, FormatBytes)
+{
+    EXPECT_EQ(formatBytes(512), "512 B");
+    EXPECT_EQ(formatBytes(1024), "1 KB");
+    EXPECT_EQ(formatBytes(1.5 * 1024 * 1024), "1.5 MB");
+    EXPECT_EQ(formatBytes(2.0 * 1024 * 1024 * 1024), "2 GB");
+}
+
+TEST(Strings, FormatSeconds)
+{
+    EXPECT_EQ(formatSeconds(0.5), "500 ms");
+    EXPECT_EQ(formatSeconds(2.0), "2 s");
+    EXPECT_EQ(formatSeconds(120.0), "2 min");
+    EXPECT_EQ(formatSeconds(7200.0), "2 h");
+}
+
+TEST(Strings, StartsWith)
+{
+    EXPECT_TRUE(startsWith("spark.executor.memory", "spark."));
+    EXPECT_FALSE(startsWith("spark", "sparkle"));
+    EXPECT_TRUE(startsWith("x", ""));
+}
+
+} // namespace
+} // namespace dac

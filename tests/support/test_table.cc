@@ -1,0 +1,67 @@
+/** @file Tests for the ASCII table renderer. */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "support/table.h"
+
+namespace dac {
+namespace {
+
+TEST(Table, RendersHeaderAndRows)
+{
+    TextTable t({"name", "value"});
+    t.addRow({"alpha", "1"});
+    t.addRow({"b", "22"});
+    const auto s = t.toString();
+    EXPECT_NE(s.find("name"), std::string::npos);
+    EXPECT_NE(s.find("alpha"), std::string::npos);
+    EXPECT_NE(s.find("22"), std::string::npos);
+    // Header underline present.
+    EXPECT_NE(s.find("---"), std::string::npos);
+}
+
+TEST(Table, NumericRowHelper)
+{
+    TextTable t({"label", "x", "y"});
+    t.addRow("row", {1.25, 2.0}, 2);
+    EXPECT_EQ(t.rowCount(), 1u);
+    const auto s = t.toString();
+    EXPECT_NE(s.find("1.25"), std::string::npos);
+    EXPECT_NE(s.find("2"), std::string::npos);
+}
+
+TEST(Table, ColumnsAligned)
+{
+    TextTable t({"a", "b"});
+    t.addRow({"xxxx", "1"});
+    t.addRow({"y", "2"});
+    std::istringstream lines(t.toString());
+    std::string header;
+    std::string rule;
+    std::string r1;
+    std::string r2;
+    std::getline(lines, header);
+    std::getline(lines, rule);
+    std::getline(lines, r1);
+    std::getline(lines, r2);
+    // Second column starts at the same offset in both rows.
+    EXPECT_EQ(r1.find('1'), r2.find('2'));
+}
+
+TEST(Table, WidthMismatchPanics)
+{
+    TextTable t({"a", "b"});
+    EXPECT_THROW(t.addRow({"only-one"}), std::logic_error);
+}
+
+TEST(Table, BannerContainsTitle)
+{
+    std::ostringstream oss;
+    printBanner(oss, "Figure 9");
+    EXPECT_NE(oss.str().find("Figure 9"), std::string::npos);
+}
+
+} // namespace
+} // namespace dac

@@ -1,0 +1,142 @@
+/** @file Tests for the six paper workloads and the registry. */
+
+#include <gtest/gtest.h>
+
+#include "dac/collector.h"
+#include "support/units.h"
+#include "workloads/registry.h"
+
+namespace dac::workloads {
+namespace {
+
+TEST(Registry, Table1Order)
+{
+    const auto &all = Registry::instance().all();
+    ASSERT_EQ(all.size(), 6u);
+    const char *expected[] = {"PR", "KM", "BA", "NW", "WC", "TS"};
+    for (size_t i = 0; i < all.size(); ++i)
+        EXPECT_EQ(all[i]->abbrev(), expected[i]);
+}
+
+TEST(Registry, LookupByAbbrev)
+{
+    EXPECT_EQ(Registry::instance().byAbbrev("KM").name(), "KMeans");
+    EXPECT_THROW(Registry::instance().byAbbrev("XX"),
+                 std::runtime_error);
+}
+
+TEST(Workloads, Table1Sizes)
+{
+    const auto &reg = Registry::instance();
+    EXPECT_EQ(reg.byAbbrev("PR").paperSizes(),
+              (std::vector<double>{1.2, 1.4, 1.6, 1.8, 2.0}));
+    EXPECT_EQ(reg.byAbbrev("KM").paperSizes(),
+              (std::vector<double>{160, 192, 224, 256, 288}));
+    EXPECT_EQ(reg.byAbbrev("BA").paperSizes(),
+              (std::vector<double>{1.2, 1.4, 1.6, 1.8, 2.0}));
+    EXPECT_EQ(reg.byAbbrev("NW").paperSizes(),
+              (std::vector<double>{10.5, 11.5, 12.5, 13.5, 14.5}));
+    EXPECT_EQ(reg.byAbbrev("WC").paperSizes(),
+              (std::vector<double>{80, 100, 120, 140, 160}));
+    EXPECT_EQ(reg.byAbbrev("TS").paperSizes(),
+              (std::vector<double>{10, 20, 30, 40, 50}));
+}
+
+TEST(Workloads, BytesScaleLinearly)
+{
+    for (const auto &w : Registry::instance().all()) {
+        const double b1 = w->bytesForSize(1.0);
+        EXPECT_GT(b1, 0.0);
+        EXPECT_DOUBLE_EQ(w->bytesForSize(3.0), 3.0 * b1);
+    }
+    EXPECT_DOUBLE_EQ(Registry::instance().byAbbrev("WC").bytesForSize(80),
+                     80.0 * GiB);
+}
+
+TEST(Workloads, DagShapes)
+{
+    const auto &reg = Registry::instance();
+    EXPECT_EQ(reg.byAbbrev("TS").buildDag(10).stages.size(), 2u);
+    EXPECT_EQ(reg.byAbbrev("KM").buildDag(160).stages.size(), 5u);
+    EXPECT_EQ(reg.byAbbrev("WC").buildDag(80).stages.size(), 2u);
+
+    const auto km = reg.byAbbrev("KM").buildDag(160);
+    EXPECT_EQ(km.stages[2].group, "stageC");
+    EXPECT_EQ(km.stages[2].iterations, 10);
+    EXPECT_GT(km.stages[2].broadcastBytes, 0.0);
+    EXPECT_GT(km.stages[2].outputToDriverBytes, 0.0);
+}
+
+TEST(Workloads, IterativeProgramsCache)
+{
+    const auto &reg = Registry::instance();
+    for (const char *abbrev : {"PR", "KM", "NW"}) {
+        const auto dag = reg.byAbbrev(abbrev).buildDag(
+            reg.byAbbrev(abbrev).paperSizes().front());
+        double cacheable = 0.0;
+        int iterations = 0;
+        for (const auto &s : dag.stages) {
+            cacheable += s.cacheableBytes;
+            iterations = std::max(iterations, s.iterations);
+        }
+        EXPECT_GT(cacheable, 0.0) << abbrev;
+        EXPECT_GT(iterations, 1) << abbrev;
+    }
+}
+
+TEST(Workloads, SectionFourOneCharacterization)
+{
+    const auto &reg = Registry::instance();
+    // NWeight holds a shared-reference graph in memory.
+    const auto nw = reg.byAbbrev("NW").buildDag(10.5);
+    EXPECT_TRUE(nw.cyclicReferences);
+    EXPECT_GT(nw.javaExpansion, 5.0);
+    // WordCount is CPU-intensive with a small shuffle.
+    const auto wc = reg.byAbbrev("WC").buildDag(80);
+    EXPECT_GT(wc.stages[0].computePerByte, 1.0);
+    EXPECT_LT(wc.stages[0].shuffleWriteRatio, 0.1);
+    // TeraSort moves the whole dataset through the shuffle.
+    const auto ts = reg.byAbbrev("TS").buildDag(10);
+    EXPECT_DOUBLE_EQ(ts.stages[0].shuffleWriteRatio, 1.0);
+    // PageRank's iteration reads the cached link table.
+    const auto pr = reg.byAbbrev("PR").buildDag(1.2);
+    bool joins_cache = false;
+    for (const auto &s : pr.stages)
+        joins_cache |= s.cachedSideInputBytes > 0.0;
+    EXPECT_TRUE(joins_cache);
+}
+
+TEST(Workloads, TotalBytesProcessedCountsIterations)
+{
+    sparksim::JobDag dag;
+    sparksim::StageSpec s;
+    s.inputBytes = 100.0;
+    s.iterations = 3;
+    dag.stages.push_back(s);
+    s.iterations = 1;
+    dag.stages.push_back(s);
+    EXPECT_DOUBLE_EQ(dag.totalBytesProcessed(), 400.0);
+}
+
+TEST(Workloads, TrainingSizesSatisfyEq4)
+{
+    for (const auto &w : Registry::instance().all()) {
+        const auto sizes = w->trainingSizes(10);
+        ASSERT_EQ(sizes.size(), 10u);
+        EXPECT_TRUE(core::Collector::sizesWellSeparated(sizes))
+            << w->name();
+        // The training range must cover the evaluation range.
+        EXPECT_LT(sizes.front(), w->paperSizes().front());
+        EXPECT_GT(sizes.back(), w->paperSizes().back());
+    }
+}
+
+TEST(Workloads, TrainingSizeCountConfigurable)
+{
+    const auto &w = Registry::instance().byAbbrev("TS");
+    EXPECT_EQ(w.trainingSizes(4).size(), 4u);
+    EXPECT_TRUE(core::Collector::sizesWellSeparated(w.trainingSizes(4)));
+}
+
+} // namespace
+} // namespace dac::workloads
