@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ablation_hm"
+  "../bench/bench_ablation_hm.pdb"
+  "CMakeFiles/bench_ablation_hm.dir/bench_ablation_hm.cc.o"
+  "CMakeFiles/bench_ablation_hm.dir/bench_ablation_hm.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_hm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

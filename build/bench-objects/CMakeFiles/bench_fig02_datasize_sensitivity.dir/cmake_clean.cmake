@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig02_datasize_sensitivity"
+  "../bench/bench_fig02_datasize_sensitivity.pdb"
+  "CMakeFiles/bench_fig02_datasize_sensitivity.dir/bench_fig02_datasize_sensitivity.cc.o"
+  "CMakeFiles/bench_fig02_datasize_sensitivity.dir/bench_fig02_datasize_sensitivity.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig02_datasize_sensitivity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

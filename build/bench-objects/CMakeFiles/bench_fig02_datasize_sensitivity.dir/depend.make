@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_fig02_datasize_sensitivity.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig07_ntrain"
+  "../bench/bench_fig07_ntrain.pdb"
+  "CMakeFiles/bench_fig07_ntrain.dir/bench_fig07_ntrain.cc.o"
+  "CMakeFiles/bench_fig07_ntrain.dir/bench_fig07_ntrain.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig07_ntrain.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig08_lr_nt_tc"
+  "../bench/bench_fig08_lr_nt_tc.pdb"
+  "CMakeFiles/bench_fig08_lr_nt_tc.dir/bench_fig08_lr_nt_tc.cc.o"
+  "CMakeFiles/bench_fig08_lr_nt_tc.dir/bench_fig08_lr_nt_tc.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig08_lr_nt_tc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig12_speedups"
+  "../bench/bench_fig12_speedups.pdb"
+  "CMakeFiles/bench_fig12_speedups.dir/bench_fig12_speedups.cc.o"
+  "CMakeFiles/bench_fig12_speedups.dir/bench_fig12_speedups.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig12_speedups.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig13_kmeans_stages"
+  "../bench/bench_fig13_kmeans_stages.pdb"
+  "CMakeFiles/bench_fig13_kmeans_stages.dir/bench_fig13_kmeans_stages.cc.o"
+  "CMakeFiles/bench_fig13_kmeans_stages.dir/bench_fig13_kmeans_stages.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig13_kmeans_stages.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dac_cli.dir/dac_cli.cpp.o"
+  "CMakeFiles/dac_cli.dir/dac_cli.cpp.o.d"
+  "dac_cli"
+  "dac_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dac_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

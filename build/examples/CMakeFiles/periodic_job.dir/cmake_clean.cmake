@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/periodic_job.dir/periodic_job.cpp.o"
+  "CMakeFiles/periodic_job.dir/periodic_job.cpp.o.d"
+  "periodic_job"
+  "periodic_job.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/periodic_job.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

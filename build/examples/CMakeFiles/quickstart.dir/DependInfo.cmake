@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/quickstart.cpp" "examples/CMakeFiles/quickstart.dir/quickstart.cpp.o" "gcc" "examples/CMakeFiles/quickstart.dir/quickstart.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/dac/CMakeFiles/dac_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/hadoopsim/CMakeFiles/dac_hadoopsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/workloads/CMakeFiles/dac_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/sparksim/CMakeFiles/dac_sparksim.dir/DependInfo.cmake"
+  "/root/repo/build/src/ml/CMakeFiles/dac_ml.dir/DependInfo.cmake"
+  "/root/repo/build/src/ga/CMakeFiles/dac_ga.dir/DependInfo.cmake"
+  "/root/repo/build/src/conf/CMakeFiles/dac_conf.dir/DependInfo.cmake"
+  "/root/repo/build/src/cluster/CMakeFiles/dac_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/dac_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/whatif_capacity.dir/whatif_capacity.cpp.o"
+  "CMakeFiles/whatif_capacity.dir/whatif_capacity.cpp.o.d"
+  "whatif_capacity"
+  "whatif_capacity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/whatif_capacity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dac_cluster.dir/cluster.cc.o"
+  "CMakeFiles/dac_cluster.dir/cluster.cc.o.d"
+  "libdac_cluster.a"
+  "libdac_cluster.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dac_cluster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/conf/config.cc" "src/conf/CMakeFiles/dac_conf.dir/config.cc.o" "gcc" "src/conf/CMakeFiles/dac_conf.dir/config.cc.o.d"
+  "/root/repo/src/conf/diff.cc" "src/conf/CMakeFiles/dac_conf.dir/diff.cc.o" "gcc" "src/conf/CMakeFiles/dac_conf.dir/diff.cc.o.d"
+  "/root/repo/src/conf/expert.cc" "src/conf/CMakeFiles/dac_conf.dir/expert.cc.o" "gcc" "src/conf/CMakeFiles/dac_conf.dir/expert.cc.o.d"
+  "/root/repo/src/conf/generator.cc" "src/conf/CMakeFiles/dac_conf.dir/generator.cc.o" "gcc" "src/conf/CMakeFiles/dac_conf.dir/generator.cc.o.d"
+  "/root/repo/src/conf/param.cc" "src/conf/CMakeFiles/dac_conf.dir/param.cc.o" "gcc" "src/conf/CMakeFiles/dac_conf.dir/param.cc.o.d"
+  "/root/repo/src/conf/space.cc" "src/conf/CMakeFiles/dac_conf.dir/space.cc.o" "gcc" "src/conf/CMakeFiles/dac_conf.dir/space.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/dac_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/cluster/CMakeFiles/dac_cluster.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dac_conf.dir/config.cc.o"
+  "CMakeFiles/dac_conf.dir/config.cc.o.d"
+  "CMakeFiles/dac_conf.dir/diff.cc.o"
+  "CMakeFiles/dac_conf.dir/diff.cc.o.d"
+  "CMakeFiles/dac_conf.dir/expert.cc.o"
+  "CMakeFiles/dac_conf.dir/expert.cc.o.d"
+  "CMakeFiles/dac_conf.dir/generator.cc.o"
+  "CMakeFiles/dac_conf.dir/generator.cc.o.d"
+  "CMakeFiles/dac_conf.dir/param.cc.o"
+  "CMakeFiles/dac_conf.dir/param.cc.o.d"
+  "CMakeFiles/dac_conf.dir/space.cc.o"
+  "CMakeFiles/dac_conf.dir/space.cc.o.d"
+  "libdac_conf.a"
+  "libdac_conf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dac_conf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

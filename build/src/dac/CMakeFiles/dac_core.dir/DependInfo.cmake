@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dac/collector.cc" "src/dac/CMakeFiles/dac_core.dir/collector.cc.o" "gcc" "src/dac/CMakeFiles/dac_core.dir/collector.cc.o.d"
+  "/root/repo/src/dac/evaluation.cc" "src/dac/CMakeFiles/dac_core.dir/evaluation.cc.o" "gcc" "src/dac/CMakeFiles/dac_core.dir/evaluation.cc.o.d"
+  "/root/repo/src/dac/modeler.cc" "src/dac/CMakeFiles/dac_core.dir/modeler.cc.o" "gcc" "src/dac/CMakeFiles/dac_core.dir/modeler.cc.o.d"
+  "/root/repo/src/dac/perfvector.cc" "src/dac/CMakeFiles/dac_core.dir/perfvector.cc.o" "gcc" "src/dac/CMakeFiles/dac_core.dir/perfvector.cc.o.d"
+  "/root/repo/src/dac/searcher.cc" "src/dac/CMakeFiles/dac_core.dir/searcher.cc.o" "gcc" "src/dac/CMakeFiles/dac_core.dir/searcher.cc.o.d"
+  "/root/repo/src/dac/session.cc" "src/dac/CMakeFiles/dac_core.dir/session.cc.o" "gcc" "src/dac/CMakeFiles/dac_core.dir/session.cc.o.d"
+  "/root/repo/src/dac/tuner.cc" "src/dac/CMakeFiles/dac_core.dir/tuner.cc.o" "gcc" "src/dac/CMakeFiles/dac_core.dir/tuner.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/dac_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/conf/CMakeFiles/dac_conf.dir/DependInfo.cmake"
+  "/root/repo/build/src/cluster/CMakeFiles/dac_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/sparksim/CMakeFiles/dac_sparksim.dir/DependInfo.cmake"
+  "/root/repo/build/src/workloads/CMakeFiles/dac_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/ml/CMakeFiles/dac_ml.dir/DependInfo.cmake"
+  "/root/repo/build/src/ga/CMakeFiles/dac_ga.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dac_core.dir/collector.cc.o"
+  "CMakeFiles/dac_core.dir/collector.cc.o.d"
+  "CMakeFiles/dac_core.dir/evaluation.cc.o"
+  "CMakeFiles/dac_core.dir/evaluation.cc.o.d"
+  "CMakeFiles/dac_core.dir/modeler.cc.o"
+  "CMakeFiles/dac_core.dir/modeler.cc.o.d"
+  "CMakeFiles/dac_core.dir/perfvector.cc.o"
+  "CMakeFiles/dac_core.dir/perfvector.cc.o.d"
+  "CMakeFiles/dac_core.dir/searcher.cc.o"
+  "CMakeFiles/dac_core.dir/searcher.cc.o.d"
+  "CMakeFiles/dac_core.dir/session.cc.o"
+  "CMakeFiles/dac_core.dir/session.cc.o.d"
+  "CMakeFiles/dac_core.dir/tuner.cc.o"
+  "CMakeFiles/dac_core.dir/tuner.cc.o.d"
+  "libdac_core.a"
+  "libdac_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dac_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

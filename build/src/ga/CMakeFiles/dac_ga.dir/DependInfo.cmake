@@ -1,0 +1,21 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ga/ga.cc" "src/ga/CMakeFiles/dac_ga.dir/ga.cc.o" "gcc" "src/ga/CMakeFiles/dac_ga.dir/ga.cc.o.d"
+  "/root/repo/src/ga/search_strategies.cc" "src/ga/CMakeFiles/dac_ga.dir/search_strategies.cc.o" "gcc" "src/ga/CMakeFiles/dac_ga.dir/search_strategies.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/dac_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dac_ga.dir/ga.cc.o"
+  "CMakeFiles/dac_ga.dir/ga.cc.o.d"
+  "CMakeFiles/dac_ga.dir/search_strategies.cc.o"
+  "CMakeFiles/dac_ga.dir/search_strategies.cc.o.d"
+  "libdac_ga.a"
+  "libdac_ga.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dac_ga.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

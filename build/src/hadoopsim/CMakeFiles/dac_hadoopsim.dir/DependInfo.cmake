@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/hadoopsim/hadoopsim.cc" "src/hadoopsim/CMakeFiles/dac_hadoopsim.dir/hadoopsim.cc.o" "gcc" "src/hadoopsim/CMakeFiles/dac_hadoopsim.dir/hadoopsim.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/dac_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/conf/CMakeFiles/dac_conf.dir/DependInfo.cmake"
+  "/root/repo/build/src/cluster/CMakeFiles/dac_cluster.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

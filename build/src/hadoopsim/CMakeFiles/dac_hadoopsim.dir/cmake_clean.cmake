@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dac_hadoopsim.dir/hadoopsim.cc.o"
+  "CMakeFiles/dac_hadoopsim.dir/hadoopsim.cc.o.d"
+  "libdac_hadoopsim.a"
+  "libdac_hadoopsim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dac_hadoopsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ml/boosting.cc" "src/ml/CMakeFiles/dac_ml.dir/boosting.cc.o" "gcc" "src/ml/CMakeFiles/dac_ml.dir/boosting.cc.o.d"
+  "/root/repo/src/ml/dataset.cc" "src/ml/CMakeFiles/dac_ml.dir/dataset.cc.o" "gcc" "src/ml/CMakeFiles/dac_ml.dir/dataset.cc.o.d"
+  "/root/repo/src/ml/hm.cc" "src/ml/CMakeFiles/dac_ml.dir/hm.cc.o" "gcc" "src/ml/CMakeFiles/dac_ml.dir/hm.cc.o.d"
+  "/root/repo/src/ml/importance.cc" "src/ml/CMakeFiles/dac_ml.dir/importance.cc.o" "gcc" "src/ml/CMakeFiles/dac_ml.dir/importance.cc.o.d"
+  "/root/repo/src/ml/linalg.cc" "src/ml/CMakeFiles/dac_ml.dir/linalg.cc.o" "gcc" "src/ml/CMakeFiles/dac_ml.dir/linalg.cc.o.d"
+  "/root/repo/src/ml/log_target.cc" "src/ml/CMakeFiles/dac_ml.dir/log_target.cc.o" "gcc" "src/ml/CMakeFiles/dac_ml.dir/log_target.cc.o.d"
+  "/root/repo/src/ml/mlp.cc" "src/ml/CMakeFiles/dac_ml.dir/mlp.cc.o" "gcc" "src/ml/CMakeFiles/dac_ml.dir/mlp.cc.o.d"
+  "/root/repo/src/ml/model.cc" "src/ml/CMakeFiles/dac_ml.dir/model.cc.o" "gcc" "src/ml/CMakeFiles/dac_ml.dir/model.cc.o.d"
+  "/root/repo/src/ml/random_forest.cc" "src/ml/CMakeFiles/dac_ml.dir/random_forest.cc.o" "gcc" "src/ml/CMakeFiles/dac_ml.dir/random_forest.cc.o.d"
+  "/root/repo/src/ml/regression_tree.cc" "src/ml/CMakeFiles/dac_ml.dir/regression_tree.cc.o" "gcc" "src/ml/CMakeFiles/dac_ml.dir/regression_tree.cc.o.d"
+  "/root/repo/src/ml/response_surface.cc" "src/ml/CMakeFiles/dac_ml.dir/response_surface.cc.o" "gcc" "src/ml/CMakeFiles/dac_ml.dir/response_surface.cc.o.d"
+  "/root/repo/src/ml/scaler.cc" "src/ml/CMakeFiles/dac_ml.dir/scaler.cc.o" "gcc" "src/ml/CMakeFiles/dac_ml.dir/scaler.cc.o.d"
+  "/root/repo/src/ml/svr.cc" "src/ml/CMakeFiles/dac_ml.dir/svr.cc.o" "gcc" "src/ml/CMakeFiles/dac_ml.dir/svr.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/dac_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

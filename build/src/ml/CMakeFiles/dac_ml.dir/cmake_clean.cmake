@@ -1,0 +1,35 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dac_ml.dir/boosting.cc.o"
+  "CMakeFiles/dac_ml.dir/boosting.cc.o.d"
+  "CMakeFiles/dac_ml.dir/dataset.cc.o"
+  "CMakeFiles/dac_ml.dir/dataset.cc.o.d"
+  "CMakeFiles/dac_ml.dir/hm.cc.o"
+  "CMakeFiles/dac_ml.dir/hm.cc.o.d"
+  "CMakeFiles/dac_ml.dir/importance.cc.o"
+  "CMakeFiles/dac_ml.dir/importance.cc.o.d"
+  "CMakeFiles/dac_ml.dir/linalg.cc.o"
+  "CMakeFiles/dac_ml.dir/linalg.cc.o.d"
+  "CMakeFiles/dac_ml.dir/log_target.cc.o"
+  "CMakeFiles/dac_ml.dir/log_target.cc.o.d"
+  "CMakeFiles/dac_ml.dir/mlp.cc.o"
+  "CMakeFiles/dac_ml.dir/mlp.cc.o.d"
+  "CMakeFiles/dac_ml.dir/model.cc.o"
+  "CMakeFiles/dac_ml.dir/model.cc.o.d"
+  "CMakeFiles/dac_ml.dir/random_forest.cc.o"
+  "CMakeFiles/dac_ml.dir/random_forest.cc.o.d"
+  "CMakeFiles/dac_ml.dir/regression_tree.cc.o"
+  "CMakeFiles/dac_ml.dir/regression_tree.cc.o.d"
+  "CMakeFiles/dac_ml.dir/response_surface.cc.o"
+  "CMakeFiles/dac_ml.dir/response_surface.cc.o.d"
+  "CMakeFiles/dac_ml.dir/scaler.cc.o"
+  "CMakeFiles/dac_ml.dir/scaler.cc.o.d"
+  "CMakeFiles/dac_ml.dir/svr.cc.o"
+  "CMakeFiles/dac_ml.dir/svr.cc.o.d"
+  "libdac_ml.a"
+  "libdac_ml.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dac_ml.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

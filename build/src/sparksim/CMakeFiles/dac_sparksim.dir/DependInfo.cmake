@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sparksim/dag.cc" "src/sparksim/CMakeFiles/dac_sparksim.dir/dag.cc.o" "gcc" "src/sparksim/CMakeFiles/dac_sparksim.dir/dag.cc.o.d"
+  "/root/repo/src/sparksim/gc.cc" "src/sparksim/CMakeFiles/dac_sparksim.dir/gc.cc.o" "gcc" "src/sparksim/CMakeFiles/dac_sparksim.dir/gc.cc.o.d"
+  "/root/repo/src/sparksim/knobs.cc" "src/sparksim/CMakeFiles/dac_sparksim.dir/knobs.cc.o" "gcc" "src/sparksim/CMakeFiles/dac_sparksim.dir/knobs.cc.o.d"
+  "/root/repo/src/sparksim/memory.cc" "src/sparksim/CMakeFiles/dac_sparksim.dir/memory.cc.o" "gcc" "src/sparksim/CMakeFiles/dac_sparksim.dir/memory.cc.o.d"
+  "/root/repo/src/sparksim/scheduler.cc" "src/sparksim/CMakeFiles/dac_sparksim.dir/scheduler.cc.o" "gcc" "src/sparksim/CMakeFiles/dac_sparksim.dir/scheduler.cc.o.d"
+  "/root/repo/src/sparksim/serde.cc" "src/sparksim/CMakeFiles/dac_sparksim.dir/serde.cc.o" "gcc" "src/sparksim/CMakeFiles/dac_sparksim.dir/serde.cc.o.d"
+  "/root/repo/src/sparksim/shuffle.cc" "src/sparksim/CMakeFiles/dac_sparksim.dir/shuffle.cc.o" "gcc" "src/sparksim/CMakeFiles/dac_sparksim.dir/shuffle.cc.o.d"
+  "/root/repo/src/sparksim/simulator.cc" "src/sparksim/CMakeFiles/dac_sparksim.dir/simulator.cc.o" "gcc" "src/sparksim/CMakeFiles/dac_sparksim.dir/simulator.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/dac_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/conf/CMakeFiles/dac_conf.dir/DependInfo.cmake"
+  "/root/repo/build/src/cluster/CMakeFiles/dac_cluster.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

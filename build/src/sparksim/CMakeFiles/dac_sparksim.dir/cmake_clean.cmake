@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dac_sparksim.dir/dag.cc.o"
+  "CMakeFiles/dac_sparksim.dir/dag.cc.o.d"
+  "CMakeFiles/dac_sparksim.dir/gc.cc.o"
+  "CMakeFiles/dac_sparksim.dir/gc.cc.o.d"
+  "CMakeFiles/dac_sparksim.dir/knobs.cc.o"
+  "CMakeFiles/dac_sparksim.dir/knobs.cc.o.d"
+  "CMakeFiles/dac_sparksim.dir/memory.cc.o"
+  "CMakeFiles/dac_sparksim.dir/memory.cc.o.d"
+  "CMakeFiles/dac_sparksim.dir/scheduler.cc.o"
+  "CMakeFiles/dac_sparksim.dir/scheduler.cc.o.d"
+  "CMakeFiles/dac_sparksim.dir/serde.cc.o"
+  "CMakeFiles/dac_sparksim.dir/serde.cc.o.d"
+  "CMakeFiles/dac_sparksim.dir/shuffle.cc.o"
+  "CMakeFiles/dac_sparksim.dir/shuffle.cc.o.d"
+  "CMakeFiles/dac_sparksim.dir/simulator.cc.o"
+  "CMakeFiles/dac_sparksim.dir/simulator.cc.o.d"
+  "libdac_sparksim.a"
+  "libdac_sparksim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dac_sparksim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

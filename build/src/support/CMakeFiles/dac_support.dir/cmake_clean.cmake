@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dac_support.dir/csv.cc.o"
+  "CMakeFiles/dac_support.dir/csv.cc.o.d"
+  "CMakeFiles/dac_support.dir/logging.cc.o"
+  "CMakeFiles/dac_support.dir/logging.cc.o.d"
+  "CMakeFiles/dac_support.dir/random.cc.o"
+  "CMakeFiles/dac_support.dir/random.cc.o.d"
+  "CMakeFiles/dac_support.dir/statistics.cc.o"
+  "CMakeFiles/dac_support.dir/statistics.cc.o.d"
+  "CMakeFiles/dac_support.dir/string_utils.cc.o"
+  "CMakeFiles/dac_support.dir/string_utils.cc.o.d"
+  "CMakeFiles/dac_support.dir/table.cc.o"
+  "CMakeFiles/dac_support.dir/table.cc.o.d"
+  "libdac_support.a"
+  "libdac_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dac_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

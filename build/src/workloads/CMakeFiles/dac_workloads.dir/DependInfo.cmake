@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workloads/bayes.cc" "src/workloads/CMakeFiles/dac_workloads.dir/bayes.cc.o" "gcc" "src/workloads/CMakeFiles/dac_workloads.dir/bayes.cc.o.d"
+  "/root/repo/src/workloads/kmeans.cc" "src/workloads/CMakeFiles/dac_workloads.dir/kmeans.cc.o" "gcc" "src/workloads/CMakeFiles/dac_workloads.dir/kmeans.cc.o.d"
+  "/root/repo/src/workloads/nweight.cc" "src/workloads/CMakeFiles/dac_workloads.dir/nweight.cc.o" "gcc" "src/workloads/CMakeFiles/dac_workloads.dir/nweight.cc.o.d"
+  "/root/repo/src/workloads/pagerank.cc" "src/workloads/CMakeFiles/dac_workloads.dir/pagerank.cc.o" "gcc" "src/workloads/CMakeFiles/dac_workloads.dir/pagerank.cc.o.d"
+  "/root/repo/src/workloads/registry.cc" "src/workloads/CMakeFiles/dac_workloads.dir/registry.cc.o" "gcc" "src/workloads/CMakeFiles/dac_workloads.dir/registry.cc.o.d"
+  "/root/repo/src/workloads/terasort.cc" "src/workloads/CMakeFiles/dac_workloads.dir/terasort.cc.o" "gcc" "src/workloads/CMakeFiles/dac_workloads.dir/terasort.cc.o.d"
+  "/root/repo/src/workloads/wordcount.cc" "src/workloads/CMakeFiles/dac_workloads.dir/wordcount.cc.o" "gcc" "src/workloads/CMakeFiles/dac_workloads.dir/wordcount.cc.o.d"
+  "/root/repo/src/workloads/workload.cc" "src/workloads/CMakeFiles/dac_workloads.dir/workload.cc.o" "gcc" "src/workloads/CMakeFiles/dac_workloads.dir/workload.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/dac_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/sparksim/CMakeFiles/dac_sparksim.dir/DependInfo.cmake"
+  "/root/repo/build/src/conf/CMakeFiles/dac_conf.dir/DependInfo.cmake"
+  "/root/repo/build/src/cluster/CMakeFiles/dac_cluster.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

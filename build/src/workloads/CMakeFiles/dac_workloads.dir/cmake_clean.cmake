@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dac_workloads.dir/bayes.cc.o"
+  "CMakeFiles/dac_workloads.dir/bayes.cc.o.d"
+  "CMakeFiles/dac_workloads.dir/kmeans.cc.o"
+  "CMakeFiles/dac_workloads.dir/kmeans.cc.o.d"
+  "CMakeFiles/dac_workloads.dir/nweight.cc.o"
+  "CMakeFiles/dac_workloads.dir/nweight.cc.o.d"
+  "CMakeFiles/dac_workloads.dir/pagerank.cc.o"
+  "CMakeFiles/dac_workloads.dir/pagerank.cc.o.d"
+  "CMakeFiles/dac_workloads.dir/registry.cc.o"
+  "CMakeFiles/dac_workloads.dir/registry.cc.o.d"
+  "CMakeFiles/dac_workloads.dir/terasort.cc.o"
+  "CMakeFiles/dac_workloads.dir/terasort.cc.o.d"
+  "CMakeFiles/dac_workloads.dir/wordcount.cc.o"
+  "CMakeFiles/dac_workloads.dir/wordcount.cc.o.d"
+  "CMakeFiles/dac_workloads.dir/workload.cc.o"
+  "CMakeFiles/dac_workloads.dir/workload.cc.o.d"
+  "libdac_workloads.a"
+  "libdac_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dac_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_conf.dir/cluster/test_cluster.cc.o"
+  "CMakeFiles/test_conf.dir/cluster/test_cluster.cc.o.d"
+  "CMakeFiles/test_conf.dir/conf/test_config.cc.o"
+  "CMakeFiles/test_conf.dir/conf/test_config.cc.o.d"
+  "CMakeFiles/test_conf.dir/conf/test_diff.cc.o"
+  "CMakeFiles/test_conf.dir/conf/test_diff.cc.o.d"
+  "CMakeFiles/test_conf.dir/conf/test_expert.cc.o"
+  "CMakeFiles/test_conf.dir/conf/test_expert.cc.o.d"
+  "CMakeFiles/test_conf.dir/conf/test_generator.cc.o"
+  "CMakeFiles/test_conf.dir/conf/test_generator.cc.o.d"
+  "CMakeFiles/test_conf.dir/conf/test_param.cc.o"
+  "CMakeFiles/test_conf.dir/conf/test_param.cc.o.d"
+  "CMakeFiles/test_conf.dir/conf/test_space.cc.o"
+  "CMakeFiles/test_conf.dir/conf/test_space.cc.o.d"
+  "test_conf"
+  "test_conf.pdb"
+  "test_conf[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_conf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

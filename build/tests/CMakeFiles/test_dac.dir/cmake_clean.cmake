@@ -1,0 +1,24 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_dac.dir/dac/test_collector.cc.o"
+  "CMakeFiles/test_dac.dir/dac/test_collector.cc.o.d"
+  "CMakeFiles/test_dac.dir/dac/test_evaluation.cc.o"
+  "CMakeFiles/test_dac.dir/dac/test_evaluation.cc.o.d"
+  "CMakeFiles/test_dac.dir/dac/test_modeler.cc.o"
+  "CMakeFiles/test_dac.dir/dac/test_modeler.cc.o.d"
+  "CMakeFiles/test_dac.dir/dac/test_perfvector.cc.o"
+  "CMakeFiles/test_dac.dir/dac/test_perfvector.cc.o.d"
+  "CMakeFiles/test_dac.dir/dac/test_searcher.cc.o"
+  "CMakeFiles/test_dac.dir/dac/test_searcher.cc.o.d"
+  "CMakeFiles/test_dac.dir/dac/test_session.cc.o"
+  "CMakeFiles/test_dac.dir/dac/test_session.cc.o.d"
+  "CMakeFiles/test_dac.dir/dac/test_tuner.cc.o"
+  "CMakeFiles/test_dac.dir/dac/test_tuner.cc.o.d"
+  "test_dac"
+  "test_dac.pdb"
+  "test_dac[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_dac.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,40 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/ml/test_boosting.cc" "tests/CMakeFiles/test_ml.dir/ml/test_boosting.cc.o" "gcc" "tests/CMakeFiles/test_ml.dir/ml/test_boosting.cc.o.d"
+  "/root/repo/tests/ml/test_dataset.cc" "tests/CMakeFiles/test_ml.dir/ml/test_dataset.cc.o" "gcc" "tests/CMakeFiles/test_ml.dir/ml/test_dataset.cc.o.d"
+  "/root/repo/tests/ml/test_hm.cc" "tests/CMakeFiles/test_ml.dir/ml/test_hm.cc.o" "gcc" "tests/CMakeFiles/test_ml.dir/ml/test_hm.cc.o.d"
+  "/root/repo/tests/ml/test_importance.cc" "tests/CMakeFiles/test_ml.dir/ml/test_importance.cc.o" "gcc" "tests/CMakeFiles/test_ml.dir/ml/test_importance.cc.o.d"
+  "/root/repo/tests/ml/test_linalg.cc" "tests/CMakeFiles/test_ml.dir/ml/test_linalg.cc.o" "gcc" "tests/CMakeFiles/test_ml.dir/ml/test_linalg.cc.o.d"
+  "/root/repo/tests/ml/test_log_target.cc" "tests/CMakeFiles/test_ml.dir/ml/test_log_target.cc.o" "gcc" "tests/CMakeFiles/test_ml.dir/ml/test_log_target.cc.o.d"
+  "/root/repo/tests/ml/test_mlp.cc" "tests/CMakeFiles/test_ml.dir/ml/test_mlp.cc.o" "gcc" "tests/CMakeFiles/test_ml.dir/ml/test_mlp.cc.o.d"
+  "/root/repo/tests/ml/test_model_properties.cc" "tests/CMakeFiles/test_ml.dir/ml/test_model_properties.cc.o" "gcc" "tests/CMakeFiles/test_ml.dir/ml/test_model_properties.cc.o.d"
+  "/root/repo/tests/ml/test_random_forest.cc" "tests/CMakeFiles/test_ml.dir/ml/test_random_forest.cc.o" "gcc" "tests/CMakeFiles/test_ml.dir/ml/test_random_forest.cc.o.d"
+  "/root/repo/tests/ml/test_response_surface.cc" "tests/CMakeFiles/test_ml.dir/ml/test_response_surface.cc.o" "gcc" "tests/CMakeFiles/test_ml.dir/ml/test_response_surface.cc.o.d"
+  "/root/repo/tests/ml/test_scaler.cc" "tests/CMakeFiles/test_ml.dir/ml/test_scaler.cc.o" "gcc" "tests/CMakeFiles/test_ml.dir/ml/test_scaler.cc.o.d"
+  "/root/repo/tests/ml/test_svr.cc" "tests/CMakeFiles/test_ml.dir/ml/test_svr.cc.o" "gcc" "tests/CMakeFiles/test_ml.dir/ml/test_svr.cc.o.d"
+  "/root/repo/tests/ml/test_tree.cc" "tests/CMakeFiles/test_ml.dir/ml/test_tree.cc.o" "gcc" "tests/CMakeFiles/test_ml.dir/ml/test_tree.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/dac/CMakeFiles/dac_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/hadoopsim/CMakeFiles/dac_hadoopsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/workloads/CMakeFiles/dac_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/sparksim/CMakeFiles/dac_sparksim.dir/DependInfo.cmake"
+  "/root/repo/build/src/ml/CMakeFiles/dac_ml.dir/DependInfo.cmake"
+  "/root/repo/build/src/ga/CMakeFiles/dac_ga.dir/DependInfo.cmake"
+  "/root/repo/build/src/conf/CMakeFiles/dac_conf.dir/DependInfo.cmake"
+  "/root/repo/build/src/cluster/CMakeFiles/dac_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/dac_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

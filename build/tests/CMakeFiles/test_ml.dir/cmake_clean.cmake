@@ -1,0 +1,36 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ml.dir/ml/test_boosting.cc.o"
+  "CMakeFiles/test_ml.dir/ml/test_boosting.cc.o.d"
+  "CMakeFiles/test_ml.dir/ml/test_dataset.cc.o"
+  "CMakeFiles/test_ml.dir/ml/test_dataset.cc.o.d"
+  "CMakeFiles/test_ml.dir/ml/test_hm.cc.o"
+  "CMakeFiles/test_ml.dir/ml/test_hm.cc.o.d"
+  "CMakeFiles/test_ml.dir/ml/test_importance.cc.o"
+  "CMakeFiles/test_ml.dir/ml/test_importance.cc.o.d"
+  "CMakeFiles/test_ml.dir/ml/test_linalg.cc.o"
+  "CMakeFiles/test_ml.dir/ml/test_linalg.cc.o.d"
+  "CMakeFiles/test_ml.dir/ml/test_log_target.cc.o"
+  "CMakeFiles/test_ml.dir/ml/test_log_target.cc.o.d"
+  "CMakeFiles/test_ml.dir/ml/test_mlp.cc.o"
+  "CMakeFiles/test_ml.dir/ml/test_mlp.cc.o.d"
+  "CMakeFiles/test_ml.dir/ml/test_model_properties.cc.o"
+  "CMakeFiles/test_ml.dir/ml/test_model_properties.cc.o.d"
+  "CMakeFiles/test_ml.dir/ml/test_random_forest.cc.o"
+  "CMakeFiles/test_ml.dir/ml/test_random_forest.cc.o.d"
+  "CMakeFiles/test_ml.dir/ml/test_response_surface.cc.o"
+  "CMakeFiles/test_ml.dir/ml/test_response_surface.cc.o.d"
+  "CMakeFiles/test_ml.dir/ml/test_scaler.cc.o"
+  "CMakeFiles/test_ml.dir/ml/test_scaler.cc.o.d"
+  "CMakeFiles/test_ml.dir/ml/test_svr.cc.o"
+  "CMakeFiles/test_ml.dir/ml/test_svr.cc.o.d"
+  "CMakeFiles/test_ml.dir/ml/test_tree.cc.o"
+  "CMakeFiles/test_ml.dir/ml/test_tree.cc.o.d"
+  "test_ml"
+  "test_ml.pdb"
+  "test_ml[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ml.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sparksim.dir/sparksim/test_gc.cc.o"
+  "CMakeFiles/test_sparksim.dir/sparksim/test_gc.cc.o.d"
+  "CMakeFiles/test_sparksim.dir/sparksim/test_knob_directions.cc.o"
+  "CMakeFiles/test_sparksim.dir/sparksim/test_knob_directions.cc.o.d"
+  "CMakeFiles/test_sparksim.dir/sparksim/test_knobs.cc.o"
+  "CMakeFiles/test_sparksim.dir/sparksim/test_knobs.cc.o.d"
+  "CMakeFiles/test_sparksim.dir/sparksim/test_memory.cc.o"
+  "CMakeFiles/test_sparksim.dir/sparksim/test_memory.cc.o.d"
+  "CMakeFiles/test_sparksim.dir/sparksim/test_scheduler.cc.o"
+  "CMakeFiles/test_sparksim.dir/sparksim/test_scheduler.cc.o.d"
+  "CMakeFiles/test_sparksim.dir/sparksim/test_serde.cc.o"
+  "CMakeFiles/test_sparksim.dir/sparksim/test_serde.cc.o.d"
+  "CMakeFiles/test_sparksim.dir/sparksim/test_shuffle.cc.o"
+  "CMakeFiles/test_sparksim.dir/sparksim/test_shuffle.cc.o.d"
+  "CMakeFiles/test_sparksim.dir/sparksim/test_simulator.cc.o"
+  "CMakeFiles/test_sparksim.dir/sparksim/test_simulator.cc.o.d"
+  "CMakeFiles/test_sparksim.dir/sparksim/test_simulator_properties.cc.o"
+  "CMakeFiles/test_sparksim.dir/sparksim/test_simulator_properties.cc.o.d"
+  "test_sparksim"
+  "test_sparksim.pdb"
+  "test_sparksim[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sparksim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_support.dir/support/test_csv.cc.o"
+  "CMakeFiles/test_support.dir/support/test_csv.cc.o.d"
+  "CMakeFiles/test_support.dir/support/test_logging.cc.o"
+  "CMakeFiles/test_support.dir/support/test_logging.cc.o.d"
+  "CMakeFiles/test_support.dir/support/test_random.cc.o"
+  "CMakeFiles/test_support.dir/support/test_random.cc.o.d"
+  "CMakeFiles/test_support.dir/support/test_statistics.cc.o"
+  "CMakeFiles/test_support.dir/support/test_statistics.cc.o.d"
+  "CMakeFiles/test_support.dir/support/test_string_utils.cc.o"
+  "CMakeFiles/test_support.dir/support/test_string_utils.cc.o.d"
+  "CMakeFiles/test_support.dir/support/test_table.cc.o"
+  "CMakeFiles/test_support.dir/support/test_table.cc.o.d"
+  "test_support"
+  "test_support.pdb"
+  "test_support[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
