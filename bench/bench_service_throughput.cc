@@ -1,0 +1,178 @@
+/**
+ * @file
+ * Throughput of the concurrent tuning service under a mixed request
+ * stream, at 1, 4, and 8 worker threads.
+ *
+ * Two measurements per thread count:
+ *
+ *  - cold request latency: one collection-bound request on an empty
+ *    cache, where the thread pool parallelizes the collection runs
+ *    and GA evaluations *within* the request (the paper's Table 3
+ *    cost, amortized across workers);
+ *  - mixed-stream throughput: a stream of repeated and fresh tune
+ *    requests, where the model cache converts the repeats into
+ *    search-only requests and the pool overlaps the rest.
+ *
+ * The speedup columns are relative to the 1-thread service on the
+ * same machine; on a single-core host they stay near 1x by
+ * construction (the sum of work is fixed) while the cache-hit-rate
+ * column is machine-independent.
+ */
+
+#include <chrono>
+#include <iostream>
+#include <thread>
+#include <vector>
+
+#include "bench/common.h"
+#include "service/service.h"
+#include "support/random.h"
+
+namespace {
+
+using namespace dac;
+
+struct StreamStats
+{
+    double wallSec = 0.0;
+    double requestsPerSec = 0.0;
+    double hitRate = 0.0;
+    double p95Sec = 0.0;
+};
+
+service::ServiceOptions
+serviceOptions(size_t threads, const bench::Scale &scale)
+{
+    service::ServiceOptions opt;
+    opt.threads = threads;
+    opt.modelCacheCapacity = 16;
+    opt.tuning.collect.datasetCount = scale.full ? 10 : 5;
+    opt.tuning.collect.runsPerDataset = scale.full ? 50 : 16;
+    opt.tuning.hm.firstOrder.maxTrees = scale.full ? 300 : 80;
+    opt.tuning.hm.firstOrder.convergencePatience = 40;
+    opt.tuning.ga.maxGenerations = scale.full ? 60 : 30;
+    return opt;
+}
+
+/**
+ * The mixed request stream: three-quarters of the traffic revisits a
+ * handful of hot (workload, size) pairs — the periodic-job pattern
+ * of Section 1 — and the rest asks fresh questions.
+ */
+std::vector<service::TuneRequest>
+mixedStream(size_t count)
+{
+    const std::vector<std::pair<std::string, double>> hot = {
+        {"TS", 40.0}, {"WC", 80.0}, {"KM", 200.0}};
+    // Per-client stream (splitStream keeps the generator shareable).
+    Rng rng = Rng(2024).splitStream(0);
+    std::vector<service::TuneRequest> stream;
+    stream.reserve(count);
+    for (size_t i = 0; i < count; ++i) {
+        service::TuneRequest req;
+        if (rng.bernoulli(0.75)) {
+            const auto &[workload, size] = hot[rng.index(hot.size())];
+            req.workload = workload;
+            req.nativeSize = size;
+        } else {
+            // Fresh traffic: the hot workloads at drifting sizes, a
+            // new band roughly every other draw.
+            const auto &[workload, size] = hot[rng.index(hot.size())];
+            req.workload = workload;
+            req.nativeSize = size * rng.uniformReal(0.3, 4.0);
+        }
+        stream.push_back(req);
+    }
+    return stream;
+}
+
+double
+coldRequestSec(const sparksim::SparkSimulator &sim, size_t threads,
+               const bench::Scale &scale)
+{
+    service::TuningService service(sim, serviceOptions(threads, scale));
+    service::TuneRequest req;
+    req.workload = "TS";
+    req.nativeSize = 40.0;
+    const auto start = std::chrono::steady_clock::now();
+    service.submit(req).get();
+    return std::chrono::duration<double>(
+               std::chrono::steady_clock::now() - start)
+        .count();
+}
+
+StreamStats
+runStream(const sparksim::SparkSimulator &sim, size_t threads,
+          const std::vector<service::TuneRequest> &stream,
+          const bench::Scale &scale)
+{
+    service::TuningService service(sim, serviceOptions(threads, scale));
+
+    // Closed-loop clients: each waits for its response before sending
+    // its next request, like a scheduler polling per-job tunings. The
+    // repeats therefore arrive after the first build finished and hit
+    // the model cache rather than coalescing onto one in-flight build.
+    constexpr size_t kClients = 4;
+    const auto start = std::chrono::steady_clock::now();
+    std::vector<std::thread> clients;
+    for (size_t c = 0; c < kClients; ++c) {
+        clients.emplace_back([&, c]() {
+            for (size_t i = c; i < stream.size(); i += kClients)
+                service.submit(stream[i]).get();
+        });
+    }
+    for (auto &client : clients)
+        client.join();
+    const double wall = std::chrono::duration<double>(
+                            std::chrono::steady_clock::now() - start)
+                            .count();
+
+    StreamStats stats;
+    stats.wallSec = wall;
+    stats.requestsPerSec = static_cast<double>(stream.size()) / wall;
+    stats.hitRate = service.cacheStats().hitRate();
+    stats.p95Sec =
+        service.metrics().histogram("latency.request").percentile(95);
+    return stats;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const auto scale = bench::parseScale(argc, argv);
+    bench::announce("Service throughput: mixed tune-request stream",
+                    scale);
+
+    sparksim::SparkSimulator sim(cluster::ClusterSpec::paperTestbed());
+    const auto stream = mixedStream(scale.full ? 64 : 32);
+    const std::vector<size_t> threadCounts = {1, 4, 8};
+
+    double coldBaseline = 0.0;
+    double streamBaseline = 0.0;
+    TextTable table({"threads", "cold req (s)", "cold speedup",
+                     "stream req/s", "stream speedup", "cache hit rate",
+                     "p95 (s)"});
+    for (const size_t threads : threadCounts) {
+        const double cold = coldRequestSec(sim, threads, scale);
+        const auto stats = runStream(sim, threads, stream, scale);
+        if (threads == 1) {
+            coldBaseline = cold;
+            streamBaseline = stats.requestsPerSec;
+        }
+        table.addRow(std::to_string(threads),
+                     {cold, coldBaseline / cold, stats.requestsPerSec,
+                      stats.requestsPerSec / streamBaseline,
+                      stats.hitRate, stats.p95Sec},
+                     3);
+    }
+    table.print(std::cout);
+
+    std::cout << "\nshape check: the repeated-request mix should keep "
+                 "the cache hit rate above 0.5,\nand on a machine with "
+                 ">= 4 cores the 4-thread cold request should be >= 2x "
+                 "faster\n(collection is embarrassingly parallel; on a "
+                 "single core speedups pin near 1x).\n";
+    return 0;
+}

@@ -1,0 +1,123 @@
+/**
+ * @file
+ * Example: running DAC as a long-lived tuning service.
+ *
+ * A TuningService wraps the collect -> model -> search pipeline behind
+ * an asynchronous submit() API: worker threads from a shared pool
+ * serve requests, trained models are cached per (workload, cluster,
+ * datasize band), and identical concurrent requests coalesce into one
+ * computation. This example plays the role of several clients - think
+ * of a cluster scheduler asking "how should tonight's job be
+ * configured?" for a handful of periodic jobs - and then prints the
+ * service's own status report.
+ *
+ * Usage: tuning_server [threads]
+ */
+
+#include <future>
+#include <iostream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "conf/diff.h"
+#include "service/service.h"
+#include "support/string_utils.h"
+#include "support/table.h"
+
+int
+main(int argc, char **argv)
+{
+    using namespace dac;
+
+    size_t threads = 4;
+    if (argc > 1) {
+        try {
+            threads = std::stoul(argv[1]);
+        } catch (const std::exception &) {
+            std::cerr << "usage: tuning_server [threads]\n";
+            return 1;
+        }
+    }
+    if (threads == 0) // the pool's "one per hardware thread"
+        threads = std::thread::hardware_concurrency();
+
+    sparksim::SparkSimulator sim(cluster::ClusterSpec::paperTestbed());
+
+    service::ServiceOptions options;
+    options.threads = threads;
+    // Keep the demo snappy: a smaller training matrix and GA budget
+    // than the paper's defaults (tuner.h documents the full settings).
+    options.tuning.collect.datasetCount = 5;
+    options.tuning.collect.runsPerDataset = 16;
+    options.tuning.hm.firstOrder.maxTrees = 80;
+    options.tuning.ga.maxGenerations = 30;
+
+    service::TuningService service(sim, options);
+    std::cout << "tuning service up: " << threads << " worker(s), "
+              << "model cache capacity "
+              << options.modelCacheCapacity << "\n\n";
+
+    // The client mix: two clients ask about the same TeraSort job
+    // (they coalesce), one asks about TeraSort at a drifted size in
+    // the same datasize band (model-cache hit, fresh GA search), and
+    // the rest are distinct jobs (cold builds).
+    struct Client
+    {
+        std::string name;
+        service::TuneRequest request;
+    };
+    std::vector<Client> clients;
+    const auto makeRequest = [](const std::string &workload,
+                                double size) {
+        service::TuneRequest req;
+        req.workload = workload;
+        req.nativeSize = size;
+        return req;
+    };
+    clients.push_back({"nightly-sort-a", makeRequest("TS", 40.0)});
+    clients.push_back({"nightly-sort-b", makeRequest("TS", 40.0)});
+    clients.push_back({"sort-grown-10pct", makeRequest("TS", 44.0)});
+    clients.push_back({"log-wordcount", makeRequest("WC", 80.0)});
+    clients.push_back({"user-clustering", makeRequest("KM", 200.0)});
+
+    std::vector<std::future<service::TuneResponse>> futures;
+    futures.reserve(clients.size());
+    for (const auto &client : clients)
+        futures.push_back(service.submit(client.request));
+
+    printBanner(std::cout, "responses");
+    TextTable table({"client", "job", "size", "predicted (s)",
+                     "model err %", "model", "latency (s)"});
+    std::vector<service::TuneResponse> responses;
+    for (size_t i = 0; i < clients.size(); ++i) {
+        const auto response = futures[i].get();
+        const std::string source = response.coalesced ? "coalesced"
+                                   : response.modelCacheHit
+                                       ? "cache hit"
+                                       : "built";
+        table.addRow({clients[i].name, response.workload,
+                      formatDouble(response.nativeSize, 1),
+                      formatDouble(response.predictedTimeSec, 1),
+                      formatDouble(response.modelErrorPct, 1), source,
+                      formatDouble(response.latencySec, 2)});
+        responses.push_back(response);
+    }
+    table.print(std::cout);
+
+    // What did the tuner actually change? Show the biggest moves of
+    // the first response relative to the Spark defaults.
+    printBanner(std::cout,
+                "nightly-sort-a: top moves vs default config");
+    const conf::Configuration defaults(conf::ConfigSpace::spark());
+    const auto deltas =
+        conf::diffConfigurations(defaults, responses[0].best);
+    std::cout << conf::formatDiff(deltas, 8) << "\n";
+
+    printBanner(std::cout, "service status");
+    std::cout << service.statusReport();
+
+    service.shutdown();
+    std::cout << "\nservice drained and shut down.\n";
+    return 0;
+}

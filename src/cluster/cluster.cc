@@ -1,5 +1,7 @@
 #include "cluster/cluster.h"
 
+#include <sstream>
+
 #include "support/logging.h"
 
 namespace dac::cluster {
@@ -17,6 +19,17 @@ ClusterSpec::paperTestbed()
 {
     static const ClusterSpec spec("paper-testbed", 5, NodeSpec{});
     return spec;
+}
+
+std::string
+ClusterSpec::signature() const
+{
+    std::ostringstream oss;
+    oss << _name << "/" << _workers << "x" << _node.cores << "c/"
+        << _node.memoryBytes / (1024.0 * 1024 * 1024) << "GB/"
+        << _node.cpuBytesPerSec << "/" << _node.diskBytesPerSec << "/"
+        << _node.netBytesPerSec;
+    return oss.str();
 }
 
 } // namespace dac::cluster

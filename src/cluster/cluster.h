@@ -54,6 +54,14 @@ class ClusterSpec
     /** Total worker memory in bytes. */
     double totalMemoryBytes() const { return _workers * _node.memoryBytes; }
 
+    /**
+     * Compact identity string ("name/5x12c/64.0GB/...") covering every
+     * field that affects simulated performance. Two specs with equal
+     * signatures behave identically, so the signature is a safe cache
+     * key for models trained against this cluster.
+     */
+    std::string signature() const;
+
   private:
     std::string _name;
     int _workers;

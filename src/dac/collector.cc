@@ -21,47 +21,74 @@ Collector::collect(const CollectOptions &options) const
     DAC_ASSERT(sizesWellSeparated(sizes),
                "training sizes violate the 10% separation rule");
     return collectAtSizes(sizes, options.runsPerDataset, options.seed,
-                          options.sampling);
+                          options.sampling, options.executor);
 }
 
 CollectResult
 Collector::collectAtSizes(const std::vector<double> &native_sizes,
                           size_t runs_per_size, uint64_t seed,
-                          Sampling sampling) const
+                          Sampling sampling, Executor *executor) const
 {
     DAC_ASSERT(!native_sizes.empty(), "no dataset sizes");
     DAC_ASSERT(runs_per_size > 0, "need at least one run per size");
 
-    CollectResult out;
-    out.vectors.reserve(native_sizes.size() * runs_per_size);
+    // Plan phase (serial): draw every configuration and run seed in
+    // the same order the historical serial loop did, so the training
+    // set is bit-identical whether the runs below execute serially or
+    // across an executor's workers.
+    struct PlannedRun
+    {
+        size_t sizeIndex;
+        conf::Configuration config;
+        uint64_t runSeed;
+    };
+    std::vector<PlannedRun> plan;
+    plan.reserve(native_sizes.size() * runs_per_size);
+    std::vector<sparksim::JobDag> dags;
+    std::vector<double> dsizes;
+    dags.reserve(native_sizes.size());
+    dsizes.reserve(native_sizes.size());
 
     conf::ConfigGenerator gen(conf::ConfigSpace::spark(), Rng(seed));
     Rng run_seeds(combineSeed(seed, 0xC0FFEE));
 
     for (size_t s = 0; s < native_sizes.size(); ++s) {
         const double native = native_sizes[s];
-        const auto dag = workload->buildDag(native);
-        const double dsize = workload->bytesForSize(native);
+        dags.push_back(workload->buildDag(native));
+        dsizes.push_back(workload->bytesForSize(native));
         // Latin hypercube stratifies per dataset size, so each size's
         // k runs jointly cover every parameter's range.
         const auto lhs_batch = sampling == Sampling::LatinHypercube
             ? gen.latinHypercube(runs_per_size)
             : std::vector<conf::Configuration>{};
         for (size_t r = 0; r < runs_per_size; ++r) {
-            const auto config = sampling == Sampling::LatinHypercube
+            auto config = sampling == Sampling::LatinHypercube
                 ? lhs_batch[r]
                 : gen.random();
             // A fresh seed per run stands in for the different "data
             // content" of each production run of a periodic job.
-            const auto result = sim->run(dag, config, run_seeds.raw());
-            PerfVector pv;
-            pv.timeSec = result.timeSec;
-            pv.config = config.values();
-            pv.dsizeBytes = dsize;
-            out.vectors.push_back(std::move(pv));
-            out.simulatedClusterSec += result.timeSec;
+            plan.push_back(PlannedRun{s, std::move(config),
+                                      run_seeds.raw()});
         }
     }
+
+    // Execute phase (parallel when an executor is given): each run is
+    // independent and the simulator is stateless, so runs land in
+    // preallocated slots in plan order.
+    CollectResult out;
+    out.vectors.resize(plan.size());
+    parallelFor(executor, plan.size(), [&](size_t i) {
+        const PlannedRun &run = plan[i];
+        const auto result = sim->run(dags[run.sizeIndex], run.config,
+                                     run.runSeed);
+        PerfVector &pv = out.vectors[i];
+        pv.timeSec = result.timeSec;
+        pv.config = run.config.values();
+        pv.dsizeBytes = dsizes[run.sizeIndex];
+    });
+    // Summed in plan order, matching the serial loop's accumulation.
+    for (const auto &pv : out.vectors)
+        out.simulatedClusterSec += pv.timeSec;
     return out;
 }
 

@@ -12,6 +12,7 @@
 
 #include "dac/perfvector.h"
 #include "sparksim/simulator.h"
+#include "support/executor.h"
 #include "workloads/workload.h"
 
 namespace dac::core {
@@ -32,6 +33,13 @@ struct CollectOptions
     /** Configuration sampling scheme. */
     Sampling sampling = Sampling::Random;
     uint64_t seed = 11;
+    /**
+     * Optional executor to spread simulator runs over (borrowed, not
+     * owned; nullptr = serial). Configurations and run seeds are
+     * planned serially first, so the collected training set is
+     * bit-identical to the serial path for any thread count.
+     */
+    Executor *executor = nullptr;
 };
 
 /** Output of a collection campaign. */
@@ -61,8 +69,8 @@ class Collector
      */
     CollectResult collectAtSizes(const std::vector<double> &native_sizes,
                                  size_t runs_per_size, uint64_t seed,
-                                 Sampling sampling =
-                                     Sampling::Random) const;
+                                 Sampling sampling = Sampling::Random,
+                                 Executor *executor = nullptr) const;
 
     /** Verify Eq. 4: every pair of sizes differs by >= 10%. */
     static bool sizesWellSeparated(const std::vector<double> &sizes);

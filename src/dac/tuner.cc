@@ -58,6 +58,7 @@ ModelBasedTuner::ensureTrained(const workloads::Workload &workload)
     // Collecting (the dominant cost in Table 3).
     Collector collector(*sim, workload);
     CollectOptions copt = options.collect;
+    copt.executor = options.executor;
     copt.seed = combineSeed(options.seed, workload.abbrev().size() +
                             workload.abbrev().front());
     const auto collected = collector.collect(copt);
@@ -98,6 +99,7 @@ ModelBasedTuner::configFor(const workloads::Workload &workload,
 
     Searcher searcher(*state.model, space, datasizeAware);
     ga::GaParams params = options.ga;
+    params.executor = options.executor;
     params.seed = combineSeed(options.seed,
                               static_cast<uint64_t>(native_size * 1000));
     const double dsize = workload.bytesForSize(native_size);

@@ -79,6 +79,12 @@ struct AutoTuneOptions
     ml::HmParams hm;
     ga::GaParams ga;
     uint64_t seed = 17;
+    /**
+     * Optional executor (borrowed; nullptr = serial) used for the
+     * collection runs and the GA's fitness evaluations. Tuning results
+     * are bit-identical with and without it.
+     */
+    Executor *executor = nullptr;
 
     AutoTuneOptions();
 };

@@ -45,6 +45,17 @@ GeneticAlgorithm::minimize(const Objective &objective, size_t dimensions,
         return g;
     };
 
+    // Objective calls are the expensive part (a model prediction per
+    // genome) and touch no GA randomness, so whole generations are
+    // scored through the executor without perturbing the RNG stream.
+    auto evaluate = [&](std::vector<Individual> &batch, size_t from) {
+        parallelFor(params.executor, batch.size() - from,
+                    [&](size_t i) {
+                        Individual &ind = batch[from + i];
+                        ind.fitness = objective(ind.genome);
+                    });
+    };
+
     // Initial population: seeds first, random fill after.
     std::vector<Individual> pop;
     pop.reserve(params.populationSize);
@@ -56,8 +67,7 @@ GeneticAlgorithm::minimize(const Objective &objective, size_t dimensions,
     }
     while (pop.size() < params.populationSize)
         pop.push_back(Individual{random_genome(), 0.0});
-    for (auto &ind : pop)
-        ind.fitness = objective(ind.genome);
+    evaluate(pop, 0);
 
     auto by_fitness = [](const Individual &a, const Individual &b) {
         return a.fitness < b.fitness;
@@ -86,6 +96,8 @@ GeneticAlgorithm::minimize(const Objective &objective, size_t dimensions,
         for (int e = 0; e < params.eliteCount; ++e)
             next.push_back(pop[static_cast<size_t>(e)]);
 
+        // Breed the full generation first (serial RNG), score after.
+        const size_t firstChild = next.size();
         while (next.size() < params.populationSize) {
             std::vector<double> child;
             if (rng.bernoulli(params.crossoverRate)) {
@@ -108,10 +120,9 @@ GeneticAlgorithm::minimize(const Objective &objective, size_t dimensions,
                     }
                 }
             }
-            Individual ind{std::move(child), 0.0};
-            ind.fitness = objective(ind.genome);
-            next.push_back(std::move(ind));
+            next.push_back(Individual{std::move(child), 0.0});
         }
+        evaluate(next, firstChild);
 
         pop = std::move(next);
         std::sort(pop.begin(), pop.end(), by_fitness);

@@ -12,6 +12,8 @@
 #include <functional>
 #include <vector>
 
+#include "support/executor.h"
+
 namespace dac::ga {
 
 /** GA hyperparameters (mutation rate 0.01 per the paper). */
@@ -31,6 +33,14 @@ struct GaParams
     /** Generations without improvement before stopping (0 = never). */
     int convergencePatience = 15;
     uint64_t seed = 1;
+    /**
+     * Optional executor for evaluating a generation's objectives
+     * concurrently (borrowed; nullptr = serial). Selection, crossover
+     * and mutation stay on the calling thread and consume the RNG in
+     * the serial order, so results are bit-identical to the serial
+     * path — but the objective itself must then be thread-safe.
+     */
+    Executor *executor = nullptr;
 };
 
 /** Outcome of one GA run. */

@@ -1,0 +1,162 @@
+#include "service/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+namespace dac::service {
+
+namespace {
+
+/** Lower bound of bucket i: 1us, 2us, 4us, ... */
+double
+bucketFloor(size_t i)
+{
+    return 1e-6 * std::ldexp(1.0, static_cast<int>(i));
+}
+
+size_t
+bucketIndex(double value)
+{
+    if (value <= 1e-6)
+        return 0;
+    const int i = static_cast<int>(std::floor(std::log2(value / 1e-6)));
+    return std::min<size_t>(static_cast<size_t>(std::max(i, 0)),
+                            Histogram::kBuckets - 1);
+}
+
+/** fetch_add for atomic<double> predating C++20 library support. */
+void
+atomicAdd(std::atomic<double> &target, double delta)
+{
+    double current = target.load();
+    while (!target.compare_exchange_weak(current, current + delta)) {
+    }
+}
+
+void
+atomicMax(std::atomic<double> &target, double value)
+{
+    double current = target.load();
+    while (current < value &&
+           !target.compare_exchange_weak(current, value)) {
+    }
+}
+
+std::string
+formatSeconds(double sec)
+{
+    std::ostringstream oss;
+    oss.precision(3);
+    oss << std::fixed << sec;
+    return oss.str();
+}
+
+} // namespace
+
+void
+Histogram::observe(double value)
+{
+    buckets[bucketIndex(value)].fetch_add(1);
+    count_.fetch_add(1);
+    atomicAdd(sum_, value);
+    atomicMax(max_, value);
+}
+
+double
+Histogram::meanValue() const
+{
+    const uint64_t n = count_.load();
+    return n > 0 ? sum_.load() / static_cast<double>(n) : 0.0;
+}
+
+double
+Histogram::percentile(double p) const
+{
+    const uint64_t n = count_.load();
+    if (n == 0)
+        return 0.0;
+    p = std::clamp(p, 0.0, 100.0);
+    const uint64_t rank =
+        std::min<uint64_t>(n - 1,
+                           static_cast<uint64_t>(p / 100.0 *
+                                                 static_cast<double>(n)));
+    uint64_t seen = 0;
+    for (size_t i = 0; i < kBuckets; ++i) {
+        seen += buckets[i].load();
+        if (seen > rank) {
+            // Geometric midpoint of [floor, 2*floor).
+            return bucketFloor(i) * std::sqrt(2.0);
+        }
+    }
+    return maxValue();
+}
+
+Counter &
+MetricsRegistry::counter(const std::string &name)
+{
+    std::lock_guard<std::mutex> lock(mutex);
+    auto &slot = counters[name];
+    if (!slot)
+        slot = std::make_unique<Counter>();
+    return *slot;
+}
+
+Histogram &
+MetricsRegistry::histogram(const std::string &name)
+{
+    std::lock_guard<std::mutex> lock(mutex);
+    auto &slot = histograms[name];
+    if (!slot)
+        slot = std::make_unique<Histogram>();
+    return *slot;
+}
+
+void
+MetricsRegistry::setGauge(const std::string &name, double value)
+{
+    std::lock_guard<std::mutex> lock(mutex);
+    gauges[name] = value;
+}
+
+uint64_t
+MetricsRegistry::counterValue(const std::string &name) const
+{
+    std::lock_guard<std::mutex> lock(mutex);
+    const auto it = counters.find(name);
+    return it != counters.end() ? it->second->value() : 0;
+}
+
+TextTable
+MetricsRegistry::toTable() const
+{
+    std::lock_guard<std::mutex> lock(mutex);
+    TextTable table({"metric", "count", "mean", "p50", "p95", "p99",
+                     "max"});
+    for (const auto &[name, counter] : counters) {
+        table.addRow({name, std::to_string(counter->value()), "-", "-",
+                      "-", "-", "-"});
+    }
+    for (const auto &[name, value] : gauges) {
+        std::ostringstream oss;
+        oss << value;
+        table.addRow({name, oss.str(), "-", "-", "-", "-", "-"});
+    }
+    for (const auto &[name, hist] : histograms) {
+        table.addRow({name, std::to_string(hist->count()),
+                      formatSeconds(hist->meanValue()),
+                      formatSeconds(hist->percentile(50)),
+                      formatSeconds(hist->percentile(95)),
+                      formatSeconds(hist->percentile(99)),
+                      formatSeconds(hist->maxValue())});
+    }
+    return table;
+}
+
+std::string
+MetricsRegistry::report() const
+{
+    return toTable().toString();
+}
+
+} // namespace dac::service

@@ -1,0 +1,173 @@
+#include "service/model_cache.h"
+
+#include <cmath>
+#include <sstream>
+
+#include "support/logging.h"
+
+namespace dac::service {
+
+std::string
+ModelKey::toString() const
+{
+    std::ostringstream oss;
+    oss << workload << "@" << cluster << "#band" << sizeBand;
+    return oss.str();
+}
+
+int
+sizeBandOf(double native_size)
+{
+    DAC_ASSERT(native_size > 0.0, "datasize band of a non-positive size");
+    return static_cast<int>(std::floor(std::log2(native_size)));
+}
+
+double
+ModelCache::Stats::hitRate() const
+{
+    const uint64_t useful = hits + coalesced;
+    const uint64_t total = useful + misses;
+    return total > 0
+        ? static_cast<double>(useful) / static_cast<double>(total)
+        : 0.0;
+}
+
+ModelCache::ModelCache(size_t capacity)
+    : capacity(capacity)
+{
+    DAC_ASSERT(capacity > 0, "model cache needs capacity >= 1");
+}
+
+std::shared_ptr<const CachedModel>
+ModelCache::getOrBuild(const ModelKey &key, const Builder &build)
+{
+    std::promise<std::shared_ptr<const CachedModel>> promise;
+    {
+        std::unique_lock<std::mutex> lock(mutex);
+        if (auto found = findLocked(key)) {
+            ++hits;
+            return found;
+        }
+        if (const auto it = inflight.find(key); it != inflight.end()) {
+            // Another caller is already building this model; wait for
+            // it outside the lock and share the result.
+            ++coalesced;
+            auto shared = it->second;
+            lock.unlock();
+            return shared.get();
+        }
+        ++misses;
+        inflight.emplace(key, promise.get_future().share());
+    }
+
+    std::shared_ptr<const CachedModel> built;
+    try {
+        built = build();
+        DAC_ASSERT(built != nullptr, "model builder returned nullptr");
+    } catch (...) {
+        std::lock_guard<std::mutex> lock(mutex);
+        inflight.erase(key);
+        promise.set_exception(std::current_exception());
+        throw;
+    }
+
+    {
+        std::lock_guard<std::mutex> lock(mutex);
+        insertLocked(key, built);
+        inflight.erase(key);
+    }
+    promise.set_value(built);
+    return built;
+}
+
+std::shared_ptr<const CachedModel>
+ModelCache::lookup(const ModelKey &key)
+{
+    std::lock_guard<std::mutex> lock(mutex);
+    if (auto found = findLocked(key)) {
+        ++hits;
+        return found;
+    }
+    ++misses;
+    return nullptr;
+}
+
+void
+ModelCache::insert(const ModelKey &key,
+                   std::shared_ptr<const CachedModel> model)
+{
+    DAC_ASSERT(model != nullptr, "inserted a null model");
+    std::lock_guard<std::mutex> lock(mutex);
+    insertLocked(key, std::move(model));
+}
+
+void
+ModelCache::clear()
+{
+    std::lock_guard<std::mutex> lock(mutex);
+    entries.clear();
+    index.clear();
+}
+
+size_t
+ModelCache::size() const
+{
+    std::lock_guard<std::mutex> lock(mutex);
+    return entries.size();
+}
+
+ModelCache::Stats
+ModelCache::stats() const
+{
+    std::lock_guard<std::mutex> lock(mutex);
+    Stats out;
+    out.hits = hits;
+    out.misses = misses;
+    out.coalesced = coalesced;
+    out.evictions = evictions;
+    out.size = entries.size();
+    out.capacity = capacity;
+    return out;
+}
+
+std::vector<ModelKey>
+ModelCache::keysByRecency() const
+{
+    std::lock_guard<std::mutex> lock(mutex);
+    std::vector<ModelKey> keys;
+    keys.reserve(entries.size());
+    for (const auto &[key, model] : entries)
+        keys.push_back(key);
+    return keys;
+}
+
+std::shared_ptr<const CachedModel>
+ModelCache::findLocked(const ModelKey &key)
+{
+    const auto it = index.find(key);
+    if (it == index.end())
+        return nullptr;
+    // Touch: move to the MRU head.
+    entries.splice(entries.begin(), entries, it->second);
+    return entries.front().second;
+}
+
+void
+ModelCache::insertLocked(const ModelKey &key,
+                         std::shared_ptr<const CachedModel> model)
+{
+    if (const auto it = index.find(key); it != index.end()) {
+        it->second->second = std::move(model);
+        entries.splice(entries.begin(), entries, it->second);
+        return;
+    }
+    entries.emplace_front(key, std::move(model));
+    index.emplace(key, entries.begin());
+    while (entries.size() > capacity) {
+        index.erase(entries.back().first);
+        entries.pop_back();
+        ++evictions;
+    }
+}
+
+} // namespace dac::service

@@ -1,0 +1,162 @@
+/**
+ * @file
+ * LRU cache of trained performance models, keyed by
+ * (workload, cluster signature, datasize band).
+ *
+ * Collection plus modeling dominate a tune request (Table 3: hours of
+ * simulated cluster time vs milliseconds of GA search), so a service
+ * handling repeated traffic for the same program must reuse models.
+ * The datasize band quantizes the requested size to powers of two:
+ * requests within a band share a model trained around that band, and a
+ * request that drifts a whole band away retrains — the service-scale
+ * analogue of the periodic session's 10% drift rule (Eq. 4).
+ *
+ * getOrBuild() coalesces concurrent builds of the same key: one caller
+ * runs the expensive builder while the rest block on its result, so a
+ * burst of identical cold requests costs one collection campaign.
+ */
+
+#ifndef DAC_SERVICE_MODEL_CACHE_H
+#define DAC_SERVICE_MODEL_CACHE_H
+
+#include <cstdint>
+#include <functional>
+#include <future>
+#include <list>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "dac/perfvector.h"
+#include "dac/tuner.h"
+#include "ml/model.h"
+
+namespace dac::service {
+
+/**
+ * Identity of one cached model.
+ */
+struct ModelKey
+{
+    /** Workload abbreviation ("PR", "KM", ...). */
+    std::string workload;
+    /** ClusterSpec::signature() of the target cluster. */
+    std::string cluster;
+    /** floor(log2(native size)): requests in the same power-of-two
+     *  band share a model. */
+    int sizeBand = 0;
+
+    bool operator==(const ModelKey &other) const = default;
+    bool
+    operator<(const ModelKey &other) const
+    {
+        return std::tie(workload, cluster, sizeBand) <
+               std::tie(other.workload, other.cluster, other.sizeBand);
+    }
+
+    /** "TS@paper-testbed/...#band4" rendering for logs. */
+    std::string toString() const;
+};
+
+/** The band a native dataset size falls in. */
+int sizeBandOf(double native_size);
+
+/**
+ * A trained model plus everything a search against it needs.
+ */
+struct CachedModel
+{
+    /** The trained performance model (HM for DAC requests). */
+    std::shared_ptr<const ml::Model> model;
+    /** Training set; the GA seeds its population from it (Fig. 6). */
+    std::vector<core::PerfVector> vectors;
+    /** Cross-validated model error, percent (Eq. 2). */
+    double modelErrorPct = 0.0;
+    /** Collection/modeling cost paid to build this entry (Table 3). */
+    core::TunerOverhead overhead;
+};
+
+/**
+ * Thread-safe LRU cache of CachedModels with build coalescing.
+ */
+class ModelCache
+{
+  public:
+    /** Builder invoked (outside the cache lock) on a miss. */
+    using Builder =
+        std::function<std::shared_ptr<const CachedModel>()>;
+
+    /** Cache accounting. */
+    struct Stats
+    {
+        uint64_t hits = 0;
+        uint64_t misses = 0;
+        /** Lookups that joined another caller's in-flight build. */
+        uint64_t coalesced = 0;
+        uint64_t evictions = 0;
+        size_t size = 0;
+        size_t capacity = 0;
+
+        /** hits / (hits + misses), counting coalesced joins as hits. */
+        double hitRate() const;
+    };
+
+    /** Cache holding at most `capacity` models (>= 1). */
+    explicit ModelCache(size_t capacity);
+
+    /**
+     * The model for `key`, building it if absent.
+     *
+     * Exactly one concurrent caller per key runs `build`; the others
+     * wait and share the result. A builder failure propagates to every
+     * waiter and caches nothing.
+     */
+    std::shared_ptr<const CachedModel> getOrBuild(const ModelKey &key,
+                                                  const Builder &build);
+
+    /** The cached model for `key`, or nullptr; counts a hit or miss. */
+    std::shared_ptr<const CachedModel> lookup(const ModelKey &key);
+
+    /** Insert (or refresh) an entry, evicting the LRU tail if full. */
+    void insert(const ModelKey &key,
+                std::shared_ptr<const CachedModel> model);
+
+    /** Drop every entry (counters are kept). */
+    void clear();
+
+    size_t size() const;
+    Stats stats() const;
+
+    /** Keys from most- to least-recently used (for tests/logs). */
+    std::vector<ModelKey> keysByRecency() const;
+
+  private:
+    using Entry = std::pair<ModelKey, std::shared_ptr<const CachedModel>>;
+
+    /** Requires lock held. Returns nullptr on miss; no accounting. */
+    std::shared_ptr<const CachedModel> findLocked(const ModelKey &key);
+    /** Requires lock held. */
+    void insertLocked(const ModelKey &key,
+                      std::shared_ptr<const CachedModel> model);
+
+    mutable std::mutex mutex;
+    /** MRU-first entry list; `index` points into it. */
+    std::list<Entry> entries;
+    std::map<ModelKey, std::list<Entry>::iterator> index;
+    /** One shared build per key in flight at a time. */
+    std::map<ModelKey,
+             std::shared_future<std::shared_ptr<const CachedModel>>>
+        inflight;
+    size_t capacity;
+    uint64_t hits = 0;
+    uint64_t misses = 0;
+    uint64_t coalesced = 0;
+    uint64_t evictions = 0;
+};
+
+} // namespace dac::service
+
+#endif // DAC_SERVICE_MODEL_CACHE_H

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Wire-level request/response types of the tuning service.
+ *
+ * A TuneRequest asks "what configuration should program X run with at
+ * dataset size Y" — the question DAC answers per program-input pair —
+ * and the TuneResponse carries the chosen configuration plus enough
+ * provenance (cache hit, model error, latency) for callers and
+ * dashboards.
+ */
+
+#ifndef DAC_SERVICE_REQUEST_H
+#define DAC_SERVICE_REQUEST_H
+
+#include <cstdint>
+#include <string>
+
+#include "conf/config.h"
+
+namespace dac::service {
+
+/**
+ * One tuning question: program + native dataset size.
+ */
+struct TuneRequest
+{
+    /** Workload abbreviation as registered ("PR", "KM", "TS", ...). */
+    std::string workload;
+    /** Dataset size in the workload's native unit (Table 1). */
+    double nativeSize = 0.0;
+    /** Tuning seed; requests with equal (workload, size, seed) are
+     *  identical and the service coalesces them. */
+    uint64_t seed = 17;
+
+    /** Coalescing key. */
+    std::string cacheKey() const;
+};
+
+/**
+ * The service's answer.
+ */
+struct TuneResponse
+{
+    TuneResponse() : best(conf::ConfigSpace::spark()) {}
+
+    /** Echo of the request. */
+    std::string workload;
+    double nativeSize = 0.0;
+
+    /** The recommended configuration. */
+    conf::Configuration best;
+    /** Model-predicted execution time under `best`, seconds. */
+    double predictedTimeSec = 0.0;
+    /** Cross-validated error of the model used, percent (Eq. 2). */
+    double modelErrorPct = 0.0;
+
+    /** The model came from the cache (no collection campaign ran). */
+    bool modelCacheHit = false;
+    /** This response was shared with a concurrent identical request
+     *  (true for every waiter after the first). */
+    bool coalesced = false;
+    /** Submit-to-completion wall latency, seconds. */
+    double latencySec = 0.0;
+};
+
+} // namespace dac::service
+
+#endif // DAC_SERVICE_REQUEST_H

@@ -1,0 +1,281 @@
+#include "service/service.h"
+
+#include <bit>
+#include <cmath>
+#include <sstream>
+
+#include "dac/modeler.h"
+#include "dac/searcher.h"
+#include "support/logging.h"
+#include "workloads/registry.h"
+
+namespace dac::service {
+
+namespace {
+
+/** Platform-stable string hash (std::hash is not portable). */
+uint64_t
+stableHash(const std::string &text)
+{
+    uint64_t h = 0x9e3779b97f4a7c15ULL;
+    for (const char c : text)
+        h = splitmix64(h ^ static_cast<uint64_t>(
+                               static_cast<unsigned char>(c)));
+    return h;
+}
+
+double
+elapsedSec(std::chrono::steady_clock::time_point since)
+{
+    return std::chrono::duration<double>(
+               std::chrono::steady_clock::now() - since)
+        .count();
+}
+
+/**
+ * The m training sizes for one datasize band: geometrically spaced
+ * across [0.8 * 2^band, 1.25 * 2^(band+1)], i.e. the band widened by
+ * 25% on each side so the model extrapolates a little past the band
+ * edges. The spacing ratio is at least 1.12, honoring Eq. 4's >= 10%
+ * pairwise separation.
+ */
+std::vector<double>
+bandTrainingSizes(int band, size_t m)
+{
+    DAC_ASSERT(m > 0, "need at least one training size");
+    const double lo = 0.8 * std::ldexp(1.0, band);
+    const double hi = 1.25 * std::ldexp(1.0, band + 1);
+    if (m == 1)
+        return {std::sqrt(lo * hi)};
+    const double ratio =
+        std::max(std::pow(hi / lo, 1.0 / static_cast<double>(m - 1)),
+                 1.12);
+    std::vector<double> sizes;
+    sizes.reserve(m);
+    double size = lo;
+    for (size_t i = 0; i < m; ++i, size *= ratio)
+        sizes.push_back(size);
+    return sizes;
+}
+
+} // namespace
+
+std::string
+TuneRequest::cacheKey() const
+{
+    std::ostringstream oss;
+    oss << workload << "|" << std::bit_cast<uint64_t>(nativeSize) << "|"
+        << seed;
+    return oss.str();
+}
+
+TuningService::TuningService(const sparksim::SparkSimulator &sim,
+                             ServiceOptions options)
+    : sim(&sim), options(options),
+      cache(options.modelCacheCapacity),
+      pool(ThreadPool::Options{options.threads, options.queueCapacity})
+{
+}
+
+TuningService::~TuningService()
+{
+    shutdown();
+}
+
+std::future<TuneResponse>
+TuningService::submit(TuneRequest request)
+{
+    const std::string key = request.cacheKey();
+    std::promise<TuneResponse> promise;
+    std::future<TuneResponse> future = promise.get_future();
+    bool first = false;
+    {
+        std::lock_guard<std::mutex> lock(mutex);
+        if (!accepting)
+            fatalError("TuningService::submit after shutdown");
+        auto &slot = pending[key];
+        if (!slot) {
+            slot = std::make_shared<Pending>();
+            slot->submitted = std::chrono::steady_clock::now();
+            first = true;
+        }
+        slot->waiters.push_back(std::move(promise));
+    }
+    registry.counter("requests.submitted").increment();
+    if (!first) {
+        registry.counter("requests.coalesced").increment();
+        return future;
+    }
+
+    pool.post([this, request = std::move(request), key]() {
+        TuneResponse response;
+        std::exception_ptr error;
+        try {
+            response = process(request);
+        } catch (...) {
+            error = std::current_exception();
+        }
+
+        std::shared_ptr<Pending> entry;
+        {
+            std::lock_guard<std::mutex> lock(mutex);
+            const auto it = pending.find(key);
+            DAC_ASSERT(it != pending.end(), "lost a pending request");
+            entry = it->second;
+            pending.erase(it);
+        }
+
+        // Account before fulfilling any promise: a waiter may read the
+        // counters the instant its future resolves.
+        const double latency = elapsedSec(entry->submitted);
+        const size_t waiters = entry->waiters.size();
+        if (error) {
+            registry.counter("requests.failed").increment(waiters);
+        } else {
+            for (size_t i = 0; i < waiters; ++i)
+                registry.histogram("latency.request").observe(latency);
+            registry.counter("requests.served").increment(waiters);
+        }
+        for (size_t i = 0; i < waiters; ++i) {
+            if (error) {
+                entry->waiters[i].set_exception(error);
+                continue;
+            }
+            TuneResponse copy = response;
+            copy.coalesced = i > 0;
+            copy.latencySec = latency;
+            entry->waiters[i].set_value(std::move(copy));
+        }
+    });
+    return future;
+}
+
+TuneResponse
+TuningService::process(const TuneRequest &request)
+{
+    const auto &workload =
+        workloads::Registry::instance().byAbbrev(request.workload);
+    if (request.nativeSize <= 0.0)
+        fatalError("tune request with non-positive dataset size");
+
+    const ModelKey key{workload.abbrev(), sim->clusterSpec().signature(),
+                       sizeBandOf(request.nativeSize)};
+
+    bool builtHere = false;
+    const auto cached = cache.getOrBuild(key, [&]() {
+        builtHere = true;
+        return buildModel(workload, key);
+    });
+
+    // Search: GA against the cached model with the requested size
+    // pinned, population seeded from the training set (Figure 6) —
+    // the same protocol as ModelBasedTuner::configFor.
+    const auto searchStart = std::chrono::steady_clock::now();
+    const auto &space = conf::ConfigSpace::spark();
+    Rng rng(combineSeed(request.seed,
+                        static_cast<uint64_t>(request.nativeSize)));
+    std::vector<conf::Configuration> seeds;
+    const size_t want =
+        std::min<size_t>(options.tuning.ga.populationSize / 2,
+                         cached->vectors.size());
+    for (size_t i = 0; i < want; ++i) {
+        const auto &pv = cached->vectors[rng.index(cached->vectors.size())];
+        seeds.emplace_back(space, pv.config);
+    }
+
+    core::Searcher searcher(*cached->model, space, true);
+    ga::GaParams params = options.tuning.ga;
+    params.seed = combineSeed(request.seed,
+                              static_cast<uint64_t>(request.nativeSize *
+                                                    1000));
+    params.executor = options.parallelWithinRequest ? &pool : nullptr;
+    const double dsize = workload.bytesForSize(request.nativeSize);
+    auto found = searcher.search(dsize, params, seeds);
+    registry.histogram("latency.search").observe(
+        elapsedSec(searchStart));
+
+    TuneResponse response;
+    response.workload = workload.abbrev();
+    response.nativeSize = request.nativeSize;
+    response.best = std::move(found.best);
+    response.predictedTimeSec = found.predictedTimeSec;
+    response.modelErrorPct = cached->modelErrorPct;
+    response.modelCacheHit = !builtHere;
+    return response;
+}
+
+std::shared_ptr<const CachedModel>
+TuningService::buildModel(const workloads::Workload &workload,
+                          const ModelKey &key)
+{
+    const auto start = std::chrono::steady_clock::now();
+    Executor *executor =
+        options.parallelWithinRequest ? &pool : nullptr;
+
+    core::CollectOptions copt = options.tuning.collect;
+    // One stream per cache key: rebuilding the same key reproduces the
+    // same training set; the request seed must not leak in, or two
+    // clients asking the same question would train different models.
+    copt.seed = combineSeed(options.tuning.seed,
+                            stableHash(key.toString()));
+    copt.executor = executor;
+
+    core::Collector collector(*sim, workload);
+    const auto sizes = bandTrainingSizes(key.sizeBand,
+                                         copt.datasetCount);
+    auto collected = collector.collectAtSizes(sizes, copt.runsPerDataset,
+                                              copt.seed, copt.sampling,
+                                              executor);
+
+    auto entry = std::make_shared<CachedModel>();
+    entry->vectors = std::move(collected.vectors);
+    entry->overhead.collectingHours =
+        collected.simulatedClusterSec / 3600.0;
+    entry->overhead.trainingRuns = entry->vectors.size();
+
+    auto report = core::buildAndValidate(core::ModelKind::HM,
+                                         entry->vectors,
+                                         options.tuning.hm, true,
+                                         copt.seed);
+    entry->model = std::shared_ptr<const ml::Model>(
+        std::move(report.model));
+    entry->overhead.modelingSec = report.trainWallSec;
+    entry->modelErrorPct = report.testErrorPct;
+
+    registry.counter("models.built").increment();
+    registry.histogram("latency.model_build").observe(elapsedSec(start));
+    return entry;
+}
+
+void
+TuningService::shutdown()
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex);
+        accepting = false;
+    }
+    // Drains every accepted request, then joins the workers.
+    pool.shutdown();
+}
+
+std::string
+TuningService::statusReport()
+{
+    const auto stats = cache.stats();
+    registry.setGauge("pool.queue_depth",
+                      static_cast<double>(pool.queueDepth()));
+    registry.setGauge("pool.threads",
+                      static_cast<double>(pool.threadCount()));
+    registry.setGauge("cache.size", static_cast<double>(stats.size));
+    registry.setGauge("cache.hits", static_cast<double>(stats.hits));
+    registry.setGauge("cache.misses",
+                      static_cast<double>(stats.misses));
+    registry.setGauge("cache.coalesced",
+                      static_cast<double>(stats.coalesced));
+    registry.setGauge("cache.evictions",
+                      static_cast<double>(stats.evictions));
+    registry.setGauge("cache.hit_rate", stats.hitRate());
+    return registry.report();
+}
+
+} // namespace dac::service

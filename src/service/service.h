@@ -1,0 +1,123 @@
+/**
+ * @file
+ * The concurrent tuning service: DAC's collect -> model -> search
+ * pipeline behind an asynchronous submit() API.
+ *
+ * A TuningService owns a ThreadPool, a ModelCache, and a
+ * MetricsRegistry. Each submitted request runs on the pool; the
+ * expensive collect+model phase is shared through the cache (and
+ * band-local, see model_cache.h), concurrent identical requests are
+ * coalesced into one in-flight computation, and shutdown() drains
+ * everything already accepted before returning. Responses are
+ * deterministic for a fixed request seed regardless of thread count or
+ * arrival order: all randomness is planned serially per request (see
+ * executor.h).
+ */
+
+#ifndef DAC_SERVICE_SERVICE_H
+#define DAC_SERVICE_SERVICE_H
+
+#include <chrono>
+#include <future>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "dac/tuner.h"
+#include "service/metrics.h"
+#include "service/model_cache.h"
+#include "service/request.h"
+#include "service/thread_pool.h"
+#include "sparksim/simulator.h"
+
+namespace dac::service {
+
+/** Service sizing and tuning policy. */
+struct ServiceOptions
+{
+    /** Worker threads (0 = one per hardware thread). */
+    size_t threads = 4;
+    /** Bound on queued-but-not-running requests. */
+    size_t queueCapacity = 256;
+    /** Trained models kept resident. */
+    size_t modelCacheCapacity = 16;
+    /** Collection/model/GA settings applied to every request. */
+    core::AutoTuneOptions tuning;
+    /**
+     * Spread one request's collection runs and GA fitness evaluations
+     * across the pool. Results are bit-identical either way; parallel
+     * collection is what makes a single cold request faster.
+     */
+    bool parallelWithinRequest = true;
+};
+
+/**
+ * Long-lived, thread-safe tuning frontend over one simulator/cluster.
+ */
+class TuningService
+{
+  public:
+    TuningService(const sparksim::SparkSimulator &sim,
+                  ServiceOptions options = {});
+
+    /** Drains in-flight work (shutdown()) before destruction. */
+    ~TuningService();
+
+    TuningService(const TuningService &) = delete;
+    TuningService &operator=(const TuningService &) = delete;
+
+    /**
+     * Submit one tuning request; the future resolves when the request
+     * has been served (or faulted, e.g. unknown workload). Identical
+     * concurrent requests share a single computation.
+     */
+    std::future<TuneResponse> submit(TuneRequest request);
+
+    /**
+     * Stop accepting requests, serve everything already submitted,
+     * and join the workers. Idempotent.
+     */
+    void shutdown();
+
+    /** Operational counters and latency histograms. */
+    MetricsRegistry &metrics() { return registry; }
+
+    /** Model-cache accounting (hits, misses, evictions, ...). */
+    ModelCache::Stats cacheStats() const { return cache.stats(); }
+
+    /**
+     * Point-in-time ASCII status table: request counters, latency
+     * percentiles, cache hit rate, queue depth.
+     */
+    std::string statusReport();
+
+  private:
+    /** Requests waiting on one in-flight computation. */
+    struct Pending
+    {
+        std::vector<std::promise<TuneResponse>> waiters;
+        std::chrono::steady_clock::time_point submitted;
+    };
+
+    /** Runs on a pool worker: the full pipeline for one request. */
+    TuneResponse process(const TuneRequest &request);
+    /** Build (collect + model) the cache entry for one request. */
+    std::shared_ptr<const CachedModel> buildModel(
+        const workloads::Workload &workload, const ModelKey &key);
+
+    const sparksim::SparkSimulator *sim;
+    ServiceOptions options;
+    MetricsRegistry registry;
+    ModelCache cache;
+    ThreadPool pool; ///< declared after the fields its tasks touch
+
+    std::mutex mutex;
+    std::map<std::string, std::shared_ptr<Pending>> pending;
+    bool accepting = true;
+};
+
+} // namespace dac::service
+
+#endif // DAC_SERVICE_SERVICE_H

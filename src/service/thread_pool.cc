@@ -1,0 +1,177 @@
+#include "service/thread_pool.h"
+
+#include <atomic>
+#include <exception>
+
+#include "support/logging.h"
+
+namespace dac::service {
+
+namespace {
+
+size_t
+resolveThreadCount(size_t requested)
+{
+    if (requested > 0)
+        return requested;
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw > 0 ? hw : 1;
+}
+
+} // namespace
+
+ThreadPool::ThreadPool(size_t threads)
+    : ThreadPool(Options{threads, Options{}.queueCapacity})
+{
+}
+
+ThreadPool::ThreadPool(Options options)
+    : capacity(options.queueCapacity)
+{
+    DAC_ASSERT(capacity > 0, "thread pool needs a non-empty queue");
+    const size_t count = resolveThreadCount(options.threads);
+    workers.reserve(count);
+    for (size_t i = 0; i < count; ++i)
+        workers.emplace_back([this]() { workerLoop(); });
+}
+
+ThreadPool::~ThreadPool()
+{
+    shutdown();
+}
+
+size_t
+ThreadPool::queueDepth() const
+{
+    std::lock_guard<std::mutex> lock(mutex);
+    return queue.size();
+}
+
+void
+ThreadPool::post(std::function<void()> task)
+{
+    DAC_ASSERT(task, "posted an empty task");
+    {
+        std::unique_lock<std::mutex> lock(mutex);
+        queueSpace.wait(lock, [this]() {
+            return queue.size() < capacity || !accepting;
+        });
+        if (!accepting)
+            fatalError("ThreadPool::post after shutdown");
+        queue.push_back(std::move(task));
+    }
+    taskReady.notify_one();
+}
+
+bool
+ThreadPool::tryPost(std::function<void()> task)
+{
+    DAC_ASSERT(task, "posted an empty task");
+    {
+        std::lock_guard<std::mutex> lock(mutex);
+        if (!accepting || queue.size() >= capacity)
+            return false;
+        queue.push_back(std::move(task));
+    }
+    taskReady.notify_one();
+    return true;
+}
+
+void
+ThreadPool::parallelFor(size_t n, const std::function<void(size_t)> &body)
+{
+    if (n == 0)
+        return;
+
+    struct LoopState
+    {
+        std::atomic<size_t> next{0};
+        std::atomic<size_t> done{0};
+        size_t total;
+        const std::function<void(size_t)> *body;
+        std::mutex mutex;
+        std::condition_variable finished;
+        std::exception_ptr error;
+    };
+    auto state = std::make_shared<LoopState>();
+    state->total = n;
+    state->body = &body;
+
+    auto drain = [state]() {
+        for (;;) {
+            const size_t i = state->next.fetch_add(1);
+            if (i >= state->total)
+                return;
+            try {
+                (*state->body)(i);
+            } catch (...) {
+                std::lock_guard<std::mutex> lock(state->mutex);
+                if (!state->error)
+                    state->error = std::current_exception();
+            }
+            if (state->done.fetch_add(1) + 1 == state->total) {
+                // Lock so the notify cannot race the waiter between its
+                // predicate check and its sleep.
+                std::lock_guard<std::mutex> lock(state->mutex);
+                state->finished.notify_all();
+            }
+        }
+    };
+
+    // Idle workers accelerate the loop; the caller alone guarantees
+    // completion, so a full queue (or a busy pool) is never a deadlock.
+    const size_t helpers = std::min(threadCount(), n - 1);
+    for (size_t h = 0; h < helpers; ++h) {
+        if (!tryPost(drain))
+            break;
+    }
+    drain();
+
+    std::unique_lock<std::mutex> lock(state->mutex);
+    state->finished.wait(lock, [&]() {
+        return state->done.load() >= state->total;
+    });
+    if (state->error)
+        std::rethrow_exception(state->error);
+}
+
+void
+ThreadPool::shutdown()
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex);
+        if (stopping && !accepting)
+            return;
+        accepting = false;
+        stopping = true;
+    }
+    taskReady.notify_all();
+    queueSpace.notify_all();
+    for (auto &worker : workers) {
+        if (worker.joinable())
+            worker.join();
+    }
+}
+
+void
+ThreadPool::workerLoop()
+{
+    for (;;) {
+        std::function<void()> task;
+        {
+            std::unique_lock<std::mutex> lock(mutex);
+            taskReady.wait(lock, [this]() {
+                return !queue.empty() || stopping;
+            });
+            // Graceful shutdown: drain the queue before exiting.
+            if (queue.empty())
+                return;
+            task = std::move(queue.front());
+            queue.pop_front();
+        }
+        queueSpace.notify_one();
+        task();
+    }
+}
+
+} // namespace dac::service

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Minimal executor abstraction that lets the library layers (collector,
+ * GA) exploit parallelism without depending on the service runtime.
+ *
+ * `src/service/thread_pool.h` provides the production implementation;
+ * passing a null executor anywhere one is accepted degrades to the
+ * serial path. Components that accept an executor are written so the
+ * parallel result is bit-identical to the serial one: all random draws
+ * happen in a serial planning phase and only deterministic work (e.g.
+ * simulator runs, model predictions) is distributed.
+ */
+
+#ifndef DAC_SUPPORT_EXECUTOR_H
+#define DAC_SUPPORT_EXECUTOR_H
+
+#include <cstddef>
+#include <functional>
+
+namespace dac {
+
+/**
+ * Something that can run index-addressed work items concurrently.
+ */
+class Executor
+{
+  public:
+    virtual ~Executor() = default;
+
+    /**
+     * Invoke body(i) for every i in [0, n), possibly concurrently, and
+     * return once all invocations have finished. The body must be safe
+     * to call from multiple threads; if any invocation throws, one of
+     * the thrown exceptions is rethrown after the loop completes.
+     */
+    virtual void parallelFor(size_t n,
+                             const std::function<void(size_t)> &body) = 0;
+
+    /** Number of threads work may be spread over (>= 1). */
+    virtual size_t concurrency() const = 0;
+};
+
+/**
+ * Run body(0..n-1), on the executor when one is provided, serially on
+ * the calling thread otherwise. The library's standard "optionally
+ * parallel" loop.
+ */
+inline void
+parallelFor(Executor *executor, size_t n,
+            const std::function<void(size_t)> &body)
+{
+    if (executor != nullptr && n > 1) {
+        executor->parallelFor(n, body);
+        return;
+    }
+    for (size_t i = 0; i < n; ++i)
+        body(i);
+}
+
+} // namespace dac
+
+#endif // DAC_SUPPORT_EXECUTOR_H

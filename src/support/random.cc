@@ -57,6 +57,16 @@ Rng::fork(uint64_t stream_id)
     return Rng(combineSeed(material, stream_id));
 }
 
+Rng
+Rng::splitStream(uint64_t stream_id) const
+{
+    // The extra constant keeps the splitStream family disjoint from
+    // fork(), which hashes raw engine output instead of the seed.
+    const uint64_t material = combineSeed(constructionSeed,
+                                          0x5eedfacecafef00dULL);
+    return Rng(combineSeed(material, stream_id));
+}
+
 std::vector<size_t>
 Rng::sampleIndices(size_t n, size_t k)
 {

@@ -21,12 +21,18 @@ namespace dac {
  *
  * Thin wrapper around std::mt19937_64 with the distribution helpers the
  * library needs. Copyable; copies continue the same stream independently.
+ *
+ * NOT thread-safe: every draw mutates the engine, so a single Rng must
+ * never be shared across threads without external synchronization.
+ * Concurrent components instead give each worker its own stream via
+ * splitStream(i), which derives independent generators from one seed
+ * without consuming any state from the parent.
  */
 class Rng
 {
   public:
     /** Construct with an explicit seed. */
-    explicit Rng(uint64_t seed) : engine(seed) {}
+    explicit Rng(uint64_t seed) : engine(seed), constructionSeed(seed) {}
 
     /** Uniform real in [0, 1). */
     double uniform() { return unit(engine); }
@@ -58,9 +64,22 @@ class Rng
      * Derive an independent child generator.
      *
      * Mixes the stream id into fresh seed material so sub-streams do not
-     * overlap even for adjacent ids.
+     * overlap even for adjacent ids. Advances this generator's state;
+     * use splitStream() when the parent must stay untouched.
      */
     Rng fork(uint64_t stream_id);
+
+    /**
+     * Derive the i-th of a family of independent per-worker streams.
+     *
+     * Unlike fork(), this is a pure function of the construction seed
+     * and the stream id: it does not advance this generator, so any
+     * number of workers can be handed splitStream(0..k-1) up front and
+     * the parent's subsequent draws are unaffected. Streams with
+     * distinct ids do not overlap, and the family is disjoint from the
+     * fork() family.
+     */
+    Rng splitStream(uint64_t stream_id) const;
 
     /** Fisher-Yates shuffle of a vector. */
     template <typename T>
@@ -80,6 +99,8 @@ class Rng
 
   private:
     std::mt19937_64 engine;
+    /** Seed this Rng was built from; splitStream() derives from it. */
+    uint64_t constructionSeed;
     std::uniform_real_distribution<double> unit{0.0, 1.0};
 };
 

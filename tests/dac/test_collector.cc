@@ -5,6 +5,7 @@
 #include <set>
 
 #include "dac/collector.h"
+#include "service/thread_pool.h"
 #include "workloads/registry.h"
 
 namespace dac::core {
@@ -110,6 +111,46 @@ TEST(Collector, SamplingSchemesDiffer)
     const auto rnd =
         collector.collectAtSizes({30.0}, 5, 5, Sampling::Random);
     EXPECT_NE(lhs.vectors[0].config, rnd.vectors[0].config);
+}
+
+TEST(Collector, ParallelRunIsBitIdenticalToSerial)
+{
+    sparksim::SparkSimulator sim(cluster::ClusterSpec::paperTestbed());
+    Collector collector(sim, ts());
+
+    const std::vector<double> sizes{10.0, 20.0, 40.0};
+    const auto serial = collector.collectAtSizes(sizes, 8, 42);
+    service::ThreadPool pool(3);
+    const auto parallel =
+        collector.collectAtSizes(sizes, 8, 42, Sampling::Random, &pool);
+
+    ASSERT_EQ(serial.vectors.size(), parallel.vectors.size());
+    for (size_t i = 0; i < serial.vectors.size(); ++i) {
+        EXPECT_DOUBLE_EQ(serial.vectors[i].timeSec,
+                         parallel.vectors[i].timeSec);
+        EXPECT_EQ(serial.vectors[i].config, parallel.vectors[i].config);
+        EXPECT_DOUBLE_EQ(serial.vectors[i].dsizeBytes,
+                         parallel.vectors[i].dsizeBytes);
+    }
+    EXPECT_DOUBLE_EQ(serial.simulatedClusterSec,
+                     parallel.simulatedClusterSec);
+}
+
+TEST(Collector, ParallelLatinHypercubeIsBitIdenticalToSerial)
+{
+    sparksim::SparkSimulator sim(cluster::ClusterSpec::paperTestbed());
+    Collector collector(sim, ts());
+
+    const std::vector<double> sizes{15.0, 30.0};
+    const auto serial =
+        collector.collectAtSizes(sizes, 10, 7, Sampling::LatinHypercube);
+    service::ThreadPool pool(2);
+    const auto parallel = collector.collectAtSizes(
+        sizes, 10, 7, Sampling::LatinHypercube, &pool);
+
+    ASSERT_EQ(serial.vectors.size(), parallel.vectors.size());
+    for (size_t i = 0; i < serial.vectors.size(); ++i)
+        EXPECT_EQ(serial.vectors[i].config, parallel.vectors[i].config);
 }
 
 TEST(Collector, InvalidOptionsPanic)

@@ -5,6 +5,7 @@
 #include <cmath>
 
 #include "ga/ga.h"
+#include "service/thread_pool.h"
 
 namespace dac::ga {
 namespace {
@@ -138,6 +139,26 @@ TEST(Ga, ZeroDimensionPanics)
 {
     GeneticAlgorithm ga(defaults());
     EXPECT_THROW(ga.minimize(sphere, 0), std::logic_error);
+}
+
+TEST(Ga, ParallelEvaluationIsBitIdenticalToSerial)
+{
+    GaParams serial_params = defaults(23);
+    serial_params.maxGenerations = 30;
+    const auto serial =
+        GeneticAlgorithm(serial_params).minimize(rastriginLike, 5);
+
+    service::ThreadPool pool(3);
+    GaParams parallel_params = serial_params;
+    parallel_params.executor = &pool;
+    const auto parallel =
+        GeneticAlgorithm(parallel_params).minimize(rastriginLike, 5);
+
+    EXPECT_EQ(serial.best, parallel.best);
+    EXPECT_DOUBLE_EQ(serial.bestFitness, parallel.bestFitness);
+    EXPECT_EQ(serial.history, parallel.history);
+    EXPECT_EQ(serial.generations, parallel.generations);
+    EXPECT_EQ(serial.convergedAt, parallel.convergedAt);
 }
 
 } // namespace

@@ -1,0 +1,87 @@
+/** @file Tests for the service metrics registry. */
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+#include "service/metrics.h"
+
+namespace dac::service {
+namespace {
+
+TEST(Metrics, CountersAccumulate)
+{
+    MetricsRegistry registry;
+    registry.counter("requests").increment();
+    registry.counter("requests").increment(4);
+    EXPECT_EQ(registry.counterValue("requests"), 5u);
+    EXPECT_EQ(registry.counterValue("never-touched"), 0u);
+}
+
+TEST(Metrics, CountersAreThreadSafe)
+{
+    MetricsRegistry registry;
+    Counter &counter = registry.counter("shared");
+    std::vector<std::thread> threads;
+    for (int t = 0; t < 4; ++t) {
+        threads.emplace_back([&counter]() {
+            for (int i = 0; i < 10000; ++i)
+                counter.increment();
+        });
+    }
+    for (auto &thread : threads)
+        thread.join();
+    EXPECT_EQ(counter.value(), 40000u);
+}
+
+TEST(Metrics, HistogramTracksCountMeanMax)
+{
+    Histogram hist;
+    EXPECT_EQ(hist.count(), 0u);
+    EXPECT_DOUBLE_EQ(hist.percentile(50), 0.0);
+
+    hist.observe(0.010);
+    hist.observe(0.020);
+    hist.observe(0.030);
+    EXPECT_EQ(hist.count(), 3u);
+    EXPECT_NEAR(hist.meanValue(), 0.020, 1e-12);
+    EXPECT_DOUBLE_EQ(hist.maxValue(), 0.030);
+}
+
+TEST(Metrics, HistogramPercentilesAreOrderedAndBracketed)
+{
+    Histogram hist;
+    // 100 observations spread over two decades.
+    for (int i = 1; i <= 100; ++i)
+        hist.observe(0.001 * i);
+
+    const double p50 = hist.percentile(50);
+    const double p95 = hist.percentile(95);
+    const double p99 = hist.percentile(99);
+    EXPECT_LE(p50, p95);
+    EXPECT_LE(p95, p99);
+    // Log-bucketed estimates: within one 2x bucket of the truth.
+    EXPECT_GT(p50, 0.050 / 2);
+    EXPECT_LT(p50, 0.050 * 2);
+    EXPECT_GT(p99, 0.099 / 2);
+    EXPECT_LE(p99, hist.maxValue() * 2);
+}
+
+TEST(Metrics, ReportRendersEveryMetric)
+{
+    MetricsRegistry registry;
+    registry.counter("requests.served").increment(3);
+    registry.histogram("latency.request").observe(0.5);
+    registry.setGauge("pool.queue_depth", 7);
+
+    const std::string report = registry.report();
+    EXPECT_NE(report.find("requests.served"), std::string::npos);
+    EXPECT_NE(report.find("latency.request"), std::string::npos);
+    EXPECT_NE(report.find("pool.queue_depth"), std::string::npos);
+    EXPECT_NE(report.find("p95"), std::string::npos);
+    EXPECT_NE(report.find("3"), std::string::npos);
+}
+
+} // namespace
+} // namespace dac::service

@@ -1,0 +1,163 @@
+/** @file Tests for the LRU model cache and its build coalescing. */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "service/model_cache.h"
+
+namespace dac::service {
+namespace {
+
+ModelKey
+key(const std::string &workload, int band = 0)
+{
+    return ModelKey{workload, "test-cluster", band};
+}
+
+std::shared_ptr<const CachedModel>
+dummyModel(double error_pct)
+{
+    auto model = std::make_shared<CachedModel>();
+    model->modelErrorPct = error_pct;
+    return model;
+}
+
+TEST(ModelCache, HitAndMissCounters)
+{
+    ModelCache cache(4);
+    EXPECT_EQ(cache.lookup(key("PR")), nullptr);
+    cache.insert(key("PR"), dummyModel(1.0));
+    const auto found = cache.lookup(key("PR"));
+    ASSERT_NE(found, nullptr);
+    EXPECT_DOUBLE_EQ(found->modelErrorPct, 1.0);
+    // Same workload, different band: a distinct model.
+    EXPECT_EQ(cache.lookup(key("PR", 3)), nullptr);
+
+    const auto stats = cache.stats();
+    EXPECT_EQ(stats.hits, 1u);
+    EXPECT_EQ(stats.misses, 2u);
+    EXPECT_EQ(stats.size, 1u);
+    EXPECT_EQ(stats.capacity, 4u);
+}
+
+TEST(ModelCache, EvictsLeastRecentlyUsed)
+{
+    ModelCache cache(2);
+    cache.insert(key("A"), dummyModel(1));
+    cache.insert(key("B"), dummyModel(2));
+    // Touch A so B becomes the LRU entry.
+    EXPECT_NE(cache.lookup(key("A")), nullptr);
+    cache.insert(key("C"), dummyModel(3));
+
+    EXPECT_EQ(cache.size(), 2u);
+    EXPECT_EQ(cache.lookup(key("B")), nullptr); // evicted
+    EXPECT_NE(cache.lookup(key("A")), nullptr);
+    EXPECT_NE(cache.lookup(key("C")), nullptr);
+    EXPECT_EQ(cache.stats().evictions, 1u);
+
+    const auto order = cache.keysByRecency();
+    ASSERT_EQ(order.size(), 2u);
+    EXPECT_EQ(order[0].workload, "C"); // most recently touched
+    EXPECT_EQ(order[1].workload, "A");
+}
+
+TEST(ModelCache, ReinsertRefreshesInsteadOfDuplicating)
+{
+    ModelCache cache(2);
+    cache.insert(key("A"), dummyModel(1));
+    cache.insert(key("A"), dummyModel(9));
+    EXPECT_EQ(cache.size(), 1u);
+    EXPECT_DOUBLE_EQ(cache.lookup(key("A"))->modelErrorPct, 9.0);
+    EXPECT_EQ(cache.stats().evictions, 0u);
+}
+
+TEST(ModelCache, GetOrBuildCachesTheResult)
+{
+    ModelCache cache(4);
+    int builds = 0;
+    const auto build = [&]() {
+        ++builds;
+        return dummyModel(5);
+    };
+    const auto first = cache.getOrBuild(key("KM"), build);
+    const auto second = cache.getOrBuild(key("KM"), build);
+    EXPECT_EQ(builds, 1);
+    EXPECT_EQ(first.get(), second.get());
+    const auto stats = cache.stats();
+    EXPECT_EQ(stats.misses, 1u);
+    EXPECT_EQ(stats.hits, 1u);
+}
+
+TEST(ModelCache, ConcurrentBuildsOfOneKeyCoalesce)
+{
+    ModelCache cache(4);
+    std::atomic<int> builds{0};
+    constexpr int kThreads = 4;
+
+    const auto build = [&]() {
+        ++builds;
+        // Hold the build open until every other thread has joined this
+        // in-flight build, so all of them must coalesce.
+        while (cache.stats().coalesced <
+               static_cast<uint64_t>(kThreads - 1))
+            std::this_thread::yield();
+        return dummyModel(7);
+    };
+
+    std::vector<std::thread> threads;
+    std::vector<std::shared_ptr<const CachedModel>> results(kThreads);
+    for (int t = 0; t < kThreads; ++t) {
+        threads.emplace_back([&, t]() {
+            results[t] = cache.getOrBuild(key("TS"), build);
+        });
+    }
+    for (auto &thread : threads)
+        thread.join();
+
+    EXPECT_EQ(builds.load(), 1);
+    for (const auto &result : results) {
+        ASSERT_NE(result, nullptr);
+        EXPECT_EQ(result.get(), results[0].get());
+    }
+    const auto stats = cache.stats();
+    EXPECT_EQ(stats.misses, 1u);
+    EXPECT_EQ(stats.coalesced, 3u);
+    EXPECT_GT(stats.hitRate(), 0.5);
+}
+
+TEST(ModelCache, BuilderFailureCachesNothing)
+{
+    ModelCache cache(4);
+    EXPECT_THROW(cache.getOrBuild(key("WC"),
+                                  []() -> std::shared_ptr<
+                                      const CachedModel> {
+                                      throw std::runtime_error("no data");
+                                  }),
+                 std::runtime_error);
+    EXPECT_EQ(cache.size(), 0u);
+    // A later build of the same key runs afresh and succeeds.
+    int builds = 0;
+    cache.getOrBuild(key("WC"), [&]() {
+        ++builds;
+        return dummyModel(2);
+    });
+    EXPECT_EQ(builds, 1);
+    EXPECT_EQ(cache.size(), 1u);
+}
+
+TEST(ModelCache, SizeBandQuantizesByPowersOfTwo)
+{
+    EXPECT_EQ(sizeBandOf(1.0), 0);
+    EXPECT_EQ(sizeBandOf(1.9), 0);
+    EXPECT_EQ(sizeBandOf(2.0), 1);
+    EXPECT_EQ(sizeBandOf(20.0), 4);
+    EXPECT_EQ(sizeBandOf(0.5), -1);
+    EXPECT_THROW(sizeBandOf(0.0), std::logic_error);
+}
+
+} // namespace
+} // namespace dac::service

@@ -1,0 +1,171 @@
+/** @file Tests for the concurrent tuning service facade. */
+
+#include <gtest/gtest.h>
+
+#include <future>
+#include <stdexcept>
+#include <vector>
+
+#include "service/service.h"
+#include "workloads/registry.h"
+
+namespace dac::service {
+namespace {
+
+ServiceOptions
+fastOptions(size_t threads = 2)
+{
+    ServiceOptions opt;
+    opt.threads = threads;
+    opt.modelCacheCapacity = 4;
+    opt.tuning.collect.datasetCount = 4;
+    opt.tuning.collect.runsPerDataset = 12;
+    opt.tuning.hm.firstOrder.maxTrees = 60;
+    opt.tuning.hm.firstOrder.convergencePatience = 30;
+    opt.tuning.ga.maxGenerations = 25;
+    return opt;
+}
+
+TuneRequest
+request(const std::string &workload, double size, uint64_t seed = 17)
+{
+    TuneRequest req;
+    req.workload = workload;
+    req.nativeSize = size;
+    req.seed = seed;
+    return req;
+}
+
+TEST(TuningService, ServesAValidConfiguration)
+{
+    sparksim::SparkSimulator sim(cluster::ClusterSpec::paperTestbed());
+    TuningService service(sim, fastOptions());
+    const auto response = service.submit(request("TS", 40)).get();
+
+    EXPECT_EQ(response.workload, "TS");
+    EXPECT_DOUBLE_EQ(response.nativeSize, 40.0);
+    EXPECT_EQ(response.best.size(), 41u);
+    EXPECT_GT(response.predictedTimeSec, 0.0);
+    EXPECT_GT(response.modelErrorPct, 0.0);
+    EXPECT_FALSE(response.modelCacheHit);
+    EXPECT_GT(response.latencySec, 0.0);
+}
+
+TEST(TuningService, RepeatedRequestsHitTheModelCache)
+{
+    sparksim::SparkSimulator sim(cluster::ClusterSpec::paperTestbed());
+    TuningService service(sim, fastOptions());
+
+    const auto cold = service.submit(request("TS", 40)).get();
+    EXPECT_FALSE(cold.modelCacheHit);
+    // Same band (40 and 50 are both in [32, 64)): model is reused.
+    const auto warm = service.submit(request("TS", 50)).get();
+    EXPECT_TRUE(warm.modelCacheHit);
+
+    const auto stats = service.cacheStats();
+    EXPECT_EQ(stats.misses, 1u);
+    EXPECT_EQ(stats.hits, 1u);
+    EXPECT_EQ(stats.size, 1u);
+    // Warm requests skip collection entirely, so they are much
+    // faster than the cold one.
+    EXPECT_LT(warm.latencySec, cold.latencySec);
+}
+
+TEST(TuningService, DifferentBandsTrainDifferentModels)
+{
+    sparksim::SparkSimulator sim(cluster::ClusterSpec::paperTestbed());
+    TuningService service(sim, fastOptions());
+    const auto small = service.submit(request("TS", 10)).get();
+    const auto large = service.submit(request("TS", 100)).get();
+    EXPECT_FALSE(small.modelCacheHit);
+    EXPECT_FALSE(large.modelCacheHit);
+    EXPECT_EQ(service.cacheStats().size, 2u);
+    // Band-local models adapt the configuration to the datasize.
+    EXPECT_NE(small.best.values(), large.best.values());
+}
+
+TEST(TuningService, ConcurrentIdenticalRequestsCoalesce)
+{
+    sparksim::SparkSimulator sim(cluster::ClusterSpec::paperTestbed());
+    TuningService service(sim, fastOptions(2));
+
+    std::vector<std::future<TuneResponse>> futures;
+    constexpr int kClients = 6;
+    for (int i = 0; i < kClients; ++i)
+        futures.push_back(service.submit(request("WC", 80)));
+
+    std::vector<TuneResponse> responses;
+    for (auto &f : futures)
+        responses.push_back(f.get());
+
+    int coalesced = 0;
+    for (const auto &r : responses) {
+        EXPECT_EQ(r.best.values(), responses[0].best.values());
+        coalesced += r.coalesced ? 1 : 0;
+    }
+    // All submits landed before the first could finish (a build takes
+    // far longer than six submits), so one computation served all.
+    EXPECT_EQ(coalesced, kClients - 1);
+    EXPECT_EQ(service.metrics().counterValue("requests.served"),
+              static_cast<uint64_t>(kClients));
+    EXPECT_EQ(service.metrics().counterValue("requests.coalesced"),
+              static_cast<uint64_t>(kClients - 1));
+    EXPECT_EQ(service.cacheStats().misses, 1u);
+}
+
+TEST(TuningService, ResponsesAreDeterministicAcrossThreadCounts)
+{
+    sparksim::SparkSimulator sim(cluster::ClusterSpec::paperTestbed());
+    TuningService serial(sim, fastOptions(1));
+    TuningService parallel(sim, fastOptions(3));
+
+    const auto a = serial.submit(request("KM", 200, 5)).get();
+    const auto b = parallel.submit(request("KM", 200, 5)).get();
+    EXPECT_EQ(a.best.values(), b.best.values());
+    EXPECT_DOUBLE_EQ(a.predictedTimeSec, b.predictedTimeSec);
+    EXPECT_DOUBLE_EQ(a.modelErrorPct, b.modelErrorPct);
+}
+
+TEST(TuningService, UnknownWorkloadFaultsTheFuture)
+{
+    sparksim::SparkSimulator sim(cluster::ClusterSpec::paperTestbed());
+    TuningService service(sim, fastOptions());
+    auto future = service.submit(request("NOPE", 10));
+    EXPECT_THROW(future.get(), std::runtime_error);
+    EXPECT_EQ(service.metrics().counterValue("requests.failed"), 1u);
+}
+
+TEST(TuningService, ShutdownDrainsAcceptedRequests)
+{
+    sparksim::SparkSimulator sim(cluster::ClusterSpec::paperTestbed());
+    TuningService service(sim, fastOptions(1));
+
+    // Three distinct requests: one runs, two sit in the queue.
+    auto a = service.submit(request("TS", 40));
+    auto b = service.submit(request("WC", 80));
+    auto c = service.submit(request("KM", 200));
+    service.shutdown();
+
+    EXPECT_EQ(a.get().workload, "TS");
+    EXPECT_EQ(b.get().workload, "WC");
+    EXPECT_EQ(c.get().workload, "KM");
+    EXPECT_THROW(service.submit(request("TS", 40)),
+                 std::runtime_error);
+}
+
+TEST(TuningService, StatusReportShowsTraffic)
+{
+    sparksim::SparkSimulator sim(cluster::ClusterSpec::paperTestbed());
+    TuningService service(sim, fastOptions());
+    service.submit(request("TS", 40)).get();
+    service.submit(request("TS", 40)).get();
+
+    const std::string report = service.statusReport();
+    EXPECT_NE(report.find("requests.served"), std::string::npos);
+    EXPECT_NE(report.find("latency.request"), std::string::npos);
+    EXPECT_NE(report.find("cache.hit_rate"), std::string::npos);
+    EXPECT_NE(report.find("models.built"), std::string::npos);
+}
+
+} // namespace
+} // namespace dac::service

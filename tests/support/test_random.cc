@@ -173,5 +173,45 @@ TEST(SplitMix, IsDeterministicAndSpreads)
     EXPECT_NE(combineSeed(1, 2), combineSeed(2, 1));
 }
 
+TEST(Rng, SplitStreamIsReproducible)
+{
+    Rng a(99);
+    Rng b(99);
+    EXPECT_EQ(a.splitStream(4).raw(), b.splitStream(4).raw());
+}
+
+TEST(Rng, SplitStreamsAreIndependentPerId)
+{
+    Rng rng(99);
+    EXPECT_NE(rng.splitStream(0).raw(), rng.splitStream(1).raw());
+    // ...and disjoint from the fork() family.
+    Rng forker(99);
+    EXPECT_NE(rng.splitStream(0).raw(), forker.fork(0).raw());
+}
+
+TEST(Rng, SplitStreamDoesNotAdvanceTheParent)
+{
+    Rng advanced(123);
+    Rng untouched(123);
+    advanced.splitStream(0);
+    advanced.splitStream(1);
+    // The parent stream continues exactly as if splitStream had
+    // never been called (unlike fork(), which consumes a draw).
+    EXPECT_EQ(advanced.raw(), untouched.raw());
+    EXPECT_EQ(advanced.raw(), untouched.raw());
+}
+
+TEST(Rng, SplitStreamDerivesFromConstructionSeed)
+{
+    // Streams are a pure function of (seed, id): drawing from the
+    // parent first does not change what splitStream hands out.
+    Rng fresh(7);
+    Rng drained(7);
+    drained.raw();
+    drained.uniform();
+    EXPECT_EQ(fresh.splitStream(2).raw(),
+              drained.splitStream(2).raw());
+}
+
 } // namespace
 } // namespace dac
