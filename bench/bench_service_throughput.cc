@@ -21,12 +21,17 @@
 
 #include <chrono>
 #include <iostream>
+#include <string>
 #include <thread>
 #include <vector>
 
 #include "bench/common.h"
+#include "obs/chrome_trace.h"
+#include "obs/summary.h"
+#include "obs/tracer.h"
 #include "service/service.h"
 #include "support/random.h"
+#include "support/string_utils.h"
 
 namespace {
 
@@ -174,5 +179,36 @@ main(int argc, char **argv)
                  ">= 4 cores the 4-thread cold request should be >= 2x "
                  "faster\n(collection is embarrassingly parallel; on a "
                  "single core speedups pin near 1x).\n";
+
+    // Traced sample: with --trace-out=FILE, re-run a small client mix
+    // (one cold build, one cache hit) with tracing on and dump it.
+    // Kept out of the timed sections above so tracing overhead never
+    // skews the headline numbers.
+    std::string trace_path;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (dac::startsWith(arg, "--trace-out="))
+            trace_path = arg.substr(std::string("--trace-out=").size());
+    }
+    if (!trace_path.empty()) {
+        obs::setThreadName("main");
+        obs::Tracer::instance().setEnabled(true);
+        {
+            service::TuningService service(sim,
+                                           serviceOptions(2, scale));
+            service::TuneRequest req;
+            req.workload = "TS";
+            req.nativeSize = 40.0;
+            service.submit(req).get();
+            service.submit(req).get();
+            service.shutdown();
+        }
+        obs::Tracer::instance().setEnabled(false);
+        const auto log = obs::Tracer::instance().snapshot();
+        obs::writeChromeTrace(log, trace_path);
+        std::cout << "\nwrote " << log.events.size()
+                  << " trace events -> " << trace_path << "\n";
+        obs::summaryTable(log).print(std::cout);
+    }
     return 0;
 }

@@ -11,15 +11,26 @@
  *   dac_cli evaluate <WL> <size>               # compare all tuners
  *
  * <WL> is a Table 1 abbreviation: PR KM BA NW WC TS.
+ *
+ * Global flags (any position):
+ *   --metrics           dump the process metrics registry on exit
+ *   --trace-out=FILE    record a Chrome trace of the run to FILE and
+ *                       print a span summary (open in Perfetto)
  */
 
 #include <iostream>
+#include <string>
+#include <vector>
 
 #include "dac/collector.h"
 #include "dac/evaluation.h"
 #include "dac/modeler.h"
 #include "dac/searcher.h"
 #include "dac/tuner.h"
+#include "obs/chrome_trace.h"
+#include "obs/metrics.h"
+#include "obs/summary.h"
+#include "obs/tracer.h"
 #include "support/string_utils.h"
 #include "support/table.h"
 #include "workloads/registry.h"
@@ -35,7 +46,11 @@ usage()
               << "  dac_cli collect <WL> <out.csv> [m] [k]\n"
               << "  dac_cli validate <WL> <in.csv>\n"
               << "  dac_cli tune <WL> <size> [in.csv]\n"
-              << "  dac_cli evaluate <WL> <size>\n";
+              << "  dac_cli evaluate <WL> <size>\n"
+              << "flags:\n"
+              << "  --metrics         dump process metrics on exit\n"
+              << "  --trace-out=FILE  write a Chrome trace (Perfetto)\n"
+              << "                    and print a span summary\n";
     return 2;
 }
 
@@ -145,28 +160,64 @@ int
 main(int argc, char **argv)
 {
     using namespace dac;
-    if (argc < 3)
-        return usage();
-    const std::string cmd = argv[1];
 
+    // Strip observability flags first so they work in any position.
+    bool dump_metrics = false;
+    std::string trace_path;
+    std::vector<std::string> args;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--metrics") {
+            dump_metrics = true;
+        } else if (startsWith(arg, "--trace-out=")) {
+            trace_path = arg.substr(std::string("--trace-out=").size());
+            if (trace_path.empty()) {
+                std::cerr << "--trace-out needs a file name\n";
+                return 2;
+            }
+        } else {
+            args.push_back(arg);
+        }
+    }
+    if (args.size() < 2)
+        return usage();
+    const std::string cmd = args[0];
+
+    if (!trace_path.empty()) {
+        obs::setThreadName("main");
+        obs::Tracer::instance().setEnabled(true);
+    }
+
+    int rc = usage();
     try {
         const auto &w =
-            workloads::Registry::instance().byAbbrev(argv[2]);
-        if (cmd == "collect" && argc >= 4) {
-            const size_t m = argc > 4 ? std::stoul(argv[4]) : 10;
-            const size_t k = argc > 5 ? std::stoul(argv[5]) : 80;
-            return cmdCollect(w, argv[3], m, k);
+            workloads::Registry::instance().byAbbrev(args[1]);
+        if (cmd == "collect" && args.size() >= 3) {
+            const size_t m = args.size() > 3 ? std::stoul(args[3]) : 10;
+            const size_t k = args.size() > 4 ? std::stoul(args[4]) : 80;
+            rc = cmdCollect(w, args[2], m, k);
+        } else if (cmd == "validate" && args.size() >= 3) {
+            rc = cmdValidate(w, args[2]);
+        } else if (cmd == "tune" && args.size() >= 3) {
+            rc = cmdTune(w, std::atof(args[2].c_str()),
+                         args.size() > 3 ? args[3] : "");
+        } else if (cmd == "evaluate" && args.size() >= 3) {
+            rc = cmdEvaluate(w, std::atof(args[2].c_str()));
         }
-        if (cmd == "validate" && argc >= 4)
-            return cmdValidate(w, argv[3]);
-        if (cmd == "tune" && argc >= 4)
-            return cmdTune(w, std::atof(argv[3]),
-                           argc > 4 ? argv[4] : "");
-        if (cmd == "evaluate" && argc >= 4)
-            return cmdEvaluate(w, std::atof(argv[3]));
     } catch (const std::exception &e) {
         std::cerr << e.what() << "\n";
         return 1;
     }
-    return usage();
+
+    if (!trace_path.empty()) {
+        obs::Tracer::instance().setEnabled(false);
+        const auto log = obs::Tracer::instance().snapshot();
+        obs::writeChromeTrace(log, trace_path);
+        std::cerr << "wrote " << log.events.size() << " trace events -> "
+                  << trace_path << "\n";
+        obs::summaryTable(log).print(std::cerr);
+    }
+    if (dump_metrics)
+        std::cerr << obs::globalMetrics().report();
+    return rc;
 }

@@ -11,7 +11,14 @@
  * configured?" for a handful of periodic jobs - and then prints the
  * service's own status report.
  *
- * Usage: tuning_server [threads]
+ * Usage: tuning_server [threads] [--prometheus] [--trace-out=FILE]
+ *
+ *   --prometheus      also print the service metrics in Prometheus
+ *                     text exposition format (what a real deployment
+ *                     would serve on /metrics)
+ *   --trace-out=FILE  record a Chrome trace of the whole client mix
+ *                     to FILE (open in Perfetto) and print a span
+ *                     summary table
  */
 
 #include <future>
@@ -21,6 +28,9 @@
 #include <vector>
 
 #include "conf/diff.h"
+#include "obs/chrome_trace.h"
+#include "obs/summary.h"
+#include "obs/tracer.h"
 #include "service/service.h"
 #include "support/string_utils.h"
 #include "support/table.h"
@@ -31,16 +41,31 @@ main(int argc, char **argv)
     using namespace dac;
 
     size_t threads = 4;
-    if (argc > 1) {
-        try {
-            threads = std::stoul(argv[1]);
-        } catch (const std::exception &) {
-            std::cerr << "usage: tuning_server [threads]\n";
-            return 1;
+    bool prometheus = false;
+    std::string trace_path;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--prometheus") {
+            prometheus = true;
+        } else if (startsWith(arg, "--trace-out=")) {
+            trace_path = arg.substr(std::string("--trace-out=").size());
+        } else {
+            try {
+                threads = std::stoul(arg);
+            } catch (const std::exception &) {
+                std::cerr << "usage: tuning_server [threads]"
+                          << " [--prometheus] [--trace-out=FILE]\n";
+                return 1;
+            }
         }
     }
     if (threads == 0) // the pool's "one per hardware thread"
         threads = std::thread::hardware_concurrency();
+
+    if (!trace_path.empty()) {
+        obs::setThreadName("main");
+        obs::Tracer::instance().setEnabled(true);
+    }
 
     sparksim::SparkSimulator sim(cluster::ClusterSpec::paperTestbed());
 
@@ -117,7 +142,23 @@ main(int argc, char **argv)
     printBanner(std::cout, "service status");
     std::cout << service.statusReport();
 
+    if (prometheus) {
+        printBanner(std::cout, "prometheus exposition");
+        std::cout << service.metrics().renderPrometheus();
+    }
+
     service.shutdown();
+
+    if (!trace_path.empty()) {
+        obs::Tracer::instance().setEnabled(false);
+        const auto log = obs::Tracer::instance().snapshot();
+        obs::writeChromeTrace(log, trace_path);
+        printBanner(std::cout, "trace span summary");
+        std::cout << "wrote " << log.events.size()
+                  << " trace events -> " << trace_path << "\n";
+        obs::summaryTable(log).print(std::cout);
+    }
+
     std::cout << "\nservice drained and shut down.\n";
     return 0;
 }

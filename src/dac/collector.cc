@@ -4,6 +4,8 @@
 #include <cmath>
 
 #include "conf/generator.h"
+#include "obs/metrics.h"
+#include "obs/tracer.h"
 #include "support/logging.h"
 
 namespace dac::core {
@@ -32,6 +34,15 @@ Collector::collectAtSizes(const std::vector<double> &native_sizes,
     DAC_ASSERT(!native_sizes.empty(), "no dataset sizes");
     DAC_ASSERT(runs_per_size > 0, "need at least one run per size");
 
+    obs::ScopedSpan campaign("collect");
+    if (campaign.active()) {
+        campaign.attr("workload", workload->abbrev());
+        campaign.attr("sizes",
+                      static_cast<uint64_t>(native_sizes.size()));
+        campaign.attr("runs_per_size",
+                      static_cast<uint64_t>(runs_per_size));
+    }
+
     // Plan phase (serial): draw every configuration and run seed in
     // the same order the historical serial loop did, so the training
     // set is bit-identical whether the runs below execute serially or
@@ -49,26 +60,30 @@ Collector::collectAtSizes(const std::vector<double> &native_sizes,
     dags.reserve(native_sizes.size());
     dsizes.reserve(native_sizes.size());
 
-    conf::ConfigGenerator gen(conf::ConfigSpace::spark(), Rng(seed));
-    Rng run_seeds(combineSeed(seed, 0xC0FFEE));
+    {
+        obs::ScopedSpan planSpan("collect.plan");
+        conf::ConfigGenerator gen(conf::ConfigSpace::spark(), Rng(seed));
+        Rng run_seeds(combineSeed(seed, 0xC0FFEE));
 
-    for (size_t s = 0; s < native_sizes.size(); ++s) {
-        const double native = native_sizes[s];
-        dags.push_back(workload->buildDag(native));
-        dsizes.push_back(workload->bytesForSize(native));
-        // Latin hypercube stratifies per dataset size, so each size's
-        // k runs jointly cover every parameter's range.
-        const auto lhs_batch = sampling == Sampling::LatinHypercube
-            ? gen.latinHypercube(runs_per_size)
-            : std::vector<conf::Configuration>{};
-        for (size_t r = 0; r < runs_per_size; ++r) {
-            auto config = sampling == Sampling::LatinHypercube
-                ? lhs_batch[r]
-                : gen.random();
-            // A fresh seed per run stands in for the different "data
-            // content" of each production run of a periodic job.
-            plan.push_back(PlannedRun{s, std::move(config),
-                                      run_seeds.raw()});
+        for (size_t s = 0; s < native_sizes.size(); ++s) {
+            const double native = native_sizes[s];
+            dags.push_back(workload->buildDag(native));
+            dsizes.push_back(workload->bytesForSize(native));
+            // Latin hypercube stratifies per dataset size, so each
+            // size's k runs jointly cover every parameter's range.
+            const auto lhs_batch = sampling == Sampling::LatinHypercube
+                ? gen.latinHypercube(runs_per_size)
+                : std::vector<conf::Configuration>{};
+            for (size_t r = 0; r < runs_per_size; ++r) {
+                auto config = sampling == Sampling::LatinHypercube
+                    ? lhs_batch[r]
+                    : gen.random();
+                // A fresh seed per run stands in for the different
+                // "data content" of each production run of a
+                // periodic job.
+                plan.push_back(PlannedRun{s, std::move(config),
+                                          run_seeds.raw()});
+            }
         }
     }
 
@@ -77,18 +92,33 @@ Collector::collectAtSizes(const std::vector<double> &native_sizes,
     // preallocated slots in plan order.
     CollectResult out;
     out.vectors.resize(plan.size());
+    static obs::Counter &runsMetric =
+        obs::globalMetrics().counter("collect.runs");
     parallelFor(executor, plan.size(), [&](size_t i) {
         const PlannedRun &run = plan[i];
+        obs::ScopedSpan runSpan("collect.run");
+        if (runSpan.active()) {
+            runSpan.attr("run", static_cast<uint64_t>(i));
+            runSpan.attr("size_index",
+                         static_cast<uint64_t>(run.sizeIndex));
+        }
         const auto result = sim->run(dags[run.sizeIndex], run.config,
                                      run.runSeed);
         PerfVector &pv = out.vectors[i];
         pv.timeSec = result.timeSec;
         pv.config = run.config.values();
         pv.dsizeBytes = dsizes[run.sizeIndex];
+        if (runSpan.active())
+            runSpan.attr("sim_sec", result.timeSec);
     });
+    runsMetric.increment(plan.size());
     // Summed in plan order, matching the serial loop's accumulation.
     for (const auto &pv : out.vectors)
         out.simulatedClusterSec += pv.timeSec;
+    if (campaign.active()) {
+        campaign.attr("vectors", static_cast<uint64_t>(out.vectors.size()));
+        campaign.attr("simulated_cluster_sec", out.simulatedClusterSec);
+    }
     return out;
 }
 

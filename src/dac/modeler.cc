@@ -7,6 +7,8 @@
 #include "ml/random_forest.h"
 #include "ml/response_surface.h"
 #include "ml/svr.h"
+#include "obs/metrics.h"
+#include "obs/tracer.h"
 #include "support/logging.h"
 
 namespace dac::core {
@@ -89,11 +91,26 @@ buildAndValidate(ModelKind kind, const std::vector<PerfVector> &vectors,
     ModelReport report;
     report.model = makeModel(kind, hm, seed);
 
+    obs::ScopedSpan trainSpan("model.train");
+    if (trainSpan.active()) {
+        trainSpan.attr("kind", modelKindName(kind));
+        trainSpan.attr("train_rows", static_cast<uint64_t>(train.size()));
+        trainSpan.attr("test_rows", static_cast<uint64_t>(test.size()));
+    }
     const auto t0 = std::chrono::steady_clock::now();
     report.model->train(train);
     const auto t1 = std::chrono::steady_clock::now();
     report.trainWallSec = std::chrono::duration<double>(t1 - t0).count();
     report.testErrorPct = report.model->errorOn(test);
+    if (trainSpan.active()) {
+        trainSpan.attr("train_wall_sec", report.trainWallSec);
+        trainSpan.attr("test_error_pct", report.testErrorPct);
+    }
+    static obs::Counter &trained =
+        obs::globalMetrics().counter("model.trained");
+    trained.increment();
+    obs::globalMetrics().histogram("model.train_sec")
+        .observe(report.trainWallSec);
     return report;
 }
 

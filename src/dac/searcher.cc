@@ -2,6 +2,8 @@
 
 #include <chrono>
 
+#include "obs/metrics.h"
+#include "obs/tracer.h"
 #include "support/logging.h"
 
 namespace dac::core {
@@ -16,6 +18,9 @@ SearchResult
 Searcher::search(double dsize_bytes, const ga::GaParams &params,
                  const std::vector<conf::Configuration> &seeds) const
 {
+    obs::ScopedSpan searchSpan("search");
+    if (searchSpan.active())
+        searchSpan.attr("dsize_bytes", dsize_bytes);
     const auto t0 = std::chrono::steady_clock::now();
 
     auto objective = [&](const std::vector<double> &genome) {
@@ -41,6 +46,15 @@ Searcher::search(double dsize_bytes, const ga::GaParams &params,
 
     const auto t1 = std::chrono::steady_clock::now();
     out.wallSec = std::chrono::duration<double>(t1 - t0).count();
+    if (searchSpan.active()) {
+        searchSpan.attr("generations",
+                        static_cast<uint64_t>(out.ga.generations));
+        searchSpan.attr("predicted_sec", out.predictedTimeSec);
+    }
+    static obs::Counter &searches =
+        obs::globalMetrics().counter("search.runs");
+    searches.increment();
+    obs::globalMetrics().histogram("search.sec").observe(out.wallSec);
     return out;
 }
 

@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "obs/tracer.h"
 #include "support/logging.h"
 
 namespace dac::core {
@@ -27,6 +28,7 @@ const conf::Configuration &
 PeriodicTuningSession::configForRun(double native_size)
 {
     DAC_ASSERT(native_size > 0.0, "dataset size must be positive");
+    obs::ScopedSpan runSpan("session.run");
     const bool first = !current.has_value();
     const double drift = first ? 0.0
         : std::abs(native_size - _tunedSize) / _tunedSize;
@@ -36,6 +38,10 @@ PeriodicTuningSession::configForRun(double native_size)
         current = dacTuner.configFor(*workload, native_size);
         _tunedSize = native_size;
         ++_retuneCount;
+    }
+    if (runSpan.active()) {
+        runSpan.attr("size", native_size);
+        runSpan.attr("retuned", _lastRunRetuned ? "yes" : "no");
     }
     return *current;
 }

@@ -2,6 +2,7 @@
 
 #include <chrono>
 
+#include "obs/tracer.h"
 #include "support/logging.h"
 
 namespace dac::core {
@@ -56,23 +57,35 @@ ModelBasedTuner::ensureTrained(const workloads::Workload &workload)
     WorkloadState state;
 
     // Collecting (the dominant cost in Table 3).
-    Collector collector(*sim, workload);
-    CollectOptions copt = options.collect;
-    copt.executor = options.executor;
-    copt.seed = combineSeed(options.seed, workload.abbrev().size() +
-                            workload.abbrev().front());
-    const auto collected = collector.collect(copt);
-    state.vectors = collected.vectors;
-    state.overheadReport.collectingHours =
-        collected.simulatedClusterSec / 3600.0;
-    state.overheadReport.trainingRuns = collected.vectors.size();
+    {
+        obs::ScopedSpan phase("phase.collect");
+        if (phase.active())
+            phase.attr("workload", workload.abbrev());
+        Collector collector(*sim, workload);
+        CollectOptions copt = options.collect;
+        copt.executor = options.executor;
+        copt.seed = combineSeed(options.seed, workload.abbrev().size() +
+                                workload.abbrev().front());
+        const auto collected = collector.collect(copt);
+        state.vectors = collected.vectors;
+        state.overheadReport.collectingHours =
+            collected.simulatedClusterSec / 3600.0;
+        state.overheadReport.trainingRuns = collected.vectors.size();
+    }
 
     // Modeling.
-    auto report = buildAndValidate(kind, state.vectors, options.hm,
-                                   datasizeAware, options.seed);
-    state.model = std::move(report.model);
-    state.overheadReport.modelingSec = report.trainWallSec;
-    state.modelErrorPct = report.testErrorPct;
+    {
+        obs::ScopedSpan phase("phase.model");
+        if (phase.active())
+            phase.attr("kind", modelKindName(kind));
+        auto report = buildAndValidate(kind, state.vectors, options.hm,
+                                       datasizeAware, options.seed);
+        state.model = std::move(report.model);
+        state.overheadReport.modelingSec = report.trainWallSec;
+        state.modelErrorPct = report.testErrorPct;
+        if (phase.active())
+            phase.attr("test_error_pct", state.modelErrorPct);
+    }
 
     auto [pos, inserted] = states.emplace(workload.abbrev(),
                                           std::move(state));
@@ -97,6 +110,9 @@ ModelBasedTuner::configFor(const workloads::Workload &workload,
         seeds.emplace_back(space, pv.config);
     }
 
+    obs::ScopedSpan phase("phase.search");
+    if (phase.active())
+        phase.attr("size", native_size);
     Searcher searcher(*state.model, space, datasizeAware);
     ga::GaParams params = options.ga;
     params.executor = options.executor;

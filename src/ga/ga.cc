@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "obs/tracer.h"
 #include "support/logging.h"
 #include "support/random.h"
 
@@ -91,6 +92,9 @@ GeneticAlgorithm::minimize(const Objective &objective, size_t dimensions,
 
     int since_improvement = 0;
     for (int gen = 1; gen <= params.maxGenerations; ++gen) {
+        obs::ScopedSpan genSpan("ga.generation");
+        if (genSpan.active())
+            genSpan.attr("generation", static_cast<uint64_t>(gen));
         std::vector<Individual> next;
         next.reserve(params.populationSize);
         for (int e = 0; e < params.eliteCount; ++e)
@@ -137,6 +141,14 @@ GeneticAlgorithm::minimize(const Objective &objective, size_t dimensions,
             ++since_improvement;
         }
         result.history.push_back(result.bestFitness);
+        if (genSpan.active()) {
+            // Mean only computed with tracing on; the hot path skips it.
+            double sum = 0.0;
+            for (const auto &ind : pop)
+                sum += ind.fitness;
+            genSpan.attr("best", pop.front().fitness);
+            genSpan.attr("mean", sum / static_cast<double>(pop.size()));
+        }
 
         if (params.convergencePatience > 0 &&
             since_improvement >= params.convergencePatience) {

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "obs/tracer.h"
 #include "support/logging.h"
 #include "support/statistics.h"
 
@@ -45,12 +46,17 @@ HierarchicalModel::train(const DataSet &data)
 
     // First-order model trains on the un-resampled fit set.
     {
+        obs::ScopedSpan roundSpan("hm.round");
         BoostParams bp = params.firstOrder;
         bp.seed = rng.raw();
         bp.targetIsLog = params.targetIsLog;
         auto first = std::make_unique<GradientBoost>(bp);
         first->train(fit);
         members.push_back(Member{1.0, std::move(first)});
+        if (roundSpan.active()) {
+            roundSpan.attr("order", static_cast<uint64_t>(1));
+            roundSpan.attr("fit_rows", static_cast<uint64_t>(fit.size()));
+        }
     }
     _order = 1;
 
@@ -62,6 +68,11 @@ HierarchicalModel::train(const DataSet &data)
         : scaledMape(ensemble, val.allTargets(), params.targetIsLog);
 
     while (err > params.targetErrorPct && _order < params.maxOrder) {
+        obs::ScopedSpan roundSpan("hm.round");
+        if (roundSpan.active()) {
+            roundSpan.attr("order", static_cast<uint64_t>(_order + 1));
+            roundSpan.attr("err_in_pct", err);
+        }
         // Higher-order step: build another (randomized) model...
         auto extra = buildFirstOrder(fit, rng);
         std::vector<double> extra_pred(val.size());
@@ -84,6 +95,10 @@ HierarchicalModel::train(const DataSet &data)
             }
         }
 
+        if (roundSpan.active()) {
+            roundSpan.attr("weight", best_w);
+            roundSpan.attr("err_out_pct", best_err);
+        }
         ++_order;
         if (best_w == 0.0) {
             // The new level did not help; the model has converged at

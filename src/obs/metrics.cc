@@ -1,10 +1,11 @@
-#include "service/metrics.h"
+#include "obs/metrics.h"
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 #include <sstream>
 
-namespace dac::service {
+namespace dac::obs {
 
 namespace {
 
@@ -34,6 +35,12 @@ atomicAdd(std::atomic<double> &target, double delta)
     }
 }
 
+/**
+ * Lock-free running maximum. compare_exchange_weak reloads `current`
+ * on failure, and the loop re-checks the ordering against the fresh
+ * value, so a larger concurrent update can never be overwritten by a
+ * smaller one (stress-tested in tests/service/test_metrics.cc).
+ */
 void
 atomicMax(std::atomic<double> &target, double value)
 {
@@ -49,6 +56,32 @@ formatSeconds(double sec)
     std::ostringstream oss;
     oss.precision(3);
     oss << std::fixed << sec;
+    return oss.str();
+}
+
+/** Prometheus metric names: [a-zA-Z0-9_], everything else folded. */
+std::string
+sanitizeMetricName(const std::string &name)
+{
+    std::string out;
+    out.reserve(name.size());
+    for (const char c : name) {
+        const bool ok = (c >= 'a' && c <= 'z') ||
+            (c >= 'A' && c <= 'Z') || (c >= '0' && c <= '9') || c == '_';
+        out += ok ? c : '_';
+    }
+    if (!out.empty() && out.front() >= '0' && out.front() <= '9')
+        out.insert(out.begin(), '_');
+    return out;
+}
+
+/** Shortest-ish stable rendering for sample values and le bounds. */
+std::string
+formatPromValue(double value)
+{
+    std::ostringstream oss;
+    oss.precision(9);
+    oss << value;
     return oss.str();
 }
 
@@ -68,6 +101,14 @@ Histogram::meanValue() const
 {
     const uint64_t n = count_.load();
     return n > 0 ? sum_.load() / static_cast<double>(n) : 0.0;
+}
+
+double
+Histogram::bucketUpperBound(size_t i)
+{
+    if (i + 1 >= kBuckets)
+        return std::numeric_limits<double>::infinity();
+    return bucketFloor(i + 1);
 }
 
 double
@@ -159,4 +200,69 @@ MetricsRegistry::report() const
     return toTable().toString();
 }
 
-} // namespace dac::service
+std::string
+MetricsRegistry::renderPrometheus(const std::string &prefix) const
+{
+    std::lock_guard<std::mutex> lock(mutex);
+    std::ostringstream out;
+    const std::string stem = prefix.empty() ? "" : prefix + "_";
+
+    for (const auto &[name, counter] : counters) {
+        const std::string metric =
+            stem + sanitizeMetricName(name) + "_total";
+        out << "# HELP " << metric << " Counter " << name << "\n"
+            << "# TYPE " << metric << " counter\n"
+            << metric << " " << counter->value() << "\n";
+    }
+
+    for (const auto &[name, value] : gauges) {
+        const std::string metric = stem + sanitizeMetricName(name);
+        out << "# HELP " << metric << " Gauge " << name << "\n"
+            << "# TYPE " << metric << " gauge\n"
+            << metric << " " << formatPromValue(value) << "\n";
+    }
+
+    for (const auto &[name, hist] : histograms) {
+        const std::string metric =
+            stem + sanitizeMetricName(name) + "_seconds";
+        out << "# HELP " << metric << " Histogram of " << name
+            << " (seconds)\n"
+            << "# TYPE " << metric << " histogram\n";
+        // Cumulative buckets up to the last non-empty one; the +Inf
+        // line always carries the full count, so folding the empty
+        // tail loses nothing.
+        size_t lastUsed = 0;
+        bool any = false;
+        for (size_t i = 0; i < Histogram::kBuckets; ++i) {
+            if (hist->bucketCount(i) > 0) {
+                lastUsed = i;
+                any = true;
+            }
+        }
+        uint64_t cumulative = 0;
+        if (any) {
+            // The top bucket's bound is +Inf; the explicit +Inf line
+            // below covers it.
+            lastUsed = std::min(lastUsed, Histogram::kBuckets - 2);
+            for (size_t i = 0; i <= lastUsed; ++i) {
+                cumulative += hist->bucketCount(i);
+                out << metric << "_bucket{le=\""
+                    << formatPromValue(Histogram::bucketUpperBound(i))
+                    << "\"} " << cumulative << "\n";
+            }
+        }
+        out << metric << "_bucket{le=\"+Inf\"} " << hist->count() << "\n"
+            << metric << "_sum " << formatPromValue(hist->total()) << "\n"
+            << metric << "_count " << hist->count() << "\n";
+    }
+    return out.str();
+}
+
+MetricsRegistry &
+globalMetrics()
+{
+    static MetricsRegistry registry;
+    return registry;
+}
+
+} // namespace dac::obs

@@ -1,0 +1,90 @@
+#include "obs/summary.h"
+
+#include <algorithm>
+#include <unordered_map>
+#include <vector>
+
+#include "support/string_utils.h"
+
+namespace dac::obs {
+
+std::map<std::string, SpanStats>
+aggregateSpans(const TraceLog &log)
+{
+    // Direct-child time per span instance, to derive self time.
+    std::unordered_map<uint64_t, double> childSec;
+    for (const auto &event : log.events) {
+        if (event.isSpan && event.parent != 0)
+            childSec[event.parent] += event.durSec;
+    }
+
+    std::map<std::string, SpanStats> stats;
+    for (const auto &event : log.events) {
+        if (!event.isSpan)
+            continue;
+        SpanStats &entry = stats[event.name];
+        entry.count += 1;
+        entry.totalSec += event.durSec;
+        const auto it = childSec.find(event.id);
+        const double children = it != childSec.end() ? it->second : 0.0;
+        entry.selfSec += std::max(0.0, event.durSec - children);
+    }
+    return stats;
+}
+
+double
+rootTotalSec(const TraceLog &log)
+{
+    double total = 0.0;
+    for (const auto &event : log.events) {
+        if (event.isSpan && event.parent == 0)
+            total += event.durSec;
+    }
+    return total;
+}
+
+double
+totalForSpan(const TraceLog &log, const std::string &name)
+{
+    double total = 0.0;
+    for (const auto &event : log.events) {
+        if (event.isSpan && event.name == name)
+            total += event.durSec;
+    }
+    return total;
+}
+
+TextTable
+summaryTable(const TraceLog &log)
+{
+    const auto stats = aggregateSpans(log);
+    double base = rootTotalSec(log);
+    if (base <= 0.0) {
+        // Degenerate log (no roots): fall back to the busiest total.
+        for (const auto &[name, entry] : stats)
+            base = std::max(base, entry.totalSec);
+    }
+
+    std::vector<std::pair<std::string, SpanStats>> rows(stats.begin(),
+                                                        stats.end());
+    std::sort(rows.begin(), rows.end(),
+              [](const auto &a, const auto &b) {
+                  if (a.second.totalSec != b.second.totalSec)
+                      return a.second.totalSec > b.second.totalSec;
+                  return a.first < b.first;
+              });
+
+    TextTable table({"span", "count", "total (s)", "self (s)",
+                     "total %"});
+    for (const auto &[name, entry] : rows) {
+        const double share =
+            base > 0.0 ? 100.0 * entry.totalSec / base : 0.0;
+        table.addRow({name, std::to_string(entry.count),
+                      formatDouble(entry.totalSec, 4),
+                      formatDouble(entry.selfSec, 4),
+                      formatDouble(share, 1)});
+    }
+    return table;
+}
+
+} // namespace dac::obs

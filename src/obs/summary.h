@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Flame-style ASCII summary of a TraceLog: per-span-kind counts plus
+ * total and self time (total minus direct children), rendered as one
+ * support/table TextTable — the quick terminal alternative to loading
+ * the Chrome JSON into Perfetto.
+ */
+
+#ifndef DAC_OBS_SUMMARY_H
+#define DAC_OBS_SUMMARY_H
+
+#include <map>
+#include <string>
+
+#include "obs/tracer.h"
+#include "support/table.h"
+
+namespace dac::obs {
+
+/** Aggregate over every span sharing one name. */
+struct SpanStats
+{
+    uint64_t count = 0;
+    /** Sum of span durations (nested same-name spans both count). */
+    double totalSec = 0.0;
+    /** Total minus time spent in direct child spans. */
+    double selfSec = 0.0;
+};
+
+/** Per-name aggregates over the log's spans (instants are skipped). */
+std::map<std::string, SpanStats> aggregateSpans(const TraceLog &log);
+
+/** Wall time covered by root spans (parent == 0). */
+double rootTotalSec(const TraceLog &log);
+
+/** Sum of durations of spans with this exact name. */
+double totalForSpan(const TraceLog &log, const std::string &name);
+
+/**
+ * The summary table: one row per span kind, busiest first, with the
+ * share column relative to the root spans' total.
+ */
+TextTable summaryTable(const TraceLog &log);
+
+} // namespace dac::obs
+
+#endif // DAC_OBS_SUMMARY_H

@@ -1,0 +1,261 @@
+#include "obs/tracer.h"
+
+#include <algorithm>
+#include <sstream>
+
+namespace dac::obs {
+
+namespace {
+
+/** Default attribute rendering for numbers (6 significant digits). */
+template <typename T>
+std::string
+renderNumber(T value)
+{
+    std::ostringstream oss;
+    oss << value;
+    return oss.str();
+}
+
+} // namespace
+
+Tracer::Tracer()
+    : epoch(std::chrono::steady_clock::now())
+{
+}
+
+Tracer &
+Tracer::instance()
+{
+    static Tracer tracer;
+    return tracer;
+}
+
+void
+Tracer::setEnabled(bool on)
+{
+    enabledFlag.store(on, std::memory_order_relaxed);
+}
+
+void
+Tracer::clear()
+{
+    std::lock_guard<std::mutex> lock(registryMutex);
+    for (auto &state : threads) {
+        std::lock_guard<std::mutex> stateLock(state->mutex);
+        state->events.clear();
+    }
+    epoch = std::chrono::steady_clock::now();
+}
+
+double
+Tracer::nowSec() const
+{
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         epoch)
+        .count();
+}
+
+Tracer::ThreadState &
+Tracer::threadState()
+{
+    // One cached pointer per (thread, process); states are never freed,
+    // so the cache cannot dangle even across clear().
+    thread_local ThreadState *state = nullptr;
+    if (state == nullptr) {
+        auto fresh = std::make_unique<ThreadState>();
+        std::lock_guard<std::mutex> lock(registryMutex);
+        fresh->lane = static_cast<uint32_t>(threads.size());
+        fresh->name = "thread-" + std::to_string(fresh->lane);
+        threads.push_back(std::move(fresh));
+        allocations.fetch_add(1, std::memory_order_relaxed);
+        state = threads.back().get();
+    }
+    return *state;
+}
+
+void
+Tracer::record(ThreadState &state, TraceEvent event)
+{
+    {
+        std::lock_guard<std::mutex> lock(state.mutex);
+        state.events.push_back(std::move(event));
+    }
+    events.fetch_add(1, std::memory_order_relaxed);
+}
+
+TraceLog
+Tracer::snapshot() const
+{
+    TraceLog log;
+    {
+        std::lock_guard<std::mutex> lock(registryMutex);
+        for (const auto &state : threads) {
+            std::lock_guard<std::mutex> stateLock(state->mutex);
+            log.lanes.push_back(LaneInfo{state->lane, state->name});
+            log.events.insert(log.events.end(), state->events.begin(),
+                              state->events.end());
+        }
+    }
+    std::sort(log.lanes.begin(), log.lanes.end(),
+              [](const LaneInfo &a, const LaneInfo &b) {
+                  return a.index < b.index;
+              });
+    std::sort(log.events.begin(), log.events.end(),
+              [](const TraceEvent &a, const TraceEvent &b) {
+                  if (a.startSec != b.startSec)
+                      return a.startSec < b.startSec;
+                  return a.id < b.id;
+              });
+    return log;
+}
+
+uint64_t
+Tracer::eventCount() const
+{
+    return events.load(std::memory_order_relaxed);
+}
+
+uint64_t
+Tracer::allocationCount() const
+{
+    return allocations.load(std::memory_order_relaxed);
+}
+
+ScopedSpan::ScopedSpan(const char *spanName)
+{
+    if (!Tracer::enabled())
+        return;
+    Tracer &tracer = Tracer::instance();
+    Tracer::ThreadState &state = tracer.threadState();
+    isActive = true;
+    name = spanName;
+    spanId = tracer.nextId();
+    parentId = state.spanStack.empty() ? state.adoptedParent
+                                       : state.spanStack.back();
+    state.spanStack.push_back(spanId);
+    startSec = tracer.nowSec();
+}
+
+ScopedSpan::~ScopedSpan()
+{
+    if (!isActive)
+        return;
+    Tracer &tracer = Tracer::instance();
+    Tracer::ThreadState &state = tracer.threadState();
+    // Tolerate spans that outlive a nested clear(): the stack may have
+    // been emptied only by our own pops, so this pop is always ours.
+    if (!state.spanStack.empty() && state.spanStack.back() == spanId)
+        state.spanStack.pop_back();
+
+    TraceEvent event;
+    event.name = name;
+    event.isSpan = true;
+    event.id = spanId;
+    event.parent = parentId;
+    event.lane = state.lane;
+    event.startSec = startSec;
+    event.durSec = std::max(0.0, tracer.nowSec() - startSec);
+    event.attrs = std::move(attrs);
+    tracer.record(state, std::move(event));
+}
+
+void
+ScopedSpan::attr(const char *key, const char *value)
+{
+    if (isActive)
+        attrs.emplace_back(key, value);
+}
+
+void
+ScopedSpan::attr(const char *key, const std::string &value)
+{
+    if (isActive)
+        attrs.emplace_back(key, value);
+}
+
+void
+ScopedSpan::attr(const char *key, double value)
+{
+    if (isActive)
+        attrs.emplace_back(key, renderNumber(value));
+}
+
+void
+ScopedSpan::attr(const char *key, int value)
+{
+    attr(key, static_cast<int64_t>(value));
+}
+
+void
+ScopedSpan::attr(const char *key, int64_t value)
+{
+    if (isActive)
+        attrs.emplace_back(key, renderNumber(value));
+}
+
+void
+ScopedSpan::attr(const char *key, uint64_t value)
+{
+    if (isActive)
+        attrs.emplace_back(key, renderNumber(value));
+}
+
+ParentScope::ParentScope(uint64_t parentSpanId)
+{
+    if (!Tracer::enabled())
+        return;
+    Tracer::ThreadState &state = Tracer::instance().threadState();
+    isActive = true;
+    previous = state.adoptedParent;
+    state.adoptedParent = parentSpanId;
+}
+
+ParentScope::~ParentScope()
+{
+    if (!isActive)
+        return;
+    Tracer::instance().threadState().adoptedParent = previous;
+}
+
+void
+instant(const char *name,
+        std::vector<std::pair<std::string, std::string>> attrs)
+{
+    if (!Tracer::enabled())
+        return;
+    Tracer &tracer = Tracer::instance();
+    Tracer::ThreadState &state = tracer.threadState();
+    TraceEvent event;
+    event.name = name;
+    event.isSpan = false;
+    event.id = tracer.nextId();
+    event.parent = state.spanStack.empty() ? state.adoptedParent
+                                           : state.spanStack.back();
+    event.lane = state.lane;
+    event.startSec = tracer.nowSec();
+    event.attrs = std::move(attrs);
+    tracer.record(state, std::move(event));
+}
+
+uint64_t
+currentSpanId()
+{
+    if (!Tracer::enabled())
+        return 0;
+    Tracer::ThreadState &state = Tracer::instance().threadState();
+    return state.spanStack.empty() ? state.adoptedParent
+                                   : state.spanStack.back();
+}
+
+void
+setThreadName(const std::string &name)
+{
+    // Register even when disabled so lanes named at thread start keep
+    // their labels if tracing is enabled later.
+    Tracer::ThreadState &state = Tracer::instance().threadState();
+    std::lock_guard<std::mutex> lock(state.mutex);
+    state.name = name;
+}
+
+} // namespace dac::obs

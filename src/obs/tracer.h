@@ -1,0 +1,227 @@
+/**
+ * @file
+ * Low-overhead hierarchical tracing for the tuning pipeline.
+ *
+ * A process-global Tracer records completed spans and instant events
+ * into per-thread buffers; RAII ScopedSpans nest via a thread-local
+ * stack, and a ParentScope lets thread-pool workers adopt the span of
+ * the thread that fanned the work out, so one request's span tree
+ * stays connected across parallelFor (request -> phase ->
+ * stage/generation/round, see DESIGN.md).
+ *
+ * Cost model: when tracing is disabled (the default) every entry point
+ * is a single relaxed atomic load and an early return — no allocation,
+ * no lock, no clock read. The zero-overhead test in tests/obs asserts
+ * this via the tracer's own event/allocation counters. When enabled,
+ * recording locks only the recording thread's buffer, which is
+ * uncontended except while a snapshot is being taken.
+ */
+
+#ifndef DAC_OBS_TRACER_H
+#define DAC_OBS_TRACER_H
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace dac::obs {
+
+/** One recorded event: a completed span or an instant marker. */
+struct TraceEvent
+{
+    std::string name;
+    /** False for instant events (no duration). */
+    bool isSpan = true;
+    /** Span id (instants get ids too, for stable ordering). */
+    uint64_t id = 0;
+    /** Enclosing span id; 0 = root. */
+    uint64_t parent = 0;
+    /** Lane (thread) the event was recorded on. */
+    uint32_t lane = 0;
+    /** Start time relative to the tracer epoch, seconds. */
+    double startSec = 0.0;
+    /** Duration, seconds (0 for instants). */
+    double durSec = 0.0;
+    /** Typed attributes, rendered as strings. */
+    std::vector<std::pair<std::string, std::string>> attrs;
+};
+
+/** One thread lane of the trace. */
+struct LaneInfo
+{
+    uint32_t index = 0;
+    std::string name;
+};
+
+/** A consistent copy of everything recorded since the last clear(). */
+struct TraceLog
+{
+    /** Events sorted by start time (ties by id). */
+    std::vector<TraceEvent> events;
+    /** Lanes sorted by index. */
+    std::vector<LaneInfo> lanes;
+};
+
+class ScopedSpan;
+
+/**
+ * The process-global trace recorder.
+ */
+class Tracer
+{
+  public:
+    static Tracer &instance();
+
+    /** Cheapest possible check; safe from any thread. */
+    static bool
+    enabled()
+    {
+        return enabledFlag.load(std::memory_order_relaxed);
+    }
+
+    /** Turn recording on/off. Spans already open keep recording. */
+    void setEnabled(bool on);
+
+    /**
+     * Drop every recorded event and restart the epoch. Do not call
+     * while spans are open: their end events would carry times from
+     * the old epoch.
+     */
+    void clear();
+
+    /** Copy out everything recorded so far. */
+    TraceLog snapshot() const;
+
+    /** Events recorded since process start (monotonic). */
+    uint64_t eventCount() const;
+
+    /**
+     * Buffer allocations since process start (monotonic): one per
+     * thread that ever recorded. The zero-overhead test asserts this
+     * and eventCount() stay flat across a traced-disabled hot path.
+     */
+    uint64_t allocationCount() const;
+
+    /** Seconds since the tracer epoch. */
+    double nowSec() const;
+
+    Tracer(const Tracer &) = delete;
+    Tracer &operator=(const Tracer &) = delete;
+
+  private:
+    friend class ScopedSpan;
+    friend class ParentScope;
+    friend void instant(
+        const char *name,
+        std::vector<std::pair<std::string, std::string>> attrs);
+    friend uint64_t currentSpanId();
+    friend void setThreadName(const std::string &name);
+
+    /** Per-thread recording state; lives for the process lifetime so
+     *  thread-local pointers never dangle (clear() empties, never
+     *  frees). */
+    struct ThreadState
+    {
+        mutable std::mutex mutex; ///< guards events + name vs snapshot
+        std::vector<TraceEvent> events;
+        std::string name;
+        uint32_t lane = 0;
+        // Owner-thread-only (no lock): span nesting and the parent
+        // adopted from a fanning-out thread.
+        std::vector<uint64_t> spanStack;
+        uint64_t adoptedParent = 0;
+    };
+
+    Tracer();
+
+    /** This thread's state, registering it on first use. */
+    ThreadState &threadState();
+
+    uint64_t nextId() { return idCounter.fetch_add(1) + 1; }
+    void record(ThreadState &state, TraceEvent event);
+
+    inline static std::atomic<bool> enabledFlag{false};
+
+    mutable std::mutex registryMutex; ///< guards threads list
+    std::vector<std::unique_ptr<ThreadState>> threads;
+    std::chrono::steady_clock::time_point epoch;
+    std::atomic<uint64_t> idCounter{0};
+    std::atomic<uint64_t> events{0};
+    std::atomic<uint64_t> allocations{0};
+};
+
+/**
+ * RAII span: records one complete TraceEvent at destruction. Pass
+ * only static strings as names; dynamic detail belongs in attrs
+ * (guard their construction with active()).
+ */
+class ScopedSpan
+{
+  public:
+    explicit ScopedSpan(const char *name);
+    ~ScopedSpan();
+
+    ScopedSpan(const ScopedSpan &) = delete;
+    ScopedSpan &operator=(const ScopedSpan &) = delete;
+
+    /** True when this span is actually recording. */
+    bool active() const { return isActive; }
+    /** This span's id (0 when inactive). */
+    uint64_t id() const { return spanId; }
+
+    /** Attach an attribute (no-ops when inactive). */
+    void attr(const char *key, const char *value);
+    void attr(const char *key, const std::string &value);
+    void attr(const char *key, double value);
+    void attr(const char *key, int value);
+    void attr(const char *key, int64_t value);
+    void attr(const char *key, uint64_t value);
+
+  private:
+    bool isActive = false;
+    const char *name = "";
+    uint64_t spanId = 0;
+    uint64_t parentId = 0;
+    double startSec = 0.0;
+    std::vector<std::pair<std::string, std::string>> attrs;
+};
+
+/**
+ * Adopt `parentSpanId` as the parent for root spans opened on this
+ * thread while the scope is alive. The ThreadPool wraps parallelFor
+ * bodies in one of these so fanned-out work nests under the caller's
+ * span; threads with their own open spans are unaffected.
+ */
+class ParentScope
+{
+  public:
+    explicit ParentScope(uint64_t parentSpanId);
+    ~ParentScope();
+
+    ParentScope(const ParentScope &) = delete;
+    ParentScope &operator=(const ParentScope &) = delete;
+
+  private:
+    bool isActive = false;
+    uint64_t previous = 0;
+};
+
+/** Record a zero-duration marker under the current span. */
+void instant(const char *name,
+             std::vector<std::pair<std::string, std::string>> attrs = {});
+
+/** Id of the innermost open span on this thread (or the adopted
+ *  parent); 0 when none or when tracing is disabled. */
+uint64_t currentSpanId();
+
+/** Label this thread's lane in exported traces ("pool-3", ...). */
+void setThreadName(const std::string &name);
+
+} // namespace dac::obs
+
+#endif // DAC_OBS_TRACER_H

@@ -1,112 +1,20 @@
 /**
  * @file
- * Lock-free operational metrics for the tuning service: named atomic
- * counters and log-bucketed latency histograms with percentile
- * estimates, dumpable as an aligned ASCII table (support/table).
- *
- * Counter and Histogram references handed out by the registry stay
- * valid for the registry's lifetime and may be updated concurrently
- * from any thread; only the first lookup of a new name takes a lock.
+ * Compatibility shim: the metrics primitives moved to src/obs (PR 2)
+ * so every pipeline layer can record into them; the service-facing
+ * names stay importable from here.
  */
 
 #ifndef DAC_SERVICE_METRICS_H
 #define DAC_SERVICE_METRICS_H
 
-#include <atomic>
-#include <cstdint>
-#include <map>
-#include <memory>
-#include <mutex>
-#include <string>
-
-#include "support/table.h"
+#include "obs/metrics.h"
 
 namespace dac::service {
 
-/**
- * Monotonic event counter.
- */
-class Counter
-{
-  public:
-    void increment(uint64_t delta = 1) { value_.fetch_add(delta); }
-    uint64_t value() const { return value_.load(); }
-
-  private:
-    std::atomic<uint64_t> value_{0};
-};
-
-/**
- * Histogram over positive values (latencies in seconds) with
- * geometrically spaced buckets from 1 microsecond up; the top bucket
- * absorbs everything past ~200 days.
- *
- * Percentiles are estimated at the geometric midpoint of the bucket
- * containing the requested rank, so they carry one bucket (~41%) of
- * resolution — plenty for p50/p95/p99 dashboards.
- */
-class Histogram
-{
-  public:
-    /** Fold one observation in (values <= 0 clamp to the first
-     *  bucket). */
-    void observe(double value);
-
-    uint64_t count() const { return count_.load(); }
-    double total() const { return sum_.load(); }
-    /** Arithmetic mean of the observations (0 when empty). */
-    double meanValue() const;
-    /** Largest observation folded in so far (0 when empty). */
-    double maxValue() const { return max_.load(); }
-
-    /** Estimated percentile, p in [0, 100] (0 when empty). */
-    double percentile(double p) const;
-
-    /** Buckets per decade-ish doubling; bounds are 1us * 2^i. */
-    static constexpr size_t kBuckets = 45;
-
-  private:
-    std::atomic<uint64_t> buckets[kBuckets] = {};
-    std::atomic<uint64_t> count_{0};
-    std::atomic<double> sum_{0.0};
-    std::atomic<double> max_{0.0};
-};
-
-/**
- * Named counters and histograms plus point-in-time gauges, rendered as
- * one ASCII table for logs and the service's metrics endpoint.
- */
-class MetricsRegistry
-{
-  public:
-    /** The counter with this name, created on first use. */
-    Counter &counter(const std::string &name);
-
-    /** The histogram with this name, created on first use. */
-    Histogram &histogram(const std::string &name);
-
-    /** Set a point-in-time value (queue depth, cache size, ...). */
-    void setGauge(const std::string &name, double value);
-
-    /** Current value of a counter (0 if never touched). */
-    uint64_t counterValue(const std::string &name) const;
-
-    /**
-     * Render everything as an aligned table: counters as single
-     * values, histograms with count/mean/p50/p95/p99/max, gauges as
-     * instantaneous values.
-     */
-    TextTable toTable() const;
-
-    /** toTable() rendered to a string. */
-    std::string report() const;
-
-  private:
-    mutable std::mutex mutex;
-    std::map<std::string, std::unique_ptr<Counter>> counters;
-    std::map<std::string, std::unique_ptr<Histogram>> histograms;
-    std::map<std::string, double> gauges;
-};
+using Counter = obs::Counter;
+using Histogram = obs::Histogram;
+using MetricsRegistry = obs::MetricsRegistry;
 
 } // namespace dac::service
 

@@ -6,6 +6,7 @@
 
 #include "dac/modeler.h"
 #include "dac/searcher.h"
+#include "obs/tracer.h"
 #include "support/logging.h"
 #include "workloads/registry.h"
 
@@ -153,6 +154,12 @@ TuningService::submit(TuneRequest request)
 TuneResponse
 TuningService::process(const TuneRequest &request)
 {
+    obs::ScopedSpan requestSpan("request");
+    if (requestSpan.active()) {
+        requestSpan.attr("workload", request.workload);
+        requestSpan.attr("native_size", request.nativeSize);
+    }
+
     const auto &workload =
         workloads::Registry::instance().byAbbrev(request.workload);
     if (request.nativeSize <= 0.0)
@@ -166,10 +173,17 @@ TuningService::process(const TuneRequest &request)
         builtHere = true;
         return buildModel(workload, key);
     });
+    if (requestSpan.active())
+        requestSpan.attr("model_source", builtHere ? "built" : "cache_hit");
+    if (obs::Tracer::enabled()) {
+        obs::instant(builtHere ? "cache.miss" : "cache.hit",
+                     {{"key", key.toString()}});
+    }
 
     // Search: GA against the cached model with the requested size
     // pinned, population seeded from the training set (Figure 6) —
     // the same protocol as ModelBasedTuner::configFor.
+    obs::ScopedSpan searchPhase("phase.search");
     const auto searchStart = std::chrono::steady_clock::now();
     const auto &space = conf::ConfigSpace::spark();
     Rng rng(combineSeed(request.seed,
@@ -220,27 +234,37 @@ TuningService::buildModel(const workloads::Workload &workload,
                             stableHash(key.toString()));
     copt.executor = executor;
 
-    core::Collector collector(*sim, workload);
-    const auto sizes = bandTrainingSizes(key.sizeBand,
-                                         copt.datasetCount);
-    auto collected = collector.collectAtSizes(sizes, copt.runsPerDataset,
-                                              copt.seed, copt.sampling,
-                                              executor);
-
     auto entry = std::make_shared<CachedModel>();
-    entry->vectors = std::move(collected.vectors);
-    entry->overhead.collectingHours =
-        collected.simulatedClusterSec / 3600.0;
-    entry->overhead.trainingRuns = entry->vectors.size();
+    {
+        obs::ScopedSpan collectPhase("phase.collect");
+        if (collectPhase.active())
+            collectPhase.attr("band", static_cast<int64_t>(key.sizeBand));
+        core::Collector collector(*sim, workload);
+        const auto sizes = bandTrainingSizes(key.sizeBand,
+                                             copt.datasetCount);
+        auto collected = collector.collectAtSizes(sizes,
+                                                  copt.runsPerDataset,
+                                                  copt.seed, copt.sampling,
+                                                  executor);
+        entry->vectors = std::move(collected.vectors);
+        entry->overhead.collectingHours =
+            collected.simulatedClusterSec / 3600.0;
+        entry->overhead.trainingRuns = entry->vectors.size();
+    }
 
-    auto report = core::buildAndValidate(core::ModelKind::HM,
-                                         entry->vectors,
-                                         options.tuning.hm, true,
-                                         copt.seed);
-    entry->model = std::shared_ptr<const ml::Model>(
-        std::move(report.model));
-    entry->overhead.modelingSec = report.trainWallSec;
-    entry->modelErrorPct = report.testErrorPct;
+    {
+        obs::ScopedSpan modelPhase("phase.model");
+        auto report = core::buildAndValidate(core::ModelKind::HM,
+                                             entry->vectors,
+                                             options.tuning.hm, true,
+                                             copt.seed);
+        entry->model = std::shared_ptr<const ml::Model>(
+            std::move(report.model));
+        entry->overhead.modelingSec = report.trainWallSec;
+        entry->modelErrorPct = report.testErrorPct;
+        if (modelPhase.active())
+            modelPhase.attr("test_error_pct", entry->modelErrorPct);
+    }
 
     registry.counter("models.built").increment();
     registry.histogram("latency.model_build").observe(elapsedSec(start));

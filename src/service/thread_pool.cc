@@ -2,7 +2,9 @@
 
 #include <atomic>
 #include <exception>
+#include <string>
 
+#include "obs/tracer.h"
 #include "support/logging.h"
 
 namespace dac::service {
@@ -32,7 +34,7 @@ ThreadPool::ThreadPool(Options options)
     const size_t count = resolveThreadCount(options.threads);
     workers.reserve(count);
     for (size_t i = 0; i < count; ++i)
-        workers.emplace_back([this]() { workerLoop(); });
+        workers.emplace_back([this, i]() { workerLoop(i); });
 }
 
 ThreadPool::~ThreadPool()
@@ -97,7 +99,11 @@ ThreadPool::parallelFor(size_t n, const std::function<void(size_t)> &body)
     state->total = n;
     state->body = &body;
 
-    auto drain = [state]() {
+    // Work fanned out to pool workers still nests under the span open
+    // on the calling thread, keeping the trace one connected tree.
+    const uint64_t parentSpan = obs::currentSpanId();
+    auto drain = [state, parentSpan]() {
+        obs::ParentScope parentScope(parentSpan);
         for (;;) {
             const size_t i = state->next.fetch_add(1);
             if (i >= state->total)
@@ -154,8 +160,9 @@ ThreadPool::shutdown()
 }
 
 void
-ThreadPool::workerLoop()
+ThreadPool::workerLoop(size_t index)
 {
+    obs::setThreadName("pool-" + std::to_string(index));
     for (;;) {
         std::function<void()> task;
         {

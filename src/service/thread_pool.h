@@ -99,7 +99,7 @@ class ThreadPool final : public Executor
     void shutdown();
 
   private:
-    void workerLoop();
+    void workerLoop(size_t index);
 
     mutable std::mutex mutex;
     std::condition_variable taskReady; ///< signals workers: work/stop

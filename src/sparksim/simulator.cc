@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "obs/metrics.h"
+#include "obs/tracer.h"
 #include "sparksim/gc.h"
 #include "sparksim/knobs.h"
 #include "sparksim/memory.h"
@@ -357,6 +359,18 @@ SparkSimulator::run(const JobDag &job, const conf::Configuration &config,
 {
     DAC_ASSERT(!job.stages.empty(), "job has no stages");
 
+    // The run counter is process-global accounting (dac_cli --metrics);
+    // the reference is cached so the hot path skips the registry lock.
+    static obs::Counter &simRuns =
+        obs::globalMetrics().counter("sim.runs");
+    simRuns.increment();
+
+    obs::ScopedSpan runSpan("sim.run");
+    if (runSpan.active()) {
+        runSpan.attr("job", job.program);
+        runSpan.attr("stages", static_cast<uint64_t>(job.stages.size()));
+    }
+
     RunContext ctx;
     ctx.cluster = cluster;
     ctx.knobs = SparkKnobs::decode(config);
@@ -398,6 +412,21 @@ SparkSimulator::run(const JobDag &job, const conf::Configuration &config,
                     combineSeed(attempt * 1000 + si, it));
                 const auto outcome = simulateStageIteration(
                     stage, job, ctx, cache, final_attempt, stage_rng);
+                if (obs::Tracer::enabled()) {
+                    // Simulated (not wall) figures ride along as attrs:
+                    // stage timing, GC pauses, spill decisions.
+                    obs::instant(
+                        "sim.stage",
+                        {{"stage", stage.name},
+                         {"iteration", std::to_string(it)},
+                         {"sim_sec",
+                          std::to_string(outcome.elapsedSec)},
+                         {"gc_sec", std::to_string(outcome.gcSec)},
+                         {"spilled_bytes",
+                          std::to_string(outcome.spilledBytes)},
+                         {"task_failures",
+                          std::to_string(outcome.failures)}});
+                }
                 sr.timeSec += outcome.elapsedSec;
                 sr.gcTimeSec += outcome.gcSec;
                 sr.spilledBytes += outcome.spilledBytes;
@@ -420,9 +449,18 @@ SparkSimulator::run(const JobDag &job, const conf::Configuration &config,
         if (!attempt_failed) {
             result.stages = std::move(stages);
             result.timeSec = carried_time + attempt_time;
+            if (runSpan.active()) {
+                runSpan.attr("sim_sec", result.timeSec);
+                runSpan.attr("restarts", result.jobRestarts);
+            }
             return result;
         }
 
+        if (obs::Tracer::enabled()) {
+            obs::instant("sim.restart",
+                         {{"attempt", std::to_string(attempt)},
+                          {"wasted_sec", std::to_string(attempt_time)}});
+        }
         ++result.jobRestarts;
         carried_time += attempt_time + 10.0; // tear-down and resubmit
     }

@@ -1,45 +1,140 @@
 #include "support/logging.h"
 
+#include <cstdlib>
 #include <iostream>
+#include <mutex>
 #include <stdexcept>
+
+#include "support/string_utils.h"
 
 namespace dac {
 
 namespace {
+
 LogLevel global_level = LogLevel::Info;
+std::once_flag env_once;
+
+/** Serializes sink swaps against emits from worker threads. */
+std::mutex &
+sinkMutex()
+{
+    static std::mutex mutex;
+    return mutex;
+}
+
+LogSink &
+sinkSlot()
+{
+    static LogSink sink; // empty = default stderr sink
+    return sink;
+}
+
+const char *
+levelPrefix(LogLevel level)
+{
+    switch (level) {
+      case LogLevel::Error: return "error: ";
+      case LogLevel::Warn: return "warn: ";
+      case LogLevel::Info: return "info: ";
+      case LogLevel::Debug: return "debug: ";
+    }
+    return "";
+}
+
+void
+emit(LogLevel level, const std::string &msg)
+{
+    std::call_once(env_once, applyLogLevelFromEnv);
+    if (global_level < level)
+        return;
+    LogSink sink;
+    {
+        std::lock_guard<std::mutex> lock(sinkMutex());
+        sink = sinkSlot();
+    }
+    if (sink) {
+        sink(level, msg);
+        return;
+    }
+    std::cerr << levelPrefix(level) << msg << "\n";
+}
+
 } // namespace
 
 void
 setLogLevel(LogLevel level)
 {
+    // Pin the env read first so a later lazy read cannot stomp an
+    // explicit choice.
+    std::call_once(env_once, applyLogLevelFromEnv);
     global_level = level;
 }
 
 LogLevel
 logLevel()
 {
+    std::call_once(env_once, applyLogLevelFromEnv);
     return global_level;
+}
+
+bool
+parseLogLevel(const std::string &text, LogLevel *out)
+{
+    const std::string name = toLower(trim(text));
+    if (name == "error" || name == "0") {
+        *out = LogLevel::Error;
+    } else if (name == "warn" || name == "warning" || name == "1") {
+        *out = LogLevel::Warn;
+    } else if (name == "info" || name == "2") {
+        *out = LogLevel::Info;
+    } else if (name == "debug" || name == "3") {
+        *out = LogLevel::Debug;
+    } else {
+        return false;
+    }
+    return true;
+}
+
+void
+applyLogLevelFromEnv()
+{
+    const char *raw = std::getenv("DAC_LOG_LEVEL");
+    if (raw == nullptr)
+        return;
+    LogLevel level = global_level;
+    if (parseLogLevel(raw, &level)) {
+        global_level = level;
+    } else {
+        // Not routed through emit(): this runs while the level is
+        // still being decided.
+        std::cerr << "warn: ignoring invalid DAC_LOG_LEVEL '" << raw
+                  << "' (want error|warn|info|debug or 0-3)\n";
+    }
+}
+
+void
+setLogSink(LogSink sink)
+{
+    std::lock_guard<std::mutex> lock(sinkMutex());
+    sinkSlot() = std::move(sink);
 }
 
 void
 inform(const std::string &msg)
 {
-    if (global_level >= LogLevel::Info)
-        std::cerr << "info: " << msg << "\n";
+    emit(LogLevel::Info, msg);
 }
 
 void
 warn(const std::string &msg)
 {
-    if (global_level >= LogLevel::Warn)
-        std::cerr << "warn: " << msg << "\n";
+    emit(LogLevel::Warn, msg);
 }
 
 void
 debug(const std::string &msg)
 {
-    if (global_level >= LogLevel::Debug)
-        std::cerr << "debug: " << msg << "\n";
+    emit(LogLevel::Debug, msg);
 }
 
 void

@@ -4,11 +4,18 @@
  *
  * Follows the gem5 convention: fatalError() is for user/environment errors
  * that prevent continuing; DAC_ASSERT/panic() flags internal library bugs.
+ *
+ * All of inform/warn/debug route through one sink (stderr by default);
+ * setLogSink() redirects them so the service and tests can capture
+ * logs. The DAC_LOG_LEVEL environment variable ("error", "warn",
+ * "info", "debug", or 0-3) sets the initial threshold; it is read once
+ * at first use, and explicit setLogLevel() calls override it.
  */
 
 #ifndef DAC_SUPPORT_LOGGING_H
 #define DAC_SUPPORT_LOGGING_H
 
+#include <functional>
 #include <sstream>
 #include <string>
 
@@ -22,6 +29,32 @@ void setLogLevel(LogLevel level);
 
 /** Current verbosity threshold. */
 LogLevel logLevel();
+
+/**
+ * Parse a level name ("error", "warn"/"warning", "info", "debug",
+ * case-insensitive) or a numeric level ("0".."3").
+ *
+ * @return True and fills *out on success; false leaves *out alone.
+ */
+bool parseLogLevel(const std::string &text, LogLevel *out);
+
+/**
+ * Re-read DAC_LOG_LEVEL and apply it if set and valid. Called
+ * automatically the first time any logging entry point runs; exposed
+ * for tests and long-lived services that change the environment.
+ */
+void applyLogLevelFromEnv();
+
+/** Receives every emitted (level, message) pair that passes the
+ *  threshold. */
+using LogSink = std::function<void(LogLevel, const std::string &)>;
+
+/**
+ * Route inform/warn/debug through `sink` instead of stderr; pass an
+ * empty function to restore the default. The sink may be called from
+ * any thread (calls are serialized) and must not log re-entrantly.
+ */
+void setLogSink(LogSink sink);
 
 /** Informational status message (suppressed below Info). */
 void inform(const std::string &msg);

@@ -1,0 +1,169 @@
+/** @file End-to-end tracing test: one TuningService request must
+ *  produce a connected span tree covering collect -> model -> search
+ *  with per-GA-generation and per-boosting-round children, and the
+ *  summary's phase totals must account for the request latency. */
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+#include <string>
+
+#include "obs/summary.h"
+#include "obs/tracer.h"
+#include "service/service.h"
+
+namespace dac::obs {
+namespace {
+
+service::ServiceOptions
+smallOptions()
+{
+    service::ServiceOptions opt;
+    opt.threads = 2;
+    opt.tuning.collect.datasetCount = 3;
+    opt.tuning.collect.runsPerDataset = 12;
+    opt.tuning.hm.firstOrder.maxTrees = 30;
+    opt.tuning.ga.maxGenerations = 8;
+    opt.tuning.ga.convergencePatience = 0;
+    return opt;
+}
+
+class PipelineTraceTest : public ::testing::Test
+{
+  protected:
+    static void
+    SetUpTestSuite()
+    {
+        Tracer::instance().setEnabled(true);
+        Tracer::instance().clear();
+
+        sparksim::SparkSimulator sim(
+            cluster::ClusterSpec::paperTestbed());
+        service::TuningService service(sim, smallOptions());
+        service::TuneRequest request;
+        request.workload = "TS";
+        request.nativeSize = 40.0;
+        response = service.submit(request).get();
+        service.shutdown();
+
+        Tracer::instance().setEnabled(false);
+        log = Tracer::instance().snapshot();
+        Tracer::instance().clear();
+    }
+
+    /** Name of every ancestor span of event `e`, root included. */
+    static std::set<std::string>
+    ancestors(const TraceEvent &e)
+    {
+        std::map<uint64_t, const TraceEvent *> byId;
+        for (const auto &event : log.events)
+            byId[event.id] = &event;
+        std::set<std::string> out;
+        uint64_t parent = e.parent;
+        while (parent != 0) {
+            const auto it = byId.find(parent);
+            if (it == byId.end())
+                break;
+            out.insert(it->second->name);
+            parent = it->second->parent;
+        }
+        return out;
+    }
+
+    static const TraceEvent &
+    firstNamed(const std::string &name)
+    {
+        for (const auto &e : log.events) {
+            if (e.name == name)
+                return e;
+        }
+        ADD_FAILURE() << "no event named " << name;
+        static TraceEvent none;
+        return none;
+    }
+
+    static TraceLog log;
+    static service::TuneResponse response;
+};
+
+TraceLog PipelineTraceTest::log;
+service::TuneResponse PipelineTraceTest::response;
+
+TEST_F(PipelineTraceTest, RequestSpanCoversEveryPhase)
+{
+    const auto stats = aggregateSpans(log);
+    ASSERT_EQ(stats.count("request"), 1u);
+    EXPECT_EQ(stats.at("request").count, 1u);
+    for (const char *phase :
+         {"phase.collect", "phase.model", "phase.search"}) {
+        ASSERT_EQ(stats.count(phase), 1u) << phase;
+        EXPECT_EQ(ancestors(firstNamed(phase)).count("request"), 1u)
+            << phase << " is not under the request span";
+    }
+}
+
+TEST_F(PipelineTraceTest, GenerationsAndRoundsHangOffTheirPhases)
+{
+    const auto stats = aggregateSpans(log);
+    // One ga.generation span per generation the GA actually ran.
+    ASSERT_EQ(stats.count("ga.generation"), 1u);
+    EXPECT_EQ(stats.at("ga.generation").count, 8u);
+    // At least the first-order boosting round.
+    ASSERT_EQ(stats.count("hm.round"), 1u);
+    EXPECT_GE(stats.at("hm.round").count, 1u);
+    // One collect.run per sampled configuration.
+    ASSERT_EQ(stats.count("collect.run"), 1u);
+    EXPECT_EQ(stats.at("collect.run").count, 3u * 12u);
+
+    for (const auto &e : log.events) {
+        if (!e.isSpan)
+            continue;
+        const auto up = ancestors(e);
+        if (e.name == "ga.generation") {
+            EXPECT_TRUE(up.count("phase.search")) << "gen " << e.id;
+            EXPECT_TRUE(up.count("request"));
+        } else if (e.name == "hm.round") {
+            EXPECT_TRUE(up.count("phase.model")) << "round " << e.id;
+            EXPECT_TRUE(up.count("request"));
+        } else if (e.name == "collect.run" || e.name == "sim.run") {
+            EXPECT_TRUE(up.count("phase.collect")) << e.name << e.id;
+            EXPECT_TRUE(up.count("request"));
+        }
+    }
+}
+
+TEST_F(PipelineTraceTest, CacheProvenanceIsRecorded)
+{
+    // Cold cache: the one request must record a miss, never a hit.
+    bool miss = false;
+    for (const auto &e : log.events) {
+        EXPECT_NE(e.name, "cache.hit");
+        if (e.name == "cache.miss") {
+            miss = true;
+            EXPECT_FALSE(e.isSpan);
+            EXPECT_TRUE(ancestors(e).count("request"));
+        }
+    }
+    EXPECT_TRUE(miss);
+    EXPECT_FALSE(response.modelCacheHit);
+}
+
+TEST_F(PipelineTraceTest, PhaseTotalsAccountForTheRequestLatency)
+{
+    // The three phases are the request's only real work, so their
+    // summary totals must cover its span within 5% (the remainder is
+    // cache bookkeeping and GA seeding).
+    const double phases = totalForSpan(log, "phase.collect") +
+        totalForSpan(log, "phase.model") +
+        totalForSpan(log, "phase.search");
+    const double request = totalForSpan(log, "request");
+    ASSERT_GT(request, 0.0);
+    EXPECT_LE(phases, request * 1.001);
+    EXPECT_GE(phases, request * 0.95);
+    // And the request span itself agrees with the measured latency.
+    EXPECT_LE(request, response.latencySec * 1.05);
+}
+
+} // namespace
+} // namespace dac::obs

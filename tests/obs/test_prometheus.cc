@@ -1,0 +1,92 @@
+/** @file Golden test for the Prometheus text exposition renderer. */
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "obs/metrics.h"
+
+namespace dac::obs {
+namespace {
+
+TEST(Prometheus, GoldenExposition)
+{
+    MetricsRegistry registry;
+    registry.counter("requests.served").increment(7);
+    registry.setGauge("cache.size", 3);
+    // Deterministic histogram: one observation in the 2-4ms bucket
+    // (index 11), two in the 4-8ms bucket (index 12).
+    Histogram &hist = registry.histogram("latency.request");
+    hist.observe(0.003);
+    hist.observe(0.005);
+    hist.observe(0.006);
+
+    const std::string expected =
+        "# HELP dac_requests_served_total Counter requests.served\n"
+        "# TYPE dac_requests_served_total counter\n"
+        "dac_requests_served_total 7\n"
+        "# HELP dac_cache_size Gauge cache.size\n"
+        "# TYPE dac_cache_size gauge\n"
+        "dac_cache_size 3\n"
+        "# HELP dac_latency_request_seconds Histogram of "
+        "latency.request (seconds)\n"
+        "# TYPE dac_latency_request_seconds histogram\n"
+        "dac_latency_request_seconds_bucket{le=\"2e-06\"} 0\n"
+        "dac_latency_request_seconds_bucket{le=\"4e-06\"} 0\n"
+        "dac_latency_request_seconds_bucket{le=\"8e-06\"} 0\n"
+        "dac_latency_request_seconds_bucket{le=\"1.6e-05\"} 0\n"
+        "dac_latency_request_seconds_bucket{le=\"3.2e-05\"} 0\n"
+        "dac_latency_request_seconds_bucket{le=\"6.4e-05\"} 0\n"
+        "dac_latency_request_seconds_bucket{le=\"0.000128\"} 0\n"
+        "dac_latency_request_seconds_bucket{le=\"0.000256\"} 0\n"
+        "dac_latency_request_seconds_bucket{le=\"0.000512\"} 0\n"
+        "dac_latency_request_seconds_bucket{le=\"0.001024\"} 0\n"
+        "dac_latency_request_seconds_bucket{le=\"0.002048\"} 0\n"
+        "dac_latency_request_seconds_bucket{le=\"0.004096\"} 1\n"
+        "dac_latency_request_seconds_bucket{le=\"0.008192\"} 3\n"
+        "dac_latency_request_seconds_bucket{le=\"+Inf\"} 3\n"
+        "dac_latency_request_seconds_sum 0.014\n"
+        "dac_latency_request_seconds_count 3\n";
+    EXPECT_EQ(registry.renderPrometheus(), expected);
+}
+
+TEST(Prometheus, EmptyHistogramStillEmitsInfSumCount)
+{
+    MetricsRegistry registry;
+    registry.histogram("latency.idle");
+    const std::string text = registry.renderPrometheus();
+    EXPECT_NE(text.find("dac_latency_idle_seconds_bucket{le=\"+Inf\"} 0"),
+              std::string::npos);
+    EXPECT_NE(text.find("dac_latency_idle_seconds_sum 0"),
+              std::string::npos);
+    EXPECT_NE(text.find("dac_latency_idle_seconds_count 0"),
+              std::string::npos);
+    // No finite bucket lines for an empty histogram.
+    EXPECT_EQ(text.find("le=\"2e-06\""), std::string::npos);
+}
+
+TEST(Prometheus, NamesAreSanitizedAndPrefixed)
+{
+    MetricsRegistry registry;
+    registry.counter("weird-name.with spaces").increment();
+    const std::string text = registry.renderPrometheus("svc");
+    EXPECT_NE(text.find("svc_weird_name_with_spaces_total 1"),
+              std::string::npos);
+    // The raw name survives only in HELP text, never in a metric name.
+    EXPECT_EQ(text.find("svc_weird-name"), std::string::npos);
+}
+
+TEST(Prometheus, TopBucketObservationsFoldIntoInf)
+{
+    MetricsRegistry registry;
+    // 1e6 seconds lands in the open-ended top bucket; the exposition
+    // must not emit a finite bound for it.
+    registry.histogram("latency.huge").observe(1e6);
+    const std::string text = registry.renderPrometheus();
+    EXPECT_NE(text.find("dac_latency_huge_seconds_bucket{le=\"+Inf\"} 1"),
+              std::string::npos);
+    EXPECT_EQ(text.find("inf\"} 1\n"), std::string::npos);
+}
+
+} // namespace
+} // namespace dac::obs

@@ -1,0 +1,106 @@
+/** @file Tests for the flame-style span summary: self/total math and
+ *  the rendered table. */
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "obs/summary.h"
+
+namespace dac::obs {
+namespace {
+
+TraceEvent
+span(const char *name, uint64_t id, uint64_t parent, double start,
+     double dur)
+{
+    TraceEvent e;
+    e.name = name;
+    e.id = id;
+    e.parent = parent;
+    e.startSec = start;
+    e.durSec = dur;
+    return e;
+}
+
+/**
+ * request (10s)
+ *   +- phase.collect (6s)
+ *   |    +- sim.run (2s), sim.run (1.5s)
+ *   +- phase.search (3s)
+ *   +- cache.miss instant (ignored by the aggregation)
+ */
+TraceLog
+sampleLog()
+{
+    TraceLog log;
+    log.lanes.push_back({0, "main"});
+    log.events.push_back(span("request", 1, 0, 0.0, 10.0));
+    log.events.push_back(span("phase.collect", 2, 1, 0.5, 6.0));
+    log.events.push_back(span("sim.run", 3, 2, 0.6, 2.0));
+    log.events.push_back(span("sim.run", 4, 2, 2.7, 1.5));
+    log.events.push_back(span("phase.search", 5, 1, 6.6, 3.0));
+    TraceEvent marker;
+    marker.name = "cache.miss";
+    marker.isSpan = false;
+    marker.id = 6;
+    marker.parent = 1;
+    marker.startSec = 0.4;
+    log.events.push_back(marker);
+    return log;
+}
+
+TEST(Summary, SelfTimeSubtractsDirectChildren)
+{
+    const auto stats = aggregateSpans(sampleLog());
+    ASSERT_EQ(stats.count("request"), 1u);
+    ASSERT_EQ(stats.count("sim.run"), 1u);
+    EXPECT_EQ(stats.count("cache.miss"), 0u); // instants are skipped
+
+    EXPECT_EQ(stats.at("sim.run").count, 2u);
+    EXPECT_NEAR(stats.at("sim.run").totalSec, 3.5, 1e-12);
+    EXPECT_NEAR(stats.at("sim.run").selfSec, 3.5, 1e-12);
+
+    EXPECT_NEAR(stats.at("phase.collect").totalSec, 6.0, 1e-12);
+    EXPECT_NEAR(stats.at("phase.collect").selfSec, 2.5, 1e-12);
+
+    // request self = 10 - (6 + 3); the instant subtracts nothing.
+    EXPECT_NEAR(stats.at("request").selfSec, 1.0, 1e-12);
+}
+
+TEST(Summary, RootTotalCountsOnlyParentlessSpans)
+{
+    EXPECT_NEAR(rootTotalSec(sampleLog()), 10.0, 1e-12);
+    EXPECT_NEAR(totalForSpan(sampleLog(), "sim.run"), 3.5, 1e-12);
+    EXPECT_NEAR(totalForSpan(sampleLog(), "missing"), 0.0, 1e-12);
+}
+
+TEST(Summary, TableListsBusiestSpanFirst)
+{
+    const std::string table = summaryTable(sampleLog()).toString();
+    // One row per span kind, ordered by total time: request first.
+    const auto request = table.find("request");
+    const auto collect = table.find("phase.collect");
+    const auto sim = table.find("sim.run");
+    ASSERT_NE(request, std::string::npos);
+    ASSERT_NE(collect, std::string::npos);
+    ASSERT_NE(sim, std::string::npos);
+    EXPECT_LT(request, collect);
+    EXPECT_LT(collect, sim);
+    // The share column is relative to the root total.
+    EXPECT_NE(table.find("100"), std::string::npos);
+}
+
+TEST(Summary, NegativeSelfClampsToZero)
+{
+    // Children reported longer than the parent (clock skew across
+    // lanes) must not produce negative self time.
+    TraceLog log;
+    log.events.push_back(span("parent", 1, 0, 0.0, 1.0));
+    log.events.push_back(span("child", 2, 1, 0.0, 1.6));
+    const auto stats = aggregateSpans(log);
+    EXPECT_GE(stats.at("parent").selfSec, 0.0);
+}
+
+} // namespace
+} // namespace dac::obs

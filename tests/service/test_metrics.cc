@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cmath>
 #include <thread>
 #include <vector>
 
@@ -66,6 +68,57 @@ TEST(Metrics, HistogramPercentilesAreOrderedAndBracketed)
     EXPECT_LT(p50, 0.050 * 2);
     EXPECT_GT(p99, 0.099 / 2);
     EXPECT_LE(p99, hist.maxValue() * 2);
+}
+
+TEST(Metrics, HistogramMaxSurvivesConcurrentObservers)
+{
+    // Stress the lock-free CAS maximum: racing observers with
+    // interleaved magnitudes must never let a smaller late write
+    // clobber a larger earlier one.
+    Histogram hist;
+    constexpr int kThreads = 8;
+    constexpr int kPerThread = 5000;
+    double expectedMax = 0.0;
+    std::vector<std::vector<double>> schedules(kThreads);
+    for (int t = 0; t < kThreads; ++t) {
+        for (int i = 0; i < kPerThread; ++i) {
+            // Deterministic pseudo-random mix spanning microseconds
+            // to minutes; every thread peaks at a different point.
+            const double value =
+                1e-6 * std::pow(1.5, (i * 7 + t * 13) % 40);
+            schedules[t].push_back(value);
+            expectedMax = std::max(expectedMax, value);
+        }
+    }
+
+    std::vector<std::thread> threads;
+    for (int t = 0; t < kThreads; ++t) {
+        threads.emplace_back([&hist, &schedules, t]() {
+            for (const double value : schedules[t])
+                hist.observe(value);
+        });
+    }
+    for (auto &thread : threads)
+        thread.join();
+
+    EXPECT_EQ(hist.count(),
+              static_cast<uint64_t>(kThreads) * kPerThread);
+    EXPECT_DOUBLE_EQ(hist.maxValue(), expectedMax);
+}
+
+TEST(Metrics, BucketBoundsDoubleFromOneMicrosecond)
+{
+    EXPECT_DOUBLE_EQ(Histogram::bucketUpperBound(0), 2e-6);
+    EXPECT_DOUBLE_EQ(Histogram::bucketUpperBound(1), 4e-6);
+    EXPECT_TRUE(std::isinf(
+        Histogram::bucketUpperBound(Histogram::kBuckets - 1)));
+
+    Histogram hist;
+    hist.observe(3e-6); // (2us, 4us] -> bucket 1
+    hist.observe(0.003); // -> bucket 11 (upper bound 4.096ms)
+    EXPECT_EQ(hist.bucketCount(1), 1u);
+    EXPECT_EQ(hist.bucketCount(11), 1u);
+    EXPECT_EQ(hist.bucketCount(0), 0u);
 }
 
 TEST(Metrics, ReportRendersEveryMetric)

@@ -2,6 +2,11 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdlib>
+#include <string>
+#include <utility>
+#include <vector>
+
 #include "support/logging.h"
 
 namespace dac {
@@ -55,6 +60,89 @@ TEST(Logging, InfoSuppressedBelowThreshold)
     inform("quiet");
     warn("quiet");
     debug("quiet");
+    setLogLevel(before);
+}
+
+/** Restores the default sink and level even if a test fails. */
+class LogSinkTest : public ::testing::Test
+{
+  protected:
+    void
+    SetUp() override
+    {
+        before = logLevel();
+        setLogSink([this](LogLevel level, const std::string &msg) {
+            captured.emplace_back(level, msg);
+        });
+    }
+
+    void
+    TearDown() override
+    {
+        setLogSink({});
+        setLogLevel(before);
+    }
+
+    LogLevel before = LogLevel::Info;
+    std::vector<std::pair<LogLevel, std::string>> captured;
+};
+
+TEST_F(LogSinkTest, SinkReceivesMessagesAboveThreshold)
+{
+    setLogLevel(LogLevel::Info);
+    inform("hello");
+    warn("careful");
+    debug("invisible"); // below threshold: never reaches the sink
+    ASSERT_EQ(captured.size(), 2u);
+    EXPECT_EQ(captured[0],
+              std::make_pair(LogLevel::Info, std::string("hello")));
+    EXPECT_EQ(captured[1],
+              std::make_pair(LogLevel::Warn, std::string("careful")));
+}
+
+TEST_F(LogSinkTest, EmptySinkRestoresTheDefault)
+{
+    setLogSink({});
+    inform("to stderr, not the old sink");
+    EXPECT_TRUE(captured.empty());
+}
+
+TEST(Logging, ParseLogLevelAcceptsNamesAndNumbers)
+{
+    LogLevel level = LogLevel::Info;
+    EXPECT_TRUE(parseLogLevel("error", &level));
+    EXPECT_EQ(level, LogLevel::Error);
+    EXPECT_TRUE(parseLogLevel("WARNING", &level));
+    EXPECT_EQ(level, LogLevel::Warn);
+    EXPECT_TRUE(parseLogLevel(" Debug ", &level));
+    EXPECT_EQ(level, LogLevel::Debug);
+    EXPECT_TRUE(parseLogLevel("2", &level));
+    EXPECT_EQ(level, LogLevel::Info);
+
+    level = LogLevel::Warn;
+    EXPECT_FALSE(parseLogLevel("loud", &level));
+    EXPECT_FALSE(parseLogLevel("", &level));
+    EXPECT_FALSE(parseLogLevel("4", &level));
+    EXPECT_EQ(level, LogLevel::Warn); // failures leave *out alone
+}
+
+TEST(Logging, EnvironmentSetsTheThreshold)
+{
+    const LogLevel before = logLevel();
+
+    setenv("DAC_LOG_LEVEL", "debug", 1);
+    applyLogLevelFromEnv();
+    EXPECT_EQ(logLevel(), LogLevel::Debug);
+
+    // Invalid values are ignored (with a warning), not applied.
+    setenv("DAC_LOG_LEVEL", "shouting", 1);
+    applyLogLevelFromEnv();
+    EXPECT_EQ(logLevel(), LogLevel::Debug);
+
+    unsetenv("DAC_LOG_LEVEL");
+    applyLogLevelFromEnv();
+    EXPECT_EQ(logLevel(), LogLevel::Debug); // unset leaves it alone
+
     setLogLevel(before);
 }
 
