@@ -22,6 +22,7 @@
 #include <string>
 #include <vector>
 
+#include "conf/constraints.h"
 #include "dac/collector.h"
 #include "dac/evaluation.h"
 #include "dac/modeler.h"
@@ -119,6 +120,14 @@ cmdTune(const workloads::Workload &w, double size,
                   << "%, predicted time "
                   << formatDouble(result.predictedTimeSec, 1) << " s\n";
     }
+    // Table 2 ranges alone cannot see cluster-level couplings, so a
+    // searched optimum can be unschedulable; surface that before the
+    // user submits the file to a real cluster.
+    for (const auto &v : conf::validateForCluster(
+             best, cluster::ClusterSpec::paperTestbed())) {
+        std::cerr << "# warning: " << v.constraint << ": " << v.message
+                  << "\n";
+    }
     std::cout << "# spark-dac.conf for " << w.name() << " at "
               << formatDouble(size, 1) << " " << w.sizeUnit() << "\n"
               << best.toString();
@@ -182,6 +191,12 @@ main(int argc, char **argv)
     if (args.size() < 2)
         return usage();
     const std::string cmd = args[0];
+
+    // Fail fast if the built-in defaults ever stop fitting the
+    // testbed; every command below starts from them.
+    conf::validateOrDie(conf::Configuration(conf::ConfigSpace::spark()),
+                        cluster::ClusterSpec::paperTestbed(),
+                        "startup defaults");
 
     if (!trace_path.empty()) {
         obs::setThreadName("main");

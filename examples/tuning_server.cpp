@@ -27,6 +27,7 @@
 #include <thread>
 #include <vector>
 
+#include "conf/constraints.h"
 #include "conf/diff.h"
 #include "obs/chrome_trace.h"
 #include "obs/summary.h"
@@ -68,6 +69,12 @@ main(int argc, char **argv)
     }
 
     sparksim::SparkSimulator sim(cluster::ClusterSpec::paperTestbed());
+
+    // Refuse to serve from defaults that do not fit the cluster; every
+    // tuned answer starts its search from this configuration.
+    conf::validateOrDie(conf::Configuration(conf::ConfigSpace::spark()),
+                        cluster::ClusterSpec::paperTestbed(),
+                        "service startup");
 
     service::ServiceOptions options;
     options.threads = threads;
@@ -127,6 +134,14 @@ main(int argc, char **argv)
                       formatDouble(response.modelErrorPct, 1), source,
                       formatDouble(response.latencySec, 2)});
         responses.push_back(response);
+        // Tuned configurations can violate cluster-level couplings the
+        // per-parameter ranges cannot express; tell the operator.
+        for (const auto &v : conf::validateForCluster(
+                 response.best, cluster::ClusterSpec::paperTestbed())) {
+            std::cerr << "warning (" << clients[i].name
+                      << "): " << v.constraint << ": " << v.message
+                      << "\n";
+        }
     }
     table.print(std::cout);
 

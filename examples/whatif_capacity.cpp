@@ -18,6 +18,7 @@
 #include "dac/tuner.h"
 #include "support/string_utils.h"
 #include "support/table.h"
+#include "support/units.h"
 #include "workloads/registry.h"
 
 int
@@ -52,7 +53,7 @@ main(int argc, char **argv)
 
     for (const auto &cand : candidates) {
         cluster::NodeSpec node;
-        node.memoryBytes = cand.memGb * 1024.0 * 1024.0 * 1024.0;
+        node.memoryBytes = cand.memGb * GiB;
         const cluster::ClusterSpec cluster(cand.label, cand.workers,
                                            node);
         sparksim::SparkSimulator sim(cluster);

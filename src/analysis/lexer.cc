@@ -1,0 +1,126 @@
+#include "analysis/lexer.h"
+
+#include "support/logging.h"
+
+namespace dac::analysis {
+
+namespace {
+
+bool
+isIdentStart(char c)
+{
+    return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c == '_';
+}
+
+bool
+isIdentChar(char c)
+{
+    return isIdentStart(c) || (c >= '0' && c <= '9');
+}
+
+bool
+isDigit(char c)
+{
+    return c >= '0' && c <= '9';
+}
+
+} // namespace
+
+std::vector<Token>
+lex(const SourceFile &file)
+{
+    std::vector<Token> tokens;
+    for (size_t li = 1; li <= file.lineCount(); ++li) {
+        const std::string &line = file.code(li);
+        size_t i = 0;
+        while (i < line.size()) {
+            const char c = line[i];
+            if (c == ' ' || c == '\t') {
+                ++i;
+                continue;
+            }
+            Token token;
+            token.line = li;
+            token.column = i + 1;
+            if (isIdentStart(c)) {
+                size_t j = i;
+                while (j < line.size() && isIdentChar(line[j]))
+                    ++j;
+                token.kind = TokenKind::Identifier;
+                token.text = line.substr(i, j - i);
+                i = j;
+            } else if (isDigit(c) ||
+                       (c == '.' && i + 1 < line.size() &&
+                        isDigit(line[i + 1]))) {
+                // pp-number: digits, letters, dots; +/- only right
+                // after an exponent marker, so "2+3" stays three
+                // tokens but "1e-6" is one.
+                size_t j = i;
+                while (j < line.size()) {
+                    const char d = line[j];
+                    if (isIdentChar(d) || d == '.') {
+                        ++j;
+                    } else if ((d == '+' || d == '-') && j > i &&
+                               (line[j - 1] == 'e' ||
+                                line[j - 1] == 'E')) {
+                        ++j;
+                    } else {
+                        break;
+                    }
+                }
+                token.kind = TokenKind::Number;
+                token.text = line.substr(i, j - i);
+                i = j;
+            } else if (c == '"' || c == '\'') {
+                // The code view blanks literal contents but keeps the
+                // quotes; everything between them is spaces.
+                const size_t close = line.find(c, i + 1);
+                const size_t end =
+                    close == std::string::npos ? line.size() : close + 1;
+                token.kind = c == '"' ? TokenKind::String
+                                      : TokenKind::CharLiteral;
+                token.text = line.substr(i, end - i);
+                i = end;
+            } else {
+                token.kind = TokenKind::Punct;
+                if (c == ':' && i + 1 < line.size() &&
+                    line[i + 1] == ':') {
+                    token.text = "::";
+                    i += 2;
+                } else if (c == '-' && i + 1 < line.size() &&
+                           line[i + 1] == '>') {
+                    token.text = "->";
+                    i += 2;
+                } else {
+                    token.text = std::string(1, c);
+                    ++i;
+                }
+            }
+            tokens.push_back(std::move(token));
+        }
+    }
+    return tokens;
+}
+
+size_t
+matchingClose(const std::vector<Token> &tokens, size_t open)
+{
+    DAC_ASSERT(open < tokens.size(), "matchingClose out of range");
+    const std::string &opener = tokens[open].text;
+    DAC_ASSERT(opener == "(" || opener == "[" || opener == "{",
+               "matchingClose on a non-bracket");
+    const std::string closer =
+        opener == "(" ? ")" : opener == "[" ? "]" : "}";
+    int depth = 0;
+    for (size_t i = open; i < tokens.size(); ++i) {
+        if (tokens[i].kind != TokenKind::Punct)
+            continue;
+        if (tokens[i].text == opener)
+            ++depth;
+        else if (tokens[i].text == closer && --depth == 0)
+            return i;
+    }
+    return tokens.size();
+}
+
+} // namespace dac::analysis

@@ -1,0 +1,56 @@
+/**
+ * @file
+ * A minimal C++ token stream for dac-lint rules. This is not a real
+ * C++ lexer: it works on the comment-stripped code view of a
+ * SourceFile and only distinguishes the token classes the rules need —
+ * identifiers, pp-numbers, string/char literals, and punctuation.
+ * `::` and `->` are kept as single tokens; every other punctuation
+ * character stands alone.
+ */
+
+#ifndef DAC_ANALYSIS_LEXER_H
+#define DAC_ANALYSIS_LEXER_H
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "analysis/source.h"
+
+namespace dac::analysis {
+
+/** Classification of one token. */
+enum class TokenKind { Identifier, Number, String, CharLiteral, Punct };
+
+/** One token with its 1-based source position. */
+struct Token
+{
+    TokenKind kind = TokenKind::Punct;
+    std::string text;
+    size_t line = 0;
+    size_t column = 0;
+
+    bool
+    is(TokenKind k, const char *t) const
+    {
+        return kind == k && text == t;
+    }
+    bool isIdent(const char *t) const
+    {
+        return is(TokenKind::Identifier, t);
+    }
+    bool isPunct(const char *t) const { return is(TokenKind::Punct, t); }
+};
+
+/** Tokenize the code view of a file. */
+std::vector<Token> lex(const SourceFile &file);
+
+/**
+ * Index of the token matching the `(` at `open`, or `tokens.size()`
+ * when unbalanced. `tokens[open]` must be "(", "[", or "{".
+ */
+size_t matchingClose(const std::vector<Token> &tokens, size_t open);
+
+} // namespace dac::analysis
+
+#endif // DAC_ANALYSIS_LEXER_H

@@ -1,0 +1,226 @@
+#include "analysis/linter.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <sstream>
+
+#include "analysis/rules.h"
+#include "support/logging.h"
+#include "support/string_utils.h"
+
+namespace dac::analysis {
+
+namespace {
+
+bool
+isSourceExtension(const std::string &ext)
+{
+    return ext == ".h" || ext == ".hpp" || ext == ".cc" ||
+           ext == ".cpp" || ext == ".cxx";
+}
+
+/** Build trees and VCS metadata are never linted. */
+bool
+isSkippedDirectory(const std::string &stem)
+{
+    return startsWith(stem, "build") || stem == ".git" ||
+           stem == ".cache";
+}
+
+/** JSON string escaping (analysis stays independent of obs). */
+std::string
+escapeJson(const std::string &text)
+{
+    std::string out;
+    out.reserve(text.size() + 8);
+    for (const char c : text) {
+        switch (c) {
+        case '"': out += "\\\""; break;
+        case '\\': out += "\\\\"; break;
+        case '\n': out += "\\n"; break;
+        case '\r': out += "\\r"; break;
+        case '\t': out += "\\t"; break;
+        default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    return out;
+}
+
+} // namespace
+
+Linter::Linter()
+{
+    for (auto &rule : builtinRules()) {
+        Entry entry;
+        entry.description = rule->description();
+        entry.rule = std::move(rule);
+        entries.push_back(std::move(entry));
+    }
+}
+
+std::vector<std::string>
+Linter::ruleNames() const
+{
+    std::vector<std::string> names;
+    names.reserve(entries.size());
+    for (const auto &entry : entries)
+        names.push_back(entry.rule->name());
+    return names;
+}
+
+const std::string &
+Linter::describe(const std::string &rule) const
+{
+    for (const auto &entry : entries) {
+        if (rule == entry.rule->name())
+            return entry.description;
+    }
+    fatalError("unknown rule: " + rule);
+}
+
+void
+Linter::disable(const std::string &rule)
+{
+    for (auto &entry : entries) {
+        if (rule == entry.rule->name()) {
+            entry.enabled = false;
+            return;
+        }
+    }
+    fatalError("unknown rule: " + rule);
+}
+
+void
+Linter::enableOnly(const std::vector<std::string> &rules)
+{
+    for (auto &entry : entries)
+        entry.enabled = false;
+    for (const auto &rule : rules) {
+        bool found = false;
+        for (auto &entry : entries) {
+            if (rule == entry.rule->name()) {
+                entry.enabled = true;
+                found = true;
+            }
+        }
+        if (!found)
+            fatalError("unknown rule: " + rule);
+    }
+}
+
+std::vector<Finding>
+Linter::lintFile(const SourceFile &file) const
+{
+    const std::vector<Token> tokens = lex(file);
+    const FileContext ctx{file, tokens};
+    std::vector<Finding> findings;
+    for (const auto &entry : entries) {
+        if (entry.enabled)
+            entry.rule->check(ctx, findings);
+    }
+    std::erase_if(findings, [&](const Finding &f) {
+        return file.suppressed(f.line, f.rule);
+    });
+    std::sort(findings.begin(), findings.end(),
+              [](const Finding &a, const Finding &b) {
+                  if (a.line != b.line)
+                      return a.line < b.line;
+                  if (a.column != b.column)
+                      return a.column < b.column;
+                  return a.rule < b.rule;
+              });
+    return findings;
+}
+
+std::vector<Finding>
+Linter::lintText(const std::string &path, const std::string &text) const
+{
+    return lintFile(SourceFile::fromString(path, text));
+}
+
+LintReport
+Linter::run(const std::vector<std::string> &paths) const
+{
+    LintReport report;
+    for (const auto &path : collectSourceFiles(paths)) {
+        const auto findings = lintFile(SourceFile::load(path));
+        report.findings.insert(report.findings.end(), findings.begin(),
+                               findings.end());
+        ++report.fileCount;
+    }
+    return report;
+}
+
+std::vector<std::string>
+collectSourceFiles(const std::vector<std::string> &paths)
+{
+    namespace fs = std::filesystem;
+    std::vector<std::string> files;
+    for (const auto &path : paths) {
+        if (!fs::exists(path))
+            fatalError("no such file or directory: " + path);
+        if (fs::is_regular_file(path)) {
+            files.push_back(path);
+            continue;
+        }
+        auto it = fs::recursive_directory_iterator(path);
+        for (const auto &entry : it) {
+            const std::string stem = entry.path().filename().string();
+            if (entry.is_directory() && isSkippedDirectory(stem)) {
+                it.disable_recursion_pending();
+                continue;
+            }
+            if (entry.is_regular_file() &&
+                isSourceExtension(entry.path().extension().string()))
+                files.push_back(entry.path().string());
+        }
+    }
+    std::sort(files.begin(), files.end());
+    files.erase(std::unique(files.begin(), files.end()), files.end());
+    return files;
+}
+
+std::string
+renderText(const LintReport &report)
+{
+    std::ostringstream out;
+    for (const auto &f : report.findings) {
+        out << f.file << ":" << f.line << ":" << f.column
+            << ": warning: " << f.message << " [" << f.rule << "]\n";
+    }
+    out << report.findings.size() << " finding(s) in "
+        << report.fileCount << " file(s)\n";
+    return out.str();
+}
+
+std::string
+renderJson(const LintReport &report)
+{
+    std::ostringstream out;
+    out << "{\n"
+        << "  \"tool\": \"dac-lint\",\n"
+        << "  \"version\": \"1.0\",\n"
+        << "  \"files\": " << report.fileCount << ",\n"
+        << "  \"findings\": [";
+    for (size_t i = 0; i < report.findings.size(); ++i) {
+        const Finding &f = report.findings[i];
+        out << (i == 0 ? "\n" : ",\n")
+            << "    {\"rule\": \"" << escapeJson(f.rule)
+            << "\", \"file\": \"" << escapeJson(f.file)
+            << "\", \"line\": " << f.line
+            << ", \"column\": " << f.column
+            << ", \"message\": \"" << escapeJson(f.message) << "\"}";
+    }
+    out << (report.findings.empty() ? "]" : "\n  ]") << "\n}\n";
+    return out.str();
+}
+
+} // namespace dac::analysis

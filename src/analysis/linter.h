@@ -1,0 +1,90 @@
+/**
+ * @file
+ * The dac-lint driver: owns the rule registry, walks files, applies
+ * NOLINT suppressions, and renders reports as human-readable text or
+ * machine-readable JSON (a SARIF-lite shape CI archives as an
+ * artifact). tools/dac_lint.cpp is a thin argv wrapper around this so
+ * every behavior is unit-testable.
+ */
+
+#ifndef DAC_ANALYSIS_LINTER_H
+#define DAC_ANALYSIS_LINTER_H
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "analysis/rule.h"
+
+namespace dac::analysis {
+
+/** Result of a lint run. */
+struct LintReport
+{
+    /** Findings sorted by (file, line, column, rule). */
+    std::vector<Finding> findings;
+    /** Files examined. */
+    size_t fileCount = 0;
+
+    [[nodiscard]] bool clean() const { return findings.empty(); }
+};
+
+/**
+ * A configured set of rules.
+ */
+class Linter
+{
+  public:
+    /** Linter with every built-in rule enabled. */
+    Linter();
+
+    /** Names of all registered rules, in display order. */
+    [[nodiscard]] std::vector<std::string> ruleNames() const;
+
+    /** One-line description of a rule; fatalError on unknown name. */
+    [[nodiscard]] const std::string &describe(const std::string &rule) const;
+
+    /** Disable one rule; fatalError on unknown name. */
+    void disable(const std::string &rule);
+
+    /** Enable exactly this rule set (clears previous enablement). */
+    void enableOnly(const std::vector<std::string> &rules);
+
+    /** Lint one pre-scanned file. */
+    [[nodiscard]] std::vector<Finding> lintFile(const SourceFile &file) const;
+
+    /** Lint a buffer as if it were a file at `path` (for tests). */
+    [[nodiscard]] std::vector<Finding> lintText(const std::string &path,
+                                                const std::string &text) const;
+
+    /** Lint every C++ source under the given files/directories. */
+    [[nodiscard]] LintReport run(const std::vector<std::string> &paths) const;
+
+  private:
+    struct Entry
+    {
+        std::unique_ptr<Rule> rule;
+        std::string description;
+        bool enabled = true;
+    };
+    std::vector<Entry> entries;
+};
+
+/**
+ * All lintable files under the given paths: directories are walked
+ * recursively for .h/.hpp/.cc/.cpp/.cxx, skipping build trees and VCS
+ * metadata; explicit file arguments are taken as-is. The list is
+ * sorted for deterministic reports.
+ */
+[[nodiscard]] std::vector<std::string>
+collectSourceFiles(const std::vector<std::string> &paths);
+
+/** "file:line:col: warning: ... [rule]" lines plus a summary. */
+[[nodiscard]] std::string renderText(const LintReport &report);
+
+/** SARIF-lite JSON: tool id, file count, and one object per finding. */
+[[nodiscard]] std::string renderJson(const LintReport &report);
+
+} // namespace dac::analysis
+
+#endif // DAC_ANALYSIS_LINTER_H

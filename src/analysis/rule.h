@@ -1,0 +1,59 @@
+/**
+ * @file
+ * The dac-lint rule interface. A Rule inspects one pre-lexed file and
+ * emits Findings; the Linter (linter.h) owns the registry, applies
+ * NOLINT suppressions, and renders reports.
+ */
+
+#ifndef DAC_ANALYSIS_RULE_H
+#define DAC_ANALYSIS_RULE_H
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "analysis/lexer.h"
+#include "analysis/source.h"
+
+namespace dac::analysis {
+
+/** One diagnostic: a rule violated at a source position. */
+struct Finding
+{
+    std::string rule;
+    std::string file;
+    size_t line = 0;
+    size_t column = 0;
+    std::string message;
+};
+
+/** Everything a rule may look at for one file. */
+struct FileContext
+{
+    const SourceFile &file;
+    const std::vector<Token> &tokens;
+};
+
+/**
+ * A project-invariant check. Implementations are stateless: check()
+ * may run over any number of files in any order.
+ */
+class Rule
+{
+  public:
+    virtual ~Rule() = default;
+
+    /** Stable rule id, e.g. "dac-atomic-order". */
+    virtual const char *name() const = 0;
+
+    /** One-line description for --list-rules and reports. */
+    virtual const char *description() const = 0;
+
+    /** Append findings for one file (suppressions applied later). */
+    virtual void check(const FileContext &ctx,
+                       std::vector<Finding> &out) const = 0;
+};
+
+} // namespace dac::analysis
+
+#endif // DAC_ANALYSIS_RULE_H

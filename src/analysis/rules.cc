@@ -1,0 +1,18 @@
+#include "analysis/rules.h"
+
+namespace dac::analysis {
+
+std::vector<std::unique_ptr<Rule>>
+builtinRules()
+{
+    std::vector<std::unique_ptr<Rule>> rules;
+    rules.push_back(makeSpanPairingRule());
+    rules.push_back(makeRngDisciplineRule());
+    rules.push_back(makeAtomicOrderRule());
+    rules.push_back(makeLockHygieneRule());
+    rules.push_back(makeIncludeHygieneRule());
+    rules.push_back(makeUnitsRule());
+    return rules;
+}
+
+} // namespace dac::analysis

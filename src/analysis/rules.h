@@ -1,0 +1,42 @@
+/**
+ * @file
+ * The built-in dac-lint rule pack. Each factory returns one rule;
+ * builtinRules() returns the full set in display order. The rules
+ * encode this repository's concurrency/determinism invariants — see
+ * DESIGN.md §8 for the catalog and the rationale behind each.
+ */
+
+#ifndef DAC_ANALYSIS_RULES_H
+#define DAC_ANALYSIS_RULES_H
+
+#include <memory>
+#include <vector>
+
+#include "analysis/rule.h"
+
+namespace dac::analysis {
+
+/** dac-span-pairing: ScopedSpan/ParentScope must be named objects. */
+std::unique_ptr<Rule> makeSpanPairingRule();
+
+/** dac-rng-discipline: only dac::Rng, split per worker in parallelFor. */
+std::unique_ptr<Rule> makeRngDisciplineRule();
+
+/** dac-atomic-order: every atomic op spells its memory order. */
+std::unique_ptr<Rule> makeAtomicOrderRule();
+
+/** dac-lock-hygiene: RAII locks only; no blocking under lock_guard. */
+std::unique_ptr<Rule> makeLockHygieneRule();
+
+/** dac-include-hygiene: respect the src/ layer order. */
+std::unique_ptr<Rule> makeIncludeHygieneRule();
+
+/** dac-units: no magic byte/time conversion factors. */
+std::unique_ptr<Rule> makeUnitsRule();
+
+/** Every built-in rule, in display order. */
+std::vector<std::unique_ptr<Rule>> builtinRules();
+
+} // namespace dac::analysis
+
+#endif // DAC_ANALYSIS_RULES_H

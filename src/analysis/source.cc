@@ -1,0 +1,187 @@
+#include "analysis/source.h"
+
+#include <fstream>
+#include <sstream>
+
+#include "support/logging.h"
+#include "support/string_utils.h"
+
+namespace dac::analysis {
+
+namespace {
+
+/** Split into lines, dropping the line terminators. */
+std::vector<std::string>
+splitLines(const std::string &text)
+{
+    std::vector<std::string> lines;
+    std::string current;
+    for (const char c : text) {
+        if (c == '\n') {
+            if (!current.empty() && current.back() == '\r')
+                current.pop_back();
+            lines.push_back(std::move(current));
+            current.clear();
+        } else {
+            current += c;
+        }
+    }
+    if (!current.empty())
+        lines.push_back(std::move(current));
+    return lines;
+}
+
+} // namespace
+
+SourceFile
+SourceFile::fromString(std::string path, const std::string &text)
+{
+    SourceFile file;
+    file._path = std::move(path);
+    file.scan(text);
+    return file;
+}
+
+SourceFile
+SourceFile::load(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in)
+        fatalError("cannot read " + path);
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    return fromString(path, buffer.str());
+}
+
+const std::string &
+SourceFile::raw(size_t line) const
+{
+    DAC_ASSERT(line >= 1 && line <= rawLines.size(),
+               "line number out of range");
+    return rawLines[line - 1];
+}
+
+const std::string &
+SourceFile::code(size_t line) const
+{
+    DAC_ASSERT(line >= 1 && line <= codeLines.size(),
+               "line number out of range");
+    return codeLines[line - 1];
+}
+
+bool
+SourceFile::suppressed(size_t line, const std::string &rule) const
+{
+    const auto it = nolint.find(line);
+    if (it == nolint.end())
+        return false;
+    if (it->second.empty())
+        return true; // bare NOLINT: everything
+    for (const auto &name : it->second) {
+        if (name == rule)
+            return true;
+    }
+    return false;
+}
+
+void
+SourceFile::recordSuppressions(size_t line, const std::string &comment)
+{
+    for (const char *marker : {"NOLINTNEXTLINE", "NOLINT"}) {
+        const size_t at = comment.find(marker);
+        if (at == std::string::npos)
+            continue;
+        const bool nextLine = std::string(marker) == "NOLINTNEXTLINE";
+        // NOLINT is a prefix of NOLINTNEXTLINE; the longer marker is
+        // tried first, so a NEXTLINE is never double-counted.
+        if (!nextLine && at >= 4 &&
+            comment.compare(at - 4, 8, "NEXTLINE") == 0)
+            continue;
+        const size_t target = nextLine ? line + 1 : line;
+        std::vector<std::string> rules;
+        const size_t open = at + std::string(marker).size();
+        if (open < comment.size() && comment[open] == '(') {
+            const size_t close = comment.find(')', open);
+            if (close != std::string::npos) {
+                for (auto &name : split(
+                         comment.substr(open + 1, close - open - 1), ','))
+                    rules.push_back(trim(name));
+            }
+        }
+        const auto existing = nolint.find(target);
+        if (existing == nolint.end())
+            nolint.emplace(target, std::move(rules));
+        else if (!rules.empty() && !existing->second.empty())
+            existing->second.insert(existing->second.end(),
+                                    rules.begin(), rules.end());
+        else
+            existing->second.clear(); // bare NOLINT wins: everything
+        return;
+    }
+}
+
+void
+SourceFile::scan(const std::string &text)
+{
+    rawLines = splitLines(text);
+    codeLines.reserve(rawLines.size());
+
+    enum class State { Code, String, Char, BlockComment };
+    State state = State::Code;
+
+    for (size_t li = 0; li < rawLines.size(); ++li) {
+        const std::string &raw = rawLines[li];
+        std::string code(raw.size(), ' ');
+        for (size_t i = 0; i < raw.size(); ++i) {
+            const char c = raw[i];
+            const char next = i + 1 < raw.size() ? raw[i + 1] : '\0';
+            switch (state) {
+            case State::Code:
+                if (c == '/' && next == '/') {
+                    recordSuppressions(li + 1, raw.substr(i));
+                    i = raw.size(); // rest of the line is comment
+                } else if (c == '/' && next == '*') {
+                    state = State::BlockComment;
+                    ++i;
+                } else if (c == '"') {
+                    code[i] = c;
+                    state = State::String;
+                } else if (c == '\'') {
+                    code[i] = c;
+                    state = State::Char;
+                } else {
+                    code[i] = c;
+                }
+                break;
+            case State::String:
+            case State::Char: {
+                const char quote = state == State::String ? '"' : '\'';
+                if (c == '\\') {
+                    ++i; // skip the escaped character
+                } else if (c == quote) {
+                    code[i] = c;
+                    state = State::Code;
+                }
+                break;
+            }
+            case State::BlockComment:
+                if (c == '*' && next == '/') {
+                    state = State::Code;
+                    ++i;
+                } else if (c == 'N' &&
+                           raw.compare(i, 6, "NOLINT") == 0) {
+                    recordSuppressions(li + 1, raw.substr(i));
+                }
+                break;
+            }
+        }
+        // A string literal never spans lines in this codebase; reset so
+        // one unterminated fixture line cannot blank the rest of the
+        // file.
+        if (state == State::String || state == State::Char)
+            state = State::Code;
+        codeLines.push_back(std::move(code));
+    }
+}
+
+} // namespace dac::analysis

@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Source model for dac-lint: one file split into lines, each with a
+ * "code view" where comments and literal contents are blanked out (the
+ * quotes themselves survive so a lexer still sees string boundaries).
+ *
+ * The scanner also records inline suppressions: `// NOLINT` silences
+ * every rule on its line, `// NOLINT(dac-foo, dac-bar)` only the named
+ * ones, and `// NOLINTNEXTLINE(...)` applies to the following line.
+ * Raw string literals are not supported (none exist in this tree).
+ */
+
+#ifndef DAC_ANALYSIS_SOURCE_H
+#define DAC_ANALYSIS_SOURCE_H
+
+#include <cstddef>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace dac::analysis {
+
+/**
+ * An immutable, pre-scanned source file.
+ */
+class SourceFile
+{
+  public:
+    /** Scan a buffer as if it were the file at `path` (for tests). */
+    static SourceFile fromString(std::string path, const std::string &text);
+
+    /** Read and scan a file; fatalError() if unreadable. */
+    static SourceFile load(const std::string &path);
+
+    const std::string &path() const { return _path; }
+
+    /** Number of lines (a trailing newline adds no empty line). */
+    size_t lineCount() const { return rawLines.size(); }
+
+    /** Line as written, 1-based. */
+    const std::string &raw(size_t line) const;
+
+    /** Line with comments and literal contents blanked, 1-based. */
+    const std::string &code(size_t line) const;
+
+    /** True when `rule` is suppressed on `line` by a NOLINT marker. */
+    bool suppressed(size_t line, const std::string &rule) const;
+
+  private:
+    SourceFile() = default;
+
+    void scan(const std::string &text);
+    void recordSuppressions(size_t line, const std::string &comment);
+
+    std::string _path;
+    std::vector<std::string> rawLines;
+    std::vector<std::string> codeLines;
+    /** line -> suppressed rule names; an empty list means "all". */
+    std::map<size_t, std::vector<std::string>> nolint;
+};
+
+} // namespace dac::analysis
+
+#endif // DAC_ANALYSIS_SOURCE_H

@@ -3,6 +3,7 @@
 #include <sstream>
 
 #include "support/logging.h"
+#include "support/units.h"
 
 namespace dac::cluster {
 
@@ -26,7 +27,7 @@ ClusterSpec::signature() const
 {
     std::ostringstream oss;
     oss << _name << "/" << _workers << "x" << _node.cores << "c/"
-        << _node.memoryBytes / (1024.0 * 1024 * 1024) << "GB/"
+        << bytesToGb(_node.memoryBytes) << "GB/"
         << _node.cpuBytesPerSec << "/" << _node.diskBytesPerSec << "/"
         << _node.netBytesPerSec;
     return oss.str();

@@ -11,6 +11,8 @@
 #include <cstddef>
 #include <string>
 
+#include "support/units.h"
+
 namespace dac::cluster {
 
 /**
@@ -24,7 +26,7 @@ struct NodeSpec
     /** Physical cores available to executors. */
     int cores = 12;
     /** Physical memory in bytes. */
-    double memoryBytes = 64.0 * 1024 * 1024 * 1024;
+    double memoryBytes = 64.0 * GiB;
     /** Per-core processing throughput for deserialized data, bytes/s. */
     double cpuBytesPerSec = 180.0e6;
     /** Sequential disk bandwidth per node, bytes/s (shared across

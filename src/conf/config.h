@@ -34,16 +34,16 @@ class Configuration
     size_t size() const { return _values.size(); }
 
     /** Raw value at an index. */
-    double get(size_t i) const;
+    [[nodiscard]] double get(size_t i) const;
     /** Raw value by parameter name. */
-    double get(const std::string &name) const;
+    [[nodiscard]] double get(const std::string &name) const;
 
     /** Value as integer (rounded). */
-    int64_t getInt(size_t i) const;
+    [[nodiscard]] int64_t getInt(size_t i) const;
     /** Value as boolean. */
-    bool getBool(size_t i) const;
+    [[nodiscard]] bool getBool(size_t i) const;
     /** Value as a category index. */
-    size_t getCategory(size_t i) const;
+    [[nodiscard]] size_t getCategory(size_t i) const;
 
     /** Set a value; it is snapped to the parameter's legal range. */
     void set(size_t i, double value);
@@ -59,14 +59,15 @@ class Configuration
     const std::vector<double> &values() const { return _values; }
 
     /** Encode as a [0,1]^n vector (GA genome / ML features). */
-    std::vector<double> toNormalized() const;
+    [[nodiscard]] std::vector<double> toNormalized() const;
 
     /** Decode a [0,1]^n vector into a legal configuration. */
-    static Configuration fromNormalized(const ConfigSpace &space,
-                                        const std::vector<double> &unit);
+    [[nodiscard]] static Configuration
+    fromNormalized(const ConfigSpace &space,
+                   const std::vector<double> &unit);
 
     /** Multi-line "name = value" rendering (spark-dac.conf style). */
-    std::string toString() const;
+    [[nodiscard]] std::string toString() const;
 
   private:
     const ConfigSpace *_space;

@@ -1,0 +1,153 @@
+#include "conf/constraints.h"
+
+#include <sstream>
+
+#include "support/logging.h"
+#include "support/units.h"
+
+namespace dac::conf {
+
+namespace {
+
+std::string
+mb(int64_t megabytes)
+{
+    return std::to_string(megabytes) + " MB";
+}
+
+void
+violation(std::vector<ConstraintViolation> &out, const char *constraint,
+          const std::string &message)
+{
+    out.push_back(ConstraintViolation{constraint, message});
+}
+
+} // namespace
+
+std::vector<ConstraintViolation>
+validateForCluster(const Configuration &config,
+                   const cluster::ClusterSpec &cluster)
+{
+    std::vector<ConstraintViolation> out;
+    if (config.space().name() != "spark")
+        return out; // only the Spark space has registered constraints
+
+    const auto &node = cluster.node();
+    const int64_t nodeMemoryMb =
+        static_cast<int64_t>(bytesToMb(node.memoryBytes));
+
+    const int64_t execCores = config.getInt(ExecutorCores);
+    const int64_t execMemoryMb = config.getInt(ExecutorMemory);
+    const int64_t driverCores = config.getInt(DriverCores);
+    const int64_t driverMemoryMb = config.getInt(DriverMemory);
+    const int64_t parallelism = config.getInt(DefaultParallelism);
+    const bool offHeapEnabled = config.getBool(MemoryOffHeapEnabled);
+    const int64_t offHeapMb =
+        offHeapEnabled ? config.getInt(MemoryOffHeapSize) : 0;
+
+    if (execCores > node.cores) {
+        std::ostringstream msg;
+        msg << "spark.executor.cores = " << execCores
+            << " exceeds the " << node.cores
+            << " cores available per worker node; no executor can be "
+               "scheduled";
+        violation(out, "executor-cores", msg.str());
+    }
+
+    if (execMemoryMb + offHeapMb > nodeMemoryMb) {
+        std::ostringstream msg;
+        msg << "a single executor needs " << mb(execMemoryMb + offHeapMb)
+            << " (spark.executor.memory = " << mb(execMemoryMb);
+        if (offHeapMb > 0)
+            msg << " + spark.memory.offHeap.size = " << mb(offHeapMb);
+        msg << ") but a worker node only has " << mb(nodeMemoryMb);
+        violation(out, "executor-memory", msg.str());
+    } else if (execCores >= 1 && execCores <= node.cores) {
+        // Standalone mode packs floor(nodeCores / executorCores)
+        // executors onto every worker; their summed footprint must
+        // still fit in node RAM.
+        const int64_t perNode = node.cores / execCores;
+        const int64_t footprintMb = perNode * (execMemoryMb + offHeapMb);
+        if (footprintMb > nodeMemoryMb) {
+            std::ostringstream msg;
+            msg << perNode << " executors of "
+                << mb(execMemoryMb + offHeapMb)
+                << " each pack onto one " << node.cores
+                << "-core worker (spark.executor.cores = " << execCores
+                << "), needing " << mb(footprintMb)
+                << " of the node's " << mb(nodeMemoryMb)
+                << "; lower spark.executor.memory or raise "
+                   "spark.executor.cores";
+            violation(out, "node-memory-fit", msg.str());
+        }
+    }
+
+    if (driverCores > node.cores) {
+        std::ostringstream msg;
+        msg << "spark.driver.cores = " << driverCores << " exceeds the "
+            << node.cores << " cores of the master node";
+        violation(out, "driver-cores", msg.str());
+    }
+
+    if (driverMemoryMb > nodeMemoryMb) {
+        std::ostringstream msg;
+        msg << "spark.driver.memory = " << mb(driverMemoryMb)
+            << " exceeds the master node's " << mb(nodeMemoryMb);
+        violation(out, "driver-memory", msg.str());
+    }
+
+    if (parallelism < cluster.workerCount()) {
+        std::ostringstream msg;
+        msg << "spark.default.parallelism = " << parallelism
+            << " leaves workers idle: the cluster has "
+            << cluster.workerCount() << " worker nodes";
+        violation(out, "parallelism-floor", msg.str());
+    }
+
+    const int64_t parallelismCeiling =
+        static_cast<int64_t>(cluster.totalCores()) * 16;
+    if (parallelism > parallelismCeiling) {
+        std::ostringstream msg;
+        msg << "spark.default.parallelism = " << parallelism
+            << " exceeds 16 tasks per core (" << parallelismCeiling
+            << " for " << cluster.totalCores()
+            << " total cores); scheduling overhead would dominate";
+        violation(out, "parallelism-ceiling", msg.str());
+    }
+
+    if (offHeapEnabled && config.getInt(MemoryOffHeapSize) <= 0) {
+        std::ostringstream msg;
+        msg << "spark.memory.offHeap.enabled is true but "
+               "spark.memory.offHeap.size = "
+            << config.getInt(MemoryOffHeapSize)
+            << " MB; enabling off-heap memory requires a positive size";
+        violation(out, "offheap-consistency", msg.str());
+    }
+
+    return out;
+}
+
+std::string
+renderViolations(const std::vector<ConstraintViolation> &violations)
+{
+    std::ostringstream out;
+    for (const auto &v : violations)
+        out << v.constraint << ": " << v.message << "\n";
+    return out.str();
+}
+
+void
+validateOrDie(const Configuration &config,
+              const cluster::ClusterSpec &cluster,
+              const std::string &context)
+{
+    const auto violations = validateForCluster(config, cluster);
+    if (violations.empty())
+        return;
+    fatalError(context + ": configuration violates " +
+               std::to_string(violations.size()) +
+               " cross-parameter constraint(s) for cluster '" +
+               cluster.name() + "':\n" + renderViolations(violations));
+}
+
+} // namespace dac::conf

@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Cross-parameter constraint validation for Spark configurations.
+ *
+ * Table 2 gives each parameter an independent range, but legality also
+ * depends on the cluster: spark.executor.memory × the executors packed
+ * per node must fit in node RAM, a single executor cannot claim more
+ * cores than a node has, and so on. Single-parameter snapping cannot
+ * see these couplings, so the GA can emit configurations a real
+ * cluster manager would reject at submit time. This module makes the
+ * couplings explicit: validate at config load (CLI and service
+ * startup) and audit tuned outputs before publishing them.
+ */
+
+#ifndef DAC_CONF_CONSTRAINTS_H
+#define DAC_CONF_CONSTRAINTS_H
+
+#include <string>
+#include <vector>
+
+#include "cluster/cluster.h"
+#include "conf/config.h"
+
+namespace dac::conf {
+
+/** One violated cross-parameter constraint. */
+struct ConstraintViolation
+{
+    /** Stable identifier ("executor-memory-fit", ...). */
+    std::string constraint;
+    /** Explicit, actionable description with the offending numbers. */
+    std::string message;
+};
+
+/**
+ * Check every cross-parameter constraint of a Spark configuration
+ * against the cluster it would run on. Non-Spark spaces have no
+ * registered constraints and always validate clean.
+ *
+ * Checks, in report order:
+ *  - executor-cores:      spark.executor.cores <= cores per node
+ *  - executor-memory:     spark.executor.memory fits in node RAM
+ *  - node-memory-fit:     executors packed per node × (heap + off-heap)
+ *                         fits in node RAM
+ *  - driver-cores:        spark.driver.cores <= cores on the master
+ *  - driver-memory:       spark.driver.memory fits on the master
+ *  - parallelism-floor:   spark.default.parallelism >= worker count
+ *  - parallelism-ceiling: spark.default.parallelism <= 16 × total cores
+ *  - offheap-consistency: offHeap.enabled implies offHeap.size > 0
+ */
+[[nodiscard]] std::vector<ConstraintViolation>
+validateForCluster(const Configuration &config,
+                   const cluster::ClusterSpec &cluster);
+
+/** One "constraint-id: message" line per violation. */
+[[nodiscard]] std::string
+renderViolations(const std::vector<ConstraintViolation> &violations);
+
+/**
+ * fatalError() with every violation listed when the configuration is
+ * illegal for the cluster; returns silently when clean. For load-time
+ * validation of configurations the user supplied.
+ */
+void validateOrDie(const Configuration &config,
+                   const cluster::ClusterSpec &cluster,
+                   const std::string &context);
+
+} // namespace dac::conf
+
+#endif // DAC_CONF_CONSTRAINTS_H

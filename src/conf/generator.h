@@ -24,17 +24,17 @@ class ConfigGenerator
     ConfigGenerator(const ConfigSpace &space, Rng rng);
 
     /** One uniformly random configuration. */
-    Configuration random();
+    [[nodiscard]] Configuration random();
 
     /** A batch of independent random configurations. */
-    std::vector<Configuration> batch(size_t count);
+    [[nodiscard]] std::vector<Configuration> batch(size_t count);
 
     /**
      * A Latin hypercube sample: each parameter's range is split into
      * `count` strata and each stratum used exactly once, giving better
      * coverage than independent draws for small training sets.
      */
-    std::vector<Configuration> latinHypercube(size_t count);
+    [[nodiscard]] std::vector<Configuration> latinHypercube(size_t count);
 
   private:
     const ConfigSpace *space;

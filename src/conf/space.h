@@ -100,16 +100,16 @@ class ConfigSpace
     const std::string &name() const { return _name; }
 
     /** Number of parameters (the dimensionality of the space). */
-    size_t size() const { return _params.size(); }
+    [[nodiscard]] size_t size() const { return _params.size(); }
 
     /** Spec at an index. */
-    const ParamSpec &param(size_t i) const;
+    [[nodiscard]] const ParamSpec &param(size_t i) const;
 
     /** Spec by name; fatalError if absent. */
-    const ParamSpec &param(const std::string &name) const;
+    [[nodiscard]] const ParamSpec &param(const std::string &name) const;
 
     /** Index of a named parameter; fatalError if absent. */
-    size_t indexOf(const std::string &name) const;
+    [[nodiscard]] size_t indexOf(const std::string &name) const;
 
     /** All specs in order. */
     const std::vector<ParamSpec> &params() const { return _params; }

@@ -5,6 +5,7 @@
 #include <sstream>
 
 #include "support/logging.h"
+#include "support/units.h"
 
 namespace dac::obs {
 
@@ -18,7 +19,7 @@ std::string
 formatMicros(double sec)
 {
     char buffer[32];
-    std::snprintf(buffer, sizeof(buffer), "%.3f", sec * 1e6);
+    std::snprintf(buffer, sizeof(buffer), "%.3f", secToUsec(sec));
     return buffer;
 }
 

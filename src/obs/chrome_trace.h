@@ -17,13 +17,13 @@
 namespace dac::obs {
 
 /** Render the log as a chrome://tracing JSON object. */
-std::string toChromeTraceJson(const TraceLog &log);
+[[nodiscard]] std::string toChromeTraceJson(const TraceLog &log);
 
 /** toChromeTraceJson() written to a file; fatalError() on I/O error. */
 void writeChromeTrace(const TraceLog &log, const std::string &path);
 
 /** Escape a string for embedding in a JSON string literal. */
-std::string jsonEscape(const std::string &text);
+[[nodiscard]] std::string jsonEscape(const std::string &text);
 
 } // namespace dac::obs
 

@@ -26,12 +26,17 @@ bucketIndex(double value)
                             Histogram::kBuckets - 1);
 }
 
-/** fetch_add for atomic<double> predating C++20 library support. */
+/**
+ * fetch_add for atomic<double> predating C++20 library support.
+ * Relaxed: the sum is a statistic read in isolation, never a
+ * synchronization handoff.
+ */
 void
 atomicAdd(std::atomic<double> &target, double delta)
 {
-    double current = target.load();
-    while (!target.compare_exchange_weak(current, current + delta)) {
+    double current = target.load(std::memory_order_relaxed);
+    while (!target.compare_exchange_weak(current, current + delta,
+                                         std::memory_order_relaxed)) {
     }
 }
 
@@ -44,9 +49,10 @@ atomicAdd(std::atomic<double> &target, double delta)
 void
 atomicMax(std::atomic<double> &target, double value)
 {
-    double current = target.load();
+    double current = target.load(std::memory_order_relaxed);
     while (current < value &&
-           !target.compare_exchange_weak(current, value)) {
+           !target.compare_exchange_weak(current, value,
+                                         std::memory_order_relaxed)) {
     }
 }
 
@@ -90,8 +96,8 @@ formatPromValue(double value)
 void
 Histogram::observe(double value)
 {
-    buckets[bucketIndex(value)].fetch_add(1);
-    count_.fetch_add(1);
+    buckets[bucketIndex(value)].fetch_add(1, std::memory_order_relaxed);
+    count_.fetch_add(1, std::memory_order_relaxed);
     atomicAdd(sum_, value);
     atomicMax(max_, value);
 }
@@ -99,8 +105,10 @@ Histogram::observe(double value)
 double
 Histogram::meanValue() const
 {
-    const uint64_t n = count_.load();
-    return n > 0 ? sum_.load() / static_cast<double>(n) : 0.0;
+    const uint64_t n = count_.load(std::memory_order_relaxed);
+    return n > 0
+        ? sum_.load(std::memory_order_relaxed) / static_cast<double>(n)
+        : 0.0;
 }
 
 double
@@ -114,7 +122,7 @@ Histogram::bucketUpperBound(size_t i)
 double
 Histogram::percentile(double p) const
 {
-    const uint64_t n = count_.load();
+    const uint64_t n = count_.load(std::memory_order_relaxed);
     if (n == 0)
         return 0.0;
     p = std::clamp(p, 0.0, 100.0);
@@ -124,7 +132,7 @@ Histogram::percentile(double p) const
                                                  static_cast<double>(n)));
     uint64_t seen = 0;
     for (size_t i = 0; i < kBuckets; ++i) {
-        seen += buckets[i].load();
+        seen += buckets[i].load(std::memory_order_relaxed);
         if (seen > rank) {
             // Geometric midpoint of [floor, 2*floor).
             return bucketFloor(i) * std::sqrt(2.0);

@@ -37,8 +37,16 @@ namespace dac::obs {
 class Counter
 {
   public:
-    void increment(uint64_t delta = 1) { value_.fetch_add(delta); }
-    uint64_t value() const { return value_.load(); }
+    // Relaxed throughout: counters are statistics, not synchronization;
+    // readers tolerate momentarily stale totals.
+    void increment(uint64_t delta = 1)
+    {
+        value_.fetch_add(delta, std::memory_order_relaxed);
+    }
+    [[nodiscard]] uint64_t value() const
+    {
+        return value_.load(std::memory_order_relaxed);
+    }
 
   private:
     std::atomic<uint64_t> value_{0};
@@ -60,27 +68,39 @@ class Histogram
      *  bucket). */
     void observe(double value);
 
-    uint64_t count() const { return count_.load(); }
-    double total() const { return sum_.load(); }
+    [[nodiscard]] uint64_t count() const
+    {
+        return count_.load(std::memory_order_relaxed);
+    }
+    [[nodiscard]] double total() const
+    {
+        return sum_.load(std::memory_order_relaxed);
+    }
     /** Arithmetic mean of the observations (0 when empty). */
-    double meanValue() const;
+    [[nodiscard]] double meanValue() const;
     /** Largest observation folded in so far (0 when empty). */
-    double maxValue() const { return max_.load(); }
+    [[nodiscard]] double maxValue() const
+    {
+        return max_.load(std::memory_order_relaxed);
+    }
 
     /** Estimated percentile, p in [0, 100] (0 when empty). */
-    double percentile(double p) const;
+    [[nodiscard]] double percentile(double p) const;
 
     /** Buckets per decade-ish doubling; bounds are 1us * 2^i. */
     static constexpr size_t kBuckets = 45;
 
     /** Observations landed in bucket i (non-cumulative). */
-    uint64_t bucketCount(size_t i) const { return buckets[i].load(); }
+    [[nodiscard]] uint64_t bucketCount(size_t i) const
+    {
+        return buckets[i].load(std::memory_order_relaxed);
+    }
 
     /**
      * Exclusive upper bound of bucket i in seconds: 1us * 2^(i+1);
      * +infinity for the last bucket.
      */
-    static double bucketUpperBound(size_t i);
+    [[nodiscard]] static double bucketUpperBound(size_t i);
 
   private:
     std::atomic<uint64_t> buckets[kBuckets] = {};
@@ -107,17 +127,17 @@ class MetricsRegistry
     void setGauge(const std::string &name, double value);
 
     /** Current value of a counter (0 if never touched). */
-    uint64_t counterValue(const std::string &name) const;
+    [[nodiscard]] uint64_t counterValue(const std::string &name) const;
 
     /**
      * Render everything as an aligned table: counters as single
      * values, histograms with count/mean/p50/p95/p99/max, gauges as
      * instantaneous values.
      */
-    TextTable toTable() const;
+    [[nodiscard]] TextTable toTable() const;
 
     /** toTable() rendered to a string. */
-    std::string report() const;
+    [[nodiscard]] std::string report() const;
 
     /**
      * Prometheus text exposition (version 0.0.4): `# HELP`/`# TYPE`
@@ -127,7 +147,8 @@ class MetricsRegistry
      * Metric names are prefixed and sanitized ("latency.request" ->
      * "dac_latency_request_seconds").
      */
-    std::string renderPrometheus(const std::string &prefix = "dac") const;
+    [[nodiscard]] std::string
+    renderPrometheus(const std::string &prefix = "dac") const;
 
   private:
     mutable std::mutex mutex;

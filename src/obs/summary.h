@@ -28,19 +28,21 @@ struct SpanStats
 };
 
 /** Per-name aggregates over the log's spans (instants are skipped). */
-std::map<std::string, SpanStats> aggregateSpans(const TraceLog &log);
+[[nodiscard]] std::map<std::string, SpanStats>
+aggregateSpans(const TraceLog &log);
 
 /** Wall time covered by root spans (parent == 0). */
-double rootTotalSec(const TraceLog &log);
+[[nodiscard]] double rootTotalSec(const TraceLog &log);
 
 /** Sum of durations of spans with this exact name. */
-double totalForSpan(const TraceLog &log, const std::string &name);
+[[nodiscard]] double totalForSpan(const TraceLog &log,
+                                  const std::string &name);
 
 /**
  * The summary table: one row per span kind, busiest first, with the
  * share column relative to the root spans' total.
  */
-TextTable summaryTable(const TraceLog &log);
+[[nodiscard]] TextTable summaryTable(const TraceLog &log);
 
 } // namespace dac::obs
 

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <sstream>
 
+#include "support/units.h"
+
 namespace dac::obs {
 
 namespace {
@@ -17,11 +19,20 @@ renderNumber(T value)
     return oss.str();
 }
 
+/** steady_clock now, as nanoseconds since the clock's zero. */
+int64_t
+steadyNowNs()
+{
+    return std::chrono::duration_cast<std::chrono::nanoseconds>(
+               std::chrono::steady_clock::now().time_since_epoch())
+        .count();
+}
+
 } // namespace
 
 Tracer::Tracer()
-    : epoch(std::chrono::steady_clock::now())
 {
+    epochNs.store(steadyNowNs(), std::memory_order_relaxed);
 }
 
 Tracer &
@@ -45,15 +56,15 @@ Tracer::clear()
         std::lock_guard<std::mutex> stateLock(state->mutex);
         state->events.clear();
     }
-    epoch = std::chrono::steady_clock::now();
+    epochNs.store(steadyNowNs(), std::memory_order_relaxed);
 }
 
 double
 Tracer::nowSec() const
 {
-    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
-                                         epoch)
-        .count();
+    const int64_t ns =
+        steadyNowNs() - epochNs.load(std::memory_order_relaxed);
+    return nsToSec(static_cast<double>(ns));
 }
 
 Tracer::ThreadState &

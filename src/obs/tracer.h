@@ -78,7 +78,7 @@ class Tracer
     static Tracer &instance();
 
     /** Cheapest possible check; safe from any thread. */
-    static bool
+    [[nodiscard]] static bool
     enabled()
     {
         return enabledFlag.load(std::memory_order_relaxed);
@@ -95,20 +95,20 @@ class Tracer
     void clear();
 
     /** Copy out everything recorded so far. */
-    TraceLog snapshot() const;
+    [[nodiscard]] TraceLog snapshot() const;
 
     /** Events recorded since process start (monotonic). */
-    uint64_t eventCount() const;
+    [[nodiscard]] uint64_t eventCount() const;
 
     /**
      * Buffer allocations since process start (monotonic): one per
      * thread that ever recorded. The zero-overhead test asserts this
      * and eventCount() stay flat across a traced-disabled hot path.
      */
-    uint64_t allocationCount() const;
+    [[nodiscard]] uint64_t allocationCount() const;
 
     /** Seconds since the tracer epoch. */
-    double nowSec() const;
+    [[nodiscard]] double nowSec() const;
 
     Tracer(const Tracer &) = delete;
     Tracer &operator=(const Tracer &) = delete;
@@ -142,14 +142,22 @@ class Tracer
     /** This thread's state, registering it on first use. */
     ThreadState &threadState();
 
-    uint64_t nextId() { return idCounter.fetch_add(1) + 1; }
+    // Relaxed: ids only need to be unique, not ordered across threads.
+    uint64_t nextId()
+    {
+        return idCounter.fetch_add(1, std::memory_order_relaxed) + 1;
+    }
     void record(ThreadState &state, TraceEvent event);
 
     inline static std::atomic<bool> enabledFlag{false};
 
     mutable std::mutex registryMutex; ///< guards threads list
     std::vector<std::unique_ptr<ThreadState>> threads;
-    std::chrono::steady_clock::time_point epoch;
+    /** Epoch as steady_clock nanoseconds since its (arbitrary) zero.
+     *  Atomic because clear() rewrites it while recording threads call
+     *  nowSec() without the registry lock; relaxed suffices — it is a
+     *  timestamp, not a synchronization handoff. */
+    std::atomic<int64_t> epochNs{0};
     std::atomic<uint64_t> idCounter{0};
     std::atomic<uint64_t> events{0};
     std::atomic<uint64_t> allocations{0};
@@ -170,9 +178,9 @@ class ScopedSpan
     ScopedSpan &operator=(const ScopedSpan &) = delete;
 
     /** True when this span is actually recording. */
-    bool active() const { return isActive; }
+    [[nodiscard]] bool active() const { return isActive; }
     /** This span's id (0 when inactive). */
-    uint64_t id() const { return spanId; }
+    [[nodiscard]] uint64_t id() const { return spanId; }
 
     /** Attach an attribute (no-ops when inactive). */
     void attr(const char *key, const char *value);

@@ -58,11 +58,11 @@ struct ModelKey
     }
 
     /** "TS@paper-testbed/...#band4" rendering for logs. */
-    std::string toString() const;
+    [[nodiscard]] std::string toString() const;
 };
 
 /** The band a native dataset size falls in. */
-int sizeBandOf(double native_size);
+[[nodiscard]] int sizeBandOf(double native_size);
 
 /**
  * A trained model plus everything a search against it needs.
@@ -101,7 +101,7 @@ class ModelCache
         size_t capacity = 0;
 
         /** hits / (hits + misses), counting coalesced joins as hits. */
-        double hitRate() const;
+        [[nodiscard]] double hitRate() const;
     };
 
     /** Cache holding at most `capacity` models (>= 1). */
@@ -114,11 +114,12 @@ class ModelCache
      * wait and share the result. A builder failure propagates to every
      * waiter and caches nothing.
      */
-    std::shared_ptr<const CachedModel> getOrBuild(const ModelKey &key,
-                                                  const Builder &build);
+    [[nodiscard]] std::shared_ptr<const CachedModel>
+    getOrBuild(const ModelKey &key, const Builder &build);
 
     /** The cached model for `key`, or nullptr; counts a hit or miss. */
-    std::shared_ptr<const CachedModel> lookup(const ModelKey &key);
+    [[nodiscard]] std::shared_ptr<const CachedModel>
+    lookup(const ModelKey &key);
 
     /** Insert (or refresh) an entry, evicting the LRU tail if full. */
     void insert(const ModelKey &key,
@@ -127,11 +128,11 @@ class ModelCache
     /** Drop every entry (counters are kept). */
     void clear();
 
-    size_t size() const;
-    Stats stats() const;
+    [[nodiscard]] size_t size() const;
+    [[nodiscard]] Stats stats() const;
 
     /** Keys from most- to least-recently used (for tests/logs). */
-    std::vector<ModelKey> keysByRecency() const;
+    [[nodiscard]] std::vector<ModelKey> keysByRecency() const;
 
   private:
     using Entry = std::pair<ModelKey, std::shared_ptr<const CachedModel>>;

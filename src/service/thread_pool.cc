@@ -105,7 +105,10 @@ ThreadPool::parallelFor(size_t n, const std::function<void(size_t)> &body)
     auto drain = [state, parentSpan]() {
         obs::ParentScope parentScope(parentSpan);
         for (;;) {
-            const size_t i = state->next.fetch_add(1);
+            // Relaxed: claiming an index carries no data; the body's
+            // writes are published by the done counter below.
+            const size_t i =
+                state->next.fetch_add(1, std::memory_order_relaxed);
             if (i >= state->total)
                 return;
             try {
@@ -115,7 +118,12 @@ ThreadPool::parallelFor(size_t n, const std::function<void(size_t)> &body)
                 if (!state->error)
                     state->error = std::current_exception();
             }
-            if (state->done.fetch_add(1) + 1 == state->total) {
+            // acq_rel: release publishes this iteration's writes, and
+            // the acquire side keeps the whole RMW chain a release
+            // sequence, so the caller's acquire load of `done` sees
+            // every worker's writes, not just the last increment's.
+            if (state->done.fetch_add(1, std::memory_order_acq_rel) + 1 ==
+                state->total) {
                 // Lock so the notify cannot race the waiter between its
                 // predicate check and its sleep.
                 std::lock_guard<std::mutex> lock(state->mutex);
@@ -135,7 +143,10 @@ ThreadPool::parallelFor(size_t n, const std::function<void(size_t)> &body)
 
     std::unique_lock<std::mutex> lock(state->mutex);
     state->finished.wait(lock, [&]() {
-        return state->done.load() >= state->total;
+        // Acquire pairs with the workers' acq_rel increments: once this
+        // reads `total`, every loop body's writes are visible here.
+        return state->done.load(std::memory_order_acquire) >=
+            state->total;
     });
     if (state->error)
         std::rethrow_exception(state->error);

@@ -21,19 +21,19 @@ class Summary
     void add(double x);
 
     /** Number of observations folded in so far. */
-    size_t count() const { return n; }
+    [[nodiscard]] size_t count() const { return n; }
     /** Arithmetic mean (0 when empty). */
-    double mean() const { return n ? mu : 0.0; }
+    [[nodiscard]] double mean() const { return n ? mu : 0.0; }
     /** Unbiased sample variance (0 with fewer than two points). */
-    double variance() const;
+    [[nodiscard]] double variance() const;
     /** Unbiased sample standard deviation. */
-    double stddev() const;
+    [[nodiscard]] double stddev() const;
     /** Smallest observation (+inf when empty). */
-    double min() const { return lo; }
+    [[nodiscard]] double min() const { return lo; }
     /** Largest observation (-inf when empty). */
-    double max() const { return hi; }
+    [[nodiscard]] double max() const { return hi; }
     /** max - min; the paper's Tvar numerator uses per-run max - t_i. */
-    double range() const;
+    [[nodiscard]] double range() const;
 
   private:
     size_t n = 0;
@@ -44,16 +44,16 @@ class Summary
 };
 
 /** Arithmetic mean of a vector (0 when empty). */
-double mean(const std::vector<double> &xs);
+[[nodiscard]] double mean(const std::vector<double> &xs);
 
 /** Geometric mean; requires strictly positive entries. */
-double geomean(const std::vector<double> &xs);
+[[nodiscard]] double geomean(const std::vector<double> &xs);
 
 /** Sample standard deviation (0 with fewer than two points). */
-double stddev(const std::vector<double> &xs);
+[[nodiscard]] double stddev(const std::vector<double> &xs);
 
 /** Median via sorting a copy (0 when empty). */
-double median(std::vector<double> xs);
+[[nodiscard]] double median(std::vector<double> xs);
 
 /**
  * Linear-interpolated percentile.
@@ -61,21 +61,21 @@ double median(std::vector<double> xs);
  * @param xs Observations (copied and sorted).
  * @param p  Percentile in [0, 100].
  */
-double percentile(std::vector<double> xs, double p);
+[[nodiscard]] double percentile(std::vector<double> xs, double p);
 
 /**
  * Mean absolute percentage error (Eq. 2 of the paper), in percent.
  *
  * err = |t_pre - t_mea| / t_mea * 100, averaged over all pairs.
  */
-double mape(const std::vector<double> &predicted,
-            const std::vector<double> &measured);
+[[nodiscard]] double mape(const std::vector<double> &predicted,
+                          const std::vector<double> &measured);
 
 /**
  * Execution-time variation Tvar (Eq. 1 of the paper):
  * mean over runs of (max run time - run time).
  */
-double timeVariation(const std::vector<double> &times);
+[[nodiscard]] double timeVariation(const std::vector<double> &times);
 
 } // namespace dac
 

@@ -4,6 +4,8 @@
 #include <cmath>
 #include <sstream>
 
+#include "support/units.h"
+
 namespace dac {
 
 std::vector<std::string>
@@ -63,18 +65,14 @@ formatDouble(double value, int precision)
 std::string
 formatBytes(double bytes)
 {
-    const double kib = 1024.0;
-    const double mib = kib * 1024.0;
-    const double gib = mib * 1024.0;
-    const double tib = gib * 1024.0;
-    if (bytes >= tib)
-        return formatDouble(bytes / tib, 2) + " TB";
-    if (bytes >= gib)
-        return formatDouble(bytes / gib, 2) + " GB";
-    if (bytes >= mib)
-        return formatDouble(bytes / mib, 2) + " MB";
-    if (bytes >= kib)
-        return formatDouble(bytes / kib, 2) + " KB";
+    if (bytes >= TiB)
+        return formatDouble(bytes / TiB, 2) + " TB";
+    if (bytes >= GiB)
+        return formatDouble(bytes / GiB, 2) + " GB";
+    if (bytes >= MiB)
+        return formatDouble(bytes / MiB, 2) + " MB";
+    if (bytes >= KiB)
+        return formatDouble(bytes / KiB, 2) + " KB";
     return formatDouble(bytes, 0) + " B";
 }
 

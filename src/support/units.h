@@ -14,6 +14,7 @@ namespace dac {
 constexpr double KiB = 1024.0;
 constexpr double MiB = 1024.0 * KiB;
 constexpr double GiB = 1024.0 * MiB;
+constexpr double TiB = 1024.0 * GiB;
 
 /** Megabytes to bytes, for config parameters expressed in MB. */
 constexpr double
@@ -41,6 +42,20 @@ constexpr double
 msToSec(double ms)
 {
     return ms / 1000.0;
+}
+
+/** Seconds to microseconds, for exporters that emit us timestamps. */
+constexpr double
+secToUsec(double sec)
+{
+    return sec * 1e6;
+}
+
+/** Nanoseconds to seconds, for raw clock deltas. */
+constexpr double
+nsToSec(double ns)
+{
+    return ns * 1e-9;
 }
 
 } // namespace dac

@@ -1,0 +1,122 @@
+/**
+ * @file
+ * Token-level lexer: pp-numbers, multi-char punctuation, bracket
+ * matching.
+ */
+
+#include <algorithm>
+
+#include <gtest/gtest.h>
+
+#include "analysis/lexer.h"
+
+namespace dac::analysis {
+namespace {
+
+std::vector<Token>
+tokensOf(const std::string &text)
+{
+    return lex(SourceFile::fromString("a.cc", text));
+}
+
+std::vector<std::string>
+texts(const std::vector<Token> &toks)
+{
+    std::vector<std::string> out;
+    out.reserve(toks.size());
+    for (const auto &t : toks)
+        out.push_back(t.text);
+    return out;
+}
+
+TEST(Lexer, ExponentSignStaysInsideTheNumber)
+{
+    const auto toks = tokensOf("double x = 1e-6;");
+    const auto t = texts(toks);
+    EXPECT_NE(std::find(t.begin(), t.end(), "1e-6"), t.end());
+}
+
+TEST(Lexer, PlusBetweenNumbersIsAnOperator)
+{
+    const auto t = texts(tokensOf("int y = 2+3;"));
+    EXPECT_NE(std::find(t.begin(), t.end(), "2"), t.end());
+    EXPECT_NE(std::find(t.begin(), t.end(), "+"), t.end());
+    EXPECT_NE(std::find(t.begin(), t.end(), "3"), t.end());
+    EXPECT_EQ(std::find(t.begin(), t.end(), "2+3"), t.end());
+}
+
+TEST(Lexer, ScopeAndArrowAreSingleTokens)
+{
+    const auto t = texts(tokensOf("a::b->c"));
+    EXPECT_NE(std::find(t.begin(), t.end(), "::"), t.end());
+    EXPECT_NE(std::find(t.begin(), t.end(), "->"), t.end());
+}
+
+TEST(Lexer, NumbersWithSuffixesAndDotsAreOneToken)
+{
+    const auto t = texts(tokensOf("double g = 1024.0; auto u = 42ull;"));
+    EXPECT_NE(std::find(t.begin(), t.end(), "1024.0"), t.end());
+    EXPECT_NE(std::find(t.begin(), t.end(), "42ull"), t.end());
+}
+
+TEST(Lexer, StringAndCharLiteralKinds)
+{
+    const auto toks = tokensOf("f(\"abc\", 'x');");
+    bool sawString = false;
+    bool sawChar = false;
+    for (const auto &t : toks) {
+        sawString |= t.kind == TokenKind::String;
+        sawChar |= t.kind == TokenKind::CharLiteral;
+    }
+    EXPECT_TRUE(sawString);
+    EXPECT_TRUE(sawChar);
+}
+
+TEST(Lexer, LineAndColumnAreOneBased)
+{
+    const auto toks = tokensOf("int x;\n  y = 1;");
+    ASSERT_FALSE(toks.empty());
+    EXPECT_EQ(toks[0].line, 1u);
+    EXPECT_EQ(toks[0].column, 1u);
+    // `y` starts at column 3 of line 2.
+    bool found = false;
+    for (const auto &t : toks) {
+        if (t.isIdent("y")) {
+            EXPECT_EQ(t.line, 2u);
+            EXPECT_EQ(t.column, 3u);
+            found = true;
+        }
+    }
+    EXPECT_TRUE(found);
+}
+
+TEST(Lexer, MatchingCloseFindsTheBalancingParen)
+{
+    const auto toks = tokensOf("f(a, (b), c) + g()");
+    size_t open = toks.size();
+    for (size_t i = 0; i < toks.size(); ++i) {
+        if (toks[i].isPunct("(")) {
+            open = i;
+            break;
+        }
+    }
+    ASSERT_LT(open, toks.size());
+    const size_t close = matchingClose(toks, open);
+    ASSERT_LT(close, toks.size());
+    EXPECT_TRUE(toks[close].isPunct(")"));
+    // The balancing paren is the one before `+`.
+    EXPECT_TRUE(toks[close + 1].isPunct("+"));
+}
+
+TEST(Lexer, MatchingCloseOnUnbalancedInputReturnsEnd)
+{
+    const auto toks = tokensOf("f(a, b");
+    size_t open = 0;
+    while (open < toks.size() && !toks[open].isPunct("("))
+        ++open;
+    ASSERT_LT(open, toks.size());
+    EXPECT_EQ(matchingClose(toks, open), toks.size());
+}
+
+} // namespace
+} // namespace dac::analysis

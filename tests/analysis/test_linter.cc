@@ -1,0 +1,144 @@
+/**
+ * @file
+ * Linter driver: rule registry configuration, finding order,
+ * suppression wiring, and report rendering.
+ */
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "analysis/linter.h"
+
+namespace dac::analysis {
+namespace {
+
+/** A fixture with one dac-atomic-order and one dac-units finding. */
+const char *const kMixedFixture =
+    "void f() {\n"
+    "    counter.fetch_add(1);\n"
+    "    bytes = gb * 1024.0;\n"
+    "}\n";
+
+TEST(Linter, RegistersAllSixBuiltinRules)
+{
+    const Linter linter;
+    const auto names = linter.ruleNames();
+    const std::vector<std::string> expected = {
+        "dac-span-pairing",    "dac-rng-discipline",
+        "dac-atomic-order",    "dac-lock-hygiene",
+        "dac-include-hygiene", "dac-units",
+    };
+    for (const auto &rule : expected) {
+        EXPECT_NE(std::find(names.begin(), names.end(), rule),
+                  names.end())
+            << "missing rule " << rule;
+        EXPECT_FALSE(linter.describe(rule).empty());
+    }
+    EXPECT_EQ(names.size(), expected.size());
+}
+
+TEST(Linter, EnableOnlyRestrictsToNamedRules)
+{
+    Linter linter;
+    linter.enableOnly({"dac-units"});
+    const auto findings = linter.lintText("a.cc", kMixedFixture);
+    ASSERT_EQ(findings.size(), 1u);
+    EXPECT_EQ(findings[0].rule, "dac-units");
+}
+
+TEST(Linter, DisableDropsOneRule)
+{
+    Linter linter;
+    linter.disable("dac-units");
+    const auto findings = linter.lintText("a.cc", kMixedFixture);
+    ASSERT_EQ(findings.size(), 1u);
+    EXPECT_EQ(findings[0].rule, "dac-atomic-order");
+}
+
+TEST(Linter, FindingsAreSortedByPosition)
+{
+    const Linter linter;
+    const auto findings = linter.lintText("a.cc", kMixedFixture);
+    ASSERT_EQ(findings.size(), 2u);
+    EXPECT_LT(findings[0].line, findings[1].line);
+}
+
+TEST(Linter, NolintSuppressionIsAppliedAfterRules)
+{
+    const Linter linter;
+    const auto findings = linter.lintText(
+        "a.cc",
+        "void f() {\n"
+        "    counter.fetch_add(1); // NOLINT(dac-atomic-order)\n"
+        "    bytes = gb * 1024.0; // NOLINT\n"
+        "}\n");
+    EXPECT_TRUE(findings.empty());
+}
+
+TEST(Linter, NolintForADifferentRuleDoesNotSuppress)
+{
+    const Linter linter;
+    const auto findings = linter.lintText(
+        "a.cc", "counter.fetch_add(1); // NOLINT(dac-units)\n");
+    ASSERT_EQ(findings.size(), 1u);
+    EXPECT_EQ(findings[0].rule, "dac-atomic-order");
+}
+
+TEST(RenderText, EmitsGccStyleLinesAndSummary)
+{
+    const Linter linter;
+    LintReport report;
+    report.findings = linter.lintText("src/x.cc", kMixedFixture);
+    report.fileCount = 1;
+    const std::string text = renderText(report);
+    EXPECT_NE(text.find("src/x.cc:2:13: warning:"), std::string::npos);
+    EXPECT_NE(text.find("[dac-atomic-order]"), std::string::npos);
+    EXPECT_NE(text.find("2 finding(s) in 1 file(s)"), std::string::npos);
+}
+
+TEST(RenderJson, EmitsToolHeaderAndOneObjectPerFinding)
+{
+    const Linter linter;
+    LintReport report;
+    report.findings = linter.lintText("src/x.cc", kMixedFixture);
+    report.fileCount = 1;
+    const std::string json = renderJson(report);
+    EXPECT_NE(json.find("\"tool\": \"dac-lint\""), std::string::npos);
+    EXPECT_NE(json.find("\"files\": 1"), std::string::npos);
+    EXPECT_NE(json.find("\"rule\": \"dac-atomic-order\""),
+              std::string::npos);
+    EXPECT_NE(json.find("\"rule\": \"dac-units\""), std::string::npos);
+    EXPECT_NE(json.find("\"line\": 2"), std::string::npos);
+}
+
+TEST(RenderJson, EscapesQuotesInMessages)
+{
+    LintReport report;
+    report.fileCount = 1;
+    report.findings.push_back(
+        Finding{"dac-units", "a.cc", 1, 1, "say \"hi\"\n"});
+    const std::string json = renderJson(report);
+    EXPECT_NE(json.find("say \\\"hi\\\"\\n"), std::string::npos);
+}
+
+TEST(RenderJson, EmptyReportIsStillValidJson)
+{
+    LintReport report;
+    report.fileCount = 3;
+    const std::string json = renderJson(report);
+    EXPECT_NE(json.find("\"findings\": []"), std::string::npos);
+}
+
+TEST(Linter, CleanReportReportsClean)
+{
+    LintReport report;
+    EXPECT_TRUE(report.clean());
+    report.findings.push_back(Finding{"dac-units", "a.cc", 1, 1, "m"});
+    EXPECT_FALSE(report.clean());
+}
+
+} // namespace
+} // namespace dac::analysis

@@ -1,0 +1,100 @@
+/**
+ * @file
+ * SourceFile scanner: comment/string blanking and NOLINT suppression
+ * markers.
+ */
+
+#include <gtest/gtest.h>
+
+#include "analysis/source.h"
+
+namespace dac::analysis {
+namespace {
+
+TEST(Source, LineCountIgnoresTrailingNewline)
+{
+    const auto file = SourceFile::fromString("a.cc", "int x;\nint y;\n");
+    EXPECT_EQ(file.lineCount(), 2u);
+    EXPECT_EQ(file.raw(1), "int x;");
+    EXPECT_EQ(file.raw(2), "int y;");
+}
+
+TEST(Source, LineCommentsAreBlankedInCodeView)
+{
+    const auto file =
+        SourceFile::fromString("a.cc", "int x = 1; // mt19937 here\n");
+    EXPECT_NE(file.raw(1).find("mt19937"), std::string::npos);
+    EXPECT_EQ(file.code(1).find("mt19937"), std::string::npos);
+    EXPECT_NE(file.code(1).find("int x = 1;"), std::string::npos);
+}
+
+TEST(Source, BlockCommentsSpanLines)
+{
+    const auto file = SourceFile::fromString(
+        "a.cc", "/* uses rand()\n   and srand() */ int y;\n");
+    EXPECT_EQ(file.code(1).find("rand"), std::string::npos);
+    EXPECT_EQ(file.code(2).find("srand"), std::string::npos);
+    EXPECT_NE(file.code(2).find("int y;"), std::string::npos);
+}
+
+TEST(Source, StringContentsBlankedButQuotesSurvive)
+{
+    const auto file = SourceFile::fromString(
+        "a.cc", "const char *s = \"mt19937 inside\";\n");
+    EXPECT_EQ(file.code(1).find("mt19937"), std::string::npos);
+    EXPECT_NE(file.code(1).find('"'), std::string::npos);
+}
+
+TEST(Source, CharLiteralContentsBlanked)
+{
+    const auto file =
+        SourceFile::fromString("a.cc", "char c = '*'; int z = a * b;\n");
+    // The '*' literal is blanked; the real multiply survives.
+    const std::string &code = file.code(1);
+    EXPECT_EQ(code.find("'*'"), std::string::npos);
+    EXPECT_NE(code.find("a * b"), std::string::npos);
+}
+
+TEST(Source, CommentSyntaxInsideStringIsNotAComment)
+{
+    const auto file = SourceFile::fromString(
+        "a.cc", "const char *url = \"http://x\"; int after = 1;\n");
+    EXPECT_NE(file.code(1).find("int after = 1;"), std::string::npos);
+}
+
+TEST(Source, BareNolintSuppressesEveryRule)
+{
+    const auto file =
+        SourceFile::fromString("a.cc", "int x = f(); // NOLINT\n");
+    EXPECT_TRUE(file.suppressed(1, "dac-units"));
+    EXPECT_TRUE(file.suppressed(1, "dac-atomic-order"));
+    EXPECT_FALSE(file.suppressed(2, "dac-units"));
+}
+
+TEST(Source, NamedNolintSuppressesOnlyThoseRules)
+{
+    const auto file = SourceFile::fromString(
+        "a.cc", "int x = f(); // NOLINT(dac-units, dac-lock-hygiene)\n");
+    EXPECT_TRUE(file.suppressed(1, "dac-units"));
+    EXPECT_TRUE(file.suppressed(1, "dac-lock-hygiene"));
+    EXPECT_FALSE(file.suppressed(1, "dac-atomic-order"));
+}
+
+TEST(Source, NolintNextLineTargetsTheFollowingLine)
+{
+    const auto file = SourceFile::fromString(
+        "a.cc", "// NOLINTNEXTLINE(dac-units)\nint x = f();\n");
+    EXPECT_FALSE(file.suppressed(1, "dac-units"));
+    EXPECT_TRUE(file.suppressed(2, "dac-units"));
+    EXPECT_FALSE(file.suppressed(2, "dac-atomic-order"));
+}
+
+TEST(Source, NolintInBlockCommentCounts)
+{
+    const auto file = SourceFile::fromString(
+        "a.cc", "int x = f(); /* NOLINT(dac-units) */\n");
+    EXPECT_TRUE(file.suppressed(1, "dac-units"));
+}
+
+} // namespace
+} // namespace dac::analysis

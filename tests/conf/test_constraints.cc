@@ -1,0 +1,156 @@
+/**
+ * @file
+ * Cross-parameter constraint validation against the paper testbed
+ * (5 workers × 12 cores × 64 GB).
+ */
+
+#include <algorithm>
+
+#include <gtest/gtest.h>
+
+#include "conf/constraints.h"
+#include "conf/generator.h"
+#include "support/random.h"
+
+namespace dac::conf {
+namespace {
+
+const cluster::ClusterSpec &
+testbed()
+{
+    return cluster::ClusterSpec::paperTestbed();
+}
+
+bool
+violates(const std::vector<ConstraintViolation> &violations,
+         const std::string &constraint)
+{
+    for (const auto &v : violations) {
+        if (v.constraint == constraint)
+            return true;
+    }
+    return false;
+}
+
+TEST(Constraints, DefaultSparkConfigurationIsLegal)
+{
+    const Configuration config(ConfigSpace::spark());
+    EXPECT_TRUE(validateForCluster(config, testbed()).empty());
+}
+
+TEST(Constraints, HadoopSpaceHasNoRegisteredConstraints)
+{
+    const Configuration config(ConfigSpace::hadoop());
+    EXPECT_TRUE(validateForCluster(config, testbed()).empty());
+}
+
+TEST(Constraints, OverPackedExecutorsViolateNodeMemory)
+{
+    // 1 core per executor packs 12 executors per node; at 12288 MB
+    // each that is 147 GB against 64 GB of node RAM.
+    Configuration config(ConfigSpace::spark());
+    config.set(ExecutorCores, 1);
+    config.set(ExecutorMemory, 12288);
+    const auto violations = validateForCluster(config, testbed());
+    ASSERT_FALSE(violations.empty());
+    EXPECT_TRUE(violates(violations, "node-memory-fit"));
+    // The message must carry the actual numbers.
+    EXPECT_NE(violations[0].message.find("12 executors"),
+              std::string::npos);
+}
+
+TEST(Constraints, SingleExecutorPerNodeWithMaxMemoryIsLegal)
+{
+    Configuration config(ConfigSpace::spark());
+    config.set(ExecutorCores, 12);
+    config.set(ExecutorMemory, 12288);
+    EXPECT_TRUE(validateForCluster(config, testbed()).empty());
+}
+
+TEST(Constraints, ExecutorMemoryBeyondNodeRamIsFlagged)
+{
+    // A 32 GB node cannot host a 48 GB executor.
+    cluster::NodeSpec node;
+    node.memoryBytes = 32.0 * GiB;
+    const cluster::ClusterSpec small("small", 3, node);
+    Configuration config(ConfigSpace::spark());
+    config.setRaw(ExecutorMemory, bytesToMb(48.0 * GiB));
+    const auto violations = validateForCluster(config, small);
+    EXPECT_TRUE(violates(violations, "executor-memory"));
+}
+
+TEST(Constraints, ExecutorCoresBeyondNodeCoresIsFlagged)
+{
+    cluster::NodeSpec node;
+    node.cores = 8;
+    const cluster::ClusterSpec small("small", 3, node);
+    Configuration config(ConfigSpace::spark());
+    config.set(ExecutorCores, 12);
+    const auto violations = validateForCluster(config, small);
+    EXPECT_TRUE(violates(violations, "executor-cores"));
+}
+
+TEST(Constraints, DriverBoundsAreChecked)
+{
+    cluster::NodeSpec node;
+    node.cores = 4;
+    node.memoryBytes = 4.0 * GiB;
+    const cluster::ClusterSpec small("small", 2, node);
+    Configuration config(ConfigSpace::spark());
+    config.set(DriverCores, 12);
+    config.set(DriverMemory, 8192);
+    const auto violations = validateForCluster(config, small);
+    EXPECT_TRUE(violates(violations, "driver-cores"));
+    EXPECT_TRUE(violates(violations, "driver-memory"));
+}
+
+TEST(Constraints, ParallelismBelowWorkerCountIsFlagged)
+{
+    const cluster::ClusterSpec wide("wide", 50, cluster::NodeSpec{});
+    const Configuration config(ConfigSpace::spark());
+    // Default parallelism is 8 against 50 workers.
+    const auto violations = validateForCluster(config, wide);
+    EXPECT_TRUE(violates(violations, "parallelism-floor"));
+}
+
+TEST(Constraints, OffHeapEnabledWithZeroSizeIsInconsistent)
+{
+    Configuration config(ConfigSpace::spark());
+    config.set(MemoryOffHeapEnabled, 1);
+    // The paper's Table 2 default off-heap size is 0 (below the [10,
+    // 1000] range), so enabling the flag without touching the size is
+    // exactly the inconsistency this catches.
+    const auto violations = validateForCluster(config, testbed());
+    EXPECT_TRUE(violates(violations, "offheap-consistency"));
+}
+
+TEST(Constraints, RenderViolationsListsOnePerLine)
+{
+    Configuration config(ConfigSpace::spark());
+    config.set(ExecutorCores, 1);
+    config.set(ExecutorMemory, 12288);
+    const auto violations = validateForCluster(config, testbed());
+    const std::string text = renderViolations(violations);
+    EXPECT_NE(text.find("node-memory-fit: "), std::string::npos);
+    EXPECT_EQ(static_cast<size_t>(
+                  std::count(text.begin(), text.end(), '\n')),
+              violations.size());
+}
+
+TEST(Constraints, GeneratedSamplesReportOnlyKnownConstraints)
+{
+    // Random Table 2 samples may legally violate cluster-level
+    // couplings (that is why the audit exists); every violation must
+    // carry a registered identifier and a non-empty message.
+    ConfigGenerator generator(ConfigSpace::spark(), Rng(7));
+    for (int i = 0; i < 64; ++i) {
+        const auto sample = generator.random();
+        for (const auto &v : validateForCluster(sample, testbed())) {
+            EXPECT_FALSE(v.constraint.empty());
+            EXPECT_FALSE(v.message.empty());
+        }
+    }
+}
+
+} // namespace
+} // namespace dac::conf

@@ -89,13 +89,13 @@ TEST(HadoopSpace, LookupByEnum)
 
 TEST(Space, UnknownNameIsFatal)
 {
-    EXPECT_THROW(ConfigSpace::spark().indexOf("spark.nope"),
+    EXPECT_THROW((void)ConfigSpace::spark().indexOf("spark.nope"),
                  std::runtime_error);
 }
 
 TEST(Space, IndexOutOfRangePanics)
 {
-    EXPECT_THROW(ConfigSpace::spark().param(41), std::logic_error);
+    EXPECT_THROW((void)ConfigSpace::spark().param(41), std::logic_error);
 }
 
 } // namespace

@@ -141,7 +141,7 @@ TEST(ModelCache, BuilderFailureCachesNothing)
     EXPECT_EQ(cache.size(), 0u);
     // A later build of the same key runs afresh and succeeds.
     int builds = 0;
-    cache.getOrBuild(key("WC"), [&]() {
+    (void)cache.getOrBuild(key("WC"), [&]() {
         ++builds;
         return dummyModel(2);
     });
@@ -156,7 +156,7 @@ TEST(ModelCache, SizeBandQuantizesByPowersOfTwo)
     EXPECT_EQ(sizeBandOf(2.0), 1);
     EXPECT_EQ(sizeBandOf(20.0), 4);
     EXPECT_EQ(sizeBandOf(0.5), -1);
-    EXPECT_THROW(sizeBandOf(0.0), std::logic_error);
+    EXPECT_THROW((void)sizeBandOf(0.0), std::logic_error);
 }
 
 } // namespace

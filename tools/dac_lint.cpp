@@ -1,0 +1,114 @@
+/**
+ * @file
+ * dac-lint: the project-invariant static checker. A thin argv wrapper
+ * over src/analysis (see linter.h); all rule logic lives in the
+ * library so tests can drive it directly.
+ *
+ * Usage:
+ *   dac_lint [flags] <file-or-dir>...
+ *
+ * Flags:
+ *   --format=text|json   report format (default text)
+ *   --output=FILE        write the report to FILE instead of stdout
+ *   --rule=NAME          run only the named rule (repeatable)
+ *   --disable=NAME       drop one rule from the default set (repeatable)
+ *   --list-rules         print the rule catalog and exit
+ *
+ * Exit status: 0 clean, 1 findings, 2 usage or I/O error.
+ */
+
+#include <exception>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "analysis/linter.h"
+#include "support/string_utils.h"
+
+namespace {
+
+int
+usage()
+{
+    std::cerr
+        << "usage: dac_lint [flags] <file-or-dir>...\n"
+        << "  --format=text|json  report format (default text)\n"
+        << "  --output=FILE       write the report to FILE\n"
+        << "  --rule=NAME         run only the named rule (repeatable)\n"
+        << "  --disable=NAME      drop one rule (repeatable)\n"
+        << "  --list-rules        print the rule catalog and exit\n";
+    return 2;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    using namespace dac;
+
+    std::string format = "text";
+    std::string outputPath;
+    std::vector<std::string> only;
+    std::vector<std::string> disabled;
+    std::vector<std::string> paths;
+    bool listRules = false;
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (startsWith(arg, "--format=")) {
+            format = arg.substr(std::string("--format=").size());
+            if (format != "text" && format != "json")
+                return usage();
+        } else if (startsWith(arg, "--output=")) {
+            outputPath = arg.substr(std::string("--output=").size());
+        } else if (startsWith(arg, "--rule=")) {
+            only.push_back(arg.substr(std::string("--rule=").size()));
+        } else if (startsWith(arg, "--disable=")) {
+            disabled.push_back(
+                arg.substr(std::string("--disable=").size()));
+        } else if (arg == "--list-rules") {
+            listRules = true;
+        } else if (startsWith(arg, "-")) {
+            return usage();
+        } else {
+            paths.push_back(arg);
+        }
+    }
+
+    try {
+        analysis::Linter linter;
+        if (listRules) {
+            for (const auto &rule : linter.ruleNames())
+                std::cout << rule << "  " << linter.describe(rule)
+                          << "\n";
+            return 0;
+        }
+        if (paths.empty())
+            return usage();
+        if (!only.empty())
+            linter.enableOnly(only);
+        for (const auto &rule : disabled)
+            linter.disable(rule);
+
+        const analysis::LintReport report = linter.run(paths);
+        const std::string rendered = format == "json"
+            ? analysis::renderJson(report)
+            : analysis::renderText(report);
+        if (outputPath.empty()) {
+            std::cout << rendered;
+        } else {
+            std::ofstream out(outputPath);
+            if (!out) {
+                std::cerr << "cannot write " << outputPath << "\n";
+                return 2;
+            }
+            out << rendered;
+        }
+        return report.clean() ? 0 : 1;
+    } catch (const std::exception &e) {
+        std::cerr << "dac_lint: " << e.what() << "\n";
+        return 2;
+    }
+}
