@@ -13,6 +13,7 @@
 #include "dac/modeler.h"
 #include "ga/ga.h"
 #include "ml/boosting.h"
+#include "ml/flat_ensemble.h"
 #include "sparksim/simulator.h"
 #include "workloads/registry.h"
 
@@ -78,6 +79,31 @@ BM_TreeTrain2000x42(benchmark::State &state)
 BENCHMARK(BM_TreeTrain2000x42)->Arg(1)->Arg(5);
 
 void
+BM_BoostTrain500x42(benchmark::State &state)
+{
+    // GBRT training cost at modeler scale: 42 features, a few hundred
+    // rows per band, a couple hundred trees (Table 3 "modeling").
+    ml::DataSet data(42);
+    Rng rng(5);
+    for (int i = 0; i < 500; ++i) {
+        std::vector<double> x(42);
+        for (double &v : x)
+            v = rng.uniform();
+        data.addRow(x, x[0] * 10.0 + x[1] * x[2] + x[3]);
+    }
+    ml::BoostParams bp;
+    bp.maxTrees = 200;
+    bp.convergencePatience = 0;
+    bp.targetErrorPct = 0.0;
+    for (auto _ : state) {
+        ml::GradientBoost boost(bp);
+        boost.train(data);
+        benchmark::DoNotOptimize(boost.treeCount());
+    }
+}
+BENCHMARK(BM_BoostTrain500x42);
+
+void
 BM_ModelPredict(benchmark::State &state)
 {
     // The paper's point: a model query is ~ms vs minutes per real run.
@@ -95,6 +121,28 @@ BM_ModelPredict(benchmark::State &state)
         benchmark::DoNotOptimize(report.model->predict(features));
 }
 BENCHMARK(BM_ModelPredict);
+
+void
+BM_ModelPredictCompiled(benchmark::State &state)
+{
+    // The same query through the compiled ensemble (the GA's path).
+    const auto &w = workloads::Registry::instance().byAbbrev("TS");
+    core::Collector collector(simulator(), w);
+    const auto data = collector.collectAtSizes({20.0, 35.0, 50.0}, 60, 7);
+    ml::HmParams hm;
+    hm.firstOrder.maxTrees = 300;
+    const auto report = core::buildAndValidate(core::ModelKind::HM,
+                                               data.vectors, hm, true, 5);
+    const auto flat = report.model->compile();
+    const auto features = core::toFeatures(
+        conf::Configuration(conf::ConfigSpace::spark()),
+        w.bytesForSize(50.0), true);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            flat->predict(features.data(), features.size()));
+    }
+}
+BENCHMARK(BM_ModelPredictCompiled);
 
 void
 BM_GaGeneration(benchmark::State &state)

@@ -98,9 +98,15 @@ Configuration::fromNormalized(const ConfigSpace &space,
 {
     DAC_ASSERT(unit.size() == space.size(),
                "normalized vector width does not match space");
+    return fromNormalized(space, unit.data());
+}
+
+Configuration
+Configuration::fromNormalized(const ConfigSpace &space, const double *unit)
+{
     std::vector<double> values;
-    values.reserve(unit.size());
-    for (size_t i = 0; i < unit.size(); ++i)
+    values.reserve(space.size());
+    for (size_t i = 0; i < space.size(); ++i)
         values.push_back(space.param(i).denormalize(unit[i]));
     return Configuration(space, std::move(values));
 }

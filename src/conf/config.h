@@ -66,6 +66,11 @@ class Configuration
     fromNormalized(const ConfigSpace &space,
                    const std::vector<double> &unit);
 
+    /** Decode space.size() unit-interval doubles at `unit` (the
+     *  GA's raw-genome hot path; no copy of the genome). */
+    [[nodiscard]] static Configuration
+    fromNormalized(const ConfigSpace &space, const double *unit);
+
     /** Multi-line "name = value" rendering (spark-dac.conf style). */
     [[nodiscard]] std::string toString() const;
 

@@ -2,6 +2,7 @@
 
 #include <chrono>
 
+#include "ml/flat_ensemble.h"
 #include "obs/metrics.h"
 #include "obs/tracer.h"
 #include "support/logging.h"
@@ -23,14 +24,6 @@ Searcher::search(double dsize_bytes, const ga::GaParams &params,
         searchSpan.attr("dsize_bytes", dsize_bytes);
     const auto t0 = std::chrono::steady_clock::now();
 
-    auto objective = [&](const std::vector<double> &genome) {
-        const auto config = conf::Configuration::fromNormalized(*space,
-                                                                genome);
-        const auto features = toFeatures(config, dsize_bytes,
-                                         includeDsize);
-        return model->predict(features);
-    };
-
     std::vector<std::vector<double>> seed_genomes;
     seed_genomes.reserve(seeds.size());
     for (const auto &c : seeds) {
@@ -38,9 +31,52 @@ Searcher::search(double dsize_bytes, const ga::GaParams &params,
         seed_genomes.push_back(c.toNormalized());
     }
 
+    // Score through a compiled FlatEnsemble when one is available:
+    // the caller's (setCompiled) or a fresh per-search compilation —
+    // compiling costs one pass over the trained trees, repaid within
+    // the first generation. Fitness values, and hence the GaResult,
+    // are exactly those of the interpreted fallback.
+    const std::unique_ptr<ml::FlatEnsemble> owned =
+        compiled == nullptr ? model->compile() : nullptr;
+    const ml::FlatEnsemble *flat =
+        compiled != nullptr ? compiled : owned.get();
+
     ga::GeneticAlgorithm algorithm(params);
     SearchResult out{conf::Configuration(*space), 0.0, {}, 0.0};
-    out.ga = algorithm.minimize(objective, space->size(), seed_genomes);
+    if (flat != nullptr) {
+        const size_t width = space->size() + (includeDsize ? 1 : 0);
+        std::vector<double> rows; // generation feature matrix, reused
+        auto batch = [&](const double *const *genomes, size_t count,
+                         double *fitness) {
+            rows.resize(count * width);
+            parallelFor(params.executor, count, [&](size_t i) {
+                const auto config = conf::Configuration::fromNormalized(
+                    *space, genomes[i]);
+                const auto features = toFeatures(config, dsize_bytes,
+                                                 includeDsize);
+                DAC_ASSERT(features.size() == width,
+                           "feature width mismatch");
+                std::copy(features.begin(), features.end(),
+                          rows.begin() +
+                              static_cast<std::ptrdiff_t>(i * width));
+            });
+            flat->predictBatch(rows.data(), width, count, fitness,
+                               params.executor);
+        };
+        out.ga = algorithm.minimize(ga::GeneticAlgorithm::BatchObjective(
+                                        batch),
+                                    space->size(), seed_genomes);
+    } else {
+        auto objective = [&](const std::vector<double> &genome) {
+            const auto config =
+                conf::Configuration::fromNormalized(*space, genome);
+            const auto features = toFeatures(config, dsize_bytes,
+                                             includeDsize);
+            return model->predict(features);
+        };
+        out.ga = algorithm.minimize(objective, space->size(),
+                                    seed_genomes);
+    }
     out.best = conf::Configuration::fromNormalized(*space, out.ga.best);
     out.predictedTimeSec = out.ga.bestFitness;
 

@@ -42,7 +42,22 @@ class Searcher
              bool include_dsize);
 
     /**
+     * Score the GA through this precompiled form of `model` instead
+     * of compiling one per search() call. Must be compiled from the
+     * same trained model; the caller keeps ownership and must keep it
+     * alive for the searcher's lifetime. Long-lived holders of
+     * trained models (the service's model cache) compile once and
+     * pass the ensemble to every search against that model.
+     */
+    void setCompiled(const ml::FlatEnsemble *flat) { compiled = flat; }
+
+    /**
      * Find the configuration minimizing predicted time at `dsize`.
+     *
+     * The GA scores whole generations through a compiled FlatEnsemble
+     * (setCompiled(), or a per-call Model::compile() for compilable
+     * models), falling back to per-genome Model::predict otherwise.
+     * All three paths return the identical SearchResult.
      *
      * @param dsize_bytes Target dataset size (ignored when the model
      *                    is datasize-unaware).
@@ -58,6 +73,7 @@ class Searcher
     const ml::Model *model;
     const conf::ConfigSpace *space;
     bool includeDsize;
+    const ml::FlatEnsemble *compiled = nullptr;
 };
 
 } // namespace dac::core

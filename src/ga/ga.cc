@@ -18,23 +18,18 @@ struct Individual
     double fitness = 0.0;
 };
 
-} // namespace
+/** Scores batch[from..end); must not touch the GA's RNG. */
+using Evaluator = std::function<void(std::vector<Individual> &batch,
+                                     size_t from)>;
 
-GeneticAlgorithm::GeneticAlgorithm(GaParams params)
-    : params(params)
-{
-    DAC_ASSERT(params.populationSize >= 2, "population too small");
-    DAC_ASSERT(params.tournamentSize >= 1, "tournament too small");
-    DAC_ASSERT(params.eliteCount >= 0 &&
-               static_cast<size_t>(params.eliteCount) <
-                   params.populationSize,
-               "bad elite count");
-}
-
+/**
+ * The generational loop shared by both minimize overloads; `evaluate`
+ * is the only step that differs (per-genome vs whole-generation).
+ */
 GaResult
-GeneticAlgorithm::minimize(const Objective &objective, size_t dimensions,
-                           const std::vector<std::vector<double>>
-                               &seed_population) const
+runGenerations(const GaParams &params, size_t dimensions,
+               const std::vector<std::vector<double>> &seed_population,
+               const Evaluator &evaluate)
 {
     DAC_ASSERT(dimensions > 0, "zero-dimensional search space");
     Rng rng(params.seed);
@@ -44,17 +39,6 @@ GeneticAlgorithm::minimize(const Objective &objective, size_t dimensions,
         for (double &v : g)
             v = rng.uniform();
         return g;
-    };
-
-    // Objective calls are the expensive part (a model prediction per
-    // genome) and touch no GA randomness, so whole generations are
-    // scored through the executor without perturbing the RNG stream.
-    auto evaluate = [&](std::vector<Individual> &batch, size_t from) {
-        parallelFor(params.executor, batch.size() - from,
-                    [&](size_t i) {
-                        Individual &ind = batch[from + i];
-                        ind.fitness = objective(ind.genome);
-                    });
     };
 
     // Initial population: seeds first, random fill after.
@@ -156,6 +140,59 @@ GeneticAlgorithm::minimize(const Objective &objective, size_t dimensions,
         }
     }
     return result;
+}
+
+} // namespace
+
+GeneticAlgorithm::GeneticAlgorithm(GaParams params)
+    : params(params)
+{
+    DAC_ASSERT(params.populationSize >= 2, "population too small");
+    DAC_ASSERT(params.tournamentSize >= 1, "tournament too small");
+    DAC_ASSERT(params.eliteCount >= 0 &&
+               static_cast<size_t>(params.eliteCount) <
+                   params.populationSize,
+               "bad elite count");
+}
+
+GaResult
+GeneticAlgorithm::minimize(const Objective &objective, size_t dimensions,
+                           const std::vector<std::vector<double>>
+                               &seed_population) const
+{
+    // Objective calls are the expensive part (a model prediction per
+    // genome) and touch no GA randomness, so whole generations are
+    // scored through the executor without perturbing the RNG stream.
+    auto evaluate = [&](std::vector<Individual> &batch, size_t from) {
+        parallelFor(params.executor, batch.size() - from,
+                    [&](size_t i) {
+                        Individual &ind = batch[from + i];
+                        ind.fitness = objective(ind.genome);
+                    });
+    };
+    return runGenerations(params, dimensions, seed_population, evaluate);
+}
+
+GaResult
+GeneticAlgorithm::minimize(const BatchObjective &objective,
+                           size_t dimensions,
+                           const std::vector<std::vector<double>>
+                               &seed_population) const
+{
+    // Gather/scatter scratch reused across generations.
+    std::vector<const double *> genomes;
+    std::vector<double> fitness;
+    auto evaluate = [&](std::vector<Individual> &batch, size_t from) {
+        const size_t count = batch.size() - from;
+        genomes.resize(count);
+        fitness.resize(count);
+        for (size_t i = 0; i < count; ++i)
+            genomes[i] = batch[from + i].genome.data();
+        objective(genomes.data(), count, fitness.data());
+        for (size_t i = 0; i < count; ++i)
+            batch[from + i].fitness = fitness[i];
+    };
+    return runGenerations(params, dimensions, seed_population, evaluate);
 }
 
 } // namespace dac::ga

@@ -68,6 +68,17 @@ class GeneticAlgorithm
     /** Objective to minimize over genomes in [0,1]^n. */
     using Objective = std::function<double(const std::vector<double> &)>;
 
+    /**
+     * Scores one whole generation at once: genomes[i] points at
+     * `dimensions` doubles; the callee fills fitness_out[0..count).
+     * Lets callers batch model inference (FlatEnsemble::predictBatch)
+     * over the generation instead of paying one virtual dispatch per
+     * genome. Must assign fitness_out[i] from genomes[i] alone — the
+     * GA assumes the same values a per-genome objective would return.
+     */
+    using BatchObjective = std::function<void(
+        const double *const *genomes, size_t count, double *fitness_out)>;
+
     explicit GeneticAlgorithm(GaParams params);
 
     /**
@@ -80,6 +91,16 @@ class GeneticAlgorithm
      *        with random genomes up to populationSize.
      */
     GaResult minimize(const Objective &objective, size_t dimensions,
+                      const std::vector<std::vector<double>>
+                          &seed_population = {}) const;
+
+    /**
+     * Run the search with generation-batched scoring. Breeding and
+     * selection are unchanged (same RNG stream), so the result is
+     * identical to the per-genome overload whenever the batch
+     * objective computes the same fitness values.
+     */
+    GaResult minimize(const BatchObjective &objective, size_t dimensions,
                       const std::vector<std::vector<double>>
                           &seed_population = {}) const;
 

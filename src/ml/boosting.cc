@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "ml/flat_ensemble.h"
 #include "support/logging.h"
 #include "support/statistics.h"
 
@@ -41,42 +42,41 @@ GradientBoost::train(const DataSet &data)
     std::vector<double> fit_pred(fit.size(), baseline);
     std::vector<double> val_pred(val.size(), baseline);
 
-    // Cache validation feature rows once.
-    std::vector<std::vector<double>> val_rows;
-    val_rows.reserve(val.size());
-    for (size_t i = 0; i < val.size(); ++i)
-        val_rows.push_back(val.rowVector(i));
-
     double best_val_err = use_val
         ? scaledMape(val_pred, val.allTargets(), params.targetIsLog)
         : 1e18;
     int rounds_since_best = 0;
 
+    // The per-tree loop allocates nothing in steady state: the builder
+    // reuses its scratch, the bootstrap is an index/residual view over
+    // `fit` (no row copies), and predictions read row pointers.
+    TreeBuilder builder;
+    std::vector<size_t> sample(fit.size());
+    std::vector<double> residual(fit.size());
+    const size_t feature_count = fit.featureCount();
+
     for (int t = 0; t < params.maxTrees; ++t) {
         // Residual dataset on a bootstrap sample (the paper's
         // "Bootstrap sample from S" with injected randomness).
-        std::vector<size_t> sample(fit.size());
         for (size_t &idx : sample)
             idx = rng.index(fit.size());
-
-        DataSet residuals(fit.featureCount());
-        for (size_t idx : sample) {
-            residuals.addRow(fit.rowVector(idx),
-                             fit.target(idx) - fit_pred[idx]);
-        }
+        for (size_t i = 0; i < sample.size(); ++i)
+            residual[i] = fit.target(sample[i]) - fit_pred[sample[i]];
 
         TreeParams tp;
         tp.treeComplexity = params.treeComplexity;
         tp.seed = rng.raw();
         RegressionTree tree(tp);
-        tree.train(residuals);
+        builder.build(tree, DataView(fit, &sample, &residual));
 
         for (size_t i = 0; i < fit.size(); ++i) {
-            fit_pred[i] +=
-                params.learningRate * tree.predict(fit.rowVector(i));
+            fit_pred[i] += params.learningRate *
+                tree.predict(fit.row(i), feature_count);
         }
-        for (size_t i = 0; i < val.size(); ++i)
-            val_pred[i] += params.learningRate * tree.predict(val_rows[i]);
+        for (size_t i = 0; i < val.size(); ++i) {
+            val_pred[i] += params.learningRate *
+                tree.predict(val.row(i), feature_count);
+        }
         trees.push_back(std::move(tree));
 
         if (use_val) {
@@ -108,11 +108,32 @@ GradientBoost::train(const DataSet &data)
 double
 GradientBoost::predict(const std::vector<double> &x) const
 {
+    return predict(x.data(), x.size());
+}
+
+double
+GradientBoost::predict(const double *x, size_t n) const
+{
     DAC_ASSERT(!trees.empty(), "predict before train");
     double out = baseline;
     for (const auto &tree : trees)
-        out += params.learningRate * tree.predict(x);
+        out += params.learningRate * tree.predict(x, n);
     return out;
+}
+
+void
+GradientBoost::compileInto(FlatEnsemble &flat, double weight) const
+{
+    DAC_ASSERT(!trees.empty(), "compile before train");
+    flat.appendMember(weight, baseline, trees, params.learningRate);
+}
+
+std::unique_ptr<FlatEnsemble>
+GradientBoost::compile() const
+{
+    auto flat = std::unique_ptr<FlatEnsemble>(new FlatEnsemble());
+    compileInto(*flat, 1.0);
+    return flat;
 }
 
 } // namespace dac::ml

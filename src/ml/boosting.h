@@ -52,6 +52,8 @@ class GradientBoost : public Model
 
     void train(const DataSet &data) override;
     double predict(const std::vector<double> &x) const override;
+    double predict(const double *x, size_t n) const override;
+    std::unique_ptr<FlatEnsemble> compile() const override;
     std::string name() const override { return "GradientBoost"; }
 
     /** Trees actually grown (early stopping may use fewer than nt). */
@@ -74,6 +76,11 @@ class GradientBoost : public Model
     bool metTarget() const { return _metTarget; }
 
   private:
+    friend class HierarchicalModel;
+
+    /** Append this model to `flat` as one member of weight `weight`. */
+    void compileInto(FlatEnsemble &flat, double weight) const;
+
     BoostParams params;
     double baseline = 0.0;
     std::vector<RegressionTree> trees;

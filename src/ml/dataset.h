@@ -75,6 +75,68 @@ class DataSet
     std::vector<double> targets;
 };
 
+/**
+ * Non-owning, row-indirected, target-overridable view of a DataSet.
+ *
+ * Training code that used to materialize bootstrap resamples or
+ * residual datasets (one full feature-matrix copy per tree) reads
+ * through a DataView instead: the base rows stay in place, an optional
+ * index vector remaps row i, and an optional target vector substitutes
+ * the regression targets (e.g. boosting residuals). All referenced
+ * storage must outlive the view.
+ */
+class DataView
+{
+  public:
+    /** Identity view of a whole dataset. */
+    explicit DataView(const DataSet &data) : base(&data) {}
+
+    /**
+     * Indirected view: row i of the view is base row (*row_index)[i].
+     *
+     * @param row_index       Row remapping; nullptr = identity.
+     * @param target_override Per-view-row targets (indexed by view
+     *                        position, not base row); nullptr = the
+     *                        base targets of the remapped rows.
+     */
+    DataView(const DataSet &data, const std::vector<size_t> *row_index,
+             const std::vector<double> *target_override)
+        : base(&data), rowIndex(row_index),
+          targetOverride(target_override)
+    {
+    }
+
+    size_t size() const
+    {
+        return rowIndex != nullptr ? rowIndex->size() : base->size();
+    }
+    size_t featureCount() const { return base->featureCount(); }
+    bool empty() const { return size() == 0; }
+
+    /** Pointer to view-row i's features (featureCount() doubles). */
+    const double *row(size_t i) const { return base->row(remap(i)); }
+
+    /** Feature j of view-row i. */
+    double at(size_t i, size_t j) const { return base->at(remap(i), j); }
+
+    /** Target of view-row i. */
+    double target(size_t i) const
+    {
+        return targetOverride != nullptr ? (*targetOverride)[i]
+                                         : base->target(remap(i));
+    }
+
+  private:
+    size_t remap(size_t i) const
+    {
+        return rowIndex != nullptr ? (*rowIndex)[i] : i;
+    }
+
+    const DataSet *base;
+    const std::vector<size_t> *rowIndex = nullptr;
+    const std::vector<double> *targetOverride = nullptr;
+};
+
 } // namespace dac::ml
 
 #endif // DAC_ML_DATASET_H

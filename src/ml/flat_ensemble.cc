@@ -1,0 +1,194 @@
+#include "ml/flat_ensemble.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "ml/regression_tree.h"
+#include "support/logging.h"
+
+namespace dac::ml {
+
+void
+FlatEnsemble::appendMember(double weight, double baseline,
+                           const std::vector<RegressionTree> &trees,
+                           double leaf_scale)
+{
+    DAC_ASSERT(!trees.empty(), "compiling an untrained member");
+    Member member;
+    member.weight = weight;
+    member.baseline = baseline;
+    member.firstTree = static_cast<uint32_t>(roots.size());
+    member.treeCount = static_cast<uint32_t>(trees.size());
+
+    // BFS renumbering scratch: siblings must land in adjacent slots
+    // so the walk computes right = left + 1 instead of loading it.
+    std::vector<int32_t> order;
+    std::vector<int32_t> new_index;
+
+    for (const RegressionTree &tree : trees) {
+        const int32_t base = static_cast<int32_t>(feature.size());
+        roots.push_back(base);
+
+        order.clear();
+        order.push_back(0);
+        for (size_t q = 0; q < order.size(); ++q) {
+            const auto &node =
+                tree.nodes[static_cast<size_t>(order[q])];
+            if (node.feature >= 0) {
+                order.push_back(node.left);
+                order.push_back(node.right);
+            }
+        }
+        new_index.assign(tree.nodes.size(), 0);
+        for (size_t i = 0; i < order.size(); ++i)
+            new_index[static_cast<size_t>(order[i])] =
+                static_cast<int32_t>(i);
+
+        for (size_t i = 0; i < order.size(); ++i) {
+            const auto &node =
+                tree.nodes[static_cast<size_t>(order[i])];
+            if (node.feature >= 0) {
+                feature.push_back(node.feature);
+                threshold.push_back(node.threshold);
+                leftChild.push_back(
+                    base + new_index[static_cast<size_t>(node.left)]);
+                leafValue.push_back(0.0);
+                minFeatures = std::max(
+                    minFeatures, static_cast<size_t>(node.feature) + 1);
+            } else {
+                // Leaf: learning rate folded into the stored value;
+                // threshold +inf self-loops it so padded walk steps
+                // are no-ops (x[0] is readable whenever a padded step
+                // can occur, since a deeper sibling tree implies a
+                // split node and hence minFeatures >= 1).
+                feature.push_back(0);
+                threshold.push_back(
+                    std::numeric_limits<double>::infinity());
+                leftChild.push_back(base + static_cast<int32_t>(i));
+                leafValue.push_back(leaf_scale * node.value);
+            }
+        }
+        depths.push_back(treeDepth(tree));
+    }
+    members.push_back(member);
+}
+
+int32_t
+FlatEnsemble::treeDepth(const RegressionTree &tree)
+{
+    // Nodes are appended children-after-parent, so a forward pass
+    // sees every parent's depth before its children need it.
+    std::vector<int32_t> depth(tree.nodes.size(), 0);
+    int32_t deepest = 0;
+    for (size_t i = 0; i < tree.nodes.size(); ++i) {
+        const auto &node = tree.nodes[i];
+        if (node.feature < 0) {
+            deepest = std::max(deepest, depth[i]);
+            continue;
+        }
+        depth[static_cast<size_t>(node.left)] = depth[i] + 1;
+        depth[static_cast<size_t>(node.right)] = depth[i] + 1;
+    }
+    return deepest;
+}
+
+double
+FlatEnsemble::predictRaw(const double *x) const
+{
+    const int32_t *feat = feature.data();
+    const double *thr = threshold.data();
+    const int32_t *leftc = leftChild.data();
+    const double *val = leafValue.data();
+    const int32_t *root = roots.data();
+    const int32_t *depth = depths.data();
+
+    // A single tree walk is a chain of dependent loads (node -> child
+    // -> child...) plus a hard-to-predict comparison per node, so its
+    // cost is load latency and branch misses, not throughput. The
+    // step below is branchless (the comparison becomes +0/+1 onto the
+    // left-child index, no child load at all), and eight trees walk
+    // in lock-step to overlap eight load chains; the self-looping
+    // leaf encoding lets shallower trees pad to the group's depth
+    // without a per-node "is leaf" branch. Leaf values still
+    // accumulate one tree at a time in tree order, so the sum is
+    // bit-identical to the serial walk.
+    double out = 0.0;
+    for (const Member &m : members) {
+        double acc = m.baseline;
+        uint32_t t = m.firstTree;
+        const uint32_t end = m.firstTree + m.treeCount;
+        for (; t + 8 <= end; t += 8) {
+            int32_t idx[8];
+            int32_t steps = 0;
+            for (int j = 0; j < 8; ++j) {
+                idx[j] = root[t + static_cast<uint32_t>(j)];
+                steps = std::max(steps,
+                                 depth[t + static_cast<uint32_t>(j)]);
+            }
+            for (int32_t d = 0; d < steps; ++d) {
+                for (int j = 0; j < 8; ++j) {
+                    const int32_t i = idx[j];
+                    idx[j] = leftc[i] + static_cast<int32_t>(
+                                            !(x[feat[i]] <= thr[i]));
+                }
+            }
+            for (int j = 0; j < 8; ++j)
+                acc += val[idx[j]];
+        }
+        for (; t < end; ++t) {
+            int32_t idx = root[t];
+            const int32_t steps = depth[t];
+            for (int32_t d = 0; d < steps; ++d) {
+                idx = leftc[idx] + static_cast<int32_t>(
+                                       !(x[feat[idx]] <= thr[idx]));
+            }
+            acc += val[idx];
+        }
+        out += m.weight * acc;
+    }
+    return out;
+}
+
+double
+FlatEnsemble::predict(const double *x, size_t n) const
+{
+    DAC_ASSERT(!members.empty(), "predict on an empty ensemble");
+    DAC_ASSERT(n >= minFeatures, "feature vector too short");
+    const double raw = predictRaw(x);
+    return applyExp ? std::exp(raw) : raw;
+}
+
+double
+FlatEnsemble::predict(const std::vector<double> &x) const
+{
+    return predict(x.data(), x.size());
+}
+
+void
+FlatEnsemble::predictBatch(const double *const *rows, size_t count,
+                           size_t row_len, double *out,
+                           Executor *executor) const
+{
+    DAC_ASSERT(!members.empty(), "predict on an empty ensemble");
+    DAC_ASSERT(row_len >= minFeatures, "feature rows too short");
+    parallelFor(executor, count, [&](size_t i) {
+        const double raw = predictRaw(rows[i]);
+        out[i] = applyExp ? std::exp(raw) : raw;
+    });
+}
+
+void
+FlatEnsemble::predictBatch(const double *rows, size_t row_stride,
+                           size_t count, double *out,
+                           Executor *executor) const
+{
+    DAC_ASSERT(!members.empty(), "predict on an empty ensemble");
+    DAC_ASSERT(row_stride >= minFeatures, "row stride too short");
+    parallelFor(executor, count, [&](size_t i) {
+        const double raw = predictRaw(rows + i * row_stride);
+        out[i] = applyExp ? std::exp(raw) : raw;
+    });
+}
+
+} // namespace dac::ml

@@ -1,0 +1,142 @@
+/**
+ * @file
+ * Compiled inference for tree ensembles.
+ *
+ * The GA issues populationSize x generations model queries per tuning
+ * request (Section 3.3; Table 3's cost argument rests on each being
+ * ~microseconds). The interpreted path walks a pointer-rich object
+ * graph — HierarchicalModel -> GradientBoost -> RegressionTree ->
+ * vector<Node> — with a virtual call and a bounds assert per hop. A
+ * FlatEnsemble is the same trained model flattened once into
+ * contiguous structure-of-arrays node storage (feature / threshold /
+ * left / right), with per-tree learning rates folded into the leaf
+ * values at compile time, so a prediction is a handful of tight array
+ * walks with one assert per query.
+ *
+ * Determinism contract: predict() returns EXACTLY (bit-for-bit) what
+ * the interpreted Model::predict returns. Folding keeps that exact:
+ * lr * leaf is the same product whether computed at compile time or
+ * per query, and per-member accumulation (acc = baseline + sum of
+ * scaled leaves; out += weight * acc) reproduces the interpreted
+ * operation order. Member weights are deliberately NOT folded into
+ * the leaves: distributing weight * (baseline + sum) over the sum
+ * would re-round differently. See DESIGN.md section 9.
+ */
+
+#ifndef DAC_ML_FLAT_ENSEMBLE_H
+#define DAC_ML_FLAT_ENSEMBLE_H
+
+#include <cstdint>
+#include <vector>
+
+#include "support/executor.h"
+
+namespace dac::ml {
+
+class RegressionTree;
+
+/**
+ * A trained tree ensemble compiled to contiguous SoA arrays.
+ *
+ * Built via Model::compile() (supported by GradientBoost,
+ * HierarchicalModel, and LogTargetModel wrappers thereof). Immutable
+ * after compilation and safe to query from any number of threads
+ * concurrently.
+ */
+class FlatEnsemble
+{
+  public:
+    /**
+     * Predict one feature vector of n doubles.
+     * Exactly equals the source model's predict on the same input.
+     */
+    double predict(const double *x, size_t n) const;
+
+    /** Vector-convenience overload of predict. */
+    double predict(const std::vector<double> &x) const;
+
+    /**
+     * Predict `count` rows given as an array of row pointers, each at
+     * least `row_len` doubles, into out[0..count). Rows are scored
+     * through `executor` when provided (results are identical either
+     * way; each row's score is independent).
+     */
+    void predictBatch(const double *const *rows, size_t count,
+                      size_t row_len, double *out,
+                      Executor *executor = nullptr) const;
+
+    /**
+     * Predict `count` rows packed contiguously with `row_stride`
+     * doubles between row starts (row_stride >= minFeatureCount()).
+     */
+    void predictBatch(const double *rows, size_t row_stride, size_t count,
+                      double *out, Executor *executor = nullptr) const;
+
+    /** First-order models in the compiled combination. */
+    size_t memberCount() const { return members.size(); }
+    /** Total trees across all members. */
+    size_t treeCount() const { return roots.size(); }
+    /** Total nodes across all trees. */
+    size_t nodeCount() const { return feature.size(); }
+    /** Feature vectors must carry at least this many doubles. */
+    size_t minFeatureCount() const { return minFeatures; }
+    /** True when predictions are exponentiated (log-target models). */
+    bool expOutput() const { return applyExp; }
+
+  private:
+    friend class GradientBoost;
+    friend class HierarchicalModel;
+    friend class LogTargetModel;
+
+    FlatEnsemble() = default;
+
+    /**
+     * Append one first-order member: `trees` are flattened in order
+     * with leaf values scaled by `leaf_scale` (the member's learning
+     * rate), combined as out += weight * (baseline + sum of leaves).
+     */
+    void appendMember(double weight, double baseline,
+                      const std::vector<RegressionTree> &trees,
+                      double leaf_scale);
+
+    /** Walk every member/tree; no exp, no asserts. */
+    double predictRaw(const double *x) const;
+
+    /** Steps from the root of `tree` to its deepest leaf. */
+    static int32_t treeDepth(const RegressionTree &tree);
+
+    struct Member
+    {
+        double weight = 1.0;
+        double baseline = 0.0;
+        uint32_t firstTree = 0;
+        uint32_t treeCount = 0;
+    };
+
+    std::vector<Member> members;
+    /** Node index of each tree's root, in member-major order. */
+    std::vector<int32_t> roots;
+    /** Steps from each tree's root to its deepest leaf. */
+    std::vector<int32_t> depths;
+    // One entry per node, all trees concatenated, BFS-renumbered per
+    // tree so a split's children occupy ADJACENT slots: a walk step
+    // is the branchless, load-free-child
+    //   i = leftChild[i] + (x[feature[i]] > threshold[i])
+    // (computed as !(x <= t), so NaN features go right exactly like
+    // the interpreted walk's split nodes). Leaves self-loop — feature
+    // 0, threshold +inf (finite x always compares <=, landing back on
+    // leftChild == self) — with the pre-scaled leaf value in
+    // leafValue[i], so a walk can run a fixed number of steps without
+    // a per-node "is leaf" branch and several trees walk in lock-step
+    // (see predictRaw).
+    std::vector<int32_t> feature;
+    std::vector<double> threshold;
+    std::vector<int32_t> leftChild;
+    std::vector<double> leafValue;
+    size_t minFeatures = 0;
+    bool applyExp = false;
+};
+
+} // namespace dac::ml
+
+#endif // DAC_ML_FLAT_ENSEMBLE_H

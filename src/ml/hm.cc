@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "ml/flat_ensemble.h"
 #include "obs/tracer.h"
 #include "support/logging.h"
 #include "support/statistics.h"
@@ -38,11 +39,7 @@ HierarchicalModel::train(const DataSet &data)
     auto parts = data.split(params.validationFraction, rng);
     const DataSet &fit = parts.first;
     const DataSet &val = parts.second;
-
-    std::vector<std::vector<double>> val_rows;
-    val_rows.reserve(val.size());
-    for (size_t i = 0; i < val.size(); ++i)
-        val_rows.push_back(val.rowVector(i));
+    const size_t feature_count = data.featureCount();
 
     // First-order model trains on the un-resampled fit set.
     {
@@ -63,7 +60,7 @@ HierarchicalModel::train(const DataSet &data)
     // Ensemble predictions on the validation set.
     std::vector<double> ensemble(val.size());
     for (size_t i = 0; i < val.size(); ++i)
-        ensemble[i] = members[0].model->predict(val_rows[i]);
+        ensemble[i] = members[0].model->predict(val.row(i), feature_count);
     double err = val.empty() ? 0.0
         : scaledMape(ensemble, val.allTargets(), params.targetIsLog);
 
@@ -77,7 +74,7 @@ HierarchicalModel::train(const DataSet &data)
         auto extra = buildFirstOrder(fit, rng);
         std::vector<double> extra_pred(val.size());
         for (size_t i = 0; i < val.size(); ++i)
-            extra_pred[i] = extra->predict(val_rows[i]);
+            extra_pred[i] = extra->predict(val.row(i), feature_count);
 
         // ...and pick the convex combination weight that minimizes the
         // validation error of (1-w) * ensemble + w * extra.
@@ -121,11 +118,27 @@ HierarchicalModel::train(const DataSet &data)
 double
 HierarchicalModel::predict(const std::vector<double> &x) const
 {
+    return predict(x.data(), x.size());
+}
+
+double
+HierarchicalModel::predict(const double *x, size_t n) const
+{
     DAC_ASSERT(!members.empty(), "predict before train");
     double out = 0.0;
     for (const auto &m : members)
-        out += m.weight * m.model->predict(x);
+        out += m.weight * m.model->predict(x, n);
     return out;
+}
+
+std::unique_ptr<FlatEnsemble>
+HierarchicalModel::compile() const
+{
+    DAC_ASSERT(!members.empty(), "compile before train");
+    auto flat = std::unique_ptr<FlatEnsemble>(new FlatEnsemble());
+    for (const auto &m : members)
+        m.model->compileInto(*flat, m.weight);
+    return flat;
 }
 
 } // namespace dac::ml

@@ -54,6 +54,8 @@ class HierarchicalModel : public Model
 
     void train(const DataSet &data) override;
     double predict(const std::vector<double> &x) const override;
+    double predict(const double *x, size_t n) const override;
+    std::unique_ptr<FlatEnsemble> compile() const override;
     std::string name() const override { return "HM"; }
 
     /** Order reached (1 = first-order model sufficed). */

@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "ml/flat_ensemble.h"
 #include "support/logging.h"
 
 namespace dac::ml {
@@ -29,6 +30,23 @@ double
 LogTargetModel::predict(const std::vector<double> &x) const
 {
     return std::exp(inner->predict(x));
+}
+
+double
+LogTargetModel::predict(const double *x, size_t n) const
+{
+    return std::exp(inner->predict(x, n));
+}
+
+std::unique_ptr<FlatEnsemble>
+LogTargetModel::compile() const
+{
+    auto flat = inner->compile();
+    if (flat != nullptr) {
+        DAC_ASSERT(!flat->applyExp, "double log-target wrapping");
+        flat->applyExp = true;
+    }
+    return flat;
 }
 
 } // namespace dac::ml

@@ -31,6 +31,9 @@ class LogTargetModel : public Model
 
     void train(const DataSet &data) override;
     double predict(const std::vector<double> &x) const override;
+    double predict(const double *x, size_t n) const override;
+    /** Compiles the inner model with exp() folded into the output. */
+    std::unique_ptr<FlatEnsemble> compile() const override;
     std::string name() const override { return inner->name(); }
 
     /** Access the wrapped model (e.g. for HM introspection). */

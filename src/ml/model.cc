@@ -1,9 +1,22 @@
 #include "ml/model.h"
 
+#include "ml/flat_ensemble.h"
 #include "support/logging.h"
 #include "support/statistics.h"
 
 namespace dac::ml {
+
+double
+Model::predict(const double *x, size_t n) const
+{
+    return predict(std::vector<double>(x, x + n));
+}
+
+std::unique_ptr<FlatEnsemble>
+Model::compile() const
+{
+    return nullptr;
+}
 
 std::vector<double>
 Model::predictAll(const DataSet &data) const
@@ -11,7 +24,7 @@ Model::predictAll(const DataSet &data) const
     std::vector<double> out;
     out.reserve(data.size());
     for (size_t i = 0; i < data.size(); ++i)
-        out.push_back(predict(data.rowVector(i)));
+        out.push_back(predict(data.row(i), data.featureCount()));
     return out;
 }
 

@@ -15,6 +15,8 @@
 
 namespace dac::ml {
 
+class FlatEnsemble;
+
 /**
  * A trainable regression model t = f(c1..cn, dsize).
  */
@@ -28,6 +30,23 @@ class Model
 
     /** Predict the target for one feature vector. */
     virtual double predict(const std::vector<double> &x) const = 0;
+
+    /**
+     * Predict from a raw feature pointer (n doubles). The default
+     * copies into a vector and delegates; hot-path models override it
+     * to walk their structure allocation-free. Always returns exactly
+     * the same value as the vector overload.
+     */
+    virtual double predict(const double *x, size_t n) const;
+
+    /**
+     * Compile the trained model into a FlatEnsemble for fast repeated
+     * queries (see flat_ensemble.h). Returns nullptr for models with
+     * no compiled form; callers must fall back to predict(). The
+     * compiled ensemble is a snapshot: retraining the model does not
+     * update it.
+     */
+    virtual std::unique_ptr<FlatEnsemble> compile() const;
 
     /** Short technique name, e.g. "HM", "RF". */
     virtual std::string name() const = 0;

@@ -24,26 +24,42 @@ RandomForest::train(const DataSet &data)
         ? params.featureSubset
         : std::max(1, static_cast<int>(data.featureCount()) / 3);
 
+    // Plan serially (all draws from the shared stream), grow in
+    // parallel: each tree's bootstrap comes from splitStream(t), a
+    // pure function of the seed, so growth order cannot change the
+    // forest — parallel and serial paths are bit-identical.
     for (int t = 0; t < params.treeCount; ++t) {
-        DataSet sample = data.bootstrap(rng);
         TreeParams tp;
         tp.treeComplexity = params.treeComplexity;
         tp.featureSubset = mtry;
         tp.minSamplesLeaf = params.minSamplesLeaf;
         tp.seed = rng.raw();
-        RegressionTree tree(tp);
-        tree.train(sample);
-        trees.push_back(std::move(tree));
+        trees.emplace_back(tp);
     }
+
+    parallelFor(params.executor, trees.size(), [&](size_t t) {
+        Rng stream = rng.splitStream(t);
+        std::vector<size_t> sample(data.size());
+        for (size_t &idx : sample)
+            idx = stream.index(data.size());
+        TreeBuilder builder;
+        builder.build(trees[t], DataView(data, &sample, nullptr));
+    });
 }
 
 double
 RandomForest::predict(const std::vector<double> &x) const
 {
+    return predict(x.data(), x.size());
+}
+
+double
+RandomForest::predict(const double *x, size_t n) const
+{
     DAC_ASSERT(!trees.empty(), "predict before train");
     double sum = 0.0;
     for (const auto &tree : trees)
-        sum += tree.predict(x);
+        sum += tree.predict(x, n);
     return sum / static_cast<double>(trees.size());
 }
 

@@ -9,6 +9,7 @@
 #define DAC_ML_RANDOM_FOREST_H
 
 #include "ml/regression_tree.h"
+#include "support/executor.h"
 
 namespace dac::ml {
 
@@ -23,6 +24,13 @@ struct ForestParams
     int featureSubset = 0;
     int minSamplesLeaf = 3;
     uint64_t seed = 1;
+    /**
+     * Optional executor for growing trees concurrently (borrowed;
+     * nullptr = serial). Each tree draws its bootstrap from its own
+     * Rng::splitStream(t), so the forest is bit-identical to the
+     * serial path regardless of thread count or schedule.
+     */
+    Executor *executor = nullptr;
 };
 
 /**
@@ -35,6 +43,7 @@ class RandomForest : public Model
 
     void train(const DataSet &data) override;
     double predict(const std::vector<double> &x) const override;
+    double predict(const double *x, size_t n) const override;
     std::string name() const override { return "RF"; }
 
     int treeCount() const { return static_cast<int>(trees.size()); }

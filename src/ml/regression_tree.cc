@@ -2,192 +2,234 @@
 
 #include <algorithm>
 #include <cmath>
-#include <queue>
+#include <limits>
 
 #include "support/logging.h"
 
 namespace dac::ml {
 
-namespace {
-
-/** A candidate split of one leaf's rows. */
-struct Candidate
+int
+TreeBuilder::acquireSlot()
 {
-    double gain = -1.0;
-    int nodeIndex = -1;
-    int feature = -1;
-    double threshold = 0.0;
-    std::vector<size_t> rows;
-
-    bool
-    operator<(const Candidate &other) const
-    {
-        return gain < other.gain; // max-heap by gain
+    if (!freeSlots.empty()) {
+        const int slot = freeSlots.back();
+        freeSlots.pop_back();
+        rowPool[static_cast<size_t>(slot)].clear();
+        return slot;
     }
-};
+    ++poolGrowths;
+    rowPool.emplace_back();
+    return static_cast<int>(rowPool.size()) - 1;
+}
 
-} // namespace
-
-/**
- * Internal helper that grows a RegressionTree best-first.
- */
-class TreeBuilder
+void
+TreeBuilder::releaseSlot(int slot)
 {
-  public:
-    TreeBuilder(RegressionTree &tree, const DataSet &data,
-                const TreeParams &params)
-        : tree(tree), data(data), params(params), rng(params.seed)
-    {
-    }
+    freeSlots.push_back(slot);
+}
 
-    void
-    build()
+RegressionTree::Node
+TreeBuilder::makeLeaf(const std::vector<size_t> &rows) const
+{
+    RegressionTree::Node leaf;
+    double sum = 0.0;
+    for (size_t r : rows)
+        sum += data->target(r);
+    leaf.value = rows.empty() ? 0.0
+        : sum / static_cast<double>(rows.size());
+    return leaf;
+}
+
+void
+TreeBuilder::build(RegressionTree &tree, const DataView &data_in)
+{
+    data = &data_in;
+    params = &tree.params;
+    rng = Rng(params->seed);
+
+    tree.nodes.clear();
+    frontier.clear();
+
+    const int all_slot = acquireSlot();
     {
-        tree.nodes.clear();
-        std::vector<size_t> all(data.size());
+        auto &all = rowPool[static_cast<size_t>(all_slot)];
+        all.resize(data->size());
         for (size_t i = 0; i < all.size(); ++i)
             all[i] = i;
-
         tree.nodes.push_back(makeLeaf(all));
-
-        std::priority_queue<Candidate> frontier;
-        pushCandidate(frontier, 0, std::move(all));
-
-        int splits = 0;
-        while (splits < params.treeComplexity && !frontier.empty()) {
-            Candidate cand = frontier.top();
-            frontier.pop();
-            if (cand.gain <= 1e-12)
-                break;
-
-            std::vector<size_t> left_rows;
-            std::vector<size_t> right_rows;
-            for (size_t r : cand.rows) {
-                if (data.at(r, cand.feature) <= cand.threshold)
-                    left_rows.push_back(r);
-                else
-                    right_rows.push_back(r);
-            }
-            if (left_rows.empty() || right_rows.empty())
-                continue; // degenerate under duplicate feature values
-
-            // Note: take indices, not references -- the push_backs
-            // below may reallocate the node vector.
-            const int left_index = static_cast<int>(tree.nodes.size());
-            tree.nodes.push_back(makeLeaf(left_rows));
-            const int right_index = static_cast<int>(tree.nodes.size());
-            tree.nodes.push_back(makeLeaf(right_rows));
-            auto &node = tree.nodes[static_cast<size_t>(cand.nodeIndex)];
-            node.feature = cand.feature;
-            node.threshold = cand.threshold;
-            node.left = left_index;
-            node.right = right_index;
-            ++splits;
-
-            pushCandidate(frontier, left_index, std::move(left_rows));
-            pushCandidate(frontier, right_index, std::move(right_rows));
-        }
     }
+    pushCandidate(0, all_slot);
 
-  private:
-    RegressionTree::Node
-    makeLeaf(const std::vector<size_t> &rows) const
-    {
-        RegressionTree::Node leaf;
-        double sum = 0.0;
-        for (size_t r : rows)
-            sum += data.target(r);
-        leaf.value = rows.empty() ? 0.0
-            : sum / static_cast<double>(rows.size());
-        return leaf;
-    }
-
-    /** Find the best histogram split of `rows` and queue it. */
-    void
-    pushCandidate(std::priority_queue<Candidate> &frontier, int node_index,
-                  std::vector<size_t> rows)
-    {
-        if (rows.size() < 2 * static_cast<size_t>(params.minSamplesLeaf))
-            return;
-
-        const size_t feature_count = data.featureCount();
-        std::vector<size_t> features;
-        if (params.featureSubset > 0 &&
-            static_cast<size_t>(params.featureSubset) < feature_count) {
-            features = rng.sampleIndices(
-                feature_count, static_cast<size_t>(params.featureSubset));
-        } else {
-            features.resize(feature_count);
-            for (size_t f = 0; f < feature_count; ++f)
-                features[f] = f;
+    int splits = 0;
+    while (splits < params->treeComplexity && !frontier.empty()) {
+        std::pop_heap(frontier.begin(), frontier.end());
+        const Candidate cand = frontier.back();
+        frontier.pop_back();
+        if (cand.gain <= 1e-12) {
+            releaseSlot(cand.rowsSlot);
+            break;
         }
 
-        double total_sum = 0.0;
-        for (size_t r : rows)
-            total_sum += data.target(r);
-        const double n = static_cast<double>(rows.size());
-        const double base_score = total_sum * total_sum / n;
-
-        Candidate best;
-        best.nodeIndex = node_index;
-
-        const int bins = params.histogramBins;
-        std::vector<double> bin_sum(static_cast<size_t>(bins));
-        std::vector<double> bin_count(static_cast<size_t>(bins));
-
-        for (size_t f : features) {
-            double lo = data.at(rows[0], f);
-            double hi = lo;
-            for (size_t r : rows) {
-                const double v = data.at(r, f);
-                lo = std::min(lo, v);
-                hi = std::max(hi, v);
+        // Acquire both child slots before touching pool references:
+        // acquireSlot() may grow rowPool and relocate its vectors.
+        const int left_slot = acquireSlot();
+        const int right_slot = acquireSlot();
+        auto &left_rows = rowPool[static_cast<size_t>(left_slot)];
+        auto &right_rows = rowPool[static_cast<size_t>(right_slot)];
+        for (size_t r : rowPool[static_cast<size_t>(cand.rowsSlot)]) {
+            if (data->at(r, static_cast<size_t>(cand.feature)) <=
+                cand.threshold) {
+                left_rows.push_back(r);
+            } else {
+                right_rows.push_back(r);
             }
-            if (hi <= lo)
+        }
+        releaseSlot(cand.rowsSlot);
+        if (left_rows.empty() || right_rows.empty()) {
+            // Degenerate under duplicate feature values.
+            releaseSlot(left_slot);
+            releaseSlot(right_slot);
+            continue;
+        }
+
+        // Note: take indices, not references -- the push_backs
+        // below may reallocate the node vector.
+        const int left_index = static_cast<int>(tree.nodes.size());
+        tree.nodes.push_back(makeLeaf(left_rows));
+        const int right_index = static_cast<int>(tree.nodes.size());
+        tree.nodes.push_back(makeLeaf(right_rows));
+        auto &node = tree.nodes[static_cast<size_t>(cand.nodeIndex)];
+        node.feature = cand.feature;
+        node.threshold = cand.threshold;
+        node.left = left_index;
+        node.right = right_index;
+        ++splits;
+
+        pushCandidate(left_index, left_slot);
+        pushCandidate(right_index, right_slot);
+    }
+
+    // Return unexpanded candidates' rows to the pool for the next
+    // build; the heap itself keeps its capacity.
+    for (const Candidate &c : frontier)
+        releaseSlot(c.rowsSlot);
+    frontier.clear();
+}
+
+void
+TreeBuilder::pushCandidate(int node_index, int rows_slot)
+{
+    const std::vector<size_t> &rows =
+        rowPool[static_cast<size_t>(rows_slot)];
+    if (rows.size() < 2 * static_cast<size_t>(params->minSamplesLeaf)) {
+        releaseSlot(rows_slot);
+        return;
+    }
+
+    const size_t feature_count = data->featureCount();
+    if (params->featureSubset > 0 &&
+        static_cast<size_t>(params->featureSubset) < feature_count) {
+        featureScratch = rng.sampleIndices(
+            feature_count, static_cast<size_t>(params->featureSubset));
+        identityFeatures = 0;
+    } else if (identityFeatures != feature_count) {
+        featureScratch.resize(feature_count);
+        for (size_t f = 0; f < feature_count; ++f)
+            featureScratch[f] = f;
+        identityFeatures = feature_count;
+    }
+
+    // One fused scan: per-candidate-feature min/max and the target sum
+    // (the old code re-walked the rows once per feature for the range
+    // and once more for the sum).
+    constexpr double inf = std::numeric_limits<double>::infinity();
+    featLo.assign(featureScratch.size(), inf);
+    featHi.assign(featureScratch.size(), -inf);
+    double total_sum = 0.0;
+    for (size_t r : rows) {
+        const double *x = data->row(r);
+        for (size_t k = 0; k < featureScratch.size(); ++k) {
+            const double v = x[featureScratch[k]];
+            featLo[k] = std::min(featLo[k], v);
+            featHi[k] = std::max(featHi[k], v);
+        }
+        total_sum += data->target(r);
+    }
+    const double n = static_cast<double>(rows.size());
+    const double base_score = total_sum * total_sum / n;
+
+    Candidate best;
+    best.nodeIndex = node_index;
+
+    // Histograms for every candidate feature fill in ONE row-major
+    // pass (rows are stored row-major, so the per-feature pass this
+    // replaces paid a cache line per value). Per-(row, feature) bin
+    // indices and the row-order accumulation into each bin are those
+    // of the per-feature scan, so split decisions are bit-identical.
+    const int bins = params->histogramBins;
+    const size_t kf = featureScratch.size();
+    binSum.assign(kf * static_cast<size_t>(bins), 0.0);
+    binCount.assign(kf * static_cast<size_t>(bins), 0.0);
+    featScale.resize(kf);
+    for (size_t k = 0; k < kf; ++k) {
+        // 0 marks a constant feature: no bins, no split.
+        featScale[k] =
+            featHi[k] > featLo[k] ? bins / (featHi[k] - featLo[k]) : 0.0;
+    }
+
+    for (size_t r : rows) {
+        const double *x = data->row(r);
+        const double y = data->target(r);
+        for (size_t k = 0; k < kf; ++k) {
+            const double scale = featScale[k];
+            if (scale == 0.0)
                 continue;
-
-            std::fill(bin_sum.begin(), bin_sum.end(), 0.0);
-            std::fill(bin_count.begin(), bin_count.end(), 0.0);
-            const double scale = bins / (hi - lo);
-            for (size_t r : rows) {
-                int b = static_cast<int>((data.at(r, f) - lo) * scale);
-                b = std::clamp(b, 0, bins - 1);
-                bin_sum[static_cast<size_t>(b)] += data.target(r);
-                bin_count[static_cast<size_t>(b)] += 1.0;
-            }
-
-            double left_sum = 0.0;
-            double left_n = 0.0;
-            for (int b = 0; b < bins - 1; ++b) {
-                left_sum += bin_sum[static_cast<size_t>(b)];
-                left_n += bin_count[static_cast<size_t>(b)];
-                const double right_n = n - left_n;
-                if (left_n < params.minSamplesLeaf ||
-                    right_n < params.minSamplesLeaf) {
-                    continue;
-                }
-                const double right_sum = total_sum - left_sum;
-                const double gain = left_sum * left_sum / left_n +
-                    right_sum * right_sum / right_n - base_score;
-                if (gain > best.gain) {
-                    best.gain = gain;
-                    best.feature = static_cast<int>(f);
-                    best.threshold = lo + (b + 1) / scale;
-                }
-            }
-        }
-
-        if (best.feature >= 0) {
-            best.rows = std::move(rows);
-            frontier.push(std::move(best));
+            int b = static_cast<int>(
+                (x[featureScratch[k]] - featLo[k]) * scale);
+            b = std::clamp(b, 0, bins - 1);
+            const size_t slot =
+                k * static_cast<size_t>(bins) + static_cast<size_t>(b);
+            binSum[slot] += y;
+            binCount[slot] += 1.0;
         }
     }
 
-    RegressionTree &tree;
-    const DataSet &data;
-    const TreeParams &params;
-    Rng rng;
-};
+    for (size_t k = 0; k < kf; ++k) {
+        const double scale = featScale[k];
+        if (scale == 0.0)
+            continue;
+        const double lo = featLo[k];
+        const size_t base = k * static_cast<size_t>(bins);
+
+        double left_sum = 0.0;
+        double left_n = 0.0;
+        for (int b = 0; b < bins - 1; ++b) {
+            left_sum += binSum[base + static_cast<size_t>(b)];
+            left_n += binCount[base + static_cast<size_t>(b)];
+            const double right_n = n - left_n;
+            if (left_n < params->minSamplesLeaf ||
+                right_n < params->minSamplesLeaf) {
+                continue;
+            }
+            const double right_sum = total_sum - left_sum;
+            const double gain = left_sum * left_sum / left_n +
+                right_sum * right_sum / right_n - base_score;
+            if (gain > best.gain) {
+                best.gain = gain;
+                best.feature = static_cast<int>(featureScratch[k]);
+                best.threshold = lo + (b + 1) / scale;
+            }
+        }
+    }
+
+    if (best.feature >= 0) {
+        best.rowsSlot = rows_slot;
+        frontier.push_back(best);
+        std::push_heap(frontier.begin(), frontier.end());
+    } else {
+        releaseSlot(rows_slot);
+    }
+}
 
 RegressionTree::RegressionTree(TreeParams params)
     : params(params)
@@ -200,18 +242,24 @@ void
 RegressionTree::train(const DataSet &data)
 {
     DAC_ASSERT(!data.empty(), "training on empty dataset");
-    TreeBuilder builder(*this, data, params);
-    builder.build();
+    TreeBuilder builder;
+    builder.build(*this, DataView(data));
 }
 
 double
 RegressionTree::predict(const std::vector<double> &x) const
 {
+    return predict(x.data(), x.size());
+}
+
+double
+RegressionTree::predict(const double *x, size_t n) const
+{
     DAC_ASSERT(!nodes.empty(), "predict before train");
     int idx = 0;
     while (nodes[static_cast<size_t>(idx)].feature >= 0) {
         const Node &node = nodes[static_cast<size_t>(idx)];
-        DAC_ASSERT(static_cast<size_t>(node.feature) < x.size(),
+        DAC_ASSERT(static_cast<size_t>(node.feature) < n,
                    "feature vector too short");
         idx = x[static_cast<size_t>(node.feature)] <= node.threshold
             ? node.left : node.right;

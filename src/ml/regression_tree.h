@@ -12,8 +12,11 @@
 #include <cstdint>
 
 #include "ml/model.h"
+#include "support/random.h"
 
 namespace dac::ml {
+
+class TreeBuilder;
 
 /** Tuning parameters of a regression tree. */
 struct TreeParams
@@ -43,6 +46,7 @@ class RegressionTree : public Model
 
     void train(const DataSet &data) override;
     double predict(const std::vector<double> &x) const override;
+    double predict(const double *x, size_t n) const override;
     std::string name() const override { return "RegressionTree"; }
 
     /** Number of split nodes actually grown. */
@@ -64,6 +68,78 @@ class RegressionTree : public Model
     std::vector<Node> nodes;
 
     friend class TreeBuilder;
+    friend class FlatEnsemble;
+};
+
+/**
+ * Grows RegressionTrees best-first, through a DataView.
+ *
+ * A builder owns every scratch buffer tree growth needs (candidate
+ * heap, per-feature range/histogram arrays, a pool of row-index
+ * vectors) and reuses them across build() calls, so training a boosted
+ * ensemble of thousands of trees through one builder performs no
+ * steady-state heap allocation beyond the grown trees themselves.
+ * Split decisions are bit-identical for the same (data, params)
+ * regardless of builder reuse. Not thread-safe; use one builder per
+ * thread.
+ */
+class TreeBuilder
+{
+  public:
+    TreeBuilder() = default;
+
+    /** Grow `tree` (using its params) on `data` from scratch. */
+    void build(RegressionTree &tree, const DataView &data);
+
+    /**
+     * Row-index vectors heap-allocated so far (pool growth events).
+     * Instrumentation for the allocation-discipline tests: a build on
+     * already-warm scratch reports no new allocations, and a cold
+     * build allocates O(1) vectors per split.
+     */
+    size_t rowVectorAllocations() const { return poolGrowths; }
+
+  private:
+    /** A candidate split of one leaf's rows (max-heap by gain). */
+    struct Candidate
+    {
+        double gain = -1.0;
+        int nodeIndex = -1;
+        int feature = -1;
+        double threshold = 0.0;
+        /** Index into rowPool of the rows this split would divide. */
+        int rowsSlot = -1;
+
+        bool
+        operator<(const Candidate &other) const
+        {
+            return gain < other.gain;
+        }
+    };
+
+    RegressionTree::Node makeLeaf(const std::vector<size_t> &rows) const;
+    /** Find the best histogram split of slot's rows and queue it;
+     *  releases the slot when no split is possible. */
+    void pushCandidate(int node_index, int rows_slot);
+    int acquireSlot();
+    void releaseSlot(int slot);
+
+    // Per-build() context (set at the top of build()).
+    const DataView *data = nullptr;
+    const TreeParams *params = nullptr;
+    Rng rng{1};
+
+    // Reusable scratch, warm across build() calls.
+    std::vector<Candidate> frontier;          ///< heap via std::*_heap
+    std::vector<std::vector<size_t>> rowPool; ///< row-index storage
+    std::vector<int> freeSlots;               ///< spare rowPool entries
+    std::vector<size_t> featureScratch;       ///< candidate features
+    /** featureScratch holds the identity list 0..n-1 iff n != 0. */
+    size_t identityFeatures = 0;
+    std::vector<double> featLo, featHi;       ///< fused min/max pass
+    std::vector<double> featScale;            ///< bins per value unit
+    std::vector<double> binSum, binCount;     ///< split histograms
+    size_t poolGrowths = 0;
 };
 
 } // namespace dac::ml

@@ -32,6 +32,7 @@
 
 #include "dac/perfvector.h"
 #include "dac/tuner.h"
+#include "ml/flat_ensemble.h"
 #include "ml/model.h"
 
 namespace dac::service {
@@ -71,6 +72,12 @@ struct CachedModel
 {
     /** The trained performance model (HM for DAC requests). */
     std::shared_ptr<const ml::Model> model;
+    /**
+     * The model compiled for fast inference (flat_ensemble.h), built
+     * once when the entry is; every search against this entry scores
+     * the GA through it. Nullptr for non-compilable models.
+     */
+    std::shared_ptr<const ml::FlatEnsemble> compiled;
     /** Training set; the GA seeds its population from it (Fig. 6). */
     std::vector<core::PerfVector> vectors;
     /** Cross-validated model error, percent (Eq. 2). */

@@ -198,6 +198,7 @@ TuningService::process(const TuneRequest &request)
     }
 
     core::Searcher searcher(*cached->model, space, true);
+    searcher.setCompiled(cached->compiled.get());
     ga::GaParams params = options.tuning.ga;
     params.seed = combineSeed(request.seed,
                               static_cast<uint64_t>(request.nativeSize *
@@ -260,6 +261,8 @@ TuningService::buildModel(const workloads::Workload &workload,
                                              copt.seed);
         entry->model = std::shared_ptr<const ml::Model>(
             std::move(report.model));
+        entry->compiled = std::shared_ptr<const ml::FlatEnsemble>(
+            entry->model->compile());
         entry->overhead.modelingSec = report.trainWallSec;
         entry->modelErrorPct = report.testErrorPct;
         if (modelPhase.active())

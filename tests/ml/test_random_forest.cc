@@ -5,6 +5,7 @@
 #include <cmath>
 
 #include "ml/random_forest.h"
+#include "service/thread_pool.h"
 
 namespace dac::ml {
 namespace {
@@ -76,6 +77,33 @@ TEST(Forest, Deterministic)
     b.train(data);
     EXPECT_DOUBLE_EQ(a.predict({0.1, 0.2, 0.3, 0.4, 0.5}),
                      b.predict({0.1, 0.2, 0.3, 0.4, 0.5}));
+}
+
+TEST(Forest, ParallelTrainingIsBitIdenticalToSerial)
+{
+    // Per-tree bootstrap streams come from splitStream(t) — a pure
+    // function of the planning seed — so growing trees concurrently
+    // cannot change the forest.
+    const auto data = friedmanData(300, 7);
+    ForestParams serial;
+    serial.treeCount = 24;
+    serial.seed = 13;
+    ForestParams parallel = serial;
+    service::ThreadPool pool(4);
+    parallel.executor = &pool;
+
+    RandomForest a(serial);
+    RandomForest b(parallel);
+    a.train(data);
+    b.train(data);
+
+    Rng rng(8);
+    for (int i = 0; i < 32; ++i) {
+        std::vector<double> x(5);
+        for (double &v : x)
+            v = rng.uniform();
+        EXPECT_EQ(a.predict(x), b.predict(x));
+    }
 }
 
 TEST(Forest, TreeCountReported)
