@@ -85,7 +85,23 @@ ParamSpec::normalize(double value) const
 {
     if (_hi == _lo)
         return 0.0;
-    return (std::clamp(value, _lo, _hi) - _lo) / (_hi - _lo);
+    value = std::clamp(value, _lo, _hi);
+    double unit = (value - _lo) / (_hi - _lo);
+    // The straightforward encoding can land one ulp off its own
+    // decode for Real params (two FP roundings); nudge toward the
+    // exact preimage so legal values round-trip bit for bit.
+    // denormalize is monotone in the unit, so the comparison picks
+    // the nudge direction; non-Real types snap and are already exact.
+    if (_type == ParamType::Real) {
+        for (int step = 0; step < 4; ++step) {
+            const double decoded = denormalize(unit);
+            if (decoded == value)
+                break;
+            unit = decoded < value ? std::nextafter(unit, 1.0)
+                                   : std::nextafter(unit, 0.0);
+        }
+    }
+    return unit;
 }
 
 double

@@ -76,6 +76,12 @@ runGenerations(const GaParams &params, size_t dimensions,
 
     int since_improvement = 0;
     for (int gen = 1; gen <= params.maxGenerations; ++gen) {
+        // Deadline/cancel check once per generation: cheap, and a
+        // token that never fires changes nothing (no RNG touched).
+        if (params.cancel != nullptr && params.cancel->cancelled()) {
+            result.cancelled = true;
+            break;
+        }
         obs::ScopedSpan genSpan("ga.generation");
         if (genSpan.active())
             genSpan.attr("generation", static_cast<uint64_t>(gen));

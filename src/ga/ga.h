@@ -12,6 +12,7 @@
 #include <functional>
 #include <vector>
 
+#include "support/cancel.h"
 #include "support/executor.h"
 
 namespace dac::ga {
@@ -41,6 +42,14 @@ struct GaParams
      * path — but the objective itself must then be thread-safe.
      */
     Executor *executor = nullptr;
+    /**
+     * Optional cooperative cancellation (borrowed; nullptr = never
+     * cancelled). Polled between generations: when it fires, the
+     * search stops and returns the best genome found so far with
+     * GaResult::cancelled set. A token that never fires leaves the
+     * result bit-identical to a run without one.
+     */
+    const CancelToken *cancel = nullptr;
 };
 
 /** Outcome of one GA run. */
@@ -56,6 +65,9 @@ struct GaResult
     int generations = 0;
     /** Generation index of the last improvement (convergence point). */
     int convergedAt = 0;
+    /** The search was stopped early by GaParams::cancel; `best` is
+     *  the best-so-far, not the converged optimum. */
+    bool cancelled = false;
 };
 
 /**

@@ -65,6 +65,8 @@ HierarchicalModel::train(const DataSet &data)
         : scaledMape(ensemble, val.allTargets(), params.targetIsLog);
 
     while (err > params.targetErrorPct && _order < params.maxOrder) {
+        if (params.cancel != nullptr && params.cancel->cancelled())
+            break; // deadline: keep the orders built so far
         obs::ScopedSpan roundSpan("hm.round");
         if (roundSpan.active()) {
             roundSpan.attr("order", static_cast<uint64_t>(_order + 1));

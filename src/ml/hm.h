@@ -24,6 +24,7 @@
 #include <memory>
 
 #include "ml/boosting.h"
+#include "support/cancel.h"
 
 namespace dac::ml {
 
@@ -41,6 +42,15 @@ struct HmParams
     uint64_t seed = 7;
     /** Targets are log-transformed; score in the original scale. */
     bool targetIsLog = false;
+    /**
+     * Optional cooperative cancellation (borrowed; nullptr = never
+     * cancelled). Polled between HM rounds (higher-order builds): when
+     * it fires, training stops at the order reached so far — still a
+     * usable model, just possibly short of targetErrorPct. The
+     * first-order model always completes. A token that never fires
+     * leaves training bit-identical to a run without one.
+     */
+    const CancelToken *cancel = nullptr;
 };
 
 /**

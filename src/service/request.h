@@ -31,6 +31,15 @@ struct TuneRequest
     /** Tuning seed; requests with equal (workload, size, seed) are
      *  identical and the service coalesces them. */
     uint64_t seed = 17;
+    /**
+     * Wall deadline for serving this request, seconds (0 = use the
+     * service's defaultDeadlineSec; negative = no deadline at all).
+     * On expiry the service stops cooperatively — between HM rounds
+     * and GA generations — and answers with a degraded response
+     * rather than an error. Coalesced waiters share the first
+     * submitter's deadline.
+     */
+    double deadlineSec = 0.0;
 
     /** Coalescing key. */
     std::string cacheKey() const;
@@ -61,6 +70,21 @@ struct TuneResponse
     bool coalesced = false;
     /** Submit-to-completion wall latency, seconds. */
     double latencySec = 0.0;
+
+    /**
+     * The service could not complete the full tune pipeline (deadline
+     * expiry, model-build failure, queue saturation) and degraded
+     * gracefully: `best` holds the expert fallback configuration (or
+     * the GA's best-so-far when only the search was truncated) and
+     * `degradedReason` says why. Never set on a normal response.
+     */
+    bool degraded = false;
+    /** Why the response is degraded ("deadline", "model-failure",
+     *  "queue-saturated", "search-truncated"); empty otherwise. */
+    std::string degradedReason;
+    /** Transient model-build failures retried while serving this
+     *  request (0 when the first build attempt succeeded). */
+    int buildRetries = 0;
 };
 
 } // namespace dac::service

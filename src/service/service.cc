@@ -1,9 +1,13 @@
 #include "service/service.h"
 
+#include <algorithm>
 #include <bit>
 #include <cmath>
 #include <sstream>
+#include <stdexcept>
+#include <thread>
 
+#include "conf/expert.h"
 #include "dac/modeler.h"
 #include "dac/searcher.h"
 #include "obs/tracer.h"
@@ -13,6 +17,21 @@
 namespace dac::service {
 
 namespace {
+
+/** A model-build failure worth retrying (today: injected faults). */
+struct TransientModelError : std::runtime_error
+{
+    TransientModelError()
+        : std::runtime_error("transient model-build failure")
+    {
+    }
+};
+
+/** The request's deadline fired inside the build path. */
+struct DeadlineExpired : std::runtime_error
+{
+    DeadlineExpired() : std::runtime_error("request deadline expired") {}
+};
 
 /** Platform-stable string hash (std::hash is not portable). */
 uint64_t
@@ -108,7 +127,9 @@ TuningService::submit(TuneRequest request)
         return future;
     }
 
-    pool.post([this, request = std::move(request), key]() {
+    const std::string workload = request.workload;
+    const double native_size = request.nativeSize;
+    auto work = [this, request = std::move(request), key]() {
         TuneResponse response;
         std::exception_ptr error;
         try {
@@ -147,7 +168,38 @@ TuningService::submit(TuneRequest request)
             copy.latencySec = latency;
             entry->waiters[i].set_value(std::move(copy));
         }
-    });
+    };
+
+    bool posted = true;
+    if (options.rejectWhenSaturated)
+        posted = pool.tryPost(std::move(work));
+    else
+        pool.post(std::move(work));
+    if (posted)
+        return future;
+
+    // Backpressure: the queue is full, so unwind the pending entry and
+    // answer every waiter inline with the expert fallback rather than
+    // blocking the caller or erroring (reject-with-reason).
+    std::shared_ptr<Pending> entry;
+    {
+        std::lock_guard<std::mutex> lock(mutex);
+        const auto it = pending.find(key);
+        DAC_ASSERT(it != pending.end(), "lost a pending request");
+        entry = it->second;
+        pending.erase(it);
+    }
+    registry.counter("requests.rejected")
+        .increment(entry->waiters.size());
+    const TuneResponse rejected =
+        degradedResponse(workload, native_size, "queue-saturated", 0);
+    const double latency = elapsedSec(entry->submitted);
+    for (size_t i = 0; i < entry->waiters.size(); ++i) {
+        TuneResponse copy = rejected;
+        copy.coalesced = i > 0;
+        copy.latencySec = latency;
+        entry->waiters[i].set_value(std::move(copy));
+    }
     return future;
 }
 
@@ -165,19 +217,59 @@ TuningService::process(const TuneRequest &request)
     if (request.nativeSize <= 0.0)
         fatalError("tune request with non-positive dataset size");
 
+    // Deadline: the request's own value wins; 0 inherits the service
+    // default; negative disables. Expiry is only observed at the
+    // cooperative poll points (between HM rounds, GA generations, and
+    // build retries), so a token that never fires changes nothing.
+    CancelToken cancel;
+    const double deadline_sec = request.deadlineSec == 0.0
+        ? options.defaultDeadlineSec
+        : request.deadlineSec;
+    if (deadline_sec > 0.0)
+        cancel.setDeadline(Deadline::after(deadline_sec));
+
     const ModelKey key{workload.abbrev(), sim->clusterSpec().signature(),
                        sizeBandOf(request.nativeSize)};
 
     bool builtHere = false;
-    const auto cached = cache.getOrBuild(key, [&]() {
-        builtHere = true;
-        return buildModel(workload, key);
-    });
+    int build_retries = 0;
+    std::shared_ptr<const CachedModel> cached;
+    try {
+        cached = cache.getOrBuild(key, [&]() {
+            builtHere = true;
+            return buildModelWithRetry(workload, key, cancel,
+                                       build_retries);
+        });
+    } catch (const DeadlineExpired &) {
+        registry.counter("deadline.expired").increment();
+        if (requestSpan.active())
+            requestSpan.attr("degraded", "deadline");
+        return degradedResponse(workload.abbrev(), request.nativeSize,
+                                "deadline", build_retries);
+    } catch (const TransientModelError &) {
+        // Retries exhausted (also surfaces to every cache waiter that
+        // coalesced onto the failed build — they degrade the same way).
+        if (requestSpan.active())
+            requestSpan.attr("degraded", "model-failure");
+        return degradedResponse(workload.abbrev(), request.nativeSize,
+                                "model-failure", build_retries);
+    }
     if (requestSpan.active())
         requestSpan.attr("model_source", builtHere ? "built" : "cache_hit");
     if (obs::Tracer::enabled()) {
         obs::instant(builtHere ? "cache.miss" : "cache.hit",
                      {{"key", key.toString()}});
+    }
+
+    // Deadline gone before the search starts: answer with the expert
+    // configuration instead of starting work we cannot finish. (The
+    // model, if built, stays cached for the next request.)
+    if (cancel.cancelled()) {
+        registry.counter("deadline.expired").increment();
+        if (requestSpan.active())
+            requestSpan.attr("degraded", "deadline");
+        return degradedResponse(workload.abbrev(), request.nativeSize,
+                                "deadline", build_retries);
     }
 
     // Search: GA against the cached model with the requested size
@@ -204,6 +296,7 @@ TuningService::process(const TuneRequest &request)
                               static_cast<uint64_t>(request.nativeSize *
                                                     1000));
     params.executor = options.parallelWithinRequest ? &pool : nullptr;
+    params.cancel = &cancel;
     const double dsize = workload.bytesForSize(request.nativeSize);
     auto found = searcher.search(dsize, params, seeds);
     registry.histogram("latency.search").observe(
@@ -216,12 +309,93 @@ TuningService::process(const TuneRequest &request)
     response.predictedTimeSec = found.predictedTimeSec;
     response.modelErrorPct = cached->modelErrorPct;
     response.modelCacheHit = !builtHere;
+    response.buildRetries = build_retries;
+    if (found.ga.cancelled) {
+        // Deadline fired mid-search: the GA's best-so-far is still a
+        // real model-scored configuration, so return it — labeled.
+        response.degraded = true;
+        response.degradedReason = "search-truncated";
+        registry.counter("deadline.expired").increment();
+        registry.counter("search.truncated").increment();
+        registry.counter("requests.degraded").increment();
+        if (requestSpan.active())
+            requestSpan.attr("degraded", "search-truncated");
+    }
+    return response;
+}
+
+std::shared_ptr<const CachedModel>
+TuningService::buildModelWithRetry(const workloads::Workload &workload,
+                                   const ModelKey &key,
+                                   const CancelToken &cancel,
+                                   int &retries_out)
+{
+    double backoff = options.retryBackoffInitialSec;
+    for (int attempt = 0;; ++attempt) {
+        if (cancel.cancelled())
+            throw DeadlineExpired();
+        try {
+            maybeInjectBuildFault();
+            return buildModel(workload, key, cancel);
+        } catch (const TransientModelError &) {
+            if (attempt >= options.modelBuildMaxRetries)
+                throw;
+        }
+        registry.counter("model_build.retries").increment();
+        ++retries_out;
+        // Exponential backoff, clipped to the cap and to whatever
+        // deadline time remains (remainingSec() is +inf without one).
+        const double sleep_sec =
+            std::min({backoff, options.retryBackoffMaxSec,
+                      cancel.remainingSec()});
+        if (sleep_sec > 0.0) {
+            std::this_thread::sleep_for(
+                std::chrono::duration<double>(sleep_sec));
+        }
+        backoff *= options.retryBackoffMultiplier;
+    }
+}
+
+void
+TuningService::maybeInjectBuildFault()
+{
+    const uint64_t attempt =
+        buildAttempts.fetch_add(1, std::memory_order_relaxed) + 1;
+    registry.counter("model_build.attempts").increment();
+    const ServiceOptions::FaultInjection &faults = options.faults;
+    bool inject =
+        attempt <= static_cast<uint64_t>(
+                       std::max(faults.failFirstModelBuilds, 0));
+    if (!inject && faults.modelBuildFailureProb > 0.0) {
+        Rng draw(combineSeed(faults.seed, attempt));
+        inject = draw.uniform() < faults.modelBuildFailureProb;
+    }
+    if (inject) {
+        registry.counter("model_build.transient_failures").increment();
+        throw TransientModelError();
+    }
+}
+
+TuneResponse
+TuningService::degradedResponse(const std::string &workload,
+                                double native_size, std::string reason,
+                                int build_retries)
+{
+    TuneResponse response;
+    response.workload = workload;
+    response.nativeSize = native_size;
+    response.best = conf::expertSparkConfig(sim->clusterSpec());
+    response.degraded = true;
+    response.degradedReason = std::move(reason);
+    response.buildRetries = build_retries;
+    registry.counter("requests.degraded").increment();
     return response;
 }
 
 std::shared_ptr<const CachedModel>
 TuningService::buildModel(const workloads::Workload &workload,
-                          const ModelKey &key)
+                          const ModelKey &key,
+                          const CancelToken &cancel)
 {
     const auto start = std::chrono::steady_clock::now();
     Executor *executor =
@@ -253,11 +427,17 @@ TuningService::buildModel(const workloads::Workload &workload,
         entry->overhead.trainingRuns = entry->vectors.size();
     }
 
+    if (cancel.cancelled())
+        throw DeadlineExpired();
+
     {
         obs::ScopedSpan modelPhase("phase.model");
+        // The deadline stops HM refinement between rounds; whatever
+        // order it reached is still a usable (cacheable) model.
+        ml::HmParams hp = options.tuning.hm;
+        hp.cancel = &cancel;
         auto report = core::buildAndValidate(core::ModelKind::HM,
-                                             entry->vectors,
-                                             options.tuning.hm, true,
+                                             entry->vectors, hp, true,
                                              copt.seed);
         entry->model = std::shared_ptr<const ml::Model>(
             std::move(report.model));

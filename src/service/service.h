@@ -17,6 +17,7 @@
 #ifndef DAC_SERVICE_SERVICE_H
 #define DAC_SERVICE_SERVICE_H
 
+#include <atomic>
 #include <chrono>
 #include <future>
 #include <map>
@@ -31,6 +32,7 @@
 #include "service/request.h"
 #include "service/thread_pool.h"
 #include "sparksim/simulator.h"
+#include "support/cancel.h"
 
 namespace dac::service {
 
@@ -51,6 +53,45 @@ struct ServiceOptions
      * collection is what makes a single cold request faster.
      */
     bool parallelWithinRequest = true;
+
+    /**
+     * Wall deadline applied to requests that leave
+     * TuneRequest::deadlineSec at 0, seconds (<= 0 = no default
+     * deadline). Expiry is observed cooperatively — between HM rounds
+     * and GA generations — and degrades the response instead of
+     * failing it; see DESIGN.md §10 for the degradation ladder.
+     */
+    double defaultDeadlineSec = 0.0;
+    /** Transient model-build failures retried (with backoff) before
+     *  the request degrades to the expert configuration. */
+    int modelBuildMaxRetries = 2;
+    /** First retry backoff, seconds. */
+    double retryBackoffInitialSec = 0.05;
+    /** Backoff growth per retry (exponential). */
+    double retryBackoffMultiplier = 2.0;
+    /** Backoff ceiling, seconds; also clipped to any deadline left. */
+    double retryBackoffMaxSec = 1.0;
+    /** Answer new requests with a degraded "queue-saturated" response
+     *  instead of blocking the caller when the work queue is full. */
+    bool rejectWhenSaturated = true;
+
+    /**
+     * Deterministic fault hook for chaos tests: injected transient
+     * model-build failures that exercise the retry/degradation path
+     * without touching the real pipeline. All zero (the default) means
+     * no injection and zero overhead.
+     */
+    struct FaultInjection
+    {
+        /** Fail this many build attempts (counted service-wide, in
+         *  attempt order) before letting builds succeed. */
+        int failFirstModelBuilds = 0;
+        /** Per-attempt failure probability, drawn from a seeded Rng
+         *  keyed on the service-wide attempt index. */
+        double modelBuildFailureProb = 0.0;
+        uint64_t seed = 0;
+    };
+    FaultInjection faults;
 };
 
 /**
@@ -103,14 +144,31 @@ class TuningService
 
     /** Runs on a pool worker: the full pipeline for one request. */
     TuneResponse process(const TuneRequest &request);
-    /** Build (collect + model) the cache entry for one request. */
+    /** Build (collect + model) the cache entry for one request;
+     *  `cancel` stops HM refinement between rounds on expiry. */
     std::shared_ptr<const CachedModel> buildModel(
-        const workloads::Workload &workload, const ModelKey &key);
+        const workloads::Workload &workload, const ModelKey &key,
+        const CancelToken &cancel);
+    /** buildModel behind bounded retry with exponential backoff;
+     *  `retries_out` counts the transient failures absorbed. */
+    std::shared_ptr<const CachedModel> buildModelWithRetry(
+        const workloads::Workload &workload, const ModelKey &key,
+        const CancelToken &cancel, int &retries_out);
+    /** Deterministic injected build fault (ServiceOptions::faults);
+     *  also counts every build attempt in the metrics. */
+    void maybeInjectBuildFault();
+    /** Expert-configuration fallback answer, labeled degraded. */
+    TuneResponse degradedResponse(const std::string &workload,
+                                  double native_size, std::string reason,
+                                  int build_retries);
 
     const sparksim::SparkSimulator *sim;
     ServiceOptions options;
     MetricsRegistry registry;
     ModelCache cache;
+    /** Service-wide model-build attempt index (fault hook keys its
+     *  deterministic draws on this). */
+    std::atomic<uint64_t> buildAttempts{0};
     ThreadPool pool; ///< declared after the fields its tasks touch
 
     std::mutex mutex;

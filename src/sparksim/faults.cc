@@ -1,0 +1,118 @@
+#include "sparksim/faults.h"
+
+#include <sstream>
+
+#include "support/logging.h"
+
+namespace dac::sparksim {
+
+namespace {
+
+/** Decision kinds; spaced apart so streams never collide. */
+constexpr uint64_t kKindAttempt = 0x0101;
+constexpr uint64_t kKindStraggler = 0x0202;
+constexpr uint64_t kKindExecLoss = 0x0303;
+
+} // namespace
+
+FaultPlan::FaultPlan(const FaultSpec &spec, uint64_t run_seed)
+    : spec_(spec), root(combineSeed(spec.seed, run_seed))
+{
+    DAC_ASSERT(spec.taskFailProb >= 0.0 && spec.taskFailProb <= 1.0,
+               "taskFailProb out of [0,1]");
+    DAC_ASSERT(spec.execLossProb >= 0.0 && spec.execLossProb <= 1.0,
+               "execLossProb out of [0,1]");
+    DAC_ASSERT(spec.stragglerProb >= 0.0 && spec.stragglerProb <= 1.0,
+               "stragglerProb out of [0,1]");
+    DAC_ASSERT(spec.stragglerFactor >= 1.0, "stragglerFactor below 1");
+}
+
+double
+FaultPlan::draw(uint64_t kind, uint64_t stage, uint64_t item) const
+{
+    // splitStream is a pure function of the root's construction seed,
+    // so this neither advances `root` nor depends on query order.
+    Rng stream = root.splitStream(
+        combineSeed(kind, combineSeed(stage, item)));
+    return stream.uniform();
+}
+
+bool
+FaultPlan::attemptFails(uint64_t stage, int task, int attempt) const
+{
+    if (spec_.taskFailProb <= 0.0)
+        return false;
+    const uint64_t item = combineSeed(static_cast<uint64_t>(task),
+                                      static_cast<uint64_t>(attempt));
+    return draw(kKindAttempt, stage, item) < spec_.taskFailProb;
+}
+
+bool
+FaultPlan::taskStraggles(uint64_t stage, int task) const
+{
+    if (spec_.stragglerProb <= 0.0)
+        return false;
+    return draw(kKindStraggler, stage, static_cast<uint64_t>(task)) <
+        spec_.stragglerProb;
+}
+
+int
+FaultPlan::executorLossBefore(uint64_t stage, int num_tasks) const
+{
+    if (spec_.execLossProb <= 0.0 || num_tasks <= 0)
+        return -1;
+    if (draw(kKindExecLoss, stage, 0) >= spec_.execLossProb)
+        return -1;
+    // The loss point reuses the stream family with a distinct item id.
+    const double u = draw(kKindExecLoss, stage, 1);
+    return static_cast<int>(u * num_tasks);
+}
+
+std::string
+FaultPlan::scheduleJson(uint64_t stages, int tasks_per_stage,
+                        int max_attempts) const
+{
+    std::ostringstream out;
+    out << "{\"seed\":" << spec_.seed
+        << ",\"taskFailProb\":" << spec_.taskFailProb
+        << ",\"execLossProb\":" << spec_.execLossProb
+        << ",\"stragglerProb\":" << spec_.stragglerProb
+        << ",\"stragglerFactor\":" << spec_.stragglerFactor
+        << ",\"events\":[";
+    bool first = true;
+    auto emit = [&](const std::string &event) {
+        if (!first)
+            out << ",";
+        first = false;
+        out << event;
+    };
+    for (uint64_t s = 0; s < stages; ++s) {
+        const int loss = executorLossBefore(s, tasks_per_stage);
+        if (loss >= 0) {
+            std::ostringstream e;
+            e << "{\"type\":\"executor-loss\",\"stage\":" << s
+              << ",\"beforeTask\":" << loss << "}";
+            emit(e.str());
+        }
+        for (int t = 0; t < tasks_per_stage; ++t) {
+            if (taskStraggles(s, t)) {
+                std::ostringstream e;
+                e << "{\"type\":\"straggler\",\"stage\":" << s
+                  << ",\"task\":" << t << "}";
+                emit(e.str());
+            }
+            for (int a = 1; a <= max_attempts; ++a) {
+                if (attemptFails(s, t, a)) {
+                    std::ostringstream e;
+                    e << "{\"type\":\"attempt-failure\",\"stage\":" << s
+                      << ",\"task\":" << t << ",\"attempt\":" << a << "}";
+                    emit(e.str());
+                }
+            }
+        }
+    }
+    out << "]}";
+    return out.str();
+}
+
+} // namespace dac::sparksim

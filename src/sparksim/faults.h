@@ -1,0 +1,118 @@
+/**
+ * @file
+ * Deterministic fault injection for the Spark simulator.
+ *
+ * A FaultSpec says how unreliable the simulated cluster should be; a
+ * FaultPlan turns the spec plus a run seed into concrete, reproducible
+ * decisions ("does attempt 2 of task 17 in stage 5 fail?"). Every
+ * decision is a pure function of (seed, stage, task, attempt) derived
+ * through Rng::splitStream, so:
+ *
+ *  - the same seed replays the same fault schedule, bit for bit, no
+ *    matter what order (or from how many threads) the queries arrive;
+ *  - the plan consumes nothing from the scheduler's own RNG stream, so
+ *    a disabled plan leaves fault-free runs byte-identical to runs
+ *    that never heard of fault injection.
+ */
+
+#ifndef DAC_SPARKSIM_FAULTS_H
+#define DAC_SPARKSIM_FAULTS_H
+
+#include <cstdint>
+#include <string>
+
+#include "support/random.h"
+
+namespace dac::sparksim {
+
+/**
+ * How unreliable the simulated cluster is. All probabilities default
+ * to zero: a default FaultSpec is "faults off" and must not perturb
+ * the simulation in any way.
+ */
+struct FaultSpec
+{
+    /** Probability an individual task attempt is killed (fetch
+     *  failure, injected OOM, preemption). Applied per attempt, so a
+     *  retry can succeed where the first attempt died. */
+    double taskFailProb = 0.0;
+    /** Probability a stage iteration loses one executor mid-flight
+     *  (node reboot, container eviction). */
+    double execLossProb = 0.0;
+    /** Probability a task is slowed down by an injected straggler
+     *  (noisy neighbor, failing disk), on top of the profile's own
+     *  straggler model. */
+    double stragglerProb = 0.0;
+    /** Duration multiplier for injected stragglers (>= 1). */
+    double stragglerFactor = 3.0;
+    /** Root seed of the fault stream; independent of the run seed so
+     *  the same chaos schedule can be replayed against different data
+     *  seeds and vice versa. */
+    uint64_t seed = 0;
+
+    /** True when any fault class can actually fire. */
+    bool
+    enabled() const
+    {
+        return taskFailProb > 0.0 || execLossProb > 0.0 ||
+            stragglerProb > 0.0;
+    }
+};
+
+/**
+ * The concrete, deterministic fault schedule of one simulated run.
+ *
+ * Stateless after construction: every query derives a fresh
+ * splitStream from the construction seed and the decision's identity,
+ * so queries are const, thread-safe, and order-independent.
+ */
+class FaultPlan
+{
+  public:
+    /** An inactive plan (never injects anything). */
+    FaultPlan() = default;
+
+    /** Plan for one run: decisions derive from (spec.seed, run_seed). */
+    FaultPlan(const FaultSpec &spec, uint64_t run_seed);
+
+    /** True when this plan can inject faults. */
+    bool active() const { return spec_.enabled(); }
+
+    const FaultSpec &spec() const { return spec_; }
+
+    /** Does `attempt` (1-based) of `task` in `stage` get killed? */
+    bool attemptFails(uint64_t stage, int task, int attempt) const;
+
+    /** Is `task` in `stage` slowed by an injected straggler? */
+    bool taskStraggles(uint64_t stage, int task) const;
+
+    /**
+     * Task index before which `stage` loses an executor, or -1 when
+     * the stage keeps all executors. At most one loss per stage
+     * iteration; the loss point is uniform over the stage's tasks.
+     */
+    int executorLossBefore(uint64_t stage, int num_tasks) const;
+
+    /**
+     * Render the schedule for `stages` stages of `tasks_per_stage`
+     * tasks as JSON (the chaos-test artifact): which attempts fail
+     * (up to `max_attempts`), which tasks straggle, where executors
+     * die. Deterministic for a given plan.
+     */
+    [[nodiscard]] std::string scheduleJson(uint64_t stages,
+                                           int tasks_per_stage,
+                                           int max_attempts) const;
+
+  private:
+    /** Uniform [0,1) draw identified by the decision coordinates. */
+    double draw(uint64_t kind, uint64_t stage, uint64_t item) const;
+
+    FaultSpec spec_;
+    /** Mixed (spec.seed, run_seed) root all decision streams split
+     *  from; the Rng itself is never advanced. */
+    Rng root{0};
+};
+
+} // namespace dac::sparksim
+
+#endif // DAC_SPARKSIM_FAULTS_H

@@ -24,6 +24,13 @@ struct StageResult
     double spilledBytes = 0.0;
     /** Task attempts that failed (OOM, fetch failure, ...). */
     int taskFailures = 0;
+    /** Task attempts launched under fault injection (0 otherwise). */
+    int taskAttempts = 0;
+    /** Speculative copies launched against injected stragglers. */
+    int speculativeCopies = 0;
+    /** Task-seconds discarded (failed attempts, outrun originals,
+     *  work lost with a dead executor). */
+    double wastedTaskSec = 0.0;
 };
 
 /** Outcome of one job execution. */
@@ -39,6 +46,21 @@ struct RunResult
     int taskFailures = 0;
     /** Whole-job restarts after a task exhausted its retry budget. */
     int jobRestarts = 0;
+    /** This run executed under an active FaultPlan; the discrete
+     *  fault accounting below is only populated when true. */
+    bool faultsInjected = false;
+    /** Task attempts launched (first tries + retries + re-runs). */
+    int taskAttempts = 0;
+    /** Attempts killed by the fault plan. */
+    int injectedFailures = 0;
+    /** Speculative copies launched against injected stragglers. */
+    int speculativeTasks = 0;
+    /** Executors lost mid-stage across the run. */
+    int executorsLost = 0;
+    /** Stage aborts after a task exhausted spark.task.maxFailures. */
+    int stageAborts = 0;
+    /** Task-seconds burned on discarded attempts. */
+    double wastedTaskSec = 0.0;
     /** Executors launched per worker node. */
     int executorsPerNode = 0;
     /** Total concurrent task slots in the cluster. */

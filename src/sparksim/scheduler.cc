@@ -67,6 +67,177 @@ drawDuration(const TaskProfile &profile, const SparkKnobs &knobs, Rng &rng,
     return d;
 }
 
+/** Min-heap of slot free times. */
+using SlotHeap =
+    std::priority_queue<double, std::vector<double>, std::greater<>>;
+
+/** Mutable state of the faulted scheduling loop. */
+struct FaultedState
+{
+    SlotHeap freeAt;
+    double driverBusyUntil = 0.0;
+    int slotsNow = 0;
+};
+
+/**
+ * Run one task (attempt loop) on the faulted path. Returns false when
+ * the task exhausted its retry budget (stage abort).
+ */
+bool
+runTaskFaulted(int task, const TaskProfile &profile,
+               const SparkKnobs &knobs, Rng &rng, const FaultPlan &plan,
+               uint64_t stage_id, double retry, FaultedState &st,
+               StageSchedule &out)
+{
+    const bool spec_on =
+        knobs.speculation && knobs.speculationQuantile <= 0.95;
+
+    for (int attempt = 1;; ++attempt) {
+        ++out.attemptsLaunched;
+        const double slot_free = st.freeAt.top();
+        st.freeAt.pop();
+        const double start = std::max(slot_free, st.driverBusyUntil) +
+            profile.startDelaySec;
+        st.driverBusyUntil = start + profile.dispatchSec;
+
+        bool straggler = false;
+        double duration =
+            drawDuration(profile, knobs, rng, straggler) * retry;
+
+        const bool injected_straggler =
+            plan.taskStraggles(stage_id, task);
+        if (injected_straggler)
+            duration *= plan.spec().stragglerFactor;
+
+        if (plan.attemptFails(stage_id, task, attempt)) {
+            // The attempt dies about halfway through; the slot is
+            // blocked for that long and the work is discarded.
+            const double half = 0.5 * duration;
+            out.totalTaskSec += half;
+            out.wastedTaskSec += half;
+            ++out.injectedFailures;
+            st.freeAt.push(start + half);
+            if (attempt >= knobs.taskMaxFailures) {
+                out.aborted = true;
+                return false;
+            }
+            continue;
+        }
+
+        double finish = start + duration;
+        if (spec_on && injected_straggler) {
+            // The injected straggler trips the speculation threshold:
+            // a copy launches once the overrun is detected, and the
+            // earlier finisher wins.
+            const double detect = profile.baseSec *
+                std::max(0.0, knobs.speculationMultiplier - 1.0) +
+                knobs.speculationIntervalSec;
+            const double copy_start = start + detect;
+            const double copy_finish = copy_start + profile.baseSec;
+            ++out.speculativeCopies;
+            if (copy_finish < finish) {
+                // Original is killed when the copy commits; its
+                // overrun was wasted. The copy's runtime bills too.
+                out.wastedTaskSec += finish - copy_finish;
+                out.totalTaskSec += profile.baseSec;
+                finish = copy_finish;
+            } else {
+                // Copy loses; it ran from copy_start to finish.
+                const double copy_run = std::max(0.0, finish - copy_start);
+                out.wastedTaskSec += copy_run;
+                out.totalTaskSec += copy_run;
+            }
+        }
+
+        out.totalTaskSec += finish - start;
+        st.freeAt.push(finish);
+        return true;
+    }
+}
+
+/** Apply one executor loss: drop the busiest slots, queue re-runs. */
+int
+applyExecutorLoss(int slots_per_executor, const TaskProfile &profile,
+                  FaultedState &st, StageSchedule &out)
+{
+    // Keep at least one slot or the stage can never finish.
+    const int drop =
+        std::min(std::max(1, slots_per_executor), st.slotsNow - 1);
+    if (drop <= 0)
+        return 0;
+
+    std::vector<double> times;
+    times.reserve(static_cast<size_t>(st.slotsNow));
+    while (!st.freeAt.empty()) {
+        times.push_back(st.freeAt.top());
+        st.freeAt.pop();
+    }
+    std::sort(times.begin(), times.end());
+    // The latest-free slots stand in for the dead executor: whatever
+    // was running there is discarded mid-flight.
+    for (int d = 0; d < drop; ++d) {
+        times.pop_back();
+        out.wastedTaskSec += 0.5 * profile.baseSec;
+        out.totalTaskSec += 0.5 * profile.baseSec;
+    }
+    for (const double t : times)
+        st.freeAt.push(t);
+    st.slotsNow -= drop;
+    ++out.executorsLost;
+    return drop; // tasks to re-run on the survivors
+}
+
+StageSchedule
+scheduleStageFaulted(int num_tasks, int slots, const TaskProfile &profile,
+                     const SparkKnobs &knobs, Rng &rng,
+                     const FaultPlan &plan, uint64_t stage_id,
+                     int slots_per_executor)
+{
+    StageSchedule out;
+    if (num_tasks == 0)
+        return out;
+
+    double expected_failures_per_task = 0.0;
+    const double retry = retryFactor(profile.failureProb,
+                                     knobs.taskMaxFailures,
+                                     profile.baseSec,
+                                     &expected_failures_per_task);
+    out.failures = static_cast<int>(
+        std::round(expected_failures_per_task * num_tasks));
+
+    FaultedState st;
+    st.slotsNow = slots;
+    for (int s = 0; s < slots; ++s)
+        st.freeAt.push(0.0);
+
+    const int loss_before = plan.executorLossBefore(stage_id, num_tasks);
+    int reruns = 0;
+
+    for (int t = 0; t < num_tasks && !out.aborted; ++t) {
+        if (t == loss_before)
+            reruns += applyExecutorLoss(slots_per_executor, profile, st,
+                                        out);
+        if (!runTaskFaulted(t, profile, knobs, rng, plan, stage_id,
+                            retry, st, out))
+            break;
+    }
+    // Re-execute the attempts that died with their executor. Their
+    // plan identity continues past the stage's real task indices so
+    // fault decisions stay well-defined.
+    for (int r = 0; r < reruns && !out.aborted; ++r) {
+        runTaskFaulted(num_tasks + r, profile, knobs, rng, plan,
+                       stage_id, retry, st, out);
+    }
+
+    double elapsed = 0.0;
+    while (!st.freeAt.empty()) {
+        elapsed = std::max(elapsed, st.freeAt.top());
+        st.freeAt.pop();
+    }
+    out.elapsedSec = elapsed;
+    return out;
+}
+
 } // namespace
 
 StageSchedule
@@ -88,8 +259,7 @@ scheduleStage(int num_tasks, int slots, const TaskProfile &profile,
     out.failures = static_cast<int>(
         std::round(expected_failures_per_task * num_tasks));
 
-    // Min-heap of slot free times.
-    std::priority_queue<double, std::vector<double>, std::greater<>> free_at;
+    SlotHeap free_at;
     for (int s = 0; s < slots; ++s)
         free_at.push(0.0);
 
@@ -125,6 +295,20 @@ scheduleStage(int num_tasks, int slots, const TaskProfile &profile,
     }
     out.elapsedSec = elapsed;
     return out;
+}
+
+StageSchedule
+scheduleStage(int num_tasks, int slots, const TaskProfile &profile,
+              const SparkKnobs &knobs, Rng &rng, const FaultPlan &plan,
+              uint64_t stage_id, int slots_per_executor)
+{
+    if (!plan.active())
+        return scheduleStage(num_tasks, slots, profile, knobs, rng);
+
+    DAC_ASSERT(num_tasks >= 0, "negative task count");
+    DAC_ASSERT(slots >= 1, "need at least one slot");
+    return scheduleStageFaulted(num_tasks, slots, profile, knobs, rng,
+                                plan, stage_id, slots_per_executor);
 }
 
 } // namespace dac::sparksim

@@ -3,11 +3,22 @@
  * Wave-level task scheduler: packs a stage's tasks onto the cluster's
  * slots, applying dispatch overheads, locality waits, straggler noise,
  * speculative re-execution, and failure/retry semantics.
+ *
+ * Two execution modes share the wave model:
+ *
+ *  - the smooth path (no FaultPlan) costs retries in expectation so
+ *    the response surface the models learn stays differentiable;
+ *  - the faulted path (an active FaultPlan) simulates discrete task
+ *    attempts — injected failures retried up to spark.task.maxFailures,
+ *    injected stragglers cut short by speculative copies, executor
+ *    loss shrinking the slot pool mid-stage — and surfaces the attempt
+ *    counts and wasted work.
  */
 
 #ifndef DAC_SPARKSIM_SCHEDULER_H
 #define DAC_SPARKSIM_SCHEDULER_H
 
+#include "sparksim/faults.h"
 #include "sparksim/knobs.h"
 #include "support/random.h"
 
@@ -46,6 +57,23 @@ struct StageSchedule
     /** Expected failed attempts (retries are costed in expectation so
      *  the response surface stays smooth; see scheduler.cc). */
     int failures = 0;
+
+    // Discrete fault-injection accounting; all zero on the smooth path.
+
+    /** Task attempts actually launched (first tries + retries +
+     *  executor-loss re-runs). */
+    int attemptsLaunched = 0;
+    /** Attempts killed by the fault plan. */
+    int injectedFailures = 0;
+    /** Speculative copies launched against injected stragglers. */
+    int speculativeCopies = 0;
+    /** Executors lost mid-stage. */
+    int executorsLost = 0;
+    /** Task-seconds burned on attempts whose work was discarded
+     *  (failed attempts, outrun originals, work on dead executors). */
+    double wastedTaskSec = 0.0;
+    /** A task exhausted spark.task.maxFailures; the stage aborts. */
+    bool aborted = false;
 };
 
 /**
@@ -59,6 +87,32 @@ struct StageSchedule
 StageSchedule scheduleStage(int num_tasks, int slots,
                             const TaskProfile &profile,
                             const SparkKnobs &knobs, Rng &rng);
+
+/**
+ * Schedule with fault injection. With an inactive `plan` this is the
+ * exact smooth path above (same draws from `rng`, byte-identical
+ * result). With an active plan, tasks run as discrete attempts:
+ *
+ *  - plan.attemptFails() kills an attempt halfway through; the task
+ *    retries until it succeeds or exhausts knobs.taskMaxFailures, at
+ *    which point the stage aborts (StageSchedule::aborted);
+ *  - plan.taskStraggles() stretches a task by spec().stragglerFactor;
+ *    with speculation enabled a copy is launched at the detection
+ *    point and the earlier finisher wins, the loser's overrun counted
+ *    as wasted work;
+ *  - plan.executorLossBefore() removes one executor's
+ *    `slots_per_executor` slots mid-stage; attempts running there are
+ *    discarded and re-run on the survivors.
+ *
+ * @param stage_id           Identifies the stage iteration to the
+ *                           plan (fault decisions key off it).
+ * @param slots_per_executor Slots an executor loss removes (>= 1).
+ */
+StageSchedule scheduleStage(int num_tasks, int slots,
+                            const TaskProfile &profile,
+                            const SparkKnobs &knobs, Rng &rng,
+                            const FaultPlan &plan, uint64_t stage_id,
+                            int slots_per_executor);
 
 } // namespace dac::sparksim
 

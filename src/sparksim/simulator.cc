@@ -110,12 +110,22 @@ struct StageOutcome
     double spilledBytes = 0.0;
     int failures = 0;
     bool driverOom = false;
+    /** Discrete fault-injection accounting (zero with no FaultPlan). */
+    int attempts = 0;
+    int injectedFailures = 0;
+    int speculativeCopies = 0;
+    int executorsLost = 0;
+    double wastedTaskSec = 0.0;
+    /** A task exhausted its retry budget; the job resubmits (never
+     *  set on the final attempt, mirroring driverOom). */
+    bool aborted = false;
 };
 
 StageOutcome
 simulateStageIteration(const StageSpec &stage, const JobDag &job,
                        const RunContext &ctx, CacheState &cache,
-                       bool final_attempt, Rng &rng)
+                       bool final_attempt, Rng &rng,
+                       const FaultPlan &plan, uint64_t fault_stage_id)
 {
     const SparkKnobs &k = ctx.knobs;
     const auto &node = ctx.cluster->node();
@@ -331,7 +341,9 @@ simulateStageIteration(const StageSpec &stage, const JobDag &job,
     }
 
     const auto sched = scheduleStage(partitions, ctx.layout.totalSlots,
-                                     profile, k, rng);
+                                     profile, k, rng, plan,
+                                     fault_stage_id,
+                                     ctx.layout.coresPerExecutor);
 
     bool driver_oom = false;
     const double extra = kStageLaunchSec + broadcastSec(stage, ctx) +
@@ -343,6 +355,12 @@ simulateStageIteration(const StageSpec &stage, const JobDag &job,
     out.spilledBytes = spilled * partitions;
     out.failures = sched.failures;
     out.driverOom = driver_oom && !final_attempt;
+    out.attempts = sched.attemptsLaunched;
+    out.injectedFailures = sched.injectedFailures;
+    out.speculativeCopies = sched.speculativeCopies;
+    out.executorsLost = sched.executorsLost;
+    out.wastedTaskSec = sched.wastedTaskSec;
+    out.aborted = sched.aborted && !final_attempt;
     return out;
 }
 
@@ -357,18 +375,34 @@ RunResult
 SparkSimulator::run(const JobDag &job, const conf::Configuration &config,
                     uint64_t seed) const
 {
+    return run(job, config, seed, FaultSpec{});
+}
+
+RunResult
+SparkSimulator::run(const JobDag &job, const conf::Configuration &config,
+                    uint64_t seed, const FaultSpec &faults) const
+{
     DAC_ASSERT(!job.stages.empty(), "job has no stages");
+
+    const FaultPlan plan(faults, seed);
 
     // The run counter is process-global accounting (dac_cli --metrics);
     // the reference is cached so the hot path skips the registry lock.
     static obs::Counter &simRuns =
         obs::globalMetrics().counter("sim.runs");
     simRuns.increment();
+    if (plan.active()) {
+        static obs::Counter &faultedRuns =
+            obs::globalMetrics().counter("sim.runs.faulted");
+        faultedRuns.increment();
+    }
 
     obs::ScopedSpan runSpan("sim.run");
     if (runSpan.active()) {
         runSpan.attr("job", job.program);
         runSpan.attr("stages", static_cast<uint64_t>(job.stages.size()));
+        if (plan.active())
+            runSpan.attr("faults", "on");
     }
 
     RunContext ctx;
@@ -383,6 +417,7 @@ SparkSimulator::run(const JobDag &job, const conf::Configuration &config,
     RunResult result;
     result.executorsPerNode = ctx.layout.executorsPerNode;
     result.totalSlots = ctx.layout.totalSlots;
+    result.faultsInjected = plan.active();
 
     // Driver OOM (a deterministic function of the configuration and
     // collect sizes) fails the job; the paper's periodic-job user
@@ -408,10 +443,12 @@ SparkSimulator::run(const JobDag &job, const conf::Configuration &config,
             sr.group = stage.group;
 
             for (int it = 0; it < stage.iterations; ++it) {
-                Rng stage_rng = rng.fork(
-                    combineSeed(attempt * 1000 + si, it));
+                const uint64_t stage_id =
+                    combineSeed(attempt * 1000 + si, it);
+                Rng stage_rng = rng.fork(stage_id);
                 const auto outcome = simulateStageIteration(
-                    stage, job, ctx, cache, final_attempt, stage_rng);
+                    stage, job, ctx, cache, final_attempt, stage_rng,
+                    plan, stage_id);
                 if (obs::Tracer::enabled()) {
                     // Simulated (not wall) figures ride along as attrs:
                     // stage timing, GC pauses, spill decisions.
@@ -426,13 +463,45 @@ SparkSimulator::run(const JobDag &job, const conf::Configuration &config,
                           std::to_string(outcome.spilledBytes)},
                          {"task_failures",
                           std::to_string(outcome.failures)}});
+                    if (plan.active()) {
+                        obs::instant(
+                            "sim.faults",
+                            {{"stage", stage.name},
+                             {"attempts",
+                              std::to_string(outcome.attempts)},
+                             {"injected_failures",
+                              std::to_string(outcome.injectedFailures)},
+                             {"spec_copies",
+                              std::to_string(outcome.speculativeCopies)},
+                             {"executors_lost",
+                              std::to_string(outcome.executorsLost)},
+                             {"wasted_sec",
+                              std::to_string(outcome.wastedTaskSec)},
+                             {"aborted",
+                              outcome.aborted ? "1" : "0"}});
+                    }
                 }
                 sr.timeSec += outcome.elapsedSec;
                 sr.gcTimeSec += outcome.gcSec;
                 sr.spilledBytes += outcome.spilledBytes;
                 sr.taskFailures += outcome.failures;
+                sr.taskAttempts += outcome.attempts;
+                sr.speculativeCopies += outcome.speculativeCopies;
+                sr.wastedTaskSec += outcome.wastedTaskSec;
                 result.taskFailures += outcome.failures;
+                result.taskAttempts += outcome.attempts;
+                result.injectedFailures += outcome.injectedFailures;
+                result.speculativeTasks += outcome.speculativeCopies;
+                result.executorsLost += outcome.executorsLost;
+                result.wastedTaskSec += outcome.wastedTaskSec;
                 attempt_time += outcome.elapsedSec;
+                if (outcome.aborted) {
+                    // A task exhausted spark.task.maxFailures; Spark
+                    // fails the job, the periodic-job user resubmits.
+                    ++result.stageAborts;
+                    attempt_failed = true;
+                    break;
+                }
                 if (outcome.driverOom) {
                     attempt_failed = true;
                     break;
@@ -452,6 +521,13 @@ SparkSimulator::run(const JobDag &job, const conf::Configuration &config,
             if (runSpan.active()) {
                 runSpan.attr("sim_sec", result.timeSec);
                 runSpan.attr("restarts", result.jobRestarts);
+                if (plan.active()) {
+                    runSpan.attr("task_attempts",
+                                 static_cast<int64_t>(result.taskAttempts));
+                    runSpan.attr("wasted_task_sec", result.wastedTaskSec);
+                    runSpan.attr("executors_lost",
+                                 static_cast<int64_t>(result.executorsLost));
+                }
             }
             return result;
         }

@@ -17,6 +17,7 @@
 #include "cluster/cluster.h"
 #include "conf/config.h"
 #include "sparksim/dag.h"
+#include "sparksim/faults.h"
 #include "sparksim/runresult.h"
 
 namespace dac::sparksim {
@@ -42,6 +43,25 @@ class SparkSimulator
      */
     RunResult run(const JobDag &job, const conf::Configuration &config,
                   uint64_t seed) const;
+
+    /**
+     * Execute one job under fault injection.
+     *
+     * With `faults` disabled (all probabilities zero, the default
+     * FaultSpec) this is byte-identical to the overload above: the
+     * fault plan consumes no randomness and every code path reduces
+     * to the fault-free one. With faults enabled, task attempts are
+     * simulated discretely — injected failures retried up to
+     * spark.task.maxFailures (a stage abort restarts the job),
+     * injected stragglers cut short by speculation, executor loss
+     * shrinking the slot pool — and the attempt counts, wasted work,
+     * and loss events are surfaced in the RunResult.
+     *
+     * Deterministic for a given (job, config, seed, faults.seed)
+     * regardless of calling thread or query order.
+     */
+    RunResult run(const JobDag &job, const conf::Configuration &config,
+                  uint64_t seed, const FaultSpec &faults) const;
 
     const cluster::ClusterSpec &clusterSpec() const { return *cluster; }
 

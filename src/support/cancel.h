@@ -1,0 +1,127 @@
+/**
+ * @file
+ * Cooperative cancellation: a deadline clock plus a sticky cancel flag.
+ *
+ * Long pipeline stages (HM training rounds, GA generations) poll a
+ * CancelToken at their natural checkpoints and stop early when it
+ * fires. Polling is cheap (one relaxed atomic load, one clock read at
+ * most), never throws, and — crucially for reproducibility — a token
+ * that never fires leaves results bit-identical to a run without one:
+ * the checks consume no randomness and alter no computation.
+ */
+
+#ifndef DAC_SUPPORT_CANCEL_H
+#define DAC_SUPPORT_CANCEL_H
+
+#include <atomic>
+#include <chrono>
+#include <limits>
+
+namespace dac {
+
+/**
+ * A wall-deadline: a fixed point on the steady clock, or "never".
+ *
+ * Copyable value type; comparisons against the clock are the only
+ * operations, so it is trivially thread-compatible.
+ */
+class Deadline
+{
+  public:
+    /** A deadline that never expires. */
+    Deadline() = default;
+
+    /** A deadline `seconds` from now (<= 0 means already expired). */
+    static Deadline
+    after(double seconds)
+    {
+        Deadline d;
+        d.armed = true;
+        d.at = std::chrono::steady_clock::now() +
+            std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+                std::chrono::duration<double>(seconds));
+        return d;
+    }
+
+    /** True when a finite deadline was set. */
+    bool active() const { return armed; }
+
+    /** True when the (finite) deadline has passed. */
+    bool
+    expired() const
+    {
+        return armed && std::chrono::steady_clock::now() >= at;
+    }
+
+    /** Seconds until expiry; +infinity when never, 0 when past. */
+    double
+    remainingSec() const
+    {
+        if (!armed)
+            return std::numeric_limits<double>::infinity();
+        const double rem = std::chrono::duration<double>(
+                               at - std::chrono::steady_clock::now())
+                               .count();
+        return rem > 0.0 ? rem : 0.0;
+    }
+
+  private:
+    bool armed = false;
+    std::chrono::steady_clock::time_point at;
+};
+
+/**
+ * Shared cancellation state for one unit of work.
+ *
+ * The owner arms a deadline and/or calls requestCancel(); workers poll
+ * cancelled() between rounds. Not copyable (identity matters: every
+ * stage of one request polls the same token).
+ */
+class CancelToken
+{
+  public:
+    CancelToken() = default;
+    explicit CancelToken(Deadline deadline) : deadline(deadline) {}
+
+    CancelToken(const CancelToken &) = delete;
+    CancelToken &operator=(const CancelToken &) = delete;
+
+    /** Arm (or replace) the deadline. Not thread-safe vs. polls; set
+     *  it before handing the token to workers. */
+    void setDeadline(Deadline d) { deadline = d; }
+
+    const Deadline &deadlineRef() const { return deadline; }
+
+    /** Fire the token explicitly (sticky; safe from any thread). */
+    void
+    requestCancel()
+    {
+        flag.store(true, std::memory_order_relaxed);
+    }
+
+    /** True once cancelled explicitly or past the deadline. */
+    bool
+    cancelled() const
+    {
+        // Relaxed is enough: cancellation is advisory — a stage that
+        // misses the flag by one round just does one extra round.
+        return flag.load(std::memory_order_relaxed) || deadline.expired();
+    }
+
+    /** Seconds the work may still run (infinity with no deadline). */
+    double
+    remainingSec() const
+    {
+        if (flag.load(std::memory_order_relaxed))
+            return 0.0;
+        return deadline.remainingSec();
+    }
+
+  private:
+    std::atomic<bool> flag{false};
+    Deadline deadline;
+};
+
+} // namespace dac
+
+#endif // DAC_SUPPORT_CANCEL_H

@@ -1,0 +1,369 @@
+/**
+ * @file
+ * Deterministic chaos tests: fault injection must never change what it
+ * does not touch (faults off => byte-identical to the fault-free
+ * simulator) and must be exactly reproducible when it does (same seed
+ * => same faulted result, from any thread count or query order).
+ *
+ * The CI chaos job runs this suite under several DAC_CHAOS_SEED values
+ * and uploads the fault-schedule JSON written to
+ * DAC_CHAOS_SCHEDULE_DIR (when set) as the run artifact.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <fstream>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "service/thread_pool.h"
+#include "sparksim/scheduler.h"
+#include "sparksim/simulator.h"
+#include "workloads/registry.h"
+
+namespace dac::sparksim {
+namespace {
+
+/** Chaos seed under test; the CI matrix varies it per job. */
+uint64_t
+chaosSeed()
+{
+    if (const char *env = std::getenv("DAC_CHAOS_SEED"))
+        return static_cast<uint64_t>(std::strtoull(env, nullptr, 10));
+    return 42;
+}
+
+conf::Configuration
+config(std::function<void(conf::Configuration &)> edit = {})
+{
+    conf::Configuration c(conf::ConfigSpace::spark());
+    if (edit)
+        edit(c);
+    return c;
+}
+
+JobDag
+dagFor(const std::string &abbrev, int size_index = 2)
+{
+    const auto &w = workloads::Registry::instance().byAbbrev(abbrev);
+    return w.buildDag(w.paperSizes()[static_cast<size_t>(size_index)]);
+}
+
+/** Full field-by-field equality of two runs, stages included. */
+void
+expectSameRun(const RunResult &a, const RunResult &b)
+{
+    EXPECT_DOUBLE_EQ(a.timeSec, b.timeSec);
+    EXPECT_DOUBLE_EQ(a.gcTimeSec, b.gcTimeSec);
+    EXPECT_DOUBLE_EQ(a.spilledBytes, b.spilledBytes);
+    EXPECT_EQ(a.taskFailures, b.taskFailures);
+    EXPECT_EQ(a.jobRestarts, b.jobRestarts);
+    EXPECT_EQ(a.faultsInjected, b.faultsInjected);
+    EXPECT_EQ(a.taskAttempts, b.taskAttempts);
+    EXPECT_EQ(a.injectedFailures, b.injectedFailures);
+    EXPECT_EQ(a.speculativeTasks, b.speculativeTasks);
+    EXPECT_EQ(a.executorsLost, b.executorsLost);
+    EXPECT_EQ(a.stageAborts, b.stageAborts);
+    EXPECT_DOUBLE_EQ(a.wastedTaskSec, b.wastedTaskSec);
+    EXPECT_EQ(a.executorsPerNode, b.executorsPerNode);
+    EXPECT_EQ(a.totalSlots, b.totalSlots);
+    ASSERT_EQ(a.stages.size(), b.stages.size());
+    for (size_t i = 0; i < a.stages.size(); ++i) {
+        const StageResult &sa = a.stages[i];
+        const StageResult &sb = b.stages[i];
+        EXPECT_EQ(sa.name, sb.name);
+        EXPECT_DOUBLE_EQ(sa.timeSec, sb.timeSec) << sa.name;
+        EXPECT_DOUBLE_EQ(sa.gcTimeSec, sb.gcTimeSec) << sa.name;
+        EXPECT_DOUBLE_EQ(sa.spilledBytes, sb.spilledBytes) << sa.name;
+        EXPECT_EQ(sa.taskFailures, sb.taskFailures) << sa.name;
+        EXPECT_EQ(sa.taskAttempts, sb.taskAttempts) << sa.name;
+        EXPECT_EQ(sa.speculativeCopies, sb.speculativeCopies) << sa.name;
+        EXPECT_DOUBLE_EQ(sa.wastedTaskSec, sb.wastedTaskSec) << sa.name;
+    }
+}
+
+/**
+ * A declarative chaos scenario: one FaultSpec replayed over a set of
+ * run seeds. The assert* members are the harness's contract checks —
+ * tests compose them instead of re-deriving the comparisons.
+ */
+struct FaultScript
+{
+    FaultSpec spec;
+    std::vector<uint64_t> runSeeds;
+    std::string workload = "TS";
+    int sizeIndex = 2;
+
+    std::vector<RunResult>
+    runSerial(const SparkSimulator &sim,
+              const conf::Configuration &cfg) const
+    {
+        const JobDag dag = dagFor(workload, sizeIndex);
+        std::vector<RunResult> out;
+        out.reserve(runSeeds.size());
+        for (const uint64_t seed : runSeeds)
+            out.push_back(sim.run(dag, cfg, seed, spec));
+        return out;
+    }
+
+    std::vector<RunResult>
+    runParallel(const SparkSimulator &sim, const conf::Configuration &cfg,
+                size_t threads) const
+    {
+        const JobDag dag = dagFor(workload, sizeIndex);
+        std::vector<RunResult> out(runSeeds.size());
+        service::ThreadPool pool(threads);
+        parallelFor(&pool, runSeeds.size(), [&](size_t i) {
+            out[i] = sim.run(dag, cfg, runSeeds[i], spec);
+        });
+        return out;
+    }
+
+    /** Faults off: the 4-arg run must match the 3-arg run exactly. */
+    void
+    assertFaultsOffByteIdentical(const SparkSimulator &sim,
+                                 const conf::Configuration &cfg) const
+    {
+        const JobDag dag = dagFor(workload, sizeIndex);
+        for (const uint64_t seed : runSeeds) {
+            const RunResult golden = sim.run(dag, cfg, seed);
+            const RunResult gated = sim.run(dag, cfg, seed, FaultSpec{});
+            expectSameRun(golden, gated);
+            EXPECT_FALSE(gated.faultsInjected);
+            EXPECT_EQ(gated.taskAttempts, 0);
+            EXPECT_DOUBLE_EQ(gated.wastedTaskSec, 0.0);
+        }
+    }
+
+    /** Same seed => same faulted result, serially and across pools. */
+    void
+    assertReproducible(const SparkSimulator &sim,
+                       const conf::Configuration &cfg,
+                       size_t threads) const
+    {
+        const auto serial = runSerial(sim, cfg);
+        const auto again = runSerial(sim, cfg);
+        const auto pooled = runParallel(sim, cfg, threads);
+        ASSERT_EQ(serial.size(), pooled.size());
+        for (size_t i = 0; i < serial.size(); ++i) {
+            expectSameRun(serial[i], again[i]);
+            expectSameRun(serial[i], pooled[i]);
+        }
+    }
+};
+
+FaultScript
+defaultScript()
+{
+    FaultScript script;
+    script.spec.taskFailProb = 0.05;
+    script.spec.stragglerProb = 0.05;
+    script.spec.execLossProb = 0.10;
+    script.spec.seed = chaosSeed();
+    const uint64_t base = chaosSeed();
+    script.runSeeds = {base, base + 1, base + 2, base + 3,
+                       base + 4, base + 5};
+    return script;
+}
+
+TEST(Chaos, FaultsOffIsByteIdenticalToFaultFreeSimulator)
+{
+    SparkSimulator sim(cluster::ClusterSpec::paperTestbed());
+    FaultScript script = defaultScript();
+    for (const char *abbrev : {"TS", "KM", "WC"}) {
+        script.workload = abbrev;
+        script.assertFaultsOffByteIdentical(sim, config());
+    }
+}
+
+TEST(Chaos, PlainSchedulerMatchesInactivePlanExactly)
+{
+    const SparkKnobs k =
+        SparkKnobs::decode(conf::Configuration(conf::ConfigSpace::spark()));
+    TaskProfile profile;
+    profile.baseSec = 2.0;
+    const std::vector<uint64_t> seeds{1, 7, chaosSeed()};
+    for (const uint64_t seed : seeds) {
+        Rng plain(seed);
+        Rng gated(seed);
+        const auto a = scheduleStage(40, 12, profile, k, plain);
+        const auto b =
+            scheduleStage(40, 12, profile, k, gated, FaultPlan{}, 0, 4);
+        EXPECT_DOUBLE_EQ(a.elapsedSec, b.elapsedSec);
+        EXPECT_DOUBLE_EQ(a.totalTaskSec, b.totalTaskSec);
+        EXPECT_EQ(a.failures, b.failures);
+        EXPECT_EQ(b.attemptsLaunched, 0);
+        EXPECT_FALSE(b.aborted);
+        // The plan consumed nothing from the scheduler's RNG stream.
+        EXPECT_EQ(plain.raw(), gated.raw());
+    }
+}
+
+TEST(Chaos, SameSeedReproducesAcrossThreadCounts)
+{
+    SparkSimulator sim(cluster::ClusterSpec::paperTestbed());
+    const FaultScript script = defaultScript();
+    script.assertReproducible(sim, config(), 1);
+    script.assertReproducible(sim, config(), 4);
+}
+
+TEST(Chaos, FaultPlanQueriesAreOrderIndependent)
+{
+    FaultSpec spec;
+    spec.taskFailProb = 0.3;
+    spec.stragglerProb = 0.3;
+    spec.execLossProb = 0.5;
+    spec.seed = chaosSeed();
+    const FaultPlan plan(spec, 7);
+    const FaultPlan replay(spec, 7);
+
+    // Forward on one plan, backward on its twin: identical decisions.
+    for (int task = 0; task < 64; ++task) {
+        const int mirror = 63 - task;
+        EXPECT_EQ(plan.attemptFails(3, task, 1),
+                  replay.attemptFails(3, task, 1));
+        EXPECT_EQ(plan.taskStraggles(3, mirror),
+                  replay.taskStraggles(3, mirror));
+    }
+    for (uint64_t stage = 0; stage < 16; ++stage) {
+        EXPECT_EQ(plan.executorLossBefore(stage, 64),
+                  replay.executorLossBefore(stage, 64));
+    }
+    // Different run seed => a different (but still defined) schedule.
+    const FaultPlan other(spec, 8);
+    int differing = 0;
+    for (int task = 0; task < 64; ++task) {
+        differing +=
+            plan.attemptFails(3, task, 1) != other.attemptFails(3, task, 1)
+            ? 1
+            : 0;
+    }
+    EXPECT_GT(differing, 0);
+}
+
+TEST(Chaos, InjectedTaskFailuresAreRetriedAndAccounted)
+{
+    SparkSimulator sim(cluster::ClusterSpec::paperTestbed());
+    const JobDag dag = dagFor("TS");
+    FaultSpec spec;
+    spec.taskFailProb = 0.2;
+    spec.seed = chaosSeed();
+
+    const RunResult rough = sim.run(dag, config(), 7, spec);
+    EXPECT_TRUE(rough.faultsInjected);
+    EXPECT_GT(rough.injectedFailures, 0);
+    EXPECT_GT(rough.taskAttempts, rough.injectedFailures);
+    EXPECT_GT(rough.wastedTaskSec, 0.0);
+    // No wall-clock comparison against the calm run here: retries
+    // consume extra duration draws, so the faulted run follows a
+    // different noise trajectory and either may be longer on a given
+    // seed. The monotone claim lives in QuietProfile* below, where
+    // the trajectory is pinned.
+}
+
+TEST(Chaos, QuietProfileFaultsOnlyAddTime)
+{
+    // Zero-noise profile: every duration is deterministic, so the
+    // faulted schedule differs from the plain one exactly by the
+    // injected retries — wall-clock can only grow.
+    const SparkKnobs k =
+        SparkKnobs::decode(conf::Configuration(conf::ConfigSpace::spark()));
+    TaskProfile profile;
+    profile.baseSec = 2.0;
+    profile.noiseSigma = 0.0;
+    profile.stragglerProb = 0.0;
+
+    FaultSpec spec;
+    spec.taskFailProb = 0.3;
+    spec.seed = chaosSeed();
+    const FaultPlan plan(spec, 7);
+
+    Rng plain_rng(9);
+    Rng faulted_rng(9);
+    const auto plain = scheduleStage(40, 12, profile, k, plain_rng);
+    const auto faulted =
+        scheduleStage(40, 12, profile, k, faulted_rng, plan, 0, 4);
+    EXPECT_GT(faulted.injectedFailures, 0);
+    EXPECT_GE(faulted.elapsedSec, plain.elapsedSec);
+    EXPECT_GT(faulted.totalTaskSec, plain.totalTaskSec);
+    EXPECT_DOUBLE_EQ(faulted.wastedTaskSec,
+                     faulted.totalTaskSec - plain.totalTaskSec);
+}
+
+TEST(Chaos, ExecutorLossShrinksTheStageAndIsCounted)
+{
+    SparkSimulator sim(cluster::ClusterSpec::paperTestbed());
+    const JobDag dag = dagFor("KM");
+    FaultSpec spec;
+    spec.execLossProb = 1.0; // every stage iteration loses one
+    spec.seed = chaosSeed();
+
+    const RunResult r = sim.run(dag, config(), 7, spec);
+    EXPECT_GT(r.executorsLost, 0);
+    EXPECT_GT(r.wastedTaskSec, 0.0);
+    EXPECT_GT(r.timeSec, 0.0);
+}
+
+TEST(Chaos, RetryExhaustionAbortsAndResubmitsTheJob)
+{
+    SparkSimulator sim(cluster::ClusterSpec::paperTestbed());
+    const JobDag dag = dagFor("TS");
+    FaultSpec spec;
+    spec.taskFailProb = 0.97; // virtually every attempt dies
+    spec.seed = chaosSeed();
+
+    const RunResult r = sim.run(dag, config(), 7, spec);
+    EXPECT_GT(r.stageAborts, 0);
+    EXPECT_GT(r.jobRestarts, 0);
+    // The run still terminates with a defined (large) duration.
+    EXPECT_GT(r.timeSec, 0.0);
+}
+
+TEST(Chaos, SpeculationCutsInjectedStragglersShort)
+{
+    SparkSimulator sim(cluster::ClusterSpec::paperTestbed());
+    const JobDag dag = dagFor("TS");
+    FaultSpec spec;
+    spec.stragglerProb = 0.15;
+    spec.stragglerFactor = 8.0;
+    spec.seed = chaosSeed();
+
+    const auto plain = config();
+    const auto speculative =
+        config([](auto &c) { c.set(conf::Speculation, 1); });
+    const RunResult slow = sim.run(dag, plain, 7, spec);
+    const RunResult saved = sim.run(dag, speculative, 7, spec);
+    EXPECT_EQ(slow.speculativeTasks, 0);
+    EXPECT_GT(saved.speculativeTasks, 0);
+    // Copies that outran their stragglers bought wall-clock back.
+    EXPECT_LT(saved.timeSec, slow.timeSec);
+}
+
+TEST(Chaos, ScheduleJsonIsDeterministicAndUploadable)
+{
+    FaultSpec spec;
+    spec.taskFailProb = 0.2;
+    spec.stragglerProb = 0.1;
+    spec.execLossProb = 0.3;
+    spec.seed = chaosSeed();
+    const FaultPlan plan(spec, 7);
+
+    const std::string json = plan.scheduleJson(6, 32, 4);
+    EXPECT_EQ(json, FaultPlan(spec, 7).scheduleJson(6, 32, 4));
+    EXPECT_NE(json.find("\"events\""), std::string::npos);
+    EXPECT_NE(json.find("\"seed\""), std::string::npos);
+
+    // CI sets DAC_CHAOS_SCHEDULE_DIR and uploads what lands there.
+    if (const char *dir = std::getenv("DAC_CHAOS_SCHEDULE_DIR")) {
+        const std::string path = std::string(dir) + "/fault_schedule_" +
+            std::to_string(chaosSeed()) + ".json";
+        std::ofstream out(path);
+        ASSERT_TRUE(out.good()) << path;
+        out << json << "\n";
+    }
+}
+
+} // namespace
+} // namespace dac::sparksim

@@ -1,0 +1,126 @@
+/**
+ * @file
+ * Property-based tests for the configuration layer: ~1k seeded random
+ * configurations per space checking that (a) the normalized encoding
+ * round-trips exactly and (b) constraint verdicts do not depend on the
+ * order parameter values were assigned in.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+#include <vector>
+
+#include "conf/constraints.h"
+#include "conf/generator.h"
+#include "support/random.h"
+
+namespace dac::conf {
+namespace {
+
+constexpr size_t kCases = 1000;
+
+/** Stable rendering of a verdict for equality comparison. */
+std::string
+verdict(const Configuration &c, const cluster::ClusterSpec &cluster)
+{
+    return renderViolations(validateForCluster(c, cluster));
+}
+
+TEST(ConfigProperties, NormalizedRoundTripIsExactSparkSpace)
+{
+    const ConfigSpace &space = ConfigSpace::spark();
+    ConfigGenerator gen(space, Rng(2026));
+    for (size_t i = 0; i < kCases; ++i) {
+        const Configuration c = gen.random();
+        const auto unit = c.toNormalized();
+        for (const double u : unit) {
+            ASSERT_GE(u, 0.0);
+            ASSERT_LE(u, 1.0);
+        }
+        const Configuration back = Configuration::fromNormalized(space,
+                                                                 unit);
+        // Exact, not approximate: a legal value must survive the
+        // encode/decode pair bit for bit, or the GA would drift.
+        ASSERT_EQ(back.values(), c.values()) << "case " << i;
+    }
+}
+
+TEST(ConfigProperties, NormalizedRoundTripIsExactHadoopSpace)
+{
+    const ConfigSpace &space = ConfigSpace::hadoop();
+    ConfigGenerator gen(space, Rng(1337));
+    for (size_t i = 0; i < kCases; ++i) {
+        const Configuration c = gen.random();
+        const Configuration back =
+            Configuration::fromNormalized(space, c.toNormalized());
+        ASSERT_EQ(back.values(), c.values()) << "case " << i;
+    }
+}
+
+TEST(ConfigProperties, DoubleRoundTripIsIdempotent)
+{
+    // decode(encode(x)) == x implies stability, but check the second
+    // application explicitly: no slow drift through repeated trips.
+    const ConfigSpace &space = ConfigSpace::spark();
+    ConfigGenerator gen(space, Rng(99));
+    for (size_t i = 0; i < 200; ++i) {
+        const Configuration c = gen.random();
+        const Configuration once =
+            Configuration::fromNormalized(space, c.toNormalized());
+        const Configuration twice =
+            Configuration::fromNormalized(space, once.toNormalized());
+        ASSERT_EQ(once.values(), twice.values()) << "case " << i;
+    }
+}
+
+TEST(ConfigProperties, ConstraintVerdictIgnoresAssignmentOrder)
+{
+    const ConfigSpace &space = ConfigSpace::spark();
+    const auto &cluster = cluster::ClusterSpec::paperTestbed();
+    ConfigGenerator gen(space, Rng(424242));
+    Rng shuffler(171717);
+
+    for (size_t i = 0; i < kCases; ++i) {
+        const Configuration sample = gen.random();
+
+        // Rebuild the same configuration twice: in space order and in
+        // a shuffled parameter order. set() snaps as it goes, so this
+        // also checks snapping is per-parameter (order-free).
+        std::vector<size_t> order(space.size());
+        std::iota(order.begin(), order.end(), size_t{0});
+        for (size_t j = order.size(); j > 1; --j)
+            std::swap(order[j - 1], order[shuffler.index(j)]);
+
+        Configuration forward(space);
+        for (size_t j = 0; j < space.size(); ++j)
+            forward.set(j, sample.get(j));
+        Configuration shuffled(space);
+        for (const size_t j : order)
+            shuffled.set(j, sample.get(j));
+
+        ASSERT_EQ(forward.values(), shuffled.values()) << "case " << i;
+        ASSERT_EQ(verdict(forward, cluster), verdict(shuffled, cluster))
+            << "case " << i;
+    }
+}
+
+TEST(ConfigProperties, VerdictIsDeterministicAcrossCalls)
+{
+    const ConfigSpace &space = ConfigSpace::spark();
+    const auto &cluster = cluster::ClusterSpec::paperTestbed();
+    ConfigGenerator gen(space, Rng(5));
+    for (size_t i = 0; i < 200; ++i) {
+        const Configuration c = gen.random();
+        const auto first = validateForCluster(c, cluster);
+        const auto second = validateForCluster(c, cluster);
+        ASSERT_EQ(renderViolations(first), renderViolations(second));
+        // Violations keep their documented report order.
+        for (size_t v = 1; v < first.size(); ++v)
+            ASSERT_NE(first[v].constraint, first[v - 1].constraint);
+    }
+}
+
+} // namespace
+} // namespace dac::conf
