@@ -1,18 +1,24 @@
 /**
  * @file
- * Example: running DAC as a long-lived tuning service.
+ * The DAC tuning server binary: a thin main over net::TuningServer
+ * serving a TuningService (the transport-agnostic backend) on TCP.
  *
- * A TuningService wraps the collect -> model -> search pipeline behind
- * an asynchronous submit() API: worker threads from a shared pool
- * serve requests, trained models are cached per (workload, cluster,
- * datasize band), and identical concurrent requests coalesce into one
- * computation. This example plays the role of several clients - think
- * of a cluster scheduler asking "how should tonight's job be
- * configured?" for a handful of periodic jobs - and then prints the
- * service's own status report.
+ * Two modes:
  *
- * Usage: tuning_server [threads] [--prometheus] [--trace-out=FILE]
+ *  - Demo (default): start the server on an ephemeral loopback port,
+ *    play several clients over the real wire — including a pipelined
+ *    batch the server drains in one readiness cycle — and print the
+ *    responses, the per-response constraint warnings the protocol now
+ *    carries, and the service/server status. This is what CI smokes.
+ *  - Serve (--port=N): bind the given port and serve until SIGINT or
+ *    SIGTERM, then drain and print the wire stats.
  *
+ * Usage: tuning_server [threads] [--port=N] [--loops=N]
+ *                      [--prometheus] [--trace-out=FILE]
+ *
+ *   threads           service worker threads (0 = one per hw thread)
+ *   --port=N          serve mode: bind 127.0.0.1:N until SIGINT/SIGTERM
+ *   --loops=N         worker event loops (default 2)
  *   --prometheus      also print the service metrics in Prometheus
  *                     text exposition format (what a real deployment
  *                     would serve on /metrics)
@@ -21,7 +27,7 @@
  *                     summary table
  */
 
-#include <future>
+#include <csignal>
 #include <iostream>
 #include <string>
 #include <thread>
@@ -29,6 +35,8 @@
 
 #include "conf/constraints.h"
 #include "conf/diff.h"
+#include "net/client.h"
+#include "net/server.h"
 #include "obs/chrome_trace.h"
 #include "obs/summary.h"
 #include "obs/tracer.h"
@@ -36,13 +44,40 @@
 #include "support/string_utils.h"
 #include "support/table.h"
 
+namespace {
+
+volatile std::sig_atomic_t g_stop = 0;
+
+void
+onSignal(int)
+{
+    g_stop = 1;
+}
+
+void
+printServerStats(const dac::net::TuningServer::Stats &stats)
+{
+    std::cout << "wire: " << stats.connectionsAccepted
+              << " connection(s), " << stats.framesReceived
+              << " frame(s) in / " << stats.framesSent << " out, "
+              << stats.requestsSubmitted << " request(s) in "
+              << stats.batchesSubmitted << " batch(es) (max batch "
+              << stats.maxBatch << "), " << stats.protocolErrors
+              << " protocol error(s)\n";
+}
+
+} // namespace
+
 int
 main(int argc, char **argv)
 {
     using namespace dac;
 
     size_t threads = 4;
+    size_t loops = 2;
     bool prometheus = false;
+    bool serve = false;
+    uint16_t port = 0;
     std::string trace_path;
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
@@ -50,12 +85,19 @@ main(int argc, char **argv)
             prometheus = true;
         } else if (startsWith(arg, "--trace-out=")) {
             trace_path = arg.substr(std::string("--trace-out=").size());
+        } else if (startsWith(arg, "--port=")) {
+            serve = true;
+            port = static_cast<uint16_t>(
+                std::stoul(arg.substr(std::string("--port=").size())));
+        } else if (startsWith(arg, "--loops=")) {
+            loops = std::stoul(arg.substr(std::string("--loops=").size()));
         } else {
             try {
                 threads = std::stoul(arg);
             } catch (const std::exception &) {
-                std::cerr << "usage: tuning_server [threads]"
-                          << " [--prometheus] [--trace-out=FILE]\n";
+                std::cerr << "usage: tuning_server [threads] [--port=N]"
+                          << " [--loops=N] [--prometheus]"
+                          << " [--trace-out=FILE]\n";
                 return 1;
             }
         }
@@ -86,20 +128,48 @@ main(int argc, char **argv)
     options.tuning.ga.maxGenerations = 30;
 
     service::TuningService service(sim, options);
-    std::cout << "tuning service up: " << threads << " worker(s), "
-              << "model cache capacity "
-              << options.modelCacheCapacity << "\n\n";
 
-    // The client mix: two clients ask about the same TeraSort job
-    // (they coalesce), one asks about TeraSort at a drifted size in
-    // the same datasize band (model-cache hit, fresh GA search), and
-    // the rest are distinct jobs (cold builds).
-    struct Client
+    net::ServerOptions sopt;
+    sopt.port = port;
+    sopt.eventLoops = loops;
+    net::TuningServer server(service, sopt);
+    server.start();
+
+    std::cout << "tuning service up: " << threads << " worker(s), "
+              << loops << " event loop(s), model cache capacity "
+              << options.modelCacheCapacity << " across "
+              << options.modelCacheShards << " shard(s), listening on "
+              << sopt.host << ":" << server.port() << "\n\n";
+
+    if (serve) {
+        // Serve mode: run until asked to stop, then drain cleanly.
+        struct sigaction action = {};
+        action.sa_handler = onSignal;
+        sigaction(SIGINT, &action, nullptr);
+        sigaction(SIGTERM, &action, nullptr);
+        while (g_stop == 0)
+            std::this_thread::sleep_for(std::chrono::milliseconds(50));
+        std::cout << "signal received; draining\n";
+        server.stop();
+        printServerStats(server.stats());
+        std::cout << service.statusReport();
+        service.shutdown();
+        std::cout << "\nserver drained and shut down.\n";
+        return 0;
+    }
+
+    // Demo mode: the client mix, played over the real wire. The first
+    // two clients pipeline identical TeraSort requests in one batch
+    // (the server drains them in one readiness cycle and the backend
+    // answers the duplicate from the first — "coalesced"), one asks at
+    // a drifted size in the same datasize band (model-cache hit, fresh
+    // GA search), and the rest are distinct jobs (cold builds).
+    struct DemoClient
     {
         std::string name;
         service::TuneRequest request;
     };
-    std::vector<Client> clients;
+    std::vector<DemoClient> clients;
     const auto makeRequest = [](const std::string &workload,
                                 double size) {
         service::TuneRequest req;
@@ -113,17 +183,20 @@ main(int argc, char **argv)
     clients.push_back({"log-wordcount", makeRequest("WC", 80.0)});
     clients.push_back({"user-clustering", makeRequest("KM", 200.0)});
 
-    std::vector<std::future<service::TuneResponse>> futures;
-    futures.reserve(clients.size());
+    net::Client wire("127.0.0.1", server.port());
+    wire.ping(); // transport health check before real traffic
+
+    std::vector<service::TuneRequest> batch;
+    batch.reserve(clients.size());
     for (const auto &client : clients)
-        futures.push_back(service.submit(client.request));
+        batch.push_back(client.request);
+    const auto responses = wire.requestBatch(batch);
 
     printBanner(std::cout, "responses");
     TextTable table({"client", "job", "size", "predicted (s)",
                      "model err %", "model", "latency (s)"});
-    std::vector<service::TuneResponse> responses;
     for (size_t i = 0; i < clients.size(); ++i) {
-        const auto response = futures[i].get();
+        const auto &response = responses[i];
         const std::string source = response.coalesced ? "coalesced"
                                    : response.modelCacheHit
                                        ? "cache hit"
@@ -133,11 +206,10 @@ main(int argc, char **argv)
                       formatDouble(response.predictedTimeSec, 1),
                       formatDouble(response.modelErrorPct, 1), source,
                       formatDouble(response.latencySec, 2)});
-        responses.push_back(response);
         // Tuned configurations can violate cluster-level couplings the
-        // per-parameter ranges cannot express; tell the operator.
-        for (const auto &v : conf::validateForCluster(
-                 response.best, cluster::ClusterSpec::paperTestbed())) {
+        // per-parameter ranges cannot express; the response carries
+        // the findings as typed fields over the wire.
+        for (const auto &v : response.warnings) {
             std::cerr << "warning (" << clients[i].name
                       << "): " << v.constraint << ": " << v.message
                       << "\n";
@@ -156,12 +228,15 @@ main(int argc, char **argv)
 
     printBanner(std::cout, "service status");
     std::cout << service.statusReport();
+    printServerStats(server.stats());
 
     if (prometheus) {
         printBanner(std::cout, "prometheus exposition");
         std::cout << service.metrics().renderPrometheus();
     }
 
+    wire.close();
+    server.stop();
     service.shutdown();
 
     if (!trace_path.empty()) {

@@ -21,6 +21,7 @@ layerRanks()
         {"analysis", 10}, {"conf", 20},    {"ml", 30},
         {"ga", 30},      {"sparksim", 40}, {"hadoopsim", 40},
         {"workloads", 50}, {"dac", 60},    {"service", 70},
+        {"net", 80},
     };
     return ranks;
 }

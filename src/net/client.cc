@@ -1,0 +1,121 @@
+#include "net/client.h"
+
+#include <algorithm>
+
+#include "net/protocol.h"
+#include "support/logging.h"
+
+namespace dac::net {
+
+Client::Client(const std::string &host, uint16_t port,
+               const conf::ConfigSpace &space, double timeout_sec)
+    : socket(connectTcp(host, port)), space(&space),
+      timeoutSec(timeout_sec)
+{
+}
+
+service::TuneResponse
+Client::request(const service::TuneRequest &request)
+{
+    const uint32_t id = nextId++;
+    const auto payload = encodeTuneRequest(request);
+    const auto frame = encodeFrame(MsgType::TuneRequest, id, payload);
+    if (!writeAll(socket.fd(), frame.data(), frame.size()))
+        throw RpcError("connection lost while sending request");
+    const Frame reply = awaitFrame(id);
+    if (reply.type == MsgType::Error)
+        throw RpcError(decodeError(reply.payload));
+    if (reply.type != MsgType::TuneResponse)
+        throw RpcError("unexpected reply frame type");
+    return decodeTuneResponse(reply.payload, *space);
+}
+
+std::vector<service::TuneResponse>
+Client::requestBatch(const std::vector<service::TuneRequest> &requests)
+{
+    // One coalesced write: the server's read loop drains all of these
+    // in a single readiness cycle and submits them as one batch.
+    std::vector<uint8_t> wire;
+    std::vector<uint32_t> ids;
+    ids.reserve(requests.size());
+    for (const auto &request : requests) {
+        const uint32_t id = nextId++;
+        ids.push_back(id);
+        const auto payload = encodeTuneRequest(request);
+        appendFrame(wire, MsgType::TuneRequest, id, payload.data(),
+                    payload.size());
+    }
+    if (!wire.empty() &&
+        !writeAll(socket.fd(), wire.data(), wire.size()))
+        throw RpcError("connection lost while sending batch");
+
+    std::vector<service::TuneResponse> responses;
+    responses.reserve(requests.size());
+    for (const uint32_t id : ids) {
+        const Frame reply = awaitFrame(id);
+        if (reply.type == MsgType::Error)
+            throw RpcError(decodeError(reply.payload));
+        if (reply.type != MsgType::TuneResponse)
+            throw RpcError("unexpected reply frame type");
+        responses.push_back(decodeTuneResponse(reply.payload, *space));
+    }
+    return responses;
+}
+
+void
+Client::ping()
+{
+    const uint32_t id = nextId++;
+    std::vector<uint8_t> frame;
+    appendFrame(frame, MsgType::Ping, id, nullptr, 0);
+    if (!writeAll(socket.fd(), frame.data(), frame.size()))
+        throw RpcError("connection lost while sending ping");
+    const Frame reply = awaitFrame(id);
+    if (reply.type != MsgType::Pong)
+        throw RpcError("ping answered by a non-pong frame");
+}
+
+void
+Client::close()
+{
+    socket.close();
+}
+
+Frame
+Client::awaitFrame(uint32_t request_id)
+{
+    // Pipelined responses may arrive in any order; earlier calls park
+    // frames they were not waiting for.
+    const auto parkedHit = std::find_if(
+        parked.begin(), parked.end(), [request_id](const Frame &f) {
+            return f.requestId == request_id;
+        });
+    if (parkedHit != parked.end()) {
+        Frame frame = std::move(*parkedHit);
+        parked.erase(parkedHit);
+        return frame;
+    }
+
+    uint8_t chunk[kReadChunkBytes];
+    for (;;) {
+        Frame frame;
+        const FrameDecoder::Result result = decoder.next(&frame);
+        if (result == FrameDecoder::Result::Malformed)
+            throw RpcError("malformed reply stream: " + decoder.error());
+        if (result == FrameDecoder::Result::Frame) {
+            if (frame.requestId == request_id)
+                return frame;
+            parked.push_back(std::move(frame));
+            continue;
+        }
+        const long n = readWithTimeout(socket.fd(), chunk,
+                                       sizeof(chunk), timeoutSec);
+        if (n < 0)
+            throw RpcError("timed out waiting for a reply");
+        if (n == 0)
+            throw RpcError("server closed the connection");
+        decoder.feed(chunk, static_cast<size_t>(n));
+    }
+}
+
+} // namespace dac::net

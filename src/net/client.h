@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Blocking client for the DAC frame protocol: one TCP connection, a
+ * synchronous request() call, and a pipelined batch call that writes
+ * N frames back-to-back and collects the N responses by request id.
+ *
+ * Used by the load generator (bench_net_serving), the wire tests, and
+ * the tuning_server demo clients. Deliberately simple: one thread per
+ * Client, no internal locking.
+ */
+
+#ifndef DAC_NET_CLIENT_H
+#define DAC_NET_CLIENT_H
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "conf/space.h"
+#include "net/frame.h"
+#include "net/socket.h"
+#include "service/request.h"
+
+namespace dac::net {
+
+/** The server answered a request with an Error frame, or the
+ *  connection/protocol broke mid-call. */
+struct RpcError : std::runtime_error
+{
+    explicit RpcError(const std::string &what)
+        : std::runtime_error(what)
+    {
+    }
+};
+
+class Client
+{
+  public:
+    /**
+     * Connect to a frame server; retries briefly while the port is
+     * not yet listening. fatalError() when it never comes up.
+     *
+     * @param space The config space responses decode against
+     *              (defaults to the Spark space every DAC server
+     *              speaks today).
+     */
+    Client(const std::string &host, uint16_t port,
+           const conf::ConfigSpace &space = conf::ConfigSpace::spark(),
+           double timeout_sec = 30.0);
+
+    /** Send one request and block for its response. */
+    [[nodiscard]] service::TuneResponse
+    request(const service::TuneRequest &request);
+
+    /**
+     * Pipeline a batch: write every request in one buffer (the server
+     * sees them in one readiness cycle — wire-level batching), then
+     * collect responses and return them in request order whatever
+     * order they arrived in.
+     */
+    [[nodiscard]] std::vector<service::TuneResponse>
+    requestBatch(const std::vector<service::TuneRequest> &requests);
+
+    /** Round-trip a Ping frame (transport health check). */
+    void ping();
+
+    /** Close the connection (the destructor also does). */
+    void close();
+
+  private:
+    /** Block until the frame answering `request_id` arrives. */
+    Frame awaitFrame(uint32_t request_id);
+
+    Socket socket;
+    const conf::ConfigSpace *space;
+    FrameDecoder decoder;
+    double timeoutSec;
+    uint32_t nextId = 1;
+    /** Frames that arrived before their turn (pipelined reordering). */
+    std::vector<Frame> parked;
+};
+
+} // namespace dac::net
+
+#endif // DAC_NET_CLIENT_H

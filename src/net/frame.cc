@@ -1,0 +1,152 @@
+#include "net/frame.h"
+
+#include "support/logging.h"
+
+namespace dac::net {
+
+namespace {
+
+/** Little-endian store, independent of host endianness. */
+void
+putU32(std::vector<uint8_t> &out, uint32_t v)
+{
+    out.push_back(static_cast<uint8_t>(v & 0xffu));
+    out.push_back(static_cast<uint8_t>((v >> 8) & 0xffu));
+    out.push_back(static_cast<uint8_t>((v >> 16) & 0xffu));
+    out.push_back(static_cast<uint8_t>((v >> 24) & 0xffu));
+}
+
+uint32_t
+loadU32(const uint8_t *p)
+{
+    return static_cast<uint32_t>(p[0]) |
+           (static_cast<uint32_t>(p[1]) << 8) |
+           (static_cast<uint32_t>(p[2]) << 16) |
+           (static_cast<uint32_t>(p[3]) << 24);
+}
+
+uint16_t
+loadU16(const uint8_t *p)
+{
+    return static_cast<uint16_t>(static_cast<uint16_t>(p[0]) |
+                                 (static_cast<uint16_t>(p[1]) << 8));
+}
+
+} // namespace
+
+bool
+isKnownMsgType(uint8_t value)
+{
+    switch (static_cast<MsgType>(value)) {
+    case MsgType::TuneRequest:
+    case MsgType::TuneResponse:
+    case MsgType::Error:
+    case MsgType::Ping:
+    case MsgType::Pong:
+        return true;
+    }
+    return false;
+}
+
+void
+appendFrame(std::vector<uint8_t> &out, MsgType type, uint32_t request_id,
+            const uint8_t *payload, size_t payload_len)
+{
+    DAC_ASSERT(payload_len <= kMaxPayloadBytes,
+               "frame payload exceeds the protocol ceiling");
+    out.reserve(out.size() + kFrameHeaderBytes + payload_len);
+    putU32(out, kFrameMagic);
+    out.push_back(kProtocolVersion);
+    out.push_back(static_cast<uint8_t>(type));
+    // Reserved flags, zero until a later protocol version needs them.
+    out.push_back(0);
+    out.push_back(0);
+    putU32(out, request_id);
+    putU32(out, static_cast<uint32_t>(payload_len));
+    out.insert(out.end(), payload, payload + payload_len);
+}
+
+std::vector<uint8_t>
+encodeFrame(MsgType type, uint32_t request_id,
+            const std::vector<uint8_t> &payload)
+{
+    std::vector<uint8_t> out;
+    appendFrame(out, type, request_id, payload.data(), payload.size());
+    return out;
+}
+
+FrameDecoder::FrameDecoder(size_t max_payload)
+    : maxPayload(max_payload)
+{
+}
+
+void
+FrameDecoder::feed(const uint8_t *data, size_t len)
+{
+    if (malformed || len == 0)
+        return;
+    // Compact once the consumed prefix dominates, so a long-lived
+    // connection does not grow its buffer without bound.
+    if (offset > 0 && offset >= buffer.size() / 2) {
+        buffer.erase(buffer.begin(),
+                     buffer.begin() + static_cast<ptrdiff_t>(offset));
+        offset = 0;
+    }
+    buffer.insert(buffer.end(), data, data + len);
+}
+
+FrameDecoder::Result
+FrameDecoder::next(Frame *out)
+{
+    DAC_ASSERT(out != nullptr, "FrameDecoder::next needs an out frame");
+    if (malformed)
+        return Result::Malformed;
+    const size_t available = buffer.size() - offset;
+    if (available < kFrameHeaderBytes)
+        return Result::NeedMore;
+
+    const uint8_t *header = buffer.data() + offset;
+    const uint32_t magic = loadU32(header);
+    if (magic != kFrameMagic) {
+        malformed = true;
+        errorText = "bad frame magic";
+        return Result::Malformed;
+    }
+    const uint8_t version = header[4];
+    if (version != kProtocolVersion) {
+        malformed = true;
+        errorText =
+            "unsupported protocol version " + std::to_string(version);
+        return Result::Malformed;
+    }
+    const uint8_t type = header[5];
+    if (!isKnownMsgType(type)) {
+        malformed = true;
+        errorText = "unknown frame type " + std::to_string(type);
+        return Result::Malformed;
+    }
+    if (loadU16(header + 6) != 0) {
+        malformed = true;
+        errorText = "nonzero reserved flags";
+        return Result::Malformed;
+    }
+    const uint32_t request_id = loadU32(header + 8);
+    const uint32_t payload_len = loadU32(header + 12);
+    if (payload_len > maxPayload) {
+        malformed = true;
+        errorText = "oversized payload (" + std::to_string(payload_len) +
+                    " bytes)";
+        return Result::Malformed;
+    }
+    if (available < kFrameHeaderBytes + payload_len)
+        return Result::NeedMore;
+
+    out->type = static_cast<MsgType>(type);
+    out->requestId = request_id;
+    const uint8_t *body = header + kFrameHeaderBytes;
+    out->payload.assign(body, body + payload_len);
+    offset += kFrameHeaderBytes + payload_len;
+    return Result::Frame;
+}
+
+} // namespace dac::net

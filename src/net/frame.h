@@ -1,0 +1,130 @@
+/**
+ * @file
+ * The DAC wire protocol's framing layer: a versioned little-endian
+ * binary frame (magic, version, type, request id, length-prefixed
+ * payload) plus an incremental decoder that reassembles frames from
+ * arbitrarily split reads.
+ *
+ * Framing and payload encoding are separate layers: this file moves
+ * opaque payload bytes; protocol.h gives them meaning. The decoder is
+ * deliberately paranoid — a stream is untrusted input — and classifies
+ * every defect (bad magic, unknown version, oversized length) as
+ * Malformed so the server can drop the connection instead of guessing
+ * at resynchronization.
+ */
+
+#ifndef DAC_NET_FRAME_H
+#define DAC_NET_FRAME_H
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace dac::net {
+
+/** Frame type tag (one byte on the wire). */
+enum class MsgType : uint8_t {
+    /** Payload: an encoded TuneRequest (protocol.h). */
+    TuneRequest = 1,
+    /** Payload: an encoded TuneResponse. */
+    TuneResponse = 2,
+    /** Payload: a UTF-8 error message; requestId echoes the request
+     *  that failed (0 when the error is connection-level). */
+    Error = 3,
+    /** Health check; empty payload, answered in the event loop. */
+    Ping = 4,
+    /** Answer to Ping; requestId echoed. */
+    Pong = 5,
+};
+
+/** True for the MsgType values the protocol defines. */
+[[nodiscard]] bool isKnownMsgType(uint8_t value);
+
+/** Start-of-frame marker; little-endian on the wire. */
+inline constexpr uint32_t kFrameMagic = 0xDAC0FA3E;
+/** Protocol version this build speaks. */
+inline constexpr uint8_t kProtocolVersion = 1;
+/** Frame header size on the wire, bytes. */
+inline constexpr size_t kFrameHeaderBytes = 16;
+/** Default payload-size ceiling (1 MiB): a TuneResponse is a few
+ *  hundred bytes, so anything near this is garbage or abuse. */
+inline constexpr size_t kMaxPayloadBytes = size_t{1} << 20;
+
+/**
+ * One decoded frame.
+ */
+struct Frame
+{
+    MsgType type = MsgType::Error;
+    /** Caller-chosen correlation id; responses echo it, so a client
+     *  may pipeline requests and match answers out of order. */
+    uint32_t requestId = 0;
+    std::vector<uint8_t> payload;
+};
+
+/**
+ * Append one encoded frame to `out`.
+ *
+ * Appending (rather than returning) is the write-coalescing hook: the
+ * server encodes every response of a batch into one buffer and hands
+ * the kernel a single write.
+ */
+void appendFrame(std::vector<uint8_t> &out, MsgType type,
+                 uint32_t request_id, const uint8_t *payload,
+                 size_t payload_len);
+
+/** Convenience: one frame as a fresh buffer. */
+[[nodiscard]] std::vector<uint8_t>
+encodeFrame(MsgType type, uint32_t request_id,
+            const std::vector<uint8_t> &payload);
+
+/**
+ * Incremental frame decoder.
+ *
+ * feed() accepts whatever a socket read produced — half a header, ten
+ * frames, anything — and next() yields completed frames until the
+ * residue is a prefix. A Malformed verdict is sticky: framing has lost
+ * byte alignment and the connection must be closed.
+ */
+class FrameDecoder
+{
+  public:
+    explicit FrameDecoder(size_t max_payload = kMaxPayloadBytes);
+
+    enum class Result {
+        /** A complete frame was produced. */
+        Frame,
+        /** The buffered bytes are a valid prefix; feed more. */
+        NeedMore,
+        /** The stream violates the protocol; close the connection. */
+        Malformed,
+    };
+
+    /** Buffer `len` more wire bytes. No-op once malformed. */
+    void feed(const uint8_t *data, size_t len);
+
+    /** Extract the next complete frame into `out` if possible. */
+    [[nodiscard]] Result next(Frame *out);
+
+    /** Why the stream is malformed (empty until it is). */
+    [[nodiscard]] const std::string &error() const { return errorText; }
+
+    /** Bytes buffered and not yet consumed by a decoded frame. */
+    [[nodiscard]] size_t buffered() const
+    {
+        return buffer.size() - offset;
+    }
+
+  private:
+    std::vector<uint8_t> buffer;
+    /** Consumed prefix of `buffer`; compacted when it grows. */
+    size_t offset = 0;
+    size_t maxPayload;
+    bool malformed = false;
+    std::string errorText;
+};
+
+} // namespace dac::net
+
+#endif // DAC_NET_FRAME_H

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Readiness-notification backend of the event loop: an interface over
+ * "tell me which of these fds are readable/writable", with an epoll
+ * implementation (Linux, the production path) and a portable poll()
+ * implementation.
+ *
+ * Both backends compile everywhere they can (poll always, epoll on
+ * Linux), and the tests run the server over both, so the fallback is
+ * exercised code rather than an untested #else branch.
+ */
+
+#ifndef DAC_NET_POLLER_H
+#define DAC_NET_POLLER_H
+
+#include <memory>
+#include <vector>
+
+namespace dac::net {
+
+/** Which backend an event loop polls with. */
+enum class PollerKind {
+    /** epoll on Linux, poll elsewhere. */
+    Default,
+    /** Force the portable poll() backend. */
+    Poll,
+};
+
+/** One ready descriptor, as reported by Poller::wait. */
+struct ReadyEvent
+{
+    int fd = -1;
+    bool readable = false;
+    bool writable = false;
+    /** Error/hangup on the descriptor; treat as readable so the
+     *  handler observes EOF and closes. */
+    bool broken = false;
+};
+
+/**
+ * Level-triggered readiness watcher. Not thread-safe: owned and
+ * driven by exactly one event-loop thread.
+ */
+class Poller
+{
+  public:
+    virtual ~Poller() = default;
+
+    /** Start watching `fd` for the given interest set. */
+    virtual void add(int fd, bool read, bool write) = 0;
+    /** Change the interest set of a watched fd. */
+    virtual void update(int fd, bool read, bool write) = 0;
+    /** Stop watching (must be called before closing the fd). */
+    virtual void remove(int fd) = 0;
+
+    /**
+     * Block up to `timeout_ms` (-1 = forever) and fill `out` with the
+     * ready descriptors.
+     */
+    virtual void wait(int timeout_ms, std::vector<ReadyEvent> &out) = 0;
+
+    /** Backend factory. */
+    [[nodiscard]] static std::unique_ptr<Poller> create(PollerKind kind);
+};
+
+} // namespace dac::net
+
+#endif // DAC_NET_POLLER_H

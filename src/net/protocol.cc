@@ -1,0 +1,215 @@
+#include "net/protocol.h"
+
+#include <bit>
+
+namespace dac::net {
+
+void
+PayloadWriter::putU8(uint8_t v)
+{
+    data.push_back(v);
+}
+
+void
+PayloadWriter::putU32(uint32_t v)
+{
+    data.push_back(static_cast<uint8_t>(v & 0xffu));
+    data.push_back(static_cast<uint8_t>((v >> 8) & 0xffu));
+    data.push_back(static_cast<uint8_t>((v >> 16) & 0xffu));
+    data.push_back(static_cast<uint8_t>((v >> 24) & 0xffu));
+}
+
+void
+PayloadWriter::putU64(uint64_t v)
+{
+    putU32(static_cast<uint32_t>(v & 0xffffffffu));
+    putU32(static_cast<uint32_t>(v >> 32));
+}
+
+void
+PayloadWriter::putF64(double v)
+{
+    putU64(std::bit_cast<uint64_t>(v));
+}
+
+void
+PayloadWriter::putString(const std::string &s)
+{
+    putU32(static_cast<uint32_t>(s.size()));
+    data.insert(data.end(), s.begin(), s.end());
+}
+
+PayloadReader::PayloadReader(const uint8_t *data, size_t len)
+    : data(data), len(len)
+{
+}
+
+PayloadReader::PayloadReader(const std::vector<uint8_t> &payload)
+    : data(payload.data()), len(payload.size())
+{
+}
+
+void
+PayloadReader::need(size_t n) const
+{
+    if (len - at < n)
+        throw ProtocolError("truncated payload");
+}
+
+uint8_t
+PayloadReader::getU8()
+{
+    need(1);
+    return data[at++];
+}
+
+uint32_t
+PayloadReader::getU32()
+{
+    need(4);
+    const uint32_t v = static_cast<uint32_t>(data[at]) |
+                       (static_cast<uint32_t>(data[at + 1]) << 8) |
+                       (static_cast<uint32_t>(data[at + 2]) << 16) |
+                       (static_cast<uint32_t>(data[at + 3]) << 24);
+    at += 4;
+    return v;
+}
+
+uint64_t
+PayloadReader::getU64()
+{
+    const uint64_t lo = getU32();
+    const uint64_t hi = getU32();
+    return lo | (hi << 32);
+}
+
+double
+PayloadReader::getF64()
+{
+    return std::bit_cast<double>(getU64());
+}
+
+std::string
+PayloadReader::getString()
+{
+    const uint32_t n = getU32();
+    need(n);
+    std::string s(reinterpret_cast<const char *>(data + at), n);
+    at += n;
+    return s;
+}
+
+void
+PayloadReader::expectEnd() const
+{
+    if (at != len)
+        throw ProtocolError("trailing bytes after payload");
+}
+
+std::vector<uint8_t>
+encodeTuneRequest(const service::TuneRequest &request)
+{
+    PayloadWriter w;
+    w.putString(request.workload);
+    w.putF64(request.nativeSize);
+    w.putU64(request.seed);
+    w.putF64(request.deadlineSec);
+    return w.take();
+}
+
+service::TuneRequest
+decodeTuneRequest(const std::vector<uint8_t> &payload)
+{
+    PayloadReader r(payload);
+    service::TuneRequest request;
+    request.workload = r.getString();
+    request.nativeSize = r.getF64();
+    request.seed = r.getU64();
+    request.deadlineSec = r.getF64();
+    r.expectEnd();
+    return request;
+}
+
+std::vector<uint8_t>
+encodeTuneResponse(const service::TuneResponse &response)
+{
+    PayloadWriter w;
+    w.putString(response.workload);
+    w.putF64(response.nativeSize);
+    const auto &values = response.best.values();
+    w.putU32(static_cast<uint32_t>(values.size()));
+    for (const double v : values)
+        w.putF64(v);
+    w.putF64(response.predictedTimeSec);
+    w.putF64(response.modelErrorPct);
+    w.putBool(response.modelCacheHit);
+    w.putBool(response.coalesced);
+    w.putF64(response.latencySec);
+    w.putBool(response.degraded);
+    w.putString(response.degradedReason);
+    w.putU32(static_cast<uint32_t>(response.buildRetries));
+    w.putU32(static_cast<uint32_t>(response.warnings.size()));
+    for (const auto &warning : response.warnings) {
+        w.putString(warning.constraint);
+        w.putString(warning.message);
+    }
+    return w.take();
+}
+
+service::TuneResponse
+decodeTuneResponse(const std::vector<uint8_t> &payload,
+                   const conf::ConfigSpace &space)
+{
+    PayloadReader r(payload);
+    service::TuneResponse response;
+    response.workload = r.getString();
+    response.nativeSize = r.getF64();
+    const uint32_t count = r.getU32();
+    if (count != space.size())
+        throw ProtocolError(
+            "config space mismatch: " + std::to_string(count) +
+            " wire values vs " + std::to_string(space.size()) +
+            " space parameters");
+    std::vector<double> values;
+    values.reserve(count);
+    for (uint32_t i = 0; i < count; ++i)
+        values.push_back(r.getF64());
+    response.best = conf::Configuration(space, std::move(values));
+    response.predictedTimeSec = r.getF64();
+    response.modelErrorPct = r.getF64();
+    response.modelCacheHit = r.getBool();
+    response.coalesced = r.getBool();
+    response.latencySec = r.getF64();
+    response.degraded = r.getBool();
+    response.degradedReason = r.getString();
+    response.buildRetries = static_cast<int>(r.getU32());
+    const uint32_t warnings = r.getU32();
+    response.warnings.reserve(warnings);
+    for (uint32_t i = 0; i < warnings; ++i) {
+        conf::ConstraintViolation v;
+        v.constraint = r.getString();
+        v.message = r.getString();
+        response.warnings.push_back(std::move(v));
+    }
+    r.expectEnd();
+    return response;
+}
+
+std::vector<uint8_t>
+encodeError(const std::string &message)
+{
+    PayloadWriter w;
+    w.putString(message);
+    return w.take();
+}
+
+std::string
+decodeError(const std::vector<uint8_t> &payload)
+{
+    PayloadReader r(payload);
+    std::string message = r.getString();
+    r.expectEnd();
+    return message;
+}
+
+} // namespace dac::net

@@ -1,0 +1,224 @@
+#include "net/socket.h"
+
+#include <arpa/inet.h>
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <thread>
+#include <unistd.h>
+#include <utility>
+
+#include "support/logging.h"
+#include "support/units.h"
+
+namespace dac::net {
+
+namespace {
+
+sockaddr_in
+makeAddr(const std::string &host, uint16_t port)
+{
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(port);
+    if (inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1)
+        fatalError("not an IPv4 address: " + host);
+    return addr;
+}
+
+} // namespace
+
+Socket::~Socket()
+{
+    close();
+}
+
+Socket::Socket(Socket &&other) noexcept
+    : fd_(std::exchange(other.fd_, -1))
+{
+}
+
+Socket &
+Socket::operator=(Socket &&other) noexcept
+{
+    if (this != &other) {
+        close();
+        fd_ = std::exchange(other.fd_, -1);
+    }
+    return *this;
+}
+
+int
+Socket::release()
+{
+    return std::exchange(fd_, -1);
+}
+
+void
+Socket::close()
+{
+    if (fd_ >= 0) {
+        ::close(fd_);
+        fd_ = -1;
+    }
+}
+
+Socket
+listenTcp(const std::string &host, uint16_t port, int backlog)
+{
+    Socket sock(::socket(AF_INET, SOCK_STREAM, 0));
+    if (!sock.valid())
+        fatalError(std::string("socket(): ") + std::strerror(errno));
+    const int one = 1;
+    (void)::setsockopt(sock.fd(), SOL_SOCKET, SO_REUSEADDR, &one,
+                       sizeof(one));
+    const sockaddr_in addr = makeAddr(host, port);
+    if (::bind(sock.fd(), reinterpret_cast<const sockaddr *>(&addr),
+               sizeof(addr)) != 0) {
+        fatalError("bind(" + host + ":" + std::to_string(port) +
+                   "): " + std::strerror(errno));
+    }
+    if (::listen(sock.fd(), backlog) != 0)
+        fatalError(std::string("listen(): ") + std::strerror(errno));
+    setNonBlocking(sock.fd());
+    return sock;
+}
+
+uint16_t
+localPort(int fd)
+{
+    sockaddr_in addr{};
+    socklen_t len = sizeof(addr);
+    if (::getsockname(fd, reinterpret_cast<sockaddr *>(&addr), &len) != 0)
+        fatalError(std::string("getsockname(): ") + std::strerror(errno));
+    return ntohs(addr.sin_port);
+}
+
+Socket
+connectTcp(const std::string &host, uint16_t port, double timeout_sec)
+{
+    const sockaddr_in addr = makeAddr(host, port);
+    const auto deadline = std::chrono::steady_clock::now() +
+                          std::chrono::duration<double>(timeout_sec);
+    for (;;) {
+        Socket sock(::socket(AF_INET, SOCK_STREAM, 0));
+        if (!sock.valid())
+            fatalError(std::string("socket(): ") + std::strerror(errno));
+        if (::connect(sock.fd(),
+                      reinterpret_cast<const sockaddr *>(&addr),
+                      sizeof(addr)) == 0) {
+            setNoDelay(sock.fd());
+            return sock;
+        }
+        const int err = errno;
+        if ((err != ECONNREFUSED && err != ETIMEDOUT) ||
+            std::chrono::steady_clock::now() >= deadline) {
+            fatalError("connect(" + host + ":" + std::to_string(port) +
+                       "): " + std::strerror(err));
+        }
+        // The listener may still be coming up; back off and retry.
+        std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    }
+}
+
+void
+setNonBlocking(int fd)
+{
+    const int flags = ::fcntl(fd, F_GETFL, 0);
+    if (flags < 0 || ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) < 0)
+        fatalError(std::string("fcntl(O_NONBLOCK): ") +
+                   std::strerror(errno));
+}
+
+void
+setNoDelay(int fd)
+{
+    const int one = 1;
+    (void)::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+}
+
+Socket
+acceptOne(int listen_fd)
+{
+    const int fd = ::accept(listen_fd, nullptr, nullptr);
+    if (fd < 0)
+        return Socket();
+    setNonBlocking(fd);
+    setNoDelay(fd);
+    return Socket(fd);
+}
+
+ReadResult
+readSome(int fd, uint8_t *buf, size_t cap)
+{
+    ReadResult result;
+    const ssize_t n = ::recv(fd, buf, cap, 0);
+    if (n > 0) {
+        result.bytes = static_cast<size_t>(n);
+    } else if (n == 0) {
+        result.eof = true;
+    } else if (errno == EAGAIN || errno == EWOULDBLOCK ||
+               errno == EINTR) {
+        result.again = true;
+    } else {
+        result.error = true;
+    }
+    return result;
+}
+
+WriteResult
+writeSome(int fd, const uint8_t *buf, size_t len)
+{
+    WriteResult result;
+    const ssize_t n = ::send(fd, buf, len, MSG_NOSIGNAL);
+    if (n >= 0) {
+        result.bytes = static_cast<size_t>(n);
+    } else if (errno == EAGAIN || errno == EWOULDBLOCK ||
+               errno == EINTR) {
+        result.again = true;
+    } else {
+        result.error = true;
+    }
+    return result;
+}
+
+bool
+writeAll(int fd, const uint8_t *buf, size_t len)
+{
+    size_t sent = 0;
+    while (sent < len) {
+        const ssize_t n = ::send(fd, buf + sent, len - sent,
+                                 MSG_NOSIGNAL);
+        if (n > 0) {
+            sent += static_cast<size_t>(n);
+            continue;
+        }
+        if (n < 0 && errno == EINTR)
+            continue;
+        return false;
+    }
+    return true;
+}
+
+long
+readWithTimeout(int fd, uint8_t *buf, size_t cap, double timeout_sec)
+{
+    pollfd pfd{};
+    pfd.fd = fd;
+    pfd.events = POLLIN;
+    const int timeout_ms = static_cast<int>(secToMsec(timeout_sec));
+    const int ready = ::poll(&pfd, 1, timeout_ms);
+    if (ready <= 0)
+        return -1;
+    const ssize_t n = ::recv(fd, buf, cap, 0);
+    if (n < 0)
+        return -1;
+    return static_cast<long>(n);
+}
+
+} // namespace dac::net

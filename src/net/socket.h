@@ -1,0 +1,136 @@
+/**
+ * @file
+ * Thin POSIX socket helpers for the serving layer: an RAII fd owner,
+ * loopback listeners, non-blocking mode, and the small set of
+ * read/write wrappers the event loop and the blocking client share.
+ *
+ * Everything here is mechanism; policy (when to read, what to do with
+ * bytes) lives in event_loop.h / server.h. Errors surface as
+ * fatalError() for setup steps that cannot fail in a healthy
+ * environment (socket(), bind() on a free port) and as return codes
+ * for per-connection I/O, which fails routinely.
+ */
+
+#ifndef DAC_NET_SOCKET_H
+#define DAC_NET_SOCKET_H
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace dac::net {
+
+/** Stack read-chunk size (16 KiB) shared by the event loop's drain
+ *  path and the blocking client. */
+inline constexpr size_t kReadChunkBytes = size_t{16} << 10;
+
+/**
+ * Owning file-descriptor handle; closes on destruction. Movable,
+ * non-copyable.
+ */
+class Socket
+{
+  public:
+    Socket() = default;
+    explicit Socket(int fd) : fd_(fd) {}
+    ~Socket();
+
+    Socket(Socket &&other) noexcept;
+    Socket &operator=(Socket &&other) noexcept;
+    Socket(const Socket &) = delete;
+    Socket &operator=(const Socket &) = delete;
+
+    [[nodiscard]] int fd() const { return fd_; }
+    [[nodiscard]] bool valid() const { return fd_ >= 0; }
+
+    /** Release ownership without closing. */
+    [[nodiscard]] int release();
+    /** Close now (idempotent). */
+    void close();
+
+  private:
+    int fd_ = -1;
+};
+
+/**
+ * TCP listener bound to `host:port` (port 0 = kernel-assigned),
+ * non-blocking, SO_REUSEADDR, listening. fatalError() on failure.
+ */
+[[nodiscard]] Socket listenTcp(const std::string &host, uint16_t port,
+                               int backlog = 128);
+
+/** The locally bound port of a listening/connected socket. */
+[[nodiscard]] uint16_t localPort(int fd);
+
+/**
+ * Blocking TCP connect to `host:port`. Retries briefly while the
+ * target refuses (covers the start-server-then-connect race in tests
+ * and the net-smoke job); fatalError() once `timeout_sec` is spent.
+ */
+[[nodiscard]] Socket connectTcp(const std::string &host, uint16_t port,
+                                double timeout_sec = 5.0);
+
+/** Switch a descriptor to non-blocking mode. fatalError() on failure. */
+void setNonBlocking(int fd);
+
+/** Disable Nagle; harmless to fail (e.g. on non-TCP test doubles). */
+void setNoDelay(int fd);
+
+/**
+ * Accept one pending connection on a non-blocking listener.
+ *
+ * @return An accepted socket, or an invalid Socket when the accept
+ *         queue is empty (EAGAIN) or the peer vanished mid-accept.
+ */
+[[nodiscard]] Socket acceptOne(int listen_fd);
+
+/** One non-blocking read. */
+struct ReadResult
+{
+    /** Bytes read into the caller's buffer (0 with eof/again unset
+     *  never happens). */
+    size_t bytes = 0;
+    /** Peer closed the connection. */
+    bool eof = false;
+    /** Nothing available right now (EAGAIN). */
+    bool again = false;
+    /** Hard error; close the connection. */
+    bool error = false;
+};
+
+/** Read up to `cap` bytes from a non-blocking fd. */
+[[nodiscard]] ReadResult readSome(int fd, uint8_t *buf, size_t cap);
+
+/** One non-blocking write attempt. */
+struct WriteResult
+{
+    /** Bytes the kernel accepted. */
+    size_t bytes = 0;
+    /** The send buffer is full (EAGAIN); retry on writability. */
+    bool again = false;
+    /** Hard error (EPIPE, reset); close the connection. */
+    bool error = false;
+};
+
+/** Write up to `len` bytes to a non-blocking fd (SIGPIPE suppressed). */
+[[nodiscard]] WriteResult writeSome(int fd, const uint8_t *buf,
+                                    size_t len);
+
+/**
+ * Blocking write of the whole buffer (client side).
+ *
+ * @return False on a hard error (connection gone).
+ */
+[[nodiscard]] bool writeAll(int fd, const uint8_t *buf, size_t len);
+
+/**
+ * Blocking read of up to `cap` bytes with a timeout (client side).
+ *
+ * @return Bytes read; 0 means EOF; negative means timeout or error.
+ */
+[[nodiscard]] long readWithTimeout(int fd, uint8_t *buf, size_t cap,
+                                   double timeout_sec);
+
+} // namespace dac::net
+
+#endif // DAC_NET_SOCKET_H

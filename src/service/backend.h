@@ -1,0 +1,44 @@
+/**
+ * @file
+ * The transport-agnostic face of the tuning service.
+ *
+ * Transports (the src/net wire server, the in-process examples, test
+ * stubs) program against this interface only, so the serving layer
+ * and the tuning pipeline evolve independently: a transport cares
+ * that a TuneRequest eventually yields a TuneResponse future, not how
+ * models are cached or searches scheduled. TuningService (service.h)
+ * is the production implementation.
+ */
+
+#ifndef DAC_SERVICE_BACKEND_H
+#define DAC_SERVICE_BACKEND_H
+
+#include <future>
+#include <vector>
+
+#include "service/request.h"
+
+namespace dac::service {
+
+class TuningBackend
+{
+  public:
+    virtual ~TuningBackend() = default;
+
+    /** Serve one request; the future resolves when it is answered. */
+    virtual std::future<TuneResponse> submit(TuneRequest request) = 0;
+
+    /**
+     * Serve several requests that arrived together (e.g. frames
+     * drained from one connection in one readiness cycle). Futures
+     * line up index-for-index with the batch. Implementations may
+     * exploit the batching (shared model fetches, one scheduling
+     * unit); semantics must match per-request submit().
+     */
+    virtual std::vector<std::future<TuneResponse>>
+    submitBatch(std::vector<TuneRequest> batch) = 0;
+};
+
+} // namespace dac::service
+
+#endif // DAC_SERVICE_BACKEND_H

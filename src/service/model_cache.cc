@@ -4,6 +4,7 @@
 #include <sstream>
 
 #include "support/logging.h"
+#include "support/random.h"
 
 namespace dac::service {
 
@@ -13,6 +14,26 @@ ModelKey::toString() const
     std::ostringstream oss;
     oss << workload << "@" << cluster << "#band" << sizeBand;
     return oss.str();
+}
+
+uint64_t
+ModelKey::stableHash() const
+{
+    // SplitMix64-fold the fields directly (no toString(): this runs on
+    // every cache routing decision and must not allocate). The length
+    // fold between fields keeps ("ab","c") and ("a","bc") distinct.
+    uint64_t h = 0x9e3779b97f4a7c15ULL;
+    const auto foldString = [&h](const std::string &text) {
+        for (const char c : text)
+            h = splitmix64(h ^ static_cast<uint64_t>(
+                                   static_cast<unsigned char>(c)));
+        h = splitmix64(h ^ static_cast<uint64_t>(text.size()));
+    };
+    foldString(workload);
+    foldString(cluster);
+    h = splitmix64(h ^ static_cast<uint64_t>(
+                           static_cast<uint32_t>(sizeBand)));
+    return h;
 }
 
 int
@@ -32,32 +53,58 @@ ModelCache::Stats::hitRate() const
         : 0.0;
 }
 
-ModelCache::ModelCache(size_t capacity)
-    : capacity(capacity)
+ModelCache::ModelCache(size_t capacity, size_t shard_count)
+    : totalCapacity(capacity)
 {
     DAC_ASSERT(capacity > 0, "model cache needs capacity >= 1");
+    DAC_ASSERT(shard_count > 0, "model cache needs shards >= 1");
+    shards.reserve(shard_count);
+    for (size_t i = 0; i < shard_count; ++i) {
+        auto shard = std::make_unique<Shard>();
+        // Even distribution, remainder to the low shards; never below
+        // one model or a hot shard could cache nothing at all.
+        const size_t base = capacity / shard_count;
+        const size_t extra = i < capacity % shard_count ? 1 : 0;
+        shard->capacity = std::max<size_t>(1, base + extra);
+        shards.push_back(std::move(shard));
+    }
+}
+
+size_t
+ModelCache::shardIndexFor(const ModelKey &key, size_t shards)
+{
+    DAC_ASSERT(shards > 0, "shard routing needs shards >= 1");
+    return static_cast<size_t>(key.stableHash() % shards);
+}
+
+ModelCache::Shard &
+ModelCache::shardFor(const ModelKey &key)
+{
+    return *shards[shardIndexFor(key, shards.size())];
 }
 
 std::shared_ptr<const CachedModel>
 ModelCache::getOrBuild(const ModelKey &key, const Builder &build)
 {
+    Shard &shard = shardFor(key);
     std::promise<std::shared_ptr<const CachedModel>> promise;
     {
-        std::unique_lock<std::mutex> lock(mutex);
-        if (auto found = findLocked(key)) {
-            ++hits;
+        std::unique_lock<std::mutex> lock(shard.mutex);
+        if (auto found = findLocked(shard, key)) {
+            ++shard.hits;
             return found;
         }
-        if (const auto it = inflight.find(key); it != inflight.end()) {
+        if (const auto it = shard.inflight.find(key);
+            it != shard.inflight.end()) {
             // Another caller is already building this model; wait for
             // it outside the lock and share the result.
-            ++coalesced;
+            ++shard.coalesced;
             auto shared = it->second;
             lock.unlock();
             return shared.get();
         }
-        ++misses;
-        inflight.emplace(key, promise.get_future().share());
+        ++shard.misses;
+        shard.inflight.emplace(key, promise.get_future().share());
     }
 
     std::shared_ptr<const CachedModel> built;
@@ -65,16 +112,16 @@ ModelCache::getOrBuild(const ModelKey &key, const Builder &build)
         built = build();
         DAC_ASSERT(built != nullptr, "model builder returned nullptr");
     } catch (...) {
-        std::lock_guard<std::mutex> lock(mutex);
-        inflight.erase(key);
+        std::lock_guard<std::mutex> lock(shard.mutex);
+        shard.inflight.erase(key);
         promise.set_exception(std::current_exception());
         throw;
     }
 
     {
-        std::lock_guard<std::mutex> lock(mutex);
-        insertLocked(key, built);
-        inflight.erase(key);
+        std::lock_guard<std::mutex> lock(shard.mutex);
+        insertLocked(shard, key, built);
+        shard.inflight.erase(key);
     }
     promise.set_value(built);
     return built;
@@ -83,12 +130,13 @@ ModelCache::getOrBuild(const ModelKey &key, const Builder &build)
 std::shared_ptr<const CachedModel>
 ModelCache::lookup(const ModelKey &key)
 {
-    std::lock_guard<std::mutex> lock(mutex);
-    if (auto found = findLocked(key)) {
-        ++hits;
+    Shard &shard = shardFor(key);
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    if (auto found = findLocked(shard, key)) {
+        ++shard.hits;
         return found;
     }
-    ++misses;
+    ++shard.misses;
     return nullptr;
 }
 
@@ -97,76 +145,89 @@ ModelCache::insert(const ModelKey &key,
                    std::shared_ptr<const CachedModel> model)
 {
     DAC_ASSERT(model != nullptr, "inserted a null model");
-    std::lock_guard<std::mutex> lock(mutex);
-    insertLocked(key, std::move(model));
+    Shard &shard = shardFor(key);
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    insertLocked(shard, key, std::move(model));
 }
 
 void
 ModelCache::clear()
 {
-    std::lock_guard<std::mutex> lock(mutex);
-    entries.clear();
-    index.clear();
+    for (auto &shard : shards) {
+        std::lock_guard<std::mutex> lock(shard->mutex);
+        shard->entries.clear();
+        shard->index.clear();
+    }
 }
 
 size_t
 ModelCache::size() const
 {
-    std::lock_guard<std::mutex> lock(mutex);
-    return entries.size();
+    size_t total = 0;
+    for (const auto &shard : shards) {
+        std::lock_guard<std::mutex> lock(shard->mutex);
+        total += shard->entries.size();
+    }
+    return total;
 }
 
 ModelCache::Stats
 ModelCache::stats() const
 {
-    std::lock_guard<std::mutex> lock(mutex);
     Stats out;
-    out.hits = hits;
-    out.misses = misses;
-    out.coalesced = coalesced;
-    out.evictions = evictions;
-    out.size = entries.size();
-    out.capacity = capacity;
+    out.capacity = totalCapacity;
+    out.shards = shards.size();
+    for (const auto &shard : shards) {
+        std::lock_guard<std::mutex> lock(shard->mutex);
+        out.hits += shard->hits;
+        out.misses += shard->misses;
+        out.coalesced += shard->coalesced;
+        out.evictions += shard->evictions;
+        out.size += shard->entries.size();
+    }
     return out;
 }
 
 std::vector<ModelKey>
 ModelCache::keysByRecency() const
 {
-    std::lock_guard<std::mutex> lock(mutex);
     std::vector<ModelKey> keys;
-    keys.reserve(entries.size());
-    for (const auto &[key, model] : entries)
-        keys.push_back(key);
+    for (const auto &shard : shards) {
+        std::lock_guard<std::mutex> lock(shard->mutex);
+        for (const auto &[key, model] : shard->entries)
+            keys.push_back(key);
+    }
     return keys;
 }
 
 std::shared_ptr<const CachedModel>
-ModelCache::findLocked(const ModelKey &key)
+ModelCache::findLocked(Shard &shard, const ModelKey &key)
 {
-    const auto it = index.find(key);
-    if (it == index.end())
+    const auto it = shard.index.find(key);
+    if (it == shard.index.end())
         return nullptr;
     // Touch: move to the MRU head.
-    entries.splice(entries.begin(), entries, it->second);
-    return entries.front().second;
+    shard.entries.splice(shard.entries.begin(), shard.entries,
+                         it->second);
+    return shard.entries.front().second;
 }
 
 void
-ModelCache::insertLocked(const ModelKey &key,
+ModelCache::insertLocked(Shard &shard, const ModelKey &key,
                          std::shared_ptr<const CachedModel> model)
 {
-    if (const auto it = index.find(key); it != index.end()) {
+    if (const auto it = shard.index.find(key); it != shard.index.end()) {
         it->second->second = std::move(model);
-        entries.splice(entries.begin(), entries, it->second);
+        shard.entries.splice(shard.entries.begin(), shard.entries,
+                             it->second);
         return;
     }
-    entries.emplace_front(key, std::move(model));
-    index.emplace(key, entries.begin());
-    while (entries.size() > capacity) {
-        index.erase(entries.back().first);
-        entries.pop_back();
-        ++evictions;
+    shard.entries.emplace_front(key, std::move(model));
+    shard.index.emplace(key, shard.entries.begin());
+    while (shard.entries.size() > shard.capacity) {
+        shard.index.erase(shard.entries.back().first);
+        shard.entries.pop_back();
+        ++shard.evictions;
     }
 }
 

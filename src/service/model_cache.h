@@ -1,7 +1,8 @@
 /**
  * @file
  * LRU cache of trained performance models, keyed by
- * (workload, cluster signature, datasize band).
+ * (workload, cluster signature, datasize band) and sharded by a
+ * stable hash of that key.
  *
  * Collection plus modeling dominate a tune request (Table 3: hours of
  * simulated cluster time vs milliseconds of GA search), so a service
@@ -14,6 +15,14 @@
  * getOrBuild() coalesces concurrent builds of the same key: one caller
  * runs the expensive builder while the rest block on its result, so a
  * burst of identical cold requests costs one collection campaign.
+ *
+ * Sharding: with one mutex, every hot-workload lookup serializes
+ * behind every other — the single-lock cache tops out long before the
+ * search path does. The cache therefore splits into K independent
+ * shards, each with its own lock, LRU list, and in-flight build map;
+ * a key's shard is a pure function of the key (shardIndexFor), so the
+ * single-shard semantics (LRU order, coalescing, accounting) hold
+ * per shard and hot workloads in different shards never contend.
  */
 
 #ifndef DAC_SERVICE_MODEL_CACHE_H
@@ -60,6 +69,13 @@ struct ModelKey
 
     /** "TS@paper-testbed/...#band4" rendering for logs. */
     [[nodiscard]] std::string toString() const;
+
+    /**
+     * Platform-stable 64-bit hash of the key (std::hash is not
+     * portable across implementations, and the shard layout must not
+     * depend on the standard library build).
+     */
+    [[nodiscard]] uint64_t stableHash() const;
 };
 
 /** The band a native dataset size falls in. */
@@ -87,16 +103,18 @@ struct CachedModel
 };
 
 /**
- * Thread-safe LRU cache of CachedModels with build coalescing.
+ * Thread-safe sharded LRU cache of CachedModels with per-shard build
+ * coalescing. One shard (the default) reproduces the historical
+ * single-mutex cache exactly.
  */
 class ModelCache
 {
   public:
-    /** Builder invoked (outside the cache lock) on a miss. */
+    /** Builder invoked (outside any cache lock) on a miss. */
     using Builder =
         std::function<std::shared_ptr<const CachedModel>()>;
 
-    /** Cache accounting. */
+    /** Cache accounting, aggregated over every shard. */
     struct Stats
     {
         uint64_t hits = 0;
@@ -106,20 +124,34 @@ class ModelCache
         uint64_t evictions = 0;
         size_t size = 0;
         size_t capacity = 0;
+        size_t shards = 0;
 
         /** hits / (hits + misses), counting coalesced joins as hits. */
         [[nodiscard]] double hitRate() const;
     };
 
-    /** Cache holding at most `capacity` models (>= 1). */
-    explicit ModelCache(size_t capacity);
+    /**
+     * Cache holding at most `capacity` models (>= 1) across `shards`
+     * independently locked shards (>= 1). Capacity is distributed as
+     * evenly as possible; every shard holds at least one model, so the
+     * effective total is max(capacity, shards).
+     */
+    explicit ModelCache(size_t capacity, size_t shards = 1);
+
+    /** The shard a key routes to: a pure function of the key and the
+     *  shard count — no cache state involved. */
+    [[nodiscard]] static size_t shardIndexFor(const ModelKey &key,
+                                              size_t shards);
+
+    [[nodiscard]] size_t shardCount() const { return shards.size(); }
 
     /**
      * The model for `key`, building it if absent.
      *
      * Exactly one concurrent caller per key runs `build`; the others
      * wait and share the result. A builder failure propagates to every
-     * waiter and caches nothing.
+     * waiter and caches nothing. Builds of keys in different shards
+     * proceed fully independently.
      */
     [[nodiscard]] std::shared_ptr<const CachedModel>
     getOrBuild(const ModelKey &key, const Builder &build);
@@ -128,7 +160,8 @@ class ModelCache
     [[nodiscard]] std::shared_ptr<const CachedModel>
     lookup(const ModelKey &key);
 
-    /** Insert (or refresh) an entry, evicting the LRU tail if full. */
+    /** Insert (or refresh) an entry, evicting its shard's LRU tail
+     *  when the shard is full. */
     void insert(const ModelKey &key,
                 std::shared_ptr<const CachedModel> model);
 
@@ -138,31 +171,46 @@ class ModelCache
     [[nodiscard]] size_t size() const;
     [[nodiscard]] Stats stats() const;
 
-    /** Keys from most- to least-recently used (for tests/logs). */
+    /**
+     * Keys from most- to least-recently used, shard by shard (shard 0
+     * first). With one shard this is the exact global recency order;
+     * with several, recency is only meaningful within a shard.
+     */
     [[nodiscard]] std::vector<ModelKey> keysByRecency() const;
 
   private:
     using Entry = std::pair<ModelKey, std::shared_ptr<const CachedModel>>;
 
-    /** Requires lock held. Returns nullptr on miss; no accounting. */
-    std::shared_ptr<const CachedModel> findLocked(const ModelKey &key);
-    /** Requires lock held. */
-    void insertLocked(const ModelKey &key,
-                      std::shared_ptr<const CachedModel> model);
+    /** One independently locked slice of the cache. */
+    struct Shard
+    {
+        mutable std::mutex mutex;
+        /** MRU-first entry list; `index` points into it. */
+        std::list<Entry> entries;
+        std::map<ModelKey, std::list<Entry>::iterator> index;
+        /** One shared build per key in flight at a time. */
+        std::map<ModelKey,
+                 std::shared_future<std::shared_ptr<const CachedModel>>>
+            inflight;
+        size_t capacity = 1;
+        uint64_t hits = 0;
+        uint64_t misses = 0;
+        uint64_t coalesced = 0;
+        uint64_t evictions = 0;
+    };
 
-    mutable std::mutex mutex;
-    /** MRU-first entry list; `index` points into it. */
-    std::list<Entry> entries;
-    std::map<ModelKey, std::list<Entry>::iterator> index;
-    /** One shared build per key in flight at a time. */
-    std::map<ModelKey,
-             std::shared_future<std::shared_ptr<const CachedModel>>>
-        inflight;
-    size_t capacity;
-    uint64_t hits = 0;
-    uint64_t misses = 0;
-    uint64_t coalesced = 0;
-    uint64_t evictions = 0;
+    Shard &shardFor(const ModelKey &key);
+
+    /** Requires the shard lock held. Returns nullptr on miss; no
+     *  accounting. */
+    static std::shared_ptr<const CachedModel>
+    findLocked(Shard &shard, const ModelKey &key);
+    /** Requires the shard lock held. */
+    static void insertLocked(Shard &shard, const ModelKey &key,
+                             std::shared_ptr<const CachedModel> model);
+
+    std::vector<std::unique_ptr<Shard>> shards;
+    size_t totalCapacity;
 };
 
 } // namespace dac::service

@@ -14,8 +14,10 @@
 
 #include <cstdint>
 #include <string>
+#include <vector>
 
 #include "conf/config.h"
+#include "conf/constraints.h"
 
 namespace dac::service {
 
@@ -85,6 +87,15 @@ struct TuneResponse
     /** Transient model-build failures retried while serving this
      *  request (0 when the first build attempt succeeded). */
     int buildRetries = 0;
+
+    /**
+     * Cross-parameter cluster-feasibility findings against `best`
+     * (conf::validateForCluster): couplings the per-parameter ranges
+     * cannot express, e.g. executors packed per node overflowing node
+     * RAM. Typed so transports can carry them to the caller instead of
+     * losing them on a server's stderr. Empty for a clean config.
+     */
+    std::vector<conf::ConstraintViolation> warnings;
 };
 
 } // namespace dac::service

@@ -7,6 +7,7 @@
 #include <stdexcept>
 #include <thread>
 
+#include "conf/constraints.h"
 #include "conf/expert.h"
 #include "dac/modeler.h"
 #include "dac/searcher.h"
@@ -92,7 +93,7 @@ TuneRequest::cacheKey() const
 TuningService::TuningService(const sparksim::SparkSimulator &sim,
                              ServiceOptions options)
     : sim(&sim), options(options),
-      cache(options.modelCacheCapacity),
+      cache(options.modelCacheCapacity, options.modelCacheShards),
       pool(ThreadPool::Options{options.threads, options.queueCapacity})
 {
 }
@@ -203,6 +204,100 @@ TuningService::submit(TuneRequest request)
     return future;
 }
 
+std::vector<std::future<TuneResponse>>
+TuningService::submitBatch(std::vector<TuneRequest> batch)
+{
+    std::vector<std::future<TuneResponse>> futures;
+    futures.reserve(batch.size());
+    if (batch.empty())
+        return futures;
+    if (batch.size() == 1) {
+        // A singleton batch is just a request; let it join the
+        // cross-request pending/coalescing machinery.
+        futures.push_back(submit(std::move(batch.front())));
+        return futures;
+    }
+
+    /** One drained readiness cycle's worth of requests. */
+    struct BatchState
+    {
+        std::vector<TuneRequest> requests;
+        std::vector<std::promise<TuneResponse>> promises;
+        std::chrono::steady_clock::time_point submitted;
+    };
+    auto state = std::make_shared<BatchState>();
+    state->requests = std::move(batch);
+    state->promises.resize(state->requests.size());
+    state->submitted = std::chrono::steady_clock::now();
+    for (auto &promise : state->promises)
+        futures.push_back(promise.get_future());
+    const size_t n = state->requests.size();
+
+    {
+        std::lock_guard<std::mutex> lock(mutex);
+        if (!accepting)
+            fatalError("TuningService::submitBatch after shutdown");
+    }
+    registry.counter("requests.submitted").increment(n);
+    registry.counter("requests.batched").increment(n);
+    registry.counter("batches.submitted").increment();
+
+    // The whole batch is one pool task: back-to-back items reuse the
+    // shard-warm model (the first miss builds it, the rest are hits),
+    // and duplicate cache keys inside the batch are answered from the
+    // first occurrence without re-searching.
+    auto work = [this, state]() {
+        std::map<std::string, size_t> firstByKey;
+        std::vector<TuneResponse> responses(state->requests.size());
+        for (size_t i = 0; i < state->requests.size(); ++i) {
+            const TuneRequest &request = state->requests[i];
+            try {
+                const std::string key = request.cacheKey();
+                const auto first = firstByKey.find(key);
+                if (first == firstByKey.end()) {
+                    responses[i] = process(request);
+                    firstByKey.emplace(key, i);
+                } else {
+                    responses[i] = responses[first->second];
+                    responses[i].coalesced = true;
+                    registry.counter("requests.coalesced").increment();
+                }
+                const double latency = elapsedSec(state->submitted);
+                responses[i].latencySec = latency;
+                registry.histogram("latency.request").observe(latency);
+                registry.counter("requests.served").increment();
+                // Copy, not move: a later duplicate of this key copies
+                // its answer from responses[i].
+                state->promises[i].set_value(responses[i]);
+            } catch (...) {
+                registry.counter("requests.failed").increment();
+                state->promises[i].set_exception(
+                    std::current_exception());
+            }
+        }
+    };
+
+    bool posted = true;
+    if (options.rejectWhenSaturated)
+        posted = pool.tryPost(work);
+    else
+        pool.post(work);
+    if (posted)
+        return futures;
+
+    // Backpressure: degrade the whole batch inline, same contract as
+    // the single-request path.
+    registry.counter("requests.rejected").increment(n);
+    for (size_t i = 0; i < n; ++i) {
+        TuneResponse rejected = degradedResponse(
+            state->requests[i].workload, state->requests[i].nativeSize,
+            "queue-saturated", 0);
+        rejected.latencySec = elapsedSec(state->submitted);
+        state->promises[i].set_value(std::move(rejected));
+    }
+    return futures;
+}
+
 TuneResponse
 TuningService::process(const TuneRequest &request)
 {
@@ -310,6 +405,8 @@ TuningService::process(const TuneRequest &request)
     response.modelErrorPct = cached->modelErrorPct;
     response.modelCacheHit = !builtHere;
     response.buildRetries = build_retries;
+    response.warnings =
+        conf::validateForCluster(response.best, sim->clusterSpec());
     if (found.ga.cancelled) {
         // Deadline fired mid-search: the GA's best-so-far is still a
         // real model-scored configuration, so return it — labeled.
@@ -388,6 +485,8 @@ TuningService::degradedResponse(const std::string &workload,
     response.degraded = true;
     response.degradedReason = std::move(reason);
     response.buildRetries = build_retries;
+    response.warnings =
+        conf::validateForCluster(response.best, sim->clusterSpec());
     registry.counter("requests.degraded").increment();
     return response;
 }

@@ -27,6 +27,7 @@
 #include <vector>
 
 #include "dac/tuner.h"
+#include "service/backend.h"
 #include "service/metrics.h"
 #include "service/model_cache.h"
 #include "service/request.h"
@@ -45,6 +46,13 @@ struct ServiceOptions
     size_t queueCapacity = 256;
     /** Trained models kept resident. */
     size_t modelCacheCapacity = 16;
+    /**
+     * Independently locked model-cache shards (model_cache.h). More
+     * shards let hot workloads in different shards hit the cache
+     * without contending on one mutex; 1 reproduces the historical
+     * single-lock cache.
+     */
+    size_t modelCacheShards = 8;
     /** Collection/model/GA settings applied to every request. */
     core::AutoTuneOptions tuning;
     /**
@@ -96,15 +104,18 @@ struct ServiceOptions
 
 /**
  * Long-lived, thread-safe tuning frontend over one simulator/cluster.
+ *
+ * Implements TuningBackend, so transports (the src/net wire server,
+ * in-process examples, test stubs) stay agnostic of the pipeline.
  */
-class TuningService
+class TuningService final : public TuningBackend
 {
   public:
     TuningService(const sparksim::SparkSimulator &sim,
                   ServiceOptions options = {});
 
     /** Drains in-flight work (shutdown()) before destruction. */
-    ~TuningService();
+    ~TuningService() override;
 
     TuningService(const TuningService &) = delete;
     TuningService &operator=(const TuningService &) = delete;
@@ -114,7 +125,20 @@ class TuningService
      * has been served (or faulted, e.g. unknown workload). Identical
      * concurrent requests share a single computation.
      */
-    std::future<TuneResponse> submit(TuneRequest request);
+    std::future<TuneResponse> submit(TuneRequest request) override;
+
+    /**
+     * Submit requests that arrived together (one wire readiness
+     * cycle): the whole batch runs as a single pool task, so a
+     * pipelined burst costs one queue slot, repeated keys after the
+     * first are shard-local cache hits on a warm model, and duplicate
+     * requests inside the batch are answered once and shared
+     * (coalesced flag set). Responses are identical to per-request
+     * submit(); a saturated queue degrades every item to the expert
+     * configuration ("queue-saturated"), like submit().
+     */
+    std::vector<std::future<TuneResponse>>
+    submitBatch(std::vector<TuneRequest> batch) override;
 
     /**
      * Stop accepting requests, serve everything already submitted,

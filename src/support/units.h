@@ -51,6 +51,13 @@ secToUsec(double sec)
     return sec * 1e6;
 }
 
+/** Seconds to milliseconds, for poll()-style timeout arguments. */
+constexpr double
+secToMsec(double sec)
+{
+    return sec * 1000.0;
+}
+
 /** Nanoseconds to seconds, for raw clock deltas. */
 constexpr double
 nsToSec(double ns)

@@ -1,0 +1,296 @@
+/**
+ * @file
+ * Tests for the wire framing layer and the payload protocol: frame
+ * round-trips, partial-read reassembly at every split point, malformed
+ * frame rejection, and bit-exact payload codecs.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "net/frame.h"
+#include "net/protocol.h"
+
+namespace dac::net {
+namespace {
+
+std::vector<uint8_t>
+bytesOf(const std::string &text)
+{
+    return {text.begin(), text.end()};
+}
+
+TEST(Frame, RoundTripsOneFrame)
+{
+    const auto payload = bytesOf("hello frames");
+    const auto wire = encodeFrame(MsgType::TuneRequest, 42, payload);
+    EXPECT_EQ(wire.size(), kFrameHeaderBytes + payload.size());
+
+    FrameDecoder decoder;
+    decoder.feed(wire.data(), wire.size());
+    Frame frame;
+    ASSERT_EQ(decoder.next(&frame), FrameDecoder::Result::Frame);
+    EXPECT_EQ(frame.type, MsgType::TuneRequest);
+    EXPECT_EQ(frame.requestId, 42u);
+    EXPECT_EQ(frame.payload, payload);
+    EXPECT_EQ(decoder.next(&frame), FrameDecoder::Result::NeedMore);
+    EXPECT_EQ(decoder.buffered(), 0u);
+}
+
+TEST(Frame, RoundTripsEmptyPayload)
+{
+    const auto wire = encodeFrame(MsgType::Ping, 7, {});
+    FrameDecoder decoder;
+    decoder.feed(wire.data(), wire.size());
+    Frame frame;
+    ASSERT_EQ(decoder.next(&frame), FrameDecoder::Result::Frame);
+    EXPECT_EQ(frame.type, MsgType::Ping);
+    EXPECT_EQ(frame.requestId, 7u);
+    EXPECT_TRUE(frame.payload.empty());
+}
+
+TEST(Frame, ReassemblesAtEverySplitPoint)
+{
+    // Two frames back to back; the stream may split anywhere,
+    // including inside a header or across the frame boundary.
+    std::vector<uint8_t> wire;
+    appendFrame(wire, MsgType::TuneRequest, 1,
+                reinterpret_cast<const uint8_t *>("abc"), 3);
+    appendFrame(wire, MsgType::TuneResponse, 2,
+                reinterpret_cast<const uint8_t *>("defgh"), 5);
+
+    for (size_t split = 0; split <= wire.size(); ++split) {
+        FrameDecoder decoder;
+        decoder.feed(wire.data(), split);
+        std::vector<Frame> got;
+        Frame frame;
+        while (decoder.next(&frame) == FrameDecoder::Result::Frame)
+            got.push_back(frame);
+        decoder.feed(wire.data() + split, wire.size() - split);
+        while (decoder.next(&frame) == FrameDecoder::Result::Frame)
+            got.push_back(frame);
+
+        ASSERT_EQ(got.size(), 2u) << "split at " << split;
+        EXPECT_EQ(got[0].type, MsgType::TuneRequest);
+        EXPECT_EQ(got[0].requestId, 1u);
+        EXPECT_EQ(got[0].payload, bytesOf("abc"));
+        EXPECT_EQ(got[1].type, MsgType::TuneResponse);
+        EXPECT_EQ(got[1].requestId, 2u);
+        EXPECT_EQ(got[1].payload, bytesOf("defgh"));
+    }
+}
+
+TEST(Frame, ReassemblesByteByByte)
+{
+    const auto payload = bytesOf("one byte at a time");
+    const auto wire = encodeFrame(MsgType::Error, 9, payload);
+    FrameDecoder decoder;
+    Frame frame;
+    for (size_t i = 0; i + 1 < wire.size(); ++i) {
+        decoder.feed(&wire[i], 1);
+        EXPECT_EQ(decoder.next(&frame), FrameDecoder::Result::NeedMore);
+    }
+    decoder.feed(&wire[wire.size() - 1], 1);
+    ASSERT_EQ(decoder.next(&frame), FrameDecoder::Result::Frame);
+    EXPECT_EQ(frame.payload, payload);
+}
+
+TEST(Frame, RejectsBadMagic)
+{
+    auto wire = encodeFrame(MsgType::Ping, 1, {});
+    wire[0] ^= 0xFF;
+    FrameDecoder decoder;
+    decoder.feed(wire.data(), wire.size());
+    Frame frame;
+    EXPECT_EQ(decoder.next(&frame), FrameDecoder::Result::Malformed);
+    EXPECT_FALSE(decoder.error().empty());
+}
+
+TEST(Frame, RejectsUnknownVersion)
+{
+    auto wire = encodeFrame(MsgType::Ping, 1, {});
+    wire[4] = kProtocolVersion + 1;
+    FrameDecoder decoder;
+    decoder.feed(wire.data(), wire.size());
+    Frame frame;
+    EXPECT_EQ(decoder.next(&frame), FrameDecoder::Result::Malformed);
+}
+
+TEST(Frame, RejectsUnknownType)
+{
+    auto wire = encodeFrame(MsgType::Ping, 1, {});
+    wire[5] = 0xEE; // not a MsgType
+    FrameDecoder decoder;
+    decoder.feed(wire.data(), wire.size());
+    Frame frame;
+    EXPECT_EQ(decoder.next(&frame), FrameDecoder::Result::Malformed);
+}
+
+TEST(Frame, RejectsOversizedLength)
+{
+    // Hand-build a header that claims a payload beyond the ceiling.
+    FrameDecoder decoder(/*max_payload=*/64);
+    auto wire = encodeFrame(MsgType::TuneRequest, 1, bytesOf("x"));
+    const uint32_t huge = 65;
+    std::memcpy(&wire[12], &huge, sizeof huge);
+    decoder.feed(wire.data(), wire.size());
+    Frame frame;
+    EXPECT_EQ(decoder.next(&frame), FrameDecoder::Result::Malformed);
+}
+
+TEST(Frame, MalformedIsSticky)
+{
+    auto bad = encodeFrame(MsgType::Ping, 1, {});
+    bad[0] ^= 0xFF;
+    FrameDecoder decoder;
+    decoder.feed(bad.data(), bad.size());
+    Frame frame;
+    EXPECT_EQ(decoder.next(&frame), FrameDecoder::Result::Malformed);
+
+    // A valid frame after the bad bytes must not resynchronize: the
+    // stream has lost alignment for good.
+    const auto good = encodeFrame(MsgType::Ping, 2, {});
+    decoder.feed(good.data(), good.size());
+    EXPECT_EQ(decoder.next(&frame), FrameDecoder::Result::Malformed);
+}
+
+TEST(Frame, TruncatedPayloadIsNeedMoreNotMalformed)
+{
+    const auto wire =
+        encodeFrame(MsgType::TuneRequest, 3, bytesOf("truncated"));
+    FrameDecoder decoder;
+    decoder.feed(wire.data(), wire.size() - 4);
+    Frame frame;
+    EXPECT_EQ(decoder.next(&frame), FrameDecoder::Result::NeedMore);
+    EXPECT_EQ(decoder.buffered(), wire.size() - 4);
+}
+
+TEST(Frame, KnownMsgTypes)
+{
+    EXPECT_TRUE(isKnownMsgType(1));
+    EXPECT_TRUE(isKnownMsgType(5));
+    EXPECT_FALSE(isKnownMsgType(0));
+    EXPECT_FALSE(isKnownMsgType(6));
+    EXPECT_FALSE(isKnownMsgType(0xEE));
+}
+
+TEST(Protocol, TuneRequestRoundTrips)
+{
+    service::TuneRequest request;
+    request.workload = "TS";
+    request.nativeSize = 43.75;
+    request.seed = 0xDEADBEEFCAFEBABEULL;
+    request.deadlineSec = 2.5;
+
+    const auto decoded = decodeTuneRequest(encodeTuneRequest(request));
+    EXPECT_EQ(decoded.workload, "TS");
+    EXPECT_EQ(decoded.nativeSize, 43.75);
+    EXPECT_EQ(decoded.seed, request.seed);
+    EXPECT_EQ(decoded.deadlineSec, 2.5);
+}
+
+TEST(Protocol, TuneResponseRoundTripsBitIdentical)
+{
+    const auto &space = conf::ConfigSpace::spark();
+    service::TuneResponse response;
+    response.workload = "KM";
+    response.nativeSize = 200.0;
+    response.best = conf::Configuration(space);
+    response.predictedTimeSec = 123.456789;
+    response.modelErrorPct = 7.25;
+    response.modelCacheHit = true;
+    response.coalesced = true;
+    response.latencySec = 0.0625;
+    response.degraded = true;
+    response.degradedReason = "search-truncated";
+    response.buildRetries = 3;
+    response.warnings.push_back(
+        {"executor-memory-fit", "executors overflow node RAM"});
+    response.warnings.push_back({"offheap-consistency", "size is zero"});
+
+    const auto decoded =
+        decodeTuneResponse(encodeTuneResponse(response), space);
+    EXPECT_EQ(decoded.workload, "KM");
+    EXPECT_EQ(decoded.nativeSize, 200.0);
+    EXPECT_EQ(decoded.best.values(), response.best.values());
+    EXPECT_EQ(decoded.predictedTimeSec, 123.456789);
+    EXPECT_EQ(decoded.modelErrorPct, 7.25);
+    EXPECT_TRUE(decoded.modelCacheHit);
+    EXPECT_TRUE(decoded.coalesced);
+    EXPECT_EQ(decoded.latencySec, 0.0625);
+    EXPECT_TRUE(decoded.degraded);
+    EXPECT_EQ(decoded.degradedReason, "search-truncated");
+    EXPECT_EQ(decoded.buildRetries, 3);
+    ASSERT_EQ(decoded.warnings.size(), 2u);
+    EXPECT_EQ(decoded.warnings[0].constraint, "executor-memory-fit");
+    EXPECT_EQ(decoded.warnings[0].message,
+              "executors overflow node RAM");
+    EXPECT_EQ(decoded.warnings[1].constraint, "offheap-consistency");
+}
+
+TEST(Protocol, ErrorRoundTrips)
+{
+    EXPECT_EQ(decodeError(encodeError("boom: no such workload")),
+              "boom: no such workload");
+}
+
+TEST(Protocol, TruncatedPayloadThrows)
+{
+    service::TuneRequest request;
+    request.workload = "WC";
+    request.nativeSize = 80.0;
+    auto payload = encodeTuneRequest(request);
+    payload.resize(payload.size() - 3);
+    EXPECT_THROW((void)decodeTuneRequest(payload), ProtocolError);
+}
+
+TEST(Protocol, TrailingBytesThrow)
+{
+    service::TuneRequest request;
+    request.workload = "WC";
+    request.nativeSize = 80.0;
+    auto payload = encodeTuneRequest(request);
+    payload.push_back(0);
+    EXPECT_THROW((void)decodeTuneRequest(payload), ProtocolError);
+}
+
+TEST(Protocol, ResponseValueCountMustMatchSpace)
+{
+    const auto &space = conf::ConfigSpace::spark();
+    service::TuneResponse response;
+    response.workload = "TS";
+    response.best = conf::Configuration(space);
+    auto payload = encodeTuneResponse(response);
+
+    // A receiver speaking a different (here: corrupted-count) space
+    // must refuse rather than misalign the remaining fields.
+    service::TuneResponse copy = response;
+    auto bad = encodeTuneResponse(copy);
+    // The value count lives after workload (u32 len + bytes) and
+    // nativeSize (8 bytes); flip its low byte.
+    const size_t countAt = 4 + response.workload.size() + 8;
+    bad[countAt] ^= 0x01;
+    EXPECT_THROW((void)decodeTuneResponse(bad, space), ProtocolError);
+
+    // Unmodified payload still decodes.
+    EXPECT_NO_THROW((void)decodeTuneResponse(payload, space));
+}
+
+TEST(Protocol, ReaderBoundsChecks)
+{
+    PayloadWriter writer;
+    writer.putU32(7);
+    const auto bytes = writer.take();
+    PayloadReader reader(bytes);
+    EXPECT_EQ(reader.getU32(), 7u);
+    EXPECT_THROW((void)reader.getU8(), ProtocolError);
+
+    PayloadReader fresh(bytes);
+    EXPECT_THROW(fresh.expectEnd(), ProtocolError);
+}
+
+} // namespace
+} // namespace dac::net
