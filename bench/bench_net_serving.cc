@@ -14,6 +14,12 @@
  *     throughput; the saturation throughput is the sweep's maximum.
  *  3. Pipelined batches: the same traffic but B requests per wire
  *     write, exercising the one-readiness-cycle batch path end to end.
+ *  4. Observability overhead: two fresh in-process stacks, one with
+ *     the full observability pipeline on (tracing, flight recorder,
+ *     RED metrics + phase histograms) and one with all of it off,
+ *     driven with identical load; both rows print so the cost of
+ *     always-on observability is a measured number, not a guess
+ *     (budget: <= 5% throughput degradation).
  *
  * The workload mix is Zipf-skewed (rank-1 traffic dominates), modeling
  * a scheduler that asks about the same few nightly jobs far more often
@@ -41,6 +47,8 @@
 
 #include "net/client.h"
 #include "net/server.h"
+#include "obs/flight_recorder.h"
+#include "obs/tracer.h"
 #include "service/model_cache.h"
 #include "service/service.h"
 #include "support/random.h"
@@ -261,10 +269,106 @@ hammerCache(size_t shards, size_t threads, double seconds)
     return static_cast<double>(total) / seconds;
 }
 
+/** Tuner knobs shared by every in-process stack the bench builds. */
+service::ServiceOptions
+benchServiceOptions()
+{
+    service::ServiceOptions sopt;
+    sopt.threads =
+        std::max<size_t>(4, std::thread::hardware_concurrency());
+    // Load-gen scale: small training matrix, modest GA budget — the
+    // wire is under test, not the tuner (tuner.h has the paper
+    // settings).
+    sopt.tuning.collect.datasetCount = 4;
+    sopt.tuning.collect.runsPerDataset = 12;
+    sopt.tuning.hm.firstOrder.maxTrees = 60;
+    sopt.tuning.ga.maxGenerations = 20;
+    sopt.parallelWithinRequest = false; // throughput over latency
+    return sopt;
+}
+
+/** Warm every mix item's model band so a sweep measures serving, not
+ *  collection campaigns. */
+void
+warmMix(const std::string &host, uint16_t port)
+{
+    net::Client warm(host, port);
+    warm.ping();
+    std::vector<service::TuneRequest> warmup;
+    for (const MixItem &item : servingMix()) {
+        service::TuneRequest req;
+        req.workload = item.workload;
+        req.nativeSize = item.nativeSize;
+        req.seed = 7;
+        warmup.push_back(std::move(req));
+    }
+    const auto responses = warm.requestBatch(warmup);
+    if (responses.empty())
+        std::cerr << "warmup returned nothing\n";
+}
+
+/**
+ * Phase 4 worker: serving throughput of a fresh in-process stack with
+ * the observability pipeline fully on or fully off. Fresh stacks per
+ * mode so one mode's histograms and rings cannot pollute the other;
+ * identical seed so both modes draw the same request sequence.
+ */
+SweepResult
+runObsPoint(bool obs_on, size_t clients, size_t batch, double seconds)
+{
+    obs::Tracer::instance().setEnabled(obs_on);
+    obs::FlightRecorder::instance().setEnabled(obs_on);
+
+    sparksim::SparkSimulator sim(cluster::ClusterSpec::paperTestbed());
+    service::TuningService service(sim, benchServiceOptions());
+    net::ServerOptions nopt;
+    if (obs_on)
+        nopt.metrics = &service.metrics();
+    net::TuningServer server(service, nopt);
+    server.start();
+    warmMix("127.0.0.1", server.port());
+
+    const SweepResult r = runSweepPoint("127.0.0.1", server.port(),
+                                        clients, batch, seconds, 17);
+    server.stop();
+    service.shutdown();
+
+    // Leave the process in the bench's ambient state: tracer off and
+    // drained, flight recorder at its always-on default.
+    obs::Tracer::instance().setEnabled(false);
+    obs::Tracer::instance().clear();
+    obs::FlightRecorder::instance().setEnabled(true);
+    return r;
+}
+
+/** ns/op for a rate, the unit google-benchmark JSON carries. */
+double
+nsPerOp(double ops_per_sec)
+{
+    return ops_per_sec > 0.0 ? secToNs(1.0 / ops_per_sec) : 0.0;
+}
+
+/** One google-benchmark-shaped entry (check_bench_regression compares
+ *  real_time across runs keyed by name). */
+void
+appendBenchEntry(std::ostream &out, bool &first, const std::string &name,
+                 double real_time_ns, uint64_t iterations)
+{
+    if (real_time_ns <= 0.0)
+        return; // a dead point would gate future runs on garbage
+    out << (first ? "" : ",") << "\n    {\"name\": \"" << name
+        << "\", \"run_type\": \"iteration\", \"iterations\": "
+        << iterations << ", \"real_time\": " << real_time_ns
+        << ", \"cpu_time\": " << real_time_ns
+        << ", \"time_unit\": \"ns\"}";
+    first = false;
+}
+
 void
 writeJson(const std::string &path, const std::vector<SweepResult> &sweep,
           double saturation_rps, double hammer_single_ops,
-          double hammer_sharded_ops)
+          double hammer_sharded_ops, const SweepResult &obs_off,
+          const SweepResult &obs_on)
 {
     std::ofstream out(path);
     out << "{\n  \"sweep\": [\n";
@@ -284,7 +388,31 @@ writeJson(const std::string &path, const std::vector<SweepResult> &sweep,
     out << "  \"saturation_rps\": " << saturation_rps << ",\n";
     out << "  \"cache_hammer\": {\"single_shard_ops\": "
         << hammer_single_ops
-        << ", \"sharded_ops\": " << hammer_sharded_ops << "}\n";
+        << ", \"sharded_ops\": " << hammer_sharded_ops << "},\n";
+    if (obs_off.ok > 0 || obs_on.ok > 0) {
+        out << "  \"obs_overhead\": {\"off_rps\": "
+            << obs_off.throughput()
+            << ", \"on_rps\": " << obs_on.throughput() << "},\n";
+    }
+    // google-benchmark-shaped view of the same numbers, the format
+    // tools/check_bench_regression gates on in perf-smoke.
+    out << "  \"benchmarks\": [";
+    bool first = true;
+    appendBenchEntry(out, first, "cache_hammer/shards:1",
+                     nsPerOp(hammer_single_ops), 1);
+    appendBenchEntry(out, first, "cache_hammer/shards:8",
+                     nsPerOp(hammer_sharded_ops), 1);
+    for (const SweepResult &r : sweep) {
+        appendBenchEntry(out, first,
+                         "serving/clients:" + std::to_string(r.clients) +
+                             "/batch:" + std::to_string(r.batch),
+                         nsPerOp(r.throughput()), r.ok);
+    }
+    appendBenchEntry(out, first, "serving/obs:off",
+                     nsPerOp(obs_off.throughput()), obs_off.ok);
+    appendBenchEntry(out, first, "serving/obs:on",
+                     nsPerOp(obs_on.throughput()), obs_on.ok);
+    out << "\n  ]\n";
     out << "}\n";
 }
 
@@ -356,18 +484,8 @@ main(int argc, char **argv)
     if (connect.empty()) {
         sim = std::make_unique<sparksim::SparkSimulator>(
             cluster::ClusterSpec::paperTestbed());
-        service::ServiceOptions sopt;
-        sopt.threads = std::max<size_t>(
-            4, std::thread::hardware_concurrency());
-        // Load-gen scale: small training matrix, modest GA budget —
-        // the wire is under test, not the tuner (tuner.h has the paper
-        // settings).
-        sopt.tuning.collect.datasetCount = 4;
-        sopt.tuning.collect.runsPerDataset = 12;
-        sopt.tuning.hm.firstOrder.maxTrees = 60;
-        sopt.tuning.ga.maxGenerations = 20;
-        sopt.parallelWithinRequest = false; // throughput over latency
-        service = std::make_unique<service::TuningService>(*sim, sopt);
+        service = std::make_unique<service::TuningService>(
+            *sim, benchServiceOptions());
         server = std::make_unique<net::TuningServer>(
             *service, net::ServerOptions{});
         server->start();
@@ -383,23 +501,8 @@ main(int argc, char **argv)
             std::stoul(connect.substr(colon + 1)));
     }
 
-    // Warm every mix item's model band so the sweep measures serving,
-    // not collection campaigns.
-    {
-        net::Client warm(host, port);
-        warm.ping();
-        std::vector<service::TuneRequest> warmup;
-        for (const MixItem &item : servingMix()) {
-            service::TuneRequest req;
-            req.workload = item.workload;
-            req.nativeSize = item.nativeSize;
-            req.seed = 7;
-            warmup.push_back(std::move(req));
-        }
-        const auto responses = warm.requestBatch(warmup);
-        std::cout << "warmup: " << responses.size()
-                  << " models resident\n\n";
-    }
+    warmMix(host, port);
+    std::cout << "warmup: mix models resident\n\n";
 
     // The sweep: closed-loop clients, one request per wire write.
     std::vector<SweepResult> sweep;
@@ -452,9 +555,43 @@ main(int argc, char **argv)
         service->shutdown();
     }
 
+    // Phase 4: observability overhead, in-process only (an external
+    // server's obs state is not ours to toggle).
+    SweepResult obsOff;
+    SweepResult obsOn;
+    if (connect.empty()) {
+        printBanner(std::cout, "observability overhead");
+        const size_t obsClients =
+            clientCounts.empty() ? 4 : clientCounts.back();
+        const size_t obsBatch = std::max<size_t>(1, pipelineBatch);
+        obsOff = runObsPoint(false, obsClients, obsBatch, seconds);
+        obsOn = runObsPoint(true, obsClients, obsBatch, seconds);
+        totalOk += obsOff.ok + obsOn.ok;
+        TextTable obsTable({"observability", "ok", "req/s", "p50 ms",
+                            "p99 ms"});
+        const auto addObsRow = [&obsTable](const std::string &mode,
+                                           const SweepResult &r) {
+            obsTable.addRow({mode, std::to_string(r.ok),
+                             formatDouble(r.throughput(), 1),
+                             formatDouble(r.p50Ms, 2),
+                             formatDouble(r.p99Ms, 2)});
+        };
+        addObsRow("off", obsOff);
+        addObsRow("on (trace+flight+metrics)", obsOn);
+        obsTable.print(std::cout);
+        if (obsOff.throughput() > 0.0) {
+            const double overheadPct =
+                (1.0 - obsOn.throughput() / obsOff.throughput()) *
+                100.0;
+            std::cout << "observability overhead: "
+                      << formatDouble(overheadPct, 1)
+                      << "% of throughput (budget: 5%)\n";
+        }
+    }
+
     if (!outPath.empty()) {
         writeJson(outPath, sweep, saturation, hammerSingle,
-                  hammerSharded);
+                  hammerSharded, obsOff, obsOn);
         std::cout << "wrote " << outPath << "\n";
     }
 

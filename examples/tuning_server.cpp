@@ -15,6 +15,7 @@
  *
  * Usage: tuning_server [threads] [--port=N] [--loops=N]
  *                      [--prometheus] [--trace-out=FILE]
+ *                      [--flight-dir=DIR]
  *
  *   threads           service worker threads (0 = one per hw thread)
  *   --port=N          serve mode: bind 127.0.0.1:N until SIGINT/SIGTERM
@@ -25,6 +26,14 @@
  *   --trace-out=FILE  record a Chrome trace of the whole client mix
  *                     to FILE (open in Perfetto) and print a span
  *                     summary table
+ *   --flight-dir=DIR  write flight-recorder dumps into DIR: on
+ *                     SIGUSR1 (serve mode), and automatically when a
+ *                     request degrades (rate-limited)
+ *
+ * The server always publishes live stats: a Stats frame (or dac_top)
+ * returns the full registry — RED metrics per event loop, per-phase
+ * latency histograms, model-cache shard counters — as Prometheus text
+ * or JSON.
  */
 
 #include <csignal>
@@ -38,20 +47,29 @@
 #include "net/client.h"
 #include "net/server.h"
 #include "obs/chrome_trace.h"
+#include "obs/flight_recorder.h"
 #include "obs/summary.h"
 #include "obs/tracer.h"
 #include "service/service.h"
 #include "support/string_utils.h"
 #include "support/table.h"
+#include "support/units.h"
 
 namespace {
 
 volatile std::sig_atomic_t g_stop = 0;
+volatile std::sig_atomic_t g_dump = 0;
 
 void
 onSignal(int)
 {
     g_stop = 1;
+}
+
+void
+onDumpSignal(int)
+{
+    g_dump = 1;
 }
 
 void
@@ -79,12 +97,16 @@ main(int argc, char **argv)
     bool serve = false;
     uint16_t port = 0;
     std::string trace_path;
+    std::string flight_dir;
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
         if (arg == "--prometheus") {
             prometheus = true;
         } else if (startsWith(arg, "--trace-out=")) {
             trace_path = arg.substr(std::string("--trace-out=").size());
+        } else if (startsWith(arg, "--flight-dir=")) {
+            flight_dir =
+                arg.substr(std::string("--flight-dir=").size());
         } else if (startsWith(arg, "--port=")) {
             serve = true;
             port = static_cast<uint16_t>(
@@ -97,7 +119,8 @@ main(int argc, char **argv)
             } catch (const std::exception &) {
                 std::cerr << "usage: tuning_server [threads] [--port=N]"
                           << " [--loops=N] [--prometheus]"
-                          << " [--trace-out=FILE]\n";
+                          << " [--trace-out=FILE]"
+                          << " [--flight-dir=DIR]\n";
                 return 1;
             }
         }
@@ -129,10 +152,22 @@ main(int argc, char **argv)
 
     service::TuningService service(sim, options);
 
+    if (!flight_dir.empty())
+        obs::FlightRecorder::instance().setDumpDirectory(flight_dir);
+
     net::ServerOptions sopt;
     sopt.port = port;
     sopt.eventLoops = loops;
+    // Publish the server's RED metrics and phase histograms into the
+    // service registry so one Stats query covers the whole stack.
+    sopt.metrics = &service.metrics();
     net::TuningServer server(service, sopt);
+    server.setStatsProvider([&service](net::StatsFormat format) {
+        service.refreshGauges();
+        return format == net::StatsFormat::Prometheus
+                   ? service.metrics().renderPrometheus()
+                   : service.metrics().renderJson();
+    });
     server.start();
 
     std::cout << "tuning service up: " << threads << " worker(s), "
@@ -147,8 +182,26 @@ main(int argc, char **argv)
         action.sa_handler = onSignal;
         sigaction(SIGINT, &action, nullptr);
         sigaction(SIGTERM, &action, nullptr);
-        while (g_stop == 0)
+        struct sigaction dumpAction = {};
+        dumpAction.sa_handler = onDumpSignal;
+        sigaction(SIGUSR1, &dumpAction, nullptr);
+        while (g_stop == 0) {
+            if (g_dump != 0) {
+                g_dump = 0;
+                // Signal handlers only set the flag; the dump itself
+                // (allocation, file I/O) runs here on the main thread.
+                const auto path =
+                    obs::FlightRecorder::instance().requestDump(
+                        "sigusr1");
+                if (path.empty())
+                    std::cerr << "flight dump skipped (no --flight-dir"
+                              << " or rate-limited)\n";
+                else
+                    std::cout << "flight dump written: " << path
+                              << "\n";
+            }
             std::this_thread::sleep_for(std::chrono::milliseconds(50));
+        }
         std::cout << "signal received; draining\n";
         server.stop();
         printServerStats(server.stats());
@@ -216,6 +269,27 @@ main(int argc, char **argv)
         }
     }
     table.print(std::cout);
+
+    // The v2 protocol returns where each request spent its time; show
+    // the breakdown for the whole mix.
+    printBanner(std::cout, "per-request phase breakdown (ms)");
+    TextTable phaseTable({"client", "decode", "queue", "cache",
+                          "build", "search", "serialize"});
+    for (size_t i = 0; i < clients.size(); ++i) {
+        const auto &response = responses[i];
+        const auto ms = [&response](service::Phase phase) {
+            return formatDouble(secToMsec(response.phaseSec(phase)),
+                                2);
+        };
+        phaseTable.addRow({clients[i].name,
+                           ms(service::Phase::Decode),
+                           ms(service::Phase::Queue),
+                           ms(service::Phase::CacheLookup),
+                           ms(service::Phase::ModelBuild),
+                           ms(service::Phase::Search),
+                           ms(service::Phase::Serialize)});
+    }
+    phaseTable.print(std::cout);
 
     // What did the tuner actually change? Show the biggest moves of
     // the first response relative to the Spark defaults.

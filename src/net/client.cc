@@ -2,7 +2,7 @@
 
 #include <algorithm>
 
-#include "net/protocol.h"
+#include "obs/tracer.h"
 #include "support/logging.h"
 
 namespace dac::net {
@@ -17,8 +17,20 @@ Client::Client(const std::string &host, uint16_t port,
 service::TuneResponse
 Client::request(const service::TuneRequest &request)
 {
+    // The span covers the whole round trip; its id travels as the
+    // trace id (unless the caller pinned one), so the server's span
+    // tree parents under this span. A sampled-out request silences
+    // both sides.
+    obs::SampleScope sampleScope(request.sampled);
+    obs::ScopedSpan span("net.client.request");
+    service::TuneRequest wire = request;
+    if (span.active()) {
+        span.attr("workload", wire.workload);
+        if (wire.traceId == 0)
+            wire.traceId = span.id();
+    }
     const uint32_t id = nextId++;
-    const auto payload = encodeTuneRequest(request);
+    const auto payload = encodeTuneRequest(wire);
     const auto frame = encodeFrame(MsgType::TuneRequest, id, payload);
     if (!writeAll(socket.fd(), frame.data(), frame.size()))
         throw RpcError("connection lost while sending request");
@@ -27,7 +39,7 @@ Client::request(const service::TuneRequest &request)
         throw RpcError(decodeError(reply.payload));
     if (reply.type != MsgType::TuneResponse)
         throw RpcError("unexpected reply frame type");
-    return decodeTuneResponse(reply.payload, *space);
+    return decodeTuneResponse(reply.payload, *space, reply.version);
 }
 
 std::vector<service::TuneResponse>
@@ -39,9 +51,20 @@ Client::requestBatch(const std::vector<service::TuneRequest> &requests)
     std::vector<uint32_t> ids;
     ids.reserve(requests.size());
     for (const auto &request : requests) {
+        // Each batch item gets its own span — and with it its own
+        // trace id — so server-side work for different items never
+        // collapses into one trace.
+        obs::SampleScope sampleScope(request.sampled);
+        obs::ScopedSpan span("net.client.request");
+        service::TuneRequest item = request;
+        if (span.active()) {
+            span.attr("workload", item.workload);
+            if (item.traceId == 0)
+                item.traceId = span.id();
+        }
         const uint32_t id = nextId++;
         ids.push_back(id);
-        const auto payload = encodeTuneRequest(request);
+        const auto payload = encodeTuneRequest(item);
         appendFrame(wire, MsgType::TuneRequest, id, payload.data(),
                     payload.size());
     }
@@ -57,9 +80,47 @@ Client::requestBatch(const std::vector<service::TuneRequest> &requests)
             throw RpcError(decodeError(reply.payload));
         if (reply.type != MsgType::TuneResponse)
             throw RpcError("unexpected reply frame type");
-        responses.push_back(decodeTuneResponse(reply.payload, *space));
+        responses.push_back(
+            decodeTuneResponse(reply.payload, *space, reply.version));
     }
     return responses;
+}
+
+std::string
+Client::stats(StatsFormat format)
+{
+    const uint32_t id = nextId++;
+    const auto payload = encodeStatsRequest(StatsRequest{format});
+    std::vector<uint8_t> frame;
+    appendFrame(frame, MsgType::Stats, id, payload.data(),
+                payload.size());
+    if (!writeAll(socket.fd(), frame.data(), frame.size()))
+        throw RpcError("connection lost while sending stats request");
+    const Frame reply = awaitFrame(id);
+    if (reply.type == MsgType::Error)
+        throw RpcError(decodeError(reply.payload));
+    if (reply.type != MsgType::StatsReply)
+        throw RpcError("unexpected reply frame type");
+    return decodeTextReply(reply.payload);
+}
+
+std::string
+Client::flightDump(double window_sec)
+{
+    const uint32_t id = nextId++;
+    const auto payload =
+        encodeFlightDumpRequest(FlightDumpRequest{window_sec});
+    std::vector<uint8_t> frame;
+    appendFrame(frame, MsgType::FlightDump, id, payload.data(),
+                payload.size());
+    if (!writeAll(socket.fd(), frame.data(), frame.size()))
+        throw RpcError("connection lost while sending dump request");
+    const Frame reply = awaitFrame(id);
+    if (reply.type == MsgType::Error)
+        throw RpcError(decodeError(reply.payload));
+    if (reply.type != MsgType::FlightDumpReply)
+        throw RpcError("unexpected reply frame type");
+    return decodeTextReply(reply.payload);
 }
 
 void

@@ -19,6 +19,7 @@
 
 #include "conf/space.h"
 #include "net/frame.h"
+#include "net/protocol.h"
 #include "net/socket.h"
 #include "service/request.h"
 
@@ -49,7 +50,16 @@ class Client
            const conf::ConfigSpace &space = conf::ConfigSpace::spark(),
            double timeout_sec = 30.0);
 
-    /** Send one request and block for its response. */
+    /**
+     * Send one request and block for its response.
+     *
+     * Trace context rides the wire: with tracing enabled, the call
+     * opens a "net.client.request" span and (unless the caller set
+     * one) sends its span id as the request's trace id, so the
+     * server-side span tree parents under this span in one stitched
+     * trace. A request with `sampled` false records nothing on either
+     * side.
+     */
     [[nodiscard]] service::TuneResponse
     request(const service::TuneRequest &request);
 
@@ -64,6 +74,14 @@ class Client
 
     /** Round-trip a Ping frame (transport health check). */
     void ping();
+
+    /** Fetch a live stats snapshot (MsgType::Stats round trip). */
+    [[nodiscard]] std::string
+    stats(StatsFormat format = StatsFormat::Json);
+
+    /** Fetch the server's flight-recorder dump of the last
+     *  `window_sec` seconds (MsgType::FlightDump round trip). */
+    [[nodiscard]] std::string flightDump(double window_sec = 30.0);
 
     /** Close the connection (the destructor also does). */
     void close();

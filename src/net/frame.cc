@@ -43,6 +43,10 @@ isKnownMsgType(uint8_t value)
     case MsgType::Error:
     case MsgType::Ping:
     case MsgType::Pong:
+    case MsgType::Stats:
+    case MsgType::StatsReply:
+    case MsgType::FlightDump:
+    case MsgType::FlightDumpReply:
         return true;
     }
     return false;
@@ -50,13 +54,16 @@ isKnownMsgType(uint8_t value)
 
 void
 appendFrame(std::vector<uint8_t> &out, MsgType type, uint32_t request_id,
-            const uint8_t *payload, size_t payload_len)
+            const uint8_t *payload, size_t payload_len, uint8_t version)
 {
     DAC_ASSERT(payload_len <= kMaxPayloadBytes,
                "frame payload exceeds the protocol ceiling");
+    DAC_ASSERT(version >= kMinProtocolVersion &&
+                   version <= kProtocolVersion,
+               "frame version outside the speakable range");
     out.reserve(out.size() + kFrameHeaderBytes + payload_len);
     putU32(out, kFrameMagic);
-    out.push_back(kProtocolVersion);
+    out.push_back(version);
     out.push_back(static_cast<uint8_t>(type));
     // Reserved flags, zero until a later protocol version needs them.
     out.push_back(0);
@@ -68,10 +75,11 @@ appendFrame(std::vector<uint8_t> &out, MsgType type, uint32_t request_id,
 
 std::vector<uint8_t>
 encodeFrame(MsgType type, uint32_t request_id,
-            const std::vector<uint8_t> &payload)
+            const std::vector<uint8_t> &payload, uint8_t version)
 {
     std::vector<uint8_t> out;
-    appendFrame(out, type, request_id, payload.data(), payload.size());
+    appendFrame(out, type, request_id, payload.data(), payload.size(),
+                version);
     return out;
 }
 
@@ -113,18 +121,17 @@ FrameDecoder::next(Frame *out)
         return Result::Malformed;
     }
     const uint8_t version = header[4];
-    if (version != kProtocolVersion) {
+    if (version < kMinProtocolVersion || version > kProtocolVersion) {
         malformed = true;
         errorText =
             "unsupported protocol version " + std::to_string(version);
         return Result::Malformed;
     }
+    // An unknown type byte is NOT malformed: the length field still
+    // bounds the frame, so framing stays aligned. The frame is passed
+    // through for the dispatch layer to answer with Error while the
+    // connection lives on (forward compatibility with newer peers).
     const uint8_t type = header[5];
-    if (!isKnownMsgType(type)) {
-        malformed = true;
-        errorText = "unknown frame type " + std::to_string(type);
-        return Result::Malformed;
-    }
     if (loadU16(header + 6) != 0) {
         malformed = true;
         errorText = "nonzero reserved flags";
@@ -143,6 +150,7 @@ FrameDecoder::next(Frame *out)
 
     out->type = static_cast<MsgType>(type);
     out->requestId = request_id;
+    out->version = version;
     const uint8_t *body = header + kFrameHeaderBytes;
     out->payload.assign(body, body + payload_len);
     offset += kFrameHeaderBytes + payload_len;

@@ -10,7 +10,17 @@
  * deliberately paranoid — a stream is untrusted input — and classifies
  * every defect (bad magic, unknown version, oversized length) as
  * Malformed so the server can drop the connection instead of guessing
- * at resynchronization.
+ * at resynchronization. An unknown *type* byte is the one forgivable
+ * defect: framing is still intact (the length field says where the
+ * frame ends), so the decoder passes the frame through and lets the
+ * dispatch layer answer Error while keeping the stream alive — a newer
+ * client talking to an older server degrades per-feature, not
+ * per-connection.
+ *
+ * Version history: v1 framed the original request/response pair; v2
+ * (this build) adds trace context to TuneRequest, the phase breakdown
+ * to TuneResponse, and the Stats/FlightDump admin frames. The header
+ * layout is unchanged, and v1 frames remain fully decodable.
  */
 
 #ifndef DAC_NET_FRAME_H
@@ -36,6 +46,16 @@ enum class MsgType : uint8_t {
     Ping = 4,
     /** Answer to Ping; requestId echoed. */
     Pong = 5,
+    /** v2: live stats query (protocol.h StatsRequest), answered in
+     *  the event loop without touching the worker pool. */
+    Stats = 6,
+    /** v2: answer to Stats; payload is the rendered snapshot. */
+    StatsReply = 7,
+    /** v2: flight-recorder dump request (protocol.h
+     *  FlightDumpRequest), answered in the event loop. */
+    FlightDump = 8,
+    /** v2: answer to FlightDump; payload is the JSON dump. */
+    FlightDumpReply = 9,
 };
 
 /** True for the MsgType values the protocol defines. */
@@ -43,8 +63,10 @@ enum class MsgType : uint8_t {
 
 /** Start-of-frame marker; little-endian on the wire. */
 inline constexpr uint32_t kFrameMagic = 0xDAC0FA3E;
-/** Protocol version this build speaks. */
-inline constexpr uint8_t kProtocolVersion = 1;
+/** Protocol version this build speaks (and emits by default). */
+inline constexpr uint8_t kProtocolVersion = 2;
+/** Oldest version this build still accepts and answers. */
+inline constexpr uint8_t kMinProtocolVersion = 1;
 /** Frame header size on the wire, bytes. */
 inline constexpr size_t kFrameHeaderBytes = 16;
 /** Default payload-size ceiling (1 MiB): a TuneResponse is a few
@@ -60,6 +82,10 @@ struct Frame
     /** Caller-chosen correlation id; responses echo it, so a client
      *  may pipeline requests and match answers out of order. */
     uint32_t requestId = 0;
+    /** Wire protocol version the frame arrived with; the server frames
+     *  its reply with the same version so v1 clients never see v2
+     *  payload fields. */
+    uint8_t version = kProtocolVersion;
     std::vector<uint8_t> payload;
 };
 
@@ -68,16 +94,18 @@ struct Frame
  *
  * Appending (rather than returning) is the write-coalescing hook: the
  * server encodes every response of a batch into one buffer and hands
- * the kernel a single write.
+ * the kernel a single write. `version` is the wire version stamped in
+ * the header — kProtocolVersion unless answering an older client.
  */
 void appendFrame(std::vector<uint8_t> &out, MsgType type,
                  uint32_t request_id, const uint8_t *payload,
-                 size_t payload_len);
+                 size_t payload_len, uint8_t version = kProtocolVersion);
 
 /** Convenience: one frame as a fresh buffer. */
 [[nodiscard]] std::vector<uint8_t>
 encodeFrame(MsgType type, uint32_t request_id,
-            const std::vector<uint8_t> &payload);
+            const std::vector<uint8_t> &payload,
+            uint8_t version = kProtocolVersion);
 
 /**
  * Incremental frame decoder.

@@ -107,18 +107,22 @@ PayloadReader::expectEnd() const
 }
 
 std::vector<uint8_t>
-encodeTuneRequest(const service::TuneRequest &request)
+encodeTuneRequest(const service::TuneRequest &request, uint8_t version)
 {
     PayloadWriter w;
     w.putString(request.workload);
     w.putF64(request.nativeSize);
     w.putU64(request.seed);
     w.putF64(request.deadlineSec);
+    if (version >= 2) {
+        w.putU64(request.traceId);
+        w.putU8(request.sampled ? kRequestFlagSampled : 0);
+    }
     return w.take();
 }
 
 service::TuneRequest
-decodeTuneRequest(const std::vector<uint8_t> &payload)
+decodeTuneRequest(const std::vector<uint8_t> &payload, uint8_t version)
 {
     PayloadReader r(payload);
     service::TuneRequest request;
@@ -126,12 +130,19 @@ decodeTuneRequest(const std::vector<uint8_t> &payload)
     request.nativeSize = r.getF64();
     request.seed = r.getU64();
     request.deadlineSec = r.getF64();
+    if (version >= 2) {
+        request.traceId = r.getU64();
+        const uint8_t flags = r.getU8();
+        if ((flags & ~kRequestFlagSampled) != 0)
+            throw ProtocolError("unknown tune-request flags");
+        request.sampled = (flags & kRequestFlagSampled) != 0;
+    }
     r.expectEnd();
     return request;
 }
 
 std::vector<uint8_t>
-encodeTuneResponse(const service::TuneResponse &response)
+encodeTuneResponse(const service::TuneResponse &response, uint8_t version)
 {
     PayloadWriter w;
     w.putString(response.workload);
@@ -153,12 +164,19 @@ encodeTuneResponse(const service::TuneResponse &response)
         w.putString(warning.constraint);
         w.putString(warning.message);
     }
+    if (version >= 2) {
+        w.putU8(static_cast<uint8_t>(response.phases.size()));
+        for (const auto &timing : response.phases) {
+            w.putU8(static_cast<uint8_t>(timing.phase));
+            w.putF64(timing.sec);
+        }
+    }
     return w.take();
 }
 
 service::TuneResponse
 decodeTuneResponse(const std::vector<uint8_t> &payload,
-                   const conf::ConfigSpace &space)
+                   const conf::ConfigSpace &space, uint8_t version)
 {
     PayloadReader r(payload);
     service::TuneResponse response;
@@ -191,8 +209,41 @@ decodeTuneResponse(const std::vector<uint8_t> &payload,
         v.message = r.getString();
         response.warnings.push_back(std::move(v));
     }
+    if (version >= 2) {
+        const uint8_t phases = r.getU8();
+        response.phases.reserve(phases);
+        for (uint8_t i = 0; i < phases; ++i) {
+            service::PhaseTiming timing;
+            const uint8_t raw = r.getU8();
+            if (raw >= service::kPhaseCount)
+                throw ProtocolError("unknown phase id " +
+                                    std::to_string(raw));
+            timing.phase = static_cast<service::Phase>(raw);
+            timing.sec = r.getF64();
+            response.phases.push_back(timing);
+        }
+    }
     r.expectEnd();
     return response;
+}
+
+void
+patchSerializePhaseSec(std::vector<uint8_t> &payload, double sec)
+{
+    // Layout check: a v2 response with phases ends ... u8 phase-count,
+    // then entries of (u8 phase, f64 sec); the trailing entry must be
+    // Serialize, whose f64 is the last 8 bytes.
+    constexpr size_t entryBytes = 9;
+    if (payload.size() < entryBytes ||
+        payload[payload.size() - entryBytes] !=
+            static_cast<uint8_t>(service::Phase::Serialize))
+        throw ProtocolError(
+            "payload has no trailing serialize phase to patch");
+    const uint64_t bits = std::bit_cast<uint64_t>(sec);
+    for (size_t i = 0; i < 8; ++i) {
+        payload[payload.size() - 8 + i] =
+            static_cast<uint8_t>((bits >> (8 * i)) & 0xffu);
+    }
 }
 
 std::vector<uint8_t>
@@ -210,6 +261,65 @@ decodeError(const std::vector<uint8_t> &payload)
     std::string message = r.getString();
     r.expectEnd();
     return message;
+}
+
+std::vector<uint8_t>
+encodeStatsRequest(const StatsRequest &request)
+{
+    PayloadWriter w;
+    w.putU8(static_cast<uint8_t>(request.format));
+    return w.take();
+}
+
+StatsRequest
+decodeStatsRequest(const std::vector<uint8_t> &payload)
+{
+    PayloadReader r(payload);
+    StatsRequest request;
+    const uint8_t format = r.getU8();
+    if (format > static_cast<uint8_t>(StatsFormat::Prometheus))
+        throw ProtocolError("unknown stats format " +
+                            std::to_string(format));
+    request.format = static_cast<StatsFormat>(format);
+    r.expectEnd();
+    return request;
+}
+
+std::vector<uint8_t>
+encodeFlightDumpRequest(const FlightDumpRequest &request)
+{
+    PayloadWriter w;
+    w.putF64(request.windowSec);
+    return w.take();
+}
+
+FlightDumpRequest
+decodeFlightDumpRequest(const std::vector<uint8_t> &payload)
+{
+    PayloadReader r(payload);
+    FlightDumpRequest request;
+    request.windowSec = r.getF64();
+    if (!(request.windowSec >= 0.0))
+        throw ProtocolError("negative flight-dump window");
+    r.expectEnd();
+    return request;
+}
+
+std::vector<uint8_t>
+encodeTextReply(const std::string &text)
+{
+    PayloadWriter w;
+    w.putString(text);
+    return w.take();
+}
+
+std::string
+decodeTextReply(const std::vector<uint8_t> &payload)
+{
+    PayloadReader r(payload);
+    std::string text = r.getString();
+    r.expectEnd();
+    return text;
 }
 
 } // namespace dac::net

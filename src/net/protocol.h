@@ -22,6 +22,7 @@
 #include <vector>
 
 #include "conf/space.h"
+#include "net/frame.h"
 #include "service/request.h"
 
 namespace dac::net {
@@ -91,21 +92,38 @@ class PayloadReader
     size_t at = 0;
 };
 
-/** TuneRequest -> payload bytes (for a MsgType::TuneRequest frame). */
-[[nodiscard]] std::vector<uint8_t>
-encodeTuneRequest(const service::TuneRequest &request);
+/** TuneRequest v2 flags byte: bit 0 = the sampling decision; all
+ *  other bits must be zero (reserved). */
+inline constexpr uint8_t kRequestFlagSampled = 0x01;
 
-/** Payload bytes -> TuneRequest; throws ProtocolError when invalid. */
+/**
+ * TuneRequest -> payload bytes (for a MsgType::TuneRequest frame).
+ * `version` picks the wire dialect: v1 stops after the deadline (the
+ * bytes a v1 build emitted, bit for bit); v2 appends the trace id and
+ * a flags byte (bit 0 = sampled).
+ */
+[[nodiscard]] std::vector<uint8_t>
+encodeTuneRequest(const service::TuneRequest &request,
+                  uint8_t version = kProtocolVersion);
+
+/**
+ * Payload bytes -> TuneRequest; throws ProtocolError when invalid.
+ * A v1 payload decodes with traceId 0 / sampled true, so the service
+ * treats old clients exactly as before.
+ */
 [[nodiscard]] service::TuneRequest
-decodeTuneRequest(const std::vector<uint8_t> &payload);
+decodeTuneRequest(const std::vector<uint8_t> &payload,
+                  uint8_t version = kProtocolVersion);
 
 /**
  * TuneResponse -> payload bytes. The configuration travels as its raw
  * value vector (space order); warnings and the degradation reason are
- * typed fields, not free text on stderr.
+ * typed fields, not free text on stderr. v2 appends the per-phase
+ * latency breakdown; v1 omits it (bit-identical to a v1 build).
  */
 [[nodiscard]] std::vector<uint8_t>
-encodeTuneResponse(const service::TuneResponse &response);
+encodeTuneResponse(const service::TuneResponse &response,
+                   uint8_t version = kProtocolVersion);
 
 /**
  * Payload bytes -> TuneResponse over `space` (the receiver must speak
@@ -113,7 +131,18 @@ encodeTuneResponse(const service::TuneResponse &response);
  */
 [[nodiscard]] service::TuneResponse
 decodeTuneResponse(const std::vector<uint8_t> &payload,
-                   const conf::ConfigSpace &space);
+                   const conf::ConfigSpace &space,
+                   uint8_t version = kProtocolVersion);
+
+/**
+ * Overwrite the seconds of the trailing Phase::Serialize entry of an
+ * encoded v2 TuneResponse payload. The transport appends a
+ * placeholder serialize entry before encoding (a payload cannot know
+ * its own encoding cost up front) and patches the real duration here —
+ * the entry's f64 is the last 8 payload bytes by construction. Throws
+ * ProtocolError when the payload carries no such trailing entry.
+ */
+void patchSerializePhaseSec(std::vector<uint8_t> &payload, double sec);
 
 /** Error-frame payload: just the message string. */
 [[nodiscard]] std::vector<uint8_t>
@@ -122,6 +151,48 @@ encodeError(const std::string &message);
 /** Error-frame payload -> message; throws ProtocolError when invalid. */
 [[nodiscard]] std::string
 decodeError(const std::vector<uint8_t> &payload);
+
+/** Rendering requested by a Stats frame. */
+enum class StatsFormat : uint8_t {
+    /** MetricsRegistry::renderJson() + serving gauges. */
+    Json = 0,
+    /** Prometheus text exposition. */
+    Prometheus = 1,
+};
+
+/** Payload of a MsgType::Stats frame (v2). */
+struct StatsRequest
+{
+    StatsFormat format = StatsFormat::Json;
+};
+
+[[nodiscard]] std::vector<uint8_t>
+encodeStatsRequest(const StatsRequest &request);
+
+[[nodiscard]] StatsRequest
+decodeStatsRequest(const std::vector<uint8_t> &payload);
+
+/** Payload of a MsgType::FlightDump frame (v2). */
+struct FlightDumpRequest
+{
+    /** How far back the dump reaches, seconds. */
+    double windowSec = 30.0;
+};
+
+[[nodiscard]] std::vector<uint8_t>
+encodeFlightDumpRequest(const FlightDumpRequest &request);
+
+[[nodiscard]] FlightDumpRequest
+decodeFlightDumpRequest(const std::vector<uint8_t> &payload);
+
+/** StatsReply / FlightDumpReply payload: the rendered text. */
+[[nodiscard]] std::vector<uint8_t>
+encodeTextReply(const std::string &text);
+
+/** StatsReply / FlightDumpReply payload -> text; throws ProtocolError
+ *  when invalid. */
+[[nodiscard]] std::string
+decodeTextReply(const std::vector<uint8_t> &payload);
 
 } // namespace dac::net
 

@@ -1,9 +1,11 @@
 #include "net/server.h"
 
 #include <algorithm>
+#include <chrono>
 #include <utility>
 
 #include "net/protocol.h"
+#include "obs/flight_recorder.h"
 #include "support/logging.h"
 
 namespace dac::net {
@@ -19,6 +21,14 @@ atomicMax(std::atomic<uint64_t> &slot, uint64_t value)
                                seen, value, std::memory_order_relaxed,
                                std::memory_order_relaxed)) {
     }
+}
+
+double
+elapsedSec(std::chrono::steady_clock::time_point since)
+{
+    return std::chrono::duration<double>(
+               std::chrono::steady_clock::now() - since)
+        .count();
 }
 
 } // namespace
@@ -42,6 +52,9 @@ class Connection : public std::enable_shared_from_this<Connection>
 
     /** The event loop this connection is pinned to. */
     [[nodiscard]] EventLoop &homeLoop() { return home.loop; }
+
+    /** The loop slot (event loop + cached metrics) it is pinned to. */
+    [[nodiscard]] TuningServer::Loop &homeSlot() { return home; }
 
     /** Register with the home loop; loop thread only. */
     void
@@ -121,6 +134,7 @@ class Connection : public std::enable_shared_from_this<Connection>
         // Drain every complete frame buffered so far: this whole
         // readiness cycle's worth of requests becomes one batch.
         std::vector<uint32_t> ids;
+        std::vector<uint8_t> versions;
         std::vector<service::TuneRequest> requests;
         std::vector<uint8_t> inlineReplies;
         bool malformed = false;
@@ -138,36 +152,98 @@ class Connection : public std::enable_shared_from_this<Connection>
             switch (frame.type) {
             case MsgType::Ping:
                 appendFrame(inlineReplies, MsgType::Pong,
-                            frame.requestId, nullptr, 0);
+                            frame.requestId, nullptr, 0, frame.version);
                 server.counters.framesSent.fetch_add(
                     1, std::memory_order_relaxed);
                 break;
             case MsgType::TuneRequest:
                 try {
-                    requests.push_back(
-                        decodeTuneRequest(frame.payload));
+                    const auto decodeStart =
+                        std::chrono::steady_clock::now();
+                    service::TuneRequest request =
+                        decodeTuneRequest(frame.payload, frame.version);
+                    request.decodeSec = elapsedSec(decodeStart);
+                    request.wireId = frame.requestId;
+                    obs::FlightRecorder::record(frame.requestId,
+                                                obs::FlightPhase::Decode,
+                                                request.decodeSec);
+                    requests.push_back(std::move(request));
                     ids.push_back(frame.requestId);
+                    versions.push_back(frame.version);
                 } catch (const ProtocolError &e) {
                     server.counters.protocolErrors.fetch_add(
                         1, std::memory_order_relaxed);
                     const auto payload = encodeError(e.what());
                     appendFrame(inlineReplies, MsgType::Error,
                                 frame.requestId, payload.data(),
-                                payload.size());
+                                payload.size(), frame.version);
                     server.counters.framesSent.fetch_add(
                         1, std::memory_order_relaxed);
                 }
                 break;
+            case MsgType::Stats: {
+                // Served inline on the loop thread: a stats snapshot
+                // must come back even when the worker pool is wedged —
+                // that is exactly when the caller wants it.
+                std::vector<uint8_t> payload;
+                MsgType replyType = MsgType::StatsReply;
+                try {
+                    const StatsRequest statsRequest =
+                        decodeStatsRequest(frame.payload);
+                    payload = encodeTextReply(
+                        server.renderStats(statsRequest.format));
+                } catch (const ProtocolError &e) {
+                    server.counters.protocolErrors.fetch_add(
+                        1, std::memory_order_relaxed);
+                    replyType = MsgType::Error;
+                    payload = encodeError(e.what());
+                }
+                appendFrame(inlineReplies, replyType, frame.requestId,
+                            payload.data(), payload.size(),
+                            frame.version);
+                server.counters.framesSent.fetch_add(
+                    1, std::memory_order_relaxed);
+                break;
+            }
+            case MsgType::FlightDump: {
+                std::vector<uint8_t> payload;
+                MsgType replyType = MsgType::FlightDumpReply;
+                try {
+                    const FlightDumpRequest dumpRequest =
+                        decodeFlightDumpRequest(frame.payload);
+                    // Every record renders to well under 160 bytes of
+                    // JSON, so this cap keeps the reply inside the
+                    // frame payload ceiling (1 MiB) with headroom;
+                    // the dump reports how many records it dropped.
+                    constexpr size_t kMaxWireDumpRecords = 6000;
+                    payload = encodeTextReply(
+                        obs::FlightRecorder::instance().dumpJson(
+                            dumpRequest.windowSec, kMaxWireDumpRecords));
+                } catch (const ProtocolError &e) {
+                    server.counters.protocolErrors.fetch_add(
+                        1, std::memory_order_relaxed);
+                    replyType = MsgType::Error;
+                    payload = encodeError(e.what());
+                }
+                appendFrame(inlineReplies, replyType, frame.requestId,
+                            payload.data(), payload.size(),
+                            frame.version);
+                server.counters.framesSent.fetch_add(
+                    1, std::memory_order_relaxed);
+                break;
+            }
             default: {
-                // A client has no business sending response-side
-                // frames; answer with an error but keep the stream.
+                // Response-side frames a client has no business
+                // sending, and type bytes this build does not know
+                // (the decoder passes them through — framing is still
+                // aligned): answer with an error but keep the stream.
                 server.counters.protocolErrors.fetch_add(
                     1, std::memory_order_relaxed);
                 const auto payload =
                     encodeError("unexpected frame type");
                 appendFrame(inlineReplies, MsgType::Error,
                             frame.requestId, payload.data(),
-                            payload.size());
+                            payload.size(), frame.version);
                 server.counters.framesSent.fetch_add(
                     1, std::memory_order_relaxed);
                 break;
@@ -179,6 +255,7 @@ class Connection : public std::enable_shared_from_this<Connection>
             send(inlineReplies);
         if (!requests.empty()) {
             server.dispatchBatch(shared_from_this(), std::move(ids),
+                                 std::move(versions),
                                  std::move(requests));
         }
         if (malformed) {
@@ -261,6 +338,21 @@ TuningServer::start()
     loops.reserve(options.eventLoops);
     for (size_t i = 0; i < options.eventLoops; ++i)
         loops.push_back(std::make_unique<Loop>(options.poller));
+    if (options.metrics != nullptr) {
+        // Resolve every metric once, up front: the hot path then costs
+        // an atomic bump, never the registry lock.
+        for (size_t i = 0; i < loops.size(); ++i) {
+            const std::string stem = "net.loop" + std::to_string(i);
+            loops[i]->redRequests =
+                &options.metrics->counter(stem + ".requests");
+            loops[i]->redErrors =
+                &options.metrics->counter(stem + ".errors");
+            loops[i]->redDuration =
+                &options.metrics->histogram(stem + ".duration");
+        }
+        serializeHist = &options.metrics->histogram("phase.serialize");
+        writeHist = &options.metrics->histogram("phase.write");
+    }
     for (auto &loop : loops) {
         Loop *raw = loop.get();
         loop->thread = std::thread([raw]() { raw->loop.run(); });
@@ -320,6 +412,7 @@ TuningServer::onConnectionClosed(Loop &loop, int fd)
 void
 TuningServer::dispatchBatch(const std::shared_ptr<Connection> &conn,
                             std::vector<uint32_t> ids,
+                            std::vector<uint8_t> versions,
                             std::vector<service::TuneRequest> requests)
 {
     counters.batchesSubmitted.fetch_add(1, std::memory_order_relaxed);
@@ -336,8 +429,9 @@ TuningServer::dispatchBatch(const std::shared_ptr<Connection> &conn,
     // an event loop. The connection is held weakly — if it dies while
     // the batch is in flight, the responses are simply dropped.
     std::weak_ptr<Connection> weak = conn;
-    EventLoop *loop = &conn->homeLoop();
-    auto task = [this, weak, loop, ids = std::move(ids),
+    Loop *home = &conn->homeSlot();
+    auto task = [this, weak, home, ids = std::move(ids),
+                 versions = std::move(versions),
                  futures = std::make_shared<
                      std::vector<std::future<service::TuneResponse>>>(
                      std::move(futures))]() mutable {
@@ -345,24 +439,83 @@ TuningServer::dispatchBatch(const std::shared_ptr<Connection> &conn,
         for (size_t i = 0; i < futures->size(); ++i) {
             std::vector<uint8_t> payload;
             MsgType type = MsgType::TuneResponse;
+            double latencySec = 0.0;
             try {
-                const service::TuneResponse response =
-                    (*futures)[i].get();
-                payload = encodeTuneResponse(response);
+                service::TuneResponse response = (*futures)[i].get();
+                latencySec = response.latencySec;
+                const auto serializeStart =
+                    std::chrono::steady_clock::now();
+                if (versions[i] >= 2) {
+                    // Placeholder serialize entry, patched below once
+                    // the encoding cost is known.
+                    response.phases.push_back(
+                        {service::Phase::Serialize, 0.0});
+                    payload = encodeTuneResponse(response, versions[i]);
+                    const double serializeSec =
+                        elapsedSec(serializeStart);
+                    patchSerializePhaseSec(payload, serializeSec);
+                    if (serializeHist != nullptr)
+                        serializeHist->observe(serializeSec);
+                    obs::FlightRecorder::record(
+                        ids[i], obs::FlightPhase::Serialize,
+                        serializeSec);
+                } else {
+                    payload = encodeTuneResponse(response, versions[i]);
+                }
             } catch (const std::exception &e) {
                 type = MsgType::Error;
                 payload = encodeError(e.what());
+                if (home->redErrors != nullptr)
+                    home->redErrors->increment();
             }
+            // RED per event loop: rate counts every answered request,
+            // errors counted above, duration is submit-to-completion.
+            if (home->redRequests != nullptr)
+                home->redRequests->increment();
+            if (type != MsgType::Error && home->redDuration != nullptr)
+                home->redDuration->observe(latencySec);
             appendFrame(replies, type, ids[i], payload.data(),
-                        payload.size());
+                        payload.size(), versions[i]);
             counters.framesSent.fetch_add(1, std::memory_order_relaxed);
         }
-        loop->runInLoop([weak, replies = std::move(replies)]() {
-            if (auto conn = weak.lock())
-                conn->send(replies);
+        const uint32_t firstId = ids.empty() ? 0 : ids.front();
+        obs::Histogram *write_hist = writeHist;
+        home->loop.runInLoop([weak, firstId, write_hist,
+                              replies = std::move(replies)]() {
+            auto conn = weak.lock();
+            if (!conn)
+                return;
+            const auto writeStart = std::chrono::steady_clock::now();
+            conn->send(replies);
+            const double writeSec = elapsedSec(writeStart);
+            if (write_hist != nullptr)
+                write_hist->observe(writeSec);
+            obs::FlightRecorder::record(firstId, obs::FlightPhase::Write,
+                                        writeSec);
         });
     };
     replyPool->post(std::move(task));
+}
+
+void
+TuningServer::setStatsProvider(std::function<std::string(StatsFormat)> fn)
+{
+    DAC_ASSERT(!started.load(std::memory_order_acquire),
+               "setStatsProvider after start()");
+    statsProvider = std::move(fn);
+}
+
+std::string
+TuningServer::renderStats(StatsFormat format) const
+{
+    if (statsProvider)
+        return statsProvider(format);
+    if (options.metrics != nullptr) {
+        return format == StatsFormat::Prometheus
+            ? options.metrics->renderPrometheus("dac")
+            : options.metrics->renderJson();
+    }
+    throw ProtocolError("stats unavailable: no provider or registry");
 }
 
 void

@@ -17,9 +17,16 @@
  *  - responses may interleave across batches; the request id is the
  *    correlation, not arrival order.
  *
- * Malformed framing (bad magic, unknown version/type, oversized
- * length) closes the connection; a well-framed but undecodable
- * request payload gets an Error frame and the connection lives on.
+ * Malformed framing (bad magic, unknown version, oversized length)
+ * closes the connection; a well-framed but undecodable request
+ * payload — or a well-framed frame of a type this build does not
+ * know — gets an Error frame and the connection lives on.
+ *
+ * Observability (DESIGN.md §12): Stats and FlightDump frames are
+ * answered inline on the loop thread; tune requests are stamped with
+ * decode time and wire id so the backend can return a per-phase
+ * latency breakdown, which the reply path completes with serialize
+ * and write timings.
  */
 
 #ifndef DAC_NET_SERVER_H
@@ -27,6 +34,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <memory>
 #include <string>
@@ -36,12 +44,14 @@
 #include "net/event_loop.h"
 #include "net/frame.h"
 #include "net/socket.h"
+#include "obs/metrics.h"
 #include "service/backend.h"
 #include "service/thread_pool.h"
 
 namespace dac::net {
 
 class Connection;
+enum class StatsFormat : uint8_t; // protocol.h
 
 /** Server sizing and transport policy. */
 struct ServerOptions
@@ -59,6 +69,14 @@ struct ServerOptions
     size_t maxFrameBytes = kMaxPayloadBytes;
     /** Readiness backend (tests exercise the poll fallback). */
     PollerKind poller = PollerKind::Default;
+    /**
+     * Registry the server publishes per-loop RED metrics (rate /
+     * errors / duration) and serialize/write phase histograms into —
+     * usually the backing TuningService's, so one Stats query covers
+     * the whole stack. Null (the default) disables the recording and
+     * its cost entirely; the registry must outlive the server.
+     */
+    obs::MetricsRegistry *metrics = nullptr;
 };
 
 /**
@@ -109,6 +127,15 @@ class TuningServer
 
     [[nodiscard]] Stats stats() const;
 
+    /**
+     * Hook rendering the MsgType::Stats reply. The callable runs on
+     * event-loop threads and must be thread-safe; set it before
+     * start(). Without one, the server falls back to rendering
+     * ServerOptions::metrics directly (and answers Error when that is
+     * null too).
+     */
+    void setStatsProvider(std::function<std::string(StatsFormat)> fn);
+
   private:
     friend class Connection;
 
@@ -120,6 +147,12 @@ class TuningServer
         std::thread thread;
         /** Loop-thread-only ownership of pinned connections. */
         std::map<int, std::shared_ptr<Connection>> connections;
+        // Per-loop RED metrics (null when ServerOptions::metrics is):
+        // cached once at start() so the hot path never takes the
+        // registry lock.
+        obs::Counter *redRequests = nullptr;
+        obs::Counter *redErrors = nullptr;
+        obs::Histogram *redDuration = nullptr;
     };
 
     void acceptReady();
@@ -127,10 +160,16 @@ class TuningServer
     void adopt(Loop &loop, int fd);
     /** Called by a connection as it closes (loop thread). */
     void onConnectionClosed(Loop &loop, int fd);
-    /** Called by a connection with one drained batch (loop thread). */
+    /** Called by a connection with one drained batch (loop thread).
+     *  `versions` holds the wire version each request arrived with;
+     *  its reply is framed (and payload-encoded) with the same one. */
     void dispatchBatch(const std::shared_ptr<Connection> &conn,
                        std::vector<uint32_t> ids,
+                       std::vector<uint8_t> versions,
                        std::vector<service::TuneRequest> requests);
+
+    /** Render a Stats reply (loop thread; see setStatsProvider). */
+    [[nodiscard]] std::string renderStats(StatsFormat format) const;
 
     service::TuningBackend *backend;
     ServerOptions options;
@@ -142,6 +181,10 @@ class TuningServer
     std::unique_ptr<service::ThreadPool> replyPool;
     std::atomic<bool> started{false};
     std::atomic<bool> stopped{false};
+    std::function<std::string(StatsFormat)> statsProvider;
+    // Cached phase histograms (null without ServerOptions::metrics).
+    obs::Histogram *serializeHist = nullptr;
+    obs::Histogram *writeHist = nullptr;
 
     struct AtomicStats
     {

@@ -5,25 +5,43 @@
 #include <limits>
 #include <sstream>
 
+#include "support/json.h"
+
 namespace dac::obs {
 
 namespace {
 
-/** Lower bound of bucket i: 1us, 2us, 4us, ... */
+/** The histogram's origin: everything at or below 1us lands in
+ *  bucket 0. */
+constexpr double kHistogramBaseSec = 1e-6;
+
+/** Start of octave k: 1us, 2us, 4us, ... */
 double
-bucketFloor(size_t i)
+octaveFloor(size_t k)
 {
-    return 1e-6 * std::ldexp(1.0, static_cast<int>(i));
+    return kHistogramBaseSec * std::ldexp(1.0, static_cast<int>(k));
 }
 
 size_t
 bucketIndex(double value)
 {
-    if (value <= 1e-6)
+    if (value <= kHistogramBaseSec)
         return 0;
-    const int i = static_cast<int>(std::floor(std::log2(value / 1e-6)));
-    return std::min<size_t>(static_cast<size_t>(std::max(i, 0)),
-                            Histogram::kBuckets - 1);
+    const int k = static_cast<int>(
+        std::floor(std::log2(value / kHistogramBaseSec)));
+    if (k < 0)
+        return 0;
+    if (static_cast<size_t>(k) >= Histogram::kOctaves)
+        return Histogram::kBuckets - 1;
+    // Position within the octave, split into equal-width sub-buckets:
+    // frac is in [1, 2), so j is in [0, kSubBuckets) up to fp rounding
+    // at the octave edge (hence the clamp).
+    const double frac = value / octaveFloor(static_cast<size_t>(k));
+    const auto j = std::min<size_t>(
+        Histogram::kSubBuckets - 1,
+        static_cast<size_t>((frac - 1.0) *
+                            static_cast<double>(Histogram::kSubBuckets)));
+    return static_cast<size_t>(k) * Histogram::kSubBuckets + j;
 }
 
 /**
@@ -112,11 +130,21 @@ Histogram::meanValue() const
 }
 
 double
+Histogram::bucketLowerBound(size_t i)
+{
+    const size_t k = i / kSubBuckets;
+    const size_t j = i % kSubBuckets;
+    return octaveFloor(k) *
+        (1.0 + static_cast<double>(j) /
+             static_cast<double>(kSubBuckets));
+}
+
+double
 Histogram::bucketUpperBound(size_t i)
 {
     if (i + 1 >= kBuckets)
         return std::numeric_limits<double>::infinity();
-    return bucketFloor(i + 1);
+    return bucketLowerBound(i + 1);
 }
 
 double
@@ -134,8 +162,14 @@ Histogram::percentile(double p) const
     for (size_t i = 0; i < kBuckets; ++i) {
         seen += buckets[i].load(std::memory_order_relaxed);
         if (seen > rank) {
-            // Geometric midpoint of [floor, 2*floor).
-            return bucketFloor(i) * std::sqrt(2.0);
+            if (i + 1 >= kBuckets) {
+                // The open-ended top bucket has no midpoint; the max
+                // is the best available point estimate.
+                return maxValue();
+            }
+            // Arithmetic midpoint of the sub-bucket: the estimate is
+            // off by at most half its width (~12.5% of the value).
+            return 0.5 * (bucketLowerBound(i) + bucketUpperBound(i));
         }
     }
     return maxValue();
@@ -263,6 +297,41 @@ MetricsRegistry::renderPrometheus(const std::string &prefix) const
             << metric << "_sum " << formatPromValue(hist->total()) << "\n"
             << metric << "_count " << hist->count() << "\n";
     }
+    return out.str();
+}
+
+std::string
+MetricsRegistry::renderJson() const
+{
+    std::lock_guard<std::mutex> lock(mutex);
+    std::ostringstream out;
+    out << "{\"counters\":{";
+    bool first = true;
+    for (const auto &[name, counter] : counters) {
+        out << (first ? "" : ",") << "\"" << jsonEscape(name)
+            << "\":" << counter->value();
+        first = false;
+    }
+    out << "},\"gauges\":{";
+    first = true;
+    for (const auto &[name, value] : gauges) {
+        out << (first ? "" : ",") << "\"" << jsonEscape(name)
+            << "\":" << formatPromValue(value);
+        first = false;
+    }
+    out << "},\"histograms\":{";
+    first = true;
+    for (const auto &[name, hist] : histograms) {
+        out << (first ? "" : ",") << "\"" << jsonEscape(name)
+            << "\":{\"count\":" << hist->count()
+            << ",\"mean\":" << formatPromValue(hist->meanValue())
+            << ",\"p50\":" << formatPromValue(hist->percentile(50))
+            << ",\"p95\":" << formatPromValue(hist->percentile(95))
+            << ",\"p99\":" << formatPromValue(hist->percentile(99))
+            << ",\"max\":" << formatPromValue(hist->maxValue()) << "}";
+        first = false;
+    }
+    out << "}}";
     return out.str();
 }
 

@@ -54,12 +54,17 @@ class Counter
 
 /**
  * Histogram over positive values (latencies in seconds) with
- * geometrically spaced buckets from 1 microsecond up; the top bucket
+ * log-linear buckets from 1 microsecond up: each power-of-two octave
+ * splits into kSubBuckets equal-width sub-buckets, so bucket bounds
+ * run 1, 1.25, 1.5, 1.75, 2, 2.5, ... microseconds. The top bucket
  * absorbs everything past ~200 days.
  *
- * Percentiles are estimated at the geometric midpoint of the bucket
- * containing the requested rank, so they carry one bucket (~41%) of
- * resolution — plenty for p50/p95/p99 dashboards.
+ * Percentiles are estimated at the arithmetic midpoint of the
+ * sub-bucket containing the requested rank. Pure power-of-two buckets
+ * carried up to ~41% error at the octave edge; four sub-buckets per
+ * octave cap the error at half a sub-bucket width (~12.5% of the
+ * value), which the accuracy test in tests/service/test_metrics.cc
+ * pins.
  */
 class Histogram
 {
@@ -87,8 +92,12 @@ class Histogram
     /** Estimated percentile, p in [0, 100] (0 when empty). */
     [[nodiscard]] double percentile(double p) const;
 
-    /** Buckets per decade-ish doubling; bounds are 1us * 2^i. */
-    static constexpr size_t kBuckets = 45;
+    /** Power-of-two octaves covered, starting at 1us. */
+    static constexpr size_t kOctaves = 45;
+    /** Equal-width sub-buckets per octave (the log-linear split). */
+    static constexpr size_t kSubBuckets = 4;
+    /** Total bucket count. */
+    static constexpr size_t kBuckets = kOctaves * kSubBuckets;
 
     /** Observations landed in bucket i (non-cumulative). */
     [[nodiscard]] uint64_t bucketCount(size_t i) const
@@ -97,10 +106,16 @@ class Histogram
     }
 
     /**
-     * Exclusive upper bound of bucket i in seconds: 1us * 2^(i+1);
+     * Exclusive upper bound of bucket i in seconds. Octave k = i /
+     * kSubBuckets spans [1us * 2^k, 1us * 2^(k+1)); sub-bucket j = i %
+     * kSubBuckets ends at 1us * 2^k * (1 + (j+1)/kSubBuckets).
      * +infinity for the last bucket.
      */
     [[nodiscard]] static double bucketUpperBound(size_t i);
+
+    /** Inclusive lower bound of bucket i in seconds (1us for bucket 0,
+     *  which also absorbs everything below it). */
+    [[nodiscard]] static double bucketLowerBound(size_t i);
 
   private:
     std::atomic<uint64_t> buckets[kBuckets] = {};
@@ -149,6 +164,13 @@ class MetricsRegistry
      */
     [[nodiscard]] std::string
     renderPrometheus(const std::string &prefix = "dac") const;
+
+    /**
+     * JSON snapshot for machine consumers (the Stats wire frame,
+     * tools/dac_top): counters as integers, gauges as numbers,
+     * histograms as {count, mean, p50, p95, p99, max} summaries.
+     */
+    [[nodiscard]] std::string renderJson() const;
 
   private:
     mutable std::mutex mutex;

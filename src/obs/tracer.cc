@@ -28,6 +28,9 @@ steadyNowNs()
         .count();
 }
 
+/** Owner-thread-only sampling gate (see SampleScope). */
+thread_local bool tlSamplingSuppressed = false;
+
 } // namespace
 
 Tracer::Tracer()
@@ -133,9 +136,26 @@ Tracer::allocationCount() const
     return allocations.load(std::memory_order_relaxed);
 }
 
+SampleScope::SampleScope(bool record)
+    : previous(tlSamplingSuppressed)
+{
+    tlSamplingSuppressed = !record;
+}
+
+SampleScope::~SampleScope()
+{
+    tlSamplingSuppressed = previous;
+}
+
+bool
+samplingSuppressed()
+{
+    return tlSamplingSuppressed;
+}
+
 ScopedSpan::ScopedSpan(const char *spanName)
 {
-    if (!Tracer::enabled())
+    if (!Tracer::enabled() || tlSamplingSuppressed)
         return;
     Tracer &tracer = Tracer::instance();
     Tracer::ThreadState &state = tracer.threadState();
@@ -233,7 +253,7 @@ void
 instant(const char *name,
         std::vector<std::pair<std::string, std::string>> attrs)
 {
-    if (!Tracer::enabled())
+    if (!Tracer::enabled() || tlSamplingSuppressed)
         return;
     Tracer &tracer = Tracer::instance();
     Tracer::ThreadState &state = tracer.threadState();
@@ -252,7 +272,7 @@ instant(const char *name,
 uint64_t
 currentSpanId()
 {
-    if (!Tracer::enabled())
+    if (!Tracer::enabled() || tlSamplingSuppressed)
         return 0;
     Tracer::ThreadState &state = Tracer::instance().threadState();
     return state.spanStack.empty() ? state.adoptedParent

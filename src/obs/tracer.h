@@ -219,6 +219,32 @@ class ParentScope
     uint64_t previous = 0;
 };
 
+/**
+ * Per-request sampling gate: while a SampleScope constructed with
+ * record == false is alive, every ScopedSpan, instant(), and
+ * currentSpanId() on this thread records nothing — even with the
+ * tracer globally enabled. The serving layer wraps each request's
+ * processing in one of these so a wire request with its sampling flag
+ * cleared leaves no trace events; ThreadPool::parallelFor re-applies
+ * the caller's scope on the workers, so fanned-out work inherits the
+ * decision. Scopes nest and restore the previous state on exit.
+ */
+class SampleScope
+{
+  public:
+    explicit SampleScope(bool record);
+    ~SampleScope();
+
+    SampleScope(const SampleScope &) = delete;
+    SampleScope &operator=(const SampleScope &) = delete;
+
+  private:
+    bool previous = false;
+};
+
+/** True while the current thread is inside a sampled-out SampleScope. */
+[[nodiscard]] bool samplingSuppressed();
+
 /** Record a zero-duration marker under the current span. */
 void instant(const char *name,
              std::vector<std::pair<std::string, std::string>> attrs = {});

@@ -188,6 +188,24 @@ ModelCache::stats() const
     return out;
 }
 
+ModelCache::Stats
+ModelCache::shardStats(size_t shard_index) const
+{
+    DAC_ASSERT(shard_index < shards.size(),
+               "shard index out of range");
+    const Shard &shard = *shards[shard_index];
+    Stats out;
+    out.shards = 1;
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    out.hits = shard.hits;
+    out.misses = shard.misses;
+    out.coalesced = shard.coalesced;
+    out.evictions = shard.evictions;
+    out.size = shard.entries.size();
+    out.capacity = shard.capacity;
+    return out;
+}
+
 std::vector<ModelKey>
 ModelCache::keysByRecency() const
 {

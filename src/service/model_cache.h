@@ -171,6 +171,10 @@ class ModelCache
     [[nodiscard]] size_t size() const;
     [[nodiscard]] Stats stats() const;
 
+    /** Accounting for one shard (Stats::shards is 1 and capacity/size
+     *  are the shard's own). */
+    [[nodiscard]] Stats shardStats(size_t shard_index) const;
+
     /**
      * Keys from most- to least-recently used, shard by shard (shard 0
      * first). With one shard this is the exact global recency order;

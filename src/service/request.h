@@ -12,6 +12,7 @@
 #ifndef DAC_SERVICE_REQUEST_H
 #define DAC_SERVICE_REQUEST_H
 
+#include <cstddef>
 #include <cstdint>
 #include <string>
 #include <vector>
@@ -20,6 +21,39 @@
 #include "conf/constraints.h"
 
 namespace dac::service {
+
+/**
+ * Request-lifecycle phases the serving stack times individually.
+ * The numeric values are the wire encoding (protocol v2 phase
+ * breakdown) — append only.
+ */
+enum class Phase : uint8_t {
+    /** Wire payload -> TuneRequest on the event loop. */
+    Decode = 0,
+    /** Waiting in the worker queue (submit to pickup). */
+    Queue = 1,
+    /** Model-cache lookup, excluding any build it triggered. */
+    CacheLookup = 2,
+    /** Collect + train campaign (0 on a cache hit). */
+    ModelBuild = 3,
+    /** GA configuration search. */
+    Search = 4,
+    /** TuneResponse -> wire bytes. */
+    Serialize = 5,
+};
+
+/** Number of Phase values (array sizing). */
+inline constexpr size_t kPhaseCount = 6;
+
+/** Stable lowercase name ("decode", "queue", ...). */
+[[nodiscard]] const char *phaseName(Phase phase);
+
+/** One timed phase of a served request. */
+struct PhaseTiming
+{
+    Phase phase = Phase::Decode;
+    double sec = 0.0;
+};
 
 /**
  * One tuning question: program + native dataset size.
@@ -42,6 +76,27 @@ struct TuneRequest
      * submitter's deadline.
      */
     double deadlineSec = 0.0;
+
+    /**
+     * Caller's trace id (protocol v2). When nonzero, the service
+     * adopts it as the parent of the request's span tree, so a
+     * client-side span and the server-side spans stitch into one
+     * trace. 0 = no caller trace context.
+     */
+    uint64_t traceId = 0;
+    /**
+     * Caller's sampling decision (protocol v2). False suppresses all
+     * trace recording for this request even when the server's tracer
+     * is enabled; meaningful only alongside a nonzero traceId.
+     */
+    bool sampled = true;
+    /** Seconds the transport spent decoding this request's payload
+     *  (not on the wire; folded into the response's phase breakdown). */
+    double decodeSec = 0.0;
+    /** Transport-assigned wire correlation id (0 in-process); flight
+     *  recorder events for this request carry it. Not part of the
+     *  payload — the frame header already carries it. */
+    uint32_t wireId = 0;
 
     /** Coalescing key. */
     std::string cacheKey() const;
@@ -96,6 +151,17 @@ struct TuneResponse
      * losing them on a server's stderr. Empty for a clean config.
      */
     std::vector<conf::ConstraintViolation> warnings;
+
+    /**
+     * Where this request's latency went, one entry per phase that was
+     * actually timed (protocol v2; empty over a v1 wire). The
+     * serialize entry is patched in by the transport after encoding —
+     * it cannot know its own duration beforehand.
+     */
+    std::vector<PhaseTiming> phases;
+
+    /** The timing for `phase`, or 0 when absent. */
+    [[nodiscard]] double phaseSec(Phase phase) const;
 };
 
 } // namespace dac::service

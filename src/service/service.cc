@@ -11,6 +11,7 @@
 #include "conf/expert.h"
 #include "dac/modeler.h"
 #include "dac/searcher.h"
+#include "obs/flight_recorder.h"
 #include "obs/tracer.h"
 #include "support/logging.h"
 #include "workloads/registry.h"
@@ -90,6 +91,36 @@ TuneRequest::cacheKey() const
     return oss.str();
 }
 
+const char *
+phaseName(Phase phase)
+{
+    switch (phase) {
+    case Phase::Decode:
+        return "decode";
+    case Phase::Queue:
+        return "queue";
+    case Phase::CacheLookup:
+        return "cache-lookup";
+    case Phase::ModelBuild:
+        return "model-build";
+    case Phase::Search:
+        return "search";
+    case Phase::Serialize:
+        return "serialize";
+    }
+    return "unknown";
+}
+
+double
+TuneResponse::phaseSec(Phase phase) const
+{
+    for (const PhaseTiming &timing : phases) {
+        if (timing.phase == phase)
+            return timing.sec;
+    }
+    return 0.0;
+}
+
 TuningService::TuningService(const sparksim::SparkSimulator &sim,
                              ServiceOptions options)
     : sim(&sim), options(options),
@@ -110,6 +141,7 @@ TuningService::submit(TuneRequest request)
     std::promise<TuneResponse> promise;
     std::future<TuneResponse> future = promise.get_future();
     bool first = false;
+    std::chrono::steady_clock::time_point submittedAt;
     {
         std::lock_guard<std::mutex> lock(mutex);
         if (!accepting)
@@ -120,9 +152,12 @@ TuningService::submit(TuneRequest request)
             slot->submitted = std::chrono::steady_clock::now();
             first = true;
         }
+        submittedAt = slot->submitted;
         slot->waiters.push_back(std::move(promise));
     }
     registry.counter("requests.submitted").increment();
+    obs::FlightRecorder::record(request.wireId,
+                                obs::FlightPhase::QueueEnter);
     if (!first) {
         registry.counter("requests.coalesced").increment();
         return future;
@@ -130,11 +165,13 @@ TuningService::submit(TuneRequest request)
 
     const std::string workload = request.workload;
     const double native_size = request.nativeSize;
-    auto work = [this, request = std::move(request), key]() {
+    const uint32_t wire_id = request.wireId;
+    auto work = [this, request = std::move(request), key,
+                 submittedAt]() {
         TuneResponse response;
         std::exception_ptr error;
         try {
-            response = process(request);
+            response = process(request, submittedAt);
         } catch (...) {
             error = std::current_exception();
         }
@@ -192,8 +229,8 @@ TuningService::submit(TuneRequest request)
     }
     registry.counter("requests.rejected")
         .increment(entry->waiters.size());
-    const TuneResponse rejected =
-        degradedResponse(workload, native_size, "queue-saturated", 0);
+    const TuneResponse rejected = degradedResponse(
+        workload, native_size, "queue-saturated", 0, wire_id);
     const double latency = elapsedSec(entry->submitted);
     for (size_t i = 0; i < entry->waiters.size(); ++i) {
         TuneResponse copy = rejected;
@@ -241,6 +278,12 @@ TuningService::submitBatch(std::vector<TuneRequest> batch)
     registry.counter("requests.submitted").increment(n);
     registry.counter("requests.batched").increment(n);
     registry.counter("batches.submitted").increment();
+    if (obs::FlightRecorder::enabled()) {
+        for (const TuneRequest &request : state->requests) {
+            obs::FlightRecorder::record(request.wireId,
+                                        obs::FlightPhase::QueueEnter);
+        }
+    }
 
     // The whole batch is one pool task: back-to-back items reuse the
     // shard-warm model (the first miss builds it, the rest are hits),
@@ -255,7 +298,7 @@ TuningService::submitBatch(std::vector<TuneRequest> batch)
                 const std::string key = request.cacheKey();
                 const auto first = firstByKey.find(key);
                 if (first == firstByKey.end()) {
-                    responses[i] = process(request);
+                    responses[i] = process(request, state->submitted);
                     firstByKey.emplace(key, i);
                 } else {
                     responses[i] = responses[first->second];
@@ -291,7 +334,7 @@ TuningService::submitBatch(std::vector<TuneRequest> batch)
     for (size_t i = 0; i < n; ++i) {
         TuneResponse rejected = degradedResponse(
             state->requests[i].workload, state->requests[i].nativeSize,
-            "queue-saturated", 0);
+            "queue-saturated", 0, state->requests[i].wireId);
         rejected.latencySec = elapsedSec(state->submitted);
         state->promises[i].set_value(std::move(rejected));
     }
@@ -299,13 +342,38 @@ TuningService::submitBatch(std::vector<TuneRequest> batch)
 }
 
 TuneResponse
-TuningService::process(const TuneRequest &request)
+TuningService::process(const TuneRequest &request,
+                       std::chrono::steady_clock::time_point submitted)
 {
+    // Wire trace context: adopt the caller's sampling decision first
+    // (a sampled-out request must record nothing at all), then its
+    // span id as the parent, so the server-side span tree hangs under
+    // the client's span in one stitched trace.
+    obs::SampleScope sampleScope(request.sampled);
+    obs::ParentScope parentScope(request.traceId != 0
+                                     ? request.traceId
+                                     : obs::currentSpanId());
     obs::ScopedSpan requestSpan("request");
     if (requestSpan.active()) {
         requestSpan.attr("workload", request.workload);
         requestSpan.attr("native_size", request.nativeSize);
+        if (request.traceId != 0)
+            requestSpan.attr("trace_id", request.traceId);
     }
+
+    // Phase breakdown: accumulated in pipeline order as each phase
+    // settles; every return path below carries whatever was measured
+    // by then. The transport appends/patches serialize + write.
+    std::vector<PhaseTiming> phases;
+    if (request.decodeSec > 0.0) {
+        phases.push_back({Phase::Decode, request.decodeSec});
+        registry.histogram("phase.decode").observe(request.decodeSec);
+    }
+    const double queuedSec = elapsedSec(submitted);
+    phases.push_back({Phase::Queue, queuedSec});
+    registry.histogram("phase.queue").observe(queuedSec);
+    obs::FlightRecorder::record(request.wireId,
+                                obs::FlightPhase::QueueExit, queuedSec);
 
     const auto &workload =
         workloads::Registry::instance().byAbbrev(request.workload);
@@ -325,29 +393,59 @@ TuningService::process(const TuneRequest &request)
 
     const ModelKey key{workload.abbrev(), sim->clusterSpec().signature(),
                        sizeBandOf(request.nativeSize)};
+    const auto shard = static_cast<uint16_t>(
+        ModelCache::shardIndexFor(key, cache.shardCount()));
 
     bool builtHere = false;
     int build_retries = 0;
+    double buildSec = 0.0;
+    const auto lookupStart = std::chrono::steady_clock::now();
     std::shared_ptr<const CachedModel> cached;
     try {
         cached = cache.getOrBuild(key, [&]() {
             builtHere = true;
-            return buildModelWithRetry(workload, key, cancel,
-                                       build_retries);
+            const auto buildStart = std::chrono::steady_clock::now();
+            auto entry = buildModelWithRetry(workload, key, cancel,
+                                             build_retries);
+            buildSec = elapsedSec(buildStart);
+            return entry;
         });
     } catch (const DeadlineExpired &) {
         registry.counter("deadline.expired").increment();
         if (requestSpan.active())
             requestSpan.attr("degraded", "deadline");
-        return degradedResponse(workload.abbrev(), request.nativeSize,
-                                "deadline", build_retries);
+        TuneResponse degraded =
+            degradedResponse(workload.abbrev(), request.nativeSize,
+                             "deadline", build_retries, request.wireId);
+        degraded.phases = std::move(phases);
+        return degraded;
     } catch (const TransientModelError &) {
         // Retries exhausted (also surfaces to every cache waiter that
         // coalesced onto the failed build — they degrade the same way).
         if (requestSpan.active())
             requestSpan.attr("degraded", "model-failure");
-        return degradedResponse(workload.abbrev(), request.nativeSize,
-                                "model-failure", build_retries);
+        TuneResponse degraded = degradedResponse(
+            workload.abbrev(), request.nativeSize, "model-failure",
+            build_retries, request.wireId);
+        degraded.phases = std::move(phases);
+        return degraded;
+    }
+    // The cache-lookup phase is the coordination cost alone: total
+    // getOrBuild time minus any build this request ran itself.
+    const double lookupSec =
+        std::max(0.0, elapsedSec(lookupStart) - buildSec);
+    phases.push_back({Phase::CacheLookup, lookupSec});
+    registry.histogram("phase.cache-lookup").observe(lookupSec);
+    obs::FlightRecorder::record(request.wireId,
+                                obs::FlightPhase::CacheLookup, lookupSec,
+                                obs::FlightReason::None, shard);
+    if (builtHere) {
+        phases.push_back({Phase::ModelBuild, buildSec});
+        registry.histogram("phase.model-build").observe(buildSec);
+        obs::FlightRecorder::record(request.wireId,
+                                    obs::FlightPhase::ModelBuild,
+                                    buildSec, obs::FlightReason::None,
+                                    shard);
     }
     if (requestSpan.active())
         requestSpan.attr("model_source", builtHere ? "built" : "cache_hit");
@@ -363,8 +461,11 @@ TuningService::process(const TuneRequest &request)
         registry.counter("deadline.expired").increment();
         if (requestSpan.active())
             requestSpan.attr("degraded", "deadline");
-        return degradedResponse(workload.abbrev(), request.nativeSize,
-                                "deadline", build_retries);
+        TuneResponse degraded =
+            degradedResponse(workload.abbrev(), request.nativeSize,
+                             "deadline", build_retries, request.wireId);
+        degraded.phases = std::move(phases);
+        return degraded;
     }
 
     // Search: GA against the cached model with the requested size
@@ -394,8 +495,13 @@ TuningService::process(const TuneRequest &request)
     params.cancel = &cancel;
     const double dsize = workload.bytesForSize(request.nativeSize);
     auto found = searcher.search(dsize, params, seeds);
-    registry.histogram("latency.search").observe(
-        elapsedSec(searchStart));
+    const double searchSec = elapsedSec(searchStart);
+    registry.histogram("latency.search").observe(searchSec);
+    phases.push_back({Phase::Search, searchSec});
+    registry.histogram("phase.search").observe(searchSec);
+    obs::FlightRecorder::record(request.wireId, obs::FlightPhase::Search,
+                                searchSec, obs::FlightReason::None,
+                                shard);
 
     TuneResponse response;
     response.workload = workload.abbrev();
@@ -407,6 +513,7 @@ TuningService::process(const TuneRequest &request)
     response.buildRetries = build_retries;
     response.warnings =
         conf::validateForCluster(response.best, sim->clusterSpec());
+    response.phases = std::move(phases);
     if (found.ga.cancelled) {
         // Deadline fired mid-search: the GA's best-so-far is still a
         // real model-scored configuration, so return it — labeled.
@@ -417,6 +524,10 @@ TuningService::process(const TuneRequest &request)
         registry.counter("requests.degraded").increment();
         if (requestSpan.active())
             requestSpan.attr("degraded", "search-truncated");
+        obs::FlightRecorder::record(request.wireId,
+                                    obs::FlightPhase::Degraded, 0.0,
+                                    obs::FlightReason::SearchTruncated);
+        obs::FlightRecorder::instance().requestDump("degraded");
     }
     return response;
 }
@@ -476,7 +587,7 @@ TuningService::maybeInjectBuildFault()
 TuneResponse
 TuningService::degradedResponse(const std::string &workload,
                                 double native_size, std::string reason,
-                                int build_retries)
+                                int build_retries, uint32_t wire_id)
 {
     TuneResponse response;
     response.workload = workload;
@@ -488,6 +599,12 @@ TuningService::degradedResponse(const std::string &workload,
     response.warnings =
         conf::validateForCluster(response.best, sim->clusterSpec());
     registry.counter("requests.degraded").increment();
+    // Black-box note + (rate-limited) dump: a degraded answer is the
+    // moment the recent-event window is worth keeping.
+    obs::FlightRecorder::record(
+        wire_id, obs::FlightPhase::Degraded, 0.0,
+        obs::flightReasonFromString(response.degradedReason));
+    obs::FlightRecorder::instance().requestDump("degraded");
     return response;
 }
 
@@ -564,8 +681,8 @@ TuningService::shutdown()
     pool.shutdown();
 }
 
-std::string
-TuningService::statusReport()
+void
+TuningService::refreshGauges()
 {
     const auto stats = cache.stats();
     registry.setGauge("pool.queue_depth",
@@ -581,6 +698,25 @@ TuningService::statusReport()
     registry.setGauge("cache.evictions",
                       static_cast<double>(stats.evictions));
     registry.setGauge("cache.hit_rate", stats.hitRate());
+    for (size_t s = 0; s < cache.shardCount(); ++s) {
+        const auto shard = cache.shardStats(s);
+        const std::string stem = "cache.shard" + std::to_string(s);
+        registry.setGauge(stem + ".hits",
+                          static_cast<double>(shard.hits));
+        registry.setGauge(stem + ".misses",
+                          static_cast<double>(shard.misses));
+        registry.setGauge(stem + ".coalesced",
+                          static_cast<double>(shard.coalesced));
+        registry.setGauge(stem + ".size",
+                          static_cast<double>(shard.size));
+        registry.setGauge(stem + ".hit_rate", shard.hitRate());
+    }
+}
+
+std::string
+TuningService::statusReport()
+{
+    refreshGauges();
     return registry.report();
 }
 

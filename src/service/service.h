@@ -158,6 +158,26 @@ class TuningService final : public TuningBackend
      */
     std::string statusReport();
 
+    /**
+     * Refresh the registry's point-in-time gauges (queue depth, cache
+     * totals, per-shard hit rates) so a renderPrometheus()/renderJson()
+     * snapshot is current. The stats endpoint calls this on every
+     * query; statusReport() does too.
+     */
+    void refreshGauges();
+
+    /** Shard fan-out of the model cache (stats endpoints iterate it). */
+    [[nodiscard]] size_t cacheShardCount() const
+    {
+        return cache.shardCount();
+    }
+
+    /** Per-shard model-cache accounting. */
+    [[nodiscard]] ModelCache::Stats cacheShardStats(size_t shard) const
+    {
+        return cache.shardStats(shard);
+    }
+
   private:
     /** Requests waiting on one in-flight computation. */
     struct Pending
@@ -166,8 +186,11 @@ class TuningService final : public TuningBackend
         std::chrono::steady_clock::time_point submitted;
     };
 
-    /** Runs on a pool worker: the full pipeline for one request. */
-    TuneResponse process(const TuneRequest &request);
+    /** Runs on a pool worker: the full pipeline for one request.
+     *  `submitted` is when the request entered the queue (queue-wait
+     *  phase = pickup minus submitted). */
+    TuneResponse process(const TuneRequest &request,
+                         std::chrono::steady_clock::time_point submitted);
     /** Build (collect + model) the cache entry for one request;
      *  `cancel` stops HM refinement between rounds on expiry. */
     std::shared_ptr<const CachedModel> buildModel(
@@ -181,10 +204,12 @@ class TuningService final : public TuningBackend
     /** Deterministic injected build fault (ServiceOptions::faults);
      *  also counts every build attempt in the metrics. */
     void maybeInjectBuildFault();
-    /** Expert-configuration fallback answer, labeled degraded. */
+    /** Expert-configuration fallback answer, labeled degraded; also
+     *  drops a flight-recorder event (tagged `wire_id`) and asks for a
+     *  rate-limited flight dump. */
     TuneResponse degradedResponse(const std::string &workload,
                                   double native_size, std::string reason,
-                                  int build_retries);
+                                  int build_retries, uint32_t wire_id = 0);
 
     const sparksim::SparkSimulator *sim;
     ServiceOptions options;

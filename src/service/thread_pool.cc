@@ -100,9 +100,13 @@ ThreadPool::parallelFor(size_t n, const std::function<void(size_t)> &body)
     state->body = &body;
 
     // Work fanned out to pool workers still nests under the span open
-    // on the calling thread, keeping the trace one connected tree.
+    // on the calling thread, keeping the trace one connected tree —
+    // and inherits the caller's sampling decision, so a sampled-out
+    // request stays silent across its parallel sections.
     const uint64_t parentSpan = obs::currentSpanId();
-    auto drain = [state, parentSpan]() {
+    const bool record = !obs::samplingSuppressed();
+    auto drain = [state, parentSpan, record]() {
+        obs::SampleScope sampleScope(record);
         obs::ParentScope parentScope(parentSpan);
         for (;;) {
             // Relaxed: claiming an index carries no data; the body's

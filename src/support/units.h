@@ -65,6 +65,13 @@ nsToSec(double ns)
     return ns * 1e-9;
 }
 
+/** Seconds to nanoseconds, for steady-clock window arithmetic. */
+constexpr double
+secToNs(double sec)
+{
+    return sec * 1e9;
+}
+
 } // namespace dac
 
 #endif // DAC_SUPPORT_UNITS_H

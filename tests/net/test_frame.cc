@@ -119,14 +119,27 @@ TEST(Frame, RejectsUnknownVersion)
     EXPECT_EQ(decoder.next(&frame), FrameDecoder::Result::Malformed);
 }
 
-TEST(Frame, RejectsUnknownType)
+TEST(Frame, UnknownTypePassesThroughForDispatchError)
 {
+    // Forward compatibility: a well-framed message of a type this
+    // build does not know keeps the stream aligned — the decoder
+    // hands it up so the dispatch layer can answer an Error frame
+    // and keep the connection alive.
     auto wire = encodeFrame(MsgType::Ping, 1, {});
     wire[5] = 0xEE; // not a MsgType
     FrameDecoder decoder;
     decoder.feed(wire.data(), wire.size());
     Frame frame;
-    EXPECT_EQ(decoder.next(&frame), FrameDecoder::Result::Malformed);
+    ASSERT_EQ(decoder.next(&frame), FrameDecoder::Result::Frame);
+    EXPECT_EQ(static_cast<uint8_t>(frame.type), 0xEE);
+    EXPECT_EQ(frame.requestId, 1u);
+
+    // The stream is still usable afterwards.
+    const auto good = encodeFrame(MsgType::Ping, 2, {});
+    decoder.feed(good.data(), good.size());
+    ASSERT_EQ(decoder.next(&frame), FrameDecoder::Result::Frame);
+    EXPECT_EQ(frame.type, MsgType::Ping);
+    EXPECT_EQ(frame.requestId, 2u);
 }
 
 TEST(Frame, RejectsOversizedLength)
@@ -172,9 +185,72 @@ TEST(Frame, KnownMsgTypes)
 {
     EXPECT_TRUE(isKnownMsgType(1));
     EXPECT_TRUE(isKnownMsgType(5));
+    // v2 observability frames.
+    EXPECT_TRUE(isKnownMsgType(6));
+    EXPECT_TRUE(isKnownMsgType(7));
+    EXPECT_TRUE(isKnownMsgType(8));
+    EXPECT_TRUE(isKnownMsgType(9));
     EXPECT_FALSE(isKnownMsgType(0));
-    EXPECT_FALSE(isKnownMsgType(6));
+    EXPECT_FALSE(isKnownMsgType(10));
     EXPECT_FALSE(isKnownMsgType(0xEE));
+}
+
+TEST(Frame, VersionRoundTripsOnDecodedFrames)
+{
+    // A v1-framed message decodes as version 1, a v2 one as version 2
+    // — the dispatch layer answers with the version each request
+    // arrived in.
+    for (const uint8_t version :
+         {kMinProtocolVersion, kProtocolVersion}) {
+        const auto wire = encodeFrame(MsgType::Ping, 5, {}, version);
+        EXPECT_EQ(wire[4], version);
+        FrameDecoder decoder;
+        decoder.feed(wire.data(), wire.size());
+        Frame frame;
+        ASSERT_EQ(decoder.next(&frame), FrameDecoder::Result::Frame);
+        EXPECT_EQ(frame.version, version);
+    }
+}
+
+TEST(Frame, StatsFramesReassembleAtEverySplitPoint)
+{
+    // The new observability frames ride the same reassembly machinery
+    // as tune traffic: a Stats request, its reply, and a FlightDump
+    // round trip must survive any packet boundary.
+    std::vector<uint8_t> wire;
+    const auto statsPayload =
+        encodeStatsRequest(StatsRequest{StatsFormat::Prometheus});
+    appendFrame(wire, MsgType::Stats, 31, statsPayload.data(),
+                statsPayload.size());
+    const auto reply = encodeTextReply("dac_up 1\n");
+    appendFrame(wire, MsgType::StatsReply, 31, reply.data(),
+                reply.size());
+    const auto dumpPayload =
+        encodeFlightDumpRequest(FlightDumpRequest{2.5});
+    appendFrame(wire, MsgType::FlightDump, 32, dumpPayload.data(),
+                dumpPayload.size());
+
+    for (size_t split = 0; split <= wire.size(); ++split) {
+        FrameDecoder decoder;
+        decoder.feed(wire.data(), split);
+        std::vector<Frame> got;
+        Frame frame;
+        while (decoder.next(&frame) == FrameDecoder::Result::Frame)
+            got.push_back(frame);
+        decoder.feed(wire.data() + split, wire.size() - split);
+        while (decoder.next(&frame) == FrameDecoder::Result::Frame)
+            got.push_back(frame);
+
+        ASSERT_EQ(got.size(), 3u) << "split at " << split;
+        EXPECT_EQ(got[0].type, MsgType::Stats);
+        EXPECT_EQ(decodeStatsRequest(got[0].payload).format,
+                  StatsFormat::Prometheus);
+        EXPECT_EQ(got[1].type, MsgType::StatsReply);
+        EXPECT_EQ(decodeTextReply(got[1].payload), "dac_up 1\n");
+        EXPECT_EQ(got[2].type, MsgType::FlightDump);
+        EXPECT_EQ(decodeFlightDumpRequest(got[2].payload).windowSec,
+                  2.5);
+    }
 }
 
 TEST(Protocol, TuneRequestRoundTrips)
@@ -229,6 +305,126 @@ TEST(Protocol, TuneResponseRoundTripsBitIdentical)
     EXPECT_EQ(decoded.warnings[0].message,
               "executors overflow node RAM");
     EXPECT_EQ(decoded.warnings[1].constraint, "offheap-consistency");
+}
+
+TEST(Protocol, V2RequestCarriesTraceContext)
+{
+    service::TuneRequest request;
+    request.workload = "TS";
+    request.nativeSize = 40.0;
+    request.traceId = 0xFEEDFACE12345678ULL;
+    request.sampled = false;
+
+    const auto payload = encodeTuneRequest(request, 2);
+    const auto decoded = decodeTuneRequest(payload, 2);
+    EXPECT_EQ(decoded.traceId, request.traceId);
+    EXPECT_FALSE(decoded.sampled);
+
+    request.sampled = true;
+    const auto sampledBack =
+        decodeTuneRequest(encodeTuneRequest(request, 2), 2);
+    EXPECT_TRUE(sampledBack.sampled);
+}
+
+TEST(Protocol, V1RequestEncodingDropsTraceContext)
+{
+    // A v1 payload must stay bit-identical to what a v1 peer sent or
+    // expects: no trace id, no flags byte.
+    service::TuneRequest bare;
+    bare.workload = "TS";
+    bare.nativeSize = 40.0;
+    service::TuneRequest traced = bare;
+    traced.traceId = 77;
+    traced.sampled = false;
+    EXPECT_EQ(encodeTuneRequest(traced, 1), encodeTuneRequest(bare, 1));
+
+    const auto decoded =
+        decodeTuneRequest(encodeTuneRequest(traced, 1), 1);
+    EXPECT_EQ(decoded.traceId, 0u);
+    EXPECT_TRUE(decoded.sampled); // v1 peers are always sampled
+}
+
+TEST(Protocol, V2RequestRejectsUnknownFlagBits)
+{
+    service::TuneRequest request;
+    request.workload = "TS";
+    request.nativeSize = 40.0;
+    auto payload = encodeTuneRequest(request, 2);
+    payload[payload.size() - 1] |= 0x80; // a flag this build ignores
+    EXPECT_THROW((void)decodeTuneRequest(payload, 2), ProtocolError);
+}
+
+TEST(Protocol, V2ResponseCarriesPhaseBreakdown)
+{
+    const auto &space = conf::ConfigSpace::spark();
+    service::TuneResponse response;
+    response.workload = "TS";
+    response.best = conf::Configuration(space);
+    response.phases.push_back({service::Phase::Decode, 1e-5});
+    response.phases.push_back({service::Phase::Queue, 2e-4});
+    response.phases.push_back({service::Phase::Search, 0.125});
+
+    const auto decoded =
+        decodeTuneResponse(encodeTuneResponse(response, 2), space, 2);
+    ASSERT_EQ(decoded.phases.size(), 3u);
+    EXPECT_EQ(decoded.phaseSec(service::Phase::Decode), 1e-5);
+    EXPECT_EQ(decoded.phaseSec(service::Phase::Queue), 2e-4);
+    EXPECT_EQ(decoded.phaseSec(service::Phase::Search), 0.125);
+    // Phases never reported read as zero, not garbage.
+    EXPECT_EQ(decoded.phaseSec(service::Phase::ModelBuild), 0.0);
+
+    // A v1 encoding of the same response drops the breakdown and is
+    // identical to one that never had it.
+    service::TuneResponse bare = response;
+    bare.phases.clear();
+    EXPECT_EQ(encodeTuneResponse(response, 1), encodeTuneResponse(bare, 1));
+}
+
+TEST(Protocol, PatchSerializePhaseRewritesPlaceholder)
+{
+    const auto &space = conf::ConfigSpace::spark();
+    service::TuneResponse response;
+    response.workload = "TS";
+    response.best = conf::Configuration(space);
+    response.phases.push_back({service::Phase::Search, 0.25});
+    // The serialize entry must be last: its f64 is the payload tail.
+    response.phases.push_back({service::Phase::Serialize, 0.0});
+
+    auto payload = encodeTuneResponse(response, 2);
+    patchSerializePhaseSec(payload, 0.0625);
+    const auto decoded = decodeTuneResponse(payload, space, 2);
+    EXPECT_EQ(decoded.phaseSec(service::Phase::Serialize), 0.0625);
+    EXPECT_EQ(decoded.phaseSec(service::Phase::Search), 0.25);
+
+    // Without a trailing serialize entry the patch must refuse.
+    service::TuneResponse noSlot = response;
+    noSlot.phases.pop_back();
+    auto unpatchable = encodeTuneResponse(noSlot, 2);
+    EXPECT_THROW(patchSerializePhaseSec(unpatchable, 0.5),
+                 ProtocolError);
+}
+
+TEST(Protocol, StatsAndFlightDumpCodecsValidate)
+{
+    EXPECT_EQ(decodeStatsRequest(
+                  encodeStatsRequest(StatsRequest{StatsFormat::Json}))
+                  .format,
+              StatsFormat::Json);
+    std::vector<uint8_t> bad = {0x07};
+    EXPECT_THROW((void)decodeStatsRequest(bad), ProtocolError);
+
+    EXPECT_EQ(decodeFlightDumpRequest(
+                  encodeFlightDumpRequest(FlightDumpRequest{12.0}))
+                  .windowSec,
+              12.0);
+    FlightDumpRequest negative;
+    negative.windowSec = -1.0;
+    EXPECT_THROW((void)decodeFlightDumpRequest(
+                     encodeFlightDumpRequest(negative)),
+                 ProtocolError);
+
+    EXPECT_EQ(decodeTextReply(encodeTextReply("{\"a\":1}")),
+              "{\"a\":1}");
 }
 
 TEST(Protocol, ErrorRoundTrips)

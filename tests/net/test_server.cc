@@ -355,5 +355,199 @@ TEST(TuningServer, WireAnswersMatchInProcessBitForBit)
     }
 }
 
+/** Raw-socket helper: read frames until one arrives. */
+Frame
+readFrame(Socket &raw, FrameDecoder &decoder)
+{
+    Frame reply;
+    for (;;) {
+        const auto result = decoder.next(&reply);
+        EXPECT_NE(result, FrameDecoder::Result::Malformed)
+            << decoder.error();
+        if (result == FrameDecoder::Result::Frame)
+            return reply;
+        uint8_t buf[4096];
+        const long got = readWithTimeout(raw.fd(), buf, sizeof buf, 5.0);
+        EXPECT_GT(got, 0) << "connection died instead of replying";
+        if (got <= 0)
+            return reply;
+        decoder.feed(buf, static_cast<size_t>(got));
+    }
+}
+
+/**
+ * Backward compatibility: a v1 client gets a bit-identical v1 answer
+ * — same frame version, no trace fields consumed, no phase breakdown
+ * appended.
+ */
+TEST(TuningServer, V1ClientGetsBitIdenticalV1Reply)
+{
+    StubBackend backend;
+    TuningServer server(backend, ServerOptions{});
+    server.start();
+
+    const service::TuneRequest request = makeRequest("TS", 40.0);
+    Socket raw = connectTcp("127.0.0.1", server.port());
+    const auto frame = encodeFrame(MsgType::TuneRequest, 9,
+                                   encodeTuneRequest(request, 1), 1);
+    ASSERT_TRUE(writeAll(raw.fd(), frame.data(), frame.size()));
+
+    FrameDecoder decoder;
+    const Frame reply = readFrame(raw, decoder);
+    EXPECT_EQ(reply.type, MsgType::TuneResponse);
+    EXPECT_EQ(reply.requestId, 9u);
+    EXPECT_EQ(reply.version, 1);
+
+    // The payload matches a local v1 encoding of the stub's answer
+    // byte for byte: v2 never leaks into a v1 conversation.
+    service::TuneResponse expected;
+    expected.workload = "TS";
+    expected.nativeSize = 40.0;
+    expected.predictedTimeSec = 80.0;
+    expected.warnings.push_back({"stub-rule", "stub finding"});
+    EXPECT_EQ(reply.payload, encodeTuneResponse(expected, 1));
+
+    server.stop();
+}
+
+TEST(TuningServer, V2ReplyCarriesPhaseBreakdown)
+{
+    StubBackend backend;
+    TuningServer server(backend, ServerOptions{});
+    server.start();
+
+    Client client("127.0.0.1", server.port());
+    const auto response = client.request(makeRequest("TS", 40.0));
+    client.close();
+    server.stop();
+
+    // Even over the stub backend (which reports no phases itself) the
+    // server appends its serialize timing to the v2 reply.
+    ASSERT_FALSE(response.phases.empty());
+    bool sawSerialize = false;
+    for (const auto &timing : response.phases) {
+        if (timing.phase == service::Phase::Serialize) {
+            EXPECT_GE(timing.sec, 0.0);
+            sawSerialize = true;
+        }
+    }
+    EXPECT_TRUE(sawSerialize);
+}
+
+TEST(TuningServer, UnknownFrameTypeGetsErrorAndKeepsConnection)
+{
+    StubBackend backend;
+    TuningServer server(backend, ServerOptions{});
+    server.start();
+
+    Socket raw = connectTcp("127.0.0.1", server.port());
+    auto unknown = encodeFrame(MsgType::Ping, 41, {});
+    unknown[5] = 0xEE; // a type from the future
+    ASSERT_TRUE(writeAll(raw.fd(), unknown.data(), unknown.size()));
+
+    FrameDecoder decoder;
+    const Frame reply = readFrame(raw, decoder);
+    EXPECT_EQ(reply.type, MsgType::Error);
+    EXPECT_EQ(reply.requestId, 41u);
+    EXPECT_FALSE(decodeError(reply.payload).empty());
+
+    // Same connection still serves: unknown types are forgivable.
+    const auto good = encodeFrame(MsgType::TuneRequest, 42,
+                                  encodeTuneRequest(makeRequest("TS", 5.0)));
+    ASSERT_TRUE(writeAll(raw.fd(), good.data(), good.size()));
+    const Frame answer = readFrame(raw, decoder);
+    EXPECT_EQ(answer.type, MsgType::TuneResponse);
+    EXPECT_EQ(answer.requestId, 42u);
+
+    server.stop();
+}
+
+TEST(TuningServer, StatsFrameServesRegistryInBothFormats)
+{
+    obs::MetricsRegistry metrics;
+    metrics.counter("requests.served").increment(5);
+    metrics.histogram("phase.search").observe(0.25);
+
+    StubBackend backend;
+    ServerOptions options;
+    options.metrics = &metrics;
+    TuningServer server(backend, options);
+    server.start();
+
+    Client client("127.0.0.1", server.port());
+    (void)client.request(makeRequest("TS", 40.0));
+
+    // Prometheus text exposition.
+    const std::string prom = client.stats(StatsFormat::Prometheus);
+    EXPECT_NE(prom.find("# TYPE dac_requests_served_total counter"),
+              std::string::npos);
+    EXPECT_NE(prom.find("dac_requests_served_total 5"),
+              std::string::npos);
+    // The server's own RED metrics landed in the same registry.
+    EXPECT_NE(prom.find("dac_net_loop0_requests_total"),
+              std::string::npos);
+
+    // JSON snapshot (what dac_top polls).
+    const std::string json = client.stats(StatsFormat::Json);
+    EXPECT_NE(json.find("\"counters\""), std::string::npos);
+    EXPECT_NE(json.find("\"requests.served\":5"), std::string::npos);
+
+    client.close();
+    server.stop();
+}
+
+TEST(TuningServer, StatsProviderOverridesRegistryRendering)
+{
+    StubBackend backend;
+    TuningServer server(backend, ServerOptions{});
+    server.setStatsProvider([](StatsFormat format) {
+        return format == StatsFormat::Prometheus ? "prom-custom\n"
+                                                 : "{\"custom\":1}";
+    });
+    server.start();
+
+    Client client("127.0.0.1", server.port());
+    EXPECT_EQ(client.stats(StatsFormat::Prometheus), "prom-custom\n");
+    EXPECT_EQ(client.stats(StatsFormat::Json), "{\"custom\":1}");
+    client.close();
+    server.stop();
+}
+
+TEST(TuningServer, StatsWithoutProviderOrRegistryIsAnError)
+{
+    StubBackend backend;
+    TuningServer server(backend, ServerOptions{});
+    server.start();
+    Client client("127.0.0.1", server.port());
+    EXPECT_THROW((void)client.stats(), RpcError);
+    // The error did not cost the connection.
+    client.ping();
+    client.close();
+    server.stop();
+}
+
+TEST(TuningServer, FlightDumpFrameReturnsParseableWindow)
+{
+    StubBackend backend;
+    TuningServer server(backend, ServerOptions{});
+    server.start();
+
+    Client client("127.0.0.1", server.port());
+    (void)client.request(makeRequest("TS", 40.0));
+
+    const std::string dump = client.flightDump(/*window_sec=*/30.0);
+    // The decode/serialize/write records of the request just served
+    // are in the window (the recorder is always on).
+    EXPECT_NE(dump.find("\"records\""), std::string::npos);
+    EXPECT_NE(dump.find("\"decode\""), std::string::npos);
+
+    // A negative window is a protocol error, not a crash.
+    EXPECT_THROW((void)client.flightDump(-1.0), RpcError);
+    client.ping(); // connection survived the refusal
+
+    client.close();
+    server.stop();
+}
+
 } // namespace
 } // namespace dac::net

@@ -14,8 +14,9 @@ TEST(Prometheus, GoldenExposition)
     MetricsRegistry registry;
     registry.counter("requests.served").increment(7);
     registry.setGauge("cache.size", 3);
-    // Deterministic histogram: one observation in the 2-4ms bucket
-    // (index 11), two in the 4-8ms bucket (index 12).
+    // Deterministic histogram over the log-linear buckets (4 per
+    // octave): 3ms lands in (2.56, 3.072]ms, 5ms in (4.096, 5.12]ms,
+    // and 6ms in (5.12, 6.144]ms.
     Histogram &hist = registry.histogram("latency.request");
     hist.observe(0.003);
     hist.observe(0.005);
@@ -31,19 +32,56 @@ TEST(Prometheus, GoldenExposition)
         "# HELP dac_latency_request_seconds Histogram of "
         "latency.request (seconds)\n"
         "# TYPE dac_latency_request_seconds histogram\n"
+        "dac_latency_request_seconds_bucket{le=\"1.25e-06\"} 0\n"
+        "dac_latency_request_seconds_bucket{le=\"1.5e-06\"} 0\n"
+        "dac_latency_request_seconds_bucket{le=\"1.75e-06\"} 0\n"
         "dac_latency_request_seconds_bucket{le=\"2e-06\"} 0\n"
+        "dac_latency_request_seconds_bucket{le=\"2.5e-06\"} 0\n"
+        "dac_latency_request_seconds_bucket{le=\"3e-06\"} 0\n"
+        "dac_latency_request_seconds_bucket{le=\"3.5e-06\"} 0\n"
         "dac_latency_request_seconds_bucket{le=\"4e-06\"} 0\n"
+        "dac_latency_request_seconds_bucket{le=\"5e-06\"} 0\n"
+        "dac_latency_request_seconds_bucket{le=\"6e-06\"} 0\n"
+        "dac_latency_request_seconds_bucket{le=\"7e-06\"} 0\n"
         "dac_latency_request_seconds_bucket{le=\"8e-06\"} 0\n"
+        "dac_latency_request_seconds_bucket{le=\"1e-05\"} 0\n"
+        "dac_latency_request_seconds_bucket{le=\"1.2e-05\"} 0\n"
+        "dac_latency_request_seconds_bucket{le=\"1.4e-05\"} 0\n"
         "dac_latency_request_seconds_bucket{le=\"1.6e-05\"} 0\n"
+        "dac_latency_request_seconds_bucket{le=\"2e-05\"} 0\n"
+        "dac_latency_request_seconds_bucket{le=\"2.4e-05\"} 0\n"
+        "dac_latency_request_seconds_bucket{le=\"2.8e-05\"} 0\n"
         "dac_latency_request_seconds_bucket{le=\"3.2e-05\"} 0\n"
+        "dac_latency_request_seconds_bucket{le=\"4e-05\"} 0\n"
+        "dac_latency_request_seconds_bucket{le=\"4.8e-05\"} 0\n"
+        "dac_latency_request_seconds_bucket{le=\"5.6e-05\"} 0\n"
         "dac_latency_request_seconds_bucket{le=\"6.4e-05\"} 0\n"
+        "dac_latency_request_seconds_bucket{le=\"8e-05\"} 0\n"
+        "dac_latency_request_seconds_bucket{le=\"9.6e-05\"} 0\n"
+        "dac_latency_request_seconds_bucket{le=\"0.000112\"} 0\n"
         "dac_latency_request_seconds_bucket{le=\"0.000128\"} 0\n"
+        "dac_latency_request_seconds_bucket{le=\"0.00016\"} 0\n"
+        "dac_latency_request_seconds_bucket{le=\"0.000192\"} 0\n"
+        "dac_latency_request_seconds_bucket{le=\"0.000224\"} 0\n"
         "dac_latency_request_seconds_bucket{le=\"0.000256\"} 0\n"
+        "dac_latency_request_seconds_bucket{le=\"0.00032\"} 0\n"
+        "dac_latency_request_seconds_bucket{le=\"0.000384\"} 0\n"
+        "dac_latency_request_seconds_bucket{le=\"0.000448\"} 0\n"
         "dac_latency_request_seconds_bucket{le=\"0.000512\"} 0\n"
+        "dac_latency_request_seconds_bucket{le=\"0.00064\"} 0\n"
+        "dac_latency_request_seconds_bucket{le=\"0.000768\"} 0\n"
+        "dac_latency_request_seconds_bucket{le=\"0.000896\"} 0\n"
         "dac_latency_request_seconds_bucket{le=\"0.001024\"} 0\n"
+        "dac_latency_request_seconds_bucket{le=\"0.00128\"} 0\n"
+        "dac_latency_request_seconds_bucket{le=\"0.001536\"} 0\n"
+        "dac_latency_request_seconds_bucket{le=\"0.001792\"} 0\n"
         "dac_latency_request_seconds_bucket{le=\"0.002048\"} 0\n"
+        "dac_latency_request_seconds_bucket{le=\"0.00256\"} 0\n"
+        "dac_latency_request_seconds_bucket{le=\"0.003072\"} 1\n"
+        "dac_latency_request_seconds_bucket{le=\"0.003584\"} 1\n"
         "dac_latency_request_seconds_bucket{le=\"0.004096\"} 1\n"
-        "dac_latency_request_seconds_bucket{le=\"0.008192\"} 3\n"
+        "dac_latency_request_seconds_bucket{le=\"0.00512\"} 2\n"
+        "dac_latency_request_seconds_bucket{le=\"0.006144\"} 3\n"
         "dac_latency_request_seconds_bucket{le=\"+Inf\"} 3\n"
         "dac_latency_request_seconds_sum 0.014\n"
         "dac_latency_request_seconds_count 3\n";

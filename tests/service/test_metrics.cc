@@ -106,19 +106,47 @@ TEST(Metrics, HistogramMaxSurvivesConcurrentObservers)
     EXPECT_DOUBLE_EQ(hist.maxValue(), expectedMax);
 }
 
-TEST(Metrics, BucketBoundsDoubleFromOneMicrosecond)
+TEST(Metrics, BucketBoundsQuarterOctaveFromOneMicrosecond)
 {
-    EXPECT_DOUBLE_EQ(Histogram::bucketUpperBound(0), 2e-6);
-    EXPECT_DOUBLE_EQ(Histogram::bucketUpperBound(1), 4e-6);
+    // Log-linear layout: each octave from 1us is split into 4 linear
+    // sub-buckets, so the first bounds are 1.25, 1.5, 1.75, 2.0us and
+    // the octave-1 bounds are 2.5, 3.0, 3.5, 4.0us.
+    EXPECT_DOUBLE_EQ(Histogram::bucketUpperBound(0), 1.25e-6);
+    EXPECT_DOUBLE_EQ(Histogram::bucketUpperBound(1), 1.5e-6);
+    EXPECT_DOUBLE_EQ(Histogram::bucketUpperBound(3), 2e-6);
+    EXPECT_DOUBLE_EQ(Histogram::bucketUpperBound(7), 4e-6);
     EXPECT_TRUE(std::isinf(
         Histogram::bucketUpperBound(Histogram::kBuckets - 1)));
 
     Histogram hist;
-    hist.observe(3e-6); // (2us, 4us] -> bucket 1
-    hist.observe(0.003); // -> bucket 11 (upper bound 4.096ms)
-    EXPECT_EQ(hist.bucketCount(1), 1u);
-    EXPECT_EQ(hist.bucketCount(11), 1u);
+    hist.observe(3e-6);  // [3us, 3.5us) -> bucket 6
+    hist.observe(0.003); // [2.56ms, 3.072ms) -> bucket 45
+    EXPECT_EQ(hist.bucketCount(6), 1u);
+    EXPECT_EQ(hist.bucketCount(45), 1u);
+    EXPECT_DOUBLE_EQ(Histogram::bucketUpperBound(45), 0.003072);
     EXPECT_EQ(hist.bucketCount(0), 0u);
+}
+
+TEST(Metrics, PercentileErrorBoundedBySubBucketWidth)
+{
+    // The sub-bucket midpoint estimate is off by at most half a
+    // sub-bucket, i.e. ~12.5% of the value — the point of the
+    // log-linear refinement (pure power-of-two buckets allowed ~2x).
+    Histogram hist;
+    for (int i = 0; i < 1000; ++i)
+        hist.observe(0.004); // all mass in one sub-bucket
+    const double p99 = hist.percentile(99);
+    EXPECT_NEAR(p99, 0.004, 0.004 * 0.14);
+
+    // A spread distribution keeps every quantile within the same
+    // relative error of its exact counterpart.
+    Histogram spread;
+    for (int i = 1; i <= 1000; ++i)
+        spread.observe(1e-3 * i);
+    const double exactP99 = 0.990;
+    EXPECT_NEAR(spread.percentile(99), exactP99, exactP99 * 0.14);
+    const double exactP50 = 0.500;
+    EXPECT_NEAR(spread.percentile(50), exactP50, exactP50 * 0.14);
 }
 
 TEST(Metrics, ReportRendersEveryMetric)
