@@ -1,0 +1,137 @@
+#include "analysis/analyzer.h"
+
+#include <algorithm>
+#include <map>
+
+#include "analysis/indexer.h"
+#include "analysis/program_rules.h"
+#include "support/logging.h"
+
+namespace dac::analysis {
+
+Analyzer::Analyzer()
+{
+    for (auto &rule : builtinProgramRules()) {
+        Entry entry;
+        entry.description = rule->description();
+        entry.rule = std::move(rule);
+        entries.push_back(std::move(entry));
+    }
+}
+
+std::vector<std::string>
+Analyzer::ruleNames() const
+{
+    std::vector<std::string> names;
+    names.reserve(entries.size());
+    for (const auto &entry : entries)
+        names.push_back(entry.rule->name());
+    return names;
+}
+
+const std::string &
+Analyzer::describe(const std::string &rule) const
+{
+    for (const auto &entry : entries) {
+        if (rule == entry.rule->name())
+            return entry.description;
+    }
+    fatalError("unknown rule: " + rule);
+}
+
+void
+Analyzer::disable(const std::string &rule)
+{
+    for (auto &entry : entries) {
+        if (rule == entry.rule->name()) {
+            entry.enabled = false;
+            return;
+        }
+    }
+    fatalError("unknown rule: " + rule);
+}
+
+void
+Analyzer::enableOnly(const std::vector<std::string> &rules)
+{
+    for (auto &entry : entries)
+        entry.enabled = false;
+    for (const auto &rule : rules) {
+        bool found = false;
+        for (auto &entry : entries) {
+            if (rule == entry.rule->name()) {
+                entry.enabled = true;
+                found = true;
+            }
+        }
+        if (!found)
+            fatalError("unknown rule: " + rule);
+    }
+}
+
+LintReport
+Analyzer::analyzeSummaries(std::vector<FileSummary> summaries) const
+{
+    ProgramIndex index;
+    for (FileSummary &summary : summaries)
+        index.add(std::move(summary));
+    index.finalize();
+
+    LintReport report;
+    report.fileCount = index.files().size();
+    for (const auto &entry : entries) {
+        if (entry.enabled)
+            entry.rule->check(index, report.findings);
+    }
+
+    std::map<std::string, const SourceFile *> sources;
+    for (const FileSummary &file : index.files())
+        sources.emplace(file.source.path(), &file.source);
+    std::erase_if(report.findings, [&](const Finding &f) {
+        const auto it = sources.find(f.file);
+        if (it == sources.end())
+            return false;
+        // dac-nolint-naked cannot be silenced by the bare marker it
+        // flags; it takes a named suppression.
+        if (f.rule == "dac-nolint-naked")
+            return it->second->suppressedByName(f.line, f.rule);
+        return it->second->suppressed(f.line, f.rule);
+    });
+    std::sort(report.findings.begin(), report.findings.end(),
+              [](const Finding &a, const Finding &b) {
+                  if (a.file != b.file)
+                      return a.file < b.file;
+                  if (a.line != b.line)
+                      return a.line < b.line;
+                  if (a.column != b.column)
+                      return a.column < b.column;
+                  return a.rule < b.rule;
+              });
+    return report;
+}
+
+LintReport
+Analyzer::analyzeTexts(
+    const std::vector<std::pair<std::string, std::string>> &files) const
+{
+    std::vector<FileSummary> summaries;
+    summaries.reserve(files.size());
+    for (const auto &[path, text] : files)
+        summaries.push_back(
+            summarizeFile(SourceFile::fromString(path, text)));
+    return analyzeSummaries(std::move(summaries));
+}
+
+LintReport
+Analyzer::run(const std::vector<std::string> &paths,
+              Executor *executor) const
+{
+    const std::vector<std::string> files = collectSourceFiles(paths);
+    std::vector<FileSummary> summaries(files.size());
+    parallelFor(executor, files.size(), [&](size_t i) {
+        summaries[i] = summarizeFile(SourceFile::load(files[i]));
+    });
+    return analyzeSummaries(std::move(summaries));
+}
+
+} // namespace dac::analysis

@@ -1,0 +1,76 @@
+/**
+ * @file
+ * The dac-analyze driver: loads and summarizes files (optionally in
+ * parallel via an injected Executor), merges them into a ProgramIndex,
+ * runs the program rules, applies NOLINT suppressions, and returns
+ * the same LintReport shape dac_lint uses so the text/JSON/SARIF
+ * renderers are shared. tools/dac_analyze.cpp is a thin argv wrapper.
+ *
+ * Suppression semantics match dac_lint, with one twist: a
+ * dac-nolint-naked finding is only silenced by a marker that names it
+ * (a bare NOLINT cannot suppress the rule that exists to flag bare
+ * NOLINTs).
+ */
+
+#ifndef DAC_ANALYSIS_ANALYZER_H
+#define DAC_ANALYSIS_ANALYZER_H
+
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "analysis/linter.h"
+#include "analysis/program_rule.h"
+#include "support/executor.h"
+
+namespace dac::analysis {
+
+/**
+ * A configured set of program rules.
+ */
+class Analyzer
+{
+  public:
+    /** Analyzer with every built-in program rule enabled. */
+    Analyzer();
+
+    /** Names of all registered rules, in display order. */
+    [[nodiscard]] std::vector<std::string> ruleNames() const;
+
+    /** One-line description of a rule; fatalError on unknown name. */
+    [[nodiscard]] const std::string &describe(const std::string &rule) const;
+
+    /** Disable one rule; fatalError on unknown name. */
+    void disable(const std::string &rule);
+
+    /** Enable exactly this rule set (clears previous enablement). */
+    void enableOnly(const std::vector<std::string> &rules);
+
+    /** Analyze pre-built file summaries (the core pipeline). */
+    [[nodiscard]] LintReport
+    analyzeSummaries(std::vector<FileSummary> summaries) const;
+
+    /** Analyze (path, text) buffers as one program (for tests). */
+    [[nodiscard]] LintReport analyzeTexts(
+        const std::vector<std::pair<std::string, std::string>> &files)
+        const;
+
+    /** Analyze every C++ source under the given files/directories;
+     *  indexing is spread over `executor` when one is provided. */
+    [[nodiscard]] LintReport run(const std::vector<std::string> &paths,
+                                 Executor *executor = nullptr) const;
+
+  private:
+    struct Entry
+    {
+        std::unique_ptr<ProgramRule> rule;
+        std::string description;
+        bool enabled = true;
+    };
+    std::vector<Entry> entries;
+};
+
+} // namespace dac::analysis
+
+#endif // DAC_ANALYSIS_ANALYZER_H

@@ -1,0 +1,482 @@
+#include "analysis/index.h"
+
+#include <algorithm>
+
+namespace dac::analysis {
+
+namespace {
+
+/** Member/function names that always mean std/container machinery;
+ *  calls to them never resolve into the project call graph. */
+bool
+isStdName(const std::string &name)
+{
+    static const std::set<std::string> kNames = {
+        "get",        "wait",        "wait_for",    "wait_until",
+        "join",       "detach",      "lock",        "unlock",
+        "try_lock",   "notify_one",  "notify_all",  "push_back",
+        "emplace_back", "pop_back",  "insert",      "erase",
+        "find",       "begin",       "end",         "rbegin",
+        "rend",       "size",        "empty",       "clear",
+        "reserve",    "resize",      "at",          "front",
+        "back",       "data",        "c_str",       "str",
+        "substr",     "append",      "compare",     "load",
+        "store",      "exchange",    "fetch_add",   "fetch_sub",
+        "count",      "emplace",     "swap",        "reset",
+        "release",    "sleep_for",   "sleep_until", "move",
+        "forward",    "make_unique", "make_shared", "make_pair",
+        "to_string",  "min",         "max",         "abs",
+        "sort",       "push",        "pop",         "top",
+    };
+    return kNames.count(name) != 0;
+}
+
+/** Namespace qualifiers that can never name a project class. */
+bool
+isForeignQualifier(const std::string &qualifier)
+{
+    return qualifier == "std" || qualifier == "chrono" ||
+        qualifier == "this_thread" || qualifier == "filesystem" ||
+        qualifier == "fs";
+}
+
+bool
+isWaitName(const std::string &name)
+{
+    return name == "wait" || name == "wait_for" || name == "wait_until";
+}
+
+} // namespace
+
+void
+ProgramIndex::add(FileSummary summary)
+{
+    fileSummaries.push_back(std::move(summary));
+}
+
+const FunctionSummary *
+ProgramIndex::function(const std::string &qualified) const
+{
+    const auto it = byQualified.find(qualified);
+    return it == byQualified.end() ? nullptr : it->second;
+}
+
+ProgramIndex::FnState &
+ProgramIndex::state(const FunctionSummary &fn) const
+{
+    return states[&fn];
+}
+
+void
+ProgramIndex::finalize()
+{
+    // Merge enums (same name + same enumerators may repeat across
+    // headers; different enumerators make the name ambiguous).
+    for (const FileSummary &fileSummary : fileSummaries) {
+        for (const EnumDef &def : fileSummary.enums) {
+            const auto it = enumDefs.find(def.name);
+            if (it == enumDefs.end()) {
+                enumDefs.emplace(def.name, def);
+            } else if (it->second.enumerators != def.enumerators) {
+                ambiguousEnums.insert(def.name);
+            }
+        }
+        for (const auto &[name, info] : fileSummary.classes) {
+            ClassInfo &merged = classInfos[name];
+            merged.name = name;
+            for (const auto &m : info.mutexMembers)
+                merged.mutexMembers.push_back(m);
+            for (const auto &m : info.cvMembers)
+                merged.cvMembers.push_back(m);
+            for (const auto &m : info.threadMembers)
+                merged.threadMembers.push_back(m);
+        }
+    }
+    for (const std::string &name : ambiguousEnums)
+        enumDefs.erase(name);
+
+    for (FileSummary &fileSummary : fileSummaries) {
+        for (FunctionSummary &fn : fileSummary.functions) {
+            byQualified.try_emplace(fn.qualified, &fn);
+            byName[fn.name].push_back(&fn);
+        }
+    }
+
+    // Cross-file cv members: `member.wait(lk)` where `member` is a
+    // condition_variable declared in the class's header.
+    for (FileSummary &fileSummary : fileSummaries) {
+        for (FunctionSummary &fn : fileSummary.functions) {
+            if (fn.owner.empty())
+                continue;
+            const auto it = classInfos.find(fn.owner);
+            if (it == classInfos.end())
+                continue;
+            const ClassInfo &cls = it->second;
+            for (const CallSite &site : fn.calls) {
+                if (!site.viaMember || !isWaitName(site.name))
+                    continue;
+                const bool isCv =
+                    std::find(cls.cvMembers.begin(), cls.cvMembers.end(),
+                              site.receiver) != cls.cvMembers.end();
+                if (!isCv)
+                    continue;
+                const bool already = std::any_of(
+                    fn.blocking.begin(), fn.blocking.end(),
+                    [&](const BlockingOp &op) {
+                        return op.line == site.line &&
+                            op.column == site.column;
+                    });
+                if (already)
+                    continue;
+                BlockingOp op;
+                op.what = "condition_variable::" + site.name;
+                op.detail = site.receiver;
+                op.line = site.line;
+                op.column = site.column;
+                fn.blocking.push_back(op);
+            }
+        }
+    }
+
+    resolveAll();
+    propagateBlocking();
+    propagateAcquired();
+    buildLockEdges();
+}
+
+std::vector<const FunctionSummary *>
+ProgramIndex::resolve(const FunctionSummary &caller,
+                      const CallSite &site) const
+{
+    if (site.globalScope || isStdName(site.name) ||
+        isForeignQualifier(site.qualifier))
+        return {};
+    if (!site.qualifier.empty()) {
+        const auto it =
+            byQualified.find(site.qualifier + "::" + site.name);
+        if (it != byQualified.end())
+            return {it->second};
+        // The qualifier may be a namespace (`obs::record`): fall back
+        // to unique-name resolution below.
+    }
+    if (!caller.owner.empty()) {
+        const auto it =
+            byQualified.find(caller.owner + "::" + site.name);
+        if (it != byQualified.end())
+            return {it->second};
+    }
+    if (site.viaMember && site.receiver == "this")
+        return {};
+    const auto it = byName.find(site.name);
+    if (it == byName.end())
+        return {};
+    std::vector<const FunctionSummary *> candidates;
+    for (FunctionSummary *fn : it->second) {
+        if (!fn->isLambda)
+            candidates.push_back(fn);
+    }
+    constexpr size_t kMaxCandidates = 3;
+    if (candidates.empty() || candidates.size() > kMaxCandidates)
+        return {};
+    return candidates;
+}
+
+const std::vector<std::pair<const CallSite *, const FunctionSummary *>> &
+ProgramIndex::callees(const FunctionSummary &fn) const
+{
+    static const std::vector<
+        std::pair<const CallSite *, const FunctionSummary *>>
+        kEmpty;
+    const auto it = resolved.find(&fn);
+    return it == resolved.end() ? kEmpty : it->second;
+}
+
+void
+ProgramIndex::resolveAll()
+{
+    for (FileSummary &fileSummary : fileSummaries) {
+        for (FunctionSummary &fn : fileSummary.functions) {
+            auto &out = resolved[&fn];
+            for (const CallSite &site : fn.calls) {
+                for (const FunctionSummary *callee : resolve(fn, site)) {
+                    if (callee != &fn)
+                        out.emplace_back(&site, callee);
+                }
+            }
+        }
+    }
+}
+
+void
+ProgramIndex::propagateBlocking()
+{
+    // A NOLINT(dac-blocking-in-loop) on an op or call site is a
+    // reviewed claim that the path is non-blocking in practice (e.g.
+    // configuration-gated); taint does not propagate through it.
+    const char kRule[] = "dac-blocking-in-loop";
+    for (const FileSummary &fileSummary : fileSummaries) {
+        for (const FunctionSummary &fn : fileSummary.functions) {
+            FnState &st = state(fn);
+            for (const BlockingOp &op : fn.blocking) {
+                if (fileSummary.source.suppressed(op.line, kRule))
+                    continue;
+                st.mayBlock = true;
+                st.direct = &op;
+                break;
+            }
+        }
+    }
+    bool changed = true;
+    while (changed) {
+        changed = false;
+        for (const FileSummary &fileSummary : fileSummaries) {
+            for (const FunctionSummary &fn : fileSummary.functions) {
+                FnState &st = state(fn);
+                if (st.mayBlock)
+                    continue;
+                const auto it = resolved.find(&fn);
+                if (it == resolved.end())
+                    continue;
+                for (const auto &[site, callee] : it->second) {
+                    if (!state(*callee).mayBlock)
+                        continue;
+                    if (fileSummary.source.suppressed(site->line, kRule))
+                        continue;
+                    st.mayBlock = true;
+                    st.viaSite = site;
+                    st.viaCallee = callee;
+                    changed = true;
+                    break;
+                }
+            }
+        }
+    }
+}
+
+void
+ProgramIndex::propagateAcquired()
+{
+    for (const FileSummary &fileSummary : fileSummaries) {
+        for (const FunctionSummary &fn : fileSummary.functions) {
+            FnState &st = state(fn);
+            for (const LockAcquisition &acq : fn.locks) {
+                st.acquired.insert(acq.lockId);
+                st.acquiredAt.try_emplace(acq.lockId, &acq);
+            }
+        }
+    }
+    bool changed = true;
+    while (changed) {
+        changed = false;
+        for (const FileSummary &fileSummary : fileSummaries) {
+            for (const FunctionSummary &fn : fileSummary.functions) {
+                FnState &st = state(fn);
+                const auto it = resolved.find(&fn);
+                if (it == resolved.end())
+                    continue;
+                for (const auto &[site, callee] : it->second) {
+                    for (const std::string &id :
+                         state(*callee).acquired) {
+                        if (st.acquired.insert(id).second) {
+                            st.acquiredVia.try_emplace(id, site, callee);
+                            changed = true;
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+void
+ProgramIndex::appendAcquisitionPath(const FunctionSummary &fn,
+                                    const std::string &lockId,
+                                    std::vector<WitnessStep> &path) const
+{
+    const FunctionSummary *cur = &fn;
+    for (int hops = 0; hops < 16 && cur != nullptr; ++hops) {
+        const FnState &st = state(*cur);
+        const auto direct = st.acquiredAt.find(lockId);
+        if (direct != st.acquiredAt.end()) {
+            path.push_back({cur->file, direct->second->line,
+                            lockId + " acquired in " + cur->qualified});
+            return;
+        }
+        const auto via = st.acquiredVia.find(lockId);
+        if (via == st.acquiredVia.end())
+            return;
+        path.push_back({cur->file, via->second.first->line,
+                        cur->qualified + " calls " +
+                            via->second.second->qualified});
+        cur = via->second.second;
+    }
+}
+
+void
+ProgramIndex::buildLockEdges()
+{
+    for (const FileSummary &fileSummary : fileSummaries) {
+        for (const FunctionSummary &fn : fileSummary.functions) {
+            for (const LockAcquisition &acq : fn.locks) {
+                for (const std::string &held : acq.locksHeld) {
+                    if (held == acq.lockId)
+                        continue;
+                    LockEdge edge;
+                    edge.from = held;
+                    edge.to = acq.lockId;
+                    edge.file = fn.file;
+                    edge.line = acq.line;
+                    edge.function = fn.qualified;
+                    edges.push_back(std::move(edge));
+                }
+            }
+            const auto it = resolved.find(&fn);
+            if (it == resolved.end())
+                continue;
+            for (const auto &[site, callee] : it->second) {
+                if (site->locksHeld.empty())
+                    continue;
+                for (const std::string &id : state(*callee).acquired) {
+                    for (const std::string &held : site->locksHeld) {
+                        if (held == id)
+                            continue;
+                        LockEdge edge;
+                        edge.from = held;
+                        edge.to = id;
+                        edge.file = fn.file;
+                        edge.line = site->line;
+                        edge.function = fn.qualified;
+                        edge.path.push_back(
+                            {fn.file, site->line,
+                             fn.qualified + " calls " +
+                                 callee->qualified + " with " + held +
+                                 " held"});
+                        appendAcquisitionPath(*callee, id, edge.path);
+                        edges.push_back(std::move(edge));
+                    }
+                }
+            }
+        }
+    }
+    std::sort(edges.begin(), edges.end(),
+              [](const LockEdge &a, const LockEdge &b) {
+                  if (a.from != b.from)
+                      return a.from < b.from;
+                  if (a.to != b.to)
+                      return a.to < b.to;
+                  if (a.file != b.file)
+                      return a.file < b.file;
+                  return a.line < b.line;
+              });
+}
+
+const LockEdge *
+ProgramIndex::edge(const std::string &from, const std::string &to) const
+{
+    for (const LockEdge &candidate : edges) {
+        if (candidate.from == from && candidate.to == to)
+            return &candidate;
+    }
+    return nullptr;
+}
+
+bool
+ProgramIndex::mayBlock(const FunctionSummary &fn) const
+{
+    return state(fn).mayBlock;
+}
+
+std::vector<WitnessStep>
+ProgramIndex::blockingWitness(const FunctionSummary &fn) const
+{
+    std::vector<WitnessStep> steps;
+    const FunctionSummary *cur = &fn;
+    for (int hops = 0; hops < 32 && cur != nullptr; ++hops) {
+        const FnState &st = state(*cur);
+        if (st.direct != nullptr) {
+            steps.push_back({cur->file, st.direct->line,
+                             st.direct->what + " on " +
+                                 st.direct->detail + " in " +
+                                 cur->qualified});
+            return steps;
+        }
+        if (st.viaSite == nullptr || st.viaCallee == nullptr)
+            return steps;
+        steps.push_back({cur->file, st.viaSite->line,
+                         cur->qualified + " calls " +
+                             st.viaCallee->qualified});
+        cur = st.viaCallee;
+    }
+    return steps;
+}
+
+const std::set<std::string> &
+ProgramIndex::acquiredSet(const FunctionSummary &fn) const
+{
+    return state(fn).acquired;
+}
+
+std::vector<std::vector<std::string>>
+ProgramIndex::lockCycles() const
+{
+    std::map<std::string, std::vector<std::string>> adjacency;
+    for (const LockEdge &e : edges) {
+        auto &out = adjacency[e.from];
+        if (std::find(out.begin(), out.end(), e.to) == out.end())
+            out.push_back(e.to);
+        adjacency.try_emplace(e.to);
+    }
+
+    std::vector<std::vector<std::string>> cycles;
+    std::set<std::string> seenKeys;
+    std::map<std::string, int> color; // 0 white, 1 gray, 2 black
+    std::vector<std::string> stack;
+
+    // Iterative DFS with an explicit stack of (node, next-child).
+    for (const auto &[start, unused] : adjacency) {
+        (void)unused;
+        if (color[start] != 0)
+            continue;
+        std::vector<std::pair<std::string, size_t>> work;
+        work.emplace_back(start, 0);
+        color[start] = 1;
+        stack.push_back(start);
+        while (!work.empty()) {
+            auto &[node, childIdx] = work.back();
+            const auto &children = adjacency[node];
+            if (childIdx >= children.size()) {
+                color[node] = 2;
+                stack.pop_back();
+                work.pop_back();
+                continue;
+            }
+            const std::string child = children[childIdx++];
+            if (color[child] == 1) {
+                // Back edge: the cycle is the stack from `child` on.
+                const auto at =
+                    std::find(stack.begin(), stack.end(), child);
+                std::vector<std::string> cycle(at, stack.end());
+                // Canonicalize: rotate the smallest node first.
+                const auto minIt =
+                    std::min_element(cycle.begin(), cycle.end());
+                std::rotate(cycle.begin(), minIt, cycle.end());
+                std::string key;
+                for (const std::string &n : cycle)
+                    key += n + "|";
+                if (seenKeys.insert(key).second) {
+                    cycle.push_back(cycle.front());
+                    cycles.push_back(std::move(cycle));
+                }
+                continue;
+            }
+            if (color[child] == 0) {
+                color[child] = 1;
+                stack.push_back(child);
+                work.emplace_back(child, 0);
+            }
+        }
+    }
+    return cycles;
+}
+
+} // namespace dac::analysis

@@ -127,6 +127,10 @@ Linter::lintFile(const SourceFile &file) const
             entry.rule->check(ctx, findings);
     }
     std::erase_if(findings, [&](const Finding &f) {
+        // dac-nolint-naked flags bare markers, so the bare marker
+        // itself cannot suppress it — only a named one can.
+        if (f.rule == "dac-nolint-naked")
+            return file.suppressedByName(f.line, f.rule);
         return file.suppressed(f.line, f.rule);
     });
     std::sort(findings.begin(), findings.end(),
@@ -147,15 +151,19 @@ Linter::lintText(const std::string &path, const std::string &text) const
 }
 
 LintReport
-Linter::run(const std::vector<std::string> &paths) const
+Linter::run(const std::vector<std::string> &paths,
+            Executor *executor) const
 {
+    const std::vector<std::string> files = collectSourceFiles(paths);
+    std::vector<std::vector<Finding>> perFile(files.size());
+    parallelFor(executor, files.size(), [&](size_t i) {
+        perFile[i] = lintFile(SourceFile::load(files[i]));
+    });
     LintReport report;
-    for (const auto &path : collectSourceFiles(paths)) {
-        const auto findings = lintFile(SourceFile::load(path));
+    report.fileCount = files.size();
+    for (const auto &findings : perFile)
         report.findings.insert(report.findings.end(), findings.begin(),
                                findings.end());
-        ++report.fileCount;
-    }
     return report;
 }
 
@@ -202,11 +210,11 @@ renderText(const LintReport &report)
 }
 
 std::string
-renderJson(const LintReport &report)
+renderJson(const LintReport &report, const std::string &tool)
 {
     std::ostringstream out;
     out << "{\n"
-        << "  \"tool\": \"dac-lint\",\n"
+        << "  \"tool\": \"" << escapeJson(tool) << "\",\n"
         << "  \"version\": \"1.0\",\n"
         << "  \"files\": " << report.fileCount << ",\n"
         << "  \"findings\": [";
@@ -220,6 +228,33 @@ renderJson(const LintReport &report)
             << ", \"message\": \"" << escapeJson(f.message) << "\"}";
     }
     out << (report.findings.empty() ? "]" : "\n  ]") << "\n}\n";
+    return out.str();
+}
+
+std::string
+renderSarif(const LintReport &report, const std::string &tool)
+{
+    std::ostringstream out;
+    out << "{\n"
+        << "  \"$schema\": \"https://json.schemastore.org/sarif-2.1.0.json\",\n"
+        << "  \"version\": \"2.1.0\",\n"
+        << "  \"runs\": [{\n"
+        << "    \"tool\": {\"driver\": {\"name\": \"" << escapeJson(tool)
+        << "\", \"version\": \"1.0\"}},\n"
+        << "    \"results\": [";
+    for (size_t i = 0; i < report.findings.size(); ++i) {
+        const Finding &f = report.findings[i];
+        out << (i == 0 ? "\n" : ",\n")
+            << "      {\"ruleId\": \"" << escapeJson(f.rule)
+            << "\", \"level\": \"warning\", \"message\": {\"text\": \""
+            << escapeJson(f.message)
+            << "\"}, \"locations\": [{\"physicalLocation\": "
+               "{\"artifactLocation\": {\"uri\": \""
+            << escapeJson(f.file)
+            << "\"}, \"region\": {\"startLine\": " << f.line
+            << ", \"startColumn\": " << f.column << "}}}]}";
+    }
+    out << (report.findings.empty() ? "]" : "\n    ]") << "\n  }]\n}\n";
     return out.str();
 }
 

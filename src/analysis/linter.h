@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "analysis/rule.h"
+#include "support/executor.h"
 
 namespace dac::analysis {
 
@@ -57,8 +58,12 @@ class Linter
     [[nodiscard]] std::vector<Finding> lintText(const std::string &path,
                                                 const std::string &text) const;
 
-    /** Lint every C++ source under the given files/directories. */
-    [[nodiscard]] LintReport run(const std::vector<std::string> &paths) const;
+    /** Lint every C++ source under the given files/directories; files
+     *  are linted in parallel when an `executor` is provided. Reports
+     *  are deterministic either way (per-file results merge in sorted
+     *  path order). */
+    [[nodiscard]] LintReport run(const std::vector<std::string> &paths,
+                                 Executor *executor = nullptr) const;
 
   private:
     struct Entry
@@ -83,7 +88,12 @@ collectSourceFiles(const std::vector<std::string> &paths);
 [[nodiscard]] std::string renderText(const LintReport &report);
 
 /** SARIF-lite JSON: tool id, file count, and one object per finding. */
-[[nodiscard]] std::string renderJson(const LintReport &report);
+[[nodiscard]] std::string renderJson(const LintReport &report,
+                                     const std::string &tool = "dac-lint");
+
+/** SARIF 2.1.0: one run, one result per finding (for CI upload). */
+[[nodiscard]] std::string renderSarif(const LintReport &report,
+                                      const std::string &tool = "dac-lint");
 
 } // namespace dac::analysis
 

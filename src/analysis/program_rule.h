@@ -1,0 +1,41 @@
+/**
+ * @file
+ * The dac-analyze rule interface. Unlike dac_lint's per-file Rule
+ * (rule.h), a ProgramRule sees the whole merged ProgramIndex — the
+ * cross-TU call graph, lock graph, and enum/switch inventory — and so
+ * can check properties no single file exhibits.
+ */
+
+#ifndef DAC_ANALYSIS_PROGRAM_RULE_H
+#define DAC_ANALYSIS_PROGRAM_RULE_H
+
+#include <vector>
+
+#include "analysis/index.h"
+#include "analysis/rule.h"
+
+namespace dac::analysis {
+
+/**
+ * A whole-program invariant check. Stateless; check() may run over
+ * any index.
+ */
+class ProgramRule
+{
+  public:
+    virtual ~ProgramRule() = default;
+
+    /** Stable rule id, e.g. "dac-lock-order". */
+    virtual const char *name() const = 0;
+
+    /** One-line description for --list-rules and reports. */
+    virtual const char *description() const = 0;
+
+    /** Append findings (suppressions applied later by the driver). */
+    virtual void check(const ProgramIndex &index,
+                       std::vector<Finding> &out) const = 0;
+};
+
+} // namespace dac::analysis
+
+#endif // DAC_ANALYSIS_PROGRAM_RULE_H

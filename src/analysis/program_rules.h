@@ -1,0 +1,40 @@
+/**
+ * @file
+ * The built-in dac-analyze rule pack — the flow-aware, cross-TU
+ * checks dac_lint's per-file rules cannot express. See DESIGN.md §13
+ * for each rule's invariant and witness format.
+ */
+
+#ifndef DAC_ANALYSIS_PROGRAM_RULES_H
+#define DAC_ANALYSIS_PROGRAM_RULES_H
+
+#include <memory>
+#include <vector>
+
+#include "analysis/program_rule.h"
+
+namespace dac::analysis {
+
+/** dac-lock-order: the whole-program lock graph must be acyclic. */
+std::unique_ptr<ProgramRule> makeLockOrderRule();
+
+/** dac-blocking-in-loop: nothing reachable from an event-loop
+ *  callback or a seqlock writer section may block the thread. */
+std::unique_ptr<ProgramRule> makeBlockingInLoopRule();
+
+/** dac-enum-switch: enum switches cover every enumerator. */
+std::unique_ptr<ProgramRule> makeEnumSwitchRule();
+
+/** dac-payload-bounds: wire-payload buffer access is bounds-checked
+ *  and payload-size literals come from the named frame ceiling. */
+std::unique_ptr<ProgramRule> makePayloadBoundsRule();
+
+/** dac-nolint-naked: every suppression names the rule it silences. */
+std::unique_ptr<ProgramRule> makeNolintNakedProgramRule();
+
+/** Every built-in program rule, in display order. */
+std::vector<std::unique_ptr<ProgramRule>> builtinProgramRules();
+
+} // namespace dac::analysis
+
+#endif // DAC_ANALYSIS_PROGRAM_RULES_H

@@ -1,5 +1,7 @@
 #include "analysis/rules.h"
 
+#include "analysis/program_rules.h"
+
 namespace dac::analysis {
 
 std::vector<std::unique_ptr<Rule>>
@@ -12,6 +14,19 @@ builtinRules()
     rules.push_back(makeLockHygieneRule());
     rules.push_back(makeIncludeHygieneRule());
     rules.push_back(makeUnitsRule());
+    rules.push_back(makeNolintNakedRule());
+    return rules;
+}
+
+std::vector<std::unique_ptr<ProgramRule>>
+builtinProgramRules()
+{
+    std::vector<std::unique_ptr<ProgramRule>> rules;
+    rules.push_back(makeLockOrderRule());
+    rules.push_back(makeBlockingInLoopRule());
+    rules.push_back(makeEnumSwitchRule());
+    rules.push_back(makePayloadBoundsRule());
+    rules.push_back(makeNolintNakedProgramRule());
     return rules;
 }
 

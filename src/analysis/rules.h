@@ -34,6 +34,9 @@ std::unique_ptr<Rule> makeIncludeHygieneRule();
 /** dac-units: no magic byte/time conversion factors. */
 std::unique_ptr<Rule> makeUnitsRule();
 
+/** dac-nolint-naked: suppressions must name the rule they silence. */
+std::unique_ptr<Rule> makeNolintNakedRule();
+
 /** Every built-in rule, in display order. */
 std::vector<std::unique_ptr<Rule>> builtinRules();
 

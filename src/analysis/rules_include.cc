@@ -72,6 +72,10 @@ class IncludeHygieneRule final : public Rule
             return; // not in src/, or an unranked directory
 
         for (size_t li = 1; li <= ctx.file.lineCount(); ++li) {
+            // An include inside `#if 0` never reaches the compiler,
+            // so it cannot violate the layering.
+            if (ctx.file.inDisabledRegion(li))
+                continue;
             // The code view blanks string contents, so parse the raw
             // line; only project-local quoted includes are checked.
             const std::string &raw = ctx.file.raw(li);

@@ -1,5 +1,7 @@
 #include "analysis/source.h"
 
+#include <algorithm>
+#include <cctype>
 #include <fstream>
 #include <sstream>
 
@@ -29,6 +31,54 @@ splitLines(const std::string &text)
     if (!current.empty())
         lines.push_back(std::move(current));
     return lines;
+}
+
+/** The directive keyword of a `#...` line ("if", "endif", ...). */
+std::string
+directiveKeyword(const std::string &line)
+{
+    size_t i = line.find('#');
+    if (i == std::string::npos)
+        return "";
+    ++i;
+    while (i < line.size() && (line[i] == ' ' || line[i] == '\t'))
+        ++i;
+    std::string word;
+    while (i < line.size() &&
+           (std::isalpha(static_cast<unsigned char>(line[i])) != 0))
+        word += line[i++];
+    return word;
+}
+
+/** The text after the directive keyword, trimmed. */
+std::string
+directiveArgument(const std::string &line, const std::string &keyword)
+{
+    const size_t hash = line.find('#');
+    size_t at = line.find(keyword, hash + 1);
+    if (at == std::string::npos)
+        return "";
+    at += keyword.size();
+    std::string rest = line.substr(at);
+    const size_t comment = rest.find("//");
+    if (comment != std::string::npos)
+        rest = rest.substr(0, comment);
+    const size_t block = rest.find("/*");
+    if (block != std::string::npos)
+        rest = rest.substr(0, block);
+    return trim(rest);
+}
+
+/**
+ * True when everything in [begin, i) is comment lead-in (whitespace,
+ * '*', '/', '!'), so a NOLINT at `i` starts the comment that opened
+ * at `begin`. Prose that merely mentions NOLINT mid-sentence is not a
+ * suppression.
+ */
+bool
+commentLeadOnly(const std::string &line, size_t begin, size_t i)
+{
+    return line.find_first_not_of("/*! \t", begin) >= i;
 }
 
 } // namespace
@@ -84,6 +134,35 @@ SourceFile::suppressed(size_t line, const std::string &rule) const
     return false;
 }
 
+bool
+SourceFile::suppressedByName(size_t line, const std::string &rule) const
+{
+    const auto it = nolint.find(line);
+    if (it == nolint.end())
+        return false;
+    for (const auto &name : it->second) {
+        if (name == rule)
+            return true;
+    }
+    return false;
+}
+
+bool
+SourceFile::ppDirective(size_t line) const
+{
+    DAC_ASSERT(line >= 1 && line <= directiveLines.size(),
+               "line number out of range");
+    return directiveLines[line - 1];
+}
+
+bool
+SourceFile::inDisabledRegion(size_t line) const
+{
+    DAC_ASSERT(line >= 1 && line <= disabledLines.size(),
+               "line number out of range");
+    return disabledLines[line - 1];
+}
+
 void
 SourceFile::recordSuppressions(size_t line, const std::string &comment)
 {
@@ -91,12 +170,19 @@ SourceFile::recordSuppressions(size_t line, const std::string &comment)
         const size_t at = comment.find(marker);
         if (at == std::string::npos)
             continue;
-        const bool nextLine = std::string(marker) == "NOLINTNEXTLINE";
-        // NOLINT is a prefix of NOLINTNEXTLINE; the longer marker is
-        // tried first, so a NEXTLINE is never double-counted.
-        if (!nextLine && at >= 4 &&
-            comment.compare(at - 4, 8, "NEXTLINE") == 0)
+        // The marker must lead the comment ("// NOLINT(...)"); a
+        // mid-sentence mention is documentation, not a suppression.
+        if (!commentLeadOnly(comment, 0, at))
             continue;
+        // A marker is followed by "(rules)", ": reason", or nothing at
+        // all. Anything else ("NOLINT suppressions, and...") is prose;
+        // this also rejects NOLINT matching inside NOLINTNEXTLINE,
+        // which the loop tries first.
+        const std::string after =
+            trim(comment.substr(at + std::string(marker).size()));
+        if (!after.empty() && after[0] != '(' && after[0] != ':')
+            continue;
+        const bool nextLine = std::string(marker) == "NOLINTNEXTLINE";
         const size_t target = nextLine ? line + 1 : line;
         std::vector<std::string> rules;
         const size_t open = at + std::string(marker).size();
@@ -108,6 +194,10 @@ SourceFile::recordSuppressions(size_t line, const std::string &comment)
                     rules.push_back(trim(name));
             }
         }
+        std::erase_if(rules,
+                      [](const std::string &name) { return name.empty(); });
+        if (rules.empty())
+            naked.push_back({line, marker});
         const auto existing = nolint.find(target);
         if (existing == nolint.end())
             nolint.emplace(target, std::move(rules));
@@ -120,17 +210,69 @@ SourceFile::recordSuppressions(size_t line, const std::string &comment)
     }
 }
 
+/**
+ * Track one raw line's preprocessor effect. `#if 0` pushes a disabled
+ * region; `#ifdef`/`#ifndef`/other `#if` conditions push an enabled one
+ * (they compile under some configuration); `#else`/`#elif` flip the top
+ * (the sibling of `#if 0` is live code, and vice versa); `#endif` pops.
+ */
+void
+SourceFile::trackDirective(size_t index)
+{
+    const std::string &raw = rawLines[index];
+    if (continuationPending) {
+        directiveLines[index] = true;
+        continuationPending = !raw.empty() && raw.back() == '\\';
+        return;
+    }
+    const std::string lead = trim(raw.substr(0, raw.find_first_of('#')));
+    if (raw.find('#') == std::string::npos || !lead.empty())
+        return;
+    directiveLines[index] = true;
+    continuationPending = !raw.empty() && raw.back() == '\\';
+    const std::string keyword = directiveKeyword(raw);
+    if (keyword == "if") {
+        const std::string cond = directiveArgument(raw, keyword);
+        conditionalStack.push_back(cond == "0" || cond == "false");
+    } else if (keyword == "ifdef" || keyword == "ifndef") {
+        conditionalStack.push_back(false);
+    } else if (keyword == "else" && !conditionalStack.empty()) {
+        conditionalStack.back() = !conditionalStack.back();
+    } else if (keyword == "elif" && !conditionalStack.empty()) {
+        const std::string cond = directiveArgument(raw, keyword);
+        conditionalStack.back() = cond == "0" || cond == "false";
+    } else if (keyword == "endif" && !conditionalStack.empty()) {
+        conditionalStack.pop_back();
+    }
+}
+
 void
 SourceFile::scan(const std::string &text)
 {
     rawLines = splitLines(text);
     codeLines.reserve(rawLines.size());
+    directiveLines.assign(rawLines.size(), false);
+    disabledLines.assign(rawLines.size(), false);
 
     enum class State { Code, String, Char, BlockComment };
     State state = State::Code;
 
+    // Where the current block comment opened on this line (0 when it
+    // carried over from a previous line), for the marker lead check.
+    size_t blockStart = 0;
+
     for (size_t li = 0; li < rawLines.size(); ++li) {
         const std::string &raw = rawLines[li];
+        blockStart = 0;
+        // Directive lines are recognized before comment/string scanning:
+        // a '#' first-on-the-line is a directive even mid-file, but not
+        // inside a block comment.
+        const bool disabledAtEntry =
+            std::find(conditionalStack.begin(), conditionalStack.end(),
+                      true) != conditionalStack.end();
+        if (state == State::Code)
+            trackDirective(li);
+        disabledLines[li] = disabledAtEntry;
         std::string code(raw.size(), ' ');
         for (size_t i = 0; i < raw.size(); ++i) {
             const char c = raw[i];
@@ -142,6 +284,7 @@ SourceFile::scan(const std::string &text)
                     i = raw.size(); // rest of the line is comment
                 } else if (c == '/' && next == '*') {
                     state = State::BlockComment;
+                    blockStart = i;
                     ++i;
                 } else if (c == '"') {
                     code[i] = c;
@@ -169,7 +312,8 @@ SourceFile::scan(const std::string &text)
                     state = State::Code;
                     ++i;
                 } else if (c == 'N' &&
-                           raw.compare(i, 6, "NOLINT") == 0) {
+                           raw.compare(i, 6, "NOLINT") == 0 &&
+                           commentLeadOnly(raw, blockStart, i)) {
                     recordSuppressions(li + 1, raw.substr(i));
                 }
                 break;

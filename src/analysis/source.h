@@ -7,7 +7,14 @@
  * The scanner also records inline suppressions: `// NOLINT` silences
  * every rule on its line, `// NOLINT(dac-foo, dac-bar)` only the named
  * ones, and `// NOLINTNEXTLINE(...)` applies to the following line.
- * Raw string literals are not supported (none exist in this tree).
+ * Bare markers (no rule list) are additionally recorded so the
+ * dac-nolint-naked rule can flag them. Raw string literals are not
+ * supported (none exist in this tree).
+ *
+ * Preprocessor structure is tracked line-by-line: every directive line
+ * (including backslash continuations) is marked, and `#if 0` regions
+ * are remembered so include attribution and the indexer can skip code
+ * that never compiles.
  */
 
 #ifndef DAC_ANALYSIS_SOURCE_H
@@ -20,12 +27,24 @@
 
 namespace dac::analysis {
 
+/** A bare NOLINT/NOLINTNEXTLINE marker (one that names no rules). */
+struct NakedNolint
+{
+    /** Line the marker comment sits on (not its target line). */
+    size_t line = 0;
+    /** "NOLINT" or "NOLINTNEXTLINE". */
+    std::string marker;
+};
+
 /**
  * An immutable, pre-scanned source file.
  */
 class SourceFile
 {
   public:
+    /** An empty file (placeholder; fill via fromString()/load()). */
+    SourceFile() = default;
+
     /** Scan a buffer as if it were the file at `path` (for tests). */
     static SourceFile fromString(std::string path, const std::string &text);
 
@@ -46,17 +65,44 @@ class SourceFile
     /** True when `rule` is suppressed on `line` by a NOLINT marker. */
     bool suppressed(size_t line, const std::string &rule) const;
 
-  private:
-    SourceFile() = default;
+    /** True when `rule` is suppressed on `line` by a marker that names
+     *  it explicitly (bare NOLINT does not count). The dac-nolint-naked
+     *  rule uses this so a bare marker cannot silence itself. */
+    bool suppressedByName(size_t line, const std::string &rule) const;
 
+    /** Every bare NOLINT/NOLINTNEXTLINE marker, in line order. */
+    const std::vector<NakedNolint> &nakedNolints() const
+    {
+        return naked;
+    }
+
+    /** True when `line` is a preprocessor directive or one of its
+     *  backslash-continuation lines (1-based). */
+    bool ppDirective(size_t line) const;
+
+    /** True when `line` sits inside an `#if 0` region, i.e. code the
+     *  compiler never sees under any configuration. Feature
+     *  conditionals (`#ifdef`, `#if defined(...)`) do NOT count: their
+     *  code compiles somewhere. */
+    bool inDisabledRegion(size_t line) const;
+
+  private:
     void scan(const std::string &text);
     void recordSuppressions(size_t line, const std::string &comment);
+    void trackDirective(size_t index);
 
     std::string _path;
     std::vector<std::string> rawLines;
     std::vector<std::string> codeLines;
     /** line -> suppressed rule names; an empty list means "all". */
     std::map<size_t, std::vector<std::string>> nolint;
+    std::vector<NakedNolint> naked;
+    /** Per line (0-based): directive / inside-#if-0 flags. */
+    std::vector<bool> directiveLines;
+    std::vector<bool> disabledLines;
+    /** Conditional stack while scanning: true = `#if 0` branch. */
+    std::vector<bool> conditionalStack;
+    bool continuationPending = false;
 };
 
 } // namespace dac::analysis

@@ -19,6 +19,9 @@ putU32(std::vector<uint8_t> &out, uint32_t v)
 uint32_t
 loadU32(const uint8_t *p)
 {
+    // Every caller sits behind FrameDecoder's header length check
+    // (>= kHeaderBytes buffered), so the bytes are readable here.
+    // NOLINTNEXTLINE(dac-payload-bounds): bounds proven by the caller
     return static_cast<uint32_t>(p[0]) |
            (static_cast<uint32_t>(p[1]) << 8) |
            (static_cast<uint32_t>(p[2]) << 16) |
@@ -28,6 +31,9 @@ loadU32(const uint8_t *p)
 uint16_t
 loadU16(const uint8_t *p)
 {
+    // Same contract as loadU32: the decoder has already verified the
+    // bytes are in the buffer.
+    // NOLINTNEXTLINE(dac-payload-bounds): bounds proven by the caller
     return static_cast<uint16_t>(static_cast<uint16_t>(p[0]) |
                                  (static_cast<uint16_t>(p[1]) << 8));
 }

@@ -232,6 +232,11 @@ class Connection : public std::enable_shared_from_this<Connection>
                     1, std::memory_order_relaxed);
                 break;
             }
+            case MsgType::TuneResponse:
+            case MsgType::Error:
+            case MsgType::Pong:
+            case MsgType::StatsReply:
+            case MsgType::FlightDumpReply:
             default: {
                 // Response-side frames a client has no business
                 // sending, and type bytes this build does not know
@@ -430,6 +435,10 @@ TuningServer::dispatchBatch(const std::shared_ptr<Connection> &conn,
     // the batch is in flight, the responses are simply dropped.
     std::weak_ptr<Connection> weak = conn;
     Loop *home = &conn->homeSlot();
+    // Copies for the saturation path below; the task owns the real
+    // vectors once constructed.
+    const std::vector<uint32_t> degradeIds = ids;
+    const std::vector<uint8_t> degradeVersions = versions;
     auto task = [this, weak, home, ids = std::move(ids),
                  versions = std::move(versions),
                  futures = std::make_shared<
@@ -494,7 +503,26 @@ TuningServer::dispatchBatch(const std::shared_ptr<Connection> &conn,
                                         writeSec);
         });
     };
-    replyPool->post(std::move(task));
+    if (replyPool->tryPost(std::move(task)))
+        return;
+
+    // Reply pool saturated: answer the whole batch with inline errors
+    // rather than blocking this event loop on the pool's queueSpace.
+    // The backend still fulfills the dropped futures — under overload
+    // that wasted work is the lesser evil, and the client gets an
+    // immediate, honest answer instead of a stalled connection.
+    counters.repliesDegraded.fetch_add(degradeIds.size(),
+                                       std::memory_order_relaxed);
+    std::vector<uint8_t> replies;
+    const auto payload = encodeError("reply pool saturated");
+    for (size_t i = 0; i < degradeIds.size(); ++i) {
+        appendFrame(replies, MsgType::Error, degradeIds[i],
+                    payload.data(), payload.size(), degradeVersions[i]);
+        counters.framesSent.fetch_add(1, std::memory_order_relaxed);
+        if (home->redErrors != nullptr)
+            home->redErrors->increment();
+    }
+    conn->send(replies);
 }
 
 void
@@ -566,6 +594,8 @@ TuningServer::stats() const
     out.maxBatch = counters.maxBatch.load(std::memory_order_relaxed);
     out.protocolErrors =
         counters.protocolErrors.load(std::memory_order_relaxed);
+    out.repliesDegraded =
+        counters.repliesDegraded.load(std::memory_order_relaxed);
     return out;
 }
 

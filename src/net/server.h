@@ -100,6 +100,9 @@ class TuningServer
         uint64_t maxBatch = 0;
         /** Frame/payload violations (each also closes or errors). */
         uint64_t protocolErrors = 0;
+        /** Requests answered with an inline error because the reply
+         *  pool was saturated (the loop never blocks on it). */
+        uint64_t repliesDegraded = 0;
     };
 
     TuningServer(service::TuningBackend &backend, ServerOptions options);
@@ -196,6 +199,7 @@ class TuningServer
         std::atomic<uint64_t> requestsSubmitted{0};
         std::atomic<uint64_t> maxBatch{0};
         std::atomic<uint64_t> protocolErrors{0};
+        std::atomic<uint64_t> repliesDegraded{0};
     };
     mutable AtomicStats counters;
 };

@@ -212,6 +212,11 @@ TuningService::submit(TuneRequest request)
     if (options.rejectWhenSaturated)
         posted = pool.tryPost(std::move(work));
     else
+        // Configuration-gated: the serving stack runs with
+        // rejectWhenSaturated=true and takes the tryPost branch; this
+        // blocking post exists for batch/offline embedders that
+        // prefer backpressure to errors.
+        // NOLINTNEXTLINE(dac-blocking-in-loop): gated off serving paths
         pool.post(std::move(work));
     if (posted)
         return future;
@@ -324,6 +329,9 @@ TuningService::submitBatch(std::vector<TuneRequest> batch)
     if (options.rejectWhenSaturated)
         posted = pool.tryPost(work);
     else
+        // Configuration-gated, same contract as the single-request
+        // path above; the serving stack never takes this branch.
+        // NOLINTNEXTLINE(dac-blocking-in-loop): gated off serving paths
         pool.post(work);
     if (posted)
         return futures;

@@ -22,7 +22,7 @@ const char *const kMixedFixture =
     "    bytes = gb * 1024.0;\n"
     "}\n";
 
-TEST(Linter, RegistersAllSixBuiltinRules)
+TEST(Linter, RegistersAllSevenBuiltinRules)
 {
     const Linter linter;
     const auto names = linter.ruleNames();
@@ -30,6 +30,7 @@ TEST(Linter, RegistersAllSixBuiltinRules)
         "dac-span-pairing",    "dac-rng-discipline",
         "dac-atomic-order",    "dac-lock-hygiene",
         "dac-include-hygiene", "dac-units",
+        "dac-nolint-naked",
     };
     for (const auto &rule : expected) {
         EXPECT_NE(std::find(names.begin(), names.end(), rule),
@@ -73,9 +74,35 @@ TEST(Linter, NolintSuppressionIsAppliedAfterRules)
         "a.cc",
         "void f() {\n"
         "    counter.fetch_add(1); // NOLINT(dac-atomic-order)\n"
-        "    bytes = gb * 1024.0; // NOLINT\n"
+        "    bytes = gb * 1024.0; // NOLINT(dac-units)\n"
         "}\n");
     EXPECT_TRUE(findings.empty());
+}
+
+TEST(Linter, BareNolintStillSuppressesButIsItselfAFinding)
+{
+    // A bare NOLINT keeps its suppressing power (it silences the
+    // dac-units finding on its line) but is flagged by the
+    // dac-nolint-naked rule — and cannot suppress that rule.
+    const Linter linter;
+    const auto findings = linter.lintText(
+        "a.cc", "bytes = gb * 1024.0; // NOLINT\n");
+    ASSERT_EQ(findings.size(), 1u);
+    EXPECT_EQ(findings[0].rule, "dac-nolint-naked");
+    EXPECT_EQ(findings[0].line, 1u);
+}
+
+TEST(Linter, NamedNolintSuppressesTheNakedFinding)
+{
+    const Linter linter;
+    const auto findings = linter.lintText(
+        "a.cc",
+        "// NOLINT: reason but no rule name\n"
+        "// NOLINT(dac-nolint-naked): grandfathered marker above\n");
+    // Line 1's bare marker is naked, but line 2 names the rule; each
+    // suppression applies to its own line only, so line 1 still fires.
+    ASSERT_EQ(findings.size(), 1u);
+    EXPECT_EQ(findings[0].line, 1u);
 }
 
 TEST(Linter, NolintForADifferentRuleDoesNotSuppress)

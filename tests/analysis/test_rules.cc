@@ -315,6 +315,31 @@ TEST(IncludeHygiene, FilesOutsideSrcAreExempt)
     EXPECT_EQ(countRule(f, "dac-include-hygiene"), 0u);
 }
 
+TEST(IncludeHygiene, IncludesInsideIfZeroAreSkipped)
+{
+    // An include behind `#if 0` never reaches the compiler, so it
+    // cannot create a layering edge.
+    const auto f = lintAt("src/conf/space.cc",
+                          "#if 0\n"
+                          "#include \"service/service.h\"\n"
+                          "#endif\n"
+                          "#include \"conf/param.h\"\n");
+    EXPECT_EQ(countRule(f, "dac-include-hygiene"), 0u);
+}
+
+TEST(IncludeHygiene, ElseBranchOfIfZeroIsLive)
+{
+    // The sibling branch of `#if 0` does compile; an upward include
+    // there is a real violation.
+    const auto f = lintAt("src/conf/space.cc",
+                          "#if 0\n"
+                          "#include \"conf/param.h\"\n"
+                          "#else\n"
+                          "#include \"service/service.h\"\n"
+                          "#endif\n");
+    EXPECT_TRUE(has(f, "dac-include-hygiene", 4));
+}
+
 // --------------------------------------------------------------- units
 
 TEST(Units, MagicGigabyteChainIsFlagged)

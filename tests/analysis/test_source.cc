@@ -96,5 +96,61 @@ TEST(Source, NolintInBlockCommentCounts)
     EXPECT_TRUE(file.suppressed(1, "dac-units"));
 }
 
+TEST(Source, ProseMentionOfNolintIsNotASuppression)
+{
+    // Documentation that talks about the marker — mid-sentence, or
+    // leading a comment line but followed by prose — must not silence
+    // anything or count as a bare marker.
+    const auto file = SourceFile::fromString(
+        "a.cc",
+        "int x = f(); // the linter applies NOLINT suppressions here\n"
+        "// NOLINT suppressions, and renders reports\n");
+    EXPECT_FALSE(file.suppressed(1, "dac-units"));
+    EXPECT_FALSE(file.suppressed(2, "dac-units"));
+    EXPECT_TRUE(file.nakedNolints().empty());
+}
+
+TEST(Source, BareMarkersAreRecordedAsNaked)
+{
+    const auto file = SourceFile::fromString(
+        "a.cc",
+        "int x = f(); // NOLINT\n"
+        "int y = g(); // NOLINT: reason without a rule\n"
+        "int z = h(); // NOLINT(dac-units): named\n");
+    ASSERT_EQ(file.nakedNolints().size(), 2u);
+    EXPECT_EQ(file.nakedNolints()[0].line, 1u);
+    EXPECT_EQ(file.nakedNolints()[0].marker, "NOLINT");
+    EXPECT_EQ(file.nakedNolints()[1].line, 2u);
+}
+
+TEST(Source, SuppressedByNameIgnoresBareMarkers)
+{
+    const auto file = SourceFile::fromString(
+        "a.cc",
+        "int x = f(); // NOLINT\n"
+        "int y = g(); // NOLINT(dac-units)\n");
+    EXPECT_FALSE(file.suppressedByName(1, "dac-units"));
+    EXPECT_TRUE(file.suppressedByName(2, "dac-units"));
+}
+
+TEST(Source, IfZeroRegionsAreMarkedDisabled)
+{
+    const auto file = SourceFile::fromString("a.cc",
+                                             "#if 0\n"
+                                             "int dead;\n"
+                                             "#else\n"
+                                             "int live;\n"
+                                             "#endif\n"
+                                             "#ifdef FLAG\n"
+                                             "int maybe;\n"
+                                             "#endif\n");
+    EXPECT_TRUE(file.inDisabledRegion(2));
+    EXPECT_FALSE(file.inDisabledRegion(4));
+    // #ifdef regions compile under some configuration: enabled.
+    EXPECT_FALSE(file.inDisabledRegion(7));
+    EXPECT_TRUE(file.ppDirective(1));
+    EXPECT_FALSE(file.ppDirective(2));
+}
+
 } // namespace
 } // namespace dac::analysis

@@ -1,18 +1,22 @@
 /**
  * @file
- * dac-lint: the project-invariant static checker. A thin argv wrapper
- * over src/analysis (see linter.h); all rule logic lives in the
- * library so tests can drive it directly.
+ * dac-analyze: the cross-TU, flow-aware static checker. A thin argv
+ * wrapper over src/analysis (see analyzer.h); the symbol indexer,
+ * program index, and rules all live in the library so tests can drive
+ * them directly. Where dac_lint checks one file at a time, this tool
+ * indexes every file first and runs whole-program rules (lock-order
+ * cycles, blocking calls reachable from event loops, enum-switch
+ * coverage, payload bounds) over the merged index.
  *
  * Usage:
- *   dac_lint [flags] <file-or-dir>...
+ *   dac_analyze [flags] <file-or-dir>...
  *
  * Flags:
  *   --format=text|json|sarif  report format (default text)
  *   --output=FILE        write the report to FILE instead of stdout
  *   --rule=NAME          run only the named rule (repeatable)
  *   --disable=NAME       drop one rule from the default set (repeatable)
- *   --jobs=N             lint files over N threads (default 1;
+ *   --jobs=N             index files over N threads (default 1;
  *                        0 = one per hardware thread)
  *   --list-rules         print the rule catalog and exit
  *
@@ -26,7 +30,7 @@
 #include <string>
 #include <vector>
 
-#include "analysis/linter.h"
+#include "analysis/analyzer.h"
 #include "service/thread_pool.h"
 
 #include "flags.h"
@@ -37,12 +41,12 @@ int
 usage()
 {
     std::cerr
-        << "usage: dac_lint [flags] <file-or-dir>...\n"
+        << "usage: dac_analyze [flags] <file-or-dir>...\n"
         << "  --format=text|json|sarif  report format (default text)\n"
         << "  --output=FILE       write the report to FILE\n"
         << "  --rule=NAME         run only the named rule (repeatable)\n"
         << "  --disable=NAME      drop one rule (repeatable)\n"
-        << "  --jobs=N            lint over N threads (0 = hardware)\n"
+        << "  --jobs=N            index over N threads (0 = hardware)\n"
         << "  --list-rules        print the rule catalog and exit\n";
     return 2;
 }
@@ -74,31 +78,31 @@ main(int argc, char **argv)
         return usage();
 
     try {
-        analysis::Linter linter;
+        analysis::Analyzer analyzer;
         if (listRules) {
-            for (const auto &rule : linter.ruleNames())
-                std::cout << rule << "  " << linter.describe(rule)
+            for (const auto &rule : analyzer.ruleNames())
+                std::cout << rule << "  " << analyzer.describe(rule)
                           << "\n";
             return 0;
         }
         if (flags.positionals().empty())
             return usage();
         if (!only.empty())
-            linter.enableOnly(only);
+            analyzer.enableOnly(only);
         for (const auto &rule : disabled)
-            linter.disable(rule);
+            analyzer.disable(rule);
 
         std::unique_ptr<service::ThreadPool> pool;
         if (jobs != 1)
             pool = std::make_unique<service::ThreadPool>(jobs);
 
         const analysis::LintReport report =
-            linter.run(flags.positionals(), pool.get());
+            analyzer.run(flags.positionals(), pool.get());
         std::string rendered;
         if (format == "json")
-            rendered = analysis::renderJson(report);
+            rendered = analysis::renderJson(report, "dac-analyze");
         else if (format == "sarif")
-            rendered = analysis::renderSarif(report);
+            rendered = analysis::renderSarif(report, "dac-analyze");
         else
             rendered = analysis::renderText(report);
         if (outputPath.empty()) {
@@ -113,7 +117,7 @@ main(int argc, char **argv)
         }
         return report.clean() ? 0 : 1;
     } catch (const std::exception &e) {
-        std::cerr << "dac_lint: " << e.what() << "\n";
+        std::cerr << "dac_analyze: " << e.what() << "\n";
         return 2;
     }
 }

@@ -41,6 +41,8 @@
 #include "support/table.h"
 #include "support/units.h"
 
+#include "flags.h"
+
 namespace {
 
 using dac::formatDouble;
@@ -180,34 +182,20 @@ main(int argc, char **argv)
     double interval_sec = 2.0;
     size_t count = 0;
     std::string dump;
-    for (int i = 1; i < argc; ++i) {
-        const std::string arg = argv[i];
-        try {
-            if (startsWith(arg, "--port=")) {
-                port = static_cast<uint16_t>(std::stoul(
-                    arg.substr(std::string("--port=").size())));
-            } else if (startsWith(arg, "--host=")) {
-                host = arg.substr(std::string("--host=").size());
-            } else if (startsWith(arg, "--interval=")) {
-                interval_sec = std::stod(
-                    arg.substr(std::string("--interval=").size()));
-            } else if (startsWith(arg, "--count=")) {
-                count = std::stoul(
-                    arg.substr(std::string("--count=").size()));
-            } else if (startsWith(arg, "--dump=")) {
-                dump = arg.substr(std::string("--dump=").size());
-                if (dump != "json" && dump != "prometheus" &&
-                    dump != "flight")
-                    throw std::invalid_argument(arg);
-            } else {
-                throw std::invalid_argument(arg);
-            }
-        } catch (const std::exception &) {
-            std::cerr << "usage: dac_top --port=N [--host=H]"
-                      << " [--interval=SEC] [--count=N]"
-                      << " [--dump=json|prometheus|flight]\n";
-            return 1;
-        }
+    tools::FlagParser flags;
+    flags.bind("port", &port);
+    flags.bind("host", &host);
+    flags.bind("interval", &interval_sec);
+    flags.bind("count", &count);
+    flags.define("dump", [&dump](const std::string &v) {
+        dump = v;
+        return v == "json" || v == "prometheus" || v == "flight";
+    });
+    if (!flags.parse(argc, argv) || !flags.positionals().empty()) {
+        std::cerr << "usage: dac_top --port=N [--host=H]"
+                  << " [--interval=SEC] [--count=N]"
+                  << " [--dump=json|prometheus|flight]\n";
+        return 1;
     }
     if (port == 0) {
         std::cerr << "dac_top: --port=N is required\n";

@@ -1,0 +1,166 @@
+/**
+ * @file
+ * Shared `--name=value` flag parsing for the command-line tools
+ * (dac_lint, dac_analyze, dac_top). Each tool binds its flags to
+ * locals, calls parse(), and prints its own usage on failure — the
+ * parser deliberately knows nothing about any specific tool.
+ *
+ * Grammar: `--name=VALUE` for value flags, `--name` for switches,
+ * everything else is a positional argument. Unknown flags and values
+ * a binding rejects (e.g. non-numeric `--jobs=x`) fail the parse.
+ */
+
+#ifndef DAC_TOOLS_FLAGS_H
+#define DAC_TOOLS_FLAGS_H
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace dac::tools {
+
+/**
+ * Declarative argv parser shared by the dac_* tools.
+ */
+class FlagParser
+{
+  public:
+    /** Value flag `--name=V`; the handler returns false to reject V. */
+    void
+    define(const std::string &name,
+           std::function<bool(const std::string &)> handler)
+    {
+        values[name] = std::move(handler);
+    }
+
+    /** Switch flag `--name` (no value); sets *target to true. */
+    void
+    defineSwitch(const std::string &name, bool *target)
+    {
+        switches[name] = target;
+    }
+
+    /** `--name=V` stored verbatim. */
+    void
+    bind(const std::string &name, std::string *target)
+    {
+        define(name, [target](const std::string &v) {
+            *target = v;
+            return true;
+        });
+    }
+
+    /** Repeatable `--name=V`, appended in argv order. */
+    void
+    bind(const std::string &name, std::vector<std::string> *target)
+    {
+        define(name, [target](const std::string &v) {
+            target->push_back(v);
+            return true;
+        });
+    }
+
+    /** `--name=N` as a non-negative integer. */
+    void
+    bind(const std::string &name, size_t *target)
+    {
+        define(name, [target](const std::string &v) {
+            return parseNumber([&] { *target = std::stoul(v); });
+        });
+    }
+
+    /** `--name=N` as a port-sized integer. */
+    void
+    bind(const std::string &name, uint16_t *target)
+    {
+        define(name, [target](const std::string &v) {
+            return parseNumber([&] {
+                const unsigned long n = std::stoul(v);
+                if (n > UINT16_MAX)
+                    throw std::out_of_range(v);
+                *target = static_cast<uint16_t>(n);
+            });
+        });
+    }
+
+    /** `--name=X` as a floating-point value. */
+    void
+    bind(const std::string &name, double *target)
+    {
+        define(name, [target](const std::string &v) {
+            return parseNumber([&] { *target = std::stod(v); });
+        });
+    }
+
+    /**
+     * Parse argv. Returns false on an unknown flag or a rejected
+     * value; the offending argument is left in badArgument().
+     */
+    [[nodiscard]] bool
+    parse(int argc, char **argv)
+    {
+        for (int i = 1; i < argc; ++i) {
+            const std::string arg = argv[i];
+            if (arg.size() < 2 || arg.compare(0, 2, "--") != 0) {
+                positional.push_back(arg);
+                continue;
+            }
+            const size_t eq = arg.find('=');
+            if (eq == std::string::npos) {
+                const auto sw = switches.find(arg.substr(2));
+                if (sw == switches.end()) {
+                    bad = arg;
+                    return false;
+                }
+                *sw->second = true;
+                continue;
+            }
+            const auto handler = values.find(arg.substr(2, eq - 2));
+            if (handler == values.end() ||
+                !handler->second(arg.substr(eq + 1))) {
+                bad = arg;
+                return false;
+            }
+        }
+        return true;
+    }
+
+    /** Non-flag arguments, in argv order. */
+    [[nodiscard]] const std::vector<std::string> &
+    positionals() const
+    {
+        return positional;
+    }
+
+    /** The argument that failed the last parse() (empty if none). */
+    [[nodiscard]] const std::string &
+    badArgument() const
+    {
+        return bad;
+    }
+
+  private:
+    /** Run a std::sto* conversion, mapping its exceptions to false. */
+    static bool
+    parseNumber(const std::function<void()> &convert)
+    {
+        try {
+            convert();
+            return true;
+        } catch (const std::exception &) {
+            return false;
+        }
+    }
+
+    std::map<std::string, std::function<bool(const std::string &)>> values;
+    std::map<std::string, bool *> switches;
+    std::vector<std::string> positional;
+    std::string bad;
+};
+
+} // namespace dac::tools
+
+#endif // DAC_TOOLS_FLAGS_H
