@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Collection-campaign throughput (google-benchmark): simulated runs
+ * per second through the Collector's chunked execute phase — the
+ * training-data half of the paper's Table 3 cost budget. Each row
+ * reports items_per_second as runs/s; BM_ToDataSet covers the
+ * vectors-to-training-matrix conversion that follows a campaign.
+ *
+ * The Collector chunks its plan so each chunk reuses one simulator
+ * Scratch (sparksim's batched cost kernels); this bench is the
+ * regression gate on that path end to end, at two campaign sizes.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "dac/collector.h"
+#include "dac/perfvector.h"
+#include "sparksim/simulator.h"
+#include "workloads/registry.h"
+
+namespace {
+
+using namespace dac;
+
+const sparksim::SparkSimulator &
+simulator()
+{
+    static const sparksim::SparkSimulator sim(
+        cluster::ClusterSpec::paperTestbed());
+    return sim;
+}
+
+void
+BM_CollectRuns(benchmark::State &state)
+{
+    const size_t runs = static_cast<size_t>(state.range(0));
+    const auto &w = workloads::Registry::instance().byAbbrev("TS");
+    core::Collector collector(simulator(), w);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            collector.collectAtSizes({30.0}, runs, 7).vectors.size());
+    }
+    state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                            static_cast<int64_t>(runs));
+}
+BENCHMARK(BM_CollectRuns)->Arg(100)->Arg(400);
+
+void
+BM_ToDataSet(benchmark::State &state)
+{
+    // Matrix assembly cost after a campaign (Eq. 6's S).
+    const auto &w = workloads::Registry::instance().byAbbrev("TS");
+    core::Collector collector(simulator(), w);
+    const auto collected = collector.collectAtSizes({30.0}, 200, 7);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            core::toDataSet(collected.vectors, true).size());
+    }
+    state.SetItemsProcessed(
+        static_cast<int64_t>(state.iterations()) *
+        static_cast<int64_t>(collected.vectors.size()));
+}
+BENCHMARK(BM_ToDataSet);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -8,12 +8,17 @@
 
 #include <benchmark/benchmark.h>
 
+#include <memory>
+#include <string>
+#include <vector>
+
 #include "conf/generator.h"
 #include "dac/collector.h"
 #include "dac/modeler.h"
 #include "ga/ga.h"
 #include "ml/boosting.h"
 #include "ml/flat_ensemble.h"
+#include "ml/simd.h"
 #include "sparksim/simulator.h"
 #include "workloads/registry.h"
 
@@ -42,8 +47,37 @@ BM_SimulatorRun(benchmark::State &state)
         benchmark::DoNotOptimize(
             simulator().run(dag, cfg, ++seed).timeSec);
     }
+    state.SetItemsProcessed(state.iterations());
 }
 BENCHMARK(BM_SimulatorRun)->Arg(0)->Arg(1);
+
+void
+BM_SimulatorRunBatch(benchmark::State &state)
+{
+    // The batched cost sweep: K distinct configurations against one
+    // job through runBatch, whose chunks reuse one scheduler scratch
+    // — the shape every collection campaign and model validation
+    // sweep has. items/s counts simulated runs.
+    const auto &w = workloads::Registry::instance().byAbbrev("WC");
+    const auto dag = w.buildDag(w.paperSizes().back());
+    const size_t count = static_cast<size_t>(state.range(0));
+    conf::ConfigGenerator gen(conf::ConfigSpace::spark(), Rng(1));
+    std::vector<conf::Configuration> configs;
+    std::vector<uint64_t> seeds;
+    configs.reserve(count);
+    seeds.reserve(count);
+    for (size_t i = 0; i < count; ++i) {
+        configs.push_back(gen.random());
+        seeds.push_back(i + 1);
+    }
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            simulator().runBatch(dag, configs, seeds).back().timeSec);
+    }
+    state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                            static_cast<int64_t>(count));
+}
+BENCHMARK(BM_SimulatorRunBatch)->Arg(64);
 
 void
 BM_CollectHundredRuns(benchmark::State &state)
@@ -103,22 +137,47 @@ BM_BoostTrain500x42(benchmark::State &state)
 }
 BENCHMARK(BM_BoostTrain500x42);
 
+/** A trained HM at modeler scale, shared by the prediction rows (the
+ *  collect+train setup dominates each bench body otherwise). */
+struct TrainedModel
+{
+    core::ModelReport report;
+    std::unique_ptr<const ml::FlatEnsemble> flat;
+    std::vector<double> features;
+};
+
+const TrainedModel &
+trainedModel()
+{
+    static const TrainedModel tm = [] {
+        const auto &w = workloads::Registry::instance().byAbbrev("TS");
+        core::Collector collector(simulator(), w);
+        const auto data =
+            collector.collectAtSizes({20.0, 35.0, 50.0}, 60, 7);
+        ml::HmParams hm;
+        hm.firstOrder.maxTrees = 300;
+        TrainedModel out{core::buildAndValidate(core::ModelKind::HM,
+                                                data.vectors, hm, true,
+                                                5),
+                         nullptr,
+                         {}};
+        out.flat = out.report.model->compile();
+        out.features = core::toFeatures(
+            conf::Configuration(conf::ConfigSpace::spark()),
+            w.bytesForSize(50.0), true);
+        return out;
+    }();
+    return tm;
+}
+
 void
 BM_ModelPredict(benchmark::State &state)
 {
     // The paper's point: a model query is ~ms vs minutes per real run.
-    const auto &w = workloads::Registry::instance().byAbbrev("TS");
-    core::Collector collector(simulator(), w);
-    const auto data = collector.collectAtSizes({20.0, 35.0, 50.0}, 60, 7);
-    ml::HmParams hm;
-    hm.firstOrder.maxTrees = 300;
-    const auto report = core::buildAndValidate(core::ModelKind::HM,
-                                               data.vectors, hm, true, 5);
-    const auto features = core::toFeatures(
-        conf::Configuration(conf::ConfigSpace::spark()),
-        w.bytesForSize(50.0), true);
+    const TrainedModel &tm = trainedModel();
     for (auto _ : state)
-        benchmark::DoNotOptimize(report.model->predict(features));
+        benchmark::DoNotOptimize(tm.report.model->predict(tm.features));
+    state.SetItemsProcessed(state.iterations());
 }
 BENCHMARK(BM_ModelPredict);
 
@@ -126,23 +185,45 @@ void
 BM_ModelPredictCompiled(benchmark::State &state)
 {
     // The same query through the compiled ensemble (the GA's path).
-    const auto &w = workloads::Registry::instance().byAbbrev("TS");
-    core::Collector collector(simulator(), w);
-    const auto data = collector.collectAtSizes({20.0, 35.0, 50.0}, 60, 7);
-    ml::HmParams hm;
-    hm.firstOrder.maxTrees = 300;
-    const auto report = core::buildAndValidate(core::ModelKind::HM,
-                                               data.vectors, hm, true, 5);
-    const auto flat = report.model->compile();
-    const auto features = core::toFeatures(
-        conf::Configuration(conf::ConfigSpace::spark()),
-        w.bytesForSize(50.0), true);
+    const TrainedModel &tm = trainedModel();
     for (auto _ : state) {
         benchmark::DoNotOptimize(
-            flat->predict(features.data(), features.size()));
+            tm.flat->predict(tm.features.data(), tm.features.size()));
     }
+    state.SetItemsProcessed(state.iterations());
 }
 BENCHMARK(BM_ModelPredictCompiled);
+
+/** The same compiled query pinned to one walk kernel; rows register
+ *  per ISA the build+CPU supports (BM_ModelPredictKernel/<kernel>). */
+void
+modelPredictKernel(benchmark::State &state, ml::simd::Kernel kernel)
+{
+    const TrainedModel &tm = trainedModel();
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(tm.flat->predictWith(
+            kernel, tm.features.data(), tm.features.size()));
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+
+void
+registerKernelRows()
+{
+    using ml::simd::Kernel;
+    for (const Kernel k : {Kernel::Serial, Kernel::Scalar, Kernel::Avx2,
+                           Kernel::Neon}) {
+        if (!ml::simd::kernelSupported(k))
+            continue;
+        benchmark::RegisterBenchmark(
+            (std::string("BM_ModelPredictKernel/") +
+             ml::simd::kernelName(k))
+                .c_str(),
+            [k](benchmark::State &state) {
+                modelPredictKernel(state, k);
+            });
+    }
+}
 
 void
 BM_GaGeneration(benchmark::State &state)
@@ -165,4 +246,14 @@ BENCHMARK(BM_GaGeneration);
 
 } // namespace
 
-BENCHMARK_MAIN();
+int
+main(int argc, char **argv)
+{
+    registerKernelRows();
+    benchmark::Initialize(&argc, argv);
+    if (benchmark::ReportUnrecognizedArguments(argc, argv))
+        return 1;
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+    return 0;
+}

@@ -5,17 +5,27 @@
  * at GA-population sizes, plus the end effect on a GA search — the
  * consumer the compilation exists for (populationSize x generations
  * model queries per tune request, Section 3.3).
+ *
+ * Per-ISA rows (BM_PredictKernel/<kernel>, BM_PredictBatchKernel/
+ * <kernel>/N) are registered at startup for every walk kernel this
+ * build+CPU supports, so one JSON run carries the serial baseline,
+ * the blocked scalar walk, and the vector kernels side by side — the
+ * numbers EXPERIMENTS.md section "SIMD kernels" quotes, and what the
+ * perf-smoke gate pins. Every inference row reports predictions/s via
+ * items_per_second.
  */
 
 #include <benchmark/benchmark.h>
 
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "ga/ga.h"
 #include "ml/flat_ensemble.h"
 #include "ml/hm.h"
 #include "ml/log_target.h"
+#include "ml/simd.h"
 #include "support/random.h"
 
 namespace {
@@ -90,6 +100,7 @@ BM_PredictPointerWalk(benchmark::State &state)
         benchmark::DoNotOptimize(model().predict(pool[i]));
         i = (i + 1) % pool.size();
     }
+    state.SetItemsProcessed(state.iterations());
 }
 BENCHMARK(BM_PredictPointerWalk);
 
@@ -103,6 +114,7 @@ BM_PredictCompiled(benchmark::State &state)
             compiled().predict(pool[i].data(), kFeatures));
         i = (i + 1) % pool.size();
     }
+    state.SetItemsProcessed(state.iterations());
 }
 BENCHMARK(BM_PredictCompiled);
 
@@ -126,6 +138,71 @@ BM_PredictBatchCompiled(benchmark::State &state)
                             static_cast<int64_t>(count));
 }
 BENCHMARK(BM_PredictBatchCompiled)->Arg(50)->Arg(200)->Arg(1000);
+
+/** Single-query walk pinned to one kernel (predictWith). */
+void
+predictKernel(benchmark::State &state, ml::simd::Kernel kernel)
+{
+    const auto &pool = queryPool();
+    size_t i = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            compiled().predictWith(kernel, pool[i].data(), kFeatures));
+        i = (i + 1) % pool.size();
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+
+/**
+ * Batched walk pinned to one kernel: forceKernel routes predictBatch
+ * (and its row-interleaved scalar path) exactly as a DAC_SIMD
+ * override would, then the previous selection is restored so later
+ * benchmarks see the environment's choice.
+ */
+void
+predictBatchKernel(benchmark::State &state, ml::simd::Kernel kernel,
+                   size_t count)
+{
+    Rng rng(2);
+    std::vector<double> rows(count * kFeatures);
+    for (double &v : rows)
+        v = rng.uniform();
+    std::vector<double> out(count);
+    const ml::simd::Kernel previous = ml::simd::active();
+    ml::simd::forceKernel(kernel);
+    for (auto _ : state) {
+        compiled().predictBatch(rows.data(), kFeatures, count,
+                                out.data());
+        benchmark::DoNotOptimize(out.data());
+    }
+    ml::simd::forceKernel(previous);
+    state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                            static_cast<int64_t>(count));
+}
+
+/** Register the per-ISA rows for every kernel this build+CPU runs. */
+void
+registerKernelRows()
+{
+    using ml::simd::Kernel;
+    constexpr size_t kBatch = 1000;
+    for (const Kernel k : {Kernel::Serial, Kernel::Scalar, Kernel::Avx2,
+                           Kernel::Neon}) {
+        if (!ml::simd::kernelSupported(k))
+            continue;
+        const std::string name = ml::simd::kernelName(k);
+        benchmark::RegisterBenchmark(
+            ("BM_PredictKernel/" + name).c_str(),
+            [k](benchmark::State &state) { predictKernel(state, k); });
+        benchmark::RegisterBenchmark(
+            ("BM_PredictBatchKernel/" + name + "/" +
+             std::to_string(kBatch))
+                .c_str(),
+            [k](benchmark::State &state) {
+                predictBatchKernel(state, k, kBatch);
+            });
+    }
+}
 
 /** 10 GA generations, scoring through the interpreted model. */
 void
@@ -168,4 +245,20 @@ BENCHMARK(BM_GaSearchCompiled);
 
 } // namespace
 
-BENCHMARK_MAIN();
+int
+main(int argc, char **argv)
+{
+    // Train/compile the shared model before any benchmark is timed:
+    // model() is called inside the timed loops, and at short
+    // --benchmark_min_time a single ~100ms lazy-init iteration can
+    // satisfy min_time and be reported as the row's result.
+    compiled();
+    queryPool();
+    registerKernelRows();
+    benchmark::Initialize(&argc, argv);
+    if (benchmark::ReportUnrecognizedArguments(argc, argv))
+        return 1;
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+    return 0;
+}

@@ -104,10 +104,8 @@ Configuration::fromNormalized(const ConfigSpace &space,
 Configuration
 Configuration::fromNormalized(const ConfigSpace &space, const double *unit)
 {
-    std::vector<double> values;
-    values.reserve(space.size());
-    for (size_t i = 0; i < space.size(); ++i)
-        values.push_back(space.param(i).denormalize(unit[i]));
+    std::vector<double> values(space.size());
+    space.denormalizeInto(unit, values.data());
     return Configuration(space, std::move(values));
 }
 

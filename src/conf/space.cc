@@ -36,6 +36,13 @@ ConfigSpace::indexOf(const std::string &name) const
     return it->second;
 }
 
+void
+ConfigSpace::denormalizeInto(const double *unit, double *out) const
+{
+    for (size_t i = 0; i < _params.size(); ++i)
+        out[i] = _params[i].denormalize(unit[i]);
+}
+
 namespace {
 
 /**

@@ -114,6 +114,15 @@ class ConfigSpace
     /** All specs in order. */
     const std::vector<ParamSpec> &params() const { return _params; }
 
+    /**
+     * Decode size() unit-interval coordinates at `unit` into legal
+     * raw values at `out` (exactly the values a Configuration built
+     * by fromNormalized would hold). The allocation-free decode the
+     * GA's generation loop runs per genome; `out` must have room for
+     * size() doubles and may not alias `unit`.
+     */
+    void denormalizeInto(const double *unit, double *out) const;
+
   private:
     std::string _name;
     std::vector<ParamSpec> _params;

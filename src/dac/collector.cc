@@ -89,27 +89,38 @@ Collector::collectAtSizes(const std::vector<double> &native_sizes,
 
     // Execute phase (parallel when an executor is given): each run is
     // independent and the simulator is stateless, so runs land in
-    // preallocated slots in plan order.
+    // preallocated slots in plan order. Runs are chunked so each
+    // executor task carries one simulator Scratch across its chunk —
+    // the batched cost-kernel path — while every run still opens its
+    // own collect.run span, exactly as the per-run loop did.
     CollectResult out;
     out.vectors.resize(plan.size());
     static obs::Counter &runsMetric =
         obs::globalMetrics().counter("collect.runs");
-    parallelFor(executor, plan.size(), [&](size_t i) {
-        const PlannedRun &run = plan[i];
-        obs::ScopedSpan runSpan("collect.run");
-        if (runSpan.active()) {
-            runSpan.attr("run", static_cast<uint64_t>(i));
-            runSpan.attr("size_index",
-                         static_cast<uint64_t>(run.sizeIndex));
+    constexpr size_t kRunChunk = 8;
+    const size_t chunks = (plan.size() + kRunChunk - 1) / kRunChunk;
+    parallelFor(executor, chunks, [&](size_t c) {
+        const size_t first = c * kRunChunk;
+        const size_t last = std::min(plan.size(), first + kRunChunk);
+        sparksim::SparkSimulator::Scratch scratch;
+        for (size_t i = first; i < last; ++i) {
+            const PlannedRun &run = plan[i];
+            obs::ScopedSpan runSpan("collect.run");
+            if (runSpan.active()) {
+                runSpan.attr("run", static_cast<uint64_t>(i));
+                runSpan.attr("size_index",
+                             static_cast<uint64_t>(run.sizeIndex));
+            }
+            const auto result = sim->run(dags[run.sizeIndex],
+                                         run.config, run.runSeed,
+                                         scratch);
+            PerfVector &pv = out.vectors[i];
+            pv.timeSec = result.timeSec;
+            pv.config = run.config.values();
+            pv.dsizeBytes = dsizes[run.sizeIndex];
+            if (runSpan.active())
+                runSpan.attr("sim_sec", result.timeSec);
         }
-        const auto result = sim->run(dags[run.sizeIndex], run.config,
-                                     run.runSeed);
-        PerfVector &pv = out.vectors[i];
-        pv.timeSec = result.timeSec;
-        pv.config = run.config.values();
-        pv.dsizeBytes = dsizes[run.sizeIndex];
-        if (runSpan.active())
-            runSpan.attr("sim_sec", result.timeSec);
     });
     runsMetric.increment(plan.size());
     // Summed in plan order, matching the serial loop's accumulation.

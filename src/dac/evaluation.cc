@@ -11,9 +11,13 @@ measureTime(const sparksim::SparkSimulator &sim,
 {
     DAC_ASSERT(runs >= 1, "need at least one run");
     const auto dag = workload.buildDag(native_size);
+    // One scratch across the repeat runs: same bits, no per-run
+    // scheduler allocations.
+    sparksim::SparkSimulator::Scratch scratch;
     double total = 0.0;
     for (int r = 0; r < runs; ++r)
-        total += sim.run(dag, config, combineSeed(seed, r)).timeSec;
+        total += sim.run(dag, config, combineSeed(seed, r), scratch)
+                     .timeSec;
     return total / runs;
 }
 

@@ -1,5 +1,7 @@
 #include "dac/perfvector.h"
 
+#include <algorithm>
+
 #include "support/csv.h"
 #include "support/logging.h"
 
@@ -30,6 +32,16 @@ toFeatures(const conf::Configuration &config, double dsize_bytes,
     if (include_dsize)
         row.push_back(dsize_bytes);
     return row;
+}
+
+void
+toFeaturesInto(const conf::Configuration &config, double dsize_bytes,
+               bool include_dsize, double *out)
+{
+    const std::vector<double> &values = config.values();
+    std::copy(values.begin(), values.end(), out);
+    if (include_dsize)
+        out[values.size()] = dsize_bytes;
 }
 
 void

@@ -45,6 +45,15 @@ ml::DataSet toDataSet(const std::vector<PerfVector> &vectors,
 std::vector<double> toFeatures(const conf::Configuration &config,
                                double dsize_bytes, bool include_dsize);
 
+/**
+ * toFeatures without the return-vector allocation: writes the
+ * config's values (plus dsize when included) into `out`, which must
+ * hold config.size() + (include_dsize ? 1 : 0) doubles. The batch
+ * scoring paths fill whole feature matrices through this.
+ */
+void toFeaturesInto(const conf::Configuration &config, double dsize_bytes,
+                    bool include_dsize, double *out);
+
 /** Persist vectors as CSV (t, c1..cn, dsize). */
 void savePerfVectors(const std::vector<PerfVector> &vectors,
                      const conf::ConfigSpace &space,

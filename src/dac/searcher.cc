@@ -49,16 +49,16 @@ Searcher::search(double dsize_bytes, const ga::GaParams &params,
         auto batch = [&](const double *const *genomes, size_t count,
                          double *fitness) {
             rows.resize(count * width);
+            // Decode each genome straight into its feature row: the
+            // denormalized values ARE the feature columns (dsize
+            // appended last), so the per-genome Configuration and
+            // toFeatures() allocations vanish from the generation
+            // loop. Same values, same fitness bits.
             parallelFor(params.executor, count, [&](size_t i) {
-                const auto config = conf::Configuration::fromNormalized(
-                    *space, genomes[i]);
-                const auto features = toFeatures(config, dsize_bytes,
-                                                 includeDsize);
-                DAC_ASSERT(features.size() == width,
-                           "feature width mismatch");
-                std::copy(features.begin(), features.end(),
-                          rows.begin() +
-                              static_cast<std::ptrdiff_t>(i * width));
+                double *row = rows.data() + i * width;
+                space->denormalizeInto(genomes[i], row);
+                if (includeDsize)
+                    row[width - 1] = dsize_bytes;
             });
             flat->predictBatch(rows.data(), width, count, fitness,
                                params.executor);

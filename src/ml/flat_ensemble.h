@@ -13,14 +13,34 @@
  * values at compile time, so a prediction is a handful of tight array
  * walks with one assert per query.
  *
+ * The walk itself is vectorized: at compile time trees are sorted by
+ * depth inside fixed-size segments and grouped into blocks of eight
+ * structurally-similar lanes (the population-blocked layout — equal
+ * depths mean the lock-step walk pads almost nothing, and each block
+ * precomputes its step count so no per-query depth scan remains).
+ * Node records are packed into a 16-byte interleaved {feature,
+ * leftChild, threshold} array on 32-byte-aligned storage, so a walk
+ * step costs two loads instead of four. Per-block kernels — a serial
+ * reference, the portable lock-step scalar walk, AVX2 gather, NEON —
+ * walk a block's lanes together. Kernel choice is a one-time runtime
+ * decision (cpuid + the DAC_SIMD override; see ml/simd.h), reaching
+ * every caller through the same predict/predictBatch entry points.
+ *
  * Determinism contract: predict() returns EXACTLY (bit-for-bit) what
- * the interpreted Model::predict returns. Folding keeps that exact:
- * lr * leaf is the same product whether computed at compile time or
- * per query, and per-member accumulation (acc = baseline + sum of
- * scaled leaves; out += weight * acc) reproduces the interpreted
- * operation order. Member weights are deliberately NOT folded into
- * the leaves: distributing weight * (baseline + sum) over the sum
- * would re-round differently. See DESIGN.md section 9.
+ * the interpreted Model::predict returns, on EVERY kernel. Folding
+ * keeps that exact: lr * leaf is the same product whether computed at
+ * compile time or per query, and per-member accumulation (acc =
+ * baseline + sum of scaled leaves; out += weight * acc) reproduces
+ * the interpreted operation order. The vector kernels only ever
+ * vectorize the index walk — integer arithmetic plus the exact
+ * comparison x <= t, which has one correct answer per lane — while
+ * leaf values still accumulate scalar, one tree at a time in the
+ * ORIGINAL tree order: the depth-sorted walk parks each lane's leaf
+ * index in a per-segment scratch slot keyed by the tree's original
+ * position, and the accumulation pass reads the scratch back in that
+ * order. Member weights are deliberately NOT folded into the leaves:
+ * distributing weight * (baseline + sum) over the sum would re-round
+ * differently. See DESIGN.md sections 9 and 14.
  */
 
 #ifndef DAC_ML_FLAT_ENSEMBLE_H
@@ -29,6 +49,8 @@
 #include <cstdint>
 #include <vector>
 
+#include "ml/simd.h"
+#include "support/aligned.h"
 #include "support/executor.h"
 
 namespace dac::ml {
@@ -72,12 +94,23 @@ class FlatEnsemble
     void predictBatch(const double *rows, size_t row_stride, size_t count,
                       double *out, Executor *executor = nullptr) const;
 
+    /**
+     * Predict one row with an explicitly chosen kernel, bypassing the
+     * process-wide simd::active() selection. All kernels return the
+     * same bits; tests and per-ISA benchmarks use this to compare
+     * them. Requesting a kernel this build/CPU lacks is a caller bug.
+     */
+    double predictWith(simd::Kernel kernel, const double *x,
+                       size_t n) const;
+
     /** First-order models in the compiled combination. */
     size_t memberCount() const { return members.size(); }
     /** Total trees across all members. */
     size_t treeCount() const { return roots.size(); }
     /** Total nodes across all trees. */
     size_t nodeCount() const { return feature.size(); }
+    /** Lock-step walk blocks across all members (<= 8 trees each). */
+    size_t blockCount() const { return blocks.size(); }
     /** Feature vectors must carry at least this many doubles. */
     size_t minFeatureCount() const { return minFeatures; }
     /** True when predictions are exponentiated (log-target models). */
@@ -99,8 +132,39 @@ class FlatEnsemble
                       const std::vector<RegressionTree> &trees,
                       double leaf_scale);
 
-    /** Walk every member/tree; no exp, no asserts. */
+    /** Walk every member/tree with the lock-step scalar kernel; no
+     *  exp, no asserts. The always-on fallback. */
     double predictRaw(const double *x) const;
+
+    /** Reference walk: one tree at a time, one serial pointer chain
+     *  each — the textbook scalar baseline the vectorized kernels are
+     *  measured against (Kernel::Serial). Same bits as predictRaw. */
+    double walkSerial(const double *x) const;
+
+    /** predictRaw routed through `kernel`; same bits on every path. */
+    double predictRawWith(simd::Kernel kernel, const double *x) const;
+
+    /**
+     * Walk R rows through every block together (R * 8 interleaved
+     * lanes). The single-row walk is latency-bound on its
+     * node -> x -> compare -> index chain, so batching rows into the
+     * same depth loop multiplies the independent chains the core can
+     * overlap. Each row's arithmetic is exactly the single-row
+     * walk's — same bits per row. Raw outputs (no exp).
+     */
+    template <int R>
+    void walkScalarRows(const double *const *rows, double *outs) const;
+
+#if defined(__x86_64__) || defined(_M_X64)
+    /** AVX2 gather walk (flat_ensemble_avx2.cc); bit-identical to
+     *  predictRaw. Only callable when simd reports Avx2 support. */
+    double walkAvx2(const double *x) const;
+#endif
+#if defined(__aarch64__)
+    /** NEON walk (flat_ensemble_neon.cc); bit-identical to
+     *  predictRaw. */
+    double walkNeon(const double *x) const;
+#endif
 
     /** Steps from the root of `tree` to its deepest leaf. */
     static int32_t treeDepth(const RegressionTree &tree);
@@ -111,28 +175,117 @@ class FlatEnsemble
         double baseline = 0.0;
         uint32_t firstTree = 0;
         uint32_t treeCount = 0;
+        uint32_t firstSegment = 0;
+        uint32_t segmentCount = 0;
     };
 
+    /**
+     * Walks accumulate leaf values in the ORIGINAL tree order even
+     * though trees walk in depth-sorted order, via a per-segment
+     * scratch of leaf indices. kSegmentTrees bounds that scratch so
+     * it lives on the walk's stack (predict stays allocation-free and
+     * thread-safe); members with more trees get several segments.
+     */
+    static constexpr uint32_t kSegmentTrees = 256;
+
+    /**
+     * A depth-sorted run of one member's trees, at most kSegmentTrees
+     * long. Trees are physically reordered (roots/depths permuted) so
+     * a segment's blocks cover consecutive sorted trees; slotOf maps
+     * each sorted tree back to its original position within the
+     * segment for the accumulation pass.
+     */
+    struct Segment
+    {
+        uint32_t firstTree = 0;
+        uint32_t treeCount = 0;
+        uint32_t firstBlock = 0;
+        uint32_t blockCount = 0;
+    };
+
+    /**
+     * One lock-step walk group: up to eight depth-sorted trees of one
+     * segment, padded (via the self-looping leaves) to the deepest
+     * lane — nearly nothing, since sorting makes a block's lanes
+     * structurally similar. Step counts are computed at compile time
+     * so a walk needs no per-query depth scan; the vector kernels map
+     * a full block onto two 4-lane AVX2 (or NEON) index vectors.
+     */
+    struct Block
+    {
+        uint32_t firstTree = 0;
+        uint32_t treeCount = 0;
+        int32_t steps = 0;
+    };
+
+    /**
+     * Interleaved per-node record for the gather kernels: one 16-byte
+     * load covers the {feature, leftChild} pair (a single 64-bit
+     * gather lane) and the threshold sits 8 bytes further, so a walk
+     * step touches one cache line per node instead of three. Kept
+     * alongside the SoA arrays (which the scalar kernel and the
+     * compile-time renumbering still use).
+     */
+    struct PackedNode
+    {
+        int32_t feature = 0;
+        int32_t leftChild = 0;
+        double threshold = 0.0;
+    };
+    static_assert(sizeof(PackedNode) == 16,
+                  "gather kernels index packed nodes by idx * 2 "
+                  "64-bit words");
+
+    /**
+     * One branchless walk step: the next node index for `x` at node
+     * `i`. Written as plain field access on purpose — GCC folds the
+     * comparison into a memory-operand comisd and carries the
+     * predicate into the index add; hand-fusing the {feature,
+     * leftChild} pair into one 8-byte load was measured SLOWER
+     * because it blocks exactly that folding.
+     */
+    static int32_t stepNode(const PackedNode *nodes, int32_t i,
+                            const double *x)
+    {
+        const PackedNode &n = nodes[static_cast<size_t>(i)];
+        return n.leftChild +
+               static_cast<int32_t>(!(x[n.feature] <= n.threshold));
+    }
+
     std::vector<Member> members;
-    /** Node index of each tree's root, in member-major order. */
+    /** Depth-sorted tree runs, member-major. */
+    std::vector<Segment> segments;
+    /** Lock-step walk blocks, segment-major. */
+    std::vector<Block> blocks;
+    /** Node index of each tree's root, segment-major, depth-sorted
+     *  within each segment. */
     std::vector<int32_t> roots;
-    /** Steps from each tree's root to its deepest leaf. */
+    /** Steps from each tree's root to its deepest leaf (same order
+     *  as roots). */
     std::vector<int32_t> depths;
+    /** Each sorted tree's original position within its segment — the
+     *  accumulation scratch slot. */
+    std::vector<int32_t> slotOf;
     // One entry per node, all trees concatenated, BFS-renumbered per
     // tree so a split's children occupy ADJACENT slots: a walk step
     // is the branchless, load-free-child
     //   i = leftChild[i] + (x[feature[i]] > threshold[i])
     // (computed as !(x <= t), so NaN features go right exactly like
     // the interpreted walk's split nodes). Leaves self-loop — feature
-    // 0, threshold +inf (finite x always compares <=, landing back on
-    // leftChild == self) — with the pre-scaled leaf value in
-    // leafValue[i], so a walk can run a fixed number of steps without
-    // a per-node "is leaf" branch and several trees walk in lock-step
-    // (see predictRaw).
-    std::vector<int32_t> feature;
-    std::vector<double> threshold;
-    std::vector<int32_t> leftChild;
-    std::vector<double> leafValue;
+    // 0, threshold NaN, leftChild = self - 1 (x <= NaN is false for
+    // EVERY x, so the step is unconditionally leftChild + 1 == self;
+    // see appendMember for why +inf would break on NaN features) —
+    // with the pre-scaled leaf value in leafValue[i], so a walk can
+    // run a fixed number of steps without a per-node "is leaf" branch
+    // and a block's trees walk in lock-step (see predictRaw). All gather-indexed arrays live on
+    // 32-byte-aligned storage (support/aligned.h), asserted at
+    // compile time in appendMember.
+    AlignedVector<int32_t> feature;
+    AlignedVector<double> threshold;
+    AlignedVector<int32_t> leftChild;
+    AlignedVector<double> leafValue;
+    /** Interleaved mirror of (feature, leftChild, threshold). */
+    AlignedVector<PackedNode> packed;
     size_t minFeatures = 0;
     bool applyExp = false;
 };

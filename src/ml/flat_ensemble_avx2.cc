@@ -1,0 +1,152 @@
+/**
+ * @file
+ * AVX2 walk kernel for FlatEnsemble.
+ *
+ * One block (up to eight trees of one member) walks as two 4-lane
+ * index vectors. Per step and per vector, three gathers fetch
+ * everything the lanes need from the 16-byte interleaved PackedNode
+ * array — one 64-bit gather for the {feature, leftChild} pair, one
+ * double gather for the threshold, one double gather for x[feature]
+ * — and the comparison becomes a vector predicate folded into the
+ * index update:
+ *
+ *     idx = leftChild + (x[feature] > threshold)
+ *
+ * computed as NOT(x <= threshold) with _CMP_NLE_UQ, so NaN features
+ * go right and the NaN-threshold leaves self-loop exactly like the
+ * scalar walk. The walk is pure integer index arithmetic plus that
+ * exact comparison, so the leaf indices — and, with the scalar
+ * in-tree-order accumulation below, the returned double — are
+ * bit-identical to predictRaw on every input.
+ *
+ * The function carries the avx2 target attribute instead of the TU
+ * being built with -mavx2: only this body may emit AVX2, so no inline
+ * function from a shared header can leak VEX encodings into code that
+ * runs before the cpuid check (ml/simd.h).
+ */
+
+#if defined(__x86_64__) || defined(_M_X64)
+
+#include <immintrin.h>
+
+#include <cmath>
+
+#include "ml/flat_ensemble.h"
+
+namespace dac::ml {
+
+namespace {
+
+/**
+ * One lock-step walk step for four lanes. A free function (not a
+ * lambda) because the avx2 target attribute does not propagate into
+ * a lambda's call operator; always_inline folds it back into the
+ * kernel's depth loop.
+ */
+__attribute__((target("avx2"), always_inline)) inline __m128i
+stepLanes(__m128i idx, const long long *pair_base,
+          const double *thr_base, const double *x)
+{
+    // Lane-compaction shuffle: picks the low (feature) or high
+    // (leftChild) dwords out of the four 64-bit gather lanes.
+    const __m256i lo_dwords = _mm256_setr_epi32(0, 2, 4, 6, 0, 0, 0, 0);
+    const __m256i hi_dwords = _mm256_setr_epi32(1, 3, 5, 7, 0, 0, 0, 0);
+    const __m128i idx2 = _mm_add_epi32(idx, idx);
+    // Masked gathers with an all-ones mask: same lanes fetched as the
+    // plain forms, but the explicit zero source avoids GCC's
+    // may-be-uninitialized warning on _mm256_undefined_*.
+    const __m256i ones = _mm256_set1_epi64x(-1);
+    const __m256i pair = _mm256_mask_i32gather_epi64(
+        _mm256_setzero_si256(), pair_base, idx2, ones, 8);
+    const __m256d thr = _mm256_mask_i32gather_pd(
+        _mm256_setzero_pd(), thr_base, idx2, _mm256_castsi256_pd(ones),
+        8);
+    const __m128i feat = _mm256_castsi256_si128(
+        _mm256_permutevar8x32_epi32(pair, lo_dwords));
+    const __m128i left = _mm256_castsi256_si128(
+        _mm256_permutevar8x32_epi32(pair, hi_dwords));
+    const __m256d xv = _mm256_mask_i32gather_pd(
+        _mm256_setzero_pd(), x, feat, _mm256_castsi256_pd(ones), 8);
+    // All-ones where the walk goes right: !(x <= thr), NaN-right.
+    const __m256d right = _mm256_cmp_pd(xv, thr, _CMP_NLE_UQ);
+    const __m128i right32 = _mm256_castsi256_si128(
+        _mm256_permutevar8x32_epi32(_mm256_castpd_si256(right),
+                                    lo_dwords));
+    // left - (-1) = left + 1 on the lanes that go right.
+    return _mm_sub_epi32(left, right32);
+}
+
+} // namespace
+
+__attribute__((target("avx2"))) double
+FlatEnsemble::walkAvx2(const double *x) const
+{
+    const PackedNode *node = packed.data();
+    const long long *pair_base =
+        reinterpret_cast<const long long *>(node);
+    // Thresholds sit 8 bytes into each 16-byte node: index by
+    // idx * 2 (+1 via the shifted base) at gather scale 8.
+    const double *thr_base =
+        reinterpret_cast<const double *>(node) + 1;
+    const double *val = leafValue.data();
+    const int32_t *root = roots.data();
+    const int32_t *slot = slotOf.data();
+
+    double out = 0.0;
+    for (const Member &m : members) {
+        double acc = m.baseline;
+        const uint32_t segEnd = m.firstSegment + m.segmentCount;
+        for (uint32_t s = m.firstSegment; s < segEnd; ++s) {
+            const Segment &seg = segments[s];
+            int32_t leaf[kSegmentTrees];
+            const uint32_t blockEnd = seg.firstBlock + seg.blockCount;
+            for (uint32_t b = seg.firstBlock; b < blockEnd; ++b) {
+                const Block &blk = blocks[b];
+                if (blk.treeCount == 8) {
+                    // Two 4-lane vectors walk in the same depth loop
+                    // so their gather chains overlap.
+                    __m128i idxA = _mm_loadu_si128(
+                        reinterpret_cast<const __m128i *>(
+                            root + blk.firstTree));
+                    __m128i idxB = _mm_loadu_si128(
+                        reinterpret_cast<const __m128i *>(
+                            root + blk.firstTree + 4));
+                    for (int32_t d = 0; d < blk.steps; ++d) {
+                        idxA = stepLanes(idxA, pair_base, thr_base, x);
+                        idxB = stepLanes(idxB, pair_base, thr_base, x);
+                    }
+                    alignas(16) int32_t lane[8];
+                    _mm_storeu_si128(
+                        reinterpret_cast<__m128i *>(lane), idxA);
+                    _mm_storeu_si128(
+                        reinterpret_cast<__m128i *>(lane + 4), idxB);
+                    for (int j = 0; j < 8; ++j)
+                        leaf[slot[blk.firstTree +
+                                  static_cast<uint32_t>(j)]] = lane[j];
+                } else {
+                    // Partial tail block (at most once per segment):
+                    // the scalar lock-step loop, same math.
+                    int32_t idx[8];
+                    for (uint32_t j = 0; j < blk.treeCount; ++j)
+                        idx[j] = root[blk.firstTree + j];
+                    for (int32_t d = 0; d < blk.steps; ++d) {
+                        for (uint32_t j = 0; j < blk.treeCount; ++j)
+                            idx[j] = stepNode(node, idx[j], x);
+                    }
+                    for (uint32_t j = 0; j < blk.treeCount; ++j)
+                        leaf[slot[blk.firstTree + j]] = idx[j];
+                }
+            }
+            // Scalar, in original tree order: the determinism
+            // contract.
+            for (uint32_t k = 0; k < seg.treeCount; ++k)
+                acc += val[leaf[k]];
+        }
+        out += m.weight * acc;
+    }
+    return out;
+}
+
+} // namespace dac::ml
+
+#endif // x86-64

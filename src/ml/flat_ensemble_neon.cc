@@ -1,0 +1,126 @@
+/**
+ * @file
+ * NEON walk kernel for FlatEnsemble (aarch64).
+ *
+ * AArch64 has no gather, so per-lane node loads stay scalar — the
+ * wins here are the vectorized comparison/index update (the
+ * data-dependent part a branch predictor cannot learn) and the
+ * 16-byte PackedNode record, which turns the three SoA touches per
+ * step into one cache line. A block's eight trees walk as two 4-lane
+ * index vectors, exactly mirroring the AVX2 kernel's structure.
+ *
+ * Comparison semantics match the scalar walk bit-for-bit: vcleq_f64
+ * computes x <= threshold with unordered -> false, so NaN features go
+ * right and the NaN-threshold leaves self-loop. The walk is integer
+ * index arithmetic plus that exact comparison, and leaf values
+ * accumulate scalar in tree order, so the returned double is
+ * bit-identical to predictRaw on every input.
+ */
+
+#if defined(__aarch64__)
+
+#include <arm_neon.h>
+
+#include <cmath>
+
+#include "ml/flat_ensemble.h"
+
+namespace dac::ml {
+
+double
+FlatEnsemble::walkNeon(const double *x) const
+{
+    const PackedNode *node = packed.data();
+    const double *val = leafValue.data();
+    const int32_t *root = roots.data();
+
+    // One lock-step walk step for four lanes.
+    const auto step = [&](int32x4_t idx) -> int32x4_t {
+        const PackedNode &n0 =
+            node[static_cast<size_t>(vgetq_lane_s32(idx, 0))];
+        const PackedNode &n1 =
+            node[static_cast<size_t>(vgetq_lane_s32(idx, 1))];
+        const PackedNode &n2 =
+            node[static_cast<size_t>(vgetq_lane_s32(idx, 2))];
+        const PackedNode &n3 =
+            node[static_cast<size_t>(vgetq_lane_s32(idx, 3))];
+
+        float64x2_t xv01 = vdupq_n_f64(x[n0.feature]);
+        xv01 = vsetq_lane_f64(x[n1.feature], xv01, 1);
+        float64x2_t xv23 = vdupq_n_f64(x[n2.feature]);
+        xv23 = vsetq_lane_f64(x[n3.feature], xv23, 1);
+        float64x2_t tv01 = vdupq_n_f64(n0.threshold);
+        tv01 = vsetq_lane_f64(n1.threshold, tv01, 1);
+        float64x2_t tv23 = vdupq_n_f64(n2.threshold);
+        tv23 = vsetq_lane_f64(n3.threshold, tv23, 1);
+
+        // x <= t per lane; unordered (NaN) compares false.
+        const uint64x2_t le01 = vcleq_f64(xv01, tv01);
+        const uint64x2_t le23 = vcleq_f64(xv23, tv23);
+        // Narrow to 32-bit lanes: 0xFFFFFFFF = stay left, 0 = right.
+        const uint32x4_t le32 =
+            vcombine_u32(vmovn_u64(le01), vmovn_u64(le23));
+        // 0xFFFFFFFF + 1 wraps to 0; 0 + 1 = 1 (the right step).
+        const int32x4_t inc = vreinterpretq_s32_u32(
+            vaddq_u32(le32, vdupq_n_u32(1)));
+
+        int32x4_t left = vdupq_n_s32(n0.leftChild);
+        left = vsetq_lane_s32(n1.leftChild, left, 1);
+        left = vsetq_lane_s32(n2.leftChild, left, 2);
+        left = vsetq_lane_s32(n3.leftChild, left, 3);
+        return vaddq_s32(left, inc);
+    };
+
+    const int32_t *slot = slotOf.data();
+
+    double out = 0.0;
+    for (const Member &m : members) {
+        double acc = m.baseline;
+        const uint32_t segEnd = m.firstSegment + m.segmentCount;
+        for (uint32_t s = m.firstSegment; s < segEnd; ++s) {
+            const Segment &seg = segments[s];
+            int32_t leaf[kSegmentTrees];
+            const uint32_t blockEnd = seg.firstBlock + seg.blockCount;
+            for (uint32_t b = seg.firstBlock; b < blockEnd; ++b) {
+                const Block &blk = blocks[b];
+                if (blk.treeCount == 8) {
+                    int32x4_t idxA = vld1q_s32(root + blk.firstTree);
+                    int32x4_t idxB =
+                        vld1q_s32(root + blk.firstTree + 4);
+                    for (int32_t d = 0; d < blk.steps; ++d) {
+                        idxA = step(idxA);
+                        idxB = step(idxB);
+                    }
+                    alignas(16) int32_t lane[8];
+                    vst1q_s32(lane, idxA);
+                    vst1q_s32(lane + 4, idxB);
+                    for (int j = 0; j < 8; ++j)
+                        leaf[slot[blk.firstTree +
+                                  static_cast<uint32_t>(j)]] = lane[j];
+                } else {
+                    // Partial tail block (at most once per segment):
+                    // the scalar lock-step loop, same math.
+                    int32_t idx[8];
+                    for (uint32_t j = 0; j < blk.treeCount; ++j)
+                        idx[j] = root[blk.firstTree + j];
+                    for (int32_t d = 0; d < blk.steps; ++d) {
+                        for (uint32_t j = 0; j < blk.treeCount; ++j)
+                            idx[j] = stepNode(node, idx[j], x);
+                    }
+                    for (uint32_t j = 0; j < blk.treeCount; ++j)
+                        leaf[slot[blk.firstTree + j]] = idx[j];
+                }
+            }
+            // Scalar, in original tree order: the determinism
+            // contract.
+            for (uint32_t k = 0; k < seg.treeCount; ++k)
+                acc += val[leaf[k]];
+        }
+        out += m.weight * acc;
+    }
+    return out;
+}
+
+} // namespace dac::ml
+
+#endif // aarch64

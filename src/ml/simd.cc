@@ -1,0 +1,180 @@
+#include "ml/simd.h"
+
+#include <atomic>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "support/logging.h"
+
+namespace dac::ml::simd {
+
+namespace {
+
+/** Kernels compiled into this binary (the per-arch TUs). */
+constexpr bool kHaveAvx2Build =
+#if defined(__x86_64__) || defined(_M_X64)
+    true;
+#else
+    false;
+#endif
+constexpr bool kHaveNeonBuild =
+#if defined(__aarch64__)
+    true;
+#else
+    false;
+#endif
+
+/** Resolve DAC_SIMD against the hardware, with warnings. */
+Kernel
+resolveFromEnv()
+{
+    const Kernel best = defaultKernel();
+    const char *env = std::getenv("DAC_SIMD");
+    bool recognized = false;
+    const Kernel requested = parseName(env, best, &recognized);
+    if (env != nullptr && env[0] != '\0' && !recognized) {
+        warn(std::string("DAC_SIMD='") + env +
+             "' not recognized (off|avx2|neon|serial); using " +
+             kernelName(best));
+        return best;
+    }
+    const Kernel chosen =
+        resolve(requested, kernelSupported(requested));
+    if (recognized && chosen != requested) {
+        warn(std::string("DAC_SIMD requested '") +
+             kernelName(requested) +
+             "' but this build/CPU cannot run it; using " +
+             kernelName(chosen));
+    }
+    return chosen;
+}
+
+/** -1 = unresolved; otherwise a Kernel value. */
+std::atomic<int> activeKernel{-1};
+
+} // namespace
+
+bool
+kernelSupported(Kernel k)
+{
+    switch (k) {
+    case Kernel::Serial:
+    case Kernel::Scalar:
+        return true;
+    case Kernel::Avx2:
+#if defined(__x86_64__) || defined(_M_X64)
+        return kHaveAvx2Build && __builtin_cpu_supports("avx2");
+#else
+        return false;
+#endif
+    case Kernel::Neon:
+        // NEON is architecturally guaranteed on aarch64.
+        return kHaveNeonBuild;
+    }
+    return false;
+}
+
+Kernel
+detectBest()
+{
+    if (kernelSupported(Kernel::Avx2))
+        return Kernel::Avx2;
+    if (kernelSupported(Kernel::Neon))
+        return Kernel::Neon;
+    return Kernel::Scalar;
+}
+
+Kernel
+defaultKernel()
+{
+    // The fastest measured kernel per platform, not the widest ISA.
+    // On Intel x86-64 the AVX2 gather walk LOSES to the blocked
+    // scalar walk — vgatherdps/vpgatherdq are microcoded to one load
+    // uop per lane, so a gather step costs more than eight scalar
+    // load chains the OoO core overlaps anyway (EXPERIMENTS.md holds
+    // the per-ISA numbers; DAC_SIMD=avx2 opts in). NEON's kernel
+    // does per-lane loads with vector compares, which measures at
+    // worst even, so aarch64 defaults to it.
+    if (kernelSupported(Kernel::Neon))
+        return Kernel::Neon;
+    return Kernel::Scalar;
+}
+
+Kernel
+parseName(const char *value, Kernel fallback, bool *recognized)
+{
+    *recognized = false;
+    if (value == nullptr)
+        return fallback;
+    if (std::strcmp(value, "off") == 0 ||
+        std::strcmp(value, "scalar") == 0) {
+        *recognized = true;
+        return Kernel::Scalar;
+    }
+    if (std::strcmp(value, "avx2") == 0) {
+        *recognized = true;
+        return Kernel::Avx2;
+    }
+    if (std::strcmp(value, "neon") == 0) {
+        *recognized = true;
+        return Kernel::Neon;
+    }
+    if (std::strcmp(value, "serial") == 0) {
+        *recognized = true;
+        return Kernel::Serial;
+    }
+    return fallback;
+}
+
+Kernel
+resolve(Kernel requested, bool requested_supported)
+{
+    return requested_supported ? requested : Kernel::Scalar;
+}
+
+Kernel
+active()
+{
+    const int cached = activeKernel.load(std::memory_order_relaxed);
+    if (cached >= 0)
+        return static_cast<Kernel>(cached);
+    // Racing first calls both compute the same value (the environment
+    // and cpuid are stable), so last-writer-wins is benign.
+    const Kernel resolved = resolveFromEnv();
+    activeKernel.store(static_cast<int>(resolved),
+                       std::memory_order_relaxed);
+    return resolved;
+}
+
+Kernel
+forceKernel(Kernel k)
+{
+    const Kernel chosen = resolve(k, kernelSupported(k));
+    if (chosen != k) {
+        warn(std::string("forceKernel('") + kernelName(k) +
+             "') unavailable in this build/CPU; using " +
+             kernelName(chosen));
+    }
+    activeKernel.store(static_cast<int>(chosen),
+                       std::memory_order_relaxed);
+    return chosen;
+}
+
+const char *
+kernelName(Kernel k)
+{
+    switch (k) {
+    case Kernel::Serial:
+        return "serial";
+    case Kernel::Scalar:
+        return "scalar";
+    case Kernel::Avx2:
+        return "avx2";
+    case Kernel::Neon:
+        return "neon";
+    }
+    return "unknown";
+}
+
+} // namespace dac::ml::simd

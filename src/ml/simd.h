@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Runtime SIMD kernel selection for the compiled inference engine.
+ *
+ * The FlatEnsemble walk has four implementations — a serial reference
+ * walk (the scalar baseline), the portable lock-step scalar walk (the
+ * always-on fallback and default), an AVX2 gather kernel, and a NEON
+ * kernel — all bit-identical by construction (the walk is integer
+ * index arithmetic plus exact comparisons; leaf accumulation stays
+ * scalar in original tree order; see DESIGN.md section 14). Which one
+ * runs is decided once per process:
+ *
+ *   default kernel  =  the fastest measured kernel for the platform
+ *                      this binary was built for and is running on
+ *                      (cpuid / platform; see defaultKernel());
+ *   DAC_SIMD        =  off | avx2 | neon | serial — an env override,
+ *                      capped at what the build/CPU can run (asking
+ *                      for avx2 on a CPU without it logs a warning
+ *                      and falls back to scalar; unknown values warn
+ *                      and use the default).
+ *
+ * The decision is cached in a relaxed atomic, so consulting it per
+ * batch costs one load. forceKernel() swaps the active kernel at
+ * runtime for tests and per-ISA benchmarks.
+ */
+
+#ifndef DAC_ML_SIMD_H
+#define DAC_ML_SIMD_H
+
+namespace dac::ml::simd {
+
+/** A walk kernel implementation. */
+enum class Kernel
+{
+    Serial, ///< reference walk, one serial tree chain at a time
+    Scalar, ///< portable 8-way lock-step walk (always available)
+    Avx2,   ///< x86-64 _mm256 gather kernel
+    Neon,   ///< aarch64 kernel
+};
+
+/** Kernels this binary contains code for AND the CPU can execute.
+ *  Serial and Scalar are always supported. Pure hardware/build fact;
+ *  ignores DAC_SIMD. */
+bool kernelSupported(Kernel k);
+
+/** Widest ISA kernel the build/CPU supports (Avx2 > Neon > Scalar).
+ *  A capability fact — NOT necessarily the default; see
+ *  defaultKernel(). Never returns Serial. */
+Kernel detectBest();
+
+/**
+ * The kernel active() uses when DAC_SIMD is unset: the fastest
+ * MEASURED kernel for this platform. On x86-64 that is Scalar — the
+ * gather instructions the AVX2 kernel leans on are microcoded to
+ * per-lane loads on current Intel cores, so the eight-chain scalar
+ * walk wins (see EXPERIMENTS.md; the per-ISA bench rows keep the
+ * comparison one command away). On aarch64 it is Neon, whose kernel
+ * uses no gathers. Never Serial.
+ */
+Kernel defaultKernel();
+
+/**
+ * Parse a DAC_SIMD value. "off" (and "scalar") select Scalar, "avx2"
+ * / "neon" / "serial" their kernels; anything else — including
+ * nullptr, the unset case — returns `fallback` and sets *recognized
+ * accordingly.
+ */
+Kernel parseName(const char *value, Kernel fallback, bool *recognized);
+
+/**
+ * Resolve a requested kernel against hardware support: a supported
+ * request wins; an unsupported one degrades to Scalar (never to a
+ * different SIMD kernel — an explicit override should not silently
+ * pick a third option).
+ */
+Kernel resolve(Kernel requested, bool requested_supported);
+
+/**
+ * The kernel every FlatEnsemble walk uses, resolved from DAC_SIMD and
+ * cpuid on first call and cached. Thread-safe; one relaxed load after
+ * initialization.
+ */
+Kernel active();
+
+/**
+ * Override the active kernel (tests, per-ISA benchmarks). Requests
+ * for unsupported kernels are capped exactly like DAC_SIMD (warn +
+ * scalar). Returns the kernel actually installed.
+ */
+Kernel forceKernel(Kernel k);
+
+/** "serial" / "scalar" / "avx2" / "neon". */
+const char *kernelName(Kernel k);
+
+} // namespace dac::ml::simd
+
+#endif // DAC_ML_SIMD_H

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <functional>
 #include <queue>
 #include <vector>
 
@@ -242,7 +243,7 @@ scheduleStageFaulted(int num_tasks, int slots, const TaskProfile &profile,
 
 StageSchedule
 scheduleStage(int num_tasks, int slots, const TaskProfile &profile,
-              const SparkKnobs &knobs, Rng &rng)
+              const SparkKnobs &knobs, Rng &rng, StageScratch &scratch)
 {
     DAC_ASSERT(num_tasks >= 0, "negative task count");
     DAC_ASSERT(slots >= 1, "need at least one slot");
@@ -259,42 +260,79 @@ scheduleStage(int num_tasks, int slots, const TaskProfile &profile,
     out.failures = static_cast<int>(
         std::round(expected_failures_per_task * num_tasks));
 
-    SlotHeap free_at;
-    for (int s = 0; s < slots; ++s)
-        free_at.push(0.0);
+    // Phase 1: the draw sweep. drawDuration is the only RNG consumer
+    // of the historical per-task loop, so drawing every duration up
+    // front consumes the stream in the identical order. The straggler
+    // speculation charge and the retry inflation fuse into the sweep;
+    // totalTaskSec accumulates in the same task order as before, so
+    // the sum is bit-identical.
+    const size_t tasks = static_cast<size_t>(num_tasks);
+    scratch.taskSec.resize(tasks);
+    const bool spec_on =
+        knobs.speculation && knobs.speculationQuantile <= 0.95;
+    for (size_t t = 0; t < tasks; ++t) {
+        bool straggler = false;
+        const double duration =
+            drawDuration(profile, knobs, rng, straggler) * retry;
+        out.totalTaskSec += duration;
+        if (spec_on && straggler) {
+            // Charge the speculative copy's slot time.
+            out.totalTaskSec += 0.5 * profile.baseSec;
+        }
+        scratch.taskSec[t] = duration;
+    }
+
+    // Phase 2: slot packing. pop_heap/push_heap on the scratch vector
+    // run the very algorithm std::priority_queue is specified to run
+    // on its container, on the same values — the pop/overwrite-back/
+    // push sequence reproduces the queue's pop();push() byte for
+    // byte, without the queue's per-stage vector allocation.
+    std::vector<double> &heap = scratch.slotFree;
+    heap.assign(static_cast<size_t>(slots), 0.0);
 
     // Driver dispatch is serialized; model it as a per-launch delay.
     double driver_busy_until = 0.0;
 
-    for (int t = 0; t < num_tasks; ++t) {
-        const double slot_free = free_at.top();
-        free_at.pop();
-
+    for (size_t t = 0; t < tasks; ++t) {
+        const double slot_free = heap.front();
+        std::pop_heap(heap.begin(), heap.end(), std::greater<>());
         const double start = std::max(slot_free, driver_busy_until) +
             profile.startDelaySec;
         driver_busy_until = start + profile.dispatchSec;
-
-        bool straggler = false;
-        const double duration =
-            drawDuration(profile, knobs, rng, straggler) * retry;
-
-        out.totalTaskSec += duration;
-        if (knobs.speculation && straggler &&
-            knobs.speculationQuantile <= 0.95) {
-            // Charge the speculative copy's slot time.
-            out.totalTaskSec += 0.5 * profile.baseSec;
-        }
-        free_at.push(start + duration);
+        heap.back() = start + scratch.taskSec[t];
+        std::push_heap(heap.begin(), heap.end(), std::greater<>());
     }
 
     // Elapsed = latest finishing slot.
     double elapsed = 0.0;
-    while (!free_at.empty()) {
-        elapsed = std::max(elapsed, free_at.top());
-        free_at.pop();
-    }
+    for (const double finish : heap)
+        elapsed = std::max(elapsed, finish);
     out.elapsedSec = elapsed;
     return out;
+}
+
+StageSchedule
+scheduleStage(int num_tasks, int slots, const TaskProfile &profile,
+              const SparkKnobs &knobs, Rng &rng)
+{
+    StageScratch scratch;
+    return scheduleStage(num_tasks, slots, profile, knobs, rng, scratch);
+}
+
+StageSchedule
+scheduleStage(int num_tasks, int slots, const TaskProfile &profile,
+              const SparkKnobs &knobs, Rng &rng, const FaultPlan &plan,
+              uint64_t stage_id, int slots_per_executor,
+              StageScratch &scratch)
+{
+    if (!plan.active())
+        return scheduleStage(num_tasks, slots, profile, knobs, rng,
+                             scratch);
+
+    DAC_ASSERT(num_tasks >= 0, "negative task count");
+    DAC_ASSERT(slots >= 1, "need at least one slot");
+    return scheduleStageFaulted(num_tasks, slots, profile, knobs, rng,
+                                plan, stage_id, slots_per_executor);
 }
 
 StageSchedule
@@ -302,13 +340,9 @@ scheduleStage(int num_tasks, int slots, const TaskProfile &profile,
               const SparkKnobs &knobs, Rng &rng, const FaultPlan &plan,
               uint64_t stage_id, int slots_per_executor)
 {
-    if (!plan.active())
-        return scheduleStage(num_tasks, slots, profile, knobs, rng);
-
-    DAC_ASSERT(num_tasks >= 0, "negative task count");
-    DAC_ASSERT(slots >= 1, "need at least one slot");
-    return scheduleStageFaulted(num_tasks, slots, profile, knobs, rng,
-                                plan, stage_id, slots_per_executor);
+    StageScratch scratch;
+    return scheduleStage(num_tasks, slots, profile, knobs, rng, plan,
+                         stage_id, slots_per_executor, scratch);
 }
 
 } // namespace dac::sparksim

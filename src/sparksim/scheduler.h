@@ -18,6 +18,8 @@
 #ifndef DAC_SPARKSIM_SCHEDULER_H
 #define DAC_SPARKSIM_SCHEDULER_H
 
+#include <vector>
+
 #include "sparksim/faults.h"
 #include "sparksim/knobs.h"
 #include "support/random.h"
@@ -77,6 +79,25 @@ struct StageSchedule
 };
 
 /**
+ * Reusable buffers for the smooth scheduling kernel. A GA-driven
+ * tuning request sweeps thousands of stage schedules (configurations
+ * x stages x iterations); without a scratch each sweep pays one heap
+ * allocation per stage for the slot heap. Callers that loop — the
+ * simulator's runBatch, the collector's chunked runs — carry one
+ * scratch per worker thread and the whole sweep allocates only until
+ * the high-water mark is reached. Contents are transient; only the
+ * capacity persists between calls.
+ */
+struct StageScratch
+{
+    /** Phase-1 SoA buffer: every task's drawn duration, in seconds
+     *  (retry inflation applied). */
+    std::vector<double> taskSec;
+    /** Phase-2 binary min-heap of slot free times. */
+    std::vector<double> slotFree;
+};
+
+/**
  * Schedule `num_tasks` tasks of the given profile onto `slots` slots.
  *
  * Speculation (when enabled in the knobs) re-launches tasks whose
@@ -87,6 +108,21 @@ struct StageSchedule
 StageSchedule scheduleStage(int num_tasks, int slots,
                             const TaskProfile &profile,
                             const SparkKnobs &knobs, Rng &rng);
+
+/**
+ * The smooth path as a two-phase batched kernel over `scratch`:
+ * phase 1 draws every task's duration from `rng` in the exact order
+ * the per-task loop draws them, fusing the straggler/speculation and
+ * retry accounting into the sweep; phase 2 packs the durations onto
+ * the slot heap (std::push_heap/pop_heap on scratch.slotFree — the
+ * same algorithm std::priority_queue runs, on the same values).
+ * Byte-identical StageSchedule to the overload above, allocation-free
+ * once the scratch has grown to the largest stage seen.
+ */
+StageSchedule scheduleStage(int num_tasks, int slots,
+                            const TaskProfile &profile,
+                            const SparkKnobs &knobs, Rng &rng,
+                            StageScratch &scratch);
 
 /**
  * Schedule with fault injection. With an inactive `plan` this is the
@@ -113,6 +149,20 @@ StageSchedule scheduleStage(int num_tasks, int slots,
                             const SparkKnobs &knobs, Rng &rng,
                             const FaultPlan &plan, uint64_t stage_id,
                             int slots_per_executor);
+
+/**
+ * Fault-capable entry with a caller-provided scratch: the inactive-
+ * plan (smooth) path runs the batched kernel above allocation-free;
+ * an active plan takes the discrete faulted path, which is cold by
+ * construction (fault injection is a test/analysis mode) and keeps
+ * its own storage.
+ */
+StageSchedule scheduleStage(int num_tasks, int slots,
+                            const TaskProfile &profile,
+                            const SparkKnobs &knobs, Rng &rng,
+                            const FaultPlan &plan, uint64_t stage_id,
+                            int slots_per_executor,
+                            StageScratch &scratch);
 
 } // namespace dac::sparksim
 

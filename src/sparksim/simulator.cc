@@ -125,7 +125,8 @@ StageOutcome
 simulateStageIteration(const StageSpec &stage, const JobDag &job,
                        const RunContext &ctx, CacheState &cache,
                        bool final_attempt, Rng &rng,
-                       const FaultPlan &plan, uint64_t fault_stage_id)
+                       const FaultPlan &plan, uint64_t fault_stage_id,
+                       StageScratch &scratch)
 {
     const SparkKnobs &k = ctx.knobs;
     const auto &node = ctx.cluster->node();
@@ -343,7 +344,8 @@ simulateStageIteration(const StageSpec &stage, const JobDag &job,
     const auto sched = scheduleStage(partitions, ctx.layout.totalSlots,
                                      profile, k, rng, plan,
                                      fault_stage_id,
-                                     ctx.layout.coresPerExecutor);
+                                     ctx.layout.coresPerExecutor,
+                                     scratch);
 
     bool driver_oom = false;
     const double extra = kStageLaunchSec + broadcastSec(stage, ctx) +
@@ -375,12 +377,29 @@ RunResult
 SparkSimulator::run(const JobDag &job, const conf::Configuration &config,
                     uint64_t seed) const
 {
-    return run(job, config, seed, FaultSpec{});
+    Scratch scratch;
+    return run(job, config, seed, FaultSpec{}, scratch);
 }
 
 RunResult
 SparkSimulator::run(const JobDag &job, const conf::Configuration &config,
                     uint64_t seed, const FaultSpec &faults) const
+{
+    Scratch scratch;
+    return run(job, config, seed, faults, scratch);
+}
+
+RunResult
+SparkSimulator::run(const JobDag &job, const conf::Configuration &config,
+                    uint64_t seed, Scratch &scratch) const
+{
+    return run(job, config, seed, FaultSpec{}, scratch);
+}
+
+RunResult
+SparkSimulator::run(const JobDag &job, const conf::Configuration &config,
+                    uint64_t seed, const FaultSpec &faults,
+                    Scratch &scratch) const
 {
     DAC_ASSERT(!job.stages.empty(), "job has no stages");
 
@@ -448,7 +467,7 @@ SparkSimulator::run(const JobDag &job, const conf::Configuration &config,
                 Rng stage_rng = rng.fork(stage_id);
                 const auto outcome = simulateStageIteration(
                     stage, job, ctx, cache, final_attempt, stage_rng,
-                    plan, stage_id);
+                    plan, stage_id, scratch.stage);
                 if (obs::Tracer::enabled()) {
                     // Simulated (not wall) figures ride along as attrs:
                     // stage timing, GC pauses, spill decisions.
@@ -545,6 +564,39 @@ SparkSimulator::run(const JobDag &job, const conf::Configuration &config,
     // keep a defensive return.
     result.timeSec = carried_time;
     return result;
+}
+
+namespace {
+
+/** Runs per batch chunk: one scratch (and one executor task) covers
+ *  this many back-to-back simulations. */
+constexpr size_t kRunChunk = 8;
+
+} // namespace
+
+std::vector<RunResult>
+SparkSimulator::runBatch(const JobDag &job,
+                         const std::vector<conf::Configuration> &configs,
+                         const std::vector<uint64_t> &seeds,
+                         Executor *executor) const
+{
+    DAC_ASSERT(configs.size() == seeds.size(),
+               "runBatch: one seed per configuration");
+    std::vector<RunResult> out(configs.size());
+    // Each run is independent and deterministic in (config, seed), so
+    // chunks can land on any worker in any order; chunking exists so
+    // a Scratch (and its high-water buffers) is reused across the
+    // chunk's runs instead of rebuilt per run.
+    const size_t chunks = (configs.size() + kRunChunk - 1) / kRunChunk;
+    parallelFor(executor, chunks, [&](size_t c) {
+        const size_t first = c * kRunChunk;
+        const size_t last =
+            std::min(configs.size(), first + kRunChunk);
+        Scratch scratch;
+        for (size_t i = first; i < last; ++i)
+            out[i] = run(job, configs[i], seeds[i], scratch);
+    });
+    return out;
 }
 
 } // namespace dac::sparksim

@@ -13,12 +13,15 @@
 #define DAC_SPARKSIM_SIMULATOR_H
 
 #include <cstdint>
+#include <vector>
 
 #include "cluster/cluster.h"
 #include "conf/config.h"
 #include "sparksim/dag.h"
 #include "sparksim/faults.h"
 #include "sparksim/runresult.h"
+#include "sparksim/scheduler.h"
+#include "support/executor.h"
 
 namespace dac::sparksim {
 
@@ -31,6 +34,20 @@ namespace dac::sparksim {
 class SparkSimulator
 {
   public:
+    /**
+     * Reusable per-worker buffers for a sweep of runs. A tuning
+     * pipeline simulates thousands of (configuration, seed) runs
+     * back to back; carrying one Scratch across them caps the
+     * scheduler's per-stage allocations at the high-water mark of
+     * the largest stage instead of paying them per stage. Purely an
+     * optimization: results are bit-identical with or without one.
+     * Not thread-safe — use one Scratch per worker.
+     */
+    struct Scratch
+    {
+        StageScratch stage;
+    };
+
     /** Bind the simulator to a cluster (must outlive the simulator). */
     explicit SparkSimulator(const cluster::ClusterSpec &cluster);
 
@@ -62,6 +79,29 @@ class SparkSimulator
      */
     RunResult run(const JobDag &job, const conf::Configuration &config,
                   uint64_t seed, const FaultSpec &faults) const;
+
+    /** run() with caller-owned scratch buffers (same bits). */
+    RunResult run(const JobDag &job, const conf::Configuration &config,
+                  uint64_t seed, Scratch &scratch) const;
+
+    /** Faulted run() with caller-owned scratch buffers (same bits). */
+    RunResult run(const JobDag &job, const conf::Configuration &config,
+                  uint64_t seed, const FaultSpec &faults,
+                  Scratch &scratch) const;
+
+    /**
+     * Evaluate a batch of configurations against one job: out[i] is
+     * bit-identical to run(job, configs[i], seeds[i]). The batch is
+     * chunked over `executor` (nullptr = this thread), each chunk
+     * reusing one Scratch across its runs — the cost sweep the GA and
+     * the collector lean on, amortizing per-run setup the one-shot
+     * entry point cannot.
+     */
+    std::vector<RunResult>
+    runBatch(const JobDag &job,
+             const std::vector<conf::Configuration> &configs,
+             const std::vector<uint64_t> &seeds,
+             Executor *executor = nullptr) const;
 
     const cluster::ClusterSpec &clusterSpec() const { return *cluster; }
 

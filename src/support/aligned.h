@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Over-aligned heap storage for SIMD-indexed arrays.
+ *
+ * The vector walk kernels (ml/flat_ensemble_avx2.cc and friends)
+ * gather-load from the compiled node arrays; keeping those arrays on
+ * 32-byte boundaries means a vector's lanes never straddle more cache
+ * lines than the data requires, and lets future aligned-load paths
+ * assume the invariant instead of re-checking it. AlignedVector is a
+ * std::vector whose allocations are always kAlignment-aligned (growth
+ * included), so existing vector-shaped code keeps its idioms.
+ */
+
+#ifndef DAC_SUPPORT_ALIGNED_H
+#define DAC_SUPPORT_ALIGNED_H
+
+#include <cstddef>
+#include <cstdint>
+#include <new>
+#include <vector>
+
+namespace dac {
+
+/** Alignment (bytes) guaranteed by AlignedAllocator: one AVX2 lane
+ *  group (and four NEON lanes) per boundary. */
+inline constexpr size_t kSimdAlignment = 32;
+
+/** True when `ptr` sits on an `alignment`-byte boundary. */
+inline bool
+isAligned(const void *ptr, size_t alignment = kSimdAlignment)
+{
+    return (reinterpret_cast<uintptr_t>(ptr) & (alignment - 1)) == 0;
+}
+
+/**
+ * Minimal C++17 allocator handing out kSimdAlignment-aligned blocks
+ * via the aligned operator new. Stateless: all instances are equal,
+ * so AlignedVector swaps/moves are as cheap as std::vector's.
+ */
+template <typename T>
+class AlignedAllocator
+{
+  public:
+    using value_type = T;
+
+    AlignedAllocator() = default;
+    template <typename U>
+    AlignedAllocator(const AlignedAllocator<U> &)
+    {
+    }
+
+    T *
+    allocate(size_t n)
+    {
+        return static_cast<T *>(::operator new(
+            n * sizeof(T), std::align_val_t(kSimdAlignment)));
+    }
+
+    void
+    deallocate(T *p, size_t) noexcept
+    {
+        ::operator delete(p, std::align_val_t(kSimdAlignment));
+    }
+
+    template <typename U>
+    bool
+    operator==(const AlignedAllocator<U> &) const
+    {
+        return true;
+    }
+    template <typename U>
+    bool
+    operator!=(const AlignedAllocator<U> &) const
+    {
+        return false;
+    }
+};
+
+/** std::vector whose data() is always kSimdAlignment-aligned. */
+template <typename T>
+using AlignedVector = std::vector<T, AlignedAllocator<T>>;
+
+} // namespace dac
+
+#endif // DAC_SUPPORT_ALIGNED_H

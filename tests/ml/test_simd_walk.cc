@@ -1,0 +1,347 @@
+/**
+ * @file
+ * The vectorized walk kernels: bit-identity of every kernel this
+ * build/CPU supports against the interpreted model (predictWith),
+ * the DAC_SIMD selection plumbing (parseName / resolve /
+ * defaultKernel / forceKernel), and concurrent predictBatch on a
+ * shared FlatEnsemble — the exact access pattern the GA's batch
+ * objective and the service warm path produce, and what the TSan CI
+ * leg checks for ordering bugs.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "ml/boosting.h"
+#include "ml/flat_ensemble.h"
+#include "ml/hm.h"
+#include "ml/log_target.h"
+#include "ml/simd.h"
+#include "service/thread_pool.h"
+
+namespace dac::ml {
+namespace {
+
+/** Kernels this build+CPU can actually run (Serial/Scalar always). */
+std::vector<simd::Kernel>
+supportedKernels()
+{
+    std::vector<simd::Kernel> out;
+    for (const simd::Kernel k :
+         {simd::Kernel::Serial, simd::Kernel::Scalar, simd::Kernel::Avx2,
+          simd::Kernel::Neon}) {
+        if (simd::kernelSupported(k))
+            out.push_back(k);
+    }
+    return out;
+}
+
+DataSet
+bumpyData(int n, uint64_t seed)
+{
+    DataSet d(5);
+    Rng rng(seed);
+    for (int i = 0; i < n; ++i) {
+        const double a = rng.uniform();
+        const double b = rng.uniform();
+        const double c = rng.uniform();
+        const double e = rng.uniform();
+        const double f = rng.uniform();
+        double y = 25.0 + 12.0 * std::sin(8.0 * a) * std::cos(6.0 * b);
+        y += (c > 0.5 ? 10.0 * e : 3.0 * f);
+        y += rng.normal(0.0, 0.4);
+        d.addRow({a, b, c, e, f}, y);
+    }
+    return d;
+}
+
+std::vector<std::vector<double>>
+randomQueries(size_t count, size_t width, uint64_t seed)
+{
+    Rng rng(seed);
+    std::vector<std::vector<double>> queries(count);
+    for (auto &q : queries) {
+        q.resize(width);
+        for (auto &v : q)
+            v = rng.uniform() * 3.0 - 1.0;
+    }
+    return queries;
+}
+
+/** Every supported kernel must reproduce the interpreted prediction
+ *  bit-for-bit — the contract DESIGN.md section 14 pins. */
+void
+expectKernelsExact(const Model &model, const FlatEnsemble &flat,
+                   const std::vector<std::vector<double>> &queries)
+{
+    const auto kernels = supportedKernels();
+    ASSERT_GE(kernels.size(), 2u); // Serial + Scalar at minimum
+    for (const auto &q : queries) {
+        const double interpreted = model.predict(q);
+        for (const simd::Kernel k : kernels) {
+            EXPECT_EQ(interpreted,
+                      flat.predictWith(k, q.data(), q.size()))
+                << "kernel " << simd::kernelName(k);
+        }
+    }
+}
+
+TEST(SimdWalk, AllKernelsMatchGradientBoostExactly)
+{
+    for (uint64_t seed = 1; seed <= 3; ++seed) {
+        BoostParams p;
+        p.maxTrees = 70;
+        p.convergencePatience = 0;
+        p.targetErrorPct = 0.0;
+        p.seed = seed;
+        GradientBoost gb(p);
+        gb.train(bumpyData(300, seed));
+        const auto flat = gb.compile();
+        ASSERT_NE(flat, nullptr);
+        expectKernelsExact(gb, *flat,
+                           randomQueries(64, 5, seed + 200));
+    }
+}
+
+TEST(SimdWalk, AllKernelsMatchLogTargetModelExactly)
+{
+    // exp() sits after the walk, so the per-kernel raw sums must
+    // already agree before exponentiation can.
+    HmParams p;
+    p.firstOrder.maxTrees = 60;
+    p.firstOrder.convergencePatience = 30;
+    p.firstOrder.targetIsLog = true;
+    p.targetErrorPct = 5.0;
+    p.targetIsLog = true;
+    LogTargetModel model(std::make_unique<HierarchicalModel>(p));
+    model.train(bumpyData(300, 6));
+    const auto flat = model.compile();
+    ASSERT_NE(flat, nullptr);
+    EXPECT_TRUE(flat->expOutput());
+    expectKernelsExact(model, *flat, randomQueries(64, 5, 7));
+}
+
+TEST(SimdWalk, AllKernelsMatchOnSingleLeafTrees)
+{
+    // Constant target -> every tree is a single self-looping leaf:
+    // the degenerate blocks where a lock-step walk's step count is 0.
+    DataSet d(3);
+    Rng rng(9);
+    for (int i = 0; i < 50; ++i)
+        d.addRow({rng.uniform(), rng.uniform(), rng.uniform()}, 42.0);
+    BoostParams p;
+    p.maxTrees = 5;
+    p.convergencePatience = 0;
+    p.targetErrorPct = 0.0;
+    GradientBoost gb(p);
+    gb.train(d);
+    const auto flat = gb.compile();
+    ASSERT_NE(flat, nullptr);
+    EXPECT_EQ(flat->nodeCount(), flat->treeCount());
+    expectKernelsExact(gb, *flat, randomQueries(16, 3, 10));
+}
+
+TEST(SimdWalk, AllKernelsMatchOnThresholdBoundaryQueries)
+{
+    // Train on a coarse grid so split thresholds land between (or at)
+    // grid values, then query the exact grid points: x == threshold
+    // ties and the NaN-goes-right convention must resolve identically
+    // in every kernel (the comparison is !(x <= t) in all of them).
+    DataSet d(3);
+    const double grid[] = {0.0, 0.25, 0.5, 0.75, 1.0};
+    for (const double a : grid)
+        for (const double b : grid)
+            for (const double c : grid)
+                d.addRow({a, b, c}, 3.0 * a + (b > 0.5 ? 7.0 : 1.0) * c);
+
+    BoostParams p;
+    p.maxTrees = 40;
+    p.convergencePatience = 0;
+    p.targetErrorPct = 0.0;
+    GradientBoost gb(p);
+    gb.train(d);
+    const auto flat = gb.compile();
+    ASSERT_NE(flat, nullptr);
+
+    std::vector<std::vector<double>> queries;
+    for (const double a : grid)
+        for (const double b : grid)
+            queries.push_back({a, b, 0.5});
+    // And a NaN lane: must take the right child at every split, same
+    // as the interpreted walk.
+    queries.push_back({std::nan(""), 0.5, std::nan("")});
+    expectKernelsExact(gb, *flat, queries);
+}
+
+TEST(SimdWalk, ForceKernelRoutesPredictAndBatch)
+{
+    BoostParams p;
+    p.maxTrees = 50;
+    p.convergencePatience = 0;
+    p.targetErrorPct = 0.0;
+    GradientBoost gb(p);
+    gb.train(bumpyData(250, 14));
+    const auto flat = gb.compile();
+    ASSERT_NE(flat, nullptr);
+
+    const auto queries = randomQueries(40, 5, 15);
+    std::vector<double> expected;
+    std::vector<double> packed;
+    for (const auto &q : queries) {
+        expected.push_back(gb.predict(q));
+        packed.insert(packed.end(), q.begin(), q.end());
+    }
+
+    const simd::Kernel previous = simd::active();
+    for (const simd::Kernel k : supportedKernels()) {
+        EXPECT_EQ(k, simd::forceKernel(k));
+        EXPECT_EQ(k, simd::active());
+        std::vector<double> out(queries.size(), 0.0);
+        flat->predictBatch(packed.data(), 5, queries.size(),
+                           out.data());
+        EXPECT_EQ(out, expected) << "kernel " << simd::kernelName(k);
+        for (size_t i = 0; i < queries.size(); ++i) {
+            EXPECT_EQ(expected[i],
+                      flat->predict(queries[i].data(), 5));
+        }
+    }
+    simd::forceKernel(previous);
+}
+
+TEST(SimdWalk, ParallelPredictBatchSharedEnsemble)
+{
+    // One immutable FlatEnsemble, hammered concurrently: N threads
+    // each running executor-parallel predictBatch over their own rows
+    // (the walk scratch is per-call stack state, so the only shared
+    // data is the const node arrays). Run under the TSan CI leg.
+    BoostParams p;
+    p.maxTrees = 60;
+    p.convergencePatience = 0;
+    p.targetErrorPct = 0.0;
+    GradientBoost gb(p);
+    gb.train(bumpyData(300, 18));
+    const auto flat = gb.compile();
+    ASSERT_NE(flat, nullptr);
+
+    constexpr size_t kThreads = 4;
+    constexpr size_t kRows = 300;
+    service::ThreadPool pool(4);
+
+    std::vector<std::vector<double>> rows(kThreads);
+    std::vector<std::vector<double>> expected(kThreads);
+    for (size_t t = 0; t < kThreads; ++t) {
+        Rng rng(100 + t);
+        rows[t].resize(kRows * 5);
+        for (double &v : rows[t])
+            v = rng.uniform() * 3.0 - 1.0;
+        expected[t].resize(kRows);
+        for (size_t r = 0; r < kRows; ++r)
+            expected[t][r] = gb.predict(rows[t].data() + r * 5, 5);
+    }
+
+    std::vector<std::vector<double>> got(
+        kThreads, std::vector<double>(kRows, 0.0));
+    std::vector<std::thread> workers;
+    workers.reserve(kThreads);
+    for (size_t t = 0; t < kThreads; ++t) {
+        workers.emplace_back([&, t] {
+            for (int repeat = 0; repeat < 8; ++repeat) {
+                flat->predictBatch(rows[t].data(), 5, kRows,
+                                   got[t].data(), &pool);
+            }
+        });
+    }
+    for (auto &w : workers)
+        w.join();
+    for (size_t t = 0; t < kThreads; ++t)
+        EXPECT_EQ(got[t], expected[t]) << "thread " << t;
+}
+
+TEST(SimdSelect, ParseNameCoversEveryDocumentedValue)
+{
+    bool recognized = false;
+    const simd::Kernel fb = simd::Kernel::Neon; // distinctive fallback
+
+    EXPECT_EQ(simd::Kernel::Scalar,
+              simd::parseName("off", fb, &recognized));
+    EXPECT_TRUE(recognized);
+    EXPECT_EQ(simd::Kernel::Scalar,
+              simd::parseName("scalar", fb, &recognized));
+    EXPECT_TRUE(recognized);
+    EXPECT_EQ(simd::Kernel::Avx2,
+              simd::parseName("avx2", fb, &recognized));
+    EXPECT_TRUE(recognized);
+    EXPECT_EQ(simd::Kernel::Neon,
+              simd::parseName("neon", fb, &recognized));
+    EXPECT_TRUE(recognized);
+    EXPECT_EQ(simd::Kernel::Serial,
+              simd::parseName("serial", fb, &recognized));
+    EXPECT_TRUE(recognized);
+
+    EXPECT_EQ(fb, simd::parseName(nullptr, fb, &recognized));
+    EXPECT_FALSE(recognized);
+    EXPECT_EQ(fb, simd::parseName("", fb, &recognized));
+    EXPECT_FALSE(recognized);
+    EXPECT_EQ(fb, simd::parseName("AVX2", fb, &recognized));
+    EXPECT_FALSE(recognized); // case-sensitive, like the docs say
+}
+
+TEST(SimdSelect, ResolveDegradesUnsupportedRequestsToScalar)
+{
+    // A supported request wins; an unsupported one degrades to Scalar
+    // and never to a *different* vector kernel.
+    EXPECT_EQ(simd::Kernel::Avx2,
+              simd::resolve(simd::Kernel::Avx2, true));
+    EXPECT_EQ(simd::Kernel::Scalar,
+              simd::resolve(simd::Kernel::Avx2, false));
+    EXPECT_EQ(simd::Kernel::Scalar,
+              simd::resolve(simd::Kernel::Neon, false));
+    EXPECT_EQ(simd::Kernel::Serial,
+              simd::resolve(simd::Kernel::Serial, true));
+}
+
+TEST(SimdSelect, CapabilityAndDefaultInvariants)
+{
+    // Serial and Scalar are promised everywhere; the vector kernels
+    // are mutually exclusive per architecture.
+    EXPECT_TRUE(simd::kernelSupported(simd::Kernel::Serial));
+    EXPECT_TRUE(simd::kernelSupported(simd::Kernel::Scalar));
+    EXPECT_FALSE(simd::kernelSupported(simd::Kernel::Avx2) &&
+                 simd::kernelSupported(simd::Kernel::Neon));
+
+    // detectBest is a capability fact (widest ISA, never Serial);
+    // defaultKernel is a policy fact (fastest measured, never Serial,
+    // and never an unsupported kernel).
+    EXPECT_NE(simd::Kernel::Serial, simd::detectBest());
+    EXPECT_TRUE(simd::kernelSupported(simd::detectBest()));
+    EXPECT_NE(simd::Kernel::Serial, simd::defaultKernel());
+    EXPECT_TRUE(simd::kernelSupported(simd::defaultKernel()));
+
+    // forceKernel caps unsupported requests exactly like DAC_SIMD.
+    const simd::Kernel previous = simd::active();
+    const simd::Kernel unsupported =
+        simd::kernelSupported(simd::Kernel::Avx2) ? simd::Kernel::Neon
+                                                  : simd::Kernel::Avx2;
+    EXPECT_EQ(simd::Kernel::Scalar, simd::forceKernel(unsupported));
+    EXPECT_EQ(simd::Kernel::Scalar, simd::active());
+    simd::forceKernel(previous);
+}
+
+TEST(SimdSelect, KernelNamesRoundTripThroughParse)
+{
+    for (const simd::Kernel k :
+         {simd::Kernel::Serial, simd::Kernel::Scalar, simd::Kernel::Avx2,
+          simd::Kernel::Neon}) {
+        bool recognized = false;
+        EXPECT_EQ(k, simd::parseName(simd::kernelName(k),
+                                     simd::Kernel::Scalar, &recognized));
+        EXPECT_TRUE(recognized) << simd::kernelName(k);
+    }
+}
+
+} // namespace
+} // namespace dac::ml

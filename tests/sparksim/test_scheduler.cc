@@ -147,6 +147,58 @@ TEST(Scheduler, Deterministic)
     EXPECT_DOUBLE_EQ(a.totalTaskSec, b.totalTaskSec);
 }
 
+TEST(Scheduler, ScratchKernelIsByteIdenticalToPlainOverload)
+{
+    // The two-phase batched kernel must produce byte-identical
+    // schedules AND leave the RNG stream in the same position as the
+    // plain overload, across noisy profiles with speculation on —
+    // the exact surface the GA sweeps.
+    auto p = quietProfile(5.0);
+    p.noiseSigma = 0.4;
+    p.stragglerProb = 0.2;
+    p.failureProb = 0.05;
+    p.dispatchSec = 0.003;
+    p.startDelaySec = 0.01;
+    const auto k = knobs([](auto &c) {
+        c.set(conf::Speculation, 1);
+        c.set(conf::SpeculationQuantile, 0.75);
+    });
+
+    StageScratch scratch;
+    Rng reused(99);
+    Rng fresh(99);
+    // Shrinking then growing stage shapes through ONE scratch: stale
+    // buffer contents from a previous stage must never leak in.
+    for (const int tasks : {200, 7, 64, 1, 33}) {
+        const auto a = scheduleStage(tasks, 16, p, k, reused, scratch);
+        const auto b = scheduleStage(tasks, 16, p, k, fresh);
+        EXPECT_EQ(a.elapsedSec, b.elapsedSec) << tasks << " tasks";
+        EXPECT_EQ(a.totalTaskSec, b.totalTaskSec) << tasks << " tasks";
+        EXPECT_EQ(a.failures, b.failures) << tasks << " tasks";
+    }
+    EXPECT_EQ(reused.uniform(), fresh.uniform()); // streams aligned
+}
+
+TEST(Scheduler, ScratchKernelMatchesInactiveFaultOverload)
+{
+    // The 9-arg fault-capable entry with an inactive plan must route
+    // to the same smooth kernel bit-for-bit.
+    auto p = quietProfile(3.0);
+    p.noiseSigma = 0.25;
+    p.stragglerProb = 0.1;
+    StageScratch scratch;
+    Rng r1(7);
+    Rng r2(7);
+    const FaultPlan none;
+    const auto a =
+        scheduleStage(80, 12, p, knobs(), r1, none, 4, 4, scratch);
+    const auto b = scheduleStage(80, 12, p, knobs(), r2);
+    EXPECT_EQ(a.elapsedSec, b.elapsedSec);
+    EXPECT_EQ(a.totalTaskSec, b.totalTaskSec);
+    EXPECT_EQ(a.failures, b.failures);
+    EXPECT_EQ(a.attemptsLaunched, 0);
+}
+
 TEST(Scheduler, InvalidArgsPanic)
 {
     Rng rng(1);

@@ -224,6 +224,51 @@ TEST(Simulator, ExecutorLayoutReported)
     EXPECT_EQ(r.totalSlots, 60);
 }
 
+TEST(Simulator, RunBatchMatchesRunLoopExactly)
+{
+    // runBatch chunks the sweep and reuses one Scratch per chunk; the
+    // result vector must be byte-identical to single run() calls —
+    // including across a chunk boundary (kRunChunk is 8, so 20 runs
+    // exercise full chunks plus a remainder).
+    SparkSimulator sim(testbed());
+    const auto dag = dagFor("WC", 1);
+    std::vector<conf::Configuration> configs;
+    std::vector<uint64_t> seeds;
+    for (int i = 0; i < 20; ++i) {
+        configs.push_back(config([&](auto &c) {
+            c.set(conf::ExecutorCores, 1 + i % 4);
+            c.set(conf::ExecutorMemory, 4096 + 1500 * (i % 6));
+            c.set(conf::DefaultParallelism, 16 + 8 * (i % 5));
+        }));
+        seeds.push_back(static_cast<uint64_t>(1000 + i));
+    }
+
+    const auto batch = sim.runBatch(dag, configs, seeds);
+    ASSERT_EQ(batch.size(), configs.size());
+    for (size_t i = 0; i < configs.size(); ++i) {
+        const auto single = sim.run(dag, configs[i], seeds[i]);
+        EXPECT_EQ(single.timeSec, batch[i].timeSec) << "run " << i;
+        EXPECT_EQ(single.taskFailures, batch[i].taskFailures)
+            << "run " << i;
+        EXPECT_EQ(single.totalSlots, batch[i].totalSlots) << "run " << i;
+    }
+}
+
+TEST(Simulator, ScratchReuseAcrossJobsIsByteIdentical)
+{
+    // One Scratch carried across different DAGs and configurations —
+    // the collector's per-chunk pattern — must not change any result.
+    SparkSimulator sim(testbed());
+    SparkSimulator::Scratch scratch;
+    for (const char *abbrev : {"WC", "TS", "PR"}) {
+        const auto dag = dagFor(abbrev, 1);
+        const auto c = sane();
+        EXPECT_EQ(sim.run(dag, c, 42).timeSec,
+                  sim.run(dag, c, 42, scratch).timeSec)
+            << abbrev;
+    }
+}
+
 TEST(Simulator, EmptyJobPanics)
 {
     SparkSimulator sim(testbed());
