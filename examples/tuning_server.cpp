@@ -15,7 +15,7 @@
  *
  * Usage: tuning_server [threads] [--port=N] [--loops=N]
  *                      [--prometheus] [--trace-out=FILE]
- *                      [--flight-dir=DIR]
+ *                      [--flight-dir=DIR] [--snapshot-dir=DIR]
  *
  *   threads           service worker threads (0 = one per hw thread)
  *   --port=N          serve mode: bind 127.0.0.1:N until SIGINT/SIGTERM
@@ -29,6 +29,14 @@
  *   --flight-dir=DIR  write flight-recorder dumps into DIR: on
  *                     SIGUSR1 (serve mode), and automatically when a
  *                     request degrades (rate-limited)
+ *   --snapshot-dir=DIR persist trained models into DIR
+ *                     (persist/snapshot.h): restore the model cache
+ *                     from it on startup (warm restart), save each
+ *                     model right after its build, and persist the
+ *                     whole cache on SIGTERM/SIGINT drain. A Snapshot
+ *                     admin frame (dac_snap, Client::snapshotAdmin)
+ *                     inspects the state or triggers a persist-now
+ *                     pass.
  *
  * The server always publishes live stats: a Stats frame (or dac_top)
  * returns the full registry — RED metrics per event loop, per-phase
@@ -38,6 +46,7 @@
 
 #include <csignal>
 #include <iostream>
+#include <sstream>
 #include <string>
 #include <thread>
 #include <vector>
@@ -98,6 +107,7 @@ main(int argc, char **argv)
     uint16_t port = 0;
     std::string trace_path;
     std::string flight_dir;
+    std::string snapshot_dir;
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
         if (arg == "--prometheus") {
@@ -107,6 +117,9 @@ main(int argc, char **argv)
         } else if (startsWith(arg, "--flight-dir=")) {
             flight_dir =
                 arg.substr(std::string("--flight-dir=").size());
+        } else if (startsWith(arg, "--snapshot-dir=")) {
+            snapshot_dir =
+                arg.substr(std::string("--snapshot-dir=").size());
         } else if (startsWith(arg, "--port=")) {
             serve = true;
             port = static_cast<uint16_t>(
@@ -120,7 +133,8 @@ main(int argc, char **argv)
                 std::cerr << "usage: tuning_server [threads] [--port=N]"
                           << " [--loops=N] [--prometheus]"
                           << " [--trace-out=FILE]"
-                          << " [--flight-dir=DIR]\n";
+                          << " [--flight-dir=DIR]"
+                          << " [--snapshot-dir=DIR]\n";
                 return 1;
             }
         }
@@ -149,6 +163,7 @@ main(int argc, char **argv)
     options.tuning.collect.runsPerDataset = 16;
     options.tuning.hm.firstOrder.maxTrees = 80;
     options.tuning.ga.maxGenerations = 30;
+    options.snapshotDir = snapshot_dir;
 
     service::TuningService service(sim, options);
 
@@ -168,6 +183,29 @@ main(int argc, char **argv)
                    ? service.metrics().renderPrometheus()
                    : service.metrics().renderJson();
     });
+    if (!snapshot_dir.empty()) {
+        // A server without --snapshot-dir does not install a provider,
+        // so Snapshot frames get an honest Error instead of a report
+        // about persistence that is not happening.
+        server.setSnapshotProvider(
+            [&service, &snapshot_dir](net::SnapshotOp op) {
+                std::ostringstream json;
+                json << "{\"dir\":\"" << snapshot_dir << "\"";
+                if (op == net::SnapshotOp::Persist) {
+                    const auto io = service.snapshotNow();
+                    json << ",\"op\":\"persist\",\"saved\":" << io.saved
+                         << ",\"failed\":" << io.failed;
+                } else {
+                    const auto stats = service.cacheStats();
+                    json << ",\"op\":\"inspect\",\"cachedModels\":"
+                         << stats.size << ",\"capacity\":"
+                         << stats.capacity << ",\"shards\":"
+                         << stats.shards;
+                }
+                json << "}";
+                return json.str();
+            });
+    }
     server.start();
 
     std::cout << "tuning service up: " << threads << " worker(s), "
@@ -204,6 +242,16 @@ main(int argc, char **argv)
         }
         std::cout << "signal received; draining\n";
         server.stop();
+        if (!snapshot_dir.empty()) {
+            // Persist the warm cache before the process dies so the
+            // next start answers its first requests from snapshots.
+            const auto io = service.snapshotNow();
+            std::cout << "snapshots: " << io.saved << " model(s) -> "
+                      << snapshot_dir;
+            if (io.failed != 0)
+                std::cout << " (" << io.failed << " failed)";
+            std::cout << "\n";
+        }
         printServerStats(server.stats());
         std::cout << service.statusReport();
         service.shutdown();

@@ -20,8 +20,8 @@ layerRanks()
         {"support", 0},  {"cluster", 10},  {"obs", 10},
         {"analysis", 10}, {"conf", 20},    {"ml", 30},
         {"ga", 30},      {"sparksim", 40}, {"hadoopsim", 40},
-        {"workloads", 50}, {"dac", 60},    {"service", 70},
-        {"net", 80},
+        {"workloads", 50}, {"dac", 60},    {"persist", 65},
+        {"service", 70}, {"net", 80},
     };
     return ranks;
 }

@@ -14,6 +14,10 @@
 
 #include "ml/regression_tree.h"
 
+namespace dac::persist {
+struct ModelIo; // snapshot serializer (src/persist/model_io.h)
+}
+
 namespace dac::ml {
 
 /** Hyperparameters of the first-order (boosted) model. */
@@ -77,6 +81,7 @@ class GradientBoost : public Model
 
   private:
     friend class HierarchicalModel;
+    friend struct dac::persist::ModelIo;
 
     /** Append this model to `flat` as one member of weight `weight`. */
     void compileInto(FlatEnsemble &flat, double weight) const;

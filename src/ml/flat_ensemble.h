@@ -53,6 +53,10 @@
 #include "support/aligned.h"
 #include "support/executor.h"
 
+namespace dac::persist {
+struct ModelIo; // snapshot serializer (src/persist/model_io.h)
+}
+
 namespace dac::ml {
 
 class RegressionTree;
@@ -120,6 +124,7 @@ class FlatEnsemble
     friend class GradientBoost;
     friend class HierarchicalModel;
     friend class LogTargetModel;
+    friend struct dac::persist::ModelIo;
 
     FlatEnsemble() = default;
 

@@ -26,6 +26,10 @@
 #include "ml/boosting.h"
 #include "support/cancel.h"
 
+namespace dac::persist {
+struct ModelIo; // snapshot serializer (src/persist/model_io.h)
+}
+
 namespace dac::ml {
 
 /** Hyperparameters of the hierarchical model. */
@@ -76,6 +80,8 @@ class HierarchicalModel : public Model
     double validationError() const { return _validationError; }
 
   private:
+    friend struct dac::persist::ModelIo;
+
     struct Member
     {
         double weight;

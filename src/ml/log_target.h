@@ -18,6 +18,10 @@
 
 #include "ml/model.h"
 
+namespace dac::persist {
+struct ModelIo; // snapshot serializer (src/persist/model_io.h)
+}
+
 namespace dac::ml {
 
 /**
@@ -40,6 +44,8 @@ class LogTargetModel : public Model
     const Model &innerModel() const { return *inner; }
 
   private:
+    friend struct dac::persist::ModelIo;
+
     std::unique_ptr<Model> inner;
 };
 

@@ -14,6 +14,10 @@
 #include "ml/model.h"
 #include "support/random.h"
 
+namespace dac::persist {
+struct ModelIo; // snapshot serializer (src/persist/model_io.h)
+}
+
 namespace dac::ml {
 
 class TreeBuilder;
@@ -69,6 +73,7 @@ class RegressionTree : public Model
 
     friend class TreeBuilder;
     friend class FlatEnsemble;
+    friend struct dac::persist::ModelIo;
 };
 
 /**

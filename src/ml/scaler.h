@@ -11,6 +11,10 @@
 
 #include "ml/dataset.h"
 
+namespace dac::persist {
+struct ModelIo; // snapshot serializer (src/persist/model_io.h)
+}
+
 namespace dac::ml {
 
 /**
@@ -29,6 +33,8 @@ class Scaler
     size_t featureCount() const { return means.size(); }
 
   private:
+    friend struct dac::persist::ModelIo;
+
     std::vector<double> means;
     std::vector<double> stds;
 };
@@ -45,6 +51,8 @@ class TargetScaler
     double inverse(double z) const;
 
   private:
+    friend struct dac::persist::ModelIo;
+
     double mean = 0.0;
     double std = 1.0;
 };

@@ -123,6 +123,24 @@ Client::flightDump(double window_sec)
     return decodeTextReply(reply.payload);
 }
 
+std::string
+Client::snapshotAdmin(SnapshotOp op)
+{
+    const uint32_t id = nextId++;
+    const auto payload = encodeSnapshotRequest(SnapshotRequest{op});
+    std::vector<uint8_t> frame;
+    appendFrame(frame, MsgType::Snapshot, id, payload.data(),
+                payload.size());
+    if (!writeAll(socket.fd(), frame.data(), frame.size()))
+        throw RpcError("connection lost while sending snapshot request");
+    const Frame reply = awaitFrame(id);
+    if (reply.type == MsgType::Error)
+        throw RpcError(decodeError(reply.payload));
+    if (reply.type != MsgType::SnapshotReply)
+        throw RpcError("unexpected reply frame type");
+    return decodeTextReply(reply.payload);
+}
+
 void
 Client::ping()
 {

@@ -83,6 +83,13 @@ class Client
      *  `window_sec` seconds (MsgType::FlightDump round trip). */
     [[nodiscard]] std::string flightDump(double window_sec = 30.0);
 
+    /** Snapshot admin round trip (MsgType::Snapshot): inspect the
+     *  server's persistence state or trigger a persist-now pass.
+     *  Returns the server's JSON report; throws RpcError when the
+     *  server runs without persistence. */
+    [[nodiscard]] std::string
+    snapshotAdmin(SnapshotOp op = SnapshotOp::Inspect);
+
     /** Close the connection (the destructor also does). */
     void close();
 

@@ -53,6 +53,8 @@ isKnownMsgType(uint8_t value)
     case MsgType::StatsReply:
     case MsgType::FlightDump:
     case MsgType::FlightDumpReply:
+    case MsgType::Snapshot:
+    case MsgType::SnapshotReply:
         return true;
     }
     return false;

@@ -19,7 +19,7 @@
  *
  * Version history: v1 framed the original request/response pair; v2
  * (this build) adds trace context to TuneRequest, the phase breakdown
- * to TuneResponse, and the Stats/FlightDump admin frames. The header
+ * to TuneResponse, and the Stats/FlightDump/Snapshot admin frames. The header
  * layout is unchanged, and v1 frames remain fully decodable.
  */
 
@@ -56,6 +56,12 @@ enum class MsgType : uint8_t {
     FlightDump = 8,
     /** v2: answer to FlightDump; payload is the JSON dump. */
     FlightDumpReply = 9,
+    /** v2: snapshot admin frame (protocol.h SnapshotRequest) —
+     *  inspect the persistence state or trigger a persist-now pass;
+     *  answered in the event loop. */
+    Snapshot = 10,
+    /** v2: answer to Snapshot; payload is a JSON report. */
+    SnapshotReply = 11,
 };
 
 /** True for the MsgType values the protocol defines. */

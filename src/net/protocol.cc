@@ -306,6 +306,27 @@ decodeFlightDumpRequest(const std::vector<uint8_t> &payload)
 }
 
 std::vector<uint8_t>
+encodeSnapshotRequest(const SnapshotRequest &request)
+{
+    PayloadWriter w;
+    w.putU8(static_cast<uint8_t>(request.op));
+    return w.take();
+}
+
+SnapshotRequest
+decodeSnapshotRequest(const std::vector<uint8_t> &payload)
+{
+    PayloadReader r(payload);
+    SnapshotRequest request;
+    const uint8_t op = r.getU8();
+    if (op > static_cast<uint8_t>(SnapshotOp::Persist))
+        throw ProtocolError("unknown snapshot op " + std::to_string(op));
+    request.op = static_cast<SnapshotOp>(op);
+    r.expectEnd();
+    return request;
+}
+
+std::vector<uint8_t>
 encodeTextReply(const std::string &text)
 {
     PayloadWriter w;

@@ -185,7 +185,30 @@ encodeFlightDumpRequest(const FlightDumpRequest &request);
 [[nodiscard]] FlightDumpRequest
 decodeFlightDumpRequest(const std::vector<uint8_t> &payload);
 
-/** StatsReply / FlightDumpReply payload: the rendered text. */
+/** Operation requested by a Snapshot admin frame (v2). */
+enum class SnapshotOp : uint8_t {
+    /** Report persistence state (dir, cache keys, save/restore
+     *  counters) as JSON; touches no disk. */
+    Inspect = 0,
+    /** Persist every cached model now (the SIGTERM-drain pass, but on
+     *  demand); the reply reports saved/failed counts. */
+    Persist = 1,
+};
+
+/** Payload of a MsgType::Snapshot frame (v2). */
+struct SnapshotRequest
+{
+    SnapshotOp op = SnapshotOp::Inspect;
+};
+
+[[nodiscard]] std::vector<uint8_t>
+encodeSnapshotRequest(const SnapshotRequest &request);
+
+[[nodiscard]] SnapshotRequest
+decodeSnapshotRequest(const std::vector<uint8_t> &payload);
+
+/** StatsReply / FlightDumpReply / SnapshotReply payload: the rendered
+ *  text. */
 [[nodiscard]] std::vector<uint8_t>
 encodeTextReply(const std::string &text);
 

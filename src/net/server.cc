@@ -232,11 +232,36 @@ class Connection : public std::enable_shared_from_this<Connection>
                     1, std::memory_order_relaxed);
                 break;
             }
+            case MsgType::Snapshot: {
+                // Like Stats: answered inline on the loop thread, so
+                // an operator can trigger a persist-now pass even when
+                // the worker pool is saturated with tune requests.
+                std::vector<uint8_t> payload;
+                MsgType replyType = MsgType::SnapshotReply;
+                try {
+                    const SnapshotRequest snapRequest =
+                        decodeSnapshotRequest(frame.payload);
+                    payload = encodeTextReply(
+                        server.renderSnapshot(snapRequest.op));
+                } catch (const ProtocolError &e) {
+                    server.counters.protocolErrors.fetch_add(
+                        1, std::memory_order_relaxed);
+                    replyType = MsgType::Error;
+                    payload = encodeError(e.what());
+                }
+                appendFrame(inlineReplies, replyType, frame.requestId,
+                            payload.data(), payload.size(),
+                            frame.version);
+                server.counters.framesSent.fetch_add(
+                    1, std::memory_order_relaxed);
+                break;
+            }
             case MsgType::TuneResponse:
             case MsgType::Error:
             case MsgType::Pong:
             case MsgType::StatsReply:
             case MsgType::FlightDumpReply:
+            case MsgType::SnapshotReply:
             default: {
                 // Response-side frames a client has no business
                 // sending, and type bytes this build does not know
@@ -544,6 +569,22 @@ TuningServer::renderStats(StatsFormat format) const
             : options.metrics->renderJson();
     }
     throw ProtocolError("stats unavailable: no provider or registry");
+}
+
+void
+TuningServer::setSnapshotProvider(std::function<std::string(SnapshotOp)> fn)
+{
+    DAC_ASSERT(!started.load(std::memory_order_acquire),
+               "setSnapshotProvider after start()");
+    snapshotProvider = std::move(fn);
+}
+
+std::string
+TuningServer::renderSnapshot(SnapshotOp op) const
+{
+    if (snapshotProvider)
+        return snapshotProvider(op);
+    throw ProtocolError("snapshot unavailable: no provider installed");
 }
 
 void

@@ -51,7 +51,8 @@
 namespace dac::net {
 
 class Connection;
-enum class StatsFormat : uint8_t; // protocol.h
+enum class StatsFormat : uint8_t;  // protocol.h
+enum class SnapshotOp : uint8_t;   // protocol.h
 
 /** Server sizing and transport policy. */
 struct ServerOptions
@@ -139,6 +140,15 @@ class TuningServer
      */
     void setStatsProvider(std::function<std::string(StatsFormat)> fn);
 
+    /**
+     * Hook answering MsgType::Snapshot admin frames (inspect the
+     * persistence state / persist-now). Same contract as the stats
+     * provider: runs on event-loop threads, must be thread-safe, set
+     * before start(). Without one the server answers Error — a build
+     * without persistence simply does not speak the frame.
+     */
+    void setSnapshotProvider(std::function<std::string(SnapshotOp)> fn);
+
   private:
     friend class Connection;
 
@@ -174,6 +184,10 @@ class TuningServer
     /** Render a Stats reply (loop thread; see setStatsProvider). */
     [[nodiscard]] std::string renderStats(StatsFormat format) const;
 
+    /** Render a Snapshot reply (loop thread); throws ProtocolError
+     *  when no provider is installed. */
+    [[nodiscard]] std::string renderSnapshot(SnapshotOp op) const;
+
     service::TuningBackend *backend;
     ServerOptions options;
     Socket listener;
@@ -185,6 +199,7 @@ class TuningServer
     std::atomic<bool> started{false};
     std::atomic<bool> stopped{false};
     std::function<std::string(StatsFormat)> statsProvider;
+    std::function<std::string(SnapshotOp)> snapshotProvider;
     // Cached phase histograms (null without ServerOptions::metrics).
     obs::Histogram *serializeHist = nullptr;
     obs::Histogram *writeHist = nullptr;

@@ -1,0 +1,13 @@
+#include "persist/bytes.h"
+
+namespace dac::persist {
+
+void
+ByteWriter::str(const std::string &s)
+{
+    u32(static_cast<uint32_t>(s.size()));
+    const uint8_t *p = reinterpret_cast<const uint8_t *>(s.data());
+    buf.insert(buf.end(), p, p + s.size());
+}
+
+} // namespace dac::persist

@@ -1,9 +1,14 @@
 #include "service/model_cache.h"
 
 #include <cmath>
+#include <filesystem>
+#include <iomanip>
 #include <sstream>
+#include <utility>
 
+#include "persist/snapshot.h"
 #include "support/logging.h"
+#include "support/mapped_file.h"
 #include "support/random.h"
 
 namespace dac::service {
@@ -216,6 +221,118 @@ ModelCache::keysByRecency() const
             keys.push_back(key);
     }
     return keys;
+}
+
+std::string
+ModelCache::snapshotFileName(const ModelKey &key)
+{
+    std::ostringstream oss;
+    oss << "dac-" << std::hex << std::setw(16) << std::setfill('0')
+        << key.stableHash() << persist::kSnapshotSuffix;
+    return oss.str();
+}
+
+bool
+ModelCache::writeSnapshot(const std::string &dir, const ModelKey &key,
+                          const CachedModel &model, std::string *error)
+{
+    if (model.model == nullptr) {
+        if (error != nullptr)
+            *error = "entry has no model to persist";
+        return false;
+    }
+    std::error_code ec;
+    std::filesystem::create_directories(dir, ec);
+    if (ec) {
+        if (error != nullptr)
+            *error = "create " + dir + ": " + ec.message();
+        return false;
+    }
+
+    persist::SnapshotView view;
+    view.workload = &key.workload;
+    view.cluster = &key.cluster;
+    view.sizeBand = key.sizeBand;
+    view.modelErrorPct = model.modelErrorPct;
+    view.overhead = &model.overhead;
+    view.vectors = &model.vectors;
+    view.model = model.model.get();
+    view.compiled = model.compiled.get();
+
+    const std::string path =
+        (std::filesystem::path(dir) / snapshotFileName(key)).string();
+    return persist::saveSnapshotFile(path, view, error);
+}
+
+ModelCache::SnapshotIo
+ModelCache::snapshotTo(const std::string &dir) const
+{
+    SnapshotIo io;
+    for (const auto &shard : shards) {
+        // Copy the shard's entries under its lock (cheap: keys plus
+        // shared_ptrs), then hit the disk without holding it.
+        std::vector<Entry> entries;
+        {
+            std::lock_guard<std::mutex> lock(shard->mutex);
+            entries.assign(shard->entries.begin(), shard->entries.end());
+        }
+        for (const auto &[key, model] : entries) {
+            std::string error;
+            if (writeSnapshot(dir, key, *model, &error)) {
+                ++io.saved;
+            } else {
+                ++io.failed;
+                warn("snapshot of " + key.toString() + " failed: " +
+                     error);
+            }
+        }
+    }
+    return io;
+}
+
+ModelCache::SnapshotIo
+ModelCache::restoreFrom(const std::string &dir)
+{
+    SnapshotIo io;
+    for (const std::string &name :
+         listFilesWithSuffix(dir, persist::kSnapshotSuffix)) {
+        const std::string path =
+            (std::filesystem::path(dir) / name).string();
+        persist::SnapshotLoadResult result =
+            persist::loadSnapshotFile(path);
+        if (result.error == persist::SnapshotError::BadVersion) {
+            // Stale format: delete rather than migrate — the model is
+            // reproducible from training data, the file is not worth
+            // carrying reader code for.
+            std::error_code ec;
+            std::filesystem::remove(path, ec);
+            ++io.staleEvicted;
+            warn("evicted stale snapshot " + name);
+            continue;
+        }
+        if (!result.ok()) {
+            ++io.failed;
+            warn("skipped snapshot " + name + " (" +
+                 persist::snapshotErrorName(result.error) +
+                 "): " + result.message);
+            continue;
+        }
+
+        persist::ModelSnapshot &snap = result.snapshot;
+        ModelKey key{snap.workload, snap.cluster, snap.sizeBand};
+        auto entry = std::make_shared<CachedModel>();
+        entry->model = snap.model;
+        entry->compiled = snap.compiled != nullptr
+                              ? snap.compiled
+                              : std::shared_ptr<const ml::FlatEnsemble>(
+                                    snap.model->compile());
+        entry->vectors = std::move(snap.vectors);
+        entry->modelErrorPct = snap.modelErrorPct;
+        entry->overhead = snap.overhead;
+        insert(key, std::move(entry));
+        ++io.loaded;
+    }
+    return io;
 }
 
 std::shared_ptr<const CachedModel>

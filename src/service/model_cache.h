@@ -182,6 +182,54 @@ class ModelCache
      */
     [[nodiscard]] std::vector<ModelKey> keysByRecency() const;
 
+    /** Outcome counts of one snapshotTo() or restoreFrom() pass. */
+    struct SnapshotIo
+    {
+        /** Entries persisted to disk. */
+        size_t saved = 0;
+        /** Entries restored into the cache. */
+        size_t loaded = 0;
+        /** Old-format files deleted (version mismatch). */
+        size_t staleEvicted = 0;
+        /** Entries that failed to persist / files that failed to load. */
+        size_t failed = 0;
+    };
+
+    /**
+     * File name for a key's snapshot inside a snapshot directory:
+     * "dac-<16 hex digits of stableHash()>.dacsnap". Content-addressed
+     * by key, so re-persisting a key atomically replaces its file.
+     */
+    [[nodiscard]] static std::string snapshotFileName(const ModelKey &key);
+
+    /**
+     * Persist one entry into `dir` (created if missing) with an atomic
+     * write-rename. Static so the service can persist the entry it
+     * just built without a stats-disturbing cache round-trip. Returns
+     * false and fills *error on failure; never throws.
+     */
+    static bool writeSnapshot(const std::string &dir, const ModelKey &key,
+                              const CachedModel &model,
+                              std::string *error = nullptr);
+
+    /**
+     * Persist every current entry into `dir`, shard by shard. Entry
+     * pointers are collected under each shard's lock but files are
+     * written outside it, so serving traffic never blocks on disk.
+     */
+    SnapshotIo snapshotTo(const std::string &dir) const;
+
+    /**
+     * Load every "*.dacsnap" file in `dir` into the cache (insert
+     * semantics: no hit/miss accounting, LRU eviction applies when a
+     * directory holds more models than the cache). Files written by an
+     * older format version are DELETED (stale eviction: models are
+     * reproducible, migration is not worth carrying); files that are
+     * corrupt or unreadable are skipped with a warning and counted in
+     * `failed`. A missing directory is simply an empty restore.
+     */
+    SnapshotIo restoreFrom(const std::string &dir);
+
   private:
     using Entry = std::pair<ModelKey, std::shared_ptr<const CachedModel>>;
 

@@ -127,6 +127,22 @@ TuningService::TuningService(const sparksim::SparkSimulator &sim,
       cache(options.modelCacheCapacity, options.modelCacheShards),
       pool(ThreadPool::Options{options.threads, options.queueCapacity})
 {
+    if (!this->options.snapshotDir.empty()) {
+        const ModelCache::SnapshotIo io =
+            cache.restoreFrom(this->options.snapshotDir);
+        registry.counter("snapshot.restored")
+            .increment(static_cast<uint64_t>(io.loaded));
+        registry.counter("snapshot.stale_evicted")
+            .increment(static_cast<uint64_t>(io.staleEvicted));
+        registry.counter("snapshot.restore_failed")
+            .increment(static_cast<uint64_t>(io.failed));
+        if (io.loaded + io.staleEvicted + io.failed > 0) {
+            inform("snapshot restore from " + this->options.snapshotDir +
+                   ": " + std::to_string(io.loaded) + " loaded, " +
+                   std::to_string(io.staleEvicted) + " stale evicted, " +
+                   std::to_string(io.failed) + " failed");
+        }
+    }
 }
 
 TuningService::~TuningService()
@@ -461,6 +477,20 @@ TuningService::process(const TuneRequest &request,
         obs::instant(builtHere ? "cache.miss" : "cache.hit",
                      {{"key", key.toString()}});
     }
+    if (builtHere && !options.snapshotDir.empty()) {
+        // Persist the freshly built model so a restarted process warms
+        // up from disk instead of re-collecting. Milliseconds of disk
+        // on a build that took whole simulated hours; best-effort.
+        std::string persistError;
+        if (ModelCache::writeSnapshot(options.snapshotDir, key, *cached,
+                                      &persistError)) {
+            registry.counter("snapshot.saved").increment();
+        } else {
+            registry.counter("snapshot.save_failed").increment();
+            warn("snapshot of " + key.toString() + " failed: " +
+                 persistError);
+        }
+    }
 
     // Deadline gone before the search starts: answer with the expert
     // configuration instead of starting work we cannot finish. (The
@@ -726,6 +756,20 @@ TuningService::statusReport()
 {
     refreshGauges();
     return registry.report();
+}
+
+ModelCache::SnapshotIo
+TuningService::snapshotNow()
+{
+    ModelCache::SnapshotIo io;
+    if (options.snapshotDir.empty())
+        return io;
+    io = cache.snapshotTo(options.snapshotDir);
+    registry.counter("snapshot.saved")
+        .increment(static_cast<uint64_t>(io.saved));
+    registry.counter("snapshot.save_failed")
+        .increment(static_cast<uint64_t>(io.failed));
+    return io;
 }
 
 } // namespace dac::service

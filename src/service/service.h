@@ -84,6 +84,17 @@ struct ServiceOptions
     bool rejectWhenSaturated = true;
 
     /**
+     * Directory of model snapshots (persist/snapshot.h). Empty (the
+     * default) disables persistence. When set: the cache is restored
+     * from it at construction (stale-format files evicted), every
+     * freshly built model is persisted right after its build, and
+     * snapshotNow() persists the whole cache on demand (the server
+     * example calls it on SIGTERM drain). Persistence is best-effort:
+     * a full disk degrades warm restarts, never serving.
+     */
+    std::string snapshotDir;
+
+    /**
      * Deterministic fault hook for chaos tests: injected transient
      * model-build failures that exercise the retry/degradation path
      * without touching the real pipeline. All zero (the default) means
@@ -177,6 +188,14 @@ class TuningService final : public TuningBackend
     {
         return cache.shardStats(shard);
     }
+
+    /**
+     * Persist every cached model to ServiceOptions::snapshotDir now
+     * (no-op counts when persistence is disabled). Thread-safe; entry
+     * pointers are captured per shard and written outside the cache
+     * locks, so in-flight requests keep serving.
+     */
+    ModelCache::SnapshotIo snapshotNow();
 
   private:
     /** Requests waiting on one in-flight computation. */

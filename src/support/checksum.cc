@@ -1,0 +1,59 @@
+#include "support/checksum.h"
+
+#include <array>
+
+namespace dac {
+namespace {
+
+// Reflected CRC32C polynomial (Castagnoli 0x1EDC6F41).
+constexpr uint32_t kPoly = 0x82F63B78u;
+
+struct Tables
+{
+    // tables[k][b]: CRC contribution of byte b seen k positions ahead,
+    // enabling the slicing-by-8 inner loop (8 lookups per 8 bytes).
+    std::array<std::array<uint32_t, 256>, 8> t{};
+
+    constexpr Tables()
+    {
+        for (uint32_t b = 0; b < 256; ++b) {
+            uint32_t crc = b;
+            for (int bit = 0; bit < 8; ++bit)
+                crc = (crc >> 1) ^ ((crc & 1u) ? kPoly : 0u);
+            t[0][b] = crc;
+        }
+        for (size_t k = 1; k < 8; ++k)
+            for (uint32_t b = 0; b < 256; ++b)
+                t[k][b] = (t[k - 1][b] >> 8) ^ t[0][t[k - 1][b] & 0xFFu];
+    }
+};
+
+constexpr Tables kTables;
+
+} // namespace
+
+uint32_t
+crc32c(const void *data, size_t len, uint32_t seed)
+{
+    const auto &t = kTables.t;
+    const uint8_t *p = static_cast<const uint8_t *>(data);
+    uint32_t crc = ~seed;
+
+    while (len >= 8) {
+        // Byte-wise assembly keeps this endian- and alignment-safe.
+        uint32_t lo = crc ^ (static_cast<uint32_t>(p[0]) |
+                             static_cast<uint32_t>(p[1]) << 8 |
+                             static_cast<uint32_t>(p[2]) << 16 |
+                             static_cast<uint32_t>(p[3]) << 24);
+        crc = t[7][lo & 0xFF] ^ t[6][(lo >> 8) & 0xFF] ^
+              t[5][(lo >> 16) & 0xFF] ^ t[4][lo >> 24] ^
+              t[3][p[4]] ^ t[2][p[5]] ^ t[1][p[6]] ^ t[0][p[7]];
+        p += 8;
+        len -= 8;
+    }
+    while (len-- > 0)
+        crc = (crc >> 8) ^ t[0][(crc ^ *p++) & 0xFFu];
+    return ~crc;
+}
+
+} // namespace dac

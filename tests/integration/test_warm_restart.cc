@@ -1,0 +1,137 @@
+/**
+ * @file
+ * Warm restart, in process: a TuningService with a snapshot directory
+ * is torn down and rebuilt, and the successor must answer its first
+ * request from the restored model cache — cache hit on request one,
+ * configuration and prediction bit-identical to the predecessor's.
+ * This is the acceptance invariant the wire-level smoke test
+ * (scripts/warm_restart_smoke.sh) re-proves across real processes.
+ */
+
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <cstdint>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "service/service.h"
+#include "sparksim/simulator.h"
+#include "support/mapped_file.h"
+
+namespace dac::service {
+namespace {
+
+ServiceOptions
+fastOptions(const std::string &snapshot_dir)
+{
+    ServiceOptions opt;
+    opt.threads = 2;
+    opt.modelCacheCapacity = 4;
+    opt.tuning.collect.datasetCount = 4;
+    opt.tuning.collect.runsPerDataset = 12;
+    opt.tuning.hm.firstOrder.maxTrees = 60;
+    opt.tuning.hm.firstOrder.convergencePatience = 30;
+    opt.tuning.ga.maxGenerations = 25;
+    opt.snapshotDir = snapshot_dir;
+    return opt;
+}
+
+TuneRequest
+request(const std::string &workload, double size)
+{
+    TuneRequest req;
+    req.workload = workload;
+    req.nativeSize = size;
+    return req;
+}
+
+class WarmRestartTest : public ::testing::Test
+{
+  protected:
+    void SetUp() override
+    {
+        char dirTemplate[] = "/tmp/dac-warm-XXXXXX";
+        ASSERT_NE(mkdtemp(dirTemplate), nullptr);
+        dir = dirTemplate;
+    }
+
+    void TearDown() override
+    {
+        const std::string cmd = "rm -rf '" + dir + "'";
+        [[maybe_unused]] const int rc = std::system(cmd.c_str());
+    }
+
+    std::string dir;
+};
+
+TEST_F(WarmRestartTest, FirstRequestAfterRestartHitsRestoredCache)
+{
+    sparksim::SparkSimulator sim(cluster::ClusterSpec::paperTestbed());
+
+    std::vector<double> coldConfig;
+    uint64_t coldPredicted = 0;
+    {
+        TuningService service(sim, fastOptions(dir));
+        const auto cold = service.submit(request("TS", 40)).get();
+        EXPECT_FALSE(cold.modelCacheHit);
+        EXPECT_FALSE(cold.degraded);
+        coldConfig = cold.best.values();
+        coldPredicted = std::bit_cast<uint64_t>(cold.predictedTimeSec);
+
+        // The build persisted its model without an explicit snapshot
+        // pass (save-on-build), so even a crash would warm-restart.
+        EXPECT_FALSE(listFilesWithSuffix(dir, ".dacsnap").empty());
+        service.shutdown();
+    } // predecessor process "dies" here
+
+    TuningService restarted(sim, fastOptions(dir));
+    EXPECT_EQ(restarted.cacheStats().size, 1u);
+
+    const auto warm = restarted.submit(request("TS", 40)).get();
+    EXPECT_TRUE(warm.modelCacheHit)
+        << "first post-restart request rebuilt instead of restoring";
+    EXPECT_FALSE(warm.degraded);
+
+    // The whole point of bit-exact persistence: the answer after the
+    // restart is the answer before it, to the last bit.
+    const auto warmConfig = warm.best.values();
+    ASSERT_EQ(warmConfig.size(), coldConfig.size());
+    for (size_t i = 0; i < warmConfig.size(); ++i)
+        EXPECT_EQ(std::bit_cast<uint64_t>(warmConfig[i]),
+                  std::bit_cast<uint64_t>(coldConfig[i]))
+            << "config value " << i;
+    EXPECT_EQ(std::bit_cast<uint64_t>(warm.predictedTimeSec),
+              coldPredicted);
+
+    // And the hit is visible in the accounting the smoke test greps.
+    EXPECT_EQ(restarted.cacheStats().hits, 1u);
+    EXPECT_EQ(restarted.cacheStats().misses, 0u);
+}
+
+TEST_F(WarmRestartTest, SnapshotNowPersistsEveryCachedModel)
+{
+    sparksim::SparkSimulator sim(cluster::ClusterSpec::paperTestbed());
+    TuningService service(sim, fastOptions(dir));
+    (void)service.submit(request("TS", 40)).get();
+    (void)service.submit(request("WC", 80)).get();
+
+    const auto io = service.snapshotNow();
+    EXPECT_EQ(io.saved, 2u);
+    EXPECT_EQ(io.failed, 0u);
+    EXPECT_EQ(listFilesWithSuffix(dir, ".dacsnap").size(), 2u);
+}
+
+TEST_F(WarmRestartTest, DisabledPersistenceTouchesNothing)
+{
+    sparksim::SparkSimulator sim(cluster::ClusterSpec::paperTestbed());
+    TuningService service(sim, fastOptions(""));
+    (void)service.submit(request("TS", 40)).get();
+    const auto io = service.snapshotNow();
+    EXPECT_EQ(io.saved, 0u);
+    EXPECT_TRUE(listFilesWithSuffix(dir, ".dacsnap").empty());
+}
+
+} // namespace
+} // namespace dac::service

@@ -190,8 +190,11 @@ TEST(Frame, KnownMsgTypes)
     EXPECT_TRUE(isKnownMsgType(7));
     EXPECT_TRUE(isKnownMsgType(8));
     EXPECT_TRUE(isKnownMsgType(9));
+    // Snapshot admin frames.
+    EXPECT_TRUE(isKnownMsgType(10));
+    EXPECT_TRUE(isKnownMsgType(11));
     EXPECT_FALSE(isKnownMsgType(0));
-    EXPECT_FALSE(isKnownMsgType(10));
+    EXPECT_FALSE(isKnownMsgType(12));
     EXPECT_FALSE(isKnownMsgType(0xEE));
 }
 

@@ -1,0 +1,208 @@
+/**
+ * @file
+ * ModelCache snapshot/restore: per-shard persistence to a directory,
+ * warm restore with bit-identical predictions, stale-version eviction,
+ * corrupt-file skipping, and the accounting contract (a restore must
+ * not skew hit/miss stats — the warm-restart test reads them).
+ */
+
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <cstdint>
+#include <cstdlib>
+#include <fstream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "ml/boosting.h"
+#include "ml/flat_ensemble.h"
+#include "persist/snapshot.h"
+#include "service/model_cache.h"
+#include "support/checksum.h"
+#include "support/mapped_file.h"
+#include "support/random.h"
+
+namespace dac::service {
+namespace {
+
+class SnapshotCacheTest : public ::testing::Test
+{
+  protected:
+    void SetUp() override
+    {
+        char dirTemplate[] = "/tmp/dac-snapcache-XXXXXX";
+        ASSERT_NE(mkdtemp(dirTemplate), nullptr);
+        dir = dirTemplate;
+    }
+
+    void TearDown() override
+    {
+        const std::string cmd = "rm -rf '" + dir + "'";
+        [[maybe_unused]] const int rc = std::system(cmd.c_str());
+    }
+
+    std::string dir;
+};
+
+ModelKey
+key(const std::string &workload, int band = 0)
+{
+    return ModelKey{workload, "test-cluster", band};
+}
+
+/** A cache entry with a real trained model (persistable). */
+std::shared_ptr<const CachedModel>
+trainedEntry(uint64_t seed, double error_pct)
+{
+    ml::DataSet data(3);
+    Rng rng(seed);
+    for (int i = 0; i < 24; ++i) {
+        std::vector<double> x = {rng.uniform(), rng.uniform(),
+                                 rng.uniform()};
+        data.addRow(x, 8.0 + 12.0 * x[0] + 4.0 * x[1] * x[2]);
+    }
+    ml::BoostParams params;
+    params.maxTrees = 5;
+    params.convergencePatience = 0;
+    params.targetErrorPct = 0.0;
+    params.seed = seed;
+    auto model = std::make_shared<ml::GradientBoost>(params);
+    model->train(data);
+
+    auto entry = std::make_shared<CachedModel>();
+    entry->compiled =
+        std::shared_ptr<const ml::FlatEnsemble>(model->compile());
+    entry->model = std::move(model);
+    entry->vectors.resize(2);
+    entry->vectors[0] = {5.0, {0.1, 0.2}, 1e9};
+    entry->vectors[1] = {6.5, {0.3, 0.4}, 2e9};
+    entry->modelErrorPct = error_pct;
+    return entry;
+}
+
+TEST_F(SnapshotCacheTest, SnapshotThenRestoreRoundTrips)
+{
+    ModelCache cache(8, 4);
+    cache.insert(key("TS", 5), trainedEntry(11, 4.0));
+    cache.insert(key("WC", 6), trainedEntry(12, 6.0));
+
+    const auto saved = cache.snapshotTo(dir);
+    EXPECT_EQ(saved.saved, 2u);
+    EXPECT_EQ(saved.failed, 0u);
+
+    ModelCache fresh(8, 4);
+    const auto restored = fresh.restoreFrom(dir);
+    EXPECT_EQ(restored.loaded, 2u);
+    EXPECT_EQ(restored.staleEvicted, 0u);
+    EXPECT_EQ(restored.failed, 0u);
+
+    // Restore must not skew the accounting the serving layer reports.
+    const auto stats = fresh.stats();
+    EXPECT_EQ(stats.hits, 0u);
+    EXPECT_EQ(stats.misses, 0u);
+    EXPECT_EQ(stats.size, 2u);
+
+    // Reloaded entries predict bit-identically, compiled included.
+    const auto original = cache.lookup(key("TS", 5));
+    const auto reloaded = fresh.lookup(key("TS", 5));
+    ASSERT_NE(reloaded, nullptr);
+    ASSERT_NE(reloaded->model, nullptr);
+    ASSERT_NE(reloaded->compiled, nullptr);
+    const double probe[] = {0.37, 0.81, 0.12};
+    EXPECT_EQ(std::bit_cast<uint64_t>(reloaded->model->predict(probe, 3)),
+              std::bit_cast<uint64_t>(original->model->predict(probe, 3)));
+    EXPECT_EQ(
+        std::bit_cast<uint64_t>(reloaded->compiled->predict(probe, 3)),
+        std::bit_cast<uint64_t>(original->compiled->predict(probe, 3)));
+    EXPECT_EQ(reloaded->vectors.size(), original->vectors.size());
+    EXPECT_DOUBLE_EQ(reloaded->modelErrorPct, 4.0);
+}
+
+TEST_F(SnapshotCacheTest, SnapshotFileNamesAreStableAndSuffixed)
+{
+    const auto name = ModelCache::snapshotFileName(key("TS", 5));
+    EXPECT_EQ(name, ModelCache::snapshotFileName(key("TS", 5)));
+    EXPECT_NE(name, ModelCache::snapshotFileName(key("TS", 6)));
+    EXPECT_NE(name, ModelCache::snapshotFileName(key("WC", 5)));
+    ASSERT_GT(name.size(), std::string(persist::kSnapshotSuffix).size());
+    EXPECT_EQ(name.substr(name.size() -
+                          std::string(persist::kSnapshotSuffix).size()),
+              persist::kSnapshotSuffix);
+}
+
+TEST_F(SnapshotCacheTest, StaleVersionFilesAreDeletedOnRestore)
+{
+    ModelCache cache(4);
+    cache.insert(key("KM", 2), trainedEntry(13, 3.0));
+    ASSERT_EQ(cache.snapshotTo(dir).saved, 1u);
+
+    // Bump the version in place and reseal the header CRC so the
+    // loader reaches the version check.
+    const auto files = listFilesWithSuffix(dir, persist::kSnapshotSuffix);
+    ASSERT_EQ(files.size(), 1u);
+    const std::string path = dir + "/" + files[0];
+    std::vector<uint8_t> image;
+    {
+        MappedFile file;
+        ASSERT_TRUE(file.open(path));
+        image.assign(file.data(), file.data() + file.size());
+    }
+    const uint16_t bumped = persist::kSnapshotVersion + 1;
+    image[4] = static_cast<uint8_t>(bumped & 0xff);
+    image[5] = static_cast<uint8_t>(bumped >> 8);
+    const uint32_t crc = crc32c(image.data(), 28);
+    for (int i = 0; i < 4; ++i)
+        image[28 + static_cast<size_t>(i)] =
+            static_cast<uint8_t>(crc >> (8 * i));
+    ASSERT_TRUE(atomicWriteFile(path, image.data(), image.size()));
+
+    ModelCache fresh(4);
+    const auto io = fresh.restoreFrom(dir);
+    EXPECT_EQ(io.loaded, 0u);
+    EXPECT_EQ(io.staleEvicted, 1u);
+    EXPECT_EQ(io.failed, 0u);
+    EXPECT_EQ(fresh.size(), 0u);
+    // The stale file is gone: the next snapshot pass rewrites it in
+    // the current format instead of tripping over it forever.
+    EXPECT_TRUE(
+        listFilesWithSuffix(dir, persist::kSnapshotSuffix).empty());
+}
+
+TEST_F(SnapshotCacheTest, CorruptFilesAreSkippedNotDeleted)
+{
+    const std::string path = dir + "/junk" + persist::kSnapshotSuffix;
+    const std::string junk = "not a snapshot at all";
+    ASSERT_TRUE(atomicWriteFile(path, junk.data(), junk.size()));
+
+    ModelCache cache(4);
+    const auto io = cache.restoreFrom(dir);
+    EXPECT_EQ(io.loaded, 0u);
+    EXPECT_EQ(io.failed, 1u);
+    EXPECT_EQ(cache.size(), 0u);
+    // Unlike stale versions, damage is kept for a human to examine.
+    EXPECT_EQ(listFilesWithSuffix(dir, persist::kSnapshotSuffix).size(),
+              1u);
+}
+
+TEST_F(SnapshotCacheTest, RestoreFromMissingDirectoryIsEmpty)
+{
+    ModelCache cache(4);
+    const auto io = cache.restoreFrom(dir + "/never-created");
+    EXPECT_EQ(io.loaded, 0u);
+    EXPECT_EQ(io.staleEvicted, 0u);
+    EXPECT_EQ(io.failed, 0u);
+}
+
+TEST_F(SnapshotCacheTest, EntryWithoutModelCountsAsFailed)
+{
+    ModelCache cache(4);
+    cache.insert(key("PR"), std::make_shared<CachedModel>());
+    const auto io = cache.snapshotTo(dir);
+    EXPECT_EQ(io.saved, 0u);
+    EXPECT_EQ(io.failed, 1u);
+}
+
+} // namespace
+} // namespace dac::service

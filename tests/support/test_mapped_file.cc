@@ -1,0 +1,125 @@
+/**
+ * @file
+ * MappedFile / atomicWriteFile / listFilesWithSuffix: the I/O floor
+ * the snapshot store stands on. Round trips, overwrite semantics,
+ * missing/empty files, and directory listing order.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "support/mapped_file.h"
+
+namespace dac {
+namespace {
+
+class MappedFileTest : public ::testing::Test
+{
+  protected:
+    void SetUp() override
+    {
+        char dirTemplate[] = "/tmp/dac-mapped-XXXXXX";
+        ASSERT_NE(mkdtemp(dirTemplate), nullptr);
+        dir = dirTemplate;
+    }
+
+    void TearDown() override
+    {
+        // Best-effort cleanup; files are tiny.
+        const std::string cmd = "rm -rf '" + dir + "'";
+        [[maybe_unused]] const int rc = std::system(cmd.c_str());
+    }
+
+    std::string dir;
+};
+
+TEST_F(MappedFileTest, WriteThenMapRoundTrips)
+{
+    const std::string path = dir + "/round.bin";
+    std::vector<uint8_t> payload(4096 + 17);
+    for (size_t i = 0; i < payload.size(); ++i)
+        payload[i] = static_cast<uint8_t>(i * 31);
+
+    std::string error;
+    ASSERT_TRUE(
+        atomicWriteFile(path, payload.data(), payload.size(), &error))
+        << error;
+
+    MappedFile file;
+    ASSERT_TRUE(file.open(path, &error)) << error;
+    ASSERT_EQ(file.size(), payload.size());
+    EXPECT_EQ(std::memcmp(file.data(), payload.data(), payload.size()),
+              0);
+}
+
+TEST_F(MappedFileTest, AtomicWriteReplacesExistingFile)
+{
+    const std::string path = dir + "/replace.bin";
+    const std::string first = "the old contents, longer than the new";
+    const std::string second = "fresh";
+    ASSERT_TRUE(atomicWriteFile(path, first.data(), first.size()));
+    ASSERT_TRUE(atomicWriteFile(path, second.data(), second.size()));
+
+    MappedFile file;
+    ASSERT_TRUE(file.open(path));
+    ASSERT_EQ(file.size(), second.size());
+    EXPECT_EQ(std::memcmp(file.data(), second.data(), second.size()), 0);
+}
+
+TEST_F(MappedFileTest, AtomicWriteLeavesNoTempResidue)
+{
+    const std::string path = dir + "/clean.bin";
+    const std::string payload = "abc";
+    ASSERT_TRUE(atomicWriteFile(path, payload.data(), payload.size()));
+    // The same-directory temp file must be gone after the rename; the
+    // snapshot restore path would otherwise trip over stray partials.
+    const auto leftovers = listFilesWithSuffix(dir, "");
+    ASSERT_EQ(leftovers.size(), 1u);
+    EXPECT_EQ(leftovers[0], "clean.bin");
+}
+
+TEST_F(MappedFileTest, MissingFileFailsOpenCleanly)
+{
+    MappedFile file;
+    std::string error;
+    EXPECT_FALSE(file.open(dir + "/no-such-file", &error));
+    EXPECT_FALSE(error.empty());
+    EXPECT_FALSE(file.isOpen());
+    EXPECT_EQ(file.size(), 0u);
+}
+
+TEST_F(MappedFileTest, EmptyFileMapsWithSizeZero)
+{
+    const std::string path = dir + "/empty.bin";
+    ASSERT_TRUE(atomicWriteFile(path, nullptr, 0));
+    MappedFile file;
+    ASSERT_TRUE(file.open(path));
+    EXPECT_EQ(file.size(), 0u);
+}
+
+TEST_F(MappedFileTest, ListFilteredBySuffixAndSorted)
+{
+    const std::string payload = "x";
+    ASSERT_TRUE(atomicWriteFile(dir + "/b.dacsnap", payload.data(), 1));
+    ASSERT_TRUE(atomicWriteFile(dir + "/a.dacsnap", payload.data(), 1));
+    ASSERT_TRUE(atomicWriteFile(dir + "/c.other", payload.data(), 1));
+
+    const auto files = listFilesWithSuffix(dir, ".dacsnap");
+    ASSERT_EQ(files.size(), 2u);
+    EXPECT_EQ(files[0], "a.dacsnap");
+    EXPECT_EQ(files[1], "b.dacsnap");
+}
+
+TEST_F(MappedFileTest, ListOfMissingDirectoryIsEmpty)
+{
+    EXPECT_TRUE(
+        listFilesWithSuffix(dir + "/nonexistent", ".dacsnap").empty());
+}
+
+} // namespace
+} // namespace dac

@@ -1,0 +1,128 @@
+/**
+ * @file
+ * dac_request: a one-shot wire client printing a machine-checkable
+ * answer, built for the warm-restart smoke test.
+ *
+ * Sends one TuneRequest over the frame protocol and prints the
+ * response with every double as its IEEE-754 bit pattern, so two runs
+ * are comparable with `diff`/`grep` — the warm-restart CI job asserts
+ * that the answer after a server restart is byte-identical to the
+ * answer before it, and that the first post-restart request hit the
+ * restored model cache.
+ *
+ * Usage: dac_request --port=N [--host=H] [--workload=TS] [--size=GB]
+ *                    [--seed=N] [--snapshot-op=inspect|persist]
+ *
+ *   --port=N         server port (required)
+ *   --host=H         server host (default 127.0.0.1)
+ *   --workload=W     workload abbreviation (default TS)
+ *   --size=X         native dataset size (default 40)
+ *   --seed=N         tuning seed (default 17, the service default)
+ *   --snapshot-op=OP instead of a tune request, send a Snapshot admin
+ *                    frame (inspect or persist) and print the
+ *                    server's JSON report
+ *
+ * Output (tune mode), one `key value` pair per line:
+ *
+ *   workload TS
+ *   cacheHit 1
+ *   coalesced 0
+ *   degraded 0
+ *   predicted 0x4041800000000000
+ *   config 0x... 0x... ...      (space order, bit patterns)
+ *
+ * Exit code: 0 on a served response, 1 on transport/server error,
+ * 2 on bad usage.
+ */
+
+#include <bit>
+#include <cstdint>
+#include <cstdio>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "net/client.h"
+
+#include "flags.h"
+
+namespace {
+
+void
+printBits(const char *key, double v)
+{
+    std::printf("%s 0x%016llx\n", key,
+                static_cast<unsigned long long>(
+                    std::bit_cast<uint64_t>(v)));
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    using namespace dac;
+
+    uint16_t port = 0;
+    std::string host = "127.0.0.1";
+    std::string workload = "TS";
+    double size = 40.0;
+    size_t seed = 17;
+    std::string snapshot_op;
+
+    tools::FlagParser flags;
+    flags.bind("port", &port);
+    flags.bind("host", &host);
+    flags.bind("workload", &workload);
+    flags.bind("size", &size);
+    flags.bind("seed", &seed);
+    flags.bind("snapshot-op", &snapshot_op);
+    if (!flags.parse(argc, argv) || !flags.positionals().empty() ||
+        port == 0) {
+        std::cerr << "usage: dac_request --port=N [--host=H]"
+                  << " [--workload=W] [--size=X] [--seed=N]"
+                  << " [--snapshot-op=inspect|persist]\n";
+        return 2;
+    }
+
+    try {
+        net::Client client(host, port);
+
+        if (!snapshot_op.empty()) {
+            net::SnapshotOp op;
+            if (snapshot_op == "inspect") {
+                op = net::SnapshotOp::Inspect;
+            } else if (snapshot_op == "persist") {
+                op = net::SnapshotOp::Persist;
+            } else {
+                std::cerr << "dac_request: unknown --snapshot-op="
+                          << snapshot_op << "\n";
+                return 2;
+            }
+            std::cout << client.snapshotAdmin(op) << "\n";
+            return 0;
+        }
+
+        service::TuneRequest request;
+        request.workload = workload;
+        request.nativeSize = size;
+        request.seed = seed;
+        const auto response = client.request(request);
+
+        std::printf("workload %s\n", response.workload.c_str());
+        std::printf("cacheHit %d\n", response.modelCacheHit ? 1 : 0);
+        std::printf("coalesced %d\n", response.coalesced ? 1 : 0);
+        std::printf("degraded %d\n", response.degraded ? 1 : 0);
+        printBits("predicted", response.predictedTimeSec);
+        std::printf("config");
+        for (const double v : response.best.values())
+            std::printf(" 0x%016llx",
+                        static_cast<unsigned long long>(
+                            std::bit_cast<uint64_t>(v)));
+        std::printf("\n");
+        return response.degraded ? 1 : 0;
+    } catch (const std::exception &e) {
+        std::cerr << "dac_request: " << e.what() << "\n";
+        return 1;
+    }
+}
